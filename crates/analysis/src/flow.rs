@@ -1,0 +1,351 @@
+//! Call-site extraction and the interprocedural FP data-flow graph.
+//!
+//! The graph's nodes are FP variables annotated with precision (through a
+//! [`PrecisionMap`]) and its edges are parameter-passing instances: call
+//! site × argument position. A *mismatch* is an edge whose endpoints carry
+//! different precisions — exactly the situation Fortran's argument
+//! association forbids and that the transformer repairs with wrappers
+//! (Figure 4 of the paper). After wrapper synthesis, rebuilding the graph on
+//! the transformed program must yield zero mismatches.
+
+use crate::typing::{adapted_precision, classify, NameClass};
+use prose_fortran::ast::{Expr, FpPrecision, Program, Stmt};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{ProgramIndex, ScopeId};
+use serde::{Deserialize, Serialize};
+
+/// One static call site (subroutine call or function reference).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Scope the call appears in.
+    pub caller: ScopeId,
+    /// Callee procedure name.
+    pub callee: String,
+    /// Actual argument expressions (cloned from the AST).
+    pub args: Vec<Expr>,
+    /// True for function references inside expressions.
+    pub is_function: bool,
+    /// Loop nesting depth at the call site (0 = not inside a loop). The
+    /// static cost model scales penalties by this.
+    pub loop_depth: usize,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A precision conflict on one argument of one call site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mismatch {
+    /// Index into [`FpFlowGraph::sites`].
+    pub site: usize,
+    /// Argument position (0-based).
+    pub arg_index: usize,
+    /// Dummy argument name in the callee.
+    pub param: String,
+    /// Precision of the actual argument on the caller side.
+    pub caller_precision: FpPrecision,
+    /// Precision of the callee's dummy.
+    pub callee_precision: FpPrecision,
+    /// True when the argument is an array (penalty scales with elements).
+    pub is_array: bool,
+}
+
+/// The FP parameter-passing flow graph of a program.
+#[derive(Debug)]
+pub struct FpFlowGraph {
+    sites: Vec<CallSite>,
+}
+
+impl FpFlowGraph {
+    /// Collect every call site to a user procedure. Intrinsics are excluded:
+    /// they are generic over precision and never need wrappers.
+    pub fn build(program: &Program, index: &ProgramIndex) -> Self {
+        let mut sites = Vec::new();
+        for (_, proc) in program.all_procedures() {
+            let scope = index
+                .scope_of_procedure(&proc.name)
+                .expect("analyzed program has all procedures indexed");
+            collect_body(&proc.body, scope, index, 0, &mut sites);
+        }
+        if let Some(mp) = &program.main {
+            let scope = main_scope(index);
+            collect_body(&mp.body, scope, index, 0, &mut sites);
+        }
+        FpFlowGraph { sites }
+    }
+
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Edges whose endpoint precisions differ under `map`.
+    pub fn mismatches(&self, index: &ProgramIndex, map: &PrecisionMap) -> Vec<Mismatch> {
+        let mut out = Vec::new();
+        for (si, site) in self.sites.iter().enumerate() {
+            let Some(pinfo) = index.procedure(&site.callee) else {
+                continue;
+            };
+            for (ai, actual) in site.args.iter().enumerate() {
+                let Some(param) = pinfo.params.get(ai) else {
+                    continue;
+                };
+                let Some(dummy) = index.lookup(pinfo.scope, param) else {
+                    continue;
+                };
+                // Only FP dummies can mismatch in precision.
+                if !dummy.ty.is_fp() {
+                    continue;
+                }
+                let callee_precision = match index.fp_var_id(pinfo.scope, param) {
+                    Some(id) => map.get(id),
+                    None => dummy.ty.fp_precision().unwrap(),
+                };
+                // Kind-generic (pure literal) actuals match any dummy for
+                // free, exactly as the interpreter converts them.
+                let Some(caller_precision) =
+                    adapted_precision(index, site.caller, map, actual)
+                else {
+                    continue;
+                };
+                if caller_precision != callee_precision {
+                    out.push(Mismatch {
+                        site: si,
+                        arg_index: ai,
+                        param: param.clone(),
+                        caller_precision,
+                        callee_precision,
+                        is_array: dummy.is_array(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The Figure-4 invariant: adjacent nodes of every parameter-passing
+    /// edge have matching precision annotations.
+    pub fn invariant_holds(&self, index: &ProgramIndex, map: &PrecisionMap) -> bool {
+        self.mismatches(index, map).is_empty()
+    }
+}
+
+fn main_scope(index: &ProgramIndex) -> ScopeId {
+    (0..index.scope_count())
+        .map(ScopeId)
+        .find(|s| index.scope_info(*s).kind == prose_fortran::sema::ScopeKind::Main)
+        .expect("program has a main scope")
+}
+
+fn collect_body(
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    depth: usize,
+    sites: &mut Vec<CallSite>,
+) {
+    for s in body {
+        match s {
+            Stmt::Call { name, args, span } => {
+                if index.procedure(name).is_some() {
+                    sites.push(CallSite {
+                        caller: scope,
+                        callee: name.clone(),
+                        args: args.clone(),
+                        is_function: false,
+                        loop_depth: depth,
+                        line: span.line,
+                    });
+                }
+                for a in args {
+                    collect_expr(a, scope, index, depth, s.span().line, sites);
+                }
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for (cond, arm_body) in arms {
+                    collect_expr(cond, scope, index, depth, s.span().line, sites);
+                    collect_body(arm_body, scope, index, depth, sites);
+                }
+                if let Some(eb) = else_body {
+                    collect_body(eb, scope, index, depth, sites);
+                }
+            }
+            Stmt::Do { start, end, step, body: lb, .. } => {
+                let line = s.span().line;
+                collect_expr(start, scope, index, depth, line, sites);
+                collect_expr(end, scope, index, depth, line, sites);
+                if let Some(st) = step {
+                    collect_expr(st, scope, index, depth, line, sites);
+                }
+                collect_body(lb, scope, index, depth + 1, sites);
+            }
+            Stmt::DoWhile { cond, body: lb, .. } => {
+                collect_expr(cond, scope, index, depth + 1, s.span().line, sites);
+                collect_body(lb, scope, index, depth + 1, sites);
+            }
+            other => {
+                other.for_each_expr(&mut |e| {
+                    collect_expr(e, scope, index, depth, other.span().line, sites)
+                });
+            }
+        }
+    }
+}
+
+fn collect_expr(
+    e: &Expr,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    depth: usize,
+    line: u32,
+    sites: &mut Vec<CallSite>,
+) {
+    e.walk(&mut |node| {
+        if let Expr::NameRef { name, args } = node {
+            if classify(index, scope, name) == NameClass::Function {
+                sites.push(CallSite {
+                    caller: scope,
+                    callee: name.clone(),
+                    args: args.clone(),
+                    is_function: true,
+                    loop_depth: depth,
+                    line,
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::{analyze, parse_program};
+
+    const SRC: &str = r#"
+module m
+contains
+  function flux(q) result(f)
+    real(kind=8) :: q, f
+    f = q * 0.5d0
+  end function flux
+  subroutine kernel(u, t, n)
+    real(kind=8), intent(in) :: u(n)
+    real(kind=8), intent(out) :: t(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      t(i) = flux(u(i))
+    end do
+  end subroutine kernel
+end module m
+program main
+  use m, only: kernel
+  real(kind=8) :: a(8), b(8)
+  integer :: k
+  do k = 1, 8
+    a(k) = 1.0d0
+  end do
+  call kernel(a, b, 8)
+end program main
+"#;
+
+    fn setup() -> (prose_fortran::Program, ProgramIndex) {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        (p, ix)
+    }
+
+    #[test]
+    fn collects_subroutine_and_function_sites_with_loop_depth() {
+        let (p, ix) = setup();
+        let g = FpFlowGraph::build(&p, &ix);
+        assert_eq!(g.sites().len(), 2);
+        let flux_site = g.sites().iter().find(|s| s.callee == "flux").unwrap();
+        assert!(flux_site.is_function);
+        assert_eq!(flux_site.loop_depth, 1);
+        let kernel_site = g.sites().iter().find(|s| s.callee == "kernel").unwrap();
+        assert!(!kernel_site.is_function);
+        assert_eq!(kernel_site.loop_depth, 0);
+    }
+
+    #[test]
+    fn declared_assignment_has_no_mismatches() {
+        let (p, ix) = setup();
+        let g = FpFlowGraph::build(&p, &ix);
+        let map = PrecisionMap::declared(&ix);
+        assert!(g.invariant_holds(&ix, &map));
+    }
+
+    #[test]
+    fn lowering_a_dummy_produces_a_mismatch() {
+        let (p, ix) = setup();
+        let g = FpFlowGraph::build(&p, &ix);
+        let mut map = PrecisionMap::declared(&ix);
+        let flux_scope = ix.scope_of_procedure("flux").unwrap();
+        map.set(ix.fp_var_id(flux_scope, "q").unwrap(), FpPrecision::Single);
+        let mm = g.mismatches(&ix, &map);
+        assert_eq!(mm.len(), 1);
+        assert_eq!(mm[0].param, "q");
+        assert_eq!(mm[0].caller_precision, FpPrecision::Double);
+        assert_eq!(mm[0].callee_precision, FpPrecision::Single);
+        assert!(!mm[0].is_array);
+    }
+
+    #[test]
+    fn lowering_caller_array_mismatches_array_dummy() {
+        let (p, ix) = setup();
+        let g = FpFlowGraph::build(&p, &ix);
+        let mut map = PrecisionMap::declared(&ix);
+        let main = main_scope(&ix);
+        map.set(ix.fp_var_id(main, "a").unwrap(), FpPrecision::Single);
+        let mm = g.mismatches(&ix, &map);
+        assert_eq!(mm.len(), 1);
+        assert!(mm[0].is_array);
+        assert_eq!(mm[0].param, "u");
+        assert_eq!(mm[0].caller_precision, FpPrecision::Single);
+    }
+
+    #[test]
+    fn lowering_both_sides_keeps_invariant() {
+        let (p, ix) = setup();
+        let g = FpFlowGraph::build(&p, &ix);
+        let mut map = PrecisionMap::declared(&ix);
+        let flux_scope = ix.scope_of_procedure("flux").unwrap();
+        let kernel_scope = ix.scope_of_procedure("kernel").unwrap();
+        map.set(ix.fp_var_id(flux_scope, "q").unwrap(), FpPrecision::Single);
+        map.set(ix.fp_var_id(kernel_scope, "u").unwrap(), FpPrecision::Single);
+        // kernel's u(i) is now single, flux's q is single: edge matches.
+        // But main's a → kernel's u still mismatches.
+        let mm = g.mismatches(&ix, &map);
+        assert_eq!(mm.len(), 1);
+        assert_eq!(mm[0].param, "u");
+    }
+
+    #[test]
+    fn expression_actual_uses_promoted_type() {
+        let src = r#"
+module m
+contains
+  subroutine s(x)
+    real(kind=4) :: x
+    x = x + 1.0
+  end subroutine s
+  subroutine driver()
+    real(kind=8) :: d
+    real(kind=4) :: f
+    d = 1.0d0
+    f = 2.0
+    call s(f)
+  end subroutine driver
+end module m
+"#;
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let g = FpFlowGraph::build(&p, &ix);
+        let map = PrecisionMap::declared(&ix);
+        assert!(g.invariant_holds(&ix, &map));
+        // Lower nothing, but raise the dummy: mismatch appears.
+        let mut m2 = map.clone();
+        let s_scope = ix.scope_of_procedure("s").unwrap();
+        m2.set(ix.fp_var_id(s_scope, "x").unwrap(), FpPrecision::Double);
+        assert_eq!(g.mismatches(&ix, &m2).len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # prose-analysis
+//!
+//! Static analyses over the `prose-fortran` AST that the tuning pipeline
+//! needs:
+//!
+//! * [`typing`] — Fortran type/kind inference for expressions under a
+//!   [`prose_fortran::PrecisionMap`], implementing the standard promotion
+//!   rules (any double operand promotes the operation to double).
+//! * [`flow`] — call-site extraction and the interprocedural FP data-flow
+//!   graph whose nodes are precision-annotated FP variables and whose edges
+//!   are parameter-passing instances (Section III-C of the paper). Wrapper
+//!   planning asks this graph for precision-mismatched edges; the invariant
+//!   after wrapper synthesis is that no mismatched edge remains.
+//! * [`vect`] — the loop vectorization-legality model: a counted innermost
+//!   loop vectorizes only without loop-carried dependences, irregular
+//!   stores, or non-inlinable calls (the `pjac` recurrence and the models'
+//!   stencil loops are the motivating cases).
+//! * [`taint`] — taint-based program reduction: the fixed-point propagation
+//!   of Section III-C that extracts the minimal sub-program needed to
+//!   transform a set of target variables.
+//! * [`static_cost`] — the static mixed-precision cost estimator the paper's
+//!   lessons-learned section proposes (penalty proportional to call volume
+//!   times array elements), used as a pre-filter ablation.
+
+pub mod flow;
+pub mod static_cost;
+pub mod taint;
+pub mod typing;
+pub mod vect;
+pub mod vect_report;
+
+pub use flow::{CallSite, FpFlowGraph, Mismatch};
+pub use static_cost::static_penalty;
+pub use taint::reduce_program;
+pub use typing::{expr_type, NameClass};
+pub use vect::{analyze_counted_loop, LoopAnalysis, VectBlocker};
+pub use vect_report::{vect_report, VectReport};

@@ -1,0 +1,574 @@
+//! Taint-based program reduction (Section III-C).
+//!
+//! The paper feeds ROSE only a *minimal sub-program* containing the target
+//! variables, found by tainting the targets and propagating to a fixed
+//! point over five rules:
+//!
+//! 1. statements declaring target variables;
+//! 2. statements passing target variables as arguments to procedure calls;
+//! 3. statements defining symbols referenced by 1, 2, and recursively 3;
+//! 4. `use` statements required to make those symbols available;
+//! 5. program structures (modules, procedures) containing any of the above.
+//!
+//! Our front end parses everything the models use, so reduction is not
+//! needed for correctness here — it is reproduced as a first-class analysis
+//! with the properties the pipeline relied on: the reduced program parses,
+//! re-analyzes, contains every target declaration, and reduction is
+//! idempotent.
+
+use prose_fortran::ast::*;
+use prose_fortran::sema::{FpVarId, ProgramIndex, ScopeId, ScopeKind};
+use std::collections::BTreeSet;
+
+/// Reduce `program` to the minimal sub-program needed to transform the
+/// given target variables.
+pub fn reduce_program(
+    program: &Program,
+    index: &ProgramIndex,
+    targets: &[FpVarId],
+) -> Program {
+    let mut needed_vars: BTreeSet<(ScopeId, String)> = targets
+        .iter()
+        .map(|t| {
+            let v = index.fp_var(*t);
+            (v.scope, v.name.clone())
+        })
+        .collect();
+    // Procedures owning a target are needed (rule 5).
+    let mut needed_procs: BTreeSet<String> = targets
+        .iter()
+        .filter_map(|t| {
+            let v = index.fp_var(*t);
+            let info = index.scope_info(v.scope);
+            (info.kind == ScopeKind::Procedure).then(|| info.name.clone())
+        })
+        .collect();
+
+    // Fixed point: keep statements that pass needed vars to calls; pull in
+    // symbols those statements reference; pull in called procedures.
+    loop {
+        let before = (needed_vars.len(), needed_procs.len());
+
+        for (_, proc) in program.all_procedures() {
+            let scope = index.scope_of_procedure(&proc.name).unwrap();
+            let kept = filter_stmts(&proc.body, &needed_vars, index, scope);
+            if !kept.is_empty() {
+                needed_procs.insert(proc.name.clone());
+            }
+            mark_stmts(&kept, index, scope, &mut needed_vars, &mut needed_procs);
+        }
+        if let Some(mp) = &program.main {
+            let scope = main_scope(index);
+            let kept = filter_stmts(&mp.body, &needed_vars, index, scope);
+            mark_stmts(&kept, index, scope, &mut needed_vars, &mut needed_procs);
+        }
+
+        // Needed procedures: their dummies and result variables must be
+        // declared (rule 3), and declaration expressions (dims, inits) of
+        // needed vars reference further symbols (rule 3, recursively).
+        for name in needed_procs.clone() {
+            let Some(pinfo) = index.procedure(&name) else { continue };
+            for param in &pinfo.params {
+                needed_vars.insert((pinfo.scope, param.clone()));
+            }
+            if let Some(r) = &pinfo.result {
+                needed_vars.insert((pinfo.scope, r.clone()));
+            }
+        }
+        for (_, proc) in program.all_procedures() {
+            let scope = index.scope_of_procedure(&proc.name).unwrap();
+            mark_decl_deps(&proc.decls, scope, index, &mut needed_vars);
+        }
+        for m in &program.modules {
+            if let Some(scope) = index.module_scope(&m.name) {
+                mark_decl_deps(&m.decls, scope, index, &mut needed_vars);
+            }
+        }
+        if let Some(mp) = &program.main {
+            mark_decl_deps(&mp.decls, main_scope(index), index, &mut needed_vars);
+        }
+
+        if (needed_vars.len(), needed_procs.len()) == before {
+            break;
+        }
+    }
+
+    build_reduced(program, index, &needed_vars, &needed_procs)
+}
+
+fn main_scope(index: &ProgramIndex) -> ScopeId {
+    (0..index.scope_count())
+        .map(ScopeId)
+        .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
+        .expect("program has a main scope")
+}
+
+/// Resolve `name` in `scope` to its owning (scope, name) key.
+fn resolve_key(index: &ProgramIndex, scope: ScopeId, name: &str) -> Option<(ScopeId, String)> {
+    index.lookup(scope, name).map(|sym| (sym.scope, sym.name.clone()))
+}
+
+/// Keep statements that pass a needed variable to a procedure call (rule 2),
+/// preserving enclosing control structure shells.
+fn filter_stmts(
+    body: &[Stmt],
+    needed: &BTreeSet<(ScopeId, String)>,
+    index: &ProgramIndex,
+    scope: ScopeId,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Call { args, name, .. }
+                if index.procedure(name).is_some()
+                    && args.iter().any(|a| expr_passes_needed(a, needed, index, scope))
+                => {
+                    out.push(s.clone());
+                }
+            Stmt::Assign { value, .. } => {
+                // Function references passing needed vars (rule 2 applies to
+                // any procedure call, including function calls).
+                let mut hit = false;
+                value.walk(&mut |node| {
+                    if let Expr::NameRef { name, args } = node {
+                        if index.procedure(name).is_some()
+                            && args.iter().any(|a| expr_passes_needed(a, needed, index, scope))
+                        {
+                            hit = true;
+                        }
+                    }
+                });
+                if hit {
+                    out.push(s.clone());
+                }
+            }
+            Stmt::If { arms, else_body, span } => {
+                let mut new_arms = Vec::new();
+                for (cond, b) in arms {
+                    let kept = filter_stmts(b, needed, index, scope);
+                    if !kept.is_empty() {
+                        new_arms.push((cond.clone(), kept));
+                    }
+                }
+                let new_else = else_body
+                    .as_ref()
+                    .map(|b| filter_stmts(b, needed, index, scope))
+                    .filter(|b| !b.is_empty());
+                if !new_arms.is_empty() || new_else.is_some() {
+                    // Shell must keep a valid first arm; if the `if` arm
+                    // itself emptied, synthesize from the first surviving arm.
+                    let arms = if new_arms.is_empty() {
+                        vec![(arms[0].0.clone(), Vec::new())]
+                    } else {
+                        new_arms
+                    };
+                    out.push(Stmt::If { arms, else_body: new_else, span: *span });
+                }
+            }
+            Stmt::Do { var, start, end, step, body: b, span } => {
+                let kept = filter_stmts(b, needed, index, scope);
+                if !kept.is_empty() {
+                    out.push(Stmt::Do {
+                        var: var.clone(),
+                        start: start.clone(),
+                        end: end.clone(),
+                        step: step.clone(),
+                        body: kept,
+                        span: *span,
+                    });
+                }
+            }
+            Stmt::DoWhile { cond, body: b, span } => {
+                let kept = filter_stmts(b, needed, index, scope);
+                if !kept.is_empty() {
+                    out.push(Stmt::DoWhile { cond: cond.clone(), body: kept, span: *span });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn expr_passes_needed(
+    e: &Expr,
+    needed: &BTreeSet<(ScopeId, String)>,
+    index: &ProgramIndex,
+    scope: ScopeId,
+) -> bool {
+    let mut hit = false;
+    e.walk(&mut |node| {
+        if let Some(base) = node.base_name() {
+            if let Some(key) = resolve_key(index, scope, base) {
+                if needed.contains(&key) {
+                    hit = true;
+                }
+            }
+        }
+    });
+    hit
+}
+
+/// Mark every symbol referenced by kept statements as needed (rule 3) and
+/// every called procedure as needed (rule 5).
+fn mark_stmts(
+    kept: &[Stmt],
+    index: &ProgramIndex,
+    scope: ScopeId,
+    needed_vars: &mut BTreeSet<(ScopeId, String)>,
+    needed_procs: &mut BTreeSet<String>,
+) {
+    for s in kept {
+        s.walk(&mut |stmt| {
+            if let Stmt::Call { name, .. } = stmt {
+                if index.procedure(name).is_some() {
+                    needed_procs.insert(name.clone());
+                }
+            }
+            if let Stmt::Do { var, .. } = stmt {
+                if let Some(key) = resolve_key(index, scope, var) {
+                    needed_vars.insert(key);
+                }
+            }
+            stmt.for_each_expr(&mut |e| {
+                e.walk(&mut |node| match node {
+                    Expr::Var(n) => {
+                        if let Some(key) = resolve_key(index, scope, n) {
+                            needed_vars.insert(key);
+                        }
+                    }
+                    Expr::NameRef { name, .. } => {
+                        if let Some(key) = resolve_key(index, scope, name) {
+                            needed_vars.insert(key);
+                        } else if index.procedure(name).is_some() {
+                            needed_procs.insert(name.clone());
+                        }
+                    }
+                    _ => {}
+                });
+            });
+        });
+    }
+}
+
+/// Declarations of needed vars may reference other symbols in dims/inits.
+fn mark_decl_deps(
+    decls: &[Declaration],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    needed_vars: &mut BTreeSet<(ScopeId, String)>,
+) {
+    let mut new_names: Vec<(ScopeId, String)> = Vec::new();
+    for d in decls {
+        for e in &d.entities {
+            if !needed_vars.contains(&(scope, e.name.clone())) {
+                continue;
+            }
+            let mut mark_expr = |ex: &Expr| {
+                ex.walk(&mut |node| {
+                    if let Some(base) = node.base_name() {
+                        if let Some(key) = resolve_key(index, scope, base) {
+                            new_names.push(key);
+                        }
+                    }
+                });
+            };
+            if let Some(dims) = d.dims_for(e) {
+                for dim in dims {
+                    match dim {
+                        DimSpec::Upper(ex) => mark_expr(ex),
+                        DimSpec::Range(lo, hi) => {
+                            mark_expr(lo);
+                            mark_expr(hi);
+                        }
+                        DimSpec::Deferred => {}
+                    }
+                }
+            }
+            if let Some(init) = &e.init {
+                mark_expr(init);
+            }
+        }
+    }
+    needed_vars.extend(new_names);
+}
+
+/// Assemble the reduced program: containers (rule 5), declarations (rule 1,
+/// 3), kept statements (rule 2), and trimmed `use` statements (rule 4).
+fn build_reduced(
+    program: &Program,
+    index: &ProgramIndex,
+    needed_vars: &BTreeSet<(ScopeId, String)>,
+    needed_procs: &BTreeSet<String>,
+) -> Program {
+    let mut reduced = Program::default();
+    for m in &program.modules {
+        let mscope = index.module_scope(&m.name).unwrap();
+        let decls = reduce_decls(&m.decls, mscope, needed_vars);
+        let procedures: Vec<Procedure> = m
+            .procedures
+            .iter()
+            .filter(|p| needed_procs.contains(&p.name))
+            .map(|p| reduce_procedure(p, index, needed_vars))
+            .collect();
+        if decls.is_empty() && procedures.is_empty() {
+            continue;
+        }
+        let uses = reduce_uses(&m.uses, index, needed_vars, needed_procs);
+        reduced.modules.push(Module {
+            name: m.name.clone(),
+            uses,
+            decls,
+            procedures,
+            span: m.span,
+        });
+    }
+    if let Some(mp) = &program.main {
+        let scope = main_scope(index);
+        let decls = reduce_decls(&mp.decls, scope, needed_vars);
+        let body = filter_stmts(&mp.body, needed_vars, index, scope);
+        if !decls.is_empty() || !body.is_empty() {
+            reduced.main = Some(MainProgram {
+                name: mp.name.clone(),
+                uses: reduce_uses(&mp.uses, index, needed_vars, needed_procs),
+                decls,
+                body,
+                procedures: mp
+                    .procedures
+                    .iter()
+                    .filter(|p| needed_procs.contains(&p.name))
+                    .map(|p| reduce_procedure(p, index, needed_vars))
+                    .collect(),
+                span: mp.span,
+            });
+        }
+    }
+    reduced
+}
+
+fn reduce_procedure(
+    p: &Procedure,
+    index: &ProgramIndex,
+    needed_vars: &BTreeSet<(ScopeId, String)>,
+) -> Procedure {
+    let scope = index.scope_of_procedure(&p.name).unwrap();
+    Procedure {
+        kind: p.kind.clone(),
+        name: p.name.clone(),
+        params: p.params.clone(),
+        uses: p.uses.clone(),
+        decls: reduce_decls(&p.decls, scope, needed_vars),
+        body: filter_stmts(&p.body, needed_vars, index, scope),
+        span: p.span,
+    }
+}
+
+/// Keep declarations of needed entities, dropping unneeded entities from
+/// grouped declarations.
+fn reduce_decls(
+    decls: &[Declaration],
+    scope: ScopeId,
+    needed_vars: &BTreeSet<(ScopeId, String)>,
+) -> Vec<Declaration> {
+    let mut out = Vec::new();
+    for d in decls {
+        let entities: Vec<EntityDecl> = d
+            .entities
+            .iter()
+            .filter(|e| needed_vars.contains(&(scope, e.name.clone())))
+            .cloned()
+            .collect();
+        if !entities.is_empty() {
+            out.push(Declaration {
+                type_spec: d.type_spec,
+                attrs: d.attrs.clone(),
+                entities,
+                span: d.span,
+            });
+        }
+    }
+    out
+}
+
+/// Trim `use` statements to imports that are still needed.
+fn reduce_uses(
+    uses: &[UseStmt],
+    index: &ProgramIndex,
+    needed_vars: &BTreeSet<(ScopeId, String)>,
+    needed_procs: &BTreeSet<String>,
+) -> Vec<UseStmt> {
+    let mut out = Vec::new();
+    for u in uses {
+        let Some(mscope) = index.module_scope(&u.module) else { continue };
+        match &u.only {
+            Some(names) => {
+                let kept: Vec<String> = names
+                    .iter()
+                    .filter(|n| {
+                        needed_vars.contains(&(mscope, (*n).clone())) || needed_procs.contains(*n)
+                    })
+                    .cloned()
+                    .collect();
+                if !kept.is_empty() {
+                    out.push(UseStmt { module: u.module.clone(), only: Some(kept) });
+                }
+            }
+            None => out.push(u.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::{analyze, parse_program, unparse};
+
+    const SRC: &str = r#"
+module helpers
+  real(kind=8), parameter :: factor = 2.0d0
+contains
+  subroutine scale(v, n)
+    real(kind=8), intent(inout) :: v(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      v(i) = v(i) * factor
+    end do
+  end subroutine scale
+  subroutine unrelated(w)
+    real(kind=8) :: w
+    w = w + 1.0d0
+  end subroutine unrelated
+end module helpers
+
+module hot
+  use helpers, only: scale, unrelated
+  integer :: nsteps = 3
+contains
+  subroutine drive(field, n)
+    real(kind=8), intent(inout) :: field(n)
+    integer, intent(in) :: n
+    real(kind=8) :: junk
+    integer :: s
+    junk = 0.0d0
+    do s = 1, nsteps
+      call scale(field, n)
+    end do
+    call unrelated(junk)
+  end subroutine drive
+end module hot
+"#;
+
+    fn setup() -> (Program, ProgramIndex) {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        (p, ix)
+    }
+
+    fn target(ix: &ProgramIndex, proc: &str, var: &str) -> FpVarId {
+        let scope = ix.scope_of_procedure(proc).unwrap();
+        ix.fp_var_id(scope, var).unwrap()
+    }
+
+    #[test]
+    fn reduced_program_contains_target_declaration_and_call_chain() {
+        let (p, ix) = setup();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "drive", "field")]);
+        // drive declares the target; the call passing it (scale) is kept.
+        let hot = reduced.module("hot").expect("hot module kept");
+        let drive = &hot.procedures[0];
+        assert_eq!(drive.name, "drive");
+        assert!(drive.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "field")));
+        // The do-loop shell around `call scale` survives.
+        let has_scale_call = drive.body.iter().any(|s| {
+            let mut found = false;
+            s.walk(&mut |st| {
+                if let Stmt::Call { name, .. } = st {
+                    if name == "scale" {
+                        found = true;
+                    }
+                }
+            });
+            found
+        });
+        assert!(has_scale_call);
+        // `scale` itself is included; `unrelated` is not.
+        let helpers = reduced.module("helpers").expect("helpers kept");
+        assert!(helpers.procedures.iter().any(|p| p.name == "scale"));
+        assert!(!helpers.procedures.iter().any(|p| p.name == "unrelated"));
+    }
+
+    #[test]
+    fn unrelated_statements_are_dropped() {
+        let (p, ix) = setup();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "drive", "field")]);
+        let drive = &reduced.module("hot").unwrap().procedures[0];
+        // The `junk = 0` assignment and `call unrelated(junk)` are gone.
+        let mut calls = vec![];
+        for s in &drive.body {
+            s.walk(&mut |st| {
+                if let Stmt::Call { name, .. } = st {
+                    calls.push(name.clone());
+                }
+            });
+        }
+        assert_eq!(calls, vec!["scale"]);
+        assert!(!drive.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "junk")));
+    }
+
+    #[test]
+    fn reduced_program_reparses_and_reanalyzes() {
+        let (p, ix) = setup();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "drive", "field")]);
+        let text = unparse(&reduced);
+        let reparsed = parse_program(&text).expect("reduced program parses");
+        analyze(&reparsed).expect("reduced program analyzes");
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let (p, ix) = setup();
+        let t = target(&ix, "drive", "field");
+        let once = reduce_program(&p, &ix, &[t]);
+        let ix2 = analyze(&once).unwrap();
+        // Find the same variable in the reduced index.
+        let scope = ix2.scope_of_procedure("drive").unwrap();
+        let t2 = ix2.fp_var_id(scope, "field").unwrap();
+        let twice = reduce_program(&once, &ix2, &[t2]);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn use_only_lists_are_trimmed() {
+        let (p, ix) = setup();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "drive", "field")]);
+        let hot = reduced.module("hot").unwrap();
+        let only = hot.uses[0].only.as_ref().unwrap();
+        assert_eq!(only, &["scale"]);
+    }
+
+    #[test]
+    fn loop_bound_symbols_are_pulled_in() {
+        let (p, ix) = setup();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "drive", "field")]);
+        // The do-loop `do s = 1, nsteps` survives, so `s` and the
+        // module-level `nsteps` must be declared.
+        let hot = reduced.module("hot").unwrap();
+        assert!(hot.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "nsteps")));
+        let drive = &hot.procedures[0];
+        assert!(drive.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "s")));
+    }
+
+    #[test]
+    fn callee_side_target_pulls_call_sites() {
+        let (p, ix) = setup();
+        // Target the *dummy* inside scale; call sites passing anything into
+        // it are rule-2 statements only when the caller-side actual is
+        // needed, but scale's own decls must appear.
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "scale", "v")]);
+        let helpers = reduced.module("helpers").unwrap();
+        let scale = helpers.procedures.iter().find(|p| p.name == "scale").unwrap();
+        assert!(scale.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "v")));
+    }
+}

@@ -1,0 +1,412 @@
+//! Expression type/kind inference under a precision assignment.
+//!
+//! Implements the Fortran promotion rules: an arithmetic operation with any
+//! double-precision operand is double; real beats integer; comparisons and
+//! logical operators yield logicals. Variable precisions come from the
+//! [`PrecisionMap`] rather than the declarations, so the same expression can
+//! be typed under any candidate variant without re-transforming the AST.
+
+use prose_fortran::ast::{Expr, FpPrecision, TypeSpec, UnOp};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{intrinsic, IntrinsicKind, ProgramIndex, ScopeId};
+
+/// What a name means in a given scope — resolves the Fortran `f(x)`
+/// ambiguity for consumers like the interpreter's lowering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameClass {
+    /// Declared scalar variable.
+    Scalar,
+    /// Declared array variable.
+    Array,
+    /// Visible user function.
+    Function,
+    /// Visible user subroutine.
+    Subroutine,
+    /// Intrinsic function or subroutine.
+    Intrinsic,
+    /// Not resolvable.
+    Unknown,
+}
+
+/// Classify `name` as seen from `scope`. Declared symbols shadow procedures,
+/// which shadow intrinsics — the same resolution order sema checks with.
+pub fn classify(index: &ProgramIndex, scope: ScopeId, name: &str) -> NameClass {
+    if let Some(sym) = index.lookup(scope, name) {
+        return if sym.is_array() { NameClass::Array } else { NameClass::Scalar };
+    }
+    if let Some(p) = index.procedure(name) {
+        return if p.is_function { NameClass::Function } else { NameClass::Subroutine };
+    }
+    if intrinsic(name).is_some() {
+        return NameClass::Intrinsic;
+    }
+    NameClass::Unknown
+}
+
+/// The effective precision of an FP variable under `map`: the assigned
+/// precision when the variable is in the inventory, else its declared type.
+pub fn var_precision(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    name: &str,
+    map: &PrecisionMap,
+) -> Option<FpPrecision> {
+    let sym = index.lookup(scope, name)?;
+    let declared = sym.ty.fp_precision()?;
+    // The symbol may live in another scope (module variable or import);
+    // look the id up in its home scope.
+    match index.fp_var_id(sym.scope, name) {
+        Some(id) => Some(map.get(id)),
+        None => Some(declared),
+    }
+}
+
+/// Infer the type of `e` as seen from `scope` under the precision
+/// assignment `map`. Returns `None` for expressions that do not type-check
+/// (sema has already rejected these for well-formed programs).
+pub fn expr_type(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    map: &PrecisionMap,
+    e: &Expr,
+) -> Option<TypeSpec> {
+    match e {
+        Expr::RealLit { precision, .. } => Some(TypeSpec::Real(*precision)),
+        Expr::IntLit(_) => Some(TypeSpec::Integer),
+        Expr::LogicalLit(_) => Some(TypeSpec::Logical),
+        Expr::StrLit(_) => Some(TypeSpec::Character),
+        Expr::Var(name) => {
+            let sym = index.lookup(scope, name)?;
+            match var_precision(index, scope, name, map) {
+                Some(p) => Some(TypeSpec::Real(p)),
+                None => Some(sym.ty),
+            }
+        }
+        Expr::NameRef { name, args } => match classify(index, scope, name) {
+            NameClass::Array | NameClass::Scalar => {
+                let sym = index.lookup(scope, name)?;
+                match var_precision(index, scope, name, map) {
+                    Some(p) => Some(TypeSpec::Real(p)),
+                    None => Some(sym.ty),
+                }
+            }
+            NameClass::Function => {
+                let p = index.procedure(name)?;
+                let ret = p.return_type?;
+                // The result variable's assigned precision wins.
+                if ret.is_fp() {
+                    let result = p.result.as_deref()?;
+                    if let Some(id) = index.fp_var_id(p.scope, result) {
+                        return Some(TypeSpec::Real(map.get(id)));
+                    }
+                }
+                Some(ret)
+            }
+            NameClass::Intrinsic => intrinsic_type(index, scope, map, name, args),
+            _ => None,
+        },
+        Expr::Bin { op, lhs, rhs } => {
+            if op.is_comparison() || op.is_logical() {
+                return Some(TypeSpec::Logical);
+            }
+            let lt = expr_type(index, scope, map, lhs)?;
+            let rt = expr_type(index, scope, map, rhs)?;
+            Some(promote(lt, rt))
+        }
+        Expr::Un { op, operand } => match op {
+            UnOp::Not => Some(TypeSpec::Logical),
+            UnOp::Neg | UnOp::Plus => expr_type(index, scope, map, operand),
+        },
+    }
+}
+
+/// Effective FP precision of an expression under the *kind-generic
+/// literal* semantics the interpreter (and promoted model builds) use:
+/// literals adapt to whatever they combine with, so only variables, array
+/// elements, function results, and explicit conversion intrinsics
+/// contribute precision. `None` means the expression is kind-generic
+/// (pure literal/integer) and matches any real kind for free.
+pub fn adapted_precision(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    map: &PrecisionMap,
+    e: &Expr,
+) -> Option<FpPrecision> {
+    use FpPrecision::*;
+    let fold = |a: Option<FpPrecision>, b: Option<FpPrecision>| match (a, b) {
+        (Some(Double), _) | (_, Some(Double)) => Some(Double),
+        (Some(Single), _) | (_, Some(Single)) => Some(Single),
+        _ => None,
+    };
+    match e {
+        Expr::RealLit { .. }
+        | Expr::IntLit(_)
+        | Expr::LogicalLit(_)
+        | Expr::StrLit(_) => None,
+        Expr::Var(name) => var_precision(index, scope, name, map),
+        Expr::NameRef { name, args } => match classify(index, scope, name) {
+            NameClass::Array | NameClass::Scalar => var_precision(index, scope, name, map),
+            NameClass::Function => {
+                let p = index.procedure(name)?;
+                let ret = p.return_type?;
+                if ret.is_fp() {
+                    let result = p.result.as_deref()?;
+                    if let Some(id) = index.fp_var_id(p.scope, result) {
+                        return Some(map.get(id));
+                    }
+                }
+                ret.fp_precision()
+            }
+            NameClass::Intrinsic => match name.as_str() {
+                "dble" => Some(Double),
+                "sngl" => Some(Single),
+                "real" => match args.get(1) {
+                    Some(Expr::IntLit(k)) => FpPrecision::from_kind(*k),
+                    _ => Some(Single),
+                },
+                "int" | "nint" | "floor" | "size" | "isnan" => None,
+                _ => args
+                    .iter()
+                    .map(|a| adapted_precision(index, scope, map, a))
+                    .fold(None, fold),
+            },
+            _ => None,
+        },
+        Expr::Bin { lhs, rhs, .. } => fold(
+            adapted_precision(index, scope, map, lhs),
+            adapted_precision(index, scope, map, rhs),
+        ),
+        Expr::Un { operand, .. } => adapted_precision(index, scope, map, operand),
+    }
+}
+
+/// Fortran numeric promotion: double > single > integer.
+pub fn promote(a: TypeSpec, b: TypeSpec) -> TypeSpec {
+    use FpPrecision::*;
+    match (a, b) {
+        (TypeSpec::Real(Double), _) | (_, TypeSpec::Real(Double)) => TypeSpec::Real(Double),
+        (TypeSpec::Real(Single), _) | (_, TypeSpec::Real(Single)) => TypeSpec::Real(Single),
+        (TypeSpec::Integer, TypeSpec::Integer) => TypeSpec::Integer,
+        // Non-numeric combinations do not arise in checked programs; return
+        // the left type to stay total.
+        _ => a,
+    }
+}
+
+fn intrinsic_type(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    map: &PrecisionMap,
+    name: &str,
+    args: &[Expr],
+) -> Option<TypeSpec> {
+    let arg0 = || expr_type(index, scope, map, args.first()?);
+    match name {
+        "int" | "nint" | "floor" | "size" => Some(TypeSpec::Integer),
+        "isnan" => Some(TypeSpec::Logical),
+        "dble" => Some(TypeSpec::Real(FpPrecision::Double)),
+        "sngl" => Some(TypeSpec::Real(FpPrecision::Single)),
+        "real" => {
+            // `real(x)` is single; `real(x, 8)` is double.
+            if let Some(Expr::IntLit(k)) = args.get(1) {
+                Some(TypeSpec::Real(FpPrecision::from_kind(*k)?))
+            } else {
+                Some(TypeSpec::Real(FpPrecision::Single))
+            }
+        }
+        "max" | "min" | "atan2" | "mod" | "sign" => {
+            let mut t = expr_type(index, scope, map, args.first()?)?;
+            for a in &args[1..] {
+                t = promote(t, expr_type(index, scope, map, a)?);
+            }
+            Some(t)
+        }
+        "abs" => arg0(),
+        "sum" | "maxval" | "minval" | "epsilon" | "huge" | "tiny" => arg0(),
+        // Transcendentals return their argument's real kind (integer
+        // arguments are not legal Fortran for these; treat as single).
+        "sqrt" | "exp" | "log" | "log10" | "sin" | "cos" | "tan" | "atan" | "tanh" => {
+            match arg0()? {
+                TypeSpec::Real(p) => Some(TypeSpec::Real(p)),
+                _ => Some(TypeSpec::Real(FpPrecision::Single)),
+            }
+        }
+        _ => {
+            // Subroutine intrinsics have no type.
+            match intrinsic(name)?.kind {
+                IntrinsicKind::Function => Some(TypeSpec::Real(FpPrecision::Double)),
+                IntrinsicKind::Subroutine => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::ast::BinOp;
+    use prose_fortran::{analyze, parse_program};
+
+    const SRC: &str = r#"
+module m
+  real(kind=8) :: gd
+  real(kind=4) :: gs
+contains
+  function f(x) result(r)
+    real(kind=8) :: x, r
+    r = x
+  end function f
+  subroutine host()
+    real(kind=8) :: d, arr(10)
+    real(kind=4) :: s
+    integer :: i
+    i = 1
+    d = 0.0d0
+    s = 0.0
+    arr(i) = d + dble(s)
+  end subroutine host
+end module m
+"#;
+
+    fn setup() -> (prose_fortran::Program, ProgramIndex) {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        (p, ix)
+    }
+
+    fn parse_expr_in_host(src: &str) -> Expr {
+        // Wrap in a tiny program so the existing parser handles it.
+        let text = format!("program t\n logical :: q\n q = {src} == 0\nend program t\n");
+        let p = parse_program(&text).unwrap();
+        match &p.main.unwrap().body[0] {
+            prose_fortran::ast::Stmt::Assign { value: Expr::Bin { lhs, .. }, .. } => {
+                (**lhs).clone()
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn classifies_names() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        assert_eq!(classify(&ix, host, "d"), NameClass::Scalar);
+        assert_eq!(classify(&ix, host, "arr"), NameClass::Array);
+        assert_eq!(classify(&ix, host, "f"), NameClass::Function);
+        assert_eq!(classify(&ix, host, "host"), NameClass::Subroutine);
+        assert_eq!(classify(&ix, host, "sqrt"), NameClass::Intrinsic);
+        assert_eq!(classify(&ix, host, "zzz"), NameClass::Unknown);
+        // Module-level variables visible from the procedure.
+        assert_eq!(classify(&ix, host, "gd"), NameClass::Scalar);
+    }
+
+    #[test]
+    fn variable_precision_follows_the_map() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        assert_eq!(
+            var_precision(&ix, host, "d", &map),
+            Some(FpPrecision::Double)
+        );
+        let d_id = ix.fp_var_id(host, "d").unwrap();
+        map.set(d_id, FpPrecision::Single);
+        assert_eq!(
+            var_precision(&ix, host, "d", &map),
+            Some(FpPrecision::Single)
+        );
+    }
+
+    #[test]
+    fn promotion_rules() {
+        use TypeSpec::*;
+        assert_eq!(
+            promote(Real(FpPrecision::Single), Real(FpPrecision::Double)),
+            Real(FpPrecision::Double)
+        );
+        assert_eq!(promote(Integer, Real(FpPrecision::Single)), Real(FpPrecision::Single));
+        assert_eq!(promote(Integer, Integer), Integer);
+    }
+
+    #[test]
+    fn binary_expression_promotes_through_map() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let e = parse_expr_in_host("d + s");
+        // Undeclared in the dummy program but typed against host's scope.
+        assert_eq!(
+            expr_type(&ix, host, &map, &e),
+            Some(TypeSpec::Real(FpPrecision::Double))
+        );
+        // Lower d: now the sum is single + single.
+        let mut m2 = map.clone();
+        m2.set(ix.fp_var_id(host, "d").unwrap(), FpPrecision::Single);
+        assert_eq!(
+            expr_type(&ix, host, &m2, &e),
+            Some(TypeSpec::Real(FpPrecision::Single))
+        );
+    }
+
+    #[test]
+    fn comparisons_are_logical() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let e = Expr::bin(BinOp::Lt, Expr::Var("d".into()), Expr::Var("s".into()));
+        assert_eq!(expr_type(&ix, host, &map, &e), Some(TypeSpec::Logical));
+    }
+
+    #[test]
+    fn function_result_type_follows_map() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let e = parse_expr_in_host("f(d)");
+        assert_eq!(
+            expr_type(&ix, host, &map, &e),
+            Some(TypeSpec::Real(FpPrecision::Double))
+        );
+        let f_scope = ix.scope_of_procedure("f").unwrap();
+        let mut m2 = map.clone();
+        m2.set(ix.fp_var_id(f_scope, "r").unwrap(), FpPrecision::Single);
+        assert_eq!(
+            expr_type(&ix, host, &m2, &e),
+            Some(TypeSpec::Real(FpPrecision::Single))
+        );
+    }
+
+    #[test]
+    fn intrinsic_types() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let map = PrecisionMap::declared(&ix);
+        for (src, expected) in [
+            ("dble(s)", TypeSpec::Real(FpPrecision::Double)),
+            ("sngl(d)", TypeSpec::Real(FpPrecision::Single)),
+            ("int(d)", TypeSpec::Integer),
+            ("size(arr)", TypeSpec::Integer),
+            ("sqrt(d)", TypeSpec::Real(FpPrecision::Double)),
+            ("sqrt(s)", TypeSpec::Real(FpPrecision::Single)),
+            ("max(d, s)", TypeSpec::Real(FpPrecision::Double)),
+            ("real(d, 8)", TypeSpec::Real(FpPrecision::Double)),
+            ("real(d)", TypeSpec::Real(FpPrecision::Single)),
+            ("epsilon(s)", TypeSpec::Real(FpPrecision::Single)),
+        ] {
+            let e = parse_expr_in_host(src);
+            assert_eq!(expr_type(&ix, host, &map, &e), Some(expected), "for {src}");
+        }
+    }
+
+    #[test]
+    fn array_element_type_follows_map() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let e = parse_expr_in_host("arr(i)");
+        assert_eq!(
+            expr_type(&ix, host, &map, &e),
+            Some(TypeSpec::Real(FpPrecision::Double))
+        );
+    }
+}

@@ -1,0 +1,633 @@
+//! Loop vectorization legality — the static half of the compiler model.
+//!
+//! Section II-A of the paper lists the requirements for reduced precision to
+//! pay off: compiler auto-vectorization needs regular access patterns, no
+//! loop-carried dependences, and like-precision operands. This module
+//! decides the *precision-independent* part: whether a counted `do` loop
+//! could vectorize at all. The precision-uniformity condition is dynamic
+//! (it depends on the variant) and is tracked by the interpreter's cost
+//! model while the loop runs.
+//!
+//! The model deliberately mirrors what `gfortran -O3 -fopt-info-vec` accepts
+//! on the mini-models:
+//!
+//! * counted innermost loops only (`do while` never vectorizes — the
+//!   trip count is not known in advance);
+//! * no `exit` / `cycle` / `return` / `stop` / I/O / allocation in the body;
+//! * calls only to inlinable candidates (final say is dynamic: a wrapper on
+//!   the call makes it non-inlinable);
+//! * stores must be affine in the loop variable (`a(i+c)`), and no two
+//!   accesses to a stored array may differ in their affine offset
+//!   (`x(i) = x(i-1) + …` — the ADCIRC `pjac` recurrence — is rejected);
+//! * scalars assigned in the body must be reductions (`s = s + …`,
+//!   `s = max(s, …)`) or privatizable (written before read).
+
+use prose_fortran::ast::{BinOp, Expr, LValue, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Why a loop cannot vectorize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectBlocker {
+    /// Contains a nested loop (only innermost loops vectorize).
+    InnerLoop,
+    /// `exit`/`cycle`/`return`/`stop`/`print`/allocation in the body.
+    ControlFlow,
+    /// A store whose subscript is not affine in the loop variable.
+    IrregularStore,
+    /// Two accesses to a stored array differ in affine offset.
+    LoopCarriedDependence,
+    /// A scalar assigned in the body is neither a reduction nor
+    /// privatizable.
+    ScalarDependence,
+}
+
+impl VectBlocker {
+    pub fn describe(self) -> &'static str {
+        match self {
+            VectBlocker::InnerLoop => "contains an inner loop",
+            VectBlocker::ControlFlow => "irregular control flow in body",
+            VectBlocker::IrregularStore => "non-affine store subscript",
+            VectBlocker::LoopCarriedDependence => "loop-carried dependence",
+            VectBlocker::ScalarDependence => "non-reduction scalar assignment",
+        }
+    }
+}
+
+/// Result of analyzing one counted loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopAnalysis {
+    /// Statically legal to vectorize (calls and precision mixing are decided
+    /// dynamically on top of this).
+    pub vectorizable: bool,
+    /// First blocker found when not vectorizable.
+    pub blocker: Option<VectBlocker>,
+    /// Names of user procedures called in the body. The loop only actually
+    /// vectorizes if every one of these is inlined (dynamic decision).
+    pub calls: Vec<String>,
+    /// True when the body contains nested loops (outer loops run scalar but
+    /// are not penalized further).
+    pub has_inner_loop: bool,
+}
+
+impl LoopAnalysis {
+    fn blocked(blocker: VectBlocker, calls: Vec<String>, has_inner_loop: bool) -> Self {
+        LoopAnalysis { vectorizable: false, blocker: Some(blocker), calls, has_inner_loop }
+    }
+}
+
+/// Subscript shape relative to the loop variable.
+#[derive(Debug, Clone, PartialEq)]
+enum Offset {
+    /// `i + c`.
+    Affine(i64),
+    /// Does not reference the loop variable (kept for equality comparison).
+    NoI(Expr),
+    /// References the loop variable in a non-affine way.
+    Unknown,
+}
+
+/// Classifier the caller provides: is this (lowercase) name an array
+/// variable in the loop's scope?
+pub type IsArray<'a> = &'a dyn Fn(&str) -> bool;
+
+/// Classifier: is this name a user procedure (function or subroutine)?
+pub type IsProc<'a> = &'a dyn Fn(&str) -> bool;
+
+/// Analyze a counted-`do` body for vectorization legality.
+///
+/// `var` is the loop variable; `is_array` and `is_proc` resolve names in the
+/// enclosing scope (the interpreter passes closures over its symbol table).
+pub fn analyze_counted_loop(
+    var: &str,
+    body: &[Stmt],
+    is_array: IsArray,
+    is_proc: IsProc,
+) -> LoopAnalysis {
+    let mut calls = Vec::new();
+    let mut has_inner_loop = false;
+    let mut blocker: Option<VectBlocker> = None;
+
+    // Pass 1: structural scan.
+    for s in body {
+        s.walk(&mut |stmt| match stmt {
+            Stmt::Do { .. } | Stmt::DoWhile { .. } => has_inner_loop = true,
+            Stmt::Exit { .. }
+            | Stmt::Cycle { .. }
+            | Stmt::Return { .. }
+            | Stmt::Stop { .. }
+            | Stmt::Print { .. }
+            | Stmt::Allocate { .. }
+            | Stmt::Deallocate { .. } => {
+                blocker.get_or_insert(VectBlocker::ControlFlow);
+            }
+            Stmt::Call { name, .. }
+                if is_proc(name) => {
+                    calls.push(name.clone());
+                }
+            _ => {}
+        });
+        // Function references also count as calls.
+        s.walk(&mut |stmt| {
+            stmt.for_each_expr(&mut |e| {
+                e.walk(&mut |node| {
+                    if let Expr::NameRef { name, .. } = node {
+                        if !is_array(name) && is_proc(name) {
+                            calls.push(name.clone());
+                        }
+                    }
+                });
+            });
+        });
+    }
+    if has_inner_loop {
+        return LoopAnalysis::blocked(VectBlocker::InnerLoop, calls, true);
+    }
+    if let Some(b) = blocker {
+        return LoopAnalysis::blocked(b, calls, false);
+    }
+
+    // Pass 2: dependence analysis over array stores and scalar assignments.
+    let mut stored_arrays: Vec<(String, Vec<Vec<Offset>>)> = Vec::new(); // name → list of store subscript shapes
+    let mut scalar_writes: Vec<String> = Vec::new();
+
+    let mut flat = Vec::new();
+    for s in body {
+        flatten(s, &mut flat);
+    }
+
+    for stmt in &flat {
+        if let Stmt::Assign { target, .. } = stmt {
+            match target {
+                LValue::Index { name, indices } => {
+                    let shape: Vec<Offset> =
+                        indices.iter().map(|ix| offset_of(ix, var)).collect();
+                    if shape.iter().any(|o| matches!(o, Offset::Unknown)) {
+                        return LoopAnalysis::blocked(
+                            VectBlocker::IrregularStore,
+                            calls,
+                            false,
+                        );
+                    }
+                    if !shape.iter().any(|o| matches!(o, Offset::Affine(_))) {
+                        // Store not indexed by the loop variable at all:
+                        // every iteration hits the same / an unrelated
+                        // element — a scatter the model does not vectorize.
+                        return LoopAnalysis::blocked(
+                            VectBlocker::IrregularStore,
+                            calls,
+                            false,
+                        );
+                    }
+                    match stored_arrays.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, shapes)) => shapes.push(shape),
+                        None => stored_arrays.push((name.clone(), vec![shape])),
+                    }
+                }
+                LValue::Var(name) => {
+                    if is_array(name) {
+                        // Whole-array broadcast: affine offset 0 by definition.
+                        match stored_arrays.iter_mut().find(|(n, _)| n == name) {
+                            Some((_, shapes)) => shapes.push(vec![Offset::Affine(0)]),
+                            None => {
+                                stored_arrays.push((name.clone(), vec![vec![Offset::Affine(0)]]))
+                            }
+                        }
+                    } else {
+                        scalar_writes.push(name.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect every read access of stored arrays.
+    for (name, shapes) in &stored_arrays {
+        let mut conflict = false;
+        for stmt in &flat {
+            // Reads in the statement's expressions.
+            let mut visit_read = |e: &Expr| {
+                e.walk(&mut |node| {
+                    if let Expr::NameRef { name: n, args } = node {
+                        if n == name && is_array(n) {
+                            let read_shape: Vec<Offset> =
+                                args.iter().map(|ix| offset_of(ix, var)).collect();
+                            for w in shapes {
+                                if shapes_conflict(w, &read_shape) {
+                                    conflict = true;
+                                }
+                            }
+                        }
+                    }
+                });
+            };
+            stmt.for_each_expr(&mut visit_read);
+            // Subscripts of *other* stores also read nothing of this array
+            // directly; store subscripts were covered by for_each_expr on
+            // Assign targets already (index expressions).
+        }
+        // Store-store conflicts (two different offsets written).
+        for (a, b) in pairs(shapes) {
+            if shapes_conflict(a, b) {
+                conflict = true;
+            }
+        }
+        if conflict {
+            return LoopAnalysis::blocked(VectBlocker::LoopCarriedDependence, calls, false);
+        }
+    }
+
+    // Scalar writes: must be reductions or privatizable.
+    for name in &scalar_writes {
+        if name == var {
+            return LoopAnalysis::blocked(VectBlocker::ScalarDependence, calls, false);
+        }
+        if !scalar_ok(name, &flat) {
+            return LoopAnalysis::blocked(VectBlocker::ScalarDependence, calls, false);
+        }
+    }
+
+    LoopAnalysis { vectorizable: true, blocker: None, calls, has_inner_loop: false }
+}
+
+/// Flatten the body including `if` arms (if-conversion: branches are treated
+/// as straight-line masked code).
+fn flatten<'a>(s: &'a Stmt, out: &mut Vec<&'a Stmt>) {
+    out.push(s);
+    if let Stmt::If { arms, else_body, .. } = s {
+        for (_, b) in arms {
+            for inner in b {
+                flatten(inner, out);
+            }
+        }
+        if let Some(b) = else_body {
+            for inner in b {
+                flatten(inner, out);
+            }
+        }
+    }
+}
+
+fn pairs<T>(v: &[T]) -> impl Iterator<Item = (&T, &T)> {
+    v.iter()
+        .enumerate()
+        .flat_map(move |(i, a)| v[i + 1..].iter().map(move |b| (a, b)))
+}
+
+/// Compute the shape of one subscript expression relative to loop var `i`.
+fn offset_of(e: &Expr, var: &str) -> Offset {
+    if !mentions(e, var) {
+        return Offset::NoI(e.clone());
+    }
+    match e {
+        Expr::Var(n) if n == var => Offset::Affine(0),
+        Expr::Bin { op: BinOp::Add, lhs, rhs } => match (&**lhs, &**rhs) {
+            (Expr::Var(n), Expr::IntLit(c)) if n == var => Offset::Affine(*c),
+            (Expr::IntLit(c), Expr::Var(n)) if n == var => Offset::Affine(*c),
+            _ => Offset::Unknown,
+        },
+        Expr::Bin { op: BinOp::Sub, lhs, rhs } => match (&**lhs, &**rhs) {
+            (Expr::Var(n), Expr::IntLit(c)) if n == var => Offset::Affine(-c),
+            _ => Offset::Unknown,
+        },
+        _ => Offset::Unknown,
+    }
+}
+
+fn mentions(e: &Expr, var: &str) -> bool {
+    let mut found = false;
+    e.walk(&mut |node| {
+        if let Expr::Var(n) = node {
+            if n == var {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Two access shapes conflict when they can hit the same array but at
+/// different iterations: some dimension has distinct affine offsets, or a
+/// dimension's shape cannot be proven equal.
+fn shapes_conflict(a: &[Offset], b: &[Offset]) -> bool {
+    if a.len() != b.len() {
+        return true; // rank confusion: be conservative
+    }
+    let mut all_equal = true;
+    for (x, y) in a.iter().zip(b) {
+        match (x, y) {
+            (Offset::Affine(c1), Offset::Affine(c2)) => {
+                if c1 != c2 {
+                    return true; // e.g. write a(i), read a(i-1)
+                }
+            }
+            (Offset::NoI(e1), Offset::NoI(e2)) => {
+                if e1 != e2 {
+                    return true; // cannot prove distinct → dependence
+                }
+            }
+            (Offset::Unknown, _) | (_, Offset::Unknown) => return true,
+            _ => {
+                all_equal = false;
+            }
+        }
+    }
+    // Mixed Affine/NoI dims with everything else equal: e.g. write a(i,k),
+    // read a(k,i) — conservative.
+    !all_equal
+}
+
+/// A scalar assigned inside the body is acceptable if every assignment is a
+/// reduction over itself, or if it is written before any read (privatizable).
+fn scalar_ok(name: &str, flat: &[&Stmt]) -> bool {
+    // Reduction check: every assignment to `name` has the form
+    // `name = name ⊕ expr` / `name = max(name, expr)` with exactly one
+    // self-reference, and `name` is read nowhere outside its own updates.
+    let mut all_reductions = true;
+    for stmt in flat {
+        if let Stmt::Assign { target, value, .. } = stmt {
+            if target.name() == name && matches!(target, LValue::Var(_)) {
+                if !is_reduction_rhs(name, value) {
+                    all_reductions = false;
+                }
+            } else {
+                // A read of `name` in any other statement breaks the pure
+                // reduction pattern.
+                let mut read_elsewhere = false;
+                stmt.for_each_expr(&mut |e| {
+                    e.walk(&mut |node| {
+                        if let Expr::Var(n) = node {
+                            if n == name {
+                                read_elsewhere = true;
+                            }
+                        }
+                    });
+                });
+                if read_elsewhere {
+                    all_reductions = false;
+                }
+            }
+        } else {
+            let mut read_elsewhere = false;
+            stmt.for_each_expr(&mut |e| {
+                e.walk(&mut |node| {
+                    if let Expr::Var(n) = node {
+                        if n == name {
+                            read_elsewhere = true;
+                        }
+                    }
+                });
+            });
+            if read_elsewhere {
+                all_reductions = false;
+            }
+        }
+    }
+    if all_reductions {
+        return true;
+    }
+
+    // Privatizable check: the first statement referencing the scalar writes
+    // it (so each iteration sees its own fresh value).
+    for stmt in flat {
+        let mut referenced = false;
+        let mut written_first = false;
+        if let Stmt::Assign { target, value, .. } = stmt {
+            if target.name() == name && matches!(target, LValue::Var(_)) {
+                // Written — but a self-read on the RHS would be stale.
+                let mut self_read = false;
+                value.walk(&mut |node| {
+                    if let Expr::Var(n) = node {
+                        if n == name {
+                            self_read = true;
+                        }
+                    }
+                });
+                referenced = true;
+                written_first = !self_read;
+            }
+        }
+        if !referenced {
+            stmt.for_each_expr(&mut |e| {
+                e.walk(&mut |node| {
+                    if let Expr::Var(n) = node {
+                        if n == name {
+                            referenced = true;
+                        }
+                    }
+                });
+            });
+        }
+        if referenced {
+            return written_first;
+        }
+    }
+    true
+}
+
+/// `rhs` has the reduction shape for `name`: `name ⊕ expr`, `expr ⊕ name`,
+/// or `max/min(name, expr)`, with exactly one self-reference overall.
+fn is_reduction_rhs(name: &str, rhs: &Expr) -> bool {
+    let mut self_refs = 0usize;
+    rhs.walk(&mut |node| {
+        if let Expr::Var(n) = node {
+            if n == name {
+                self_refs += 1;
+            }
+        }
+    });
+    if self_refs != 1 {
+        return false;
+    }
+    match rhs {
+        Expr::Bin { op, lhs, rhs: r } => {
+            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul)
+                && (matches!(&**lhs, Expr::Var(n) if n == name)
+                    || matches!(&**r, Expr::Var(n) if n == name))
+        }
+        Expr::NameRef { name: f, args } => {
+            (f == "max" || f == "min")
+                && args.iter().any(|a| matches!(a, Expr::Var(n) if n == name))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::parse_program;
+
+    /// Extract the first (outermost) do-loop of the named procedure.
+    fn first_loop(src: &str) -> (String, Vec<Stmt>, Vec<String>) {
+        let p = parse_program(src).unwrap();
+        let proc = &p.modules[0].procedures[0];
+        let arrays: Vec<String> = proc
+            .decls
+            .iter()
+            .flat_map(|d| {
+                d.entities
+                    .iter()
+                    .filter(|e| d.dims_for(e).is_some())
+                    .map(|e| e.name.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for s in &proc.body {
+            if let Stmt::Do { var, body, .. } = s {
+                return (var.clone(), body.clone(), arrays);
+            }
+        }
+        panic!("no loop found");
+    }
+
+    fn analyze(src: &str) -> LoopAnalysis {
+        let (var, body, arrays) = first_loop(src);
+        analyze_counted_loop(
+            &var,
+            &body,
+            &|n| arrays.iter().any(|a| a == n),
+            &|n| n == "userfn" || n == "usersub",
+        )
+    }
+
+    fn module(body: &str, decls: &str) -> String {
+        format!(
+            "module m\ncontains\nsubroutine k(n)\ninteger :: n, i, j\n{decls}\ndo i = 1, n\n{body}\nend do\nend subroutine k\nend module m\n"
+        )
+    }
+
+    #[test]
+    fn simple_stencil_vectorizes() {
+        let src = module(
+            "t(i) = 0.5d0 * (u(i+1) - u(i-1)) + c",
+            "real(kind=8) :: u(n), t(n), c",
+        );
+        let a = analyze(&src);
+        assert!(a.vectorizable, "{:?}", a.blocker);
+        assert!(a.calls.is_empty());
+    }
+
+    #[test]
+    fn recurrence_is_rejected() {
+        // The ADCIRC pjac pattern: x(i) depends on x(i-1).
+        let src = module("x(i) = x(i-1) * 0.9d0 + b(i)", "real(kind=8) :: x(n), b(n)");
+        let a = analyze(&src);
+        assert!(!a.vectorizable);
+        assert_eq!(a.blocker, Some(VectBlocker::LoopCarriedDependence));
+    }
+
+    #[test]
+    fn forward_dependence_is_rejected() {
+        let src = module("x(i) = x(i+1) * 0.9d0", "real(kind=8) :: x(n)");
+        assert_eq!(analyze(&src).blocker, Some(VectBlocker::LoopCarriedDependence));
+    }
+
+    #[test]
+    fn same_offset_read_write_is_fine() {
+        let src = module("x(i) = x(i) * 0.9d0 + 1.0d0", "real(kind=8) :: x(n)");
+        assert!(analyze(&src).vectorizable);
+    }
+
+    #[test]
+    fn reduction_is_accepted() {
+        let src = module("s = s + u(i) * u(i)", "real(kind=8) :: u(n), s");
+        let a = analyze(&src);
+        assert!(a.vectorizable, "{:?}", a.blocker);
+    }
+
+    #[test]
+    fn max_reduction_is_accepted() {
+        let src = module("s = max(s, abs(u(i)))", "real(kind=8) :: u(n), s");
+        assert!(analyze(&src).vectorizable);
+    }
+
+    #[test]
+    fn privatizable_scalar_is_accepted() {
+        let src = module(
+            "tmp = u(i) * 2.0d0\nt(i) = tmp + tmp * tmp",
+            "real(kind=8) :: u(n), t(n), tmp",
+        );
+        let a = analyze(&src);
+        assert!(a.vectorizable, "{:?}", a.blocker);
+    }
+
+    #[test]
+    fn non_reduction_scalar_carried_across_iterations_is_rejected() {
+        // `prev` is read before being written: classic linear recurrence.
+        let src = module(
+            "t(i) = prev + u(i)\nprev = u(i)",
+            "real(kind=8) :: u(n), t(n), prev",
+        );
+        let a = analyze(&src);
+        assert!(!a.vectorizable);
+        assert_eq!(a.blocker, Some(VectBlocker::ScalarDependence));
+    }
+
+    #[test]
+    fn inner_loop_blocks_vectorization() {
+        let src = module(
+            "do j = 1, n\nt(j) = u(j)\nend do",
+            "real(kind=8) :: u(n), t(n)",
+        );
+        let a = analyze(&src);
+        assert!(!a.vectorizable);
+        assert!(a.has_inner_loop);
+        assert_eq!(a.blocker, Some(VectBlocker::InnerLoop));
+    }
+
+    #[test]
+    fn exit_blocks_vectorization() {
+        let src = module(
+            "if (u(i) > 1.0d0) then\nexit\nend if\nt(i) = u(i)",
+            "real(kind=8) :: u(n), t(n)",
+        );
+        assert_eq!(analyze(&src).blocker, Some(VectBlocker::ControlFlow));
+    }
+
+    #[test]
+    fn if_conversion_allows_simple_branches() {
+        let src = module(
+            "if (u(i) > 0.0d0) then\nt(i) = u(i)\nelse\nt(i) = -u(i)\nend if",
+            "real(kind=8) :: u(n), t(n)",
+        );
+        let a = analyze(&src);
+        assert!(a.vectorizable, "{:?}", a.blocker);
+    }
+
+    #[test]
+    fn scatter_store_is_rejected() {
+        let src = module("t(j) = u(i)", "real(kind=8) :: u(n), t(n)");
+        assert_eq!(analyze(&src).blocker, Some(VectBlocker::IrregularStore));
+    }
+
+    #[test]
+    fn indirect_subscript_is_rejected() {
+        let src = module(
+            "t(idx(i)) = u(i)",
+            "real(kind=8) :: u(n), t(n)\ninteger :: idx(n)",
+        );
+        assert_eq!(analyze(&src).blocker, Some(VectBlocker::IrregularStore));
+    }
+
+    #[test]
+    fn calls_are_collected_but_do_not_block_statically() {
+        let src = module("t(i) = userfn(u(i))", "real(kind=8) :: u(n), t(n)");
+        let a = analyze(&src);
+        assert!(a.vectorizable);
+        assert_eq!(a.calls, vec!["userfn"]);
+    }
+
+    #[test]
+    fn multidim_same_row_is_fine_but_shifted_row_is_not() {
+        let ok = module("t(i, j) = u(i, j) * 2.0d0", "real(kind=8) :: u(n,n), t(n,n)");
+        assert!(analyze(&ok).vectorizable);
+        let bad = module("t(i, j) = t(i-1, j) * 2.0d0", "real(kind=8) :: t(n,n)");
+        assert_eq!(analyze(&bad).blocker, Some(VectBlocker::LoopCarriedDependence));
+    }
+
+    #[test]
+    fn writing_loop_variable_is_rejected() {
+        let src = module("i = i + 1", "real(kind=8) :: u(n)");
+        assert_eq!(analyze(&src).blocker, Some(VectBlocker::ScalarDependence));
+    }
+}

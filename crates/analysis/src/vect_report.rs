@@ -1,0 +1,273 @@
+//! Static vectorization report — the paper's second Section-V
+//! recommendation: "filter out variants that have less vectorization than
+//! the baseline prior to execution by inspecting compiler vectorization
+//! reports or generated assembly".
+//!
+//! For a candidate precision assignment, this predicts which
+//! statically-vectorizable loops would *lose* vectorization: loops that
+//! acquire a converting store (mixed-width store stream) or a call that
+//! needs a conversion wrapper (wrappers are not inline candidates). The
+//! ablation bench uses `lost > 0` as a pre-filter, mirroring a
+//! `-fopt-info-vec-missed` diff against the baseline build.
+
+use crate::typing::{adapted_precision, var_precision};
+use crate::vect::analyze_counted_loop;
+use prose_fortran::ast::{Expr, LValue, Program, Stmt};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{ProgramIndex, ScopeId, ScopeKind};
+
+/// Vectorization summary for one precision assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectReport {
+    /// Counted loops that are statically legal to vectorize at baseline.
+    pub vectorizable: usize,
+    /// Of those, loops predicted to lose vectorization under the candidate
+    /// assignment.
+    pub lost: usize,
+}
+
+/// Predict the variant's vectorization report over the whole program.
+pub fn vect_report(program: &Program, index: &ProgramIndex, map: &PrecisionMap) -> VectReport {
+    vect_report_scoped(program, index, map, None)
+}
+
+/// Like [`vect_report`], restricted to loops inside the given procedure
+/// scopes (hotspot-scoped searches only care about vectorization inside
+/// the timed region).
+pub fn vect_report_scoped(
+    program: &Program,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    scopes: Option<&[ScopeId]>,
+) -> VectReport {
+    let mut report = VectReport { vectorizable: 0, lost: 0 };
+    for (_, proc) in program.all_procedures() {
+        if let Some(scope) = index.scope_of_procedure(&proc.name) {
+            if scopes.map(|ss| ss.contains(&scope)).unwrap_or(true) {
+                scan_body(&proc.body, scope, index, map, &mut report);
+            }
+        }
+    }
+    if scopes.is_none() {
+        if let Some(mp) = &program.main {
+            let scope = (0..index.scope_count())
+                .map(ScopeId)
+                .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
+                .expect("main scope");
+            scan_body(&mp.body, scope, index, map, &mut report);
+        }
+    }
+    report
+}
+
+fn scan_body(
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    report: &mut VectReport,
+) {
+    for s in body {
+        match s {
+            Stmt::Do { var, body: lb, .. } => {
+                let la = analyze_counted_loop(
+                    var,
+                    lb,
+                    &|n| index.lookup(scope, n).map(|s| s.is_array()).unwrap_or(false),
+                    &|n| index.lookup(scope, n).is_none() && index.procedure(n).is_some(),
+                );
+                if la.vectorizable {
+                    report.vectorizable += 1;
+                    if loop_loses_vectorization(lb, scope, index, map) {
+                        report.lost += 1;
+                    }
+                } else {
+                    // Inner loops of a non-vectorizable loop may still be
+                    // innermost-vectorizable: recurse.
+                    scan_body(lb, scope, index, map, report);
+                }
+            }
+            Stmt::DoWhile { body: lb, .. } => scan_body(lb, scope, index, map, report),
+            Stmt::If { arms, else_body, .. } => {
+                for (_, b) in arms {
+                    scan_body(b, scope, index, map, report);
+                }
+                if let Some(b) = else_body {
+                    scan_body(b, scope, index, map, report);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A statically-legal loop loses vectorization under `map` when its body
+/// acquires a converting store or a wrapped (conversion-needing) call.
+fn loop_loses_vectorization(
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) -> bool {
+    let mut lost = false;
+    for s in body {
+        s.walk(&mut |stmt| {
+            if lost {
+                return;
+            }
+            match stmt {
+                Stmt::Assign { target: LValue::Index { name, .. }, value, .. } => {
+                    // Kind-generic right-hand sides (pure literals) store
+                    // without conversion; variable-derived values convert
+                    // when their adapted precision differs from the target.
+                    if let (Some(tprec), Some(vprec)) = (
+                        var_precision(index, scope, name, map),
+                        adapted_precision(index, scope, map, value),
+                    ) {
+                        if tprec != vprec {
+                            lost = true;
+                        }
+                    }
+                }
+                Stmt::Call { name, args, .. }
+                    if call_needs_wrapper(name, args, scope, index, map) => {
+                        lost = true;
+                    }
+                _ => {}
+            }
+            stmt.for_each_expr(&mut |e| {
+                e.walk(&mut |node| {
+                    if lost {
+                        return;
+                    }
+                    if let Expr::NameRef { name, args } = node {
+                        let is_function = index.lookup(scope, name).is_none()
+                            && index.procedure(name).is_some_and(|p| p.is_function);
+                        if is_function && call_needs_wrapper(name, args, scope, index, map) {
+                            lost = true;
+                        }
+                    }
+                });
+            });
+        });
+        if lost {
+            return true;
+        }
+    }
+    false
+}
+
+fn call_needs_wrapper(
+    callee: &str,
+    args: &[Expr],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) -> bool {
+    let Some(pinfo) = index.procedure(callee) else {
+        return false;
+    };
+    for (i, param) in pinfo.params.iter().enumerate() {
+        let Some(dummy) = index.lookup(pinfo.scope, param) else {
+            continue;
+        };
+        let Some(_declared) = dummy.ty.fp_precision() else {
+            continue;
+        };
+        let callee_prec = match index.fp_var_id(pinfo.scope, param) {
+            Some(id) => map.get(id),
+            None => dummy.ty.fp_precision().unwrap(),
+        };
+        if let Some(caller_prec) =
+            args.get(i).and_then(|a| adapted_precision(index, scope, map, a))
+        {
+            if caller_prec != callee_prec {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::ast::FpPrecision;
+    use prose_fortran::{analyze, parse_program};
+
+    const SRC: &str = r#"
+module m
+contains
+  function flux(q) result(f)
+    real(kind=8) :: q, f
+    f = q * 0.5d0
+  end function flux
+  subroutine kern(u, t, n)
+    real(kind=8), intent(in) :: u(n)
+    real(kind=8), intent(out) :: t(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      t(i) = flux(u(i))
+    end do
+    do i = 2, n
+      t(i) = t(i) + t(i-1)
+    end do
+  end subroutine kern
+end module m
+program main
+  use m, only: kern
+  real(kind=8) :: a(8), b(8)
+  integer :: k
+  do k = 1, 8
+    a(k) = 1.0d0
+  end do
+  call kern(a, b, 8)
+end program main
+"#;
+
+    #[test]
+    fn baseline_assignment_loses_nothing() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let r = vect_report(&p, &ix, &PrecisionMap::declared(&ix));
+        // Vectorizable: kern loop 1 and main's init loop (the recurrence
+        // loop is not statically vectorizable).
+        assert_eq!(r.vectorizable, 2);
+        assert_eq!(r.lost, 0);
+    }
+
+    #[test]
+    fn wrapped_call_in_loop_is_predicted_lost() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        let flux = ix.scope_of_procedure("flux").unwrap();
+        map.set(ix.fp_var_id(flux, "q").unwrap(), FpPrecision::Single);
+        let r = vect_report(&p, &ix, &map);
+        assert_eq!(r.lost, 1);
+    }
+
+    #[test]
+    fn converting_store_is_predicted_lost() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        let kern = ix.scope_of_procedure("kern").unwrap();
+        // Lower only the output array: stores convert f64 values into f32.
+        map.set(ix.fp_var_id(kern, "t").unwrap(), FpPrecision::Single);
+        // flux's result stays f64 while t is f32: converting store.
+        let r = vect_report(&p, &ix, &map);
+        assert!(r.lost >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn uniform_lowering_loses_nothing() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let atoms = ix.atoms();
+        let map = PrecisionMap::uniform(&ix, &atoms, FpPrecision::Single);
+        let r = vect_report(&p, &ix, &map);
+        assert_eq!(r.lost, 0, "{r:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the pipeline's components: front end,
+//! analyses, transformation, interpretation, and search. These track the
+//! tool's own performance (the paper's scalability concerns live or die on
+//! the cost of one variant evaluation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prose_fortran::{analyze, parse_program, unparse, PrecisionMap};
+use prose_models::{ModelSize, ModelSize::Small};
+use prose_search::dd::{DdParams, DeltaDebug};
+use prose_search::{Config, Evaluator, Outcome, Status};
+use std::hint::black_box;
+
+fn model_source(_: ModelSize) -> String {
+    prose_models::mpas::mpas_a(Small).source
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = model_source(Small);
+    c.bench_function("parse mini-MPAS source", |b| {
+        b.iter(|| parse_program(black_box(&src)).unwrap())
+    });
+    let program = parse_program(&src).unwrap();
+    c.bench_function("analyze mini-MPAS AST", |b| {
+        b.iter(|| analyze(black_box(&program)).unwrap())
+    });
+    c.bench_function("unparse + reparse round trip", |b| {
+        b.iter(|| {
+            let text = unparse(black_box(&program));
+            parse_program(&text).unwrap()
+        })
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let src = model_source(Small);
+    let program = parse_program(&src).unwrap();
+    let index = analyze(&program).unwrap();
+    c.bench_function("FP flow graph build", |b| {
+        b.iter(|| prose_analysis::flow::FpFlowGraph::build(black_box(&program), &index))
+    });
+    let graph = prose_analysis::flow::FpFlowGraph::build(&program, &index);
+    let atoms = index.atoms();
+    let map = PrecisionMap::uniform(
+        &index,
+        &atoms[..atoms.len() / 2],
+        prose_fortran::ast::FpPrecision::Single,
+    );
+    c.bench_function("flow mismatches under a map", |b| {
+        b.iter(|| graph.mismatches(black_box(&index), &map))
+    });
+    c.bench_function("static casting penalty", |b| {
+        b.iter(|| prose_analysis::static_cost::static_penalty(black_box(&graph), &index, &map))
+    });
+    c.bench_function("taint-based program reduction", |b| {
+        b.iter(|| prose_analysis::taint::reduce_program(black_box(&program), &index, &atoms[..4]))
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let src = model_source(Small);
+    let program = parse_program(&src).unwrap();
+    let index = analyze(&program).unwrap();
+    let atoms = index.atoms();
+    let map = PrecisionMap::uniform(&index, &atoms, prose_fortran::ast::FpPrecision::Single);
+    c.bench_function("make_variant (uniform-32 mini-MPAS)", |b| {
+        b.iter(|| prose_transform::make_variant(black_box(&program), &index, &map).unwrap())
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let spec = prose_models::funarc::funarc(Small);
+    let m = spec.load().unwrap();
+    c.bench_function("interpret funarc (300 intervals)", |b| {
+        b.iter(|| {
+            prose_interp::run_program(
+                black_box(&m.program),
+                &m.index,
+                &prose_interp::RunConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+/// A cheap synthetic evaluator so the search's own overhead is measurable.
+struct Synth {
+    n: usize,
+}
+
+impl Evaluator for Synth {
+    fn evaluate(&mut self, lowered: &Config) -> Outcome {
+        let k = lowered.iter().filter(|b| **b).count();
+        let bad = lowered.get(self.n / 3).copied().unwrap_or(false);
+        Outcome {
+            status: if bad { Status::FailAccuracy } else { Status::Pass },
+            speedup: 1.0 + k as f64 / self.n as f64,
+            error: if bad { 1.0 } else { 1e-9 },
+        }
+    }
+
+    fn atom_count(&self) -> usize {
+        self.n
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    c.bench_function("delta-debug search (128 synthetic atoms)", |b| {
+        b.iter_batched(
+            || Synth { n: 128 },
+            |mut ev| DeltaDebug::new(DdParams::default()).run(&mut ev),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_analyses,
+    bench_transform,
+    bench_interp,
+    bench_search
+);
+criterion_main!(benches);

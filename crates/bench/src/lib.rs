@@ -1,0 +1,70 @@
+//! # prose-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table I — hotspot summary (module, % CPU time, # FP vars) |
+//! | `table2` | Table II — variants explored per model, outcome percentages, best speedup |
+//! | `fig2_funarc` | Figure 2 — funarc brute-force speedup/error scatter (+ the Figure 3 diff) |
+//! | `fig5_hotspots` | Figure 5 — per-model scatter of DD-explored variants |
+//! | `fig6_procedures` | Figure 6 — per-procedure per-call speedups of unique procedure variants |
+//! | `fig7_whole_model` | Figure 7 — the whole-model-guided MPAS-A search |
+//! | `ablation_static_filter` | Lessons-learned ablation: static cost model as a variant pre-filter |
+//!
+//! The three delta-debugging searches feeding Table II and Figures 5/6 are
+//! expensive, so they run once and are cached as JSON under `results/`
+//! (`searches.json`); every binary reuses the cache when present. Each
+//! binary also emits CSV series next to its ASCII output and finishes with
+//! the artifact-appendix validation checklist for its experiment.
+//!
+//! Run with `--release`; debug builds are an order of magnitude slower.
+
+pub mod cache;
+pub mod report;
+pub mod validate;
+
+use prose_core::tuner::{ModelSpec, PerfScope};
+use prose_models::ModelSize;
+
+/// Directory where all regenerated artifacts land.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::env::var("PROSE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Workload scale for the harness: `PROSE_SIZE=small` flips everything to
+/// the fast configuration (useful for smoke-testing the harness itself).
+pub fn bench_size() -> ModelSize {
+    match std::env::var("PROSE_SIZE").as_deref() {
+        Ok("small") => ModelSize::Small,
+        _ => ModelSize::Paper,
+    }
+}
+
+/// The three weather/climate models of the case study (Table I/II order).
+pub fn case_study_models(size: ModelSize) -> Vec<ModelSpec> {
+    vec![
+        prose_models::mpas::mpas_a(size),
+        prose_models::adcirc::adcirc(size),
+        prose_models::mom6::mom6(size),
+    ]
+}
+
+/// Variant budget per model: MOM6 did not finish within the paper's
+/// 12-hour wall; the budget is our analog of that cutoff.
+pub fn variant_budget(model: &str) -> Option<usize> {
+    match model {
+        "mom6" => Some(300),
+        _ => None,
+    }
+}
+
+/// The performance scope each search uses (Section IV-B hotspot searches;
+/// Section IV-C whole-model).
+pub fn search_scope() -> PerfScope {
+    PerfScope::Hotspot
+}

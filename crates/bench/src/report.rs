@@ -1,0 +1,89 @@
+//! ASCII tables and CSV emission.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render an ASCII table with a header row.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", cell, w = widths[i]);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Write a CSV file (header + rows) into the results dir.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) {
+    let mut text = headers.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Format a float compactly for tables.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_table_aligns_columns() {
+        let t = ascii_table(
+            &["Model", "Speedup"],
+            &[
+                vec!["mpas_a".into(), "1.95".into()],
+                vec!["adcirc".into(), "1.12".into()],
+            ],
+        );
+        assert!(t.contains("| Model "));
+        assert!(t.contains("| mpas_a "));
+        let lines: Vec<&str> = t.lines().collect();
+        let lens: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();
+        assert_eq!(lens.len(), 1, "all lines same width:\n{t}");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.953), "1.953");
+        assert_eq!(f(1.4e2), "1.400e2");
+        assert_eq!(f(0.0005), "5.000e-4");
+    }
+}

@@ -1,0 +1,175 @@
+//! The artifact-appendix validation checklists: the paper's own
+//! reproduction criteria, checked programmatically after each regeneration.
+
+use crate::cache::ModelSearch;
+use prose_search::Status;
+
+/// One validation property.
+pub struct Check {
+    pub name: String,
+    pub passed: bool,
+    pub detail: String,
+}
+
+/// Print a checklist and return whether all passed.
+pub fn report(title: &str, checks: &[Check]) -> bool {
+    println!("\nValidation — {title}");
+    let mut all = true;
+    for c in checks {
+        let mark = if c.passed { "PASS" } else { "MISS" };
+        println!("  [{mark}] {} ({})", c.name, c.detail);
+        all &= c.passed;
+    }
+    all
+}
+
+fn check(name: &str, passed: bool, detail: String) -> Check {
+    Check { name: name.into(), passed, detail }
+}
+
+/// Completed variants (ran to the end, with measured speedup/error).
+fn completed(ms: &ModelSearch) -> Vec<&prose_core::VariantRecord> {
+    ms.variants
+        .iter()
+        .filter(|v| matches!(v.outcome.status, Status::Pass | Status::FailAccuracy))
+        .collect()
+}
+
+/// MPAS-A §IV-B checklist (artifact appendix).
+pub fn mpas_hotspot(ms: &ModelSearch) -> Vec<Check> {
+    let s = ms.summary();
+    let done = completed(ms);
+    let cluster = |lo: f64, hi: f64, smin: f64, smax: f64| -> (usize, usize) {
+        let members: Vec<_> = done
+            .iter()
+            .filter(|v| v.fraction_single >= lo && v.fraction_single < hi)
+            .collect();
+        let inside = members
+            .iter()
+            .filter(|v| v.outcome.speedup >= smin && v.outcome.speedup < smax)
+            .count();
+        (inside, members.len())
+    };
+    let (lo_in, lo_n) = cluster(0.0, 0.3, 0.0, 1.000001);
+    let (hi_in, hi_n) = cluster(0.9, 1.01, 1.8, f64::INFINITY);
+    let (mid_in, mid_n) = cluster(0.5, 0.9, 0.7, 1.8);
+    vec![
+        check(
+            "best speedup ~1.9x",
+            s.best_speedup > 1.7 && s.best_speedup < 2.3,
+            format!("measured {:.2}", s.best_speedup),
+        ),
+        check(
+            "most variants <30% 32-bit have <=1x speedup",
+            lo_n == 0 || lo_in * 2 >= lo_n,
+            format!("{lo_in}/{lo_n}"),
+        ),
+        check(
+            "most variants >90% 32-bit have >=1.8x speedup",
+            hi_n > 0 && hi_in * 2 >= hi_n,
+            format!("{hi_in}/{hi_n}"),
+        ),
+        check(
+            "variants 50-89% 32-bit have 0.7-1.8x speedup",
+            mid_n == 0 || mid_in * 2 >= mid_n,
+            format!("{mid_in}/{mid_n}"),
+        ),
+        check(
+            "search found a 1-minimal variant",
+            ms.search.one_minimal,
+            format!("remaining 64-bit: {}", ms.search.final_config.iter().filter(|b| !**b).count()),
+        ),
+    ]
+}
+
+/// ADCIRC §IV-B checklist.
+pub fn adcirc_hotspot(ms: &ModelSearch) -> Vec<Check> {
+    let s = ms.summary();
+    vec![
+        check(
+            "best speedup ~1.1x (small)",
+            s.best_speedup > 1.0 && s.best_speedup < 1.5,
+            format!("measured {:.2}", s.best_speedup),
+        ),
+        check(
+            "no timeouts",
+            s.timeout == 0,
+            format!("{} timeouts", s.timeout),
+        ),
+    ]
+}
+
+/// MOM6 §IV-B checklist.
+pub fn mom6_hotspot(ms: &ModelSearch) -> Vec<Check> {
+    let s = ms.summary();
+    let done = completed(ms);
+    let near_uniform_slow = done
+        .iter()
+        .filter(|v| v.fraction_single > 0.98)
+        .map(|v| v.outcome.speedup)
+        .collect::<Vec<_>>();
+    vec![
+        check(
+            "best speedup < 1.4x",
+            s.best_speedup < 1.4,
+            format!("measured {:.2}", s.best_speedup),
+        ),
+        check(
+            ">98% 32-bit executable variants are slowdowns",
+            near_uniform_slow.iter().all(|s| *s < 1.0) || near_uniform_slow.is_empty(),
+            format!("{:?}", near_uniform_slow.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>()),
+        ),
+    ]
+}
+
+/// MPAS-A §IV-C (whole-model) checklist.
+pub fn mpas_whole_model(ms: &ModelSearch) -> Vec<Check> {
+    let s = ms.summary();
+    let done = completed(ms);
+    let low = done
+        .iter()
+        .filter(|v| v.fraction_single > 0.9)
+        .collect::<Vec<_>>();
+    let low_slow = low.iter().filter(|v| v.outcome.speedup < 0.6).count();
+    let high = done
+        .iter()
+        .filter(|v| v.fraction_single < 0.5)
+        .collect::<Vec<_>>();
+    let high_ok = high
+        .iter()
+        .filter(|v| v.outcome.speedup >= 0.75 && v.outcome.speedup <= 1.05)
+        .count();
+    vec![
+        check(
+            "best speedup < 1.1x",
+            s.best_speedup < 1.1,
+            format!("measured {:.2}", s.best_speedup),
+        ),
+        check(
+            "most variants >90% 32-bit have <0.6x speedup",
+            low.is_empty() || low_slow * 2 >= low.len(),
+            format!("{low_slow}/{}", low.len()),
+        ),
+        check(
+            "most variants <50% 32-bit have ~0.8-1x speedup",
+            high.is_empty() || high_ok * 2 >= high.len(),
+            format!("{high_ok}/{}", high.len()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_flags_misses() {
+        let checks = vec![
+            check("a", true, "ok".into()),
+            check("b", false, "nope".into()),
+        ];
+        assert!(!report("test", &checks));
+        let checks = vec![check("a", true, "ok".into())];
+        assert!(report("test", &checks));
+    }
+}

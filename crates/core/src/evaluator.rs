@@ -1,0 +1,358 @@
+//! The dynamic-evaluation half of the Figure-1 cycle: transform → run →
+//! measure, for one tuning task.
+//!
+//! Implements [`prose_search::Evaluator`]; batches are evaluated in
+//! parallel with rayon, standing in for the paper's one-Derecho-node-per-
+//! variant parallelism.
+
+use crate::speedup::{speedup, NoiseModel};
+use prose_analysis::flow::FpFlowGraph;
+use crate::tuner::{PerfScope, TuningTask};
+use parking_lot::Mutex;
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::FpVarId;
+use prose_interp::{run_program, RunConfig, RunError, RunOutcome, Timers};
+use prose_search::{Config, Outcome, Status};
+use prose_transform::make_variant;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-procedure timing sample inside one variant (Figure 6's raw data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcSample {
+    pub proc: String,
+    pub cycles: f64,
+    pub calls: u64,
+    /// Fingerprint of the precision assignment restricted to this
+    /// procedure's own FP variables — "unique procedure variants".
+    pub fingerprint: u64,
+}
+
+impl ProcSample {
+    pub fn per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.cycles / self.calls as f64
+        }
+    }
+}
+
+/// Everything measured about one explored variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantRecord {
+    /// Search configuration (true = 32-bit).
+    pub config: Config,
+    pub outcome: Outcome,
+    /// Fraction of atoms at 32-bit.
+    pub fraction_single: f64,
+    /// Hotspot procedures' timers for this variant.
+    pub per_proc: Vec<ProcSample>,
+    /// Wrapper procedures synthesized for this variant.
+    pub wrappers: Vec<String>,
+    /// Human-readable failure detail, when the run aborted.
+    pub detail: Option<String>,
+    /// Whole-model simulated cycles (present when the run completed).
+    pub total_cycles: Option<f64>,
+    /// Hotspot-scoped cycles (present when the run completed).
+    pub hotspot_cycles: Option<f64>,
+}
+
+/// Baseline measurements shared by every variant evaluation.
+#[derive(Debug)]
+pub struct Baseline {
+    pub outcome: RunOutcome,
+    pub hotspot_cycles: f64,
+    pub total_cycles: f64,
+}
+
+impl Baseline {
+    pub fn scoped(&self, scope: PerfScope) -> f64 {
+        match scope {
+            PerfScope::Hotspot => self.hotspot_cycles,
+            PerfScope::WholeModel => self.total_cycles,
+        }
+    }
+
+    /// Fraction of whole-model time spent in the hotspot (Table I).
+    pub fn hotspot_share(&self) -> f64 {
+        if self.total_cycles == 0.0 {
+            0.0
+        } else {
+            self.hotspot_cycles / self.total_cycles
+        }
+    }
+}
+
+/// The evaluator driven by the search strategies.
+pub struct DynamicEvaluator<'a> {
+    pub task: &'a TuningTask,
+    pub baseline: Baseline,
+    noise: NoiseModel,
+    /// Per hotspot procedure: its own FP variable ids (for fingerprints).
+    proc_vars: Vec<(String, Vec<FpVarId>)>,
+    /// All evaluated variants, in evaluation order.
+    records: Mutex<Vec<VariantRecord>>,
+}
+
+impl<'a> DynamicEvaluator<'a> {
+    /// Run the 64-bit baseline and set up the evaluator.
+    pub fn new(task: &'a TuningTask) -> Result<Self, RunError> {
+        let cfg = RunConfig {
+            cost: task.cost.clone(),
+            budget: None,
+            max_events: task.max_events,
+            wrapper_names: Default::default(),
+        };
+        let outcome = run_program(&task.program, &task.index, &cfg)?;
+        let hotspot_cycles = outcome
+            .timers
+            .scoped_cycles(task.hotspot_procs.iter().map(String::as_str));
+        let total_cycles = outcome.total_cycles;
+        let noise = NoiseModel::new(task.noise_rsd, task.seed);
+
+        let proc_vars = task
+            .hotspot_procs
+            .iter()
+            .map(|p| {
+                let vars = task
+                    .index
+                    .scope_of_procedure(p)
+                    .map(|s| task.index.atoms_in_scopes(&[s]))
+                    .unwrap_or_default();
+                (p.clone(), vars)
+            })
+            .collect();
+
+        Ok(DynamicEvaluator {
+            task,
+            baseline: Baseline { outcome, hotspot_cycles, total_cycles },
+            noise,
+            proc_vars,
+            records: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Consume the evaluator, returning every variant record.
+    pub fn into_records(self) -> Vec<VariantRecord> {
+        self.records.into_inner()
+    }
+
+    /// Map a search configuration to a precision assignment over the task's
+    /// atoms.
+    pub fn precision_map(&self, lowered: &Config) -> PrecisionMap {
+        let mut map = PrecisionMap::declared(&self.task.index);
+        for (i, low) in lowered.iter().enumerate() {
+            if *low {
+                map.set(
+                    self.task.atoms[i],
+                    prose_fortran::ast::FpPrecision::Single,
+                );
+            }
+        }
+        map
+    }
+
+    /// Deterministic variant id independent of evaluation order.
+    fn variant_id(lowered: &Config) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in lowered {
+            h ^= u64::from(*b) + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Transform, run, and measure one configuration (pure w.r.t. shared
+    /// state; called in parallel from batches).
+    pub fn eval_one(&self, lowered: &Config) -> VariantRecord {
+        let task = self.task;
+        let map = self.precision_map(lowered);
+        let fraction_single = map.fraction_single(&task.atoms);
+        let fingerprints: Vec<(String, u64)> = self
+            .proc_vars
+            .iter()
+            .map(|(p, vars)| (p.clone(), map.fingerprint(vars)))
+            .collect();
+
+        let base = VariantRecord {
+            config: lowered.clone(),
+            outcome: Outcome { status: Status::TransformError, speedup: 0.0, error: f64::INFINITY },
+            fraction_single,
+            per_proc: Vec::new(),
+            wrappers: Vec::new(),
+            detail: None,
+            total_cycles: None,
+            hotspot_cycles: None,
+        };
+
+        // T2: program transformation.
+        let variant = match make_variant(&task.program, &task.index, &map) {
+            Ok(v) => v,
+            Err(e) => {
+                return VariantRecord { detail: Some(format!("transform: {e}")), ..base }
+            }
+        };
+
+        // T3: dynamic evaluation under the 3×-baseline budget.
+        let run_cfg = RunConfig {
+            cost: task.cost.clone(),
+            budget: Some(task.timeout_factor * self.baseline.total_cycles),
+            max_events: task.max_events,
+            wrapper_names: variant.wrappers.iter().cloned().collect(),
+        };
+        let run = match run_program(&variant.program, &variant.index, &run_cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                let status = match e {
+                    RunError::Timeout { .. } => Status::Timeout,
+                    _ => Status::RuntimeError,
+                };
+                return VariantRecord {
+                    outcome: Outcome { status, speedup: 0.0, error: f64::INFINITY },
+                    wrappers: variant.wrappers,
+                    detail: Some(e.to_string()),
+                    ..base
+                };
+            }
+        };
+
+        // Correctness.
+        let error = task
+            .metric
+            .compute(&self.baseline.outcome.records, &run.records);
+        let Some(error) = error else {
+            return VariantRecord {
+                outcome: Outcome {
+                    status: Status::RuntimeError,
+                    speedup: 0.0,
+                    error: f64::INFINITY,
+                },
+                wrappers: variant.wrappers,
+                detail: Some("correctness metric unavailable (corrupted output)".into()),
+                ..base
+            };
+        };
+
+        // Performance: Eq. 1 median-of-n over noisy samples. Hotspot scope
+        // mirrors GPTL's inclusive regions: wrappers called from inside a
+        // hotspot procedure are part of the measured time; wrappers at the
+        // hotspot's outer boundary are not (the Figure-5 vs Figure-7
+        // distinction).
+        let vid = Self::variant_id(lowered);
+        let hotspot_set = hotspot_scope_with_wrappers(
+            &variant.program,
+            &variant.index,
+            &task.hotspot_procs,
+            &variant.wrappers,
+        );
+        let scoped_variant = match task.scope {
+            PerfScope::Hotspot => run
+                .timers
+                .scoped_cycles(hotspot_set.iter().map(String::as_str)),
+            PerfScope::WholeModel => run.total_cycles,
+        };
+        let base_samples =
+            self.noise
+                .samples(self.baseline.scoped(task.scope), 0, task.n_runs);
+        let var_samples = self.noise.samples(scoped_variant, vid | 1, task.n_runs);
+        let sp = speedup(&base_samples, &var_samples);
+
+        let status = if error <= task.error_threshold {
+            Status::Pass
+        } else {
+            Status::FailAccuracy
+        };
+        let per_proc = collect_proc_samples(&run.timers, &fingerprints);
+        VariantRecord {
+            outcome: Outcome { status, speedup: sp, error },
+            per_proc,
+            wrappers: variant.wrappers,
+            detail: None,
+            total_cycles: Some(run.total_cycles),
+            hotspot_cycles: Some(
+                run.timers
+                    .scoped_cycles(hotspot_set.iter().map(String::as_str)),
+            ),
+            ..base
+        }
+    }
+}
+
+/// The hotspot procedure set for one variant: the target procedures plus
+/// every synthesized wrapper whose call sites all lie inside the set
+/// (computed to a fixed point, since wrappers may call through wrappers).
+pub fn hotspot_scope_with_wrappers(
+    program: &prose_fortran::Program,
+    index: &prose_fortran::ProgramIndex,
+    hotspot_procs: &[String],
+    wrappers: &[String],
+) -> Vec<String> {
+    let mut set: Vec<String> = hotspot_procs.to_vec();
+    if wrappers.is_empty() {
+        return set;
+    }
+    let graph = FpFlowGraph::build(program, index);
+    loop {
+        let mut grew = false;
+        for w in wrappers {
+            if set.contains(w) {
+                continue;
+            }
+            let callers: Vec<String> = graph
+                .sites()
+                .iter()
+                .filter(|s| &s.callee == w)
+                .map(|s| index.scope_info(s.caller).name.clone())
+                .collect();
+            if !callers.is_empty() && callers.iter().all(|c| set.contains(c)) {
+                set.push(w.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    set
+}
+
+fn collect_proc_samples(timers: &Timers, fingerprints: &[(String, u64)]) -> Vec<ProcSample> {
+    let fp: HashMap<&str, u64> =
+        fingerprints.iter().map(|(p, f)| (p.as_str(), *f)).collect();
+    fingerprints
+        .iter()
+        .filter_map(|(p, _)| {
+            timers.get(p).map(|t| ProcSample {
+                proc: p.clone(),
+                cycles: t.cycles,
+                calls: t.calls,
+                fingerprint: fp[p.as_str()],
+            })
+        })
+        .collect()
+}
+
+impl<'a> prose_search::Evaluator for DynamicEvaluator<'a> {
+    fn evaluate(&mut self, lowered: &Config) -> Outcome {
+        let rec = self.eval_one(lowered);
+        let outcome = rec.outcome;
+        self.records.lock().push(rec);
+        outcome
+    }
+
+    fn evaluate_batch(&mut self, batch: &[Config]) -> Vec<Outcome> {
+        // One logical "node" per variant: rayon parallelism substitutes the
+        // paper's PBS fan-out.
+        let recs: Vec<VariantRecord> =
+            batch.par_iter().map(|cfg| self.eval_one(cfg)).collect();
+        let outcomes = recs.iter().map(|r| r.outcome).collect();
+        self.records.lock().extend(recs);
+        outcomes
+    }
+
+    fn atom_count(&self) -> usize {
+        self.task.atoms.len()
+    }
+}

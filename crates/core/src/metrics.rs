@@ -1,0 +1,200 @@
+//! Correctness metrics (Section III-D / IV-A).
+//!
+//! Each model gets a scalar metric computed from its recorded output and
+//! compared against the baseline via relative error
+//! `|(out_baseline − out_variant)/out_baseline|`. The three recipes used in
+//! the paper:
+//!
+//! * **MPAS-A** — kinetic energy at every cell: per-timestep relative error
+//!   per cell, most extreme across cells per step, L2-norm over time.
+//! * **ADCIRC** — most extreme water-surface elevation per grid point over
+//!   the run: relative error per point, L2-norm across the grid.
+//! * **MOM6** — maximum CFL number per timestep: relative error per step,
+//!   L2-norm over time.
+
+use prose_interp::RunRecords;
+use serde::{Deserialize, Serialize};
+
+/// How to turn a (baseline, variant) pair of run records into one error
+/// number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CorrectnessMetric {
+    /// Per-step array snapshots under `key`: relative error per element,
+    /// max over elements per step, L2 over steps (the MPAS-A recipe).
+    /// `floor_frac` floors each denominator at that fraction of the
+    /// snapshot's max magnitude, so near-zero cells don't saturate the
+    /// metric (0.0 = pure relative error).
+    MaxOverSpaceL2OverTime { key: String, floor_frac: f64 },
+    /// One array snapshot under `key` (e.g. a running-max field recorded at
+    /// the end): relative error per element, L2 across elements (ADCIRC).
+    FieldL2 { key: String },
+    /// Scalar series under `key`: relative error per step, L2 over steps
+    /// (MOM6).
+    ScalarSeriesL2 { key: String },
+}
+
+/// Relative error with a floor guard: where the baseline magnitude is tiny
+/// the absolute difference is used instead (avoids division blow-ups on
+/// zero-initialized boundary values).
+pub fn rel_err(baseline: f64, variant: f64) -> f64 {
+    let denom = baseline.abs();
+    if denom < 1e-30 {
+        (baseline - variant).abs()
+    } else {
+        ((baseline - variant) / baseline).abs()
+    }
+}
+
+/// L2 norm of a slice.
+pub fn l2(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+impl CorrectnessMetric {
+    /// Compute the error of `variant` against `baseline`. `None` when the
+    /// variant's records are missing or shaped differently (a crashed or
+    /// corrupted run — callers treat it as a failed variant).
+    pub fn compute(&self, baseline: &RunRecords, variant: &RunRecords) -> Option<f64> {
+        match self {
+            CorrectnessMetric::MaxOverSpaceL2OverTime { key, floor_frac } => {
+                let b = baseline.arrays.get(key)?;
+                let v = variant.arrays.get(key)?;
+                if b.len() != v.len() || b.is_empty() {
+                    return None;
+                }
+                let mut per_step = Vec::with_capacity(b.len());
+                for (bs, vs) in b.iter().zip(v) {
+                    if bs.len() != vs.len() || bs.is_empty() {
+                        return None;
+                    }
+                    let scale = bs.iter().fold(0.0f64, |a, x| a.max(x.abs()));
+                    let floor = floor_frac * scale;
+                    let worst = bs
+                        .iter()
+                        .zip(vs)
+                        .map(|(x, y)| {
+                            let denom = x.abs().max(floor);
+                            if denom < 1e-30 {
+                                (x - y).abs()
+                            } else {
+                                (x - y).abs() / denom
+                            }
+                        })
+                        .fold(0.0f64, f64::max);
+                    per_step.push(worst);
+                }
+                Some(l2(&per_step))
+            }
+            CorrectnessMetric::FieldL2 { key } => {
+                let b = baseline.arrays.get(key)?.last()?;
+                let v = variant.arrays.get(key)?.last()?;
+                if b.len() != v.len() || b.is_empty() {
+                    return None;
+                }
+                let errs: Vec<f64> =
+                    b.iter().zip(v).map(|(x, y)| rel_err(*x, *y)).collect();
+                Some(l2(&errs))
+            }
+            CorrectnessMetric::ScalarSeriesL2 { key } => {
+                let b = baseline.scalars.get(key)?;
+                let v = variant.scalars.get(key)?;
+                if b.len() != v.len() || b.is_empty() {
+                    return None;
+                }
+                let errs: Vec<f64> =
+                    b.iter().zip(v).map(|(x, y)| rel_err(*x, *y)).collect();
+                Some(l2(&errs))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records_with_scalar(key: &str, xs: &[f64]) -> RunRecords {
+        let mut r = RunRecords::default();
+        r.scalars.insert(key.into(), xs.to_vec());
+        r
+    }
+
+    fn records_with_arrays(key: &str, steps: &[Vec<f64>]) -> RunRecords {
+        let mut r = RunRecords::default();
+        r.arrays.insert(key.into(), steps.to_vec());
+        r
+    }
+
+    #[test]
+    fn rel_err_basic_and_zero_guard() {
+        assert_eq!(rel_err(2.0, 1.0), 0.5);
+        assert_eq!(rel_err(-2.0, -1.0), 0.5);
+        assert_eq!(rel_err(0.0, 0.25), 0.25); // absolute fallback
+    }
+
+    #[test]
+    fn l2_norm() {
+        assert_eq!(l2(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2(&[]), 0.0);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_error() {
+        let b = records_with_scalar("cfl", &[0.1, 0.2, 0.3]);
+        let m = CorrectnessMetric::ScalarSeriesL2 { key: "cfl".into() };
+        assert_eq!(m.compute(&b, &b), Some(0.0));
+    }
+
+    #[test]
+    fn scalar_series_l2() {
+        let b = records_with_scalar("cfl", &[1.0, 2.0]);
+        let v = records_with_scalar("cfl", &[1.1, 2.0]);
+        let m = CorrectnessMetric::ScalarSeriesL2 { key: "cfl".into() };
+        let e = m.compute(&b, &v).unwrap();
+        assert!((e - 0.1).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn max_over_space_l2_over_time() {
+        let b = records_with_arrays("ke", &[vec![1.0, 2.0], vec![4.0, 8.0]]);
+        let v = records_with_arrays("ke", &[vec![1.0, 1.0], vec![4.0, 8.0]]);
+        // Step 1 worst rel err = 0.5, step 2 = 0.
+        let m = CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.0 };
+        assert_eq!(m.compute(&b, &v), Some(0.5));
+    }
+
+    #[test]
+    fn floor_frac_tames_near_zero_cells() {
+        // A near-zero cell with a tiny absolute difference would dominate
+        // the pure relative metric; the floored metric scales it away.
+        let b = records_with_arrays("ke", &[vec![10.0, 1e-9]]);
+        let v = records_with_arrays("ke", &[vec![10.0, 2e-9]]);
+        let pure = CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.0 };
+        let floored =
+            CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.01 };
+        assert!(pure.compute(&b, &v).unwrap() > 0.4);
+        assert!(floored.compute(&b, &v).unwrap() <= 1e-8);
+    }
+
+    #[test]
+    fn field_l2_uses_last_snapshot() {
+        let b = records_with_arrays("eta", &[vec![9.0, 9.0], vec![3.0, 4.0]]);
+        let v = records_with_arrays("eta", &[vec![0.0, 0.0], vec![3.0 * 0.4, 4.0 * 0.2]]);
+        // Errors on last snapshot: 0.6 and 0.8 → L2 = 1.0.
+        let m = CorrectnessMetric::FieldL2 { key: "eta".into() };
+        let e = m.compute(&b, &v).unwrap();
+        assert!((e - 1.0).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn missing_or_mismatched_records_yield_none() {
+        let b = records_with_scalar("cfl", &[1.0, 2.0]);
+        let short = records_with_scalar("cfl", &[1.0]);
+        let missing = RunRecords::default();
+        let m = CorrectnessMetric::ScalarSeriesL2 { key: "cfl".into() };
+        assert_eq!(m.compute(&b, &short), None);
+        assert_eq!(m.compute(&b, &missing), None);
+        let ma = CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.0 };
+        assert_eq!(ma.compute(&b, &b), None);
+    }
+}

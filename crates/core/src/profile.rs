@@ -1,0 +1,164 @@
+//! Baseline profiling and hotspot selection (Section III-A / Table I).
+//!
+//! Profiles the model with the workload from the dynamic evaluation and
+//! reports per-module CPU-time shares and FP-variable counts; hotspots are
+//! selected by CPU time.
+
+use prose_fortran::sema::{ProgramIndex, ScopeKind};
+use prose_fortran::Program;
+use prose_interp::{run_program, RunConfig, RunError};
+use serde::{Deserialize, Serialize};
+
+/// One Table-I row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileRow {
+    pub module: String,
+    /// Fraction of whole-model simulated cycles spent in this module's
+    /// procedures.
+    pub cpu_share: f64,
+    /// FP variable declarations in the module and its procedures.
+    pub fp_vars: usize,
+    /// The module's procedures, most expensive first.
+    pub procs: Vec<(String, f64)>,
+}
+
+/// Profile a model: run the baseline and aggregate per-module.
+pub fn profile(
+    program: &Program,
+    index: &ProgramIndex,
+    cfg: &RunConfig,
+) -> Result<Vec<ProfileRow>, RunError> {
+    let out = run_program(program, index, cfg)?;
+    let total = out.total_cycles.max(f64::MIN_POSITIVE);
+
+    let mut rows = Vec::new();
+    for m in &program.modules {
+        let mut procs: Vec<(String, f64)> = m
+            .procedures
+            .iter()
+            .map(|p| {
+                let cycles = out.timers.get(&p.name).map(|t| t.cycles).unwrap_or(0.0);
+                (p.name.clone(), cycles)
+            })
+            .collect();
+        procs.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let cycles: f64 = procs.iter().map(|(_, c)| c).sum();
+
+        // FP vars: module-level + all contained procedures.
+        let mut fp_vars = 0;
+        if let Some(mscope) = index.module_scope(&m.name) {
+            fp_vars += index.fp_variables().filter(|v| v.scope == mscope).count();
+        }
+        for p in &m.procedures {
+            if let Some(ps) = index.scope_of_procedure(&p.name) {
+                fp_vars += index.fp_variables().filter(|v| v.scope == ps).count();
+            }
+        }
+        rows.push(ProfileRow {
+            module: m.name.clone(),
+            cpu_share: cycles / total,
+            fp_vars,
+            procs,
+        });
+    }
+    // Main program (driver) share as a pseudo-row for completeness.
+    if program.main.is_some() {
+        let main_scope = (0..index.scope_count())
+            .map(prose_fortran::sema::ScopeId)
+            .find(|s| index.scope_info(*s).kind == ScopeKind::Main);
+        let mut fp_vars = 0;
+        if let Some(ms) = main_scope {
+            fp_vars = index.fp_variables().filter(|v| v.scope == ms).count();
+        }
+        let cycles = out.timers.get("@main").map(|t| t.cycles).unwrap_or(0.0);
+        rows.push(ProfileRow {
+            module: "(main driver)".into(),
+            cpu_share: cycles / total,
+            fp_vars,
+            procs: vec![],
+        });
+    }
+    rows.sort_by(|a, b| b.cpu_share.total_cmp(&a.cpu_share));
+    Ok(rows)
+}
+
+/// Pick the hottest module that is not the main driver — the paper's
+/// CPU-time-based hotspot selection (corroborated by a domain expert).
+pub fn select_hotspot(rows: &[ProfileRow]) -> Option<&ProfileRow> {
+    rows.iter().find(|r| r.module != "(main driver)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::{analyze, parse_program};
+
+    const SRC: &str = r#"
+module heavy
+  real(kind=8) :: acc = 0.0d0
+contains
+  subroutine churn(u, n)
+    real(kind=8), intent(inout) :: u(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      u(i) = u(i) * 1.000001d0 + 0.5d0
+    end do
+  end subroutine churn
+end module heavy
+module light
+contains
+  subroutine touch(x)
+    real(kind=8) :: x
+    x = x + 1.0d0
+  end subroutine touch
+end module light
+program main
+  use heavy
+  use light
+  real(kind=8) :: field(512), z
+  integer :: step
+  field = 1.0d0
+  z = 0.0d0
+  do step = 1, 50
+    call churn(field, 512)
+  end do
+  call touch(z)
+  call prose_record('z', z)
+end program main
+"#;
+
+    #[test]
+    fn profiles_modules_by_cpu_share() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let rows = profile(&p, &ix, &RunConfig::default()).unwrap();
+        let heavy = rows.iter().find(|r| r.module == "heavy").unwrap();
+        let light = rows.iter().find(|r| r.module == "light").unwrap();
+        assert!(heavy.cpu_share > 0.5, "heavy share {}", heavy.cpu_share);
+        assert!(light.cpu_share < 0.01);
+        // heavy: acc + u = 2 FP vars; light: x = 1.
+        assert_eq!(heavy.fp_vars, 2);
+        assert_eq!(light.fp_vars, 1);
+        assert_eq!(heavy.procs[0].0, "churn");
+    }
+
+    #[test]
+    fn hotspot_selection_skips_the_driver() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let rows = profile(&p, &ix, &RunConfig::default()).unwrap();
+        let hs = select_hotspot(&rows).unwrap();
+        assert_eq!(hs.module, "heavy");
+    }
+
+    #[test]
+    fn shares_sum_to_at_most_one() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let rows = profile(&p, &ix, &RunConfig::default()).unwrap();
+        let sum: f64 = rows.iter().map(|r| r.cpu_share).sum();
+        assert!(sum <= 1.0 + 1e-9, "{sum}");
+        assert!(sum > 0.99, "{sum}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Orchestration of the full FPPT cycle (Figure 1): search-space
+//! construction, search, transformation, dynamic evaluation, and result
+//! packaging.
+
+use crate::evaluator::{DynamicEvaluator, VariantRecord};
+use crate::metrics::CorrectnessMetric;
+use prose_fortran::sema::{FpVarId, ProgramIndex};
+use prose_fortran::{FortranError, Program};
+use prose_interp::{CostParams, RunError};
+use prose_search::dd::{DdParams, DeltaDebug};
+use prose_search::{brute::BruteForce, Config, SearchResult};
+use serde::{Deserialize, Serialize};
+
+/// What the performance metric times (Sections IV-B vs IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerfScope {
+    /// CPU time within the hotspot procedures only (GPTL-style).
+    Hotspot,
+    /// Wall time of the entire model run.
+    WholeModel,
+}
+
+/// A fully specified tuning task.
+#[derive(Debug)]
+pub struct TuningTask {
+    pub program: Program,
+    pub index: ProgramIndex,
+    /// Search atoms (FP variable declarations, Section III-A).
+    pub atoms: Vec<FpVarId>,
+    /// Procedures whose timers constitute the hotspot.
+    pub hotspot_procs: Vec<String>,
+    pub metric: CorrectnessMetric,
+    pub error_threshold: f64,
+    /// Eq. 1 `n`.
+    pub n_runs: usize,
+    pub noise_rsd: f64,
+    pub seed: u64,
+    pub scope: PerfScope,
+    pub cost: CostParams,
+    /// Per-variant budget as a multiple of the baseline (paper: 3×).
+    pub timeout_factor: f64,
+    /// Unique-variant budget (the 12-hour-wall stand-in); `None` = none.
+    pub max_variants: Option<usize>,
+    /// Acceptance bar on speedup (1.0 = must beat baseline).
+    pub min_speedup: f64,
+    /// Interpreter event safety valve.
+    pub max_events: u64,
+}
+
+/// The result of one tuning experiment.
+#[derive(Debug)]
+pub struct TuningOutcome {
+    pub search: SearchResult,
+    /// Rich per-variant measurements, aligned with evaluation order (may
+    /// exceed the search trace if batches over-evaluated).
+    pub variants: Vec<VariantRecord>,
+    /// Baseline measurements.
+    pub baseline_hotspot_cycles: f64,
+    pub baseline_total_cycles: f64,
+    /// Hotspot share of whole-model time (Table I's "% CPU Time").
+    pub hotspot_share: f64,
+}
+
+impl TuningOutcome {
+    /// The precision map of the search's final configuration.
+    pub fn final_map(&self, index: &ProgramIndex, atoms: &[FpVarId]) -> prose_fortran::PrecisionMap {
+        config_to_map(index, atoms, &self.search.final_config)
+    }
+
+    /// Number of atoms the final configuration keeps at 64-bit.
+    pub fn remaining_double(&self) -> usize {
+        self.search.final_config.iter().filter(|b| !**b).count()
+    }
+}
+
+/// Map a search configuration to a precision assignment.
+pub fn config_to_map(
+    index: &ProgramIndex,
+    atoms: &[FpVarId],
+    lowered: &Config,
+) -> prose_fortran::PrecisionMap {
+    let mut map = prose_fortran::PrecisionMap::declared(index);
+    for (i, low) in lowered.iter().enumerate() {
+        if *low {
+            map.set(atoms[i], prose_fortran::ast::FpPrecision::Single);
+        }
+    }
+    map
+}
+
+/// Run the delta-debugging tuning experiment for a task.
+pub fn tune(task: &TuningTask) -> Result<TuningOutcome, RunError> {
+    let mut eval = DynamicEvaluator::new(task)?;
+    let baseline_hotspot_cycles = eval.baseline.hotspot_cycles;
+    let baseline_total_cycles = eval.baseline.total_cycles;
+    let hotspot_share = eval.baseline.hotspot_share();
+    let dd = DeltaDebug::new(DdParams {
+        min_speedup: task.min_speedup,
+        max_variants: task.max_variants,
+        ..Default::default()
+    });
+    let search = dd.run(&mut eval);
+    Ok(TuningOutcome {
+        search,
+        variants: eval.into_records(),
+        baseline_hotspot_cycles,
+        baseline_total_cycles,
+        hotspot_share,
+    })
+}
+
+/// Exhaustively evaluate the full 2ⁿ space (funarc / Figure 2).
+pub fn tune_brute_force(task: &TuningTask) -> Result<TuningOutcome, RunError> {
+    let mut eval = DynamicEvaluator::new(task)?;
+    let baseline_hotspot_cycles = eval.baseline.hotspot_cycles;
+    let baseline_total_cycles = eval.baseline.total_cycles;
+    let hotspot_share = eval.baseline.hotspot_share();
+    let search = BruteForce::default().run(&mut eval);
+    Ok(TuningOutcome {
+        search,
+        variants: eval.into_records(),
+        baseline_hotspot_cycles,
+        baseline_total_cycles,
+        hotspot_share,
+    })
+}
+
+/// Evaluate an explicit list of configurations (used by ablations and by
+/// verification tests that probe specific variants).
+pub fn evaluate_configs(
+    task: &TuningTask,
+    configs: &[Config],
+) -> Result<Vec<VariantRecord>, RunError> {
+    let eval = DynamicEvaluator::new(task)?;
+    let recs: Vec<VariantRecord> = configs.iter().map(|c| eval.eval_one(c)).collect();
+    Ok(recs)
+}
+
+/// A reusable model description: Fortran source plus the experiment
+/// parameters from Section IV-A. `prose-models` ships one per model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSpec {
+    pub name: String,
+    /// Complete Fortran source (modules + main program driver).
+    pub source: String,
+    /// Table I "Targeted Module".
+    pub hotspot_module: String,
+    /// The work routines inside the hotspot module whose FP declarations
+    /// are the search atoms and whose timers form the hotspot scope.
+    pub target_procs: Vec<String>,
+    pub metric: CorrectnessMetric,
+    pub error_threshold: f64,
+    pub n_runs: usize,
+    pub noise_rsd: f64,
+    /// Variable names (within the target scopes) excluded from the atom
+    /// set — e.g. funarc's `result` output in the motivating example.
+    pub exclude: Vec<String>,
+}
+
+/// A parsed and indexed model, ready to build tasks from.
+#[derive(Debug)]
+pub struct LoadedModel {
+    pub spec: ModelSpec,
+    pub program: Program,
+    pub index: ProgramIndex,
+    pub atoms: Vec<FpVarId>,
+}
+
+impl ModelSpec {
+    /// Parse, analyze, and construct the search space.
+    pub fn load(&self) -> Result<LoadedModel, FortranError> {
+        let program = prose_fortran::parse_program(&self.source)?;
+        let index = prose_fortran::analyze(&program)?;
+        let scopes: Vec<_> = self
+            .target_procs
+            .iter()
+            .filter_map(|p| index.scope_of_procedure(p))
+            .collect();
+        if scopes.len() != self.target_procs.len() {
+            let missing: Vec<_> = self
+                .target_procs
+                .iter()
+                .filter(|p| index.scope_of_procedure(p).is_none())
+                .collect();
+            return Err(FortranError::sema(
+                0,
+                format!("target procedures not found: {missing:?}"),
+            ));
+        }
+        let mut atoms = index.atoms_in_scopes(&scopes);
+        atoms.retain(|a| !self.exclude.iter().any(|x| x == &index.fp_var(*a).name));
+        Ok(LoadedModel { spec: self.clone(), program, index, atoms })
+    }
+}
+
+impl LoadedModel {
+    /// Build a tuning task with the given performance scope and seed.
+    pub fn task(&self, scope: PerfScope, seed: u64) -> TuningTask {
+        TuningTask {
+            program: self.program.clone(),
+            index: prose_fortran::analyze(&self.program).expect("already analyzed"),
+            atoms: self.atoms.clone(),
+            hotspot_procs: self.spec.target_procs.clone(),
+            metric: self.spec.metric.clone(),
+            error_threshold: self.spec.error_threshold,
+            n_runs: self.spec.n_runs,
+            noise_rsd: self.spec.noise_rsd,
+            seed,
+            scope,
+            cost: CostParams::default(),
+            timeout_factor: 3.0,
+            max_variants: None,
+            min_speedup: 1.0,
+            max_events: 400_000_000,
+        }
+    }
+}

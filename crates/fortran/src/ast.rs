@@ -1,0 +1,616 @@
+//! The abstract syntax tree for the supported Fortran subset.
+//!
+//! Design notes:
+//!
+//! * All identifiers are stored lowercase (Fortran is case-insensitive).
+//! * `Expr::NameRef { name, args }` covers both array indexing and function
+//!   references — the classic Fortran ambiguity. Consumers disambiguate
+//!   through the symbol tables built by [`crate::sema`], or dynamically in
+//!   the interpreter.
+//! * Equality ignores [`Span`]s (see `span.rs`), so `parse(unparse(p)) == p`
+//!   is a meaningful round-trip property.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision: the two levels the paper tunes between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FpPrecision {
+    /// `real(kind=4)` — 32-bit IEEE single.
+    Single,
+    /// `real(kind=8)` — 64-bit IEEE double.
+    Double,
+}
+
+impl FpPrecision {
+    /// The Fortran `kind` number (4 or 8).
+    pub fn kind(self) -> u8 {
+        match self {
+            FpPrecision::Single => 4,
+            FpPrecision::Double => 8,
+        }
+    }
+
+    /// Size of one value in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            FpPrecision::Single => 4,
+            FpPrecision::Double => 8,
+        }
+    }
+
+    pub fn from_kind(kind: i64) -> Option<Self> {
+        match kind {
+            4 => Some(FpPrecision::Single),
+            8 => Some(FpPrecision::Double),
+            _ => None,
+        }
+    }
+
+    /// The other precision level.
+    pub fn flipped(self) -> Self {
+        match self {
+            FpPrecision::Single => FpPrecision::Double,
+            FpPrecision::Double => FpPrecision::Single,
+        }
+    }
+}
+
+/// Declared type of a variable or function result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeSpec {
+    Real(FpPrecision),
+    Integer,
+    Logical,
+    Character,
+}
+
+impl TypeSpec {
+    /// Floating-point precision if this is a real type.
+    pub fn fp_precision(self) -> Option<FpPrecision> {
+        match self {
+            TypeSpec::Real(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn is_fp(self) -> bool {
+        matches!(self, TypeSpec::Real(_))
+    }
+}
+
+/// Argument intent attribute on dummy arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intent {
+    In,
+    Out,
+    InOut,
+}
+
+/// A declaration attribute (the subset the models use).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attr {
+    Parameter,
+    Intent(Intent),
+    Allocatable,
+    Save,
+    /// `dimension(dims)` applying to every entity in the declaration.
+    Dimension(Vec<DimSpec>),
+}
+
+/// One dimension of an array specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DimSpec {
+    /// `(n)` — explicit upper bound, lower bound 1.
+    Upper(Expr),
+    /// `(lo:hi)` — explicit bounds.
+    Range(Expr, Expr),
+    /// `(:)` — deferred/assumed shape (allocatables and dummy arguments).
+    Deferred,
+}
+
+/// One entity in a declaration statement: `name(dims) = init`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityDecl {
+    pub name: String,
+    /// Per-entity array spec; `None` means scalar unless a `dimension`
+    /// attribute supplies one.
+    pub dims: Option<Vec<DimSpec>>,
+    pub init: Option<Expr>,
+}
+
+/// A type declaration statement, e.g.
+/// `real(kind=8), intent(in) :: a(n), b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Declaration {
+    pub type_spec: TypeSpec,
+    pub attrs: Vec<Attr>,
+    pub entities: Vec<EntityDecl>,
+    pub span: Span,
+}
+
+impl Declaration {
+    /// The effective array spec for an entity, considering both the entity's
+    /// own spec and any `dimension` attribute.
+    pub fn dims_for<'a>(&'a self, entity: &'a EntityDecl) -> Option<&'a [DimSpec]> {
+        if let Some(d) = &entity.dims {
+            return Some(d);
+        }
+        self.attrs.iter().find_map(|a| match a {
+            Attr::Dimension(d) => Some(d.as_slice()),
+            _ => None,
+        })
+    }
+
+    pub fn is_parameter(&self) -> bool {
+        self.attrs.iter().any(|a| matches!(a, Attr::Parameter))
+    }
+
+    pub fn intent(&self) -> Option<Intent> {
+        self.attrs.iter().find_map(|a| match a {
+            Attr::Intent(i) => Some(*i),
+            _ => None,
+        })
+    }
+
+    pub fn is_allocatable(&self) -> bool {
+        self.attrs.iter().any(|a| matches!(a, Attr::Allocatable))
+    }
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+}
+
+impl BinOp {
+    /// True for operators producing logical results.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for operators producing arithmetic results.
+    pub fn is_arithmetic(self) -> bool {
+        !self.is_comparison() && !self.is_logical()
+    }
+
+    /// Source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => ".or.",
+            BinOp::And => ".and.",
+            BinOp::Eq => "==",
+            BinOp::Ne => "/=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "**",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Plus,
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    RealLit { value: f64, precision: FpPrecision },
+    IntLit(i64),
+    LogicalLit(bool),
+    StrLit(String),
+    /// A bare variable reference.
+    Var(String),
+    /// `name(args)` — array element or function reference; consumers
+    /// disambiguate via symbol tables.
+    NameRef { name: String, args: Vec<Expr> },
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Un { op: UnOp, operand: Box<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    pub fn un(op: UnOp, operand: Expr) -> Expr {
+        Expr::Un { op, operand: Box::new(operand) }
+    }
+
+    /// The base variable/procedure name this expression references, if it is
+    /// a simple or indexed reference.
+    pub fn base_name(&self) -> Option<&str> {
+        match self {
+            Expr::Var(n) => Some(n),
+            Expr::NameRef { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Visit this expression and all sub-expressions, outer-first.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::NameRef { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Un { operand, .. } => operand.walk(f),
+            _ => {}
+        }
+    }
+}
+
+/// The target of an assignment: a scalar variable, a whole array, or an
+/// indexed element. Whole-array targets (`a = 0.0`) broadcast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    Var(String),
+    Index { name: String, indices: Vec<Expr> },
+}
+
+impl LValue {
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var(n) => n,
+            LValue::Index { name, .. } => name,
+        }
+    }
+}
+
+/// Executable statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    Assign { target: LValue, value: Expr, span: Span },
+    If {
+        /// `(condition, body)` for the `if` and each `else if`.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        else_body: Option<Vec<Stmt>>,
+        span: Span,
+    },
+    Do {
+        var: String,
+        start: Expr,
+        end: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    DoWhile { cond: Expr, body: Vec<Stmt>, span: Span },
+    Call { name: String, args: Vec<Expr>, span: Span },
+    Return { span: Span },
+    Exit { span: Span },
+    Cycle { span: Span },
+    Allocate { items: Vec<(String, Vec<DimSpec>)>, span: Span },
+    Deallocate { names: Vec<String>, span: Span },
+    Print { items: Vec<Expr>, span: Span },
+    Stop { code: Option<i64>, span: Span },
+}
+
+impl Stmt {
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Do { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Return { span }
+            | Stmt::Exit { span }
+            | Stmt::Cycle { span }
+            | Stmt::Allocate { span, .. }
+            | Stmt::Deallocate { span, .. }
+            | Stmt::Print { span, .. }
+            | Stmt::Stop { span, .. } => *span,
+        }
+    }
+
+    /// Visit this statement and all nested statements, outer-first.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If { arms, else_body, .. } => {
+                for (_, body) in arms {
+                    for s in body {
+                        s.walk(f);
+                    }
+                }
+                if let Some(body) = else_body {
+                    for s in body {
+                        s.walk(f);
+                    }
+                }
+            }
+            Stmt::Do { body, .. } | Stmt::DoWhile { body, .. } => {
+                for s in body {
+                    s.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit every expression appearing directly in this statement (not in
+    /// nested statements).
+    pub fn for_each_expr<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match self {
+            Stmt::Assign { target, value, .. } => {
+                if let LValue::Index { indices, .. } = target {
+                    for ix in indices {
+                        f(ix);
+                    }
+                }
+                f(value);
+            }
+            Stmt::If { arms, .. } => {
+                for (cond, _) in arms {
+                    f(cond);
+                }
+            }
+            Stmt::Do { start, end, step, .. } => {
+                f(start);
+                f(end);
+                if let Some(s) = step {
+                    f(s);
+                }
+            }
+            Stmt::DoWhile { cond, .. } => f(cond),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Stmt::Allocate { items, .. } => {
+                for (_, dims) in items {
+                    for d in dims {
+                        match d {
+                            DimSpec::Upper(e) => f(e),
+                            DimSpec::Range(lo, hi) => {
+                                f(lo);
+                                f(hi);
+                            }
+                            DimSpec::Deferred => {}
+                        }
+                    }
+                }
+            }
+            Stmt::Print { items, .. } => {
+                for e in items {
+                    f(e);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `use name` / `use name, only: a, b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UseStmt {
+    pub module: String,
+    pub only: Option<Vec<String>>,
+}
+
+/// Subroutine vs function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProcKind {
+    Subroutine,
+    /// Function with its result variable name (the function name itself when
+    /// no `result(..)` clause was given).
+    Function { result: String },
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Procedure {
+    pub kind: ProcKind,
+    pub name: String,
+    pub params: Vec<String>,
+    pub uses: Vec<UseStmt>,
+    pub decls: Vec<Declaration>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+impl Procedure {
+    pub fn is_function(&self) -> bool {
+        matches!(self.kind, ProcKind::Function { .. })
+    }
+
+    /// The result variable name for functions.
+    pub fn result_name(&self) -> Option<&str> {
+        match &self.kind {
+            ProcKind::Function { result } => Some(result),
+            ProcKind::Subroutine => None,
+        }
+    }
+}
+
+/// A module: `use` statements, module-level declarations, and contained
+/// procedures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    pub name: String,
+    pub uses: Vec<UseStmt>,
+    pub decls: Vec<Declaration>,
+    pub procedures: Vec<Procedure>,
+    pub span: Span,
+}
+
+/// The main program unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MainProgram {
+    pub name: String,
+    pub uses: Vec<UseStmt>,
+    pub decls: Vec<Declaration>,
+    pub body: Vec<Stmt>,
+    pub procedures: Vec<Procedure>,
+    pub span: Span,
+}
+
+/// A complete source file.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub modules: Vec<Module>,
+    pub main: Option<MainProgram>,
+}
+
+impl Program {
+    /// Find a module by (lowercase) name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
+        self.modules.iter_mut().find(|m| m.name == name)
+    }
+
+    /// Iterate over every procedure with its owning scope name
+    /// (module name, or the main program's name for contained procedures).
+    pub fn all_procedures(&self) -> impl Iterator<Item = (&str, &Procedure)> {
+        let in_modules = self
+            .modules
+            .iter()
+            .flat_map(|m| m.procedures.iter().map(move |p| (m.name.as_str(), p)));
+        let in_main = self
+            .main
+            .iter()
+            .flat_map(|mp| mp.procedures.iter().map(move |p| (mp.name.as_str(), p)));
+        in_modules.chain(in_main)
+    }
+
+    /// Total number of statements, counting nested ones.
+    pub fn statement_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            let mut n = 0;
+            for s in stmts {
+                s.walk(&mut |_| n += 1);
+            }
+            n
+        }
+        let mut total = 0;
+        for m in &self.modules {
+            for p in &m.procedures {
+                total += count(&p.body);
+            }
+        }
+        if let Some(mp) = &self.main {
+            total += count(&mp.body);
+            for p in &mp.procedures {
+                total += count(&p.body);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_kind_roundtrip() {
+        assert_eq!(FpPrecision::from_kind(4), Some(FpPrecision::Single));
+        assert_eq!(FpPrecision::from_kind(8), Some(FpPrecision::Double));
+        assert_eq!(FpPrecision::from_kind(16), None);
+        assert_eq!(FpPrecision::Single.kind(), 4);
+        assert_eq!(FpPrecision::Double.bytes(), 8);
+        assert_eq!(FpPrecision::Single.flipped(), FpPrecision::Double);
+    }
+
+    #[test]
+    fn dims_for_prefers_entity_spec_over_attribute() {
+        let decl = Declaration {
+            type_spec: TypeSpec::Real(FpPrecision::Double),
+            attrs: vec![Attr::Dimension(vec![DimSpec::Upper(Expr::IntLit(10))])],
+            entities: vec![
+                EntityDecl {
+                    name: "a".into(),
+                    dims: Some(vec![DimSpec::Deferred]),
+                    init: None,
+                },
+                EntityDecl { name: "b".into(), dims: None, init: None },
+            ],
+            span: Span::default(),
+        };
+        assert_eq!(decl.dims_for(&decl.entities[0]), Some(&[DimSpec::Deferred][..]));
+        assert!(matches!(decl.dims_for(&decl.entities[1]), Some([DimSpec::Upper(_)])));
+    }
+
+    #[test]
+    fn expr_walk_visits_all_nodes() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var("x".into()),
+            Expr::NameRef {
+                name: "f".into(),
+                args: vec![Expr::IntLit(1), Expr::Var("y".into())],
+            },
+        );
+        let mut names = vec![];
+        e.walk(&mut |n| {
+            if let Some(b) = n.base_name() {
+                names.push(b.to_string());
+            }
+        });
+        assert_eq!(names, vec!["x", "f", "y"]);
+    }
+
+    #[test]
+    fn stmt_walk_visits_nested_statements() {
+        let inner = Stmt::Return { span: Span::default() };
+        let s = Stmt::If {
+            arms: vec![(Expr::LogicalLit(true), vec![inner])],
+            else_body: Some(vec![Stmt::Exit { span: Span::default() }]),
+            span: Span::default(),
+        };
+        let mut n = 0;
+        s.walk(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Pow.is_arithmetic());
+        assert!(!BinOp::Lt.is_arithmetic());
+        assert_eq!(BinOp::Pow.symbol(), "**");
+    }
+}

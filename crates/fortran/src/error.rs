@@ -1,0 +1,76 @@
+//! Error types shared by the lexer, parser, and semantic analyzer.
+
+use std::fmt;
+
+/// Result alias for all front-end operations.
+pub type Result<T> = std::result::Result<T, FortranError>;
+
+/// An error produced while lexing, parsing, or analyzing Fortran source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FortranError {
+    /// A character or malformed literal the lexer cannot tokenize.
+    Lex { line: u32, message: String },
+    /// A token sequence the parser cannot derive.
+    Parse { line: u32, message: String },
+    /// A name-resolution or type error found during semantic analysis.
+    Sema { line: u32, message: String },
+}
+
+impl FortranError {
+    pub fn lex(line: u32, message: impl Into<String>) -> Self {
+        FortranError::Lex { line, message: message.into() }
+    }
+
+    pub fn parse(line: u32, message: impl Into<String>) -> Self {
+        FortranError::Parse { line, message: message.into() }
+    }
+
+    pub fn sema(line: u32, message: impl Into<String>) -> Self {
+        FortranError::Sema { line, message: message.into() }
+    }
+
+    /// The 1-based source line the error refers to.
+    pub fn line(&self) -> u32 {
+        match self {
+            FortranError::Lex { line, .. }
+            | FortranError::Parse { line, .. }
+            | FortranError::Sema { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for FortranError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FortranError::Lex { line, message } => {
+                write!(f, "lex error at line {line}: {message}")
+            }
+            FortranError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FortranError::Sema { line, message } => {
+                write!(f, "semantic error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FortranError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_line_and_message() {
+        let e = FortranError::parse(42, "expected `::`");
+        assert_eq!(e.to_string(), "parse error at line 42: expected `::`");
+        assert_eq!(e.line(), 42);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FortranError::lex(1, "x"), FortranError::lex(1, "x"));
+        assert_ne!(FortranError::lex(1, "x"), FortranError::sema(1, "x"));
+    }
+}

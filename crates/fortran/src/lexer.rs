@@ -1,0 +1,498 @@
+//! Free-form Fortran lexer.
+//!
+//! Handles `!` comments, `&` line continuations (with optional leading `&`
+//! on the continued line), case normalization, dotted operators
+//! (`.and.`, `.lt.`, `.true.` ...), and real literals in every spelling the
+//! models use: `1.`, `.5`, `1.0`, `1e-3`, `1.5d0`, `2.0_8`, `3.0_4`.
+
+use crate::ast::FpPrecision;
+use crate::error::{FortranError, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a complete source file.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while self.pos < self.src.len() {
+            self.skip_blanks_and_comments();
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.push(TokenKind::Newline);
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'&' => {
+                    // Continuation: swallow to end of line, the newline, and
+                    // any leading `&` on the next line.
+                    self.pos += 1;
+                    self.skip_blanks_and_comments();
+                    if self.pos < self.src.len() && self.src[self.pos] == b'\n' {
+                        self.pos += 1;
+                        self.line += 1;
+                        self.skip_blanks_and_comments();
+                        if self.pos < self.src.len() && self.src[self.pos] == b'&' {
+                            self.pos += 1;
+                        }
+                    } else if self.pos < self.src.len() {
+                        return Err(FortranError::lex(
+                            self.line,
+                            "`&` must end its line (only a comment may follow)",
+                        ));
+                    }
+                }
+                b';' => {
+                    // Statement separator behaves like a newline.
+                    self.push(TokenKind::Newline);
+                    self.pos += 1;
+                }
+                b'\'' | b'"' => self.string_literal(c)?,
+                b'0'..=b'9' => self.number()?,
+                b'.' => {
+                    // Could be `.and.`-style operator/literal or a real like `.5`.
+                    if self.pos + 1 < self.src.len()
+                        && self.src[self.pos + 1].is_ascii_digit()
+                    {
+                        self.number()?;
+                    } else {
+                        self.dotted()?;
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                _ => self.operator()?,
+            }
+        }
+        self.push(TokenKind::Newline);
+        self.push(TokenKind::Eof);
+        Ok(self.tokens)
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        // Collapse consecutive newlines.
+        if kind == TokenKind::Newline
+            && matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline) | None)
+        {
+            return;
+        }
+        self.tokens.push(Token { kind, line: self.line });
+    }
+
+    fn skip_blanks_and_comments(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'!' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self, quote: u8) -> Result<()> {
+        let start_line = self.line;
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            if self.pos >= self.src.len() || self.src[self.pos] == b'\n' {
+                return Err(FortranError::lex(start_line, "unterminated string literal"));
+            }
+            let c = self.src[self.pos];
+            if c == quote {
+                // Doubled quote is an escaped quote.
+                if self.pos + 1 < self.src.len() && self.src[self.pos + 1] == quote {
+                    s.push(quote as char);
+                    self.pos += 2;
+                    continue;
+                }
+                self.pos += 1;
+                break;
+            }
+            s.push(c as char);
+            self.pos += 1;
+        }
+        self.push(TokenKind::StrLit(s));
+        Ok(())
+    }
+
+    /// Lex a numeric literal starting at `self.pos`.
+    fn number(&mut self) -> Result<()> {
+        let start = self.pos;
+        let mut is_real = false;
+        let mut exp_marker: Option<u8> = None;
+
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        // Fractional part. Careful: `1.eq.2` — a dot followed by a letter
+        // sequence ending in a dot is an operator, not a fraction.
+        if self.pos < self.src.len() && self.src[self.pos] == b'.' && !self.dot_is_operator() {
+            is_real = true;
+            self.pos += 1;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        // Exponent part: e/E (single), d/D (double).
+        if self.pos < self.src.len() {
+            let c = self.src[self.pos].to_ascii_lowercase();
+            if c == b'e' || c == b'd' {
+                let mut look = self.pos + 1;
+                if look < self.src.len() && (self.src[look] == b'+' || self.src[look] == b'-') {
+                    look += 1;
+                }
+                if look < self.src.len() && self.src[look].is_ascii_digit() {
+                    exp_marker = Some(c);
+                    is_real = true;
+                    self.pos = look;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        // Kind suffix `_4` / `_8`.
+        let mut kind_suffix: Option<i64> = None;
+        if self.pos + 1 < self.src.len()
+            && self.src[self.pos] == b'_'
+            && self.src[self.pos + 1].is_ascii_digit()
+        {
+            self.pos += 1;
+            let ks = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[ks..self.pos]).unwrap();
+            kind_suffix = Some(text.parse().map_err(|_| {
+                FortranError::lex(self.line, format!("bad kind suffix `_{text}`"))
+            })?);
+        }
+
+        let mut text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_ascii_lowercase();
+        if let Some(k) = kind_suffix {
+            // Strip the suffix from the numeric text.
+            let cut = text.rfind('_').unwrap();
+            text.truncate(cut);
+            if !is_real {
+                // Integer with kind suffix: treat as plain integer.
+                let v: i64 = text.parse().map_err(|_| {
+                    FortranError::lex(self.line, format!("bad integer literal `{text}`"))
+                })?;
+                self.push(TokenKind::IntLit(v));
+                return Ok(());
+            }
+            let precision = FpPrecision::from_kind(k).ok_or_else(|| {
+                FortranError::lex(self.line, format!("unsupported real kind `{k}`"))
+            })?;
+            let value: f64 = text.replace('d', "e").parse().map_err(|_| {
+                FortranError::lex(self.line, format!("bad real literal `{text}`"))
+            })?;
+            self.push(TokenKind::RealLit { value, precision });
+            return Ok(());
+        }
+
+        if is_real {
+            let precision = if exp_marker == Some(b'd') {
+                FpPrecision::Double
+            } else {
+                // Default real literals are single precision in Fortran.
+                FpPrecision::Single
+            };
+            let value: f64 = text.replace('d', "e").parse().map_err(|_| {
+                FortranError::lex(self.line, format!("bad real literal `{text}`"))
+            })?;
+            self.push(TokenKind::RealLit { value, precision });
+        } else {
+            let v: i64 = text.parse().map_err(|_| {
+                FortranError::lex(self.line, format!("bad integer literal `{text}`"))
+            })?;
+            self.push(TokenKind::IntLit(v));
+        }
+        Ok(())
+    }
+
+    /// At a `.`: decide whether it begins a dotted operator (`.eq.`) rather
+    /// than a fractional part. True when letters follow and a closing dot
+    /// terminates them.
+    fn dot_is_operator(&self) -> bool {
+        let mut p = self.pos + 1;
+        let mut letters = 0;
+        while p < self.src.len() && self.src[p].is_ascii_alphabetic() {
+            letters += 1;
+            p += 1;
+        }
+        letters > 0 && p < self.src.len() && self.src[p] == b'.'
+    }
+
+    fn dotted(&mut self) -> Result<()> {
+        let start = self.pos;
+        self.pos += 1; // consume '.'
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() || self.src[self.pos] != b'.' {
+            return Err(FortranError::lex(self.line, "malformed dotted operator"));
+        }
+        self.pos += 1;
+        let word = std::str::from_utf8(&self.src[start + 1..self.pos - 1])
+            .unwrap()
+            .to_ascii_lowercase();
+        let kind = match word.as_str() {
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "true" => TokenKind::LogicalLit(true),
+            "false" => TokenKind::LogicalLit(false),
+            "eq" => TokenKind::Eq,
+            "ne" => TokenKind::Ne,
+            "lt" => TokenKind::Lt,
+            "le" => TokenKind::Le,
+            "gt" => TokenKind::Gt,
+            "ge" => TokenKind::Ge,
+            other => {
+                return Err(FortranError::lex(
+                    self.line,
+                    format!("unknown dotted operator `.{other}.`"),
+                ))
+            }
+        };
+        self.push(kind);
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_ascii_lowercase();
+        self.push(TokenKind::Ident(name));
+    }
+
+    fn operator(&mut self) -> Result<()> {
+        let c = self.src[self.pos];
+        let next = self.src.get(self.pos + 1).copied();
+        let (kind, len) = match (c, next) {
+            (b'*', Some(b'*')) => (TokenKind::StarStar, 2),
+            (b':', Some(b':')) => (TokenKind::ColonColon, 2),
+            (b'=', Some(b'=')) => (TokenKind::Eq, 2),
+            (b'/', Some(b'=')) => (TokenKind::Ne, 2),
+            (b'<', Some(b'=')) => (TokenKind::Le, 2),
+            (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+            (b'(', _) => (TokenKind::LParen, 1),
+            (b')', _) => (TokenKind::RParen, 1),
+            (b',', _) => (TokenKind::Comma, 1),
+            (b':', _) => (TokenKind::Colon, 1),
+            (b'%', _) => (TokenKind::Percent, 1),
+            (b'=', _) => (TokenKind::Assign, 1),
+            (b'+', _) => (TokenKind::Plus, 1),
+            (b'-', _) => (TokenKind::Minus, 1),
+            (b'*', _) => (TokenKind::Star, 1),
+            (b'/', _) => (TokenKind::Slash, 1),
+            (b'<', _) => (TokenKind::Lt, 1),
+            (b'>', _) => (TokenKind::Gt, 1),
+            _ => {
+                return Err(FortranError::lex(
+                    self.line,
+                    format!("unexpected character `{}`", c as char),
+                ))
+            }
+        };
+        self.push(kind);
+        self.pos += len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| !matches!(k, T::Newline | T::Eof))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_case_insensitively() {
+        assert_eq!(kinds("Foo BAR_2"), vec![T::Ident("foo".into()), T::Ident("bar_2".into())]);
+    }
+
+    #[test]
+    fn lexes_integer_and_real_literals() {
+        assert_eq!(kinds("42"), vec![T::IntLit(42)]);
+        assert_eq!(
+            kinds("1.5"),
+            vec![T::RealLit { value: 1.5, precision: FpPrecision::Single }]
+        );
+        assert_eq!(
+            kinds("1.5d0"),
+            vec![T::RealLit { value: 1.5, precision: FpPrecision::Double }]
+        );
+        assert_eq!(
+            kinds("2.5e-3"),
+            vec![T::RealLit { value: 2.5e-3, precision: FpPrecision::Single }]
+        );
+        assert_eq!(
+            kinds("1.0_8"),
+            vec![T::RealLit { value: 1.0, precision: FpPrecision::Double }]
+        );
+        assert_eq!(
+            kinds("1.0_4"),
+            vec![T::RealLit { value: 1.0, precision: FpPrecision::Single }]
+        );
+        assert_eq!(
+            kinds(".5"),
+            vec![T::RealLit { value: 0.5, precision: FpPrecision::Single }]
+        );
+        assert_eq!(
+            kinds("3."),
+            vec![T::RealLit { value: 3.0, precision: FpPrecision::Single }]
+        );
+        assert_eq!(
+            kinds("1d-4"),
+            vec![T::RealLit { value: 1e-4, precision: FpPrecision::Double }]
+        );
+    }
+
+    #[test]
+    fn trailing_dot_before_dotted_operator_stays_integer() {
+        // `1.eq.2` must lex as 1 .eq. 2, not 1.0 followed by garbage.
+        assert_eq!(kinds("1.eq.2"), vec![T::IntLit(1), T::Eq, T::IntLit(2)]);
+        assert_eq!(kinds("if (x .lt. 1.) exit")[3], T::Lt);
+    }
+
+    #[test]
+    fn lexes_dotted_operators_and_logical_literals() {
+        assert_eq!(
+            kinds("a .and. .not. b .or. .true."),
+            vec![
+                T::Ident("a".into()),
+                T::And,
+                T::Not,
+                T::Ident("b".into()),
+                T::Or,
+                T::LogicalLit(true)
+            ]
+        );
+        assert_eq!(kinds(".lt. .LE. .GT. .ge. .EQ. .ne."), vec![T::Lt, T::Le, T::Gt, T::Ge, T::Eq, T::Ne]);
+    }
+
+    #[test]
+    fn lexes_symbolic_operators() {
+        assert_eq!(
+            kinds("a**b == c /= d <= e >= f"),
+            vec![
+                T::Ident("a".into()),
+                T::StarStar,
+                T::Ident("b".into()),
+                T::Eq,
+                T::Ident("c".into()),
+                T::Ne,
+                T::Ident("d".into()),
+                T::Le,
+                T::Ident("e".into()),
+                T::Ge,
+                T::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let toks = kinds("x = 1 + &\n  2");
+        assert_eq!(
+            toks,
+            vec![T::Ident("x".into()), T::Assign, T::IntLit(1), T::Plus, T::IntLit(2)]
+        );
+        // With leading ampersand on the continued line.
+        let toks = kinds("x = 1 + &\n  & 2");
+        assert_eq!(toks.len(), 5);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("x = 1 ! set x\n! whole-line comment\ny = 2");
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn newlines_separate_statements() {
+        let all: Vec<_> = lex("a\nb\n\n\nc").unwrap().into_iter().map(|t| t.kind).collect();
+        let newline_count = all.iter().filter(|k| **k == T::Newline).count();
+        // Consecutive newlines collapse; leading are dropped.
+        assert_eq!(newline_count, 3);
+    }
+
+    #[test]
+    fn semicolon_acts_as_statement_separator() {
+        let all: Vec<_> = lex("a = 1; b = 2").unwrap().into_iter().map(|t| t.kind).collect();
+        assert!(all.contains(&T::Newline));
+        assert_eq!(all.iter().filter(|k| matches!(k, T::Assign)).count(), 2);
+    }
+
+    #[test]
+    fn string_literals_with_escaped_quotes() {
+        assert_eq!(kinds("'it''s'"), vec![T::StrLit("it's".into())]);
+        assert_eq!(kinds("\"ab\""), vec![T::StrLit("ab".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("'abc\n'").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        let err = lex("x = @").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn unknown_dotted_operator_is_an_error() {
+        assert!(lex(".bogus.").is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\nc").unwrap();
+        let c = toks.iter().find(|t| t.kind.is_kw("c")).unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn kind_suffix_on_integer_is_plain_integer() {
+        assert_eq!(kinds("7_8"), vec![T::IntLit(7)]);
+    }
+}

@@ -1,0 +1,1159 @@
+//! Recursive-descent parser for the supported Fortran subset.
+//!
+//! Fortran has no reserved words, so statement dispatch is contextual: a
+//! statement beginning with `if` is only an if-statement when the token
+//! following the matched parenthesis is not `=`. The same lookahead guard
+//! protects every keyword-shaped statement head.
+
+use crate::ast::*;
+use crate::error::{FortranError, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Statement-oriented parser over the lexed token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    // ----- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        self.tokens
+            .get(self.pos + n)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line())
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<()> {
+        match self.peek() {
+            TokenKind::Newline => {
+                self.advance();
+                Ok(())
+            }
+            TokenKind::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {}", other.describe()))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.advance();
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> FortranError {
+        FortranError::parse(self.line(), message.into())
+    }
+
+    // ----- program structure ---------------------------------------------
+
+    /// Parse a complete source file.
+    pub fn parse_program(mut self) -> Result<Program> {
+        let mut program = Program::default();
+        self.skip_newlines();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            if self.at_kw("module") {
+                program.modules.push(self.parse_module()?);
+            } else if self.at_kw("program") {
+                if program.main.is_some() {
+                    return Err(self.err("multiple `program` units"));
+                }
+                program.main = Some(self.parse_main()?);
+            } else {
+                return Err(self.err(format!(
+                    "expected `module` or `program` at top level, found {}",
+                    self.peek().describe()
+                )));
+            }
+            self.skip_newlines();
+        }
+        Ok(program)
+    }
+
+    fn parse_module(&mut self) -> Result<Module> {
+        let span = self.span();
+        self.expect_kw("module")?;
+        let name = self.expect_ident()?;
+        self.expect_newline()?;
+        self.skip_newlines();
+
+        let uses = self.parse_use_block()?;
+        self.eat_implicit_none()?;
+        let decls = self.parse_decl_block()?;
+
+        let mut procedures = Vec::new();
+        if self.eat_kw("contains") {
+            self.expect_newline()?;
+            self.skip_newlines();
+            while self.at_kw("subroutine") || self.at_kw("function") {
+                procedures.push(self.parse_procedure()?);
+                self.skip_newlines();
+            }
+        }
+        self.parse_end("module", Some(&name))?;
+        Ok(Module { name, uses, decls, procedures, span })
+    }
+
+    fn parse_main(&mut self) -> Result<MainProgram> {
+        let span = self.span();
+        self.expect_kw("program")?;
+        let name = self.expect_ident()?;
+        self.expect_newline()?;
+        self.skip_newlines();
+
+        let uses = self.parse_use_block()?;
+        self.eat_implicit_none()?;
+        let decls = self.parse_decl_block()?;
+        let body = self.parse_stmt_block(&["end", "contains"])?;
+
+        let mut procedures = Vec::new();
+        if self.eat_kw("contains") {
+            self.expect_newline()?;
+            self.skip_newlines();
+            while self.at_kw("subroutine") || self.at_kw("function") {
+                procedures.push(self.parse_procedure()?);
+                self.skip_newlines();
+            }
+        }
+        self.parse_end("program", Some(&name))?;
+        Ok(MainProgram { name, uses, decls, body, procedures, span })
+    }
+
+    fn parse_procedure(&mut self) -> Result<Procedure> {
+        let span = self.span();
+        let (kind_kw, is_function) = if self.eat_kw("subroutine") {
+            ("subroutine", false)
+        } else {
+            self.expect_kw("function")?;
+            ("function", true)
+        };
+        let name = self.expect_ident()?;
+
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+
+        let kind = if is_function {
+            let result = if self.eat_kw("result") {
+                self.expect(&TokenKind::LParen)?;
+                let r = self.expect_ident()?;
+                self.expect(&TokenKind::RParen)?;
+                r
+            } else {
+                name.clone()
+            };
+            ProcKind::Function { result }
+        } else {
+            ProcKind::Subroutine
+        };
+        self.expect_newline()?;
+        self.skip_newlines();
+
+        let uses = self.parse_use_block()?;
+        self.eat_implicit_none()?;
+        let decls = self.parse_decl_block()?;
+        let body = self.parse_stmt_block(&["end"])?;
+        self.parse_end(kind_kw, Some(&name))?;
+
+        Ok(Procedure { kind, name, params, uses, decls, body, span })
+    }
+
+    /// `end`, `end <kw>`, `end <kw> <name>`, or the fused `end<kw>` form.
+    fn parse_end(&mut self, kw: &str, name: Option<&str>) -> Result<()> {
+        let fused = format!("end{kw}");
+        if self.eat_kw(&fused) {
+            // `endmodule m` etc.
+            if let TokenKind::Ident(n) = self.peek() {
+                let n = n.clone();
+                if let Some(expected) = name {
+                    if n != expected {
+                        return Err(self.err(format!(
+                            "`end {kw} {n}` does not match `{expected}`"
+                        )));
+                    }
+                }
+                self.advance();
+            }
+            return self.expect_newline();
+        }
+        self.expect_kw("end")?;
+        if self.eat_kw(kw) {
+            if let TokenKind::Ident(n) = self.peek() {
+                let n = n.clone();
+                if let Some(expected) = name {
+                    if n != expected {
+                        return Err(self.err(format!(
+                            "`end {kw} {n}` does not match `{expected}`"
+                        )));
+                    }
+                }
+                self.advance();
+            }
+        }
+        self.expect_newline()
+    }
+
+    fn parse_use_block(&mut self) -> Result<Vec<UseStmt>> {
+        let mut uses = Vec::new();
+        while self.at_kw("use") {
+            self.advance();
+            let module = self.expect_ident()?;
+            let only = if self.eat(&TokenKind::Comma) {
+                self.expect_kw("only")?;
+                self.expect(&TokenKind::Colon)?;
+                let mut names = Vec::new();
+                loop {
+                    names.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                Some(names)
+            } else {
+                None
+            };
+            self.expect_newline()?;
+            self.skip_newlines();
+            uses.push(UseStmt { module, only });
+        }
+        Ok(uses)
+    }
+
+    fn eat_implicit_none(&mut self) -> Result<()> {
+        if self.eat_kw("implicit") {
+            self.expect_kw("none")?;
+            self.expect_newline()?;
+            self.skip_newlines();
+        }
+        Ok(())
+    }
+
+    // ----- declarations ---------------------------------------------------
+
+    fn at_type_keyword(&self) -> bool {
+        (self.at_kw("real")
+            || self.at_kw("integer")
+            || self.at_kw("logical")
+            || self.at_kw("character")
+            || (self.at_kw("double") && self.peek_at(1).is_kw("precision")))
+            // Guard: `real = 1.0` would be an assignment to a variable
+            // named `real`; none of our sources do this, but be safe.
+            && !matches!(self.peek_at(1), TokenKind::Assign)
+    }
+
+    fn parse_decl_block(&mut self) -> Result<Vec<Declaration>> {
+        let mut decls = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.at_type_keyword() {
+                decls.push(self.parse_declaration()?);
+            } else {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    fn parse_declaration(&mut self) -> Result<Declaration> {
+        let span = self.span();
+        let type_spec = self.parse_type_spec()?;
+        let mut attrs = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            attrs.push(self.parse_attr()?);
+        }
+        self.expect(&TokenKind::ColonColon)?;
+
+        let mut entities = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let dims = if self.eat(&TokenKind::LParen) {
+                let d = self.parse_dim_specs()?;
+                self.expect(&TokenKind::RParen)?;
+                Some(d)
+            } else {
+                None
+            };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            entities.push(EntityDecl { name, dims, init });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_newline()?;
+        Ok(Declaration { type_spec, attrs, entities, span })
+    }
+
+    fn parse_type_spec(&mut self) -> Result<TypeSpec> {
+        if self.eat_kw("double") {
+            self.expect_kw("precision")?;
+            return Ok(TypeSpec::Real(FpPrecision::Double));
+        }
+        if self.eat_kw("integer") {
+            // Optional `(kind=4)` style spec, ignored: all integers are i64.
+            self.skip_kind_paren()?;
+            return Ok(TypeSpec::Integer);
+        }
+        if self.eat_kw("logical") {
+            self.skip_kind_paren()?;
+            return Ok(TypeSpec::Logical);
+        }
+        if self.eat_kw("character") {
+            if self.eat(&TokenKind::LParen) {
+                // `(len=*)`, `(len=N)`, `(N)`, `(*)` — all ignored.
+                if self.eat_kw("len") {
+                    self.expect(&TokenKind::Assign)?;
+                }
+                if !self.eat(&TokenKind::Star) {
+                    let _ = self.parse_expr()?;
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            return Ok(TypeSpec::Character);
+        }
+        self.expect_kw("real")?;
+        let mut precision = FpPrecision::Single;
+        if self.eat(&TokenKind::LParen) {
+            if self.eat_kw("kind") {
+                self.expect(&TokenKind::Assign)?;
+            }
+            let line = self.line();
+            match self.advance() {
+                TokenKind::IntLit(k) => {
+                    precision = FpPrecision::from_kind(k).ok_or_else(|| {
+                        FortranError::parse(line, format!("unsupported real kind {k}"))
+                    })?;
+                }
+                other => {
+                    return Err(FortranError::parse(
+                        line,
+                        format!("expected kind number, found {}", other.describe()),
+                    ))
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(TypeSpec::Real(precision))
+    }
+
+    fn skip_kind_paren(&mut self) -> Result<()> {
+        if self.eat(&TokenKind::LParen) {
+            if self.eat_kw("kind") {
+                self.expect(&TokenKind::Assign)?;
+            }
+            let _ = self.parse_expr()?;
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(())
+    }
+
+    fn parse_attr(&mut self) -> Result<Attr> {
+        if self.eat_kw("parameter") {
+            return Ok(Attr::Parameter);
+        }
+        if self.eat_kw("allocatable") {
+            return Ok(Attr::Allocatable);
+        }
+        if self.eat_kw("save") {
+            return Ok(Attr::Save);
+        }
+        if self.eat_kw("intent") {
+            self.expect(&TokenKind::LParen)?;
+            let intent = if self.eat_kw("inout") {
+                Intent::InOut
+            } else if self.eat_kw("in") {
+                Intent::In
+            } else if self.eat_kw("out") {
+                Intent::Out
+            } else {
+                return Err(self.err("expected `in`, `out`, or `inout`"));
+            };
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Attr::Intent(intent));
+        }
+        if self.eat_kw("dimension") {
+            self.expect(&TokenKind::LParen)?;
+            let dims = self.parse_dim_specs()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Attr::Dimension(dims));
+        }
+        Err(self.err(format!("unknown declaration attribute {}", self.peek().describe())))
+    }
+
+    fn parse_dim_specs(&mut self) -> Result<Vec<DimSpec>> {
+        let mut dims = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Colon) {
+                dims.push(DimSpec::Deferred);
+            } else {
+                let first = self.parse_expr()?;
+                if self.eat(&TokenKind::Colon) {
+                    let hi = self.parse_expr()?;
+                    dims.push(DimSpec::Range(first, hi));
+                } else {
+                    dims.push(DimSpec::Upper(first));
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(dims)
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    /// Parse statements until one of the given (lowercase) terminator
+    /// keywords appears at statement start.
+    fn parse_stmt_block(&mut self, terminators: &[&str]) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            if matches!(self.peek(), TokenKind::Eof) {
+                break;
+            }
+            let at_term = terminators.iter().any(|t| {
+                if self.at_kw(t) {
+                    // `end` terminates; but `endif`/`enddo` inside blocks are
+                    // distinct idents handled by their own parsers.
+                    !matches!(self.peek_at(1), TokenKind::Assign)
+                } else {
+                    false
+                }
+            });
+            if at_term {
+                break;
+            }
+            if self.at_type_keyword() {
+                return Err(self.err(
+                    "declaration after the first executable statement \
+                     (specification part must come first)",
+                ));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        // Keyword-shaped statements, each guarded against `kw = ...`
+        // assignments by checking the following token.
+        if self.at_kw("if") && matches!(self.peek_at(1), TokenKind::LParen)
+            && !self.paren_then_assign(1) {
+                return self.parse_if(span);
+            }
+        if self.at_kw("do") && !matches!(self.peek_at(1), TokenKind::Assign) {
+            return self.parse_do(span);
+        }
+        if self.at_kw("call") && !matches!(self.peek_at(1), TokenKind::Assign) {
+            self.advance();
+            let name = self.expect_ident()?;
+            let mut args = Vec::new();
+            if self.eat(&TokenKind::LParen)
+                && !self.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+            self.expect_newline()?;
+            return Ok(Stmt::Call { name, args, span });
+        }
+        if self.at_kw("return") && matches!(self.peek_at(1), TokenKind::Newline | TokenKind::Eof) {
+            self.advance();
+            self.expect_newline()?;
+            return Ok(Stmt::Return { span });
+        }
+        if self.at_kw("exit") && matches!(self.peek_at(1), TokenKind::Newline | TokenKind::Eof) {
+            self.advance();
+            self.expect_newline()?;
+            return Ok(Stmt::Exit { span });
+        }
+        if self.at_kw("cycle") && matches!(self.peek_at(1), TokenKind::Newline | TokenKind::Eof) {
+            self.advance();
+            self.expect_newline()?;
+            return Ok(Stmt::Cycle { span });
+        }
+        if self.at_kw("stop") && !matches!(self.peek_at(1), TokenKind::Assign) {
+            self.advance();
+            let code = match self.peek() {
+                TokenKind::IntLit(v) => {
+                    let v = *v;
+                    self.advance();
+                    Some(v)
+                }
+                _ => None,
+            };
+            self.expect_newline()?;
+            return Ok(Stmt::Stop { code, span });
+        }
+        if self.at_kw("allocate") && matches!(self.peek_at(1), TokenKind::LParen) {
+            self.advance();
+            self.expect(&TokenKind::LParen)?;
+            let mut items = Vec::new();
+            loop {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let dims = self.parse_dim_specs()?;
+                self.expect(&TokenKind::RParen)?;
+                items.push((name, dims));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            self.expect_newline()?;
+            return Ok(Stmt::Allocate { items, span });
+        }
+        if self.at_kw("deallocate") && matches!(self.peek_at(1), TokenKind::LParen) {
+            self.advance();
+            self.expect(&TokenKind::LParen)?;
+            let mut names = Vec::new();
+            loop {
+                names.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            self.expect_newline()?;
+            return Ok(Stmt::Deallocate { names, span });
+        }
+        if self.at_kw("print") && matches!(self.peek_at(1), TokenKind::Star) {
+            self.advance();
+            self.expect(&TokenKind::Star)?;
+            let mut items = Vec::new();
+            if self.eat(&TokenKind::Comma) {
+                loop {
+                    items.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_newline()?;
+            return Ok(Stmt::Print { items, span });
+        }
+
+        // Otherwise: assignment.
+        let target = self.parse_lvalue()?;
+        self.expect(&TokenKind::Assign)?;
+        let value = self.parse_expr()?;
+        self.expect_newline()?;
+        Ok(Stmt::Assign { target, value, span })
+    }
+
+    /// From an `(` at offset `start_offset`, scan to the matching `)` and
+    /// report whether the next token is `=` (i.e. the head is an indexed
+    /// assignment, not a control statement).
+    fn paren_then_assign(&self, start_offset: usize) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos + start_offset;
+        loop {
+            match self.tokens.get(i).map(|t| &t.kind) {
+                Some(TokenKind::LParen) => depth += 1,
+                Some(TokenKind::RParen) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return matches!(
+                            self.tokens.get(i + 1).map(|t| &t.kind),
+                            Some(TokenKind::Assign)
+                        );
+                    }
+                }
+                Some(TokenKind::Newline) | Some(TokenKind::Eof) | None => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue> {
+        let name = self.expect_ident()?;
+        if self.eat(&TokenKind::LParen) {
+            let mut indices = Vec::new();
+            loop {
+                indices.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            Ok(LValue::Index { name, indices })
+        } else {
+            Ok(LValue::Var(name))
+        }
+    }
+
+    fn parse_if(&mut self, span: Span) -> Result<Stmt> {
+        self.expect_kw("if")?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+
+        if !self.at_kw("then") {
+            // One-line if: `if (cond) stmt`.
+            let body = vec![self.parse_stmt()?];
+            return Ok(Stmt::If { arms: vec![(cond, body)], else_body: None, span });
+        }
+        self.expect_kw("then")?;
+        self.expect_newline()?;
+
+        let mut arms = Vec::new();
+        let mut else_body = None;
+        let mut current_cond = cond;
+        loop {
+            let body = self.parse_stmt_block(&["else", "elseif", "end", "endif"])?;
+            arms.push((current_cond, body));
+            let is_elseif = if self.eat_kw("elseif") {
+                true
+            } else if self.at_kw("else") && self.peek_at(1).is_kw("if") {
+                self.advance(); // `else`
+                self.advance(); // `if`
+                true
+            } else {
+                false
+            };
+            if is_elseif {
+                self.expect(&TokenKind::LParen)?;
+                current_cond = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect_kw("then")?;
+                self.expect_newline()?;
+                continue;
+            }
+            if self.eat_kw("else") {
+                self.expect_newline()?;
+                let body = self.parse_stmt_block(&["end", "endif"])?;
+                else_body = Some(body);
+            }
+            break;
+        }
+        if self.eat_kw("endif") {
+            self.expect_newline()?;
+        } else {
+            self.expect_kw("end")?;
+            self.expect_kw("if")?;
+            self.expect_newline()?;
+        }
+        Ok(Stmt::If { arms, else_body, span })
+    }
+
+    fn parse_do(&mut self, span: Span) -> Result<Stmt> {
+        self.expect_kw("do")?;
+        if self.eat_kw("while") {
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            self.expect_newline()?;
+            let body = self.parse_stmt_block(&["end", "enddo"])?;
+            self.parse_end_do()?;
+            return Ok(Stmt::DoWhile { cond, body, span });
+        }
+        let var = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let start = self.parse_expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let end = self.parse_expr()?;
+        let step = if self.eat(&TokenKind::Comma) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_newline()?;
+        let body = self.parse_stmt_block(&["end", "enddo"])?;
+        self.parse_end_do()?;
+        Ok(Stmt::Do { var, start, end, step, body, span })
+    }
+
+    fn parse_end_do(&mut self) -> Result<()> {
+        if self.eat_kw("enddo") {
+            return self.expect_newline();
+        }
+        self.expect_kw("end")?;
+        self.expect_kw("do")?;
+        self.expect_newline()
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.parse_not()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let operand = self.parse_not()?;
+            return Ok(Expr::un(UnOp::Not, operand));
+        }
+        self.parse_rel()
+    }
+
+    fn parse_rel(&mut self) -> Result<Expr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.parse_add()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut lhs = if self.eat(&TokenKind::Minus) {
+            Expr::un(UnOp::Neg, self.parse_term()?)
+        } else if self.eat(&TokenKind::Plus) {
+            Expr::un(UnOp::Plus, self.parse_term()?)
+        } else {
+            self.parse_term()?
+        };
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_term()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_power()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_power(&mut self) -> Result<Expr> {
+        let base = self.parse_primary()?;
+        if self.eat(&TokenKind::StarStar) {
+            // `**` is right-associative and permits a signed exponent.
+            let exp = if self.eat(&TokenKind::Minus) {
+                Expr::un(UnOp::Neg, self.parse_power()?)
+            } else if self.eat(&TokenKind::Plus) {
+                Expr::un(UnOp::Plus, self.parse_power()?)
+            } else {
+                self.parse_power()?
+            };
+            return Ok(Expr::bin(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(Expr::IntLit(v))
+            }
+            TokenKind::RealLit { value, precision } => {
+                self.advance();
+                Ok(Expr::RealLit { value, precision })
+            }
+            TokenKind::LogicalLit(b) => {
+                self.advance();
+                Ok(Expr::LogicalLit(b))
+            }
+            TokenKind::StrLit(s) => {
+                self.advance();
+                Ok(Expr::StrLit(s))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Ok(Expr::NameRef { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Program {
+        Parser::new(lex(src).unwrap()).parse_program().unwrap()
+    }
+
+    fn parse_err(src: &str) -> FortranError {
+        Parser::new(lex(src).unwrap()).parse_program().unwrap_err()
+    }
+
+    const SMALL: &str = r#"
+module m
+  use other, only: helper
+  implicit none
+  real(kind=8), parameter :: pi = 3.14159d0
+  integer :: counter = 0
+contains
+  subroutine step(x, n)
+    real(kind=8), intent(inout) :: x(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      x(i) = x(i) * pi + helper(x(i))
+    end do
+  end subroutine step
+
+  function helper(v) result(w)
+    real(kind=8) :: v, w
+    w = v * 0.5d0
+  end function helper
+end module m
+"#;
+
+    #[test]
+    fn parses_module_structure() {
+        let p = parse(SMALL);
+        assert_eq!(p.modules.len(), 1);
+        let m = &p.modules[0];
+        assert_eq!(m.name, "m");
+        assert_eq!(m.uses.len(), 1);
+        assert_eq!(m.uses[0].only.as_deref(), Some(&["helper".to_string()][..]));
+        assert_eq!(m.decls.len(), 2);
+        assert!(m.decls[0].is_parameter());
+        assert_eq!(m.procedures.len(), 2);
+        assert_eq!(m.procedures[0].params, vec!["x", "n"]);
+        assert!(m.procedures[1].is_function());
+        assert_eq!(m.procedures[1].result_name(), Some("w"));
+    }
+
+    #[test]
+    fn parses_main_program() {
+        let p = parse("program main\n  integer :: i\n  i = 1\n  call go(i)\nend program main\n");
+        let mp = p.main.unwrap();
+        assert_eq!(mp.name, "main");
+        assert_eq!(mp.body.len(), 2);
+    }
+
+    #[test]
+    fn function_without_result_uses_own_name() {
+        let p = parse("module m\ncontains\nfunction f(x)\n real :: f, x\n f = x\nend function f\nend module m\n");
+        assert_eq!(p.modules[0].procedures[0].result_name(), Some("f"));
+    }
+
+    #[test]
+    fn parses_if_elseif_else() {
+        let p = parse(
+            "program t\n real :: x\n x = 1.0\n if (x > 0.0) then\n x = 1.0\n else if (x < 0.0) then\n x = 2.0\n else\n x = 3.0\n end if\nend program t\n",
+        );
+        let body = &p.main.unwrap().body;
+        match &body[1] {
+            Stmt::If { arms, else_body, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert!(else_body.is_some());
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_oneline_if() {
+        let p = parse("program t\n real :: x\n x = 0.0\n if (x > 1.0) x = 1.0\nend program t\n");
+        let body = &p.main.unwrap().body;
+        match &body[1] {
+            Stmt::If { arms, else_body, .. } => {
+                assert_eq!(arms.len(), 1);
+                assert_eq!(arms[0].1.len(), 1);
+                assert!(else_body.is_none());
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_with_step_and_do_while() {
+        let p = parse(
+            "program t\n integer :: i\n real :: s\n s = 0.0\n do i = 10, 1, -1\n s = s + 1.0\n end do\n do while (s > 0.0)\n s = s - 1.0\n enddo\nend program t\n",
+        );
+        let body = &p.main.unwrap().body;
+        assert!(matches!(&body[1], Stmt::Do { step: Some(_), .. }));
+        assert!(matches!(&body[2], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn parses_allocate_deallocate() {
+        let p = parse(
+            "program t\n real, allocatable :: a(:), b(:,:)\n allocate(a(10), b(3,0:4))\n deallocate(a, b)\nend program t\n",
+        );
+        let body = &p.main.unwrap().body;
+        match &body[0] {
+            Stmt::Allocate { items, .. } => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].1.len(), 2);
+                assert!(matches!(items[1].1[1], DimSpec::Range(..)));
+            }
+            other => panic!("expected Allocate, got {other:?}"),
+        }
+        assert!(matches!(&body[1], Stmt::Deallocate { names, .. } if names.len() == 2));
+    }
+
+    #[test]
+    fn parses_stop_and_print() {
+        let p = parse("program t\n print *, 'hello', 42\n stop 3\n stop\nend program t\n");
+        let body = &p.main.unwrap().body;
+        assert!(matches!(&body[0], Stmt::Print { items, .. } if items.len() == 2));
+        assert!(matches!(&body[1], Stmt::Stop { code: Some(3), .. }));
+        assert!(matches!(&body[2], Stmt::Stop { code: None, .. }));
+    }
+
+    #[test]
+    fn power_is_right_associative_with_signed_exponent() {
+        let p = parse("program t\n real :: x\n x = 2.0 ** 3 ** 2\n x = 2.0 ** -1\nend program t\n");
+        let body = &p.main.unwrap().body;
+        match &body[0] {
+            Stmt::Assign { value: Expr::Bin { op: BinOp::Pow, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Pow, .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        match &body[1] {
+            Stmt::Assign { value: Expr::Bin { op: BinOp::Pow, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Un { op: UnOp::Neg, .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_arithmetic_over_comparison_over_logical() {
+        let p = parse("program t\n logical :: q\n q = 1 + 2 * 3 < 4 .and. .not. 5 > 6\nend program t\n");
+        let body = &p.main.unwrap().body;
+        match &body[0] {
+            Stmt::Assign { value: Expr::Bin { op: BinOp::And, lhs, rhs }, .. } => {
+                assert!(matches!(**lhs, Expr::Bin { op: BinOp::Lt, .. }));
+                assert!(matches!(**rhs, Expr::Un { op: UnOp::Not, .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_assignment_to_if_named_array_is_not_an_if() {
+        // No reserved words in Fortran.
+        let p = parse("program t\n real :: if(3)\n if(2) = 1.0\nend program t\n");
+        let body = &p.main.unwrap().body;
+        assert!(matches!(&body[0], Stmt::Assign { target: LValue::Index { name, .. }, .. } if name == "if"));
+    }
+
+    #[test]
+    fn call_with_and_without_args() {
+        let p = parse("program t\n call a\n call b()\n call c(1, 2.0)\nend program t\n");
+        let body = &p.main.unwrap().body;
+        assert!(matches!(&body[0], Stmt::Call { args, .. } if args.is_empty()));
+        assert!(matches!(&body[1], Stmt::Call { args, .. } if args.is_empty()));
+        assert!(matches!(&body[2], Stmt::Call { args, .. } if args.len() == 2));
+    }
+
+    #[test]
+    fn declaration_after_executable_statement_is_rejected() {
+        let e = parse_err("program t\n integer :: i\n i = 1\n real :: x\nend program t\n");
+        assert!(e.to_string().contains("specification part"));
+    }
+
+    #[test]
+    fn mismatched_end_name_is_rejected() {
+        let e = parse_err("module m\nend module wrong\n");
+        assert!(e.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn dimension_attribute_parses() {
+        let p = parse("module m\n real(kind=8), dimension(10, 0:5) :: grid\nend module m\n");
+        let d = &p.modules[0].decls[0];
+        match &d.attrs[0] {
+            Attr::Dimension(dims) => assert_eq!(dims.len(), 2),
+            other => panic!("expected dimension attr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_precision_is_real8() {
+        let p = parse("module m\n double precision :: x\nend module m\n");
+        assert_eq!(
+            p.modules[0].decls[0].type_spec,
+            TypeSpec::Real(FpPrecision::Double)
+        );
+    }
+
+    #[test]
+    fn deferred_shape_dims() {
+        let p = parse("module m\n real(kind=8), allocatable :: a(:,:)\nend module m\n");
+        let d = &p.modules[0].decls[0];
+        let dims = d.dims_for(&d.entities[0]).unwrap();
+        assert_eq!(dims, &[DimSpec::Deferred, DimSpec::Deferred]);
+    }
+
+    #[test]
+    fn entity_initializer_parses() {
+        let p = parse("module m\n real(kind=8) :: x = 1.5d0, y\nend module m\n");
+        let d = &p.modules[0].decls[0];
+        assert!(d.entities[0].init.is_some());
+        assert!(d.entities[1].init.is_none());
+    }
+
+    #[test]
+    fn elseif_fused_and_split_forms() {
+        for form in ["elseif", "else if"] {
+            let src = format!(
+                "program t\n real :: x\n x = 0.0\n if (x > 1.0) then\n x = 1.0\n {form} (x < 0.0) then\n x = 2.0\n end if\nend program t\n"
+            );
+            let p = parse(&src);
+            match &p.main.unwrap().body[1] {
+                Stmt::If { arms, .. } => assert_eq!(arms.len(), 2),
+                other => panic!("expected If, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_garbage_is_rejected() {
+        assert!(matches!(parse_err("subroutine s\nend\n"), FortranError::Parse { .. }));
+    }
+}

@@ -1,0 +1,133 @@
+//! Precision assignments: the representation of one mixed-precision variant.
+//!
+//! A [`PrecisionMap`] holds a precision for every FP variable in a program's
+//! inventory. The search proposes maps, the transformer applies them to the
+//! AST, and the evaluator measures the result — the Figure-1 cycle.
+
+use crate::ast::FpPrecision;
+use crate::sema::{FpVarId, ProgramIndex};
+use serde::{Deserialize, Serialize};
+
+/// A total precision assignment over a program's FP variable inventory,
+/// indexed by [`FpVarId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrecisionMap {
+    prec: Vec<FpPrecision>,
+}
+
+impl PrecisionMap {
+    /// The assignment in which every variable keeps its declared precision.
+    pub fn declared(index: &ProgramIndex) -> Self {
+        PrecisionMap { prec: index.fp_variables().map(|v| v.declared).collect() }
+    }
+
+    /// Uniform assignment: every variable in the given set lowered/raised to
+    /// `p`, everything else at its declared precision.
+    pub fn uniform(index: &ProgramIndex, vars: &[FpVarId], p: FpPrecision) -> Self {
+        let mut m = Self::declared(index);
+        for &v in vars {
+            m.set(v, p);
+        }
+        m
+    }
+
+    pub fn len(&self) -> usize {
+        self.prec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prec.is_empty()
+    }
+
+    pub fn get(&self, id: FpVarId) -> FpPrecision {
+        self.prec[id.0]
+    }
+
+    pub fn set(&mut self, id: FpVarId, p: FpPrecision) {
+        self.prec[id.0] = p;
+    }
+
+    /// Variables from `vars` currently assigned `p`.
+    pub fn with_precision(&self, vars: &[FpVarId], p: FpPrecision) -> Vec<FpVarId> {
+        vars.iter().copied().filter(|v| self.get(*v) == p).collect()
+    }
+
+    /// Fraction of `vars` assigned 32-bit — the "% 32-bit" axis of the
+    /// paper's Figures 5 and 7.
+    pub fn fraction_single(&self, vars: &[FpVarId]) -> f64 {
+        if vars.is_empty() {
+            return 0.0;
+        }
+        let n = vars.iter().filter(|v| self.get(**v) == FpPrecision::Single).count();
+        n as f64 / vars.len() as f64
+    }
+
+    /// A short stable fingerprint of the assignment restricted to `vars`
+    /// (used to group "unique procedure variants" for Figure 6).
+    pub fn fingerprint(&self, vars: &[FpVarId]) -> u64 {
+        // FNV-1a over the restricted bit pattern.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in vars {
+            let bit = match self.get(*v) {
+                FpPrecision::Single => 1u8,
+                FpPrecision::Double => 0u8,
+            };
+            h ^= u64::from(bit) ^ (v.0 as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, sema::analyze};
+
+    fn index() -> ProgramIndex {
+        let src = "module m\n real(kind=8) :: a, b\n real(kind=4) :: c\nend module m\n";
+        analyze(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn declared_map_matches_declarations() {
+        let ix = index();
+        let m = PrecisionMap::declared(&ix);
+        assert_eq!(m.len(), 3);
+        let ids: Vec<_> = ix.fp_variables().map(|v| v.id).collect();
+        assert_eq!(m.get(ids[0]), FpPrecision::Double);
+        assert_eq!(m.get(ids[2]), FpPrecision::Single);
+    }
+
+    #[test]
+    fn uniform_lowering_and_fraction() {
+        let ix = index();
+        let atoms = ix.atoms();
+        let m = PrecisionMap::uniform(&ix, &atoms, FpPrecision::Single);
+        assert_eq!(m.fraction_single(&atoms), 1.0);
+        let d = PrecisionMap::declared(&ix);
+        assert!((d.fraction_single(&atoms) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_assignments_on_restriction() {
+        let ix = index();
+        let atoms = ix.atoms();
+        let base = PrecisionMap::declared(&ix);
+        let mut flipped = base.clone();
+        flipped.set(atoms[0], FpPrecision::Single);
+        assert_ne!(base.fingerprint(&atoms), flipped.fingerprint(&atoms));
+        // Restricting to vars that did not change gives equal fingerprints.
+        assert_eq!(base.fingerprint(&atoms[1..]), flipped.fingerprint(&atoms[1..]));
+    }
+
+    #[test]
+    fn with_precision_filters() {
+        let ix = index();
+        let atoms = ix.atoms();
+        let mut m = PrecisionMap::declared(&ix);
+        m.set(atoms[1], FpPrecision::Single);
+        assert_eq!(m.with_precision(&atoms, FpPrecision::Double).len(), 1);
+        assert_eq!(m.with_precision(&atoms, FpPrecision::Single).len(), 2);
+    }
+}

@@ -1,0 +1,1158 @@
+//! Semantic analysis: scoped symbol tables, name resolution, arity and type
+//! checks, and the floating-point variable inventory.
+//!
+//! The FP inventory is the bridge to the tuning pipeline: each non-constant
+//! FP variable declaration is one *search atom* (Section III-A of the paper
+//! uses FP variable declarations as atoms at two precision levels).
+
+use crate::ast::*;
+use crate::error::{FortranError, Result};
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// A scope's `use` imports: `(module name, optional only-list)`.
+pub type ImportList = Vec<(String, Option<Vec<String>>)>;
+
+/// Identifies one scope (module, procedure, or main program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScopeId(pub usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    Module,
+    Procedure,
+    Main,
+}
+
+/// Descriptive information about a scope.
+#[derive(Debug, Clone)]
+pub struct ScopeInfo {
+    pub kind: ScopeKind,
+    /// Scope name (module name, procedure name, or program name).
+    pub name: String,
+    /// Owning module for procedures defined inside one.
+    pub module: Option<String>,
+}
+
+impl ScopeInfo {
+    /// `module::proc` style display path.
+    pub fn path(&self) -> String {
+        match &self.module {
+            Some(m) => format!("{m}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A declared symbol.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    pub name: String,
+    pub ty: TypeSpec,
+    /// Array rank; `None` for scalars.
+    pub rank: Option<usize>,
+    /// Named constant (`parameter` attribute).
+    pub is_parameter: bool,
+    /// Dummy argument of the owning procedure.
+    pub is_dummy: bool,
+    pub intent: Option<Intent>,
+    pub allocatable: bool,
+    /// Scope the symbol was declared in (imports keep their home scope).
+    pub scope: ScopeId,
+}
+
+impl Symbol {
+    pub fn is_array(&self) -> bool {
+        self.rank.is_some()
+    }
+
+    pub fn fp_precision(&self) -> Option<FpPrecision> {
+        self.ty.fp_precision()
+    }
+}
+
+/// Identifies one FP variable declaration — one search atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct FpVarId(pub usize);
+
+/// Inventory entry for an FP variable.
+#[derive(Debug, Clone)]
+pub struct FpVarInfo {
+    pub id: FpVarId,
+    pub scope: ScopeId,
+    pub name: String,
+    /// Declared precision in the original program.
+    pub declared: FpPrecision,
+    pub rank: Option<usize>,
+    pub is_dummy: bool,
+    /// Named constants are declared FP but excluded from the default atom set.
+    pub is_parameter: bool,
+}
+
+/// Information about a procedure definition.
+#[derive(Debug, Clone)]
+pub struct ProcInfo {
+    pub name: String,
+    pub scope: ScopeId,
+    pub module: Option<String>,
+    pub is_function: bool,
+    pub result: Option<String>,
+    pub params: Vec<String>,
+    /// Return type for functions (type of the result variable).
+    pub return_type: Option<TypeSpec>,
+}
+
+/// Kinds of intrinsic procedures the front end knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntrinsicKind {
+    Function,
+    Subroutine,
+}
+
+/// An intrinsic's signature: name, kind, and allowed argument count range.
+pub struct Intrinsic {
+    pub name: &'static str,
+    pub kind: IntrinsicKind,
+    pub min_args: usize,
+    pub max_args: usize,
+}
+
+/// The intrinsic table. Mostly Fortran standard intrinsics, plus the PROSE
+/// harness hooks (`prose_record*`) and the miniature MPI collectives that
+/// stand in for the models' `MPI_ALLREDUCE` calls.
+pub const INTRINSICS: &[Intrinsic] = &[
+    Intrinsic { name: "abs", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "sqrt", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "exp", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "log", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "log10", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "sin", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "cos", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "tan", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "atan", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "atan2", kind: IntrinsicKind::Function, min_args: 2, max_args: 2 },
+    Intrinsic { name: "tanh", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "max", kind: IntrinsicKind::Function, min_args: 2, max_args: 8 },
+    Intrinsic { name: "min", kind: IntrinsicKind::Function, min_args: 2, max_args: 8 },
+    Intrinsic { name: "mod", kind: IntrinsicKind::Function, min_args: 2, max_args: 2 },
+    Intrinsic { name: "sign", kind: IntrinsicKind::Function, min_args: 2, max_args: 2 },
+    Intrinsic { name: "real", kind: IntrinsicKind::Function, min_args: 1, max_args: 2 },
+    Intrinsic { name: "dble", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "sngl", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "int", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "nint", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "floor", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "size", kind: IntrinsicKind::Function, min_args: 1, max_args: 2 },
+    Intrinsic { name: "sum", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "maxval", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "minval", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "epsilon", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "huge", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "tiny", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic { name: "isnan", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    // Harness hooks: record a named scalar/array sample for the correctness
+    // metric (the stand-in for the models' NetCDF output path).
+    Intrinsic { name: "prose_record", kind: IntrinsicKind::Subroutine, min_args: 2, max_args: 2 },
+    Intrinsic {
+        name: "prose_record_array",
+        kind: IntrinsicKind::Subroutine,
+        min_args: 2,
+        max_args: 2,
+    },
+    // Miniature MPI collectives (identity data movement, fixed latency in
+    // the cost model — Section IV-B's `MPI_ALLREDUCE` observation).
+    Intrinsic {
+        name: "mpi_allreduce_sum",
+        kind: IntrinsicKind::Subroutine,
+        min_args: 2,
+        max_args: 2,
+    },
+    Intrinsic {
+        name: "mpi_allreduce_max",
+        kind: IntrinsicKind::Subroutine,
+        min_args: 2,
+        max_args: 2,
+    },
+];
+
+/// Look up an intrinsic by (lowercase) name.
+pub fn intrinsic(name: &str) -> Option<&'static Intrinsic> {
+    INTRINSICS.iter().find(|i| i.name == name)
+}
+
+/// The result of semantic analysis: scope table, symbols, procedures, and
+/// the FP variable inventory.
+#[derive(Debug)]
+pub struct ProgramIndex {
+    scopes: Vec<ScopeInfo>,
+    /// (scope, name) → locally declared symbol.
+    symbols: HashMap<(ScopeId, String), Symbol>,
+    /// Procedure name → definition info. Procedure names are required to be
+    /// globally unique (true of all model sources; checked).
+    procedures: HashMap<String, ProcInfo>,
+    /// Modules visible to each scope via `use` (transitively flattened name
+    /// lists for `only` imports; `None` = import everything).
+    imports: HashMap<ScopeId, ImportList>,
+    fp_vars: Vec<FpVarInfo>,
+    fp_by_key: HashMap<(ScopeId, String), FpVarId>,
+    module_scopes: HashMap<String, ScopeId>,
+}
+
+impl ProgramIndex {
+    pub fn scope_info(&self, id: ScopeId) -> &ScopeInfo {
+        &self.scopes[id.0]
+    }
+
+    pub fn scope_count(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Find a scope by procedure name.
+    pub fn scope_of_procedure(&self, name: &str) -> Option<ScopeId> {
+        self.procedures.get(name).map(|p| p.scope)
+    }
+
+    pub fn procedure(&self, name: &str) -> Option<&ProcInfo> {
+        self.procedures.get(name)
+    }
+
+    pub fn procedures(&self) -> impl Iterator<Item = &ProcInfo> {
+        self.procedures.values()
+    }
+
+    pub fn module_scope(&self, module: &str) -> Option<ScopeId> {
+        self.module_scopes.get(module).copied()
+    }
+
+    /// Resolve `name` from `scope`: local declaration first, then the
+    /// enclosing module's declarations, then `use` imports (both the
+    /// procedure's own and the enclosing module's).
+    pub fn lookup(&self, scope: ScopeId, name: &str) -> Option<&Symbol> {
+        let key = (scope, name.to_string());
+        if let Some(s) = self.symbols.get(&key) {
+            return Some(s);
+        }
+        // Enclosing module.
+        let info = self.scope_info(scope);
+        if let Some(m) = &info.module {
+            let mscope = self.module_scope(m)?;
+            if let Some(s) = self.symbols.get(&(mscope, name.to_string())) {
+                return Some(s);
+            }
+            if let Some(s) = self.lookup_imported(mscope, name) {
+                return Some(s);
+            }
+        }
+        self.lookup_imported(scope, name)
+    }
+
+    fn lookup_imported(&self, scope: ScopeId, name: &str) -> Option<&Symbol> {
+        let imports = self.imports.get(&scope)?;
+        for (module, only) in imports {
+            if let Some(list) = only {
+                if !list.iter().any(|n| n == name) {
+                    continue;
+                }
+            }
+            let mscope = self.module_scope(module)?;
+            if let Some(s) = self.symbols.get(&(mscope, name.to_string())) {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// True if a call to procedure `name` is visible from `scope` (defined
+    /// in the same module, imported via `use`, or defined in the main
+    /// program's `contains` when `scope` is inside the main program).
+    pub fn procedure_visible(&self, scope: ScopeId, name: &str) -> bool {
+        let Some(proc_info) = self.procedures.get(name) else {
+            return false;
+        };
+        let info = self.scope_info(scope);
+        // Same module (or both in main program).
+        let scope_module = match info.kind {
+            ScopeKind::Module => Some(info.name.clone()),
+            _ => info.module.clone(),
+        };
+        if proc_info.module == scope_module {
+            return true;
+        }
+        // Visible through imports of the scope or its enclosing module.
+        let mut scopes_to_check = vec![scope];
+        if let Some(m) = &info.module {
+            if let Some(ms) = self.module_scope(m) {
+                scopes_to_check.push(ms);
+            }
+        }
+        for s in scopes_to_check {
+            if let Some(imports) = self.imports.get(&s) {
+                for (module, only) in imports {
+                    if Some(module.clone()) == proc_info.module {
+                        match only {
+                            Some(list) => {
+                                if list.iter().any(|n| n == name) {
+                                    return true;
+                                }
+                            }
+                            None => return true,
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All FP variable declarations (including named constants).
+    pub fn fp_variables(&self) -> impl Iterator<Item = &FpVarInfo> {
+        self.fp_vars.iter()
+    }
+
+    pub fn fp_var(&self, id: FpVarId) -> &FpVarInfo {
+        &self.fp_vars[id.0]
+    }
+
+    pub fn fp_var_count(&self) -> usize {
+        self.fp_vars.len()
+    }
+
+    /// Find an FP variable by scope and name.
+    pub fn fp_var_id(&self, scope: ScopeId, name: &str) -> Option<FpVarId> {
+        self.fp_by_key.get(&(scope, name.to_string())).copied()
+    }
+
+    /// The default search-atom set: FP variables that are not named
+    /// constants (Section III-A: variable declarations as atoms).
+    pub fn atoms(&self) -> Vec<FpVarId> {
+        self.fp_vars
+            .iter()
+            .filter(|v| !v.is_parameter)
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// The atoms declared inside the given scopes (used to restrict the
+    /// search to a hotspot's procedures).
+    pub fn atoms_in_scopes(&self, scopes: &[ScopeId]) -> Vec<FpVarId> {
+        self.fp_vars
+            .iter()
+            .filter(|v| !v.is_parameter && scopes.contains(&v.scope))
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Human-readable `module::proc::name` path for an FP variable.
+    pub fn fp_var_path(&self, id: FpVarId) -> String {
+        let v = self.fp_var(id);
+        format!("{}::{}", self.scope_info(v.scope).path(), v.name)
+    }
+}
+
+/// Run semantic analysis over a parsed program.
+pub fn analyze(program: &Program) -> Result<ProgramIndex> {
+    let mut a = Analyzer::default();
+    a.collect(program)?;
+    a.check(program)?;
+    Ok(a.index())
+}
+
+#[derive(Default)]
+struct Analyzer {
+    scopes: Vec<ScopeInfo>,
+    symbols: HashMap<(ScopeId, String), Symbol>,
+    procedures: HashMap<String, ProcInfo>,
+    imports: HashMap<ScopeId, ImportList>,
+    fp_vars: Vec<FpVarInfo>,
+    fp_by_key: HashMap<(ScopeId, String), FpVarId>,
+    module_scopes: HashMap<String, ScopeId>,
+}
+
+impl Analyzer {
+    fn index(self) -> ProgramIndex {
+        ProgramIndex {
+            scopes: self.scopes,
+            symbols: self.symbols,
+            procedures: self.procedures,
+            imports: self.imports,
+            fp_vars: self.fp_vars,
+            fp_by_key: self.fp_by_key,
+            module_scopes: self.module_scopes,
+        }
+    }
+
+    fn new_scope(&mut self, info: ScopeInfo) -> ScopeId {
+        let id = ScopeId(self.scopes.len());
+        self.scopes.push(info);
+        id
+    }
+
+    // ---- pass 1: collect scopes, symbols, procedures -------------------
+
+    fn collect(&mut self, program: &Program) -> Result<()> {
+        for m in &program.modules {
+            if self.module_scopes.contains_key(&m.name) {
+                return Err(FortranError::sema(
+                    m.span.line,
+                    format!("duplicate module `{}`", m.name),
+                ));
+            }
+            let scope = self.new_scope(ScopeInfo {
+                kind: ScopeKind::Module,
+                name: m.name.clone(),
+                module: None,
+            });
+            self.module_scopes.insert(m.name.clone(), scope);
+            self.imports.insert(
+                scope,
+                m.uses.iter().map(|u| (u.module.clone(), u.only.clone())).collect(),
+            );
+            self.collect_decls(scope, &m.decls, &[])?;
+            for p in &m.procedures {
+                self.collect_procedure(p, Some(m.name.clone()))?;
+            }
+        }
+        if let Some(mp) = &program.main {
+            let scope = self.new_scope(ScopeInfo {
+                kind: ScopeKind::Main,
+                name: mp.name.clone(),
+                module: None,
+            });
+            self.imports.insert(
+                scope,
+                mp.uses.iter().map(|u| (u.module.clone(), u.only.clone())).collect(),
+            );
+            self.collect_decls(scope, &mp.decls, &[])?;
+            for p in &mp.procedures {
+                self.collect_procedure(p, Some(mp.name.clone()))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_procedure(&mut self, p: &Procedure, module: Option<String>) -> Result<()> {
+        if self.procedures.contains_key(&p.name) {
+            return Err(FortranError::sema(
+                p.span.line,
+                format!("duplicate procedure `{}` (procedure names must be unique)", p.name),
+            ));
+        }
+        if intrinsic(&p.name).is_some() {
+            return Err(FortranError::sema(
+                p.span.line,
+                format!("procedure `{}` shadows an intrinsic", p.name),
+            ));
+        }
+        let scope = self.new_scope(ScopeInfo {
+            kind: ScopeKind::Procedure,
+            name: p.name.clone(),
+            module: module.clone(),
+        });
+        self.imports.insert(
+            scope,
+            p.uses.iter().map(|u| (u.module.clone(), u.only.clone())).collect(),
+        );
+        self.collect_decls(scope, &p.decls, &p.params)?;
+
+        // Every dummy argument must be declared.
+        for param in &p.params {
+            if !self.symbols.contains_key(&(scope, param.clone())) {
+                return Err(FortranError::sema(
+                    p.span.line,
+                    format!("dummy argument `{param}` of `{}` has no declaration", p.name),
+                ));
+            }
+        }
+        let (is_function, result) = match &p.kind {
+            ProcKind::Function { result } => (true, Some(result.clone())),
+            ProcKind::Subroutine => (false, None),
+        };
+        let return_type = if let Some(r) = &result {
+            let sym = self.symbols.get(&(scope, r.clone())).ok_or_else(|| {
+                FortranError::sema(
+                    p.span.line,
+                    format!("result variable `{r}` of function `{}` has no declaration", p.name),
+                )
+            })?;
+            Some(sym.ty)
+        } else {
+            None
+        };
+        self.procedures.insert(
+            p.name.clone(),
+            ProcInfo {
+                name: p.name.clone(),
+                scope,
+                module,
+                is_function,
+                result,
+                params: p.params.clone(),
+                return_type,
+            },
+        );
+        Ok(())
+    }
+
+    fn collect_decls(
+        &mut self,
+        scope: ScopeId,
+        decls: &[Declaration],
+        params: &[String],
+    ) -> Result<()> {
+        for d in decls {
+            for e in &d.entities {
+                let key = (scope, e.name.clone());
+                if self.symbols.contains_key(&key) {
+                    return Err(FortranError::sema(
+                        d.span.line,
+                        format!("duplicate declaration of `{}`", e.name),
+                    ));
+                }
+                let rank = d.dims_for(e).map(|dims| dims.len());
+                let is_dummy = params.contains(&e.name);
+                let sym = Symbol {
+                    name: e.name.clone(),
+                    ty: d.type_spec,
+                    rank,
+                    is_parameter: d.is_parameter(),
+                    is_dummy,
+                    intent: d.intent(),
+                    allocatable: d.is_allocatable(),
+                    scope,
+                };
+                if let TypeSpec::Real(prec) = d.type_spec {
+                    let id = FpVarId(self.fp_vars.len());
+                    self.fp_vars.push(FpVarInfo {
+                        id,
+                        scope,
+                        name: e.name.clone(),
+                        declared: prec,
+                        rank,
+                        is_dummy,
+                        is_parameter: d.is_parameter(),
+                    });
+                    self.fp_by_key.insert(key.clone(), id);
+                }
+                self.symbols.insert(key, sym);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- pass 2: resolve and check --------------------------------------
+
+    fn check(&self, program: &Program) -> Result<()> {
+        // Validate use statements refer to known modules/names.
+        for (scope, imports) in &self.imports {
+            for (module, only) in imports {
+                let Some(mscope) = self.module_scopes.get(module) else {
+                    return Err(FortranError::sema(
+                        0,
+                        format!(
+                            "`use {module}` in {} refers to an unknown module",
+                            self.scopes[scope.0].path()
+                        ),
+                    ));
+                };
+                if let Some(names) = only {
+                    for n in names {
+                        let has_sym = self.symbols.contains_key(&(*mscope, n.clone()));
+                        let has_proc = self
+                            .procedures
+                            .get(n)
+                            .is_some_and(|p| p.module.as_deref() == Some(module));
+                        if !has_sym && !has_proc {
+                            return Err(FortranError::sema(
+                                0,
+                                format!("`use {module}, only: {n}`: no such name in `{module}`"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        let index_view = IndexView { a: self };
+        for m in &program.modules {
+            for p in &m.procedures {
+                let scope = self.procedures[&p.name].scope;
+                let checker = Checker { view: &index_view, scope };
+                checker.check_body(&p.body)?;
+            }
+        }
+        if let Some(mp) = &program.main {
+            let scope = ScopeId(
+                self.scopes
+                    .iter()
+                    .position(|s| s.kind == ScopeKind::Main)
+                    .expect("main scope exists"),
+            );
+            let checker = Checker { view: &index_view, scope };
+            checker.check_body(&mp.body)?;
+            for p in &mp.procedures {
+                let pscope = self.procedures[&p.name].scope;
+                let checker = Checker { view: &index_view, scope: pscope };
+                checker.check_body(&p.body)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read-only view over the analyzer used during checking (pass 2 borrows
+/// the collected tables immutably).
+struct IndexView<'a> {
+    a: &'a Analyzer,
+}
+
+impl<'a> IndexView<'a> {
+    fn lookup(&self, scope: ScopeId, name: &str) -> Option<&Symbol> {
+        let key = (scope, name.to_string());
+        if let Some(s) = self.a.symbols.get(&key) {
+            return Some(s);
+        }
+        let info = &self.a.scopes[scope.0];
+        if let Some(m) = &info.module {
+            if let Some(mscope) = self.a.module_scopes.get(m) {
+                if let Some(s) = self.a.symbols.get(&(*mscope, name.to_string())) {
+                    return Some(s);
+                }
+                if let Some(s) = self.lookup_imported(*mscope, name) {
+                    return Some(s);
+                }
+            }
+        }
+        self.lookup_imported(scope, name)
+    }
+
+    fn lookup_imported(&self, scope: ScopeId, name: &str) -> Option<&Symbol> {
+        for (module, only) in self.a.imports.get(&scope)? {
+            if let Some(list) = only {
+                if !list.iter().any(|n| n == name) {
+                    continue;
+                }
+            }
+            if let Some(mscope) = self.a.module_scopes.get(module) {
+                if let Some(s) = self.a.symbols.get(&(*mscope, name.to_string())) {
+                    return Some(s);
+                }
+            }
+        }
+        None
+    }
+
+    fn procedure(&self, name: &str) -> Option<&ProcInfo> {
+        self.a.procedures.get(name)
+    }
+}
+
+struct Checker<'a> {
+    view: &'a IndexView<'a>,
+    scope: ScopeId,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, span: Span, msg: impl Into<String>) -> FortranError {
+        FortranError::sema(span.line, msg.into())
+    }
+
+    fn check_body(&self, body: &[Stmt]) -> Result<()> {
+        for s in body {
+            self.check_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&self, stmt: &Stmt) -> Result<()> {
+        let span = stmt.span();
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let name = target.name();
+                let sym = self.view.lookup(self.scope, name).ok_or_else(|| {
+                    self.err(span, format!("assignment to undeclared variable `{name}`"))
+                })?;
+                if sym.is_parameter {
+                    return Err(self.err(span, format!("assignment to named constant `{name}`")));
+                }
+                if let LValue::Index { indices, .. } = target {
+                    match sym.rank {
+                        Some(r) if r == indices.len() => {}
+                        Some(r) => {
+                            return Err(self.err(
+                                span,
+                                format!(
+                                    "`{name}` has rank {r} but is indexed with {} subscripts",
+                                    indices.len()
+                                ),
+                            ))
+                        }
+                        None => {
+                            return Err(self.err(span, format!("`{name}` is scalar but indexed")))
+                        }
+                    }
+                    for ix in indices {
+                        self.check_expr(ix, span)?;
+                    }
+                }
+                self.check_expr(value, span)
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for (cond, body) in arms {
+                    self.check_expr(cond, span)?;
+                    self.check_body(body)?;
+                }
+                if let Some(body) = else_body {
+                    self.check_body(body)?;
+                }
+                Ok(())
+            }
+            Stmt::Do { var, start, end, step, body, .. } => {
+                let sym = self
+                    .view
+                    .lookup(self.scope, var)
+                    .ok_or_else(|| self.err(span, format!("undeclared loop variable `{var}`")))?;
+                if sym.ty != TypeSpec::Integer {
+                    return Err(self.err(span, format!("loop variable `{var}` must be integer")));
+                }
+                self.check_expr(start, span)?;
+                self.check_expr(end, span)?;
+                if let Some(st) = step {
+                    self.check_expr(st, span)?;
+                }
+                self.check_body(body)
+            }
+            Stmt::DoWhile { cond, body, .. } => {
+                self.check_expr(cond, span)?;
+                self.check_body(body)
+            }
+            Stmt::Call { name, args, .. } => {
+                for a in args {
+                    self.check_expr(a, span)?;
+                }
+                if let Some(i) = intrinsic(name) {
+                    if i.kind != IntrinsicKind::Subroutine {
+                        return Err(
+                            self.err(span, format!("intrinsic `{name}` is not a subroutine"))
+                        );
+                    }
+                    if args.len() < i.min_args || args.len() > i.max_args {
+                        return Err(self.err(
+                            span,
+                            format!("intrinsic `{name}` called with {} arguments", args.len()),
+                        ));
+                    }
+                    return Ok(());
+                }
+                let p = self
+                    .view
+                    .procedure(name)
+                    .ok_or_else(|| self.err(span, format!("call to unknown procedure `{name}`")))?;
+                if p.is_function {
+                    return Err(self.err(span, format!("`{name}` is a function, not a subroutine")));
+                }
+                if p.params.len() != args.len() {
+                    return Err(self.err(
+                        span,
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            p.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            Stmt::Allocate { items, .. } => {
+                for (name, dims) in items {
+                    let sym = self.view.lookup(self.scope, name).ok_or_else(|| {
+                        self.err(span, format!("allocate of undeclared `{name}`"))
+                    })?;
+                    if !sym.allocatable {
+                        return Err(
+                            self.err(span, format!("`{name}` is not declared allocatable"))
+                        );
+                    }
+                    match sym.rank {
+                        Some(r) if r == dims.len() => {}
+                        _ => {
+                            return Err(self.err(
+                                span,
+                                format!("allocate rank mismatch for `{name}`"),
+                            ))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Deallocate { names, .. } => {
+                for name in names {
+                    let sym = self.view.lookup(self.scope, name).ok_or_else(|| {
+                        self.err(span, format!("deallocate of undeclared `{name}`"))
+                    })?;
+                    if !sym.allocatable {
+                        return Err(
+                            self.err(span, format!("`{name}` is not declared allocatable"))
+                        );
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Print { items, .. } => {
+                for e in items {
+                    self.check_expr(e, span)?;
+                }
+                Ok(())
+            }
+            Stmt::Return { .. } | Stmt::Exit { .. } | Stmt::Cycle { .. } | Stmt::Stop { .. } => {
+                Ok(())
+            }
+        }
+    }
+
+    fn check_expr(&self, e: &Expr, span: Span) -> Result<()> {
+        match e {
+            Expr::Var(name) => {
+                if self.view.lookup(self.scope, name).is_none() {
+                    return Err(self.err(span, format!("undeclared identifier `{name}`")));
+                }
+                Ok(())
+            }
+            Expr::NameRef { name, args } => {
+                for a in args {
+                    self.check_expr(a, span)?;
+                }
+                // Array reference?
+                if let Some(sym) = self.view.lookup(self.scope, name) {
+                    return match sym.rank {
+                        Some(r) if r == args.len() => Ok(()),
+                        Some(r) => Err(self.err(
+                            span,
+                            format!(
+                                "`{name}` has rank {r} but is indexed with {} subscripts",
+                                args.len()
+                            ),
+                        )),
+                        None => Err(self.err(
+                            span,
+                            format!("`{name}` is a scalar but used with arguments"),
+                        )),
+                    };
+                }
+                // Intrinsic function?
+                if let Some(i) = intrinsic(name) {
+                    if i.kind != IntrinsicKind::Function {
+                        return Err(self.err(
+                            span,
+                            format!("intrinsic subroutine `{name}` used as a function"),
+                        ));
+                    }
+                    if args.len() < i.min_args || args.len() > i.max_args {
+                        return Err(self.err(
+                            span,
+                            format!("intrinsic `{name}` called with {} arguments", args.len()),
+                        ));
+                    }
+                    return Ok(());
+                }
+                // User function?
+                if let Some(p) = self.view.procedure(name) {
+                    if !p.is_function {
+                        return Err(self.err(
+                            span,
+                            format!("subroutine `{name}` referenced as a function"),
+                        ));
+                    }
+                    if p.params.len() != args.len() {
+                        return Err(self.err(
+                            span,
+                            format!(
+                                "function `{name}` expects {} arguments, got {}",
+                                p.params.len(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    return Ok(());
+                }
+                Err(self.err(span, format!("unknown array or function `{name}`")))
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                self.check_expr(lhs, span)?;
+                self.check_expr(rhs, span)
+            }
+            Expr::Un { operand, .. } => self.check_expr(operand, span),
+            Expr::RealLit { .. } | Expr::IntLit(_) | Expr::LogicalLit(_) | Expr::StrLit(_) => {
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn index(src: &str) -> ProgramIndex {
+        analyze(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn sema_err(src: &str) -> FortranError {
+        analyze(&parse_program(src).unwrap()).unwrap_err()
+    }
+
+    const TWO_MODULES: &str = r#"
+module consts
+  real(kind=8), parameter :: pi = 3.14159d0
+  real(kind=8) :: scale = 1.0d0
+end module consts
+
+module work
+  use consts, only: pi, scale
+contains
+  subroutine step(u, n)
+    real(kind=8), intent(inout) :: u(n)
+    integer, intent(in) :: n
+    integer :: i
+    real(kind=4) :: t
+    do i = 1, n
+      t = 0.5
+      u(i) = u(i) * pi * scale + dble(t)
+    end do
+  end subroutine step
+  function total(u, n) result(acc)
+    real(kind=8) :: u(n), acc
+    integer :: n, i
+    acc = 0.0d0
+    do i = 1, n
+      acc = acc + u(i)
+    end do
+  end function total
+end module work
+
+program main
+  use work, only: step, total
+  real(kind=8) :: grid(10), s
+  integer :: k
+  do k = 1, 10
+    grid(k) = 1.0d0
+  end do
+  call step(grid, 10)
+  s = total(grid, 10)
+  print *, s
+end program main
+"#;
+
+    #[test]
+    fn builds_scopes_and_symbols() {
+        let ix = index(TWO_MODULES);
+        assert_eq!(ix.scope_count(), 5); // consts, work, step, total, main
+        let step_scope = ix.scope_of_procedure("step").unwrap();
+        let u = ix.lookup(step_scope, "u").unwrap();
+        assert_eq!(u.rank, Some(1));
+        assert!(u.is_dummy);
+        assert_eq!(u.intent, Some(Intent::InOut));
+        assert_eq!(u.fp_precision(), Some(FpPrecision::Double));
+    }
+
+    #[test]
+    fn module_level_symbols_visible_from_contained_procedures() {
+        let src = r#"
+module m
+  real(kind=8) :: shared
+contains
+  subroutine s()
+    shared = 1.0d0
+  end subroutine s
+end module m
+"#;
+        let ix = index(src);
+        let scope = ix.scope_of_procedure("s").unwrap();
+        let sym = ix.lookup(scope, "shared").unwrap();
+        assert_eq!(ix.scope_info(sym.scope).name, "m");
+    }
+
+    #[test]
+    fn imported_symbols_resolve_through_use() {
+        let ix = index(TWO_MODULES);
+        let step_scope = ix.scope_of_procedure("step").unwrap();
+        assert!(ix.lookup(step_scope, "pi").is_some());
+        assert!(ix.lookup(step_scope, "scale").is_some());
+    }
+
+    #[test]
+    fn only_list_restricts_imports() {
+        let src = r#"
+module a
+  real(kind=8) :: x = 0.0d0, y = 0.0d0
+end module a
+module b
+  use a, only: x
+contains
+  subroutine s()
+    y = 1.0d0
+  end subroutine s
+end module b
+"#;
+        let e = sema_err(src);
+        assert!(e.to_string().contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn fp_inventory_counts_all_real_declarations() {
+        let ix = index(TWO_MODULES);
+        // consts: pi, scale; step: u, t; total: u, acc; main: grid, s.
+        assert_eq!(ix.fp_var_count(), 8);
+        // atoms exclude the named constant pi.
+        assert_eq!(ix.atoms().len(), 7);
+    }
+
+    #[test]
+    fn atoms_in_scopes_restricts_to_hotspot() {
+        let ix = index(TWO_MODULES);
+        let step = ix.scope_of_procedure("step").unwrap();
+        let atoms = ix.atoms_in_scopes(&[step]);
+        assert_eq!(atoms.len(), 2); // u and t
+        let names: Vec<_> = atoms.iter().map(|a| ix.fp_var(*a).name.clone()).collect();
+        assert!(names.contains(&"u".to_string()));
+        assert!(names.contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn fp_var_path_is_descriptive() {
+        let ix = index(TWO_MODULES);
+        let step = ix.scope_of_procedure("step").unwrap();
+        let t = ix.fp_var_id(step, "t").unwrap();
+        assert_eq!(ix.fp_var_path(t), "work::step::t");
+    }
+
+    #[test]
+    fn procedure_visibility_through_use() {
+        let ix = index(TWO_MODULES);
+        let main_scope = ScopeId(
+            (0..ix.scope_count())
+                .find(|i| ix.scope_info(ScopeId(*i)).kind == ScopeKind::Main)
+                .unwrap(),
+        );
+        assert!(ix.procedure_visible(main_scope, "step"));
+        assert!(ix.procedure_visible(main_scope, "total"));
+        let step_scope = ix.scope_of_procedure("step").unwrap();
+        // `total` is in the same module as `step`.
+        assert!(ix.procedure_visible(step_scope, "total"));
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = sema_err("program t\n integer :: i\n i = j\nend program t\n");
+        assert!(e.to_string().contains("undeclared identifier `j`"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let e = sema_err("program t\n integer :: i\n real(kind=8) :: i\nend program t\n");
+        assert!(e.to_string().contains("duplicate declaration"));
+    }
+
+    #[test]
+    fn rejects_assignment_to_parameter() {
+        let e = sema_err(
+            "program t\n real(kind=8), parameter :: c = 1.0d0\n c = 2.0d0\nend program t\n",
+        );
+        assert!(e.to_string().contains("named constant"));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let e = sema_err(
+            "program t\n real(kind=8) :: a(3,3)\n a(1) = 0.0d0\nend program t\n",
+        );
+        assert!(e.to_string().contains("rank 2"));
+    }
+
+    #[test]
+    fn rejects_indexing_a_scalar() {
+        let e = sema_err("program t\n real(kind=8) :: x\n x(1) = 0.0d0\nend program t\n");
+        assert!(e.to_string().contains("scalar"));
+    }
+
+    #[test]
+    fn rejects_unknown_call_and_bad_arity() {
+        let e = sema_err("program t\n call nothing(1)\nend program t\n");
+        assert!(e.to_string().contains("unknown procedure"));
+        let e = sema_err(
+            "module m\ncontains\n subroutine f(a)\n integer :: a\n a = 0\n end subroutine f\nend module m\nprogram t\n use m\n call f(1, 2)\nend program t\n",
+        );
+        assert!(e.to_string().contains("expects 1 arguments"));
+    }
+
+    #[test]
+    fn rejects_calling_function_as_subroutine() {
+        let e = sema_err(
+            "module m\ncontains\n function f() result(r)\n real(kind=8) :: r\n r = 1.0d0\n end function f\nend module m\nprogram t\n use m\n call f()\nend program t\n",
+        );
+        assert!(e.to_string().contains("is a function"));
+    }
+
+    #[test]
+    fn rejects_nonallocatable_allocate() {
+        let e = sema_err(
+            "program t\n real(kind=8) :: a(10)\n allocate(a(10))\nend program t\n",
+        );
+        assert!(e.to_string().contains("not declared allocatable"));
+    }
+
+    #[test]
+    fn rejects_noninteger_loop_variable() {
+        let e = sema_err(
+            "program t\n real(kind=8) :: x\n integer :: n\n n = 2\n do x = 1, n\n end do\nend program t\n",
+        );
+        assert!(e.to_string().contains("must be integer"));
+    }
+
+    #[test]
+    fn rejects_duplicate_procedure_names() {
+        let e = sema_err(
+            "module a\ncontains\n subroutine f()\n end subroutine f\nend module a\nmodule b\ncontains\n subroutine f()\n end subroutine f\nend module b\n",
+        );
+        assert!(e.to_string().contains("duplicate procedure"));
+    }
+
+    #[test]
+    fn rejects_use_of_unknown_module_or_name() {
+        let e = sema_err("program t\n use nosuch\nend program t\n");
+        assert!(e.to_string().contains("unknown module"));
+        let e = sema_err(
+            "module m\n integer :: x\nend module m\nprogram t\n use m, only: nope\nend program t\n",
+        );
+        assert!(e.to_string().contains("no such name"));
+    }
+
+    #[test]
+    fn rejects_missing_dummy_declaration() {
+        let e = sema_err(
+            "module m\ncontains\n subroutine f(a)\n end subroutine f\nend module m\n",
+        );
+        assert!(e.to_string().contains("no declaration"));
+    }
+
+    #[test]
+    fn intrinsics_pass_checks() {
+        index(
+            "program t\n real(kind=8) :: x, y(4)\n integer :: i\n do i = 1, 4\n y(i) = 1.0d0\n end do\n x = sqrt(abs(sum(y))) + max(1.0d0, 2.0d0)\n call prose_record('x', x)\n call mpi_allreduce_sum(x, x)\nend program t\n",
+        );
+    }
+
+    #[test]
+    fn rejects_intrinsic_arity_violation() {
+        let e = sema_err("program t\n real(kind=8) :: x\n x = sqrt(1.0d0, 2.0d0)\nend program t\n");
+        assert!(e.to_string().contains("arguments"));
+    }
+
+    #[test]
+    fn rejects_procedure_shadowing_intrinsic() {
+        let e = sema_err(
+            "module m\ncontains\n function sqrt(x) result(r)\n real(kind=8) :: x, r\n r = x\n end function sqrt\nend module m\n",
+        );
+        assert!(e.to_string().contains("shadows an intrinsic"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Tokens produced by the lexer.
+//!
+//! Keywords are not distinguished from identifiers at lex time: Fortran has
+//! no reserved words (`if = 3` is legal), so the parser decides contextually
+//! whether an identifier is a keyword. All identifiers are normalized to
+//! lowercase because Fortran is case-insensitive.
+
+use crate::ast::FpPrecision;
+
+/// One lexical token plus the line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword, lowercase-normalized.
+    Ident(String),
+    /// Integer literal, e.g. `42`.
+    IntLit(i64),
+    /// Real literal with the precision implied by its spelling:
+    /// `1.0` / `1.0e3` / `1.0_4` are single; `1.0d0` / `1.0_8` are double.
+    RealLit { value: f64, precision: FpPrecision },
+    /// Character literal, quotes stripped, `''` unescaped to `'`.
+    StrLit(String),
+    /// Logical literals `.true.` / `.false.`.
+    LogicalLit(bool),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    Comma,
+    ColonColon,
+    Colon,
+    Semicolon,
+    Percent,
+    Assign,    // =
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    Eq,        // == or .eq.
+    Ne,        // /= or .ne.
+    Lt,        // <  or .lt.
+    Le,        // <= or .le.
+    Gt,        // >  or .gt.
+    Ge,        // >= or .ge.
+    And,       // .and.
+    Or,        // .or.
+    Not,       // .not.
+
+    /// Statement terminator: end of a (possibly continued) source line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given (lowercase) identifier/keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Human-readable token description for parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::RealLit { value, .. } => format!("real literal `{value}`"),
+            TokenKind::StrLit(s) => format!("string literal '{s}'"),
+            TokenKind::LogicalLit(b) => format!(".{b}."),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::ColonColon => "`::`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::StarStar => "`**`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Eq => "`==`".into(),
+            TokenKind::Ne => "`/=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::And => "`.and.`".into(),
+            TokenKind::Or => "`.or.`".into(),
+            TokenKind::Not => "`.not.`".into(),
+            TokenKind::Newline => "end of line".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_check_matches_exact_identifier() {
+        let t = TokenKind::Ident("module".into());
+        assert!(t.is_kw("module"));
+        assert!(!t.is_kw("modul"));
+        assert_eq!(t.as_ident(), Some("module"));
+    }
+
+    #[test]
+    fn describe_formats_are_stable() {
+        assert_eq!(TokenKind::ColonColon.describe(), "`::`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "`x`");
+    }
+}

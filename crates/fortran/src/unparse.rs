@@ -1,0 +1,581 @@
+//! AST → Fortran source text.
+//!
+//! The central contract is the round trip: `parse(unparse(p)) == p` for any
+//! well-formed program, which the transformation pipeline relies on when it
+//! unparses a mixed-precision variant and feeds it back through the front
+//! end (mirroring the paper's unparse-and-reinsert step around ROSE).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a complete program as free-form Fortran source.
+pub fn unparse(program: &Program) -> String {
+    let mut w = Writer::new();
+    for m in &program.modules {
+        w.module(m);
+        w.blank();
+    }
+    if let Some(mp) = &program.main {
+        w.main(mp);
+    }
+    w.out
+}
+
+/// Render a single expression (used by diagnostics and diffs).
+pub fn unparse_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    Writer::expr_into(&mut s, e, 0);
+    s
+}
+
+/// Render a single statement at the given indent depth.
+pub fn unparse_stmt(s: &Stmt, depth: usize) -> String {
+    let mut w = Writer::new();
+    w.depth = depth;
+    w.stmt(s);
+    w.out
+}
+
+/// Render a declaration statement (no trailing newline).
+pub fn unparse_decl(d: &Declaration) -> String {
+    let mut w = Writer::new();
+    w.decl(d);
+    w.out.trim_end().to_string()
+}
+
+struct Writer {
+    out: String,
+    depth: usize,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { out: String::new(), depth: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    fn module(&mut self, m: &Module) {
+        self.line(&format!("module {}", m.name));
+        self.depth += 1;
+        for u in &m.uses {
+            self.use_stmt(u);
+        }
+        self.line("implicit none");
+        for d in &m.decls {
+            self.decl(d);
+        }
+        self.depth -= 1;
+        if !m.procedures.is_empty() {
+            self.line("contains");
+            self.depth += 1;
+            for (i, p) in m.procedures.iter().enumerate() {
+                if i > 0 {
+                    self.blank();
+                }
+                self.procedure(p);
+            }
+            self.depth -= 1;
+        }
+        self.line(&format!("end module {}", m.name));
+    }
+
+    fn main(&mut self, mp: &MainProgram) {
+        self.line(&format!("program {}", mp.name));
+        self.depth += 1;
+        for u in &mp.uses {
+            self.use_stmt(u);
+        }
+        self.line("implicit none");
+        for d in &mp.decls {
+            self.decl(d);
+        }
+        for s in &mp.body {
+            self.stmt(s);
+        }
+        self.depth -= 1;
+        if !mp.procedures.is_empty() {
+            self.line("contains");
+            self.depth += 1;
+            for p in &mp.procedures {
+                self.procedure(p);
+                self.blank();
+            }
+            self.depth -= 1;
+        }
+        self.line(&format!("end program {}", mp.name));
+    }
+
+    fn use_stmt(&mut self, u: &UseStmt) {
+        match &u.only {
+            Some(names) => self.line(&format!("use {}, only: {}", u.module, names.join(", "))),
+            None => self.line(&format!("use {}", u.module)),
+        }
+    }
+
+    fn procedure(&mut self, p: &Procedure) {
+        let params = p.params.join(", ");
+        let head = match &p.kind {
+            ProcKind::Subroutine => format!("subroutine {}({})", p.name, params),
+            ProcKind::Function { result } if result == &p.name => {
+                format!("function {}({})", p.name, params)
+            }
+            ProcKind::Function { result } => {
+                format!("function {}({}) result({})", p.name, params, result)
+            }
+        };
+        self.line(&head);
+        self.depth += 1;
+        for u in &p.uses {
+            self.use_stmt(u);
+        }
+        self.line("implicit none");
+        for d in &p.decls {
+            self.decl(d);
+        }
+        for s in &p.body {
+            self.stmt(s);
+        }
+        self.depth -= 1;
+        let tail = match p.kind {
+            ProcKind::Subroutine => format!("end subroutine {}", p.name),
+            ProcKind::Function { .. } => format!("end function {}", p.name),
+        };
+        self.line(&tail);
+    }
+
+    fn decl(&mut self, d: &Declaration) {
+        let mut s = match d.type_spec {
+            TypeSpec::Real(p) => format!("real(kind={})", p.kind()),
+            TypeSpec::Integer => "integer".to_string(),
+            TypeSpec::Logical => "logical".to_string(),
+            TypeSpec::Character => "character(len=*)".to_string(),
+        };
+        for a in &d.attrs {
+            s.push_str(", ");
+            match a {
+                Attr::Parameter => s.push_str("parameter"),
+                Attr::Allocatable => s.push_str("allocatable"),
+                Attr::Save => s.push_str("save"),
+                Attr::Intent(Intent::In) => s.push_str("intent(in)"),
+                Attr::Intent(Intent::Out) => s.push_str("intent(out)"),
+                Attr::Intent(Intent::InOut) => s.push_str("intent(inout)"),
+                Attr::Dimension(dims) => {
+                    s.push_str("dimension(");
+                    Self::dims_into(&mut s, dims);
+                    s.push(')');
+                }
+            }
+        }
+        s.push_str(" :: ");
+        for (i, e) in d.entities.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&e.name);
+            if let Some(dims) = &e.dims {
+                s.push('(');
+                Self::dims_into(&mut s, dims);
+                s.push(')');
+            }
+            if let Some(init) = &e.init {
+                s.push_str(" = ");
+                Self::expr_into(&mut s, init, 0);
+            }
+        }
+        self.line(&s);
+    }
+
+    fn dims_into(s: &mut String, dims: &[DimSpec]) {
+        for (i, d) in dims.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match d {
+                DimSpec::Upper(e) => Self::expr_into(s, e, 0),
+                DimSpec::Range(lo, hi) => {
+                    Self::expr_into(s, lo, 0);
+                    s.push(':');
+                    Self::expr_into(s, hi, 0);
+                }
+                DimSpec::Deferred => s.push(':'),
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let mut s = String::new();
+                Self::lvalue_into(&mut s, target);
+                s.push_str(" = ");
+                Self::expr_into(&mut s, value, 0);
+                self.line(&s);
+            }
+            Stmt::If { arms, else_body, .. } => {
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    let mut s = String::new();
+                    s.push_str(if i == 0 { "if (" } else { "else if (" });
+                    Self::expr_into(&mut s, cond, 0);
+                    s.push_str(") then");
+                    self.line(&s);
+                    self.depth += 1;
+                    for b in body {
+                        self.stmt(b);
+                    }
+                    self.depth -= 1;
+                }
+                if let Some(body) = else_body {
+                    self.line("else");
+                    self.depth += 1;
+                    for b in body {
+                        self.stmt(b);
+                    }
+                    self.depth -= 1;
+                }
+                self.line("end if");
+            }
+            Stmt::Do { var, start, end, step, body, .. } => {
+                let mut s = format!("do {var} = ");
+                Self::expr_into(&mut s, start, 0);
+                s.push_str(", ");
+                Self::expr_into(&mut s, end, 0);
+                if let Some(st) = step {
+                    s.push_str(", ");
+                    Self::expr_into(&mut s, st, 0);
+                }
+                self.line(&s);
+                self.depth += 1;
+                for b in body {
+                    self.stmt(b);
+                }
+                self.depth -= 1;
+                self.line("end do");
+            }
+            Stmt::DoWhile { cond, body, .. } => {
+                let mut s = String::from("do while (");
+                Self::expr_into(&mut s, cond, 0);
+                s.push(')');
+                self.line(&s);
+                self.depth += 1;
+                for b in body {
+                    self.stmt(b);
+                }
+                self.depth -= 1;
+                self.line("end do");
+            }
+            Stmt::Call { name, args, .. } => {
+                let mut s = format!("call {name}");
+                if !args.is_empty() {
+                    s.push('(');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        Self::expr_into(&mut s, a, 0);
+                    }
+                    s.push(')');
+                }
+                self.line(&s);
+            }
+            Stmt::Return { .. } => self.line("return"),
+            Stmt::Exit { .. } => self.line("exit"),
+            Stmt::Cycle { .. } => self.line("cycle"),
+            Stmt::Allocate { items, .. } => {
+                let mut s = String::from("allocate(");
+                for (i, (name, dims)) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(name);
+                    s.push('(');
+                    Self::dims_into(&mut s, dims);
+                    s.push(')');
+                }
+                s.push(')');
+                self.line(&s);
+            }
+            Stmt::Deallocate { names, .. } => {
+                self.line(&format!("deallocate({})", names.join(", ")));
+            }
+            Stmt::Print { items, .. } => {
+                if items.is_empty() {
+                    self.line("print *");
+                } else {
+                    let mut s = String::from("print *, ");
+                    for (i, e) in items.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        Self::expr_into(&mut s, e, 0);
+                    }
+                    self.line(&s);
+                }
+            }
+            Stmt::Stop { code, .. } => match code {
+                Some(c) => self.line(&format!("stop {c}")),
+                None => self.line("stop"),
+            },
+        }
+    }
+
+    fn lvalue_into(s: &mut String, lv: &LValue) {
+        match lv {
+            LValue::Var(n) => s.push_str(n),
+            LValue::Index { name, indices } => {
+                s.push_str(name);
+                s.push('(');
+                for (i, ix) in indices.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    Self::expr_into(s, ix, 0);
+                }
+                s.push(')');
+            }
+        }
+    }
+
+    /// Precedence levels for parenthesization. Higher binds tighter.
+    fn prec(op: BinOp) -> u8 {
+        match op {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div => 6,
+            BinOp::Pow => 8,
+        }
+    }
+
+    fn expr_into(s: &mut String, e: &Expr, parent_prec: u8) {
+        match e {
+            Expr::RealLit { value, precision } => {
+                Self::real_lit_into(s, *value, *precision);
+            }
+            Expr::IntLit(v) => {
+                if *v < 0 {
+                    // Negative integer literals only arise from constant
+                    // folding; parenthesize so `x - -1` stays parseable.
+                    let _ = write!(s, "({v})");
+                } else {
+                    let _ = write!(s, "{v}");
+                }
+            }
+            Expr::LogicalLit(true) => s.push_str(".true."),
+            Expr::LogicalLit(false) => s.push_str(".false."),
+            Expr::StrLit(text) => {
+                s.push('\'');
+                s.push_str(&text.replace('\'', "''"));
+                s.push('\'');
+            }
+            Expr::Var(n) => s.push_str(n),
+            Expr::NameRef { name, args } => {
+                s.push_str(name);
+                s.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    Self::expr_into(s, a, 0);
+                }
+                s.push(')');
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let p = Self::prec(*op);
+                let needs_parens = p < parent_prec
+                    // `**` is right-associative; left operand of `**` that is
+                    // itself `**` needs parens to re-parse identically.
+                    || (*op == BinOp::Pow && parent_prec == Self::prec(BinOp::Pow));
+                if needs_parens {
+                    s.push('(');
+                }
+                Self::expr_into(s, lhs, p + if *op == BinOp::Pow { 1 } else { 0 });
+                s.push(' ');
+                s.push_str(op.symbol());
+                s.push(' ');
+                // Right operand of left-associative ops needs one more level.
+                let rhs_prec = if *op == BinOp::Pow { p } else { p + 1 };
+                Self::expr_into(s, rhs, rhs_prec);
+                if needs_parens {
+                    s.push(')');
+                }
+            }
+            Expr::Un { op, operand } => {
+                // Unary +/- sit at the add level (5); `.not.` at level 3.
+                let (sym, p) = match op {
+                    UnOp::Neg => ("-", 5u8),
+                    UnOp::Plus => ("+", 5),
+                    UnOp::Not => (".not. ", 3),
+                };
+                let needs_parens = p < parent_prec;
+                if needs_parens {
+                    s.push('(');
+                }
+                s.push_str(sym);
+                Self::expr_into(s, operand, p + 1);
+                if needs_parens {
+                    s.push(')');
+                }
+            }
+        }
+    }
+
+    /// Render a real literal so it re-lexes with the same value *and*
+    /// precision tag. Doubles use `d` exponents; singles never may.
+    fn real_lit_into(s: &mut String, value: f64, precision: FpPrecision) {
+        let mut text = format!("{value:?}");
+        // `{:?}` on f64 always yields a decimal point or exponent; Fortran
+        // uses d/e markers rather than Rust's `e`.
+        match precision {
+            FpPrecision::Double => {
+                if let Some(pos) = text.find(['e', 'E']) {
+                    text.replace_range(pos..pos + 1, "d");
+                } else {
+                    text.push_str("d0");
+                }
+            }
+            FpPrecision::Single => {
+                // `1e5` style is fine for singles; ensure a decimal point
+                // exists when no exponent does.
+                if !text.contains(['e', 'E', '.']) {
+                    text.push_str(".0");
+                }
+            }
+        }
+        s.push_str(&text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let text = unparse(&p1);
+        let p2 = parse_program(&text)
+            .unwrap_or_else(|e| panic!("unparse output failed to parse: {e}\n---\n{text}"));
+        assert_eq!(p1, p2, "round-trip mismatch\n--- unparsed ---\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_module_with_procedures() {
+        roundtrip(
+            r#"
+module phys
+  use consts, only: g
+  real(kind=8), parameter :: dt = 0.25d0
+  real(kind=8), allocatable, save :: state(:,:)
+contains
+  subroutine advance(u, n)
+    real(kind=8), intent(inout) :: u(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      u(i) = u(i) + dt * g
+    end do
+  end subroutine advance
+  function norm(u, n) result(r)
+    real(kind=8) :: u(n), r
+    integer :: n, i
+    r = 0.0d0
+    do i = 1, n
+      r = r + u(i) * u(i)
+    end do
+    r = sqrt(r)
+  end function norm
+end module phys
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            r#"
+program t
+  integer :: i
+  real(kind=4) :: x
+  x = 0.0
+  do i = 1, 10, 2
+    if (x > 5.0) then
+      exit
+    else if (x < -1.0) then
+      cycle
+    else
+      x = x + 1.0
+    end if
+  end do
+  do while (x > 0.0)
+    x = x - 0.5
+  end do
+  if (x /= 0.0) stop 2
+  print *, 'done', x
+end program t
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_precision_tagged_literals() {
+        roundtrip(
+            "program t\n real(kind=8) :: a\n real(kind=4) :: b\n a = 1.5d0 + 2.0d-3 + 3.0d8\n b = 1.5 + 2.0e-3 + 0.5\nend program t\n",
+        );
+    }
+
+    #[test]
+    fn double_literal_value_and_precision_survive() {
+        let p = parse_program("program t\n real(kind=8) :: a\n a = 0.1d0\nend program t\n").unwrap();
+        let text = unparse(&p);
+        assert!(text.contains("0.1d0"), "got: {text}");
+    }
+
+    #[test]
+    fn roundtrips_operator_nesting() {
+        roundtrip(
+            "program t\n real(kind=8) :: a, b, c\n a = 1.0d0\n b = 2.0d0\n c = (a + b) * (a - b) / (a * b) ** 2\n c = -a ** 2\n c = (-a) ** 2\n c = a - (b - c)\n c = a / (b / c)\n c = (a ** b) ** c\n c = a ** b ** c\nend program t\n",
+        );
+    }
+
+    #[test]
+    fn roundtrips_logical_expressions() {
+        roundtrip(
+            "program t\n logical :: p, q\n real(kind=8) :: x\n x = 1.0d0\n p = .true.\n q = .not. p .and. x > 0.0d0 .or. x <= -1.0d0\nend program t\n",
+        );
+    }
+
+    #[test]
+    fn roundtrips_allocate_and_strings() {
+        roundtrip(
+            "program t\n real(kind=8), allocatable :: a(:)\n allocate(a(100))\n print *, 'it''s alive'\n deallocate(a)\nend program t\n",
+        );
+    }
+
+    #[test]
+    fn unparse_decl_renders_single_line() {
+        let p = parse_program("module m\n real(kind=8), intent(in) :: a(10), b\nend module m\n");
+        // intent outside a procedure is semantically wrong but parses;
+        // only the rendering is under test.
+        let p = p.unwrap();
+        let text = unparse_decl(&p.modules[0].decls[0]);
+        assert_eq!(text, "real(kind=8), intent(in) :: a(10), b");
+    }
+
+    #[test]
+    fn negative_int_literals_parenthesized() {
+        let e = Expr::bin(BinOp::Sub, Expr::Var("x".into()), Expr::IntLit(-1));
+        assert_eq!(unparse_expr(&e), "x - (-1)");
+    }
+}

@@ -1,0 +1,216 @@
+//! The interpreter's lowered program representation.
+//!
+//! Lowering ([`crate::lower`]) resolves the Fortran name ambiguities once —
+//! array vs. function reference, local vs. module variable, user procedure
+//! vs. intrinsic — and attaches per-loop vectorization metadata, so the
+//! execution engine never consults symbol tables.
+
+use prose_analysis::vect::VectBlocker;
+use prose_fortran::ast::{BinOp, FpPrecision, Intent, UnOp};
+use std::rc::Rc;
+
+/// A slot reference: procedure-local frame slot or module-level global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRef {
+    Local(usize),
+    Global(usize),
+}
+
+/// Declared type of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum STy {
+    Fp(FpPrecision),
+    Int,
+    Bool,
+    Str,
+}
+
+impl STy {
+    pub fn fp(self) -> Option<FpPrecision> {
+        match self {
+            STy::Fp(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// One dimension bound pair in a declaration (lower defaults to 1).
+#[derive(Debug, Clone)]
+pub enum IDim {
+    /// Explicit bounds; lower is `None` for a default of 1.
+    Explicit { lower: Option<IExpr>, upper: IExpr },
+    /// Deferred: sized by allocation or by the bound actual argument.
+    Deferred,
+}
+
+/// Slot declaration inside a procedure or at module level.
+#[derive(Debug, Clone)]
+pub struct SlotDecl {
+    pub name: Rc<str>,
+    pub ty: STy,
+    /// `None` for scalars.
+    pub dims: Option<Vec<IDim>>,
+    pub init: Option<IExpr>,
+    pub allocatable: bool,
+    pub intent: Option<Intent>,
+    /// Named constant.
+    pub is_const: bool,
+    /// Dummy argument position when this slot is a parameter of its proc.
+    pub is_dummy: bool,
+}
+
+/// Intrinsic functions by identity (resolved at lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntrinsicFn {
+    Abs,
+    Sqrt,
+    Exp,
+    Log,
+    Log10,
+    Sin,
+    Cos,
+    Tan,
+    Atan,
+    Atan2,
+    Tanh,
+    Max,
+    Min,
+    Mod,
+    Sign,
+    Real(Option<FpPrecision>),
+    Dble,
+    Sngl,
+    Int,
+    Nint,
+    Floor,
+    Size,
+    Sum,
+    Maxval,
+    Minval,
+    Epsilon,
+    Huge,
+    Tiny,
+    Isnan,
+}
+
+/// Intrinsic subroutines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntrinsicSub {
+    ProseRecord,
+    ProseRecordArray,
+    MpiAllreduceSum,
+    MpiAllreduceMax,
+}
+
+/// Lowered expressions.
+#[derive(Debug, Clone)]
+pub enum IExpr {
+    /// Kind-generic real literal.
+    RealLit(f64),
+    IntLit(i64),
+    BoolLit(bool),
+    StrLit(Rc<str>),
+    LoadScalar(SlotRef),
+    LoadElem { slot: SlotRef, indices: Vec<IExpr> },
+    CallFun { proc: usize, args: Vec<IArg> },
+    Intrinsic { f: IntrinsicFn, args: Vec<IExpr> },
+    /// `size(array)` / `size(array, dim)` needs the slot, not its value.
+    SizeOf { slot: SlotRef, dim: Option<Box<IExpr>> },
+    /// `sum/maxval/minval(array)` over a whole array.
+    Reduce { f: IntrinsicFn, slot: SlotRef },
+    Bin { op: BinOp, lhs: Box<IExpr>, rhs: Box<IExpr> },
+    Un { op: UnOp, operand: Box<IExpr> },
+}
+
+/// How an actual argument binds to a dummy.
+#[derive(Debug, Clone)]
+pub enum IArg {
+    /// Expression value: copy-in only.
+    Value(IExpr),
+    /// Scalar variable or array element: copy-in / copy-out.
+    ScalarRef(ILValue),
+    /// Whole array: associated by reference.
+    ArrayRef(SlotRef),
+}
+
+/// Assignment / writeback target.
+#[derive(Debug, Clone)]
+pub enum ILValue {
+    Scalar(SlotRef),
+    Elem { slot: SlotRef, indices: Vec<IExpr> },
+}
+
+/// Per-loop metadata computed at lowering.
+#[derive(Debug, Clone)]
+pub struct LoopMeta {
+    /// Statically legal to vectorize (dependence-free, straight-line).
+    pub vectorizable: bool,
+    pub blocker: Option<VectBlocker>,
+}
+
+/// Lowered statements.
+#[derive(Debug, Clone)]
+pub enum IStmt {
+    AssignScalar { slot: SlotRef, value: IExpr, line: u32 },
+    AssignElem { slot: SlotRef, indices: Vec<IExpr>, value: IExpr, line: u32 },
+    /// Whole-array assignment: broadcast a scalar over every element.
+    AssignBroadcast { slot: SlotRef, value: IExpr, line: u32 },
+    /// Whole-array copy `a = b` (element-wise, converting if kinds differ).
+    AssignArrayCopy { dst: SlotRef, src: SlotRef, line: u32 },
+    If { arms: Vec<(IExpr, Vec<IStmt>)>, else_body: Vec<IStmt>, line: u32 },
+    Do {
+        var: SlotRef,
+        start: IExpr,
+        end: IExpr,
+        step: Option<IExpr>,
+        body: Vec<IStmt>,
+        meta: LoopMeta,
+        line: u32,
+    },
+    DoWhile { cond: IExpr, body: Vec<IStmt>, line: u32 },
+    CallSub { proc: usize, args: Vec<IArg>, line: u32 },
+    CallIntrinsicSub { f: IntrinsicSub, name_arg: Option<Rc<str>>, args: Vec<IArg>, line: u32 },
+    Return,
+    Exit,
+    Cycle,
+    Print { items: Vec<IExpr>, line: u32 },
+    Stop { code: Option<i64>, line: u32 },
+    Allocate { slot: SlotRef, dims: Vec<IDim>, line: u32 },
+    Deallocate { slots: Vec<SlotRef>, line: u32 },
+}
+
+/// A lowered procedure.
+#[derive(Debug)]
+pub struct ProcIR {
+    pub name: Rc<str>,
+    pub is_function: bool,
+    /// Slot index of the function result.
+    pub result_slot: Option<usize>,
+    /// Slot indices of the dummy arguments, in order.
+    pub params: Vec<usize>,
+    pub slots: Vec<SlotDecl>,
+    pub body: Vec<IStmt>,
+    /// Candidate for inlining: small leaf without loops. A wrapper is never
+    /// an inline candidate (the conversion code defeats the inliner — the
+    /// paper's Figure 6 `flux` observation).
+    pub inlinable: bool,
+    /// True when this procedure is a synthesized conversion wrapper.
+    pub is_wrapper: bool,
+}
+
+/// A lowered program.
+#[derive(Debug)]
+pub struct ProgramIR {
+    pub procs: Vec<ProcIR>,
+    /// Module-level and program-level variables.
+    pub globals: Vec<SlotDecl>,
+    /// Body of the main program (its locals live in `globals`... no:
+    /// main gets its own pseudo-procedure at `main_proc`).
+    pub main_proc: usize,
+}
+
+impl ProgramIR {
+    pub fn proc_index(&self, name: &str) -> Option<usize> {
+        self.procs.iter().position(|p| &*p.name == name)
+    }
+}

@@ -1,0 +1,133 @@
+//! GPTL-style per-procedure timers.
+//!
+//! The paper instruments hotspot procedures with the GPTL library and
+//! measures CPU time *within* the hotspot, excluding non-targeted model
+//! procedures but including intrinsic/library work (Section III-E). Here
+//! each procedure accumulates exclusive simulated cycles and a call count;
+//! hotspot time is the sum over the hotspot's procedure set. Timer overhead
+//! (1–7% in the paper) is modeled as a fixed per-call charge.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Accumulated timing for one procedure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcTimer {
+    /// Exclusive simulated cycles (work attributed while this procedure was
+    /// the innermost active one, including its inlined execution).
+    pub cycles: f64,
+    /// Number of invocations.
+    pub calls: u64,
+}
+
+impl ProcTimer {
+    /// Average cycles per call (Figure 6's y-axis basis).
+    pub fn per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.cycles / self.calls as f64
+        }
+    }
+}
+
+/// The timer table: procedure name → timer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timers {
+    table: HashMap<String, ProcTimer>,
+    total: f64,
+}
+
+impl Timers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn charge(&mut self, proc: &str, cycles: f64) {
+        self.table.entry(proc.to_string()).or_default().cycles += cycles;
+        self.total += cycles;
+    }
+
+    pub fn count_call(&mut self, proc: &str) {
+        self.table.entry(proc.to_string()).or_default().calls += 1;
+    }
+
+    /// Bulk-add invocations (used when folding per-id counters).
+    pub fn add_calls(&mut self, proc: &str, calls: u64) {
+        self.table.entry(proc.to_string()).or_default().calls += calls;
+    }
+
+    pub fn get(&self, proc: &str) -> Option<&ProcTimer> {
+        self.table.get(proc)
+    }
+
+    /// Total simulated cycles across all procedures — the whole-model time
+    /// (Figure 7's metric).
+    pub fn total_cycles(&self) -> f64 {
+        self.total
+    }
+
+    /// Sum of exclusive cycles over a procedure set — the hotspot time
+    /// (Figure 5's metric). Missing procedures contribute zero.
+    pub fn scoped_cycles<'a>(&self, procs: impl IntoIterator<Item = &'a str>) -> f64 {
+        procs
+            .into_iter()
+            .filter_map(|p| self.table.get(p))
+            .map(|t| t.cycles)
+            .sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ProcTimer)> {
+        self.table.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_proc_and_total() {
+        let mut t = Timers::new();
+        t.charge("a", 10.0);
+        t.charge("b", 5.0);
+        t.charge("a", 2.5);
+        assert_eq!(t.get("a").unwrap().cycles, 12.5);
+        assert_eq!(t.total_cycles(), 17.5);
+    }
+
+    #[test]
+    fn scoped_cycles_sums_only_the_hotspot_set() {
+        let mut t = Timers::new();
+        t.charge("work1", 100.0);
+        t.charge("work2", 50.0);
+        t.charge("driver", 500.0);
+        t.charge("kernel_w88x", 75.0); // wrapper: outside hotspot scope
+        assert_eq!(t.scoped_cycles(["work1", "work2"]), 150.0);
+        assert_eq!(t.total_cycles(), 725.0);
+    }
+
+    #[test]
+    fn per_call_average() {
+        let mut t = Timers::new();
+        t.count_call("f");
+        t.count_call("f");
+        t.charge("f", 30.0);
+        assert_eq!(t.get("f").unwrap().per_call(), 15.0);
+        assert_eq!(ProcTimer::default().per_call(), 0.0);
+    }
+
+    #[test]
+    fn missing_procs_contribute_zero_to_scope() {
+        let t = Timers::new();
+        assert_eq!(t.scoped_cycles(["nothing"]), 0.0);
+    }
+}

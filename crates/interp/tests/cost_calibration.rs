@@ -1,0 +1,321 @@
+//! Calibration tests: the cost-model facts the paper's phenomena rest on.
+//! Each test pins one mechanism with a measured ratio, so a cost-model
+//! change that would silently break a figure fails here first.
+
+use prose_fortran::{analyze, parse_program};
+use prose_interp::{run_program, RunConfig, RunOutcome};
+
+fn run(src: &str) -> RunOutcome {
+    let p = parse_program(src).unwrap();
+    let ix = analyze(&p).unwrap();
+    run_program(&p, &ix, &RunConfig::default()).unwrap()
+}
+
+fn proc_cycles(out: &RunOutcome, p: &str) -> f64 {
+    out.timers.get(p).map(|t| t.cycles).unwrap_or(0.0)
+}
+
+/// A vectorizable kernel template over a given element kind.
+fn saxpy(kind: u8) -> String {
+    format!(
+        r#"
+module m
+contains
+  subroutine kern(x, y, n)
+    real(kind={kind}), intent(in) :: x(n)
+    real(kind={kind}), intent(inout) :: y(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      y(i) = y(i) * 0.99 + x(i) * 0.5
+    end do
+  end subroutine kern
+end module m
+program t
+  use m
+  real(kind={kind}) :: x(4096), y(4096)
+  x = 1.0
+  y = 2.0
+  call kern(x, y, 4096)
+end program t
+"#
+    )
+}
+
+#[test]
+fn vectorized_f32_is_about_twice_f64() {
+    let t64 = proc_cycles(&run(&saxpy(8)), "kern");
+    let t32 = proc_cycles(&run(&saxpy(4)), "kern");
+    let ratio = t64 / t32;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "f64/f32 vector ratio {ratio} (the AVX story behind every MPAS speedup)"
+    );
+}
+
+/// Scalar-operand conversions cost but do NOT devectorize (conversion
+/// instructions vectorize): a loop promoting 32-bit inputs into a 64-bit
+/// result stream stays vectorized-scale, just a bit pricier than
+/// uniform-64. Only converting *stores* demote (next test).
+#[test]
+fn intra_loop_casts_cost_but_do_not_devectorize() {
+    let mixed = r#"
+module m
+contains
+  subroutine kern(x, y, n, c)
+    real(kind=4), intent(in) :: x(n), c
+    real(kind=8), intent(inout) :: y(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      y(i) = y(i) * 0.99 + x(i) * c
+    end do
+  end subroutine kern
+end module m
+program t
+  use m
+  real(kind=4) :: x(4096), c
+  real(kind=8) :: y(4096)
+  x = 1.0
+  y = 2.0
+  c = 0.5
+  call kern(x, y, 4096, c)
+end program t
+"#;
+    let t_mixed = proc_cycles(&run(mixed), "kern");
+    let t64 = proc_cycles(&run(&saxpy(8)), "kern");
+    assert!(t_mixed > t64, "mixed {t_mixed} must cost more than uniform-64 {t64}");
+    assert!(
+        t_mixed < 3.0 * t64,
+        "mixed {t_mixed} must stay vectorized-scale (uniform-64 {t64}), not scalar"
+    );
+}
+
+/// Converting *stores* (what wrapper copy loops do) demote the loop: a
+/// convert-copy is far more expensive per element than a same-kind copy.
+#[test]
+fn converting_stores_devectorize() {
+    let copy = |src_kind: u8, dst_kind: u8| {
+        format!(
+            r#"
+module m
+contains
+  subroutine copyk(a, b, n)
+    real(kind={src_kind}), intent(in) :: a(n)
+    real(kind={dst_kind}), intent(out) :: b(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      b(i) = a(i)
+    end do
+  end subroutine copyk
+end module m
+program t
+  use m
+  real(kind={src_kind}) :: a(4096)
+  real(kind={dst_kind}) :: b(4096)
+  a = 1.0
+  call copyk(a, b, 4096)
+end program t
+"#
+        )
+    };
+    let same = proc_cycles(&run(&copy(8, 8)), "copyk");
+    let conv = proc_cycles(&run(&copy(8, 4)), "copyk");
+    assert!(
+        conv > 2.5 * same,
+        "converting copy {conv} vs same-kind copy {same}: wrapper traffic must be expensive"
+    );
+}
+
+/// The `pjac` lesson: a loop-carried recurrence never vectorizes, so
+/// lowering its precision buys almost nothing.
+#[test]
+fn recurrences_gain_little_from_f32() {
+    let scan = |kind: u8| {
+        format!(
+            r#"
+module m
+contains
+  subroutine kern(x, n)
+    real(kind={kind}), intent(inout) :: x(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 2, n
+      x(i) = x(i) * 0.5 + x(i-1) * 0.25
+    end do
+  end subroutine kern
+end module m
+program t
+  use m
+  real(kind={kind}) :: x(4096)
+  x = 1.0
+  call kern(x, 4096)
+end program t
+"#
+        )
+    };
+    let t64 = proc_cycles(&run(&scan(8)), "kern");
+    let t32 = proc_cycles(&run(&scan(4)), "kern");
+    let ratio = t64 / t32;
+    assert!(
+        ratio < 1.35,
+        "recurrence f64/f32 ratio {ratio}: scalar compute is precision-insensitive"
+    );
+}
+
+/// The `peror` lesson: a collective's latency dwarfs any precision gain.
+#[test]
+fn allreduce_latency_is_precision_insensitive() {
+    let dot = |kind: u8| {
+        format!(
+            r#"
+module m
+contains
+  subroutine kern(x, n, out)
+    real(kind={kind}), intent(in) :: x(n)
+    integer, intent(in) :: n
+    real(kind={kind}), intent(out) :: out
+    real(kind={kind}) :: s
+    integer :: i
+    s = 0.0
+    do i = 1, n
+      s = s + x(i) * x(i)
+    end do
+    out = 0.0
+    call mpi_allreduce_sum(s, out)
+  end subroutine kern
+end module m
+program t
+  use m
+  real(kind={kind}) :: x(64), r
+  x = 1.0
+  call kern(x, 64, r)
+end program t
+"#
+        )
+    };
+    let t64 = proc_cycles(&run(&dot(8)), "kern");
+    let t32 = proc_cycles(&run(&dot(4)), "kern");
+    let ratio = t64 / t32;
+    assert!(
+        ratio < 1.1,
+        "allreduce-dominated kernel f64/f32 ratio {ratio}: vendor reductions don't vectorize"
+    );
+}
+
+/// The `flux` lesson: a small pure function inlines into the loop (cheap);
+/// the same function treated as a wrapper (non-inlinable) pays per-call
+/// overhead and devectorizes the caller.
+#[test]
+fn inlining_loss_is_expensive() {
+    let src = r#"
+module m
+contains
+  function f(q) result(r)
+    real(kind=8) :: q, r
+    r = q * 0.5d0 + 1.0d0
+  end function f
+  subroutine kern(x, n)
+    real(kind=8), intent(inout) :: x(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      x(i) = f(x(i))
+    end do
+  end subroutine kern
+end module m
+program t
+  use m
+  real(kind=8) :: x(2048)
+  x = 1.0d0
+  call kern(x, 2048)
+end program t
+"#;
+    let p = parse_program(src).unwrap();
+    let ix = analyze(&p).unwrap();
+    let inlined = run_program(&p, &ix, &RunConfig::default()).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.wrapper_names.insert("f".to_string()); // pretend f is a wrapper
+    let wrapped = run_program(&p, &ix, &cfg).unwrap();
+    let ratio = wrapped.total_cycles / inlined.total_cycles;
+    assert!(
+        ratio > 4.0,
+        "wrapper-on-call slowdown {ratio}: Figure 6's flux collapse needs this to be large"
+    );
+}
+
+/// Scalar f32 transcendentals/divisions are cheaper than f64 even without
+/// SIMD — funarc's uniform-32 speedup.
+#[test]
+fn scalar_narrow_ops_are_cheaper() {
+    let trig = |kind: u8| {
+        format!(
+            r#"
+module m
+contains
+  subroutine kern(x, n)
+    real(kind={kind}), intent(inout) :: x(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 2, n
+      x(i) = sin(x(i)) / (1.0 + x(i-1) * x(i-1))
+    end do
+  end subroutine kern
+end module m
+program t
+  use m
+  real(kind={kind}) :: x(512)
+  x = 0.5
+  call kern(x, 512)
+end program t
+"#
+        )
+    };
+    let t64 = proc_cycles(&run(&trig(8)), "kern");
+    let t32 = proc_cycles(&run(&trig(4)), "kern");
+    let ratio = t64 / t32;
+    assert!(
+        (1.2..1.9).contains(&ratio),
+        "scalar transcendental kernel ratio {ratio} (funarc's speedup source)"
+    );
+}
+
+/// GPTL semantics at the boundary: timer overhead and call counting are
+/// visible per procedure.
+#[test]
+fn timers_count_calls_and_attribute_exclusively() {
+    let out = run(
+        r#"
+module m
+contains
+  function g(v) result(r)
+    real(kind=8) :: v, r
+    r = v + 1.0d0
+  end function g
+  subroutine outer(x)
+    real(kind=8) :: x
+    real(kind=8) :: acc
+    integer :: k
+    acc = x
+    do k = 1, 10
+      acc = g(acc)
+    end do
+    x = acc
+  end subroutine outer
+end module m
+program t
+  use m
+  real(kind=8) :: x
+  x = 0.0d0
+  call outer(x)
+  call prose_record('x', x)
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["x"], vec![10.0]);
+    assert_eq!(out.timers.get("g").unwrap().calls, 10);
+    assert_eq!(out.timers.get("outer").unwrap().calls, 1);
+    // g's work is attributed to g even when inlined.
+    assert!(out.timers.get("g").unwrap().cycles > 0.0);
+}

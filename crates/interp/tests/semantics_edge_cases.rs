@@ -1,0 +1,334 @@
+//! Edge-case semantics tests for the interpreter: the Fortran behaviours
+//! the model sources rely on implicitly.
+
+use prose_fortran::{analyze, parse_program};
+use prose_interp::{run_program, RunConfig, RunError, RunOutcome};
+
+fn run(src: &str) -> RunOutcome {
+    let p = parse_program(src).unwrap();
+    let ix = analyze(&p).unwrap();
+    run_program(&p, &ix, &RunConfig::default()).unwrap()
+}
+
+fn run_err(src: &str) -> RunError {
+    let p = parse_program(src).unwrap();
+    let ix = analyze(&p).unwrap();
+    run_program(&p, &ix, &RunConfig::default()).unwrap_err()
+}
+
+#[test]
+fn reallocate_after_deallocate_resizes() {
+    let out = run(
+        r#"
+program t
+  real(kind=8), allocatable :: a(:)
+  allocate(a(3))
+  a = 1.0d0
+  call prose_record('s1', sum(a))
+  deallocate(a)
+  allocate(a(5))
+  a = 2.0d0
+  call prose_record('s2', sum(a))
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["s1"], vec![3.0]);
+    assert_eq!(out.records.scalars["s2"], vec![10.0]);
+}
+
+#[test]
+fn negative_step_loops_with_exit_and_cycle() {
+    let out = run(
+        r#"
+program t
+  integer :: i
+  real(kind=8) :: s
+  s = 0.0d0
+  do i = 9, 1, -2
+    if (i == 7) then
+      cycle
+    end if
+    if (i == 1) then
+      exit
+    end if
+    s = s + 1.0d0 * i
+  end do
+  call prose_record('s', s)
+end program t
+"#,
+    );
+    // i = 9 (+9), 7 (cycle), 5 (+5), 3 (+3), 1 (exit) => 17.
+    assert_eq!(out.records.scalars["s"], vec![17.0]);
+}
+
+#[test]
+fn zero_trip_loops_execute_nothing() {
+    let out = run(
+        "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 5, 1\n s = s + 1.0d0\n end do\n call prose_record('s', s)\nend program t\n",
+    );
+    assert_eq!(out.records.scalars["s"], vec![0.0]);
+}
+
+#[test]
+fn integer_arrays_work_as_index_maps() {
+    let out = run(
+        r#"
+program t
+  integer :: idx(4), i
+  real(kind=8) :: v(4), s
+  do i = 1, 4
+    idx(i) = 5 - i
+    v(i) = 10.0d0 * i
+  end do
+  s = 0.0d0
+  do i = 1, 4
+    s = s + v(idx(i)) / i
+  end do
+  call prose_record('s', s)
+end program t
+"#,
+    );
+    // v(4)/1 + v(3)/2 + v(2)/3 + v(1)/4 = 40 + 15 + 6.667 + 2.5
+    let s = out.records.scalars["s"][0];
+    assert!((s - (40.0 + 15.0 + 20.0 / 3.0 + 2.5)).abs() < 1e-12);
+}
+
+#[test]
+fn function_calls_inside_conditions_and_bounds() {
+    let out = run(
+        r#"
+module m
+contains
+  function double_it(x) result(y)
+    real(kind=8) :: x, y
+    y = 2.0d0 * x
+  end function double_it
+  function limit(n) result(m2)
+    integer :: n, m2
+    m2 = n - 1
+  end function limit
+end module m
+program t
+  use m
+  integer :: i
+  real(kind=8) :: s
+  s = 1.0d0
+  do i = 1, limit(4)
+    if (double_it(s) < 100.0d0) then
+      s = double_it(s)
+    end if
+  end do
+  call prose_record('s', s)
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["s"], vec![8.0]);
+}
+
+#[test]
+fn recursion_guard_trips_instead_of_overflowing() {
+    let e = run_err(
+        r#"
+module m
+contains
+  function f(x) result(r)
+    real(kind=8) :: x, r
+    r = f(x + 1.0d0)
+  end function f
+end module m
+program t
+  use m
+  real(kind=8) :: y
+  y = f(0.0d0)
+end program t
+"#,
+    );
+    assert_eq!(e, RunError::StackOverflow);
+}
+
+#[test]
+fn whole_array_copy_between_same_kind_arrays() {
+    let out = run(
+        r#"
+program t
+  real(kind=8) :: a(4), b(4)
+  integer :: i
+  do i = 1, 4
+    a(i) = 1.5d0 * i
+  end do
+  b = a
+  a = 0.0d0
+  call prose_record('b', sum(b))
+  call prose_record('a', sum(a))
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["b"], vec![15.0]);
+    assert_eq!(out.records.scalars["a"], vec![0.0]);
+}
+
+#[test]
+fn array_copy_shape_mismatch_is_an_error() {
+    let e = run_err(
+        "program t\n real(kind=8), allocatable :: a(:), b(:)\n allocate(a(3), b(4))\n a = 1.0d0\n b = a\nend program t\n",
+    );
+    assert!(matches!(e, RunError::Invalid { .. }), "{e}");
+}
+
+#[test]
+fn intent_out_scalars_write_back_through_two_levels() {
+    let out = run(
+        r#"
+module m
+contains
+  subroutine inner(v)
+    real(kind=8), intent(out) :: v
+    v = 7.0d0
+  end subroutine inner
+  subroutine outer(w)
+    real(kind=8), intent(out) :: w
+    call inner(w)
+    w = w + 1.0d0
+  end subroutine outer
+end module m
+program t
+  use m
+  real(kind=8) :: x
+  x = 0.0d0
+  call outer(x)
+  call prose_record('x', x)
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["x"], vec![8.0]);
+}
+
+#[test]
+fn array_element_as_scalar_argument_writes_back() {
+    let out = run(
+        r#"
+module m
+contains
+  subroutine bump(v)
+    real(kind=8), intent(inout) :: v
+    v = v + 1.0d0
+  end subroutine bump
+end module m
+program t
+  use m
+  real(kind=8) :: a(3)
+  a = 5.0d0
+  call bump(a(2))
+  call prose_record('a2', a(2))
+  call prose_record('a1', a(1))
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["a2"], vec![6.0]);
+    assert_eq!(out.records.scalars["a1"], vec![5.0]);
+}
+
+#[test]
+fn module_array_state_persists_across_calls() {
+    let out = run(
+        r#"
+module state
+  real(kind=8) :: hist(3)
+  integer :: n = 0
+contains
+  subroutine push(v)
+    real(kind=8), intent(in) :: v
+    n = n + 1
+    hist(n) = v
+  end subroutine push
+end module state
+program t
+  use state
+  call push(1.0d0)
+  call push(2.5d0)
+  call push(4.0d0)
+  call prose_record('sum', sum(hist))
+  call prose_record('n', 1.0d0 * n)
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["sum"], vec![7.5]);
+    assert_eq!(out.records.scalars["n"], vec![3.0]);
+}
+
+#[test]
+fn mixed_kind_comparison_promotes_correctly() {
+    // 0.1 is not exactly representable: the f32 and f64 roundings differ,
+    // and Fortran compares them after promotion — a classic trap that the
+    // interpreter must reproduce faithfully.
+    let out = run(
+        r#"
+program t
+  real(kind=4) :: a
+  real(kind=8) :: b
+  real(kind=8) :: flag
+  a = 0.1
+  b = 0.1d0
+  flag = 0.0d0
+  if (a == b) then
+    flag = 1.0d0
+  end if
+  call prose_record('eq', flag)
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["eq"], vec![0.0], "f32(0.1) must differ from f64(0.1)");
+}
+
+#[test]
+fn negative_zero_and_sign_intrinsic() {
+    let out = run(
+        r#"
+program t
+  real(kind=8) :: a, b
+  a = sign(3.0d0, -0.0d0)
+  b = sign(3.0d0, 0.0d0)
+  call prose_record('a', a)
+  call prose_record('b', b)
+end program t
+"#,
+    );
+    assert_eq!(out.records.scalars["a"], vec![-3.0]);
+    assert_eq!(out.records.scalars["b"], vec![3.0]);
+}
+
+#[test]
+fn integer_division_truncates_toward_zero() {
+    let out = run(
+        "program t\n integer :: a, b\n real(kind=8) :: x, y\n a = 7 / 2\n b = (0 - 7) / 2\n x = 1.0d0 * a\n y = 1.0d0 * b\n call prose_record('x', x)\n call prose_record('y', y)\nend program t\n",
+    );
+    assert_eq!(out.records.scalars["x"], vec![3.0]);
+    assert_eq!(out.records.scalars["y"], vec![-3.0]);
+}
+
+#[test]
+fn integer_div_by_zero_is_an_error() {
+    let e = run_err(
+        "program t\n integer :: a, b\n b = 0\n a = 7 / b\nend program t\n",
+    );
+    assert!(matches!(e, RunError::DivByZero { .. }));
+}
+
+#[test]
+fn print_and_stop_interact_with_records() {
+    let out = run(
+        r#"
+program t
+  real(kind=8) :: x
+  x = 2.0d0
+  print *, 'x is', x
+  call prose_record('x', x)
+  stop
+  call prose_record('never', x)
+end program t
+"#,
+    );
+    assert_eq!(out.records.stdout.len(), 1);
+    assert!(out.records.scalars.contains_key("x"));
+    assert!(!out.records.scalars.contains_key("never"));
+}

@@ -1,0 +1,47 @@
+! The funarc motivating example (Section II-B; Bailey, "Resolving
+! numerical anomalies in scientific computation").
+!
+! Computes the arc length of g(x) = x + sum_k 2^-k sin(2^k x) over [0, pi]
+! with a hard-coded midpoint rule. Eight FP search atoms (the `result`
+! output is excluded): funarc's s1, h, t1, t2, dppi and fun's x, t1, d1 —
+! a 2^8 = 256 variant space that brute force enumerates for Figure 2.
+
+module funarc_mod
+contains
+  function fun(x) result(t1)
+    real(kind=8) :: x, t1, d1
+    integer :: k
+    d1 = 1.0d0
+    t1 = x
+    do k = 1, 5
+      d1 = 2.0d0 * d1
+      t1 = t1 + sin(d1 * x) / d1
+    end do
+  end function fun
+
+  subroutine funarc(result, n)
+    real(kind=8) :: result
+    integer :: n
+    real(kind=8) :: s1, h, t1, t2, dppi
+    integer :: i
+    s1 = 0.0d0
+    t1 = 0.0d0
+    dppi = 3.141592653589793d0
+    h = dppi / n
+    do i = 1, n
+      t2 = fun(i * h)
+      s1 = s1 + sqrt(h * h + (t2 - t1) * (t2 - t1))
+      t1 = t2
+    end do
+    result = s1
+  end subroutine funarc
+end module funarc_mod
+
+program main
+  use funarc_mod, only: funarc
+  implicit none
+  real(kind=8) :: result
+  result = 0.0d0
+  call funarc(result, __N__)
+  call prose_record('result', result)
+end program main

@@ -1,0 +1,421 @@
+! Miniature MOM6: a 2D layered-ocean continuity solver with the paper's
+! `MOM_continuity_PPM` hotspot inventory:
+!
+!   * `continuity_ppm`      — the module driver: updates layer thickness
+!                             from zonal and meridional mass-flux
+!                             divergence, with MOM6's fatal negative-
+!                             thickness check (`stop 21`).
+!   * `zonal_mass_flux` /
+!     `merid_mass_flux`     — per-row/column flux assembly passing work
+!                             arrays to the PPM callees (the variant-58
+!                             phenomenon: keeping these arrays 64-bit while
+!                             callees run 32-bit buries the run in casting).
+!   * `ppm_reconstruction`  — face-value reconstruction with a fatal
+!                             consistency check (`stop 24`): at slope-
+!                             limited cells the left/right face values are
+!                             identical *by construction*, so their
+!                             difference is either exactly zero or real
+!                             curvature — unless the two face arrays carry
+!                             different precisions, in which case the
+!                             difference is representation noise and the
+!                             curvature ratio explodes. This is the
+!                             mixed-precision fragility that gave the paper
+!                             its 95% runtime-error rate for MOM6 variants
+!                             more than 10% 32-bit, while *uniformly*
+!                             lowered variants stay executable.
+!   * `ppm_limit_pos`       — positivity limiting.
+!   * `zonal_flux_adjust` /
+!     `merid_flux_adjust`   — regula-falsi-with-bisection-fallback
+!                             iteration matching each row/column transport
+!                             to its barotropic target, to a relative
+!                             tolerance of 4e-14 — reachable in double,
+!                             unreachable at the single-precision noise
+!                             floor: 32-bit variants fall back to bisection
+!                             and run to `itmax` (the paper's Figure-6
+!                             10-100× `flux_adjust` slowdown).
+!
+! Driver-side (untargeted): hydrostatic pressure integration down each
+! column (a recurrence) with a nonlinear equation of state, plus
+! barotropic diagnostics finished with MPI reductions. Correctness: the
+! maximum CFL number per step, relative error per step, L2 over time (the
+! paper's MOM6 metric).
+
+module mom_continuity_ppm
+contains
+  subroutine ppm_reconstruction(hrow, hl, hr, n)
+    real(kind=8), intent(in) :: hrow(0:n+1)
+    real(kind=8), intent(out) :: hl(n)
+    integer, intent(in) :: n
+    real(kind=8) :: slope, dl, dr, denom, w
+    real(kind=8), intent(out) :: hr(n)
+    integer :: i
+    do i = 1, n
+      dl = hrow(i) - hrow(i-1)
+      dr = hrow(i+1) - hrow(i)
+      slope = 0.5d0 * (dl + dr)
+      if (dl * dr <= 0.0d0) then
+        slope = 0.0d0
+      end if
+      hl(i) = hrow(i) - 0.5d0 * slope
+      hr(i) = hrow(i) + 0.5d0 * slope
+    end do
+    ! Curvature-to-width diagnostics. At limited cells hl == hr exactly
+    ! (same stored value), so denom is 0 and both branches are skipped; a
+    ! denom that is tiny-but-nonzero is precision-mixing noise, and the
+    ! ratio blows up — the fatal consistency check (`stop 24`). In the
+    ! borderline band an anti-diffusive steepening fires; which cells are
+    ! borderline is itself precision-sensitive, so reduced-precision
+    ! variants can silently diverge instead of aborting.
+    do i = 1, n
+      denom = hr(i) - hl(i)
+      if (abs(denom) > 1.0d-12) then
+        dl = hrow(i) - hrow(i-1)
+        dr = hrow(i+1) - hrow(i)
+        w = (dr - dl) / denom
+        if (abs(w) > 1.0d3) then
+          stop 24
+        end if
+        if (abs(w) > 50.0d0) then
+          hl(i) = hrow(i) - 0.4d0 * (dr - dl)
+          hr(i) = hrow(i) + 0.4d0 * (dr - dl)
+        end if
+      end if
+    end do
+  end subroutine ppm_reconstruction
+
+  ! MOM6-style fatal sanity check on the limited reconstruction, applied
+  ! by the flux assemblers before any flux leaves the cell.
+  subroutine check_recon(hrow, hl, hr, n)
+    real(kind=8), intent(in) :: hrow(0:n+1), hl(n)
+    integer, intent(in) :: n
+    real(kind=8) :: denom, w
+    real(kind=8), intent(in) :: hr(n)
+    integer :: i
+    do i = 1, n
+      denom = hr(i) - hl(i)
+      if (abs(denom) > 1.0d-12) then
+        w = (hrow(i+1) - 2.0d0 * hrow(i) + hrow(i-1)) / denom
+        if (abs(w) > 1.0d3) then
+          stop 24
+        end if
+      end if
+    end do
+  end subroutine check_recon
+
+  subroutine ppm_limit_pos(hl, hr, hrow, n, hmin)
+    real(kind=8), intent(inout) :: hl(n)
+    real(kind=8), intent(in) :: hrow(0:n+1)
+    integer, intent(in) :: n
+    real(kind=8), intent(in) :: hmin
+    real(kind=8), intent(inout) :: hr(n)
+    integer :: i
+    do i = 1, n
+      if (hl(i) < hmin) then
+        hl(i) = hmin
+      end if
+      if (hr(i) < hmin) then
+        hr(i) = hmin
+      end if
+      if (hl(i) > 2.0d0 * hrow(i)) then
+        hl(i) = 2.0d0 * hrow(i)
+      end if
+      if (hr(i) > 2.0d0 * hrow(i)) then
+        hr(i) = 2.0d0 * hrow(i)
+      end if
+    end do
+  end subroutine ppm_limit_pos
+
+  ! Total transport through a line of faces for a velocity correction du.
+  function row_transport(urow, hl, hr, n, du) result(trans)
+    real(kind=8) :: urow(0:n), hl(n), du, trans
+    integer :: n
+    real(kind=8) :: uf, hface, hr(n)
+    integer :: i
+    trans = 0.0d0
+    do i = 1, n - 1
+      uf = urow(i) + du
+      if (uf >= 0.0d0) then
+        hface = hr(i)
+      else
+        hface = hl(i+1)
+      end if
+      trans = trans + uf * hface
+    end do
+  end function row_transport
+
+  subroutine zonal_flux_adjust(urow, hl, hr, n, target_trans, du, itmax, iters)
+    real(kind=8), intent(in) :: urow(0:n), hl(n)
+    integer, intent(in) :: n, itmax
+    real(kind=8), intent(in) :: target_trans
+    real(kind=8), intent(out) :: du
+    integer, intent(out) :: iters
+    real(kind=8), intent(in) :: hr(n)
+    real(kind=8) :: dul, duh, resid, residl, residh, scale_t, dnew, denom
+    integer :: it
+    dul = -0.6d0
+    duh = 0.6d0
+    du = 0.0d0
+    scale_t = abs(target_trans) + 1.0d-2
+    residl = row_transport(urow, hl, hr, n, dul) - target_trans
+    residh = row_transport(urow, hl, hr, n, duh) - target_trans
+    iters = 0
+    do it = 1, itmax
+      iters = it
+      ! Regula falsi when the secant is well conditioned, bisection
+      ! otherwise (the 32-bit noise floor forces the bisection path).
+      denom = residh - residl
+      if (abs(denom) > 1.0d-13 * scale_t) then
+        dnew = dul - residl * (duh - dul) / denom
+        if (dnew <= dul .or. dnew >= duh) then
+          dnew = 0.5d0 * (dul + duh)
+        end if
+      else
+        dnew = 0.5d0 * (dul + duh)
+      end if
+      du = dnew
+      resid = row_transport(urow, hl, hr, n, du) - target_trans
+      if (abs(resid) < 4.0d-14 * scale_t) then
+        exit
+      end if
+      if (resid * residl <= 0.0d0) then
+        duh = du
+        residh = resid
+      else
+        dul = du
+        residl = resid
+      end if
+    end do
+  end subroutine zonal_flux_adjust
+
+  subroutine merid_flux_adjust(vcol, hl, hr, n, target_trans, dv, itmax, iters)
+    real(kind=8), intent(in) :: vcol(0:n), hl(n)
+    integer, intent(in) :: n, itmax
+    real(kind=8), intent(in) :: target_trans
+    real(kind=8), intent(out) :: dv
+    integer, intent(out) :: iters
+    real(kind=8), intent(in) :: hr(n)
+    real(kind=8) :: dvl, dvh, resid, residl, residh, scale_t, dnew, denom
+    integer :: it
+    dvl = -0.6d0
+    dvh = 0.6d0
+    dv = 0.0d0
+    scale_t = abs(target_trans) + 1.0d-2
+    residl = row_transport(vcol, hl, hr, n, dvl) - target_trans
+    residh = row_transport(vcol, hl, hr, n, dvh) - target_trans
+    iters = 0
+    do it = 1, itmax
+      iters = it
+      denom = residh - residl
+      if (abs(denom) > 1.0d-13 * scale_t) then
+        dnew = dvl - residl * (dvh - dvl) / denom
+        if (dnew <= dvl .or. dnew >= dvh) then
+          dnew = 0.5d0 * (dvl + dvh)
+        end if
+      else
+        dnew = 0.5d0 * (dvl + dvh)
+      end if
+      dv = dnew
+      resid = row_transport(vcol, hl, hr, n, dv) - target_trans
+      if (abs(resid) < 4.0d-14 * scale_t) then
+        exit
+      end if
+      if (resid * residl <= 0.0d0) then
+        dvh = dv
+        residh = resid
+      else
+        dvl = dv
+        residl = resid
+      end if
+    end do
+  end subroutine merid_flux_adjust
+
+  subroutine zonal_mass_flux(h, u, uh, nx, ny, targets, hmin, itmax)
+    real(kind=8), intent(in) :: h(0:nx+1, 0:ny+1), u(0:nx, ny)
+    real(kind=8), intent(out) :: uh(0:nx, ny)
+    integer, intent(in) :: nx, ny, itmax
+    real(kind=8), intent(in) :: targets(ny), hmin
+    real(kind=8) :: hrow(0:nx+1), urow(0:nx), hl(nx)
+    real(kind=8) :: du, uf, hface
+    real(kind=8) :: hr(nx)
+    integer :: i, j, iters
+    do j = 1, ny
+      do i = 0, nx + 1
+        hrow(i) = h(i, j)
+      end do
+      do i = 0, nx
+        urow(i) = u(i, j)
+      end do
+      call ppm_reconstruction(hrow, hl, hr, nx)
+      call ppm_limit_pos(hl, hr, hrow, nx, hmin)
+      call check_recon(hrow, hl, hr, nx)
+      du = 0.0d0
+      iters = 0
+      call zonal_flux_adjust(urow, hl, hr, nx, targets(j), du, itmax, iters)
+      do i = 1, nx - 1
+        uf = urow(i) + du
+        if (uf >= 0.0d0) then
+          hface = hr(i)
+        else
+          hface = hl(i+1)
+        end if
+        uh(i, j) = uf * hface
+      end do
+      uh(0, j) = 0.0d0
+      uh(nx, j) = 0.0d0
+    end do
+  end subroutine zonal_mass_flux
+
+  subroutine merid_mass_flux(h, v, vh, nx, ny, targets, hmin, itmax)
+    real(kind=8), intent(in) :: h(0:nx+1, 0:ny+1), v(nx, 0:ny)
+    real(kind=8), intent(out) :: vh(nx, 0:ny)
+    integer, intent(in) :: nx, ny, itmax
+    real(kind=8), intent(in) :: targets(nx), hmin
+    real(kind=8) :: hcol(0:ny+1), vcol(0:ny), hl(ny)
+    real(kind=8) :: dv, vf, hface
+    real(kind=8) :: hr(ny)
+    integer :: i, j, iters
+    do i = 1, nx
+      do j = 0, ny + 1
+        hcol(j) = h(i, j)
+      end do
+      do j = 0, ny
+        vcol(j) = v(i, j)
+      end do
+      call ppm_reconstruction(hcol, hl, hr, ny)
+      call ppm_limit_pos(hl, hr, hcol, ny, hmin)
+      call check_recon(hcol, hl, hr, ny)
+      dv = 0.0d0
+      iters = 0
+      call merid_flux_adjust(vcol, hl, hr, ny, targets(i), dv, itmax, iters)
+      do j = 1, ny - 1
+        vf = vcol(j) + dv
+        if (vf >= 0.0d0) then
+          hface = hr(j)
+        else
+          hface = hl(j+1)
+        end if
+        vh(i, j) = vf * hface
+      end do
+      vh(i, 0) = 0.0d0
+      vh(i, ny) = 0.0d0
+    end do
+  end subroutine merid_mass_flux
+
+  subroutine continuity_ppm(h, u, v, uh, vh, nx, ny, dt, dx, ztargets, mtargets, hmin, itmax, maxcfl)
+    real(kind=8), intent(inout) :: h(0:nx+1, 0:ny+1)
+    real(kind=8), intent(in) :: u(0:nx, ny), v(nx, 0:ny)
+    real(kind=8), intent(out) :: uh(0:nx, ny), vh(nx, 0:ny)
+    integer, intent(in) :: nx, ny, itmax
+    real(kind=8), intent(in) :: dt, dx, hmin
+    real(kind=8), intent(in) :: ztargets(ny), mtargets(nx)
+    real(kind=8), intent(out) :: maxcfl
+    real(kind=8) :: hnew, dtdx, cfl
+    integer :: i, j
+    call zonal_mass_flux(h, u, uh, nx, ny, ztargets, hmin, itmax)
+    call merid_mass_flux(h, v, vh, nx, ny, mtargets, hmin, itmax)
+    dtdx = dt / dx
+    maxcfl = 0.0d0
+    do j = 1, ny
+      do i = 1, nx
+        hnew = h(i, j) - dtdx * (uh(i, j) - uh(i-1, j)) &
+               - dtdx * (vh(i, j) - vh(i, j-1))
+        ! MOM6's fatal consistency check: a negative layer thickness
+        ! aborts the run.
+        if (hnew < 0.0d0) then
+          stop 21
+        end if
+        cfl = abs(u(i, j)) * dtdx / (hnew + hmin)
+        maxcfl = max(maxcfl, cfl)
+        h(i, j) = hnew
+      end do
+    end do
+  end subroutine continuity_ppm
+end module mom_continuity_ppm
+
+program mom6_main
+  use mom_continuity_ppm, only: continuity_ppm
+  implicit none
+  integer :: nx, ny, nz, nsteps, itmax
+  real(kind=8) :: h(0:__NX__+1, 0:__NY__+1)
+  real(kind=8) :: u(0:__NX__, __NY__), v(__NX__, 0:__NY__)
+  real(kind=8) :: uh(0:__NX__, __NY__), vh(__NX__, 0:__NY__)
+  real(kind=8) :: ztargets(__NY__), mtargets(__NX__)
+  real(kind=8) :: press(__NX__, __NY__, __NZ__), rho(__NX__, __NY__, __NZ__)
+  real(kind=8) :: dt, dx, hmin, maxcfl, globcfl, psum, tcoef, pi
+  integer :: i, j, k, step
+  nx = __NX__
+  ny = __NY__
+  nz = __NZ__
+  nsteps = __STEPS__
+  itmax = __ITMAX__
+  dt = 900.0d0
+  dx = 20000.0d0
+  hmin = 1.0d-6
+  pi = 3.14159265358979d0
+  ! Layer thickness with interior extrema along both axes (the slope
+  ! limiter activates there — where the reconstruction consistency check
+  ! is armed).
+  do j = 0, ny + 1
+    do i = 0, nx + 1
+      h(i, j) = 2.0d0 + 0.9d0 * sin(pi * j / (ny + 1.0d0)) &
+                * sin(2.0d0 * pi * i / (nx + 1.0d0)) &
+                + 0.4d0 * cos(pi * i / (nx + 1.0d0))
+    end do
+  end do
+  do j = 1, ny
+    do i = 0, nx
+      u(i, j) = 1.1d0 * sin(pi * j / (ny + 1.0d0)) &
+                * cos(pi * (i + 0.5d0) / (nx + 1.0d0))
+    end do
+  end do
+  do j = 0, ny
+    do i = 1, nx
+      v(i, j) = -0.9d0 * sin(pi * (j + 0.5d0) / (ny + 1.0d0)) &
+                * cos(pi * i / (nx + 1.0d0))
+    end do
+  end do
+  ! Barotropic transport targets (the roots lie inside the adjusters'
+  ! brackets for any target in this range).
+  do j = 1, ny
+    ztargets(j) = 2.0d0 * sin(pi * j / (ny + 1.0d0))
+  end do
+  do i = 1, nx
+    mtargets(i) = -1.5d0 * cos(pi * i / (nx + 1.0d0))
+  end do
+  do k = 1, nz
+    do j = 1, ny
+      do i = 1, nx
+        rho(i, j, k) = 1025.0d0 + 0.01d0 * k
+        press(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+  do step = 1, nsteps
+    maxcfl = 0.0d0
+    call continuity_ppm(h, u, v, uh, vh, nx, ny, dt, dx, ztargets, mtargets, hmin, itmax, maxcfl)
+    ! --- driver-side physics (untargeted): hydrostatic pressure
+    ! integration down each column (a recurrence) with a nonlinear
+    ! equation of state ---
+    tcoef = 2.0d-4 * (1.0d0 + 0.05d0 * sin(0.2d0 * step))
+    do j = 1, ny
+      do i = 1, nx
+        press(i, j, 1) = 9.8d0 * rho(i, j, 1) * h(i, j)
+        do k = 2, nz
+          rho(i, j, k) = rho(i, j, k) * (1.0d0 - tcoef * exp(-press(i, j, k-1) * 1.0d-7))
+          press(i, j, k) = press(i, j, k-1) + 9.8d0 * rho(i, j, k) * h(i, j)
+        end do
+      end do
+    end do
+    psum = 0.0d0
+    do j = 1, ny
+      do i = 1, nx
+        psum = psum + press(i, j, nz)
+      end do
+    end do
+    globcfl = 0.0d0
+    call mpi_allreduce_max(maxcfl, globcfl)
+    call mpi_allreduce_sum(psum, psum)
+    ! The paper's MOM6 metric: max CFL per step.
+    call prose_record('cfl', globcfl)
+  end do
+end program mom6_main

@@ -1,0 +1,332 @@
+! Miniature MPAS-A: a 1D split-explicit shallow-water atmosphere with the
+! paper's procedure inventory for the `atm_time_integration` hotspot.
+!
+! Structure mirrors the real model's time integration:
+!   * `atm_srk3` — the 3-stage Runge-Kutta driver with an acoustic-substep
+!     loop (NOT a tuning target: it is the boundary across which full-
+!     precision state flows into the tuned work routines, the Figure-7
+!     effect).
+!   * `atm_compute_dyn_tend_work` — the large slow-tendency kernel
+!     (advection via the high-order `flux4`/`flux3` reconstruction
+!     functions, horizontal diffusion, kinetic-energy gradient).
+!   * `atm_advance_acoustic_step_work` — the thin fast-wave kernel called
+!     once per acoustic substep per stage (high call volume, little work
+!     per call).
+!   * `atm_recover_large_step_variables_work` — stage recombination.
+!   * `flux4` / `flux3` — small pure reconstruction functions called per
+!     cell: inline candidates whose mixed-precision wrappers devectorize
+!     the tendency loops (the Figure-6 `flux` slowdown).
+! `mpas_physics::physics_tend` is the untargeted driver-side physics
+! (vertical implicit smoothing, a recurrence) that gives the hotspot its
+! realistic ~15% share of total time.
+!
+! Correctness: cell kinetic energy recorded each step (the paper's MPAS-A
+! metric: max relative error over cells per step, L2 over time).
+
+! Driver-side physics, spread across six modules the way a real model's
+! CPU profile is: each is comparable to — but smaller than — the targeted
+! time-integration module (Section II-C: "CPU time distributed between
+! many hotspots"). Each parameterization owns a slice of the column.
+module mpas_atm_radiation_sw
+contains
+  subroutine radiation_sw(theta, nc, nz, klo, khi)
+    real(kind=8), intent(inout) :: theta(nc, nz)
+    integer, intent(in) :: nc, nz, klo, khi
+    real(kind=8) :: flux, tau
+    integer :: i, k
+    do i = 1, nc
+      flux = 340.0d0
+      do k = klo, khi
+        tau = 0.02d0 * exp(-0.1d0 * k)
+        flux = flux * (1.0d0 - tau)
+        theta(i, k) = theta(i, k) + 1.0d-6 * flux
+      end do
+    end do
+  end subroutine radiation_sw
+end module mpas_atm_radiation_sw
+
+module mpas_atm_radiation_lw
+contains
+  subroutine radiation_lw(theta, nc, nz, klo, khi)
+    real(kind=8), intent(inout) :: theta(nc, nz)
+    integer, intent(in) :: nc, nz, klo, khi
+    real(kind=8) :: emis, cool
+    integer :: i, k
+    do i = 1, nc
+      cool = 0.0d0
+      do k = klo, khi
+        emis = 0.8d0 + 0.01d0 * sin(0.3d0 * k)
+        cool = cool + 5.67d-8 * emis * 1.0d-4 * theta(i, k)
+        theta(i, k) = theta(i, k) - 1.0d-4 * cool
+      end do
+    end do
+  end subroutine radiation_lw
+end module mpas_atm_radiation_lw
+
+module mpas_atm_microphysics
+contains
+  subroutine microphysics(theta, nc, nz, klo, khi)
+    real(kind=8), intent(inout) :: theta(nc, nz)
+    integer, intent(in) :: nc, nz, klo, khi
+    real(kind=8) :: qsat, cond
+    integer :: i, k
+    do i = 1, nc
+      do k = klo, khi
+        qsat = 3.8d-3 * exp(17.27d0 * (theta(i, k) - 290.0d0) / 250.0d0)
+        cond = 0.5d0 * (qsat - 3.0d-3)
+        theta(i, k) = theta(i, k) + 1.0d-5 * cond + 1.0d-7 * theta(i, 1)
+      end do
+    end do
+  end subroutine microphysics
+end module mpas_atm_microphysics
+
+module mpas_atm_boundary_layer
+contains
+  subroutine pbl_mixing(theta, nc, nz, klo, khi)
+    real(kind=8), intent(inout) :: theta(nc, nz)
+    integer, intent(in) :: nc, nz, klo, khi
+    real(kind=8) :: w, below
+    integer :: i, k
+    do i = 1, nc
+      below = theta(i, klo)
+      do k = klo, khi
+        w = 0.3d0 * below + 0.7d0 * theta(i, k)
+        below = theta(i, k)
+        theta(i, k) = w + 0.001d0 * sin(w)
+      end do
+    end do
+  end subroutine pbl_mixing
+end module mpas_atm_boundary_layer
+
+module mpas_atm_lsm
+contains
+  subroutine land_surface(theta, nc, nz, klo, khi)
+    real(kind=8), intent(inout) :: theta(nc, nz)
+    integer, intent(in) :: nc, nz, klo, khi
+    real(kind=8) :: stress, drag
+    integer :: i, k
+    do i = 1, nc
+      stress = 0.0d0
+      do k = klo, khi
+        drag = 1.0d-3 * log(1.0d0 + theta(i, k) * 0.01d0)
+        stress = stress + drag
+        theta(i, k) = theta(i, k) - 1.0d-6 * stress
+      end do
+    end do
+  end subroutine land_surface
+end module mpas_atm_lsm
+
+module mpas_atm_gwdo
+contains
+  subroutine gravity_wave_drag(theta, nc, nz, klo, khi)
+    real(kind=8), intent(inout) :: theta(nc, nz)
+    integer, intent(in) :: nc, nz, klo, khi
+    real(kind=8) :: amp, drag
+    integer :: i, k
+    do i = 1, nc
+      amp = 1.0d-3 * cos(0.2d0 * i)
+      do k = klo, khi
+        drag = amp * exp(-0.05d0 * k) * theta(i, k)
+        theta(i, k) = theta(i, k) - 1.0d-7 * drag
+        amp = 0.9d0 * amp
+      end do
+    end do
+  end subroutine gravity_wave_drag
+end module mpas_atm_gwdo
+
+module atm_time_integration
+contains
+  function flux4(qm1, q0, qp1, qp2) result(fl)
+    real(kind=8) :: qm1, q0, qp1, qp2, fl
+    fl = (7.0d0 * (q0 + qp1) - (qm1 + qp2)) / 12.0d0
+  end function flux4
+
+  function flux3(qm1, q0, qp1) result(fl)
+    real(kind=8) :: qm1, q0, qp1, fl
+    fl = (2.0d0 * q0 + 5.0d0 * qp1 - qm1) / 6.0d0
+  end function flux3
+
+  subroutine atm_compute_dyn_tend_work(u, h, hs, tend_u, tend_h, nc, dx, gravity, kdiff)
+    real(kind=8), intent(in) :: u(-1:nc+2), h(-1:nc+2), hs(-1:nc+2)
+    real(kind=8), intent(out) :: tend_u(-1:nc+2), tend_h(-1:nc+2)
+    integer, intent(in) :: nc
+    real(kind=8), intent(in) :: dx, gravity, kdiff
+    real(kind=8) :: fh(-1:nc+2), fu(-1:nc+2)
+    real(kind=8) :: he, ue, ke_l, ke_r, grad_b, lap_u, rdx, bfix
+    ! The reference-energy correction chain — the precision "knob" the
+    ! search isolates in this routine. `bias` carries the domain-mean
+    ! kinetic energy on top of a large reference geopotential, so its
+    ! value is a catastrophic cancellation: benign in 64-bit (it recovers
+    ! ~0), an O(1e-2) artifact in 32-bit that biases every momentum
+    ! tendency. It is per-call scalar work: keeping it in 64-bit costs
+    ! almost nothing — which is why the paper's frontier variants are both
+    ! more correct *and* as fast as uniform 32-bit.
+    real(kind=8) :: phi0, gsum, gmean, bias
+    integer :: i
+    rdx = 1.0d0 / dx
+    phi0 = 1.0d5
+    ! Mass and momentum fluxes at faces via high-order reconstruction.
+    do i = 1, nc + 1
+      he = flux4(h(i-2), h(i-1), h(i), h(i+1))
+      ue = flux3(u(i-1), u(i), u(i+1))
+      ! Perturbation mass flux only: the mean-depth part is integrated by
+      ! the acoustic step (no double counting).
+      fh(i) = (he - 100.0d0) * ue
+      fu(i) = 0.5d0 * ue * ue
+    end do
+    ! Reference-frame energy correction (per-call scalar chain).
+    gsum = 0.0d0
+    do i = 1, nc
+      gsum = gsum + fu(i)
+    end do
+    gmean = gsum / nc
+    bias = (phi0 + gmean) - phi0
+    bfix = (bias - gmean) * rdx
+    ! Tendencies: flux divergence, bathymetry gradient, KE gradient,
+    ! horizontal diffusion, reference correction.
+    do i = 1, nc
+      ke_l = fu(i)
+      ke_r = fu(i+1)
+      grad_b = gravity * (hs(i+1) - hs(i-1)) * 0.5d0 * rdx
+      lap_u = kdiff * (u(i+1) - 2.0d0 * u(i) + u(i-1)) * rdx * rdx
+      tend_u(i) = -(ke_r - ke_l) * rdx - grad_b + lap_u - bfix
+      tend_h(i) = -(fh(i+1) - fh(i)) * rdx
+    end do
+  end subroutine atm_compute_dyn_tend_work
+
+  subroutine atm_advance_acoustic_step_work(u, h, tend_u, tend_h, nc, dts, grav, hmean, rdx)
+    real(kind=8), intent(inout) :: u(-1:nc+2), h(-1:nc+2)
+    real(kind=8), intent(in) :: tend_u(-1:nc+2), tend_h(-1:nc+2)
+    integer, intent(in) :: nc
+    real(kind=8), intent(in) :: dts, grav, hmean, rdx
+    real(kind=8) :: dpdx, dudx
+    integer :: i
+    do i = 1, nc
+      dpdx = grav * (h(i+1) - h(i-1)) * 0.5d0 * rdx
+      u(i) = u(i) + dts * (tend_u(i) - dpdx)
+    end do
+    do i = 1, nc
+      dudx = (u(i+1) - u(i-1)) * 0.5d0 * rdx
+      h(i) = h(i) + dts * (tend_h(i) - hmean * dudx)
+    end do
+  end subroutine atm_advance_acoustic_step_work
+
+  subroutine atm_recover_large_step_variables_work(u, h, u0, h0, nc, wnew)
+    real(kind=8), intent(inout) :: u(-1:nc+2), h(-1:nc+2)
+    real(kind=8), intent(in) :: u0(-1:nc+2), h0(-1:nc+2)
+    integer, intent(in) :: nc
+    real(kind=8), intent(in) :: wnew
+    real(kind=8) :: wold
+    integer :: i
+    wold = 1.0d0 - wnew
+    do i = 1, nc
+      u(i) = wnew * u(i) + wold * u0(i)
+      h(i) = wnew * h(i) + wold * h0(i)
+    end do
+  end subroutine atm_recover_large_step_variables_work
+
+  ! The RK3 driver: NOT a tuning target. Holds the full-precision state and
+  ! ghost handling; every call below crosses the tuning boundary.
+  subroutine atm_srk3(u, h, hs, nc, dx, dt, ns)
+    real(kind=8), intent(inout) :: u(-1:nc+2), h(-1:nc+2)
+    real(kind=8), intent(in) :: hs(-1:nc+2)
+    integer, intent(in) :: nc, ns
+    real(kind=8), intent(in) :: dx, dt
+    real(kind=8) :: u0(-1:nc+2), h0(-1:nc+2)
+    real(kind=8) :: tend_u(-1:nc+2), tend_h(-1:nc+2)
+    real(kind=8) :: rk_dt, dts, gravity, kdiff, hmean, rdx
+    integer :: stage, sub, i
+    gravity = 9.80616d0
+    kdiff = 40.0d0
+    hmean = 100.0d0
+    rdx = 1.0d0 / dx
+    u0 = u
+    h0 = h
+    do stage = 1, 3
+      rk_dt = dt / (4 - stage)
+      ! Periodic ghost cells on the full-precision state.
+      u(0) = u(nc)
+      u(-1) = u(nc-1)
+      u(nc+1) = u(1)
+      u(nc+2) = u(2)
+      h(0) = h(nc)
+      h(-1) = h(nc-1)
+      h(nc+1) = h(1)
+      h(nc+2) = h(2)
+      call atm_compute_dyn_tend_work(u, h, hs, tend_u, tend_h, nc, dx, gravity, kdiff)
+      ! Restart the stage from the step-start state.
+      do i = -1, nc + 2
+        u(i) = u0(i)
+        h(i) = h0(i)
+      end do
+      dts = rk_dt / ns
+      do sub = 1, ns
+        call atm_advance_acoustic_step_work(u, h, tend_u, tend_h, nc, dts, gravity, hmean, rdx)
+        u(0) = u(nc)
+        u(-1) = u(nc-1)
+        u(nc+1) = u(1)
+        u(nc+2) = u(2)
+        h(0) = h(nc)
+        h(-1) = h(nc-1)
+        h(nc+1) = h(1)
+        h(nc+2) = h(2)
+      end do
+      call atm_recover_large_step_variables_work(u, h, u0, h0, nc, 1.0d0)
+    end do
+  end subroutine atm_srk3
+end module atm_time_integration
+
+program mpas_main
+  use atm_time_integration, only: atm_srk3
+  use mpas_atm_radiation_sw, only: radiation_sw
+  use mpas_atm_radiation_lw, only: radiation_lw
+  use mpas_atm_microphysics, only: microphysics
+  use mpas_atm_boundary_layer, only: pbl_mixing
+  use mpas_atm_lsm, only: land_surface
+  use mpas_atm_gwdo, only: gravity_wave_drag
+  implicit none
+  integer :: nc, nz, nsteps, ns
+  real(kind=8) :: u(-1:__NC__+2), h(-1:__NC__+2), hs(-1:__NC__+2)
+  real(kind=8) :: theta(__NC__, __NZ__), ke(__NC__)
+  real(kind=8) :: dx, dt, x, maxke, globmax
+  integer :: i, k, step, ks
+  nc = __NC__
+  nz = __NZ__
+  nsteps = __STEPS__
+  ns = __NS__
+  dx = 1000.0d0
+  dt = 16.0d0
+  ! Initial condition: fluid at rest over a ridge, with a height anomaly.
+  do i = -1, nc + 2
+    x = (i - nc / 2) * dx / (nc * dx / 12.0d0)
+    h(i) = 100.0d0 + 4.0d0 * exp(-x * x)
+    hs(i) = 0.5d0 * sin(6.283185307179586d0 * i / nc)
+    u(i) = 0.0d0
+  end do
+  do i = 1, nc
+    do k = 1, nz
+      theta(i, k) = 290.0d0 + 0.01d0 * k + 0.3d0 * sin(0.7d0 * i)
+    end do
+  end do
+  do step = 1, nsteps
+    call atm_srk3(u, h, hs, nc, dx, dt, ns)
+    ks = nz / 6
+    call radiation_sw(theta, nc, nz, 1, ks)
+    call radiation_lw(theta, nc, nz, ks + 1, 2 * ks)
+    call microphysics(theta, nc, nz, 2 * ks + 1, 3 * ks)
+    call pbl_mixing(theta, nc, nz, 3 * ks + 1, 4 * ks)
+    call land_surface(theta, nc, nz, 4 * ks + 1, 5 * ks)
+    call gravity_wave_drag(theta, nc, nz, 5 * ks + 1, nz)
+    ! Diagnostics: cell kinetic energy (the correctness metric field) and a
+    ! global reduction (halo/diagnostic latency on the driver side).
+    maxke = 0.0d0
+    do i = 1, nc
+      ke(i) = 0.5d0 * h(i) * u(i) * u(i)
+      maxke = max(maxke, ke(i))
+    end do
+    globmax = 0.0d0
+    call mpi_allreduce_max(maxke, globmax)
+    call prose_record_array('ke', ke)
+    call prose_record('maxke', globmax)
+  end do
+end program mpas_main

@@ -1,0 +1,81 @@
+//! # prose-models
+//!
+//! The four embedded Fortran workloads of the case study, with the
+//! experiment parameters of Section IV-A:
+//!
+//! | Paper model | Here | Hotspot module | Metric | Threshold | n |
+//! |---|---|---|---|---|---|
+//! | MPAS-A (5-day global run) | [`mpas::mpas_a`] | `atm_time_integration` work routines | per-cell kinetic energy, max over cells, L2 over time | observed uniform-32 error | 1 |
+//! | ADCIRC (40-day tidal run) | [`adcirc::adcirc`] | `itpackv` | running-max elevation per node, L2 over grid | 1.0e-1 | 1 |
+//! | MOM6 (benchmark config) | [`mom6::mom6`] | `MOM_continuity_PPM` | max CFL per step, L2 over time | 2.5e-1 | 7 |
+//! | funarc (motivating example) | [`funarc::funarc`] | whole program | final arc length | 4.0e-4 | 1 |
+//!
+//! Each model is a faithful *miniature*: the full models need Derecho-scale
+//! resources, so these reproduce the hotspot structure, the numerical
+//! failure modes, and the performance anatomy (vectorizable vs. recurrence
+//! kernels, call volumes, boundary data flow) at laptop scale — see
+//! DESIGN.md's substitution table.
+//!
+//! Sources are parameterized by [`ModelSize`]: `Small` keeps unit tests
+//! fast; `Paper` is used by the benchmark harness that regenerates the
+//! paper's tables and figures.
+
+pub mod adcirc;
+pub mod funarc;
+pub mod mom6;
+pub mod mpas;
+
+pub use prose_core::tuner::{LoadedModel, ModelSpec};
+
+/// Workload scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSize {
+    /// Tiny grids and few steps: seconds-fast tests.
+    Small,
+    /// The evaluation-scale configuration used by the benches.
+    Paper,
+}
+
+/// Substitute `__TOKEN__` placeholders in a Fortran source template.
+pub(crate) fn substitute(template: &str, pairs: &[(&str, i64)]) -> String {
+    let mut out = template.to_string();
+    for (token, value) in pairs {
+        out = out.replace(token, &value.to_string());
+    }
+    assert!(
+        !out.contains("__"),
+        "unsubstituted placeholder remains in model source"
+    );
+    out
+}
+
+/// All four models at the given size (funarc last — it is the motivating
+/// example, not a weather model).
+pub fn all_models(size: ModelSize) -> Vec<ModelSpec> {
+    vec![mpas::mpas_a(size), adcirc::adcirc(size), mom6::mom6(size), funarc::funarc(size)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitute_replaces_all_tokens() {
+        let s = substitute("a __X__ b __Y__ __X__", &[("__X__", 3), ("__Y__", -2)]);
+        assert_eq!(s, "a 3 b -2 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsubstituted placeholder")]
+    fn substitute_rejects_leftovers() {
+        substitute("__X__ __Z__", &[("__X__", 1)]);
+    }
+
+    #[test]
+    fn all_models_load() {
+        for spec in all_models(ModelSize::Small) {
+            let m = spec.load().unwrap_or_else(|e| panic!("{} fails to load: {e}", spec.name));
+            assert!(!m.atoms.is_empty(), "{} has no atoms", spec.name);
+        }
+    }
+}

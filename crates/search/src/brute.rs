@@ -1,0 +1,87 @@
+//! Exhaustive enumeration of the 2ⁿ design space (feasible only for tiny
+//! atom counts — the funarc motivating example, Section II-B).
+
+use crate::{Config, Evaluator, Memo, SearchResult};
+
+/// Brute-force search. Refuses atom counts above `max_atoms` (the paper's
+/// scalability point: 2ⁿ explodes immediately).
+pub struct BruteForce {
+    pub min_speedup: f64,
+    pub max_atoms: usize,
+}
+
+impl Default for BruteForce {
+    fn default() -> Self {
+        BruteForce { min_speedup: 1.0, max_atoms: 20 }
+    }
+}
+
+impl BruteForce {
+    /// Enumerate every configuration. Panics if the space is too large.
+    pub fn run<E: Evaluator>(&self, eval: &mut E) -> SearchResult {
+        let n = eval.atom_count();
+        assert!(
+            n <= self.max_atoms,
+            "brute force over {n} atoms would evaluate 2^{n} variants; \
+             use the delta-debugging search"
+        );
+        let mut memo = Memo::new(eval, None);
+        // Evaluate in batches: the evaluator may parallelize a batch (the
+        // paper's one-node-per-variant fan-out).
+        let mut batch: Vec<Config> = Vec::with_capacity(128);
+        for bits in 0..(1u64 << n) {
+            batch.push((0..n).map(|i| bits >> i & 1 == 1).collect());
+            if batch.len() == 128 {
+                memo.evaluate_batch(&batch);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            memo.evaluate_batch(&batch);
+        }
+        let best = memo.best(self.min_speedup);
+        let final_config =
+            best.as_ref().map(|t| t.config.clone()).unwrap_or_else(|| vec![false; n]);
+        SearchResult {
+            best,
+            final_config,
+            one_minimal: false, // exhaustive optimum, not a 1-minimal claim
+            trace: memo.trace,
+            budget_exhausted: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Synthetic;
+
+    #[test]
+    fn enumerates_the_full_space() {
+        let mut ev = Synthetic::new(8, &[2]);
+        let r = BruteForce::default().run(&mut ev);
+        assert_eq!(r.trace.len(), 256);
+        // Optimum lowers everything except atom 2.
+        let best = r.best.unwrap();
+        assert!(!best.config[2]);
+        assert_eq!(best.config.iter().filter(|b| **b).count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force")]
+    fn refuses_large_spaces() {
+        let mut ev = Synthetic::new(25, &[]);
+        BruteForce::default().run(&mut ev);
+    }
+
+    #[test]
+    fn reports_no_best_when_nothing_accepted() {
+        let mut ev = Synthetic::new(4, &[0, 1, 2, 3]);
+        let mut bf = BruteForce::default();
+        bf.min_speedup = 10.0;
+        let r = bf.run(&mut ev);
+        assert!(r.best.is_none());
+        assert_eq!(r.final_config, vec![false; 4]);
+    }
+}

@@ -1,0 +1,322 @@
+//! The delta-debugging search adapted for precision tuning (Precimonious,
+//! reference \[2\] in the paper), searching for a **1-minimal** variant.
+//!
+//! The algorithm works on the *high set* — the atoms still at 64-bit. A
+//! candidate is tested by lowering everything outside the high set; it is
+//! accepted when it meets the correctness threshold and beats the baseline
+//! (`min_speedup`). Following Zeller/Hildebrandt's ddmin structure:
+//!
+//! 1. try keeping only one partition high ("reduce to subset");
+//! 2. try removing one partition from the high set ("reduce to complement");
+//! 3. otherwise double the partition granularity;
+//! 4. stop when granularity equals the high-set size and no single removal
+//!    is accepted — the high set is then 1-minimal by construction.
+//!
+//! Average complexity O(n log n), worst case O(n²) (Section III-B).
+
+use crate::{Config, Evaluator, Memo, SearchResult};
+
+/// Parameters for the delta-debugging search.
+#[derive(Debug, Clone)]
+pub struct DdParams {
+    /// Acceptance bar for speedup (1.0 = must beat baseline).
+    pub min_speedup: f64,
+    /// Unique-variant budget; `None` = run to termination.
+    pub max_variants: Option<usize>,
+    /// Precimonious's monotone-improvement rule: once a variant is
+    /// accepted, later acceptances must (nearly) beat its speedup. This is
+    /// also the noise defense the paper discusses — without it, timing
+    /// jitter near the 1.0× boundary walks the search into local minima.
+    pub monotone: bool,
+    /// Slack on the rising bar (an accepted speedup s sets the bar to
+    /// `s * monotone_slack`).
+    pub monotone_slack: f64,
+}
+
+impl Default for DdParams {
+    fn default() -> Self {
+        DdParams { min_speedup: 1.0, max_variants: None, monotone: true, monotone_slack: 0.995 }
+    }
+}
+
+/// The delta-debugging strategy.
+pub struct DeltaDebug {
+    pub params: DdParams,
+}
+
+impl DeltaDebug {
+    pub fn new(params: DdParams) -> Self {
+        DeltaDebug { params }
+    }
+
+    /// Run the search to completion (or budget exhaustion).
+    pub fn run<E: Evaluator>(&self, eval: &mut E) -> SearchResult {
+        let n = eval.atom_count();
+        let mut memo = Memo::new(eval, self.params.max_variants);
+        let mut bar = self.params.min_speedup;
+
+        let config_for = |high: &[usize], n: usize| -> Config {
+            let mut cfg = vec![true; n];
+            for &h in high {
+                cfg[h] = false;
+            }
+            cfg
+        };
+
+        // Fast path: uniform 32-bit (empty high set).
+        let mut budget_exhausted = false;
+        let all_lowered = vec![true; n];
+        match memo.evaluate(&all_lowered) {
+            Some(o) if o.accepted(bar) => {
+                return SearchResult {
+                    best: memo.best(self.params.min_speedup),
+                    final_config: all_lowered,
+                    one_minimal: true, // empty high set is trivially minimal
+                    trace: memo.trace,
+                    budget_exhausted: false,
+                };
+            }
+            Some(_) => {}
+            None => budget_exhausted = true,
+        }
+
+        let mut high: Vec<usize> = (0..n).collect();
+        let mut granularity: usize = 2;
+        let mut one_minimal = false;
+
+        'outer: while !budget_exhausted && !high.is_empty() {
+            let parts = partition(&high, granularity);
+
+            // Phase 1: reduce to a single partition. The whole batch is
+            // generated up front and evaluated together (the paper's T2/T3
+            // run each batch in parallel, one node per variant).
+            if parts.len() > 1 {
+                let batch: Vec<Config> = parts.iter().map(|p| config_for(p, n)).collect();
+                let outcomes = memo.evaluate_batch(&batch);
+                if outcomes.iter().any(Option::is_none) {
+                    budget_exhausted = true;
+                }
+                for (p, o) in parts.iter().zip(&outcomes) {
+                    if let Some(o) = o {
+                        if o.accepted(bar) {
+                            if self.params.monotone {
+                                bar = bar.max(o.speedup * self.params.monotone_slack);
+                            }
+                            high = p.clone();
+                            granularity = 2;
+                            continue 'outer;
+                        }
+                    }
+                }
+                if budget_exhausted {
+                    break 'outer;
+                }
+            }
+
+            // Phase 2: reduce by removing one partition from the high set.
+            let complements: Vec<Vec<usize>> = (0..parts.len())
+                .map(|i| {
+                    parts
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .flat_map(|(_, p)| p.iter().copied())
+                        .collect()
+                })
+                .collect();
+            let batch: Vec<Config> = complements.iter().map(|c| config_for(c, n)).collect();
+            let outcomes = memo.evaluate_batch(&batch);
+            if outcomes.iter().any(Option::is_none) {
+                budget_exhausted = true;
+            }
+            let mut removed_any = false;
+            for (candidate, o) in complements.into_iter().zip(&outcomes) {
+                if let Some(o) = o {
+                    if o.accepted(bar) {
+                        if self.params.monotone {
+                            bar = bar.max(o.speedup * self.params.monotone_slack);
+                        }
+                        let was_single_granularity = granularity >= high.len();
+                        high = candidate;
+                        granularity = if was_single_granularity {
+                            high.len().max(2)
+                        } else {
+                            (granularity - 1).max(2)
+                        };
+                        removed_any = true;
+                        break;
+                    }
+                }
+            }
+            if budget_exhausted {
+                break 'outer;
+            }
+            if removed_any {
+                continue 'outer;
+            }
+
+            // Phase 3: refine granularity or terminate.
+            if granularity >= high.len() {
+                // Every single removal was tested and rejected: 1-minimal.
+                one_minimal = true;
+                break;
+            }
+            granularity = (granularity * 2).min(high.len());
+        }
+
+        let final_config = config_for(&high, n);
+        SearchResult {
+            best: memo.best(self.params.min_speedup),
+            final_config,
+            one_minimal,
+            trace: memo.trace,
+            budget_exhausted,
+        }
+    }
+}
+
+/// Split `set` into `k` nearly-equal contiguous partitions.
+fn partition(set: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let k = k.min(set.len()).max(1);
+    let base = set.len() / k;
+    let extra = set.len() % k;
+    let mut out = Vec::with_capacity(k);
+    let mut idx = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(set[idx..idx + len].to_vec());
+        idx += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Synthetic;
+    use crate::Status;
+
+    fn high_set(cfg: &Config) -> Vec<usize> {
+        cfg.iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn finds_empty_high_set_when_everything_lowers() {
+        let mut ev = Synthetic::new(16, &[]);
+        let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+        assert!(r.one_minimal);
+        assert!(high_set(&r.final_config).is_empty());
+        assert_eq!(r.trace.len(), 1); // uniform-32 accepted immediately
+        assert!(r.best.is_some());
+    }
+
+    #[test]
+    fn isolates_a_single_critical_variable() {
+        // The ADCIRC scenario: exactly one variable must stay 64-bit.
+        let mut ev = Synthetic::new(32, &[17]);
+        let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+        assert!(r.one_minimal);
+        assert_eq!(high_set(&r.final_config), vec![17]);
+        assert!(!r.budget_exhausted);
+        // The best variant lowers all but one atom.
+        let best = r.best.unwrap();
+        assert_eq!(best.config.iter().filter(|b| !**b).count(), 1);
+    }
+
+    #[test]
+    fn isolates_scattered_critical_sets() {
+        for critical in [vec![0], vec![31], vec![3, 19], vec![5, 6, 7], vec![0, 15, 31]] {
+            let mut ev = Synthetic::new(32, &critical);
+            let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+            let mut hs = high_set(&r.final_config);
+            hs.sort_unstable();
+            assert_eq!(hs, critical, "critical set {critical:?}");
+            assert!(r.one_minimal);
+        }
+    }
+
+    #[test]
+    fn one_minimality_holds_by_exhaustive_single_flips() {
+        let critical = vec![2, 9, 20, 21];
+        let mut ev = Synthetic::new(24, &critical);
+        let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+        assert!(r.one_minimal);
+        // Lowering any remaining high atom must be rejected.
+        let mut check = Synthetic::new(24, &critical);
+        for h in high_set(&r.final_config) {
+            let mut cfg = r.final_config.clone();
+            cfg[h] = true;
+            let o = crate::Evaluator::evaluate(&mut check, &cfg);
+            assert!(!o.accepted(1.0), "flipping {h} should not be accepted");
+        }
+    }
+
+    #[test]
+    fn complexity_is_subquadratic_for_single_critical() {
+        let n = 128;
+        let mut ev = Synthetic::new(n, &[77]);
+        let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+        assert_eq!(high_set(&r.final_config), vec![77]);
+        // O(n log n)-ish: comfortably below n²/4.
+        assert!(
+            r.trace.len() < n * n / 4,
+            "expected subquadratic trials, got {}",
+            r.trace.len()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut ev = Synthetic::new(64, &[1, 13, 40, 41, 62]);
+        let r = DeltaDebug::new(DdParams {
+            max_variants: Some(5),
+            ..Default::default()
+        })
+        .run(&mut ev);
+        assert!(r.budget_exhausted);
+        assert!(!r.one_minimal);
+        assert_eq!(r.trace.len(), 5);
+    }
+
+    #[test]
+    fn runtime_errors_are_never_accepted() {
+        let mut ev = Synthetic::new(8, &[]);
+        ev.poison = vec![3];
+        let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+        let hs = high_set(&r.final_config);
+        assert_eq!(hs, vec![3]);
+        // Trace contains runtime errors.
+        assert!(r
+            .trace
+            .iter()
+            .any(|t| matches!(t.outcome.status, Status::RuntimeError)));
+    }
+
+    #[test]
+    fn min_speedup_bar_rejects_slow_passes() {
+        // Critical-free evaluator, but demand an impossible 3x: the search
+        // should find nothing acceptable and keep everything high.
+        let mut ev = Synthetic::new(8, &[]);
+        let r = DeltaDebug::new(DdParams { min_speedup: 3.0, ..Default::default() }).run(&mut ev);
+        assert!(r.best.is_none());
+        // Nothing acceptable: the search ends with the full high set
+        // (equivalent to the original program).
+        assert_eq!(high_set(&r.final_config).len(), 8);
+    }
+
+    #[test]
+    fn partition_splits_evenly() {
+        let set: Vec<usize> = (0..10).collect();
+        let parts = partition(&set, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 10);
+        assert!(parts.iter().all(|p| p.len() >= 3));
+        // Degenerate cases.
+        assert_eq!(partition(&set, 100).len(), 10);
+        assert_eq!(partition(&set, 1).len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Uniform random sampling baseline.
+//!
+//! Not used by the paper's methodology (Section III-B justifies adopting
+//! the canonical delta-debugging strategy instead of comparing search
+//! algorithms), but useful as a sanity baseline in the ablation benches:
+//! random sampling at the same variant budget should find worse 1-minimal
+//! sets than delta debugging.
+
+use crate::{Config, Evaluator, Memo, SearchResult};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random search: `samples` configurations drawn uniformly, with the
+/// lowered-fraction itself drawn uniformly per sample (so the space of
+/// mostly-high and mostly-low variants are both covered).
+pub struct RandomSearch {
+    pub samples: usize,
+    pub min_speedup: f64,
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    pub fn new(samples: usize, seed: u64) -> Self {
+        RandomSearch { samples, min_speedup: 1.0, seed }
+    }
+
+    pub fn run<E: Evaluator>(&self, eval: &mut E) -> SearchResult {
+        let n = eval.atom_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut memo = Memo::new(eval, Some(self.samples));
+        // Always include the two uniform endpoints.
+        let _ = memo.evaluate(&vec![true; n]);
+        let _ = memo.evaluate(&vec![false; n]);
+        let mut exhausted = false;
+        while memo.trace.len() < self.samples {
+            let p: f64 = rng.gen();
+            let cfg: Config = (0..n).map(|_| rng.gen_bool(p)).collect();
+            if memo.evaluate(&cfg).is_none() {
+                exhausted = true;
+                break;
+            }
+        }
+        let best = memo.best(self.min_speedup);
+        let final_config =
+            best.as_ref().map(|t| t.config.clone()).unwrap_or_else(|| vec![false; n]);
+        SearchResult {
+            best,
+            final_config,
+            one_minimal: false,
+            trace: memo.trace,
+            budget_exhausted: exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Synthetic;
+
+    #[test]
+    fn samples_up_to_budget_and_is_deterministic() {
+        let mut ev1 = Synthetic::new(16, &[4]);
+        let r1 = RandomSearch::new(40, 7).run(&mut ev1);
+        let mut ev2 = Synthetic::new(16, &[4]);
+        let r2 = RandomSearch::new(40, 7).run(&mut ev2);
+        assert!(r1.trace.len() <= 40);
+        assert_eq!(r1.trace.len(), r2.trace.len());
+        for (a, b) in r1.trace.iter().zip(&r2.trace) {
+            assert_eq!(a.config, b.config);
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let mut ev1 = Synthetic::new(16, &[]);
+        let r1 = RandomSearch::new(30, 1).run(&mut ev1);
+        let mut ev2 = Synthetic::new(16, &[]);
+        let r2 = RandomSearch::new(30, 2).run(&mut ev2);
+        let same = r1
+            .trace
+            .iter()
+            .zip(&r2.trace)
+            .filter(|(a, b)| a.config == b.config)
+            .count();
+        assert!(same < r1.trace.len().min(r2.trace.len()));
+    }
+
+    #[test]
+    fn includes_uniform_endpoints() {
+        let mut ev = Synthetic::new(8, &[]);
+        let r = RandomSearch::new(10, 3).run(&mut ev);
+        assert!(r.trace.iter().any(|t| t.config.iter().all(|b| *b)));
+        assert!(r.trace.iter().any(|t| t.config.iter().all(|b| !*b)));
+        // All-lowered works here, so it is the best.
+        assert!(r.best.unwrap().config.iter().all(|b| *b));
+    }
+}

@@ -1,0 +1,188 @@
+//! Line-based unified diff between the original program and a variant —
+//! the artifact the paper shows in Figure 3.
+
+/// Produce a unified-style diff of two texts (no context collapsing: small
+/// model sources read better in full). Lines are prefixed with ` `, `-`,
+/// or `+`.
+pub fn unified_diff(original: &str, variant: &str) -> String {
+    let a: Vec<&str> = original.lines().collect();
+    let b: Vec<&str> = variant.lines().collect();
+    let ops = diff_ops(&a, &b);
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            Op::Keep(s) => {
+                out.push_str("  ");
+                out.push_str(s);
+            }
+            Op::Del(s) => {
+                out.push_str("- ");
+                out.push_str(s);
+            }
+            Op::Add(s) => {
+                out.push_str("+ ");
+                out.push_str(s);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Only the changed lines (with -/+ prefixes), plus up to `context` lines
+/// around each hunk — the compact Figure-3 presentation.
+pub fn changed_hunks(original: &str, variant: &str, context: usize) -> String {
+    let a: Vec<&str> = original.lines().collect();
+    let b: Vec<&str> = variant.lines().collect();
+    let ops = diff_ops(&a, &b);
+
+    // Mark which op indices to keep: changes plus `context` around them.
+    let mut keep = vec![false; ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        if !matches!(op, Op::Keep(_)) {
+            let lo = i.saturating_sub(context);
+            let hi = (i + context + 1).min(ops.len());
+            for k in keep.iter_mut().take(hi).skip(lo) {
+                *k = true;
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut last_kept = true;
+    for (i, op) in ops.iter().enumerate() {
+        if !keep[i] {
+            if last_kept {
+                out.push_str("...\n");
+            }
+            last_kept = false;
+            continue;
+        }
+        last_kept = true;
+        match op {
+            Op::Keep(s) => {
+                out.push_str("  ");
+                out.push_str(s);
+            }
+            Op::Del(s) => {
+                out.push_str("- ");
+                out.push_str(s);
+            }
+            Op::Add(s) => {
+                out.push_str("+ ");
+                out.push_str(s);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+enum Op<'a> {
+    Keep(&'a str),
+    Del(&'a str),
+    Add(&'a str),
+}
+
+/// Myers-style LCS diff via dynamic programming (the inputs are small model
+/// sources; O(n·m) is fine and simple).
+fn diff_ops<'a>(a: &[&'a str], b: &[&'a str]) -> Vec<Op<'a>> {
+    let n = a.len();
+    let m = b.len();
+    // lcs[i][j] = LCS length of a[i..], b[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push(Op::Keep(a[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push(Op::Del(a[i]));
+            i += 1;
+        } else {
+            out.push(Op::Add(b[j]));
+            j += 1;
+        }
+    }
+    while i < n {
+        out.push(Op::Del(a[i]));
+        i += 1;
+    }
+    while j < m {
+        out.push(Op::Add(b[j]));
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_no_changes() {
+        let d = unified_diff("a\nb\n", "a\nb\n");
+        assert!(d.lines().all(|l| l.starts_with("  ")));
+    }
+
+    #[test]
+    fn single_line_change() {
+        let d = unified_diff("x = 1\ny = 2\nz = 3\n", "x = 1\ny = 9\nz = 3\n");
+        assert!(d.contains("- y = 2"));
+        assert!(d.contains("+ y = 9"));
+        assert!(d.contains("  x = 1"));
+    }
+
+    #[test]
+    fn insertion_and_deletion() {
+        let d = unified_diff("a\nb\nc\n", "a\nc\nd\n");
+        assert!(d.contains("- b"));
+        assert!(d.contains("+ d"));
+    }
+
+    #[test]
+    fn figure_3_shape() {
+        let original = "subroutine funarc(result)\n  real(kind=8) :: s1, h, t1, t2, dppi\nend subroutine funarc\n";
+        let variant = "subroutine funarc(result)\n  real(kind=8) :: s1\n  real(kind=4) :: h, t1, t2, dppi\nend subroutine funarc\n";
+        let d = unified_diff(original, variant);
+        assert!(d.contains("- real(kind=8) :: s1, h, t1, t2, dppi") || d.contains("-   real(kind=8) :: s1, h, t1, t2, dppi"), "{d}");
+        assert!(d.contains("+"), "{d}");
+    }
+
+    #[test]
+    fn hunks_collapse_unchanged_regions() {
+        let mut a = String::new();
+        let mut b = String::new();
+        for i in 0..50 {
+            a.push_str(&format!("line {i}\n"));
+            b.push_str(&format!("line {i}\n"));
+        }
+        b = b.replace("line 25", "line twenty-five");
+        let h = changed_hunks(&a, &b, 1);
+        assert!(h.contains("..."));
+        assert!(h.contains("- line 25"));
+        assert!(h.contains("+ line twenty-five"));
+        assert!(h.contains("  line 24"));
+        assert!(h.contains("  line 26"));
+        assert!(!h.contains("line 10"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(unified_diff("", ""), "");
+        let d = unified_diff("", "new\n");
+        assert!(d.contains("+ new"));
+        let d = unified_diff("old\n", "");
+        assert!(d.contains("- old"));
+    }
+}

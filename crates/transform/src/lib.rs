@@ -1,0 +1,188 @@
+//! # prose-transform
+//!
+//! Source-to-source generation of mixed-precision variants:
+//!
+//! 1. **Declaration rewriting** — apply a [`PrecisionMap`] to every FP
+//!    variable declaration, splitting grouped declarations whose entities
+//!    now differ in kind (producing exactly the Figure-3 style diff).
+//! 2. **Wrapper synthesis** — Fortran permits implicit kind conversion only
+//!    through assignment, so every precision-mismatched parameter-passing
+//!    edge gets an explicit wrapper procedure (Figure 4): dummies with the
+//!    caller-side kinds, assignment-converted temporaries with the
+//!    callee-side kinds (element-wise copy loops for arrays, `intent`-aware
+//!    in both directions), and a forwarded call. Call sites are rewritten to
+//!    target the wrapper, and `use, only:` lists are extended so wrappers
+//!    stay visible.
+//! 3. **Round trip** — the variant is unparsed to Fortran text and re-parsed,
+//!    mirroring the paper's unparse-and-reinsert step; [`make_variant`]
+//!    returns both the text and the re-analyzed AST.
+//!
+//! After transformation the FP flow-graph invariant holds: no
+//! parameter-passing edge connects differently-kinded endpoints.
+
+pub mod diff;
+pub mod rewrite;
+pub mod wrapper;
+
+pub use diff::unified_diff;
+pub use rewrite::apply_precision;
+pub use wrapper::synthesize_wrappers;
+
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::ProgramIndex;
+use prose_fortran::{analyze, parse_program, unparse, FortranError, Program};
+
+/// A fully generated mixed-precision variant.
+#[derive(Debug)]
+pub struct Variant {
+    /// The transformed program (parsed back from `text`).
+    pub program: Program,
+    /// Semantic index of the transformed program.
+    pub index: ProgramIndex,
+    /// The unparsed Fortran source of the variant.
+    pub text: String,
+    /// Names of wrapper procedures that were synthesized.
+    pub wrappers: Vec<String>,
+}
+
+/// Generate a compilable mixed-precision variant of `program` under `map`:
+/// rewrite declarations, synthesize wrappers, unparse, re-parse, re-analyze.
+///
+/// The full unparse → parse → analyze round trip is intentional: it
+/// guarantees the variant is valid *source*, not just a valid AST, exactly
+/// as the paper's pipeline re-inserted unparsed code into the model build.
+pub fn make_variant(
+    program: &Program,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) -> Result<Variant, FortranError> {
+    let mut variant = program.clone();
+    apply_precision(&mut variant, index, map);
+    let wrappers = synthesize_wrappers(&mut variant, index, map);
+    let text = unparse(&variant);
+    let reparsed = parse_program(&text)?;
+    let new_index = analyze(&reparsed)?;
+    Ok(Variant { program: reparsed, index: new_index, text, wrappers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_analysis::flow::FpFlowGraph;
+    use prose_fortran::ast::FpPrecision;
+
+    const SRC: &str = r#"
+module m
+contains
+  function flux(q) result(f)
+    real(kind=8) :: q, f
+    f = q * 0.5d0
+  end function flux
+  subroutine kernel(u, t, n)
+    real(kind=8), intent(in) :: u(n)
+    real(kind=8), intent(out) :: t(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      t(i) = flux(u(i))
+    end do
+  end subroutine kernel
+end module m
+program main
+  use m, only: kernel
+  real(kind=8) :: a(8), b(8)
+  integer :: k
+  do k = 1, 8
+    a(k) = 0.25d0 * k
+  end do
+  call kernel(a, b, 8)
+  call prose_record('b1', b(1))
+end program main
+"#;
+
+    fn setup() -> (Program, ProgramIndex) {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        (p, ix)
+    }
+
+    #[test]
+    fn identity_map_produces_wrapperless_identical_semantics() {
+        let (p, ix) = setup();
+        let map = PrecisionMap::declared(&ix);
+        let v = make_variant(&p, &ix, &map).unwrap();
+        assert!(v.wrappers.is_empty());
+        assert_eq!(v.program, p);
+    }
+
+    #[test]
+    fn lowering_callee_dummy_synthesizes_wrapper_and_restores_invariant() {
+        let (p, ix) = setup();
+        let mut map = PrecisionMap::declared(&ix);
+        let flux = ix.scope_of_procedure("flux").unwrap();
+        map.set(ix.fp_var_id(flux, "q").unwrap(), FpPrecision::Single);
+        map.set(ix.fp_var_id(flux, "f").unwrap(), FpPrecision::Single);
+        let v = make_variant(&p, &ix, &map).unwrap();
+        assert_eq!(v.wrappers.len(), 1);
+        assert!(v.wrappers[0].starts_with("flux_w"));
+        // The flow graph of the variant (under its own declared precisions)
+        // has no mismatched edges — the Figure-4 invariant.
+        let g = FpFlowGraph::build(&v.program, &v.index);
+        let declared = PrecisionMap::declared(&v.index);
+        assert!(g.invariant_holds(&v.index, &declared), "text:\n{}", v.text);
+        // kernel's loop now calls the wrapper.
+        assert!(v.text.contains(&v.wrappers[0]));
+    }
+
+    #[test]
+    fn lowering_whole_hotspot_needs_boundary_wrapper_only() {
+        let (p, ix) = setup();
+        let atoms = ix.atoms();
+        // Lower everything except main's arrays: boundary at main→kernel.
+        let mut map = PrecisionMap::declared(&ix);
+        for a in &atoms {
+            let v = ix.fp_var(*a);
+            let sname = ix.scope_info(v.scope).name.clone();
+            if sname != "main" {
+                map.set(*a, FpPrecision::Single);
+            }
+        }
+        let v = make_variant(&p, &ix, &map).unwrap();
+        // flux↔kernel edges are consistent (both single); only kernel needs
+        // a wrapper for main's double arrays.
+        assert_eq!(v.wrappers.len(), 1, "text:\n{}", v.text);
+        assert!(v.wrappers[0].starts_with("kernel_w"));
+        let g = FpFlowGraph::build(&v.program, &v.index);
+        let declared = PrecisionMap::declared(&v.index);
+        assert!(g.invariant_holds(&v.index, &declared), "text:\n{}", v.text);
+    }
+
+    #[test]
+    fn use_only_list_extended_with_wrapper() {
+        let (p, ix) = setup();
+        let atoms = ix.atoms();
+        let mut map = PrecisionMap::declared(&ix);
+        for a in &atoms {
+            let v = ix.fp_var(*a);
+            if ix.scope_info(v.scope).name != "main" {
+                map.set(*a, FpPrecision::Single);
+            }
+        }
+        let v = make_variant(&p, &ix, &map).unwrap();
+        let main = v.program.main.as_ref().unwrap();
+        let only = main.uses[0].only.as_ref().unwrap();
+        assert!(only.iter().any(|n| n.starts_with("kernel_w")), "{only:?}");
+    }
+
+    #[test]
+    fn variant_text_differs_only_in_declarations_for_uniform_lowering() {
+        let (p, ix) = setup();
+        let atoms = ix.atoms();
+        let map = PrecisionMap::uniform(&ix, &atoms, FpPrecision::Single);
+        let v = make_variant(&p, &ix, &map).unwrap();
+        // Uniform lowering needs no wrappers at all.
+        assert!(v.wrappers.is_empty(), "text:\n{}", v.text);
+        assert!(v.text.contains("real(kind=4), intent(in) :: u(n)"));
+        assert!(!v.text.contains("real(kind=8) :: q"));
+    }
+}

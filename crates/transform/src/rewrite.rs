@@ -1,0 +1,153 @@
+//! Declaration rewriting: apply a precision assignment to the AST.
+//!
+//! Grouped declarations whose entities end up with different kinds are
+//! split, preserving entity order — so the unparsed variant diffs against
+//! the original exactly like the paper's Figure 3:
+//!
+//! ```fortran
+//! -  real(kind=8) :: s1, h, t1, t2, dppi
+//! +  real(kind=8) :: s1
+//! +  real(kind=4) :: h, t1, t2, dppi
+//! ```
+
+use prose_fortran::ast::*;
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{ProgramIndex, ScopeId};
+
+/// Rewrite every FP declaration in `program` to the precision assigned by
+/// `map`. The program structure (statements, bodies) is untouched.
+pub fn apply_precision(program: &mut Program, index: &ProgramIndex, map: &PrecisionMap) {
+    for m in &mut program.modules {
+        let scope = index
+            .module_scope(&m.name)
+            .expect("index built from this program");
+        rewrite_decls(&mut m.decls, scope, index, map);
+        for p in &mut m.procedures {
+            let pscope = index.scope_of_procedure(&p.name).expect("indexed procedure");
+            rewrite_decls(&mut p.decls, pscope, index, map);
+        }
+    }
+    if let Some(mp) = &mut program.main {
+        let scope = main_scope(index);
+        rewrite_decls(&mut mp.decls, scope, index, map);
+        for p in &mut mp.procedures {
+            let pscope = index.scope_of_procedure(&p.name).expect("indexed procedure");
+            rewrite_decls(&mut p.decls, pscope, index, map);
+        }
+    }
+}
+
+fn main_scope(index: &ProgramIndex) -> ScopeId {
+    (0..index.scope_count())
+        .map(ScopeId)
+        .find(|s| index.scope_info(*s).kind == prose_fortran::sema::ScopeKind::Main)
+        .expect("program has a main scope")
+}
+
+fn rewrite_decls(
+    decls: &mut Vec<Declaration>,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) {
+    let mut out: Vec<Declaration> = Vec::with_capacity(decls.len());
+    for d in decls.drain(..) {
+        if !d.type_spec.is_fp() {
+            out.push(d);
+            continue;
+        }
+        // Partition entities by their assigned precision, preserving order
+        // within each partition, double first when the original was double
+        // (cosmetic: matches the paper's diffs).
+        let mut groups: Vec<(FpPrecision, Vec<EntityDecl>)> = Vec::new();
+        for e in d.entities.iter() {
+            let target = match index.fp_var_id(scope, &e.name) {
+                Some(id) => map.get(id),
+                None => d.type_spec.fp_precision().unwrap(),
+            };
+            match groups.iter_mut().find(|(p, _)| *p == target) {
+                Some((_, list)) => list.push(e.clone()),
+                None => groups.push((target, vec![e.clone()])),
+            }
+        }
+        for (prec, entities) in groups {
+            out.push(Declaration {
+                type_spec: TypeSpec::Real(prec),
+                attrs: d.attrs.clone(),
+                entities,
+                span: d.span,
+            });
+        }
+    }
+    *decls = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::{analyze, parse_program, unparse};
+
+    #[test]
+    fn splits_grouped_declaration_like_figure_3() {
+        let src = "module m\ncontains\nsubroutine funarc()\n real(kind=8) :: s1, h, t1, t2, dppi\n s1 = 0.0d0\n h = 0.0d0\n t1 = 0.0d0\n t2 = 0.0d0\n dppi = 0.0d0\nend subroutine funarc\nend module m\n";
+        let mut p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let scope = ix.scope_of_procedure("funarc").unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        for name in ["h", "t1", "t2", "dppi"] {
+            map.set(ix.fp_var_id(scope, name).unwrap(), FpPrecision::Single);
+        }
+        apply_precision(&mut p, &ix, &map);
+        let text = unparse(&p);
+        assert!(text.contains("real(kind=8) :: s1\n"), "{text}");
+        assert!(text.contains("real(kind=4) :: h, t1, t2, dppi"), "{text}");
+    }
+
+    #[test]
+    fn identity_assignment_leaves_program_unchanged() {
+        let src = "module m\n real(kind=8) :: a, b\n real(kind=4) :: c\nend module m\n";
+        let mut p = parse_program(src).unwrap();
+        let orig = p.clone();
+        let ix = analyze(&p).unwrap();
+        apply_precision(&mut p, &ix, &PrecisionMap::declared(&ix));
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn attrs_are_preserved_across_split() {
+        let src = "module m\ncontains\nsubroutine s(a, b, n)\n real(kind=8), intent(inout) :: a(n), b(n)\n integer, intent(in) :: n\n a(1) = b(1)\nend subroutine s\nend module m\n";
+        let mut p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let scope = ix.scope_of_procedure("s").unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        map.set(ix.fp_var_id(scope, "b").unwrap(), FpPrecision::Single);
+        apply_precision(&mut p, &ix, &map);
+        let text = unparse(&p);
+        assert!(text.contains("real(kind=8), intent(inout) :: a(n)"), "{text}");
+        assert!(text.contains("real(kind=4), intent(inout) :: b(n)"), "{text}");
+    }
+
+    #[test]
+    fn raising_a_single_to_double_works_too() {
+        let src = "module m\n real(kind=4) :: x\nend module m\n";
+        let mut p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let scope = ix.module_scope("m").unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        map.set(ix.fp_var_id(scope, "x").unwrap(), FpPrecision::Double);
+        apply_precision(&mut p, &ix, &map);
+        assert!(unparse(&p).contains("real(kind=8) :: x"));
+    }
+
+    #[test]
+    fn rewritten_program_still_analyzes() {
+        let src = "module m\n real(kind=8) :: a(4)\ncontains\nsubroutine s()\n integer :: i\n do i = 1, 4\n a(i) = 1.0d0\n end do\nend subroutine s\nend module m\n";
+        let mut p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let scope = ix.module_scope("m").unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        map.set(ix.fp_var_id(scope, "a").unwrap(), FpPrecision::Single);
+        apply_precision(&mut p, &ix, &map);
+        analyze(&p).expect("rewritten program analyzes");
+    }
+}

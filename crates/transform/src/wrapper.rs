@@ -1,0 +1,720 @@
+//! Wrapper synthesis for mixed-precision parameter passing (Figure 4).
+//!
+//! The Fortran standard allows implicit kind conversion *only through the
+//! assignment operator*, so a call whose actual argument kind differs from
+//! the callee's dummy kind needs an explicit wrapper: a procedure whose
+//! dummies carry the caller-side kinds, whose locals carry the callee-side
+//! kinds, and whose body converts via assignment (element-wise loops for
+//! arrays) around a forwarded call.
+//!
+//! Conversion direction follows intent:
+//!
+//! * copy-in for `intent(in)`, `intent(inout)`, and unspecified intent;
+//! * copy-out for `intent(out)` and `intent(inout)` only (the paper's
+//!   Figure 4 wrapper likewise does not copy back its by-value-style input).
+//!   Model sources therefore must declare intent on mutated dummies — all
+//!   bundled models do.
+//!
+//! Wrappers are named `{callee}_w{sig}` where `sig` spells the caller-side
+//! kind of each parameter (`4`/`8` for reals, `x` otherwise), giving one
+//! shared wrapper per distinct call signature.
+
+use prose_analysis::typing::adapted_precision;
+use prose_fortran::ast::*;
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{ProgramIndex, ScopeId, ScopeKind};
+use prose_fortran::span::Span;
+use std::collections::BTreeMap;
+
+/// Synthesize wrappers for every precision-mismatched call in `program`
+/// (which must already be declaration-rewritten under `map`), rewrite the
+/// call sites, and extend `use` lists. Returns the new wrapper names.
+pub fn synthesize_wrappers(
+    program: &mut Program,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) -> Vec<String> {
+    // Pass 1: find demands and rewrite call references.
+    let mut demands: BTreeMap<String, Demand> = BTreeMap::new();
+
+    // Collect (scope, body) pairs to rewrite.
+    let mut scoped_bodies: Vec<(ScopeId, &mut Vec<Stmt>)> = Vec::new();
+    for m in &mut program.modules {
+        for p in &mut m.procedures {
+            let scope = index.scope_of_procedure(&p.name).expect("indexed");
+            scoped_bodies.push((scope, &mut p.body));
+        }
+    }
+    if let Some(mp) = &mut program.main {
+        let scope = main_scope(index);
+        scoped_bodies.push((scope, &mut mp.body));
+        for p in &mut mp.procedures {
+            let scope = index.scope_of_procedure(&p.name).expect("indexed");
+            scoped_bodies.push((scope, &mut p.body));
+        }
+    }
+    for (scope, body) in scoped_bodies {
+        for s in body.iter_mut() {
+            rewrite_stmt(s, scope, index, map, &mut demands);
+        }
+    }
+
+    // Pass 2: build wrapper procedures and insert them.
+    let mut names: Vec<String> = Vec::new();
+    for (wname, demand) in &demands {
+        let wrapper = build_wrapper(wname, demand, program, index, map);
+        insert_wrapper(program, index, &demand.callee, wrapper);
+        names.push(wname.clone());
+    }
+
+    // Pass 3: extend `use, only:` lists that import a wrapped callee.
+    if !demands.is_empty() {
+        let mut additions: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (wname, demand) in &demands {
+            additions.entry(demand.callee.clone()).or_default().push(wname.clone());
+        }
+        extend_uses(program, &additions);
+    }
+    names
+}
+
+/// One wrapper to generate: the callee plus caller-side kinds per parameter.
+struct Demand {
+    callee: String,
+    /// Caller-side precision for FP params, `None` for non-FP params.
+    sig: Vec<Option<FpPrecision>>,
+    is_function: bool,
+}
+
+fn main_scope(index: &ProgramIndex) -> ScopeId {
+    (0..index.scope_count())
+        .map(ScopeId)
+        .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
+        .expect("program has a main scope")
+}
+
+fn rewrite_stmt(
+    s: &mut Stmt,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    demands: &mut BTreeMap<String, Demand>,
+) {
+    match s {
+        Stmt::Call { name, args, .. } => {
+            for a in args.iter_mut() {
+                rewrite_expr(a, scope, index, map, demands);
+            }
+            if let Some(w) = demand_for(name, args, false, scope, index, map, demands) {
+                *name = w;
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            if let LValue::Index { indices, .. } = target {
+                for ix in indices.iter_mut() {
+                    rewrite_expr(ix, scope, index, map, demands);
+                }
+            }
+            rewrite_expr(value, scope, index, map, demands);
+        }
+        Stmt::If { arms, else_body, .. } => {
+            for (cond, body) in arms.iter_mut() {
+                rewrite_expr(cond, scope, index, map, demands);
+                for b in body.iter_mut() {
+                    rewrite_stmt(b, scope, index, map, demands);
+                }
+            }
+            if let Some(body) = else_body {
+                for b in body.iter_mut() {
+                    rewrite_stmt(b, scope, index, map, demands);
+                }
+            }
+        }
+        Stmt::Do { start, end, step, body, .. } => {
+            rewrite_expr(start, scope, index, map, demands);
+            rewrite_expr(end, scope, index, map, demands);
+            if let Some(st) = step {
+                rewrite_expr(st, scope, index, map, demands);
+            }
+            for b in body.iter_mut() {
+                rewrite_stmt(b, scope, index, map, demands);
+            }
+        }
+        Stmt::DoWhile { cond, body, .. } => {
+            rewrite_expr(cond, scope, index, map, demands);
+            for b in body.iter_mut() {
+                rewrite_stmt(b, scope, index, map, demands);
+            }
+        }
+        Stmt::Print { items, .. } => {
+            for e in items.iter_mut() {
+                rewrite_expr(e, scope, index, map, demands);
+            }
+        }
+        Stmt::Allocate { items, .. } => {
+            for (_, dims) in items.iter_mut() {
+                for d in dims.iter_mut() {
+                    match d {
+                        DimSpec::Upper(e) => rewrite_expr(e, scope, index, map, demands),
+                        DimSpec::Range(lo, hi) => {
+                            rewrite_expr(lo, scope, index, map, demands);
+                            rewrite_expr(hi, scope, index, map, demands);
+                        }
+                        DimSpec::Deferred => {}
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_expr(
+    e: &mut Expr,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    demands: &mut BTreeMap<String, Demand>,
+) {
+    match e {
+        Expr::NameRef { name, args } => {
+            for a in args.iter_mut() {
+                rewrite_expr(a, scope, index, map, demands);
+            }
+            // Only function references (not array indexing) are calls.
+            let is_function = index.lookup(scope, name).is_none()
+                && index.procedure(name).is_some_and(|p| p.is_function);
+            if is_function {
+                if let Some(w) = demand_for(name, args, true, scope, index, map, demands) {
+                    *name = w;
+                }
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            rewrite_expr(lhs, scope, index, map, demands);
+            rewrite_expr(rhs, scope, index, map, demands);
+        }
+        Expr::Un { operand, .. } => rewrite_expr(operand, scope, index, map, demands),
+        _ => {}
+    }
+}
+
+/// If the call has mismatched FP args, register a demand and return the
+/// wrapper name to call instead.
+#[allow(clippy::too_many_arguments)]
+fn demand_for(
+    callee: &str,
+    args: &[Expr],
+    is_function: bool,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    demands: &mut BTreeMap<String, Demand>,
+) -> Option<String> {
+    let pinfo = index.procedure(callee)?;
+    let mut sig: Vec<Option<FpPrecision>> = Vec::with_capacity(pinfo.params.len());
+    let mut any_mismatch = false;
+    for (i, param) in pinfo.params.iter().enumerate() {
+        let dummy = index.lookup(pinfo.scope, param)?;
+        let Some(_declared) = dummy.ty.fp_precision() else {
+            sig.push(None);
+            continue;
+        };
+        let callee_prec = match index.fp_var_id(pinfo.scope, param) {
+            Some(id) => map.get(id),
+            None => dummy.ty.fp_precision().unwrap(),
+        };
+        let caller_prec = match args.get(i).and_then(|a| adapted_precision(index, scope, map, a))
+        {
+            Some(p) => p,
+            // Kind-generic actuals (pure literals) convert for free at the
+            // call: no wrapper needed.
+            None => callee_prec,
+        };
+        if caller_prec != callee_prec {
+            any_mismatch = true;
+        }
+        sig.push(Some(caller_prec));
+    }
+    if !any_mismatch {
+        return None;
+    }
+    let sig_str: String = sig
+        .iter()
+        .map(|s| match s {
+            Some(FpPrecision::Single) => '4',
+            Some(FpPrecision::Double) => '8',
+            None => 'x',
+        })
+        .collect();
+    let wname = format!("{callee}_w{sig_str}");
+    demands
+        .entry(wname.clone())
+        .or_insert_with(|| Demand { callee: callee.to_string(), sig, is_function });
+    Some(wname)
+}
+
+/// Find a procedure definition in the (possibly already extended) program.
+fn find_procedure<'a>(program: &'a Program, name: &str) -> Option<&'a Procedure> {
+    program
+        .modules
+        .iter()
+        .flat_map(|m| m.procedures.iter())
+        .chain(program.main.iter().flat_map(|mp| mp.procedures.iter()))
+        .find(|p| p.name == name)
+}
+
+/// Build the wrapper procedure AST for one demand.
+fn build_wrapper(
+    wname: &str,
+    demand: &Demand,
+    program: &Program,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) -> Procedure {
+    let callee_ast = find_procedure(program, &demand.callee)
+        .expect("callee definition exists in program");
+    let pinfo = index.procedure(&demand.callee).expect("callee indexed");
+    let sp = Span::default();
+
+    let mut decls: Vec<Declaration> = Vec::new();
+    let mut pre: Vec<Stmt> = Vec::new();
+    let mut post: Vec<Stmt> = Vec::new();
+    let mut fwd_args: Vec<Expr> = Vec::new();
+    let mut max_rank = 0usize;
+    let mut temps_deferred: Vec<(String, usize, String)> = Vec::new(); // (temp, rank, param)
+
+    for (i, param) in callee_ast.params.iter().enumerate() {
+        // Locate the param's declaration in the (rewritten) callee AST.
+        let (decl, entity) = callee_ast
+            .decls
+            .iter()
+            .find_map(|d| d.entities.iter().find(|e| &e.name == param).map(|e| (d, e)))
+            .expect("dummy argument declared (checked by sema)");
+        let dims: Option<Vec<DimSpec>> = decl.dims_for(entity).map(|d| d.to_vec());
+        let intent = decl.intent();
+        let callee_side = decl.type_spec;
+
+        // The wrapper's dummy: caller-side kind for mismatched FP params.
+        let caller_side = match (demand.sig[i], callee_side) {
+            (Some(p), TypeSpec::Real(_)) => TypeSpec::Real(p),
+            _ => callee_side,
+        };
+        let mut attrs: Vec<Attr> = Vec::new();
+        if let Some(it) = intent {
+            attrs.push(Attr::Intent(it));
+        }
+        decls.push(Declaration {
+            type_spec: caller_side,
+            attrs,
+            entities: vec![EntityDecl { name: param.clone(), dims: dims.clone(), init: None }],
+            span: sp,
+        });
+
+        let mismatched = caller_side != callee_side;
+        if !mismatched {
+            fwd_args.push(Expr::Var(param.clone()));
+            continue;
+        }
+
+        // Temp with the callee-side kind.
+        let temp = format!("{param}_tmp");
+        let rank = dims.as_ref().map(|d| d.len()).unwrap_or(0);
+        max_rank = max_rank.max(rank);
+        let is_deferred = dims
+            .as_ref()
+            .is_some_and(|d| d.iter().any(|x| matches!(x, DimSpec::Deferred)));
+        let temp_attrs: Vec<Attr> = if is_deferred { vec![Attr::Allocatable] } else { vec![] };
+        decls.push(Declaration {
+            type_spec: callee_side,
+            attrs: temp_attrs,
+            entities: vec![EntityDecl { name: temp.clone(), dims: dims.clone(), init: None }],
+            span: sp,
+        });
+        if is_deferred {
+            temps_deferred.push((temp.clone(), rank, param.clone()));
+        }
+
+        let copy_in = !matches!(intent, Some(Intent::Out));
+        let copy_out = matches!(intent, Some(Intent::Out) | Some(Intent::InOut));
+        match &dims {
+            None => {
+                if copy_in {
+                    pre.push(assign_var(&temp, Expr::Var(param.clone())));
+                }
+                if copy_out {
+                    post.push(assign_var(param, Expr::Var(temp.clone())));
+                }
+            }
+            Some(dspec) => {
+                if copy_in {
+                    pre.push(copy_loop(&temp, param, dspec, param));
+                }
+                if copy_out {
+                    post.push(copy_loop(param, &temp, dspec, param));
+                }
+            }
+        }
+        fwd_args.push(Expr::Var(temp));
+    }
+
+    // Loop counters.
+    if max_rank > 0 {
+        decls.push(Declaration {
+            type_spec: TypeSpec::Integer,
+            attrs: vec![],
+            entities: (1..=max_rank)
+                .map(|d| EntityDecl { name: format!("prose_i{d}"), dims: None, init: None })
+                .collect(),
+            span: sp,
+        });
+    }
+
+    // Allocations for deferred-shape temps, before any copy-in.
+    let mut body: Vec<Stmt> = Vec::new();
+    for (temp, rank, param) in &temps_deferred {
+        let dims: Vec<DimSpec> = (1..=*rank)
+            .map(|d| DimSpec::Upper(size_of(param, *rank, d)))
+            .collect();
+        body.push(Stmt::Allocate { items: vec![(temp.clone(), dims)], span: sp });
+    }
+    body.extend(pre);
+
+    let kind = if demand.is_function {
+        let result = "prose_res".to_string();
+        // Result kind: the callee's result kind under the map (assignment at
+        // the original call site converts further if needed).
+        let ret = pinfo.return_type.expect("function has return type");
+        let ret = match (ret, pinfo.result.as_deref()) {
+            (TypeSpec::Real(_), Some(r)) => match index.fp_var_id(pinfo.scope, r) {
+                Some(id) => TypeSpec::Real(map.get(id)),
+                None => ret,
+            },
+            _ => ret,
+        };
+        decls.push(Declaration {
+            type_spec: ret,
+            attrs: vec![],
+            entities: vec![EntityDecl { name: result.clone(), dims: None, init: None }],
+            span: sp,
+        });
+        body.push(Stmt::Assign {
+            target: LValue::Var(result.clone()),
+            value: Expr::NameRef { name: demand.callee.clone(), args: fwd_args },
+            span: sp,
+        });
+        ProcKind::Function { result }
+    } else {
+        body.push(Stmt::Call { name: demand.callee.clone(), args: fwd_args, span: sp });
+        ProcKind::Subroutine
+    };
+    body.extend(post);
+
+    Procedure {
+        kind,
+        name: wname.to_string(),
+        params: callee_ast.params.clone(),
+        uses: vec![],
+        decls,
+        body,
+        span: sp,
+    }
+}
+
+fn assign_var(name: &str, value: Expr) -> Stmt {
+    Stmt::Assign { target: LValue::Var(name.to_string()), value, span: Span::default() }
+}
+
+/// `size(param, d)`.
+fn size_of(param: &str, rank: usize, d: usize) -> Expr {
+    if rank == 1 {
+        Expr::NameRef { name: "size".into(), args: vec![Expr::Var(param.into())] }
+    } else {
+        Expr::NameRef {
+            name: "size".into(),
+            args: vec![Expr::Var(param.into()), Expr::IntLit(d as i64)],
+        }
+    }
+}
+
+/// Element-wise copy `dst(idx…) = src(idx…)` as a nested loop over `dspec`.
+fn copy_loop(dst: &str, src: &str, dspec: &[DimSpec], size_target: &str) -> Stmt {
+    let sp = Span::default();
+    let rank = dspec.len();
+    let idx: Vec<Expr> = (1..=rank).map(|d| Expr::Var(format!("prose_i{d}"))).collect();
+    let mut stmt = Stmt::Assign {
+        target: LValue::Index { name: dst.to_string(), indices: idx.clone() },
+        value: Expr::NameRef { name: src.to_string(), args: idx },
+        span: sp,
+    };
+    for (d, spec) in dspec.iter().enumerate() {
+        let (lo, hi) = match spec {
+            DimSpec::Upper(e) => (Expr::IntLit(1), e.clone()),
+            DimSpec::Range(lo, hi) => (lo.clone(), hi.clone()),
+            DimSpec::Deferred => (Expr::IntLit(1), size_of(size_target, rank, d + 1)),
+        };
+        stmt = Stmt::Do {
+            var: format!("prose_i{}", d + 1),
+            start: lo,
+            end: hi,
+            step: None,
+            body: vec![stmt],
+            span: sp,
+        };
+    }
+    stmt
+}
+
+/// Insert the wrapper next to its callee (same module or main `contains`).
+fn insert_wrapper(program: &mut Program, index: &ProgramIndex, callee: &str, wrapper: Procedure) {
+    let pinfo = index.procedure(callee).expect("callee indexed");
+    match &pinfo.module {
+        Some(mname) => {
+            if let Some(m) = program.module_mut(mname) {
+                m.procedures.push(wrapper);
+                return;
+            }
+            // The callee's "module" may actually be the main program name.
+            if let Some(mp) = &mut program.main {
+                if &mp.name == mname {
+                    mp.procedures.push(wrapper);
+                    return;
+                }
+            }
+            panic!("module `{mname}` not found for wrapper insertion");
+        }
+        None => panic!("procedure `{callee}` has no owning container"),
+    }
+}
+
+/// Add wrapper names to every `use, only:` list importing their callee.
+fn extend_uses(program: &mut Program, additions: &BTreeMap<String, Vec<String>>) {
+    let extend = |uses: &mut Vec<UseStmt>| {
+        for u in uses.iter_mut() {
+            if let Some(only) = &mut u.only {
+                let mut to_add = Vec::new();
+                for (callee, wrappers) in additions {
+                    if only.iter().any(|n| n == callee) {
+                        for w in wrappers {
+                            if !only.contains(w) {
+                                to_add.push(w.clone());
+                            }
+                        }
+                    }
+                }
+                only.extend(to_add);
+            }
+        }
+    };
+    for m in &mut program.modules {
+        extend(&mut m.uses);
+        for p in &mut m.procedures {
+            extend(&mut p.uses);
+        }
+    }
+    if let Some(mp) = &mut program.main {
+        extend(&mut mp.uses);
+        for p in &mut mp.procedures {
+            extend(&mut p.uses);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::apply_precision;
+    use prose_fortran::{analyze, parse_program, unparse};
+
+    fn run(src: &str, lower: &[(&str, &str)]) -> (Program, Vec<String>, String) {
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        for (proc, var) in lower {
+            let scope = if let Some(s) = ix.scope_of_procedure(proc) {
+                s
+            } else {
+                ix.module_scope(proc).unwrap()
+            };
+            let id = ix.fp_var_id(scope, var).unwrap();
+            map.set(id, map.get(id).flipped());
+        }
+        let mut variant = p.clone();
+        apply_precision(&mut variant, &ix, &map);
+        let wrappers = synthesize_wrappers(&mut variant, &ix, &map);
+        let text = unparse(&variant);
+        (variant, wrappers, text)
+    }
+
+    const FUN: &str = r#"
+module m
+contains
+  function fun(x) result(t1)
+    real(kind=8) :: x, t1
+    t1 = x * x
+  end function fun
+  subroutine driver(out)
+    real(kind=8), intent(out) :: out
+    real(kind=4) :: h
+    h = 0.5
+    out = fun(dble(h))
+  end subroutine driver
+end module m
+"#;
+
+    #[test]
+    fn figure_4_style_function_wrapper() {
+        // Lower fun's x: driver passes a double expression into a single dummy.
+        let (variant, wrappers, text) = run(FUN, &[("fun", "x")]);
+        assert_eq!(wrappers, vec!["fun_w8".to_string()]);
+        // Wrapper declares a single-kind temp and assigns through it.
+        assert!(text.contains("function fun_w8(x) result(prose_res)"), "{text}");
+        assert!(text.contains("x_tmp = x"), "{text}");
+        assert!(text.contains("prose_res = fun(x_tmp)"), "{text}");
+        // The variant re-analyzes.
+        analyze(&variant).expect("variant analyzes");
+    }
+
+    const ARR: &str = r#"
+module m
+contains
+  subroutine work(u, v, n)
+    real(kind=8), intent(in) :: u(n)
+    real(kind=8), intent(inout) :: v(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      v(i) = v(i) + u(i)
+    end do
+  end subroutine work
+end module m
+program main
+  use m, only: work
+  real(kind=8) :: a(4), b(4)
+  integer :: k
+  do k = 1, 4
+    a(k) = 1.0d0
+    b(k) = 2.0d0
+  end do
+  call work(a, b, 4)
+end program main
+"#;
+
+    #[test]
+    fn array_wrapper_copies_in_and_out_by_intent() {
+        // Lower both dummies of work; main's arrays stay double.
+        let (variant, wrappers, text) = run(ARR, &[("work", "u"), ("work", "v")]);
+        assert_eq!(wrappers.len(), 1);
+        assert!(wrappers[0].starts_with("work_w88"));
+        // intent(in) u: copy-in only. intent(inout) v: both directions.
+        let copy_ins = text.matches("u_tmp(prose_i1) = u(prose_i1)").count();
+        let v_in = text.matches("v_tmp(prose_i1) = v(prose_i1)").count();
+        let v_out = text.matches("v(prose_i1) = v_tmp(prose_i1)").count();
+        assert_eq!(copy_ins, 1, "{text}");
+        assert_eq!(v_in, 1, "{text}");
+        assert_eq!(v_out, 1, "{text}");
+        assert_eq!(text.matches("u(prose_i1) = u_tmp(prose_i1)").count(), 0);
+        analyze(&variant).expect("variant analyzes");
+        // Call site rewritten.
+        assert!(text.contains(&format!("call {}(a, b, 4)", wrappers[0])), "{text}");
+    }
+
+    #[test]
+    fn matching_calls_are_not_wrapped() {
+        let (_, wrappers, _) = run(ARR, &[]);
+        assert!(wrappers.is_empty());
+    }
+
+    #[test]
+    fn shared_wrapper_for_same_signature() {
+        let src = r#"
+module m
+contains
+  function half(q) result(h)
+    real(kind=8) :: q, h
+    h = q * 0.5d0
+  end function half
+  subroutine caller(a, b)
+    real(kind=8) :: a, b
+    a = half(a) + half(b)
+    b = half(b)
+  end subroutine caller
+end module m
+"#;
+        let (_, wrappers, text) = run(src, &[("half", "q"), ("half", "h")]);
+        assert_eq!(wrappers.len(), 1, "{text}");
+        assert_eq!(text.matches("function half_w8(").count(), 1);
+        assert_eq!(text.matches("half_w8(").count(), 4, "{text}"); // 3 sites + 1 def
+    }
+
+    #[test]
+    fn deferred_shape_dummy_gets_allocatable_temp() {
+        let src = r#"
+module m
+contains
+  subroutine norm(u, r)
+    real(kind=8), intent(in) :: u(:)
+    real(kind=8), intent(out) :: r
+    integer :: i
+    r = 0.0d0
+    do i = 1, size(u)
+      r = r + u(i) * u(i)
+    end do
+  end subroutine norm
+end module m
+program main
+  use m, only: norm
+  real(kind=8) :: a(4), s
+  integer :: k
+  do k = 1, 4
+    a(k) = 1.0d0
+  end do
+  call norm(a, s)
+end program main
+"#;
+        let (variant, wrappers, text) = run(src, &[("norm", "u")]);
+        assert_eq!(wrappers.len(), 1);
+        assert!(text.contains("real(kind=4), allocatable :: u_tmp(:)"), "{text}");
+        assert!(text.contains("allocate(u_tmp(size(u)))"), "{text}");
+        analyze(&variant).expect("variant analyzes");
+    }
+
+    #[test]
+    fn two_dimensional_copy_loops_nest() {
+        let src = r#"
+module m
+contains
+  subroutine fill(g, nx, ny)
+    real(kind=8), intent(inout) :: g(nx, ny)
+    integer, intent(in) :: nx, ny
+    integer :: i, j
+    do j = 1, ny
+      do i = 1, nx
+        g(i, j) = g(i, j) + 1.0d0
+      end do
+    end do
+  end subroutine fill
+end module m
+program main
+  use m, only: fill
+  real(kind=8) :: grid(3, 2)
+  integer :: i, j
+  do j = 1, 2
+    do i = 1, 3
+      grid(i, j) = 0.0d0
+    end do
+  end do
+  call fill(grid, 3, 2)
+end program main
+"#;
+        let (variant, wrappers, text) = run(src, &[("fill", "g")]);
+        assert_eq!(wrappers.len(), 1);
+        assert!(
+            text.contains("g_tmp(prose_i1, prose_i2) = g(prose_i1, prose_i2)"),
+            "{text}"
+        );
+        assert!(text.contains("do prose_i2 = 1, ny"), "{text}");
+        assert!(text.contains("do prose_i1 = 1, nx"), "{text}");
+        analyze(&variant).expect("variant analyzes");
+    }
+}

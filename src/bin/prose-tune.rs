@@ -1,0 +1,258 @@
+//! `prose-tune` — command-line precision tuning for Fortran files.
+//!
+//! ```text
+//! prose-tune model.f90 --procs heat_step,flux \
+//!     --metric maxspace:t:0.01 --threshold 1e-5 \
+//!     [--scope hotspot|whole] [--n-runs 1] [--noise 0.0] [--seed 42]
+//!     [--budget 400] [--exclude result] [--emit-best best.f90]
+//!     [--strategy dd|brute|random] [--samples 100]
+//! ```
+//!
+//! The program must record its correctness quantities with
+//! `call prose_record('<key>', x)` (scalar series) or
+//! `call prose_record_array('<key>', a)` (field snapshots); pick the
+//! matching `--metric`:
+//!
+//! * `scalar:<key>` — relative error per sample, L2 over the series;
+//! * `field:<key>` — relative error per element of the last snapshot, L2;
+//! * `maxspace:<key>[:floor]` — max relative error over elements per
+//!   snapshot (denominators floored at `floor` × the snapshot max), L2
+//!   over snapshots.
+
+use prose::core::metrics::CorrectnessMetric;
+use prose::core::tuner::{config_to_map, tune, tune_brute_force, ModelSpec, PerfScope};
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    procs: Vec<String>,
+    metric: CorrectnessMetric,
+    threshold: f64,
+    scope: PerfScope,
+    n_runs: usize,
+    noise: f64,
+    seed: u64,
+    budget: Option<usize>,
+    exclude: Vec<String>,
+    emit_best: Option<String>,
+    strategy: String,
+    samples: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prose-tune <file.f90> --procs p1,p2 --metric scalar:<key>|field:<key>|maxspace:<key>[:floor] --threshold X\n\
+         options: --scope hotspot|whole (default hotspot), --n-runs N (1), --noise RSD (0),\n\
+         --seed S (42), --budget K, --exclude v1,v2, --emit-best out.f90,\n\
+         --strategy dd|brute|random (dd), --samples N (random strategy, default 100)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_metric(spec: &str) -> Option<CorrectnessMetric> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["scalar", key] => Some(CorrectnessMetric::ScalarSeriesL2 { key: key.to_string() }),
+        ["field", key] => Some(CorrectnessMetric::FieldL2 { key: key.to_string() }),
+        ["maxspace", key] => Some(CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: key.to_string(),
+            floor_frac: 0.0,
+        }),
+        ["maxspace", key, floor] => Some(CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: key.to_string(),
+            floor_frac: floor.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut procs = Vec::new();
+    let mut metric = None;
+    let mut threshold = None;
+    let mut scope = PerfScope::Hotspot;
+    let mut n_runs = 1usize;
+    let mut noise = 0.0f64;
+    let mut seed = 42u64;
+    let mut budget = None;
+    let mut exclude = Vec::new();
+    let mut emit_best = None;
+    let mut strategy = "dd".to_string();
+    let mut samples = 100usize;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        let mut next = || -> Option<String> {
+            i += 1;
+            argv.get(i).cloned()
+        };
+        match a.as_str() {
+            "--procs" => procs = next()?.split(',').map(str::to_string).collect(),
+            "--metric" => metric = parse_metric(&next()?),
+            "--threshold" => threshold = next()?.parse().ok(),
+            "--scope" => {
+                scope = match next()?.as_str() {
+                    "hotspot" => PerfScope::Hotspot,
+                    "whole" => PerfScope::WholeModel,
+                    _ => return None,
+                }
+            }
+            "--n-runs" => n_runs = next()?.parse().ok()?,
+            "--noise" => noise = next()?.parse().ok()?,
+            "--seed" => seed = next()?.parse().ok()?,
+            "--budget" => budget = Some(next()?.parse().ok()?),
+            "--exclude" => exclude = next()?.split(',').map(str::to_string).collect(),
+            "--emit-best" => emit_best = next(),
+            "--strategy" => strategy = next()?,
+            "--samples" => samples = next()?.parse().ok()?,
+            _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
+            _ => return None,
+        }
+        i += 1;
+    }
+    Some(Args {
+        file: file?,
+        procs,
+        metric: metric?,
+        threshold: threshold?,
+        scope,
+        n_runs,
+        noise,
+        seed,
+        budget,
+        exclude,
+        emit_best,
+        strategy,
+        samples,
+    })
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { usage() };
+    if args.procs.is_empty() {
+        usage();
+    }
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = ModelSpec {
+        name: args.file.clone(),
+        source,
+        hotspot_module: String::new(),
+        target_procs: args.procs.clone(),
+        metric: args.metric.clone(),
+        error_threshold: args.threshold,
+        n_runs: args.n_runs,
+        noise_rsd: args.noise,
+        exclude: args.exclude.clone(),
+    };
+    let model = match spec.load() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}: {} search atoms in {:?}", args.file, model.atoms.len(), args.procs);
+    for a in &model.atoms {
+        println!("  {}", model.index.fp_var_path(*a));
+    }
+
+    let mut task = model.task(args.scope, args.seed);
+    task.max_variants = args.budget;
+
+    let outcome = match args.strategy.as_str() {
+        "brute" => tune_brute_force(&task),
+        "random" => {
+            use prose::core::DynamicEvaluator;
+            use prose::search::random::RandomSearch;
+            match DynamicEvaluator::new(&task) {
+                Ok(mut eval) => {
+                    let search = RandomSearch::new(args.samples, args.seed).run(&mut eval);
+                    Ok(prose::core::tuner::TuningOutcome {
+                        search,
+                        baseline_hotspot_cycles: eval.baseline.hotspot_cycles,
+                        baseline_total_cycles: eval.baseline.total_cycles,
+                        hotspot_share: eval.baseline.hotspot_share(),
+                        variants: eval.into_records(),
+                    })
+                }
+                Err(e) => Err(e),
+            }
+        }
+        _ => tune(&task),
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: baseline run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let s = outcome.search.status_summary();
+    println!(
+        "\nexplored {} variants: {:.0}% pass, {:.0}% fail, {:.0}% timeout, {:.0}% error",
+        s.total,
+        s.pct(s.pass),
+        s.pct(s.fail),
+        s.pct(s.timeout),
+        s.pct(s.error)
+    );
+    println!(
+        "baseline: hotspot {:.0} cycles / total {:.0} cycles ({:.0}% share)",
+        outcome.baseline_hotspot_cycles,
+        outcome.baseline_total_cycles,
+        100.0 * outcome.hotspot_share
+    );
+
+    match &outcome.search.best {
+        Some(best) => {
+            println!(
+                "best variant: {:.2}x speedup, error {:.3e}, {} of {} variables still 64-bit",
+                best.outcome.speedup,
+                best.outcome.error,
+                best.config.iter().filter(|b| !**b).count(),
+                best.config.len()
+            );
+            if outcome.search.one_minimal {
+                let high: Vec<String> = outcome
+                    .search
+                    .final_config
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !**b)
+                    .map(|(i, _)| model.index.fp_var_path(task.atoms[i]))
+                    .collect();
+                println!("1-minimal 64-bit set: {high:?}");
+            }
+            if let Some(path) = &args.emit_best {
+                let map = config_to_map(&model.index, &model.atoms, &best.config);
+                match prose::transform::make_variant(&model.program, &model.index, &map) {
+                    Ok(v) => {
+                        if let Err(e) = std::fs::write(path, &v.text) {
+                            eprintln!("error writing {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("wrote best variant to {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("error: transforming best variant: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        None => {
+            println!("no variant satisfied the correctness threshold while beating the baseline");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! # prose — automated precision tuning for Fortran weather & climate models
+//!
+//! A from-scratch Rust reproduction of *"Toward Automated Precision Tuning
+//! of Weather and Climate Models: A Case Study"* (SC 2024): the PROSE
+//! pipeline for automated, performance-guided floating-point precision
+//! tuning (FPPT) of Fortran programs, together with every substrate the
+//! paper's evaluation depends on — a Fortran front end, static analyses, a
+//! source-to-source transformer with wrapper synthesis, a mixed-precision
+//! interpreter with an analytical performance model, the delta-debugging
+//! search, and miniature MPAS-A / ADCIRC / MOM6 workloads.
+//!
+//! This crate is a facade: it re-exports the workspace members so
+//! downstream users can depend on one crate.
+//!
+//! ```
+//! use prose::models::{funarc, ModelSize};
+//! use prose::core::tuner::{tune_brute_force, PerfScope};
+//!
+//! // The paper's motivating example: enumerate all 256 funarc variants.
+//! let model = funarc::funarc(ModelSize::Small).load().unwrap();
+//! let task = model.task(PerfScope::WholeModel, 7);
+//! let outcome = tune_brute_force(&task).unwrap();
+//! assert_eq!(outcome.search.trace.len(), 256);
+//! let best = outcome.search.best.unwrap();
+//! assert!(best.outcome.speedup > 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Workspace crate | Role |
+//! |---|---|---|
+//! | [`fortran`] | `prose-fortran` | lexer, parser, AST, sema, unparser |
+//! | [`analysis`] | `prose-analysis` | flow graph, taint reduction, vectorization legality, static cost |
+//! | [`interp`] | `prose-interp` | mixed-precision interpreter + cost model + GPTL-style timers |
+//! | [`transform`] | `prose-transform` | declaration rewriting + wrapper synthesis + diffs |
+//! | [`search`] | `prose-search` | delta debugging, brute force, random baseline |
+//! | [`core`] | `prose-core` | the end-to-end tuning pipeline (Figure 1) |
+//! | [`models`] | `prose-models` | the four embedded mini-models |
+
+pub use prose_analysis as analysis;
+pub use prose_core as core;
+pub use prose_fortran as fortran;
+pub use prose_interp as interp;
+pub use prose_models as models;
+pub use prose_search as search;
+pub use prose_transform as transform;

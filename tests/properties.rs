@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on the pipeline's core invariants.
+
+use proptest::prelude::*;
+use prose::fortran::{analyze, parse_program, unparse, PrecisionMap};
+use prose::models::{funarc, ModelSize};
+use prose::search::dd::{DdParams, DeltaDebug};
+use prose::search::{Config, Evaluator, Outcome, Status};
+
+// ---- generators --------------------------------------------------------
+
+/// Generate a small random-but-valid Fortran program: a module with a
+/// procedure whose body is random arithmetic over a fixed variable set.
+fn arb_program() -> impl Strategy<Value = String> {
+    fn var() -> impl Strategy<Value = &'static str> {
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("x")]
+    }
+    let lit = prop_oneof![
+        Just("1.0d0".to_string()),
+        Just("0.5d0".to_string()),
+        Just("2.0".to_string()),
+        Just("3".to_string()),
+    ];
+    let operand = prop_oneof![var().prop_map(str::to_string), lit];
+    let op = prop_oneof![Just("+"), Just("-"), Just("*")];
+    let stmt = (var(), operand.clone(), op, operand)
+        .prop_map(|(t, l, o, r)| format!("    {t} = {l} {o} {r}"));
+    proptest::collection::vec(stmt, 1..12).prop_map(|stmts| {
+        format!(
+            "module m\ncontains\n  subroutine s(x)\n    real(kind=8) :: x\n    real(kind=8) :: a, b\n    real(kind=4) :: c\n    a = 0.0d0\n    b = 1.0d0\n    c = 2.0\n{}\n  end subroutine s\nend module m\nprogram main\n  use m\n  real(kind=8) :: x\n  x = 1.0d0\n  call s(x)\n  call prose_record('x', x)\nend program main\n",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(unparse(p)) == p for arbitrary generated programs.
+    #[test]
+    fn unparse_parse_round_trip(src in arb_program()) {
+        let p1 = parse_program(&src).unwrap();
+        let text = unparse(&p1);
+        let p2 = parse_program(&text).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Transformation under any precision assignment yields a program that
+    /// re-analyzes, and the flow-graph invariant holds.
+    #[test]
+    fn any_assignment_transforms_cleanly(src in arb_program(), bits in proptest::collection::vec(any::<bool>(), 8)) {
+        let program = parse_program(&src).unwrap();
+        let index = analyze(&program).unwrap();
+        let atoms = index.atoms();
+        let mut map = PrecisionMap::declared(&index);
+        for (i, a) in atoms.iter().enumerate() {
+            if *bits.get(i % bits.len()).unwrap_or(&false) {
+                map.set(*a, prose::fortran::ast::FpPrecision::Single);
+            }
+        }
+        let v = prose::transform::make_variant(&program, &index, &map).unwrap();
+        let g = prose::analysis::flow::FpFlowGraph::build(&v.program, &v.index);
+        prop_assert!(g.invariant_holds(&v.index, &PrecisionMap::declared(&v.index)));
+    }
+
+    /// Interpreting any generated program in uniform-64 equals interpreting
+    /// its unparse-reparse twin exactly.
+    #[test]
+    fn interpretation_is_stable_under_round_trip(src in arb_program()) {
+        let p1 = parse_program(&src).unwrap();
+        let i1 = analyze(&p1).unwrap();
+        let r1 = prose::interp::run_program(&p1, &i1, &Default::default()).unwrap();
+        let p2 = parse_program(&unparse(&p1)).unwrap();
+        let i2 = analyze(&p2).unwrap();
+        let r2 = prose::interp::run_program(&p2, &i2, &Default::default()).unwrap();
+        prop_assert_eq!(r1.records.scalars, r2.records.scalars);
+        prop_assert_eq!(r1.total_cycles, r2.total_cycles);
+    }
+}
+
+// ---- delta-debugging 1-minimality over random critical sets -------------
+
+struct SyntheticEval {
+    n: usize,
+    critical: Vec<usize>,
+}
+
+impl Evaluator for SyntheticEval {
+    fn evaluate(&mut self, lowered: &Config) -> Outcome {
+        let bad = self.critical.iter().any(|c| lowered[*c]);
+        let k = lowered.iter().filter(|b| **b).count();
+        Outcome {
+            status: if bad { Status::FailAccuracy } else { Status::Pass },
+            speedup: 1.0 + k as f64 / self.n as f64,
+            error: if bad { 1.0 } else { 1e-9 },
+        }
+    }
+
+    fn atom_count(&self) -> usize {
+        self.n
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any random critical set, delta debugging terminates on exactly
+    /// that set and the result is 1-minimal (verified by single flips).
+    #[test]
+    fn dd_recovers_arbitrary_critical_sets(
+        n in 4usize..48,
+        seed in proptest::collection::vec(any::<u32>(), 1..5),
+    ) {
+        let critical: Vec<usize> = {
+            let mut c: Vec<usize> = seed.iter().map(|s| (*s as usize) % n).collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        let mut ev = SyntheticEval { n, critical: critical.clone() };
+        let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
+        prop_assert!(r.one_minimal);
+        let mut high: Vec<usize> = r
+            .final_config
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| i)
+            .collect();
+        high.sort_unstable();
+        prop_assert_eq!(&high, &critical);
+        // 1-minimality by exhaustive single flips.
+        for h in &high {
+            let mut cfg = r.final_config.clone();
+            cfg[*h] = true;
+            let o = ev.evaluate(&cfg);
+            prop_assert!(!o.accepted(1.0));
+        }
+    }
+
+    /// Eq. 1's median-based speedup is invariant to minority outliers.
+    #[test]
+    fn median_speedup_tolerates_outliers(
+        base in 1.0f64..1e6,
+        outliers in proptest::collection::vec(1.0f64..1e9, 0..3),
+    ) {
+        let mut samples = vec![base; 7];
+        for (i, o) in outliers.iter().enumerate() {
+            samples[i * 2] = *o; // replace up to 3 of 7
+        }
+        let s = prose::core::speedup::speedup(&[base; 7], &samples);
+        if outliers.len() <= 3 {
+            // Median of 7 with <=3 outliers is still `base`.
+            prop_assert!((s - 1.0).abs() < 1e-9, "{s}");
+        }
+    }
+}
+
+/// Precision maps: fingerprints agree iff restrictions agree (smoke-level
+/// property over funarc's 8 atoms — small enough to enumerate).
+#[test]
+fn fingerprint_is_injective_on_funarc_restrictions() {
+    let m = funarc::funarc(ModelSize::Small).load().unwrap();
+    let atoms = &m.atoms;
+    let mut seen = std::collections::HashMap::new();
+    for bits in 0u32..256 {
+        let mut map = PrecisionMap::declared(&m.index);
+        for (i, a) in atoms.iter().enumerate() {
+            if bits >> i & 1 == 1 {
+                map.set(*a, prose::fortran::ast::FpPrecision::Single);
+            }
+        }
+        let fp = map.fingerprint(atoms);
+        if let Some(prev) = seen.insert(fp, bits) {
+            panic!("fingerprint collision between {prev:08b} and {bits:08b}");
+        }
+    }
+}
