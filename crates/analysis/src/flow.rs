@@ -101,8 +101,7 @@ impl FpFlowGraph {
                 };
                 // Kind-generic (pure literal) actuals match any dummy for
                 // free, exactly as the interpreter converts them.
-                let Some(caller_precision) =
-                    adapted_precision(index, site.caller, map, actual)
+                let Some(caller_precision) = adapted_precision(index, site.caller, map, actual)
                 else {
                     continue;
                 };
@@ -159,7 +158,9 @@ fn collect_body(
                     collect_expr(a, scope, index, depth, s.span().line, sites);
                 }
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for (cond, arm_body) in arms {
                     collect_expr(cond, scope, index, depth, s.span().line, sites);
                     collect_body(arm_body, scope, index, depth, sites);
@@ -168,7 +169,13 @@ fn collect_body(
                     collect_body(eb, scope, index, depth, sites);
                 }
             }
-            Stmt::Do { start, end, step, body: lb, .. } => {
+            Stmt::Do {
+                start,
+                end,
+                step,
+                body: lb,
+                ..
+            } => {
                 let line = s.span().line;
                 collect_expr(start, scope, index, depth, line, sites);
                 collect_expr(end, scope, index, depth, line, sites);
@@ -311,7 +318,10 @@ end program main
         let flux_scope = ix.scope_of_procedure("flux").unwrap();
         let kernel_scope = ix.scope_of_procedure("kernel").unwrap();
         map.set(ix.fp_var_id(flux_scope, "q").unwrap(), FpPrecision::Single);
-        map.set(ix.fp_var_id(kernel_scope, "u").unwrap(), FpPrecision::Single);
+        map.set(
+            ix.fp_var_id(kernel_scope, "u").unwrap(),
+            FpPrecision::Single,
+        );
         // kernel's u(i) is now single, flux's q is single: edge matches.
         // But main's a → kernel's u still mismatches.
         let mm = g.mismatches(&ix, &map);

@@ -31,11 +31,7 @@ pub const CAST_COST: f64 = 3.0;
 /// Estimate the total casting penalty of a variant: the sum over mismatched
 /// flow edges of calls × elements × cast cost. Returns 0 for variants whose
 /// parameter passing is precision-consistent.
-pub fn static_penalty(
-    graph: &FpFlowGraph,
-    index: &ProgramIndex,
-    map: &PrecisionMap,
-) -> f64 {
+pub fn static_penalty(graph: &FpFlowGraph, index: &ProgramIndex, map: &PrecisionMap) -> f64 {
     static_penalty_scoped(graph, index, map, None)
 }
 
@@ -81,7 +77,9 @@ fn estimate_elements(_index: &ProgramIndex, _callee: &str, _param: &str, rank: u
     // Declared extents are rarely constants in real model code (they are
     // `n`-style dummies); the paper's proposal only needs a volume-scaled
     // penalty, so a per-rank default matches its spirit.
-    DEFAULT_EXTENT.powi(rank as i32).min(DEFAULT_EXTENT * DEFAULT_EXTENT)
+    DEFAULT_EXTENT
+        .powi(rank as i32)
+        .min(DEFAULT_EXTENT * DEFAULT_EXTENT)
 }
 
 /// Evaluate a constant integer expression (used by the ablation bench to
@@ -101,7 +99,10 @@ pub fn const_int(e: &Expr) -> Option<i64> {
                 _ => None,
             }
         }
-        Expr::Un { op: prose_fortran::ast::UnOp::Neg, operand } => Some(-const_int(operand)?),
+        Expr::Un {
+            op: prose_fortran::ast::UnOp::Neg,
+            operand,
+        } => Some(-const_int(operand)?),
         _ => None,
     }
 }
@@ -188,10 +189,8 @@ end module m
 
     #[test]
     fn const_int_folds_arithmetic() {
-        let p = parse_program(
-            "program t\n integer :: i\n i = 2 * 3 + 10 / 2 - 1\nend program t\n",
-        )
-        .unwrap();
+        let p = parse_program("program t\n integer :: i\n i = 2 * 3 + 10 / 2 - 1\nend program t\n")
+            .unwrap();
         if let prose_fortran::ast::Stmt::Assign { value, .. } = &p.main.unwrap().body[0] {
             assert_eq!(const_int(value), Some(10));
         } else {

@@ -22,11 +22,7 @@ use std::collections::BTreeSet;
 
 /// Reduce `program` to the minimal sub-program needed to transform the
 /// given target variables.
-pub fn reduce_program(
-    program: &Program,
-    index: &ProgramIndex,
-    targets: &[FpVarId],
-) -> Program {
+pub fn reduce_program(program: &Program, index: &ProgramIndex, targets: &[FpVarId]) -> Program {
     let mut needed_vars: BTreeSet<(ScopeId, String)> = targets
         .iter()
         .map(|t| {
@@ -67,7 +63,9 @@ pub fn reduce_program(
         // declared (rule 3), and declaration expressions (dims, inits) of
         // needed vars reference further symbols (rule 3, recursively).
         for name in needed_procs.clone() {
-            let Some(pinfo) = index.procedure(&name) else { continue };
+            let Some(pinfo) = index.procedure(&name) else {
+                continue;
+            };
             for param in &pinfo.params {
                 needed_vars.insert((pinfo.scope, param.clone()));
             }
@@ -105,7 +103,9 @@ fn main_scope(index: &ProgramIndex) -> ScopeId {
 
 /// Resolve `name` in `scope` to its owning (scope, name) key.
 fn resolve_key(index: &ProgramIndex, scope: ScopeId, name: &str) -> Option<(ScopeId, String)> {
-    index.lookup(scope, name).map(|sym| (sym.scope, sym.name.clone()))
+    index
+        .lookup(scope, name)
+        .map(|sym| (sym.scope, sym.name.clone()))
 }
 
 /// Keep statements that pass a needed variable to a procedure call (rule 2),
@@ -121,10 +121,12 @@ fn filter_stmts(
         match s {
             Stmt::Call { args, name, .. }
                 if index.procedure(name).is_some()
-                    && args.iter().any(|a| expr_passes_needed(a, needed, index, scope))
-                => {
-                    out.push(s.clone());
-                }
+                    && args
+                        .iter()
+                        .any(|a| expr_passes_needed(a, needed, index, scope)) =>
+            {
+                out.push(s.clone());
+            }
             Stmt::Assign { value, .. } => {
                 // Function references passing needed vars (rule 2 applies to
                 // any procedure call, including function calls).
@@ -132,7 +134,9 @@ fn filter_stmts(
                 value.walk(&mut |node| {
                     if let Expr::NameRef { name, args } = node {
                         if index.procedure(name).is_some()
-                            && args.iter().any(|a| expr_passes_needed(a, needed, index, scope))
+                            && args
+                                .iter()
+                                .any(|a| expr_passes_needed(a, needed, index, scope))
                         {
                             hit = true;
                         }
@@ -142,7 +146,11 @@ fn filter_stmts(
                     out.push(s.clone());
                 }
             }
-            Stmt::If { arms, else_body, span } => {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
                 let mut new_arms = Vec::new();
                 for (cond, b) in arms {
                     let kept = filter_stmts(b, needed, index, scope);
@@ -162,10 +170,21 @@ fn filter_stmts(
                     } else {
                         new_arms
                     };
-                    out.push(Stmt::If { arms, else_body: new_else, span: *span });
+                    out.push(Stmt::If {
+                        arms,
+                        else_body: new_else,
+                        span: *span,
+                    });
                 }
             }
-            Stmt::Do { var, start, end, step, body: b, span } => {
+            Stmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body: b,
+                span,
+            } => {
                 let kept = filter_stmts(b, needed, index, scope);
                 if !kept.is_empty() {
                     out.push(Stmt::Do {
@@ -178,10 +197,18 @@ fn filter_stmts(
                     });
                 }
             }
-            Stmt::DoWhile { cond, body: b, span } => {
+            Stmt::DoWhile {
+                cond,
+                body: b,
+                span,
+            } => {
                 let kept = filter_stmts(b, needed, index, scope);
                 if !kept.is_empty() {
-                    out.push(Stmt::DoWhile { cond: cond.clone(), body: kept, span: *span });
+                    out.push(Stmt::DoWhile {
+                        cond: cond.clone(),
+                        body: kept,
+                        span: *span,
+                    });
                 }
             }
             _ => {}
@@ -399,7 +426,9 @@ fn reduce_uses(
 ) -> Vec<UseStmt> {
     let mut out = Vec::new();
     for u in uses {
-        let Some(mscope) = index.module_scope(&u.module) else { continue };
+        let Some(mscope) = index.module_scope(&u.module) else {
+            continue;
+        };
         match &u.only {
             Some(names) => {
                 let kept: Vec<String> = names
@@ -410,7 +439,10 @@ fn reduce_uses(
                     .cloned()
                     .collect();
                 if !kept.is_empty() {
-                    out.push(UseStmt { module: u.module.clone(), only: Some(kept) });
+                    out.push(UseStmt {
+                        module: u.module.clone(),
+                        only: Some(kept),
+                    });
                 }
             }
             None => out.push(u.clone()),
@@ -479,7 +511,10 @@ end module hot
         let hot = reduced.module("hot").expect("hot module kept");
         let drive = &hot.procedures[0];
         assert_eq!(drive.name, "drive");
-        assert!(drive.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "field")));
+        assert!(drive
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "field")));
         // The do-loop shell around `call scale` survives.
         let has_scale_call = drive.body.iter().any(|s| {
             let mut found = false;
@@ -514,7 +549,10 @@ end module hot
             });
         }
         assert_eq!(calls, vec!["scale"]);
-        assert!(!drive.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "junk")));
+        assert!(!drive
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "junk")));
     }
 
     #[test]
@@ -555,9 +593,15 @@ end module hot
         // The do-loop `do s = 1, nsteps` survives, so `s` and the
         // module-level `nsteps` must be declared.
         let hot = reduced.module("hot").unwrap();
-        assert!(hot.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "nsteps")));
+        assert!(hot
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "nsteps")));
         let drive = &hot.procedures[0];
-        assert!(drive.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "s")));
+        assert!(drive
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "s")));
     }
 
     #[test]
@@ -568,7 +612,14 @@ end module hot
         // needed, but scale's own decls must appear.
         let reduced = reduce_program(&p, &ix, &[target(&ix, "scale", "v")]);
         let helpers = reduced.module("helpers").unwrap();
-        let scale = helpers.procedures.iter().find(|p| p.name == "scale").unwrap();
-        assert!(scale.decls.iter().any(|d| d.entities.iter().any(|e| e.name == "v")));
+        let scale = helpers
+            .procedures
+            .iter()
+            .find(|p| p.name == "scale")
+            .unwrap();
+        assert!(scale
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "v")));
     }
 }

@@ -32,10 +32,18 @@ pub enum NameClass {
 /// which shadow intrinsics — the same resolution order sema checks with.
 pub fn classify(index: &ProgramIndex, scope: ScopeId, name: &str) -> NameClass {
     if let Some(sym) = index.lookup(scope, name) {
-        return if sym.is_array() { NameClass::Array } else { NameClass::Scalar };
+        return if sym.is_array() {
+            NameClass::Array
+        } else {
+            NameClass::Scalar
+        };
     }
     if let Some(p) = index.procedure(name) {
-        return if p.is_function { NameClass::Function } else { NameClass::Subroutine };
+        return if p.is_function {
+            NameClass::Function
+        } else {
+            NameClass::Subroutine
+        };
     }
     if intrinsic(name).is_some() {
         return NameClass::Intrinsic;
@@ -139,10 +147,7 @@ pub fn adapted_precision(
         _ => None,
     };
     match e {
-        Expr::RealLit { .. }
-        | Expr::IntLit(_)
-        | Expr::LogicalLit(_)
-        | Expr::StrLit(_) => None,
+        Expr::RealLit { .. } | Expr::IntLit(_) | Expr::LogicalLit(_) | Expr::StrLit(_) => None,
         Expr::Var(name) => var_precision(index, scope, name, map),
         Expr::NameRef { name, args } => match classify(index, scope, name) {
             NameClass::Array | NameClass::Scalar => var_precision(index, scope, name, map),
@@ -279,9 +284,10 @@ end module m
         let text = format!("program t\n logical :: q\n q = {src} == 0\nend program t\n");
         let p = parse_program(&text).unwrap();
         match &p.main.unwrap().body[0] {
-            prose_fortran::ast::Stmt::Assign { value: Expr::Bin { lhs, .. }, .. } => {
-                (**lhs).clone()
-            }
+            prose_fortran::ast::Stmt::Assign {
+                value: Expr::Bin { lhs, .. },
+                ..
+            } => (**lhs).clone(),
             _ => unreachable!(),
         }
     }
@@ -324,7 +330,10 @@ end module m
             promote(Real(FpPrecision::Single), Real(FpPrecision::Double)),
             Real(FpPrecision::Double)
         );
-        assert_eq!(promote(Integer, Real(FpPrecision::Single)), Real(FpPrecision::Single));
+        assert_eq!(
+            promote(Integer, Real(FpPrecision::Single)),
+            Real(FpPrecision::Single)
+        );
         assert_eq!(promote(Integer, Integer), Integer);
     }
 

@@ -71,7 +71,12 @@ pub struct LoopAnalysis {
 
 impl LoopAnalysis {
     fn blocked(blocker: VectBlocker, calls: Vec<String>, has_inner_loop: bool) -> Self {
-        LoopAnalysis { vectorizable: false, blocker: Some(blocker), calls, has_inner_loop }
+        LoopAnalysis {
+            vectorizable: false,
+            blocker: Some(blocker),
+            calls,
+            has_inner_loop,
+        }
     }
 }
 
@@ -120,10 +125,9 @@ pub fn analyze_counted_loop(
             | Stmt::Deallocate { .. } => {
                 blocker.get_or_insert(VectBlocker::ControlFlow);
             }
-            Stmt::Call { name, .. }
-                if is_proc(name) => {
-                    calls.push(name.clone());
-                }
+            Stmt::Call { name, .. } if is_proc(name) => {
+                calls.push(name.clone());
+            }
             _ => {}
         });
         // Function references also count as calls.
@@ -159,24 +163,15 @@ pub fn analyze_counted_loop(
         if let Stmt::Assign { target, .. } = stmt {
             match target {
                 LValue::Index { name, indices } => {
-                    let shape: Vec<Offset> =
-                        indices.iter().map(|ix| offset_of(ix, var)).collect();
+                    let shape: Vec<Offset> = indices.iter().map(|ix| offset_of(ix, var)).collect();
                     if shape.iter().any(|o| matches!(o, Offset::Unknown)) {
-                        return LoopAnalysis::blocked(
-                            VectBlocker::IrregularStore,
-                            calls,
-                            false,
-                        );
+                        return LoopAnalysis::blocked(VectBlocker::IrregularStore, calls, false);
                     }
                     if !shape.iter().any(|o| matches!(o, Offset::Affine(_))) {
                         // Store not indexed by the loop variable at all:
                         // every iteration hits the same / an unrelated
                         // element — a scatter the model does not vectorize.
-                        return LoopAnalysis::blocked(
-                            VectBlocker::IrregularStore,
-                            calls,
-                            false,
-                        );
+                        return LoopAnalysis::blocked(VectBlocker::IrregularStore, calls, false);
                     }
                     match stored_arrays.iter_mut().find(|(n, _)| n == name) {
                         Some((_, shapes)) => shapes.push(shape),
@@ -246,14 +241,22 @@ pub fn analyze_counted_loop(
         }
     }
 
-    LoopAnalysis { vectorizable: true, blocker: None, calls, has_inner_loop: false }
+    LoopAnalysis {
+        vectorizable: true,
+        blocker: None,
+        calls,
+        has_inner_loop: false,
+    }
 }
 
 /// Flatten the body including `if` arms (if-conversion: branches are treated
 /// as straight-line masked code).
 fn flatten<'a>(s: &'a Stmt, out: &mut Vec<&'a Stmt>) {
     out.push(s);
-    if let Stmt::If { arms, else_body, .. } = s {
+    if let Stmt::If {
+        arms, else_body, ..
+    } = s
+    {
         for (_, b) in arms {
             for inner in b {
                 flatten(inner, out);
@@ -280,12 +283,20 @@ fn offset_of(e: &Expr, var: &str) -> Offset {
     }
     match e {
         Expr::Var(n) if n == var => Offset::Affine(0),
-        Expr::Bin { op: BinOp::Add, lhs, rhs } => match (&**lhs, &**rhs) {
+        Expr::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
             (Expr::Var(n), Expr::IntLit(c)) if n == var => Offset::Affine(*c),
             (Expr::IntLit(c), Expr::Var(n)) if n == var => Offset::Affine(*c),
             _ => Offset::Unknown,
         },
-        Expr::Bin { op: BinOp::Sub, lhs, rhs } => match (&**lhs, &**rhs) {
+        Expr::Bin {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
             (Expr::Var(n), Expr::IntLit(c)) if n == var => Offset::Affine(-c),
             _ => Offset::Unknown,
         },
@@ -482,12 +493,9 @@ mod tests {
 
     fn analyze(src: &str) -> LoopAnalysis {
         let (var, body, arrays) = first_loop(src);
-        analyze_counted_loop(
-            &var,
-            &body,
-            &|n| arrays.iter().any(|a| a == n),
-            &|n| n == "userfn" || n == "usersub",
-        )
+        analyze_counted_loop(&var, &body, &|n| arrays.iter().any(|a| a == n), &|n| {
+            n == "userfn" || n == "usersub"
+        })
     }
 
     fn module(body: &str, decls: &str) -> String {
@@ -519,7 +527,10 @@ mod tests {
     #[test]
     fn forward_dependence_is_rejected() {
         let src = module("x(i) = x(i+1) * 0.9d0", "real(kind=8) :: x(n)");
-        assert_eq!(analyze(&src).blocker, Some(VectBlocker::LoopCarriedDependence));
+        assert_eq!(
+            analyze(&src).blocker,
+            Some(VectBlocker::LoopCarriedDependence)
+        );
     }
 
     #[test]
@@ -619,10 +630,16 @@ mod tests {
 
     #[test]
     fn multidim_same_row_is_fine_but_shifted_row_is_not() {
-        let ok = module("t(i, j) = u(i, j) * 2.0d0", "real(kind=8) :: u(n,n), t(n,n)");
+        let ok = module(
+            "t(i, j) = u(i, j) * 2.0d0",
+            "real(kind=8) :: u(n,n), t(n,n)",
+        );
         assert!(analyze(&ok).vectorizable);
         let bad = module("t(i, j) = t(i-1, j) * 2.0d0", "real(kind=8) :: t(n,n)");
-        assert_eq!(analyze(&bad).blocker, Some(VectBlocker::LoopCarriedDependence));
+        assert_eq!(
+            analyze(&bad).blocker,
+            Some(VectBlocker::LoopCarriedDependence)
+        );
     }
 
     #[test]

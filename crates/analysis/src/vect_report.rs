@@ -40,7 +40,10 @@ pub fn vect_report_scoped(
     map: &PrecisionMap,
     scopes: Option<&[ScopeId]>,
 ) -> VectReport {
-    let mut report = VectReport { vectorizable: 0, lost: 0 };
+    let mut report = VectReport {
+        vectorizable: 0,
+        lost: 0,
+    };
     for (_, proc) in program.all_procedures() {
         if let Some(scope) = index.scope_of_procedure(&proc.name) {
             if scopes.map(|ss| ss.contains(&scope)).unwrap_or(true) {
@@ -73,7 +76,12 @@ fn scan_body(
                 let la = analyze_counted_loop(
                     var,
                     lb,
-                    &|n| index.lookup(scope, n).map(|s| s.is_array()).unwrap_or(false),
+                    &|n| {
+                        index
+                            .lookup(scope, n)
+                            .map(|s| s.is_array())
+                            .unwrap_or(false)
+                    },
                     &|n| index.lookup(scope, n).is_none() && index.procedure(n).is_some(),
                 );
                 if la.vectorizable {
@@ -88,7 +96,9 @@ fn scan_body(
                 }
             }
             Stmt::DoWhile { body: lb, .. } => scan_body(lb, scope, index, map, report),
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for (_, b) in arms {
                     scan_body(b, scope, index, map, report);
                 }
@@ -116,7 +126,11 @@ fn loop_loses_vectorization(
                 return;
             }
             match stmt {
-                Stmt::Assign { target: LValue::Index { name, .. }, value, .. } => {
+                Stmt::Assign {
+                    target: LValue::Index { name, .. },
+                    value,
+                    ..
+                } => {
                     // Kind-generic right-hand sides (pure literals) store
                     // without conversion; variable-derived values convert
                     // when their adapted precision differs from the target.
@@ -130,9 +144,10 @@ fn loop_loses_vectorization(
                     }
                 }
                 Stmt::Call { name, args, .. }
-                    if call_needs_wrapper(name, args, scope, index, map) => {
-                        lost = true;
-                    }
+                    if call_needs_wrapper(name, args, scope, index, map) =>
+                {
+                    lost = true;
+                }
                 _ => {}
             }
             stmt.for_each_expr(&mut |e| {
@@ -178,8 +193,9 @@ fn call_needs_wrapper(
             Some(id) => map.get(id),
             None => dummy.ty.fp_precision().unwrap(),
         };
-        if let Some(caller_prec) =
-            args.get(i).and_then(|a| adapted_precision(index, scope, map, a))
+        if let Some(caller_prec) = args
+            .get(i)
+            .and_then(|a| adapted_precision(index, scope, map, a))
         {
             if caller_prec != callee_prec {
                 return true;

@@ -92,7 +92,11 @@ impl Evaluator for Synth {
         let k = lowered.iter().filter(|b| **b).count();
         let bad = lowered.get(self.n / 3).copied().unwrap_or(false);
         Outcome {
-            status: if bad { Status::FailAccuracy } else { Status::Pass },
+            status: if bad {
+                Status::FailAccuracy
+            } else {
+                Status::Pass
+            },
             speedup: 1.0 + k as f64 / self.n as f64,
             error: if bad { 1.0 } else { 1e-9 },
         }

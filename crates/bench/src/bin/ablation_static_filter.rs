@@ -10,11 +10,11 @@
 use prose_analysis::flow::FpFlowGraph;
 use prose_analysis::static_cost::static_penalty_scoped;
 use prose_analysis::vect_report::vect_report_scoped;
-use prose_fortran::sema::ScopeId;
 use prose_bench::report::ascii_table;
 use prose_bench::{bench_size, results_dir};
 use prose_core::tuner::{config_to_map, PerfScope};
 use prose_core::DynamicEvaluator;
+use prose_fortran::sema::ScopeId;
 use prose_search::dd::{DdParams, DeltaDebug};
 use prose_search::random::RandomSearch;
 use prose_search::{Config, Evaluator, Outcome, Status};
@@ -24,7 +24,11 @@ use prose_search::{Config, Evaluator, Outcome, Status};
 /// it would veto the variants the search is after.
 enum Filter {
     /// Penalty ∝ calls × elements on mismatched flow edges (§V cost model).
-    CastPenalty { graph: FpFlowGraph, threshold: f64, scopes: Vec<ScopeId> },
+    CastPenalty {
+        graph: FpFlowGraph,
+        threshold: f64,
+        scopes: Vec<ScopeId>,
+    },
     /// Predicted loss of loop vectorization vs. baseline (§V compiler-
     /// feedback filter).
     VectLoss { scopes: Vec<ScopeId> },
@@ -44,9 +48,11 @@ impl<'a, 'b> Evaluator for Filtered<'a, 'b> {
         let task = self.inner.task;
         let map = config_to_map(&task.index, &task.atoms, lowered);
         let reject = match &self.filter {
-            Filter::CastPenalty { graph, threshold, scopes } => {
-                static_penalty_scoped(graph, &task.index, &map, Some(scopes)) > *threshold
-            }
+            Filter::CastPenalty {
+                graph,
+                threshold,
+                scopes,
+            } => static_penalty_scoped(graph, &task.index, &map, Some(scopes)) > *threshold,
             Filter::VectLoss { scopes } => {
                 vect_report_scoped(&task.program, &task.index, &map, Some(scopes)).lost > 0
             }
@@ -93,7 +99,11 @@ fn main() {
         .collect();
     let mut filtered = Filtered {
         inner: &mut eval2,
-        filter: Filter::CastPenalty { graph, threshold, scopes: hotspot_scopes.clone() },
+        filter: Filter::CastPenalty {
+            graph,
+            threshold,
+            scopes: hotspot_scopes.clone(),
+        },
         skipped: 0,
         evaluated: 0,
     };
@@ -105,7 +115,9 @@ fn main() {
     let mut eval4 = DynamicEvaluator::new(&task).expect("baseline");
     let mut filtered_v = Filtered {
         inner: &mut eval4,
-        filter: Filter::VectLoss { scopes: hotspot_scopes },
+        filter: Filter::VectLoss {
+            scopes: hotspot_scopes,
+        },
         skipped: 0,
         evaluated: 0,
     };
@@ -152,7 +164,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["Strategy", "dynamic evals", "statically skipped", "best speedup", "1-minimal"],
+            &[
+                "Strategy",
+                "dynamic evals",
+                "statically skipped",
+                "best speedup",
+                "1-minimal"
+            ],
             &rows
         )
     );

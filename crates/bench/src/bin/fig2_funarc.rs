@@ -21,7 +21,10 @@ fn main() {
         .iter()
         .map(|v| {
             vec![
-                v.config.iter().map(|b| if *b { '1' } else { '0' }).collect(),
+                v.config
+                    .iter()
+                    .map(|b| if *b { '1' } else { '0' })
+                    .collect(),
                 format!("{:.6}", v.outcome.speedup),
                 format!("{:.6e}", v.outcome.error),
                 format!("{:.4}", v.fraction_single),
@@ -49,7 +52,11 @@ fn main() {
             frontier.push(*v);
         }
     }
-    println!("Figure 2: funarc — {} variants, {} on the optimal frontier", done.len(), frontier.len());
+    println!(
+        "Figure 2: funarc — {} variants, {} on the optimal frontier",
+        done.len(),
+        frontier.len()
+    );
     for v in &frontier {
         println!(
             "  frontier: speedup {:>6} error {:>10} ({}% 32-bit)",

@@ -54,5 +54,12 @@ fn main() {
         };
         ok &= validate::report(&ms.model, &checks);
     }
-    println!("\noverall: {}", if ok { "all checks PASS" } else { "some checks MISS" });
+    println!(
+        "\noverall: {}",
+        if ok {
+            "all checks PASS"
+        } else {
+            "some checks MISS"
+        }
+    );
 }

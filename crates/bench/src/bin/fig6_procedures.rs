@@ -29,7 +29,9 @@ fn main() {
                 if ps.calls == 0 {
                     continue;
                 }
-                let Some((bc, bn)) = baseline.get(ps.proc.as_str()) else { continue };
+                let Some((bc, bn)) = baseline.get(ps.proc.as_str()) else {
+                    continue;
+                };
                 if *bn == 0 {
                     continue;
                 }
@@ -39,7 +41,10 @@ fn main() {
                     continue;
                 }
                 let speedup = base_per_call / var_per_call;
-                fingerprints.entry(ps.proc.clone()).or_default().insert(ps.fingerprint);
+                fingerprints
+                    .entry(ps.proc.clone())
+                    .or_default()
+                    .insert(ps.fingerprint);
                 let r = per_proc_range
                     .entry(ps.proc.clone())
                     .or_insert((f64::INFINITY, 0.0));
@@ -53,8 +58,10 @@ fn main() {
             }
         }
         csv.sort();
-        let per_proc_counts: HashMap<String, usize> =
-            fingerprints.iter().map(|(k, v)| (k.clone(), v.len())).collect();
+        let per_proc_counts: HashMap<String, usize> = fingerprints
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len()))
+            .collect();
         let mut rows = Vec::new();
         write_csv(
             &results_dir().join(format!("fig6_{}.csv", ms.model)),
@@ -74,7 +81,10 @@ fn main() {
             let (lo, hi) = per_proc_range[p];
             rows.push(vec![
                 p.clone(),
-                format!("{:.1}%", 100.0 * share.get(p.as_str()).copied().unwrap_or(0.0)),
+                format!(
+                    "{:.1}%",
+                    100.0 * share.get(p.as_str()).copied().unwrap_or(0.0)
+                ),
                 per_proc_counts[p].to_string(),
                 format!("{lo:.3}"),
                 format!("{hi:.3}"),
@@ -84,7 +94,13 @@ fn main() {
         println!(
             "{}",
             ascii_table(
-                &["Procedure", "% hotspot CPU", "unique variants", "min speedup", "max speedup"],
+                &[
+                    "Procedure",
+                    "% hotspot CPU",
+                    "unique variants",
+                    "min speedup",
+                    "max speedup"
+                ],
                 &rows
             )
         );

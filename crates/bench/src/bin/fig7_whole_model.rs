@@ -35,5 +35,12 @@ fn main() {
     );
     let checks = validate::mpas_whole_model(&ms);
     let ok = validate::report("mpas_a whole-model", &checks);
-    println!("\noverall: {}", if ok { "all checks PASS" } else { "some checks MISS" });
+    println!(
+        "\noverall: {}",
+        if ok {
+            "all checks PASS"
+        } else {
+            "some checks MISS"
+        }
+    );
 }

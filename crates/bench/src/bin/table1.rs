@@ -29,7 +29,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["Model", "Targeted Module", "% CPU Time", "# FP Vars (module)", "# atoms (work routines)"],
+            &[
+                "Model",
+                "Targeted Module",
+                "% CPU Time",
+                "# FP Vars (module)",
+                "# atoms (work routines)"
+            ],
             &rows
         )
     );
@@ -38,10 +44,13 @@ fn main() {
     write_csv(
         &results_dir().join("table1.csv"),
         &["model", "module", "cpu_share", "fp_vars", "atoms"],
-        &rows.iter().map(|r| {
-            let mut r = r.clone();
-            r[2] = f(r[2].trim_end_matches('%').parse::<f64>().unwrap_or(0.0) / 100.0);
-            r
-        }).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r[2] = f(r[2].trim_end_matches('%').parse::<f64>().unwrap_or(0.0) / 100.0);
+                r
+            })
+            .collect::<Vec<_>>(),
     );
 }

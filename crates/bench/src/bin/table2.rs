@@ -19,14 +19,27 @@ fn main() {
             format!("{:.1}%", s.pct(s.timeout)),
             format!("{:.1}%", s.pct(s.error)),
             format!("{:.2}x", s.best_speedup),
-            if ms.search.budget_exhausted { "budget-cut".into() } else { "1-minimal".into() },
+            if ms.search.budget_exhausted {
+                "budget-cut".into()
+            } else {
+                "1-minimal".into()
+            },
         ]);
     }
     println!("Table II: Summary metrics for variants explored.");
     println!(
         "{}",
         ascii_table(
-            &["Model", "Total", "Pass", "Fail", "Timeout", "Error", "Speedup", "Termination"],
+            &[
+                "Model",
+                "Total",
+                "Pass",
+                "Fail",
+                "Timeout",
+                "Error",
+                "Speedup",
+                "Termination"
+            ],
             &rows
         )
     );
@@ -36,7 +49,15 @@ fn main() {
     println!("  MOM6   858  17.2% 31.0%  0.0% 51.7%  1.04x (12-hour cutoff)");
     write_csv(
         &results_dir().join("table2.csv"),
-        &["model", "total", "pass_pct", "fail_pct", "timeout_pct", "error_pct", "best_speedup"],
+        &[
+            "model",
+            "total",
+            "pass_pct",
+            "fail_pct",
+            "timeout_pct",
+            "error_pct",
+            "best_speedup",
+        ],
         &searches
             .iter()
             .map(|ms| {
@@ -63,5 +84,12 @@ fn main() {
         };
         ok &= validate::report(&ms.model, &checks);
     }
-    println!("\noverall: {}", if ok { "all checks PASS" } else { "some checks MISS (see above)" });
+    println!(
+        "\noverall: {}",
+        if ok {
+            "all checks PASS"
+        } else {
+            "some checks MISS (see above)"
+        }
+    );
 }

@@ -1,11 +1,20 @@
 //! Search-result caching: the expensive delta-debugging runs execute once
 //! and every figure/table binary reuses them.
+//!
+//! Two layers cooperate here. `searches.json` caches whole finished
+//! searches (coarse: hit or miss). Underneath it, each search appends a
+//! trial journal (`trials_<model>.jsonl` in the same results directory),
+//! which memoizes *individual variant evaluations* — so even when
+//! `searches.json` is deleted or a search is interrupted, a re-run replays
+//! already-measured configurations from the journal instead of re-running
+//! the interpreter. `prose-report` summarizes those journals.
 
 use crate::{results_dir, search_scope, variant_budget};
 use prose_core::evaluator::VariantRecord;
 use prose_core::tuner::{tune, PerfScope, TuningTask};
 use prose_models::ModelSize;
 use prose_search::{SearchResult, StatusSummary};
+use prose_trace::Counters;
 use serde::{Deserialize, Serialize};
 
 /// Everything a figure needs from one model's search.
@@ -24,6 +33,11 @@ pub struct ModelSearch {
     pub error_threshold: f64,
     /// Wall-clock seconds the search took on this machine.
     pub wall_seconds: f64,
+    /// Observability counters from the tuning run (cache hits/misses,
+    /// search memo hits, interpreter op totals). Defaults to empty when
+    /// loading caches written before journaling existed.
+    #[serde(default)]
+    pub metrics: Counters,
 }
 
 impl ModelSearch {
@@ -65,6 +79,7 @@ fn run_search(
     let model = spec.load().expect("model loads");
     let mut task: TuningTask = model.task(scope, 20_240_417);
     task.max_variants = variant_budget(name);
+    task.journal = Some(results_dir().join(format!("trials_{name}.jsonl")));
     let t0 = std::time::Instant::now();
     let outcome = tune(&task).expect("baseline runs");
     let wall = t0.elapsed().as_secs_f64();
@@ -73,6 +88,13 @@ fn run_search(
         outcome.search.trace.len(),
         wall,
         outcome.search.status_summary().best_speedup
+    );
+    eprintln!(
+        "[prose-bench]   journal {}: {} preloaded, {} cache hits, {} evaluated",
+        task.journal.as_ref().expect("set above").display(),
+        outcome.metrics.get("cache_preloaded"),
+        outcome.metrics.get("cache_hits"),
+        outcome.metrics.get("cache_misses")
     );
     let baseline_procs = {
         // Re-run the baseline cheaply to list per-proc baselines.
@@ -92,7 +114,11 @@ fn run_search(
     };
     ModelSearch {
         model: name.to_string(),
-        atom_paths: model.atoms.iter().map(|a| model.index.fp_var_path(*a)).collect(),
+        atom_paths: model
+            .atoms
+            .iter()
+            .map(|a| model.index.fp_var_path(*a))
+            .collect(),
         baseline_hotspot_cycles: outcome.baseline_hotspot_cycles,
         baseline_total_cycles: outcome.baseline_total_cycles,
         hotspot_share: outcome.hotspot_share,
@@ -101,6 +127,7 @@ fn run_search(
         variants: outcome.variants,
         error_threshold: task.error_threshold,
         wall_seconds: wall,
+        metrics: outcome.metrics,
     }
 }
 
@@ -119,8 +146,7 @@ where
         }
     }
     let v = run();
-    std::fs::write(&path, serde_json::to_string(&v).expect("serialize"))
-        .expect("write cache");
+    std::fs::write(&path, serde_json::to_string(&v).expect("serialize")).expect("write cache");
     eprintln!("[prose-bench] wrote {}", path.display());
     v
 }

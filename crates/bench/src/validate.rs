@@ -24,7 +24,11 @@ pub fn report(title: &str, checks: &[Check]) -> bool {
 }
 
 fn check(name: &str, passed: bool, detail: String) -> Check {
-    Check { name: name.into(), passed, detail }
+    Check {
+        name: name.into(),
+        passed,
+        detail,
+    }
 }
 
 /// Completed variants (ran to the end, with measured speedup/error).
@@ -77,7 +81,10 @@ pub fn mpas_hotspot(ms: &ModelSearch) -> Vec<Check> {
         check(
             "search found a 1-minimal variant",
             ms.search.one_minimal,
-            format!("remaining 64-bit: {}", ms.search.final_config.iter().filter(|b| !**b).count()),
+            format!(
+                "remaining 64-bit: {}",
+                ms.search.final_config.iter().filter(|b| !**b).count()
+            ),
         ),
     ]
 }
@@ -117,7 +124,13 @@ pub fn mom6_hotspot(ms: &ModelSearch) -> Vec<Check> {
         check(
             ">98% 32-bit executable variants are slowdowns",
             near_uniform_slow.iter().all(|s| *s < 1.0) || near_uniform_slow.is_empty(),
-            format!("{:?}", near_uniform_slow.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                near_uniform_slow
+                    .iter()
+                    .map(|x| format!("{x:.2}"))
+                    .collect::<Vec<_>>()
+            ),
         ),
     ]
 }

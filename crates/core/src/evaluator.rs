@@ -4,19 +4,71 @@
 //! Implements [`prose_search::Evaluator`]; batches are evaluated in
 //! parallel with rayon, standing in for the paper's one-Derecho-node-per-
 //! variant parallelism.
+//!
+//! ## Memoization and the trial journal
+//!
+//! Every evaluation request is answered through a config-keyed cache.
+//! Delta-debugging's probe sets overlap heavily across granularity levels,
+//! and re-running an experiment repeats them wholesale; the cache
+//! guarantees the interpreter runs **at most once per configuration per
+//! journal**. When [`TuningTask::journal`] is set, the cache is preloaded
+//! from the journal file and every request (hit or miss) is appended to
+//! it, so a re-run against an existing journal performs zero interpreter
+//! evaluations and the journal doubles as the experiment's audit trail.
 
 use crate::speedup::{speedup, NoiseModel};
-use prose_analysis::flow::FpFlowGraph;
 use crate::tuner::{PerfScope, TuningTask};
 use parking_lot::Mutex;
+use prose_analysis::flow::FpFlowGraph;
 use prose_fortran::precision::PrecisionMap;
 use prose_fortran::sema::FpVarId;
-use prose_interp::{run_program, RunConfig, RunError, RunOutcome, Timers};
+use prose_interp::{run_program, OpCounts, RunConfig, RunError, RunOutcome, Timers};
 use prose_search::{Config, Outcome, Status};
+use prose_trace::{Counters, Journal, StageClock, TrialRecord};
 use prose_transform::make_variant;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Journal-facing name of a [`Status`].
+pub fn status_name(s: Status) -> &'static str {
+    match s {
+        Status::Pass => "pass",
+        Status::FailAccuracy => "fail_accuracy",
+        Status::Timeout => "timeout",
+        Status::RuntimeError => "runtime_error",
+        Status::TransformError => "transform_error",
+    }
+}
+
+/// Inverse of [`status_name`].
+pub fn status_from_name(name: &str) -> Option<Status> {
+    Some(match name {
+        "pass" => Status::Pass,
+        "fail_accuracy" => Status::FailAccuracy,
+        "timeout" => Status::Timeout,
+        "runtime_error" => Status::RuntimeError,
+        "transform_error" => Status::TransformError,
+        _ => return None,
+    })
+}
+
+/// Render interpreter op counts as journal counters.
+fn ops_counters(ops: &OpCounts, events: u64) -> Counters {
+    let mut c = Counters::new();
+    c.bump("interp_fp32_ops", ops.fp32_ops);
+    c.bump("interp_fp64_ops", ops.fp64_ops);
+    c.bump("interp_mem_ops", ops.mem_ops);
+    c.bump("interp_casts", ops.casts);
+    c.bump("interp_cast_stores", ops.cast_stores);
+    c.bump("interp_timed_calls", ops.timed_calls);
+    c.bump("interp_loop_iters", ops.loop_iters);
+    c.bump("interp_allreduces", ops.allreduces);
+    c.bump("interp_events", events);
+    c
+}
 
 /// Per-procedure timing sample inside one variant (Figure 6's raw data).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -94,6 +146,17 @@ pub struct DynamicEvaluator<'a> {
     proc_vars: Vec<(String, Vec<FpVarId>)>,
     /// All evaluated variants, in evaluation order.
     records: Mutex<Vec<VariantRecord>>,
+    /// Config-keyed memoization: every measured configuration, including
+    /// outcomes replayed from a preloaded journal.
+    cache: Mutex<HashMap<Config, VariantRecord>>,
+    /// Aggregate observability counters (cache hits/misses, interpreter op
+    /// totals).
+    counters: Mutex<Counters>,
+    /// Trial journal sink ([`TuningTask::journal`]); `None` disables
+    /// journaling but not in-memory memoization.
+    journal: Option<Mutex<Journal>>,
+    /// Next journal sequence number (continues a preloaded journal).
+    seq: AtomicU64,
 }
 
 impl<'a> DynamicEvaluator<'a> {
@@ -125,12 +188,53 @@ impl<'a> DynamicEvaluator<'a> {
             })
             .collect();
 
+        // Preload the memoization cache from the task's journal, when one
+        // is configured and already has records for this atom count.
+        let mut cache: HashMap<Config, VariantRecord> = HashMap::new();
+        let mut counters = Counters::new();
+        let mut journal = None;
+        let mut seq = 0;
+        if let Some(path) = &task.journal {
+            match Journal::load_or_empty(path) {
+                Ok(past) => {
+                    seq = past.len() as u64;
+                    for tr in &past {
+                        if tr.config.len() == task.atoms.len() && !cache.contains_key(&tr.config) {
+                            if let Some(rec) = variant_from_trial(tr, task.error_threshold) {
+                                cache.insert(tr.config.clone(), rec);
+                                counters.bump("cache_preloaded", 1);
+                            }
+                        }
+                    }
+                }
+                Err(e) => eprintln!(
+                    "[prose] ignoring unreadable trial journal {}: {e}",
+                    path.display()
+                ),
+            }
+            match Journal::open_append(path) {
+                Ok(j) => journal = Some(Mutex::new(j)),
+                Err(e) => eprintln!(
+                    "[prose] trial journaling disabled ({}: {e})",
+                    path.display()
+                ),
+            }
+        }
+
         Ok(DynamicEvaluator {
             task,
-            baseline: Baseline { outcome, hotspot_cycles, total_cycles },
+            baseline: Baseline {
+                outcome,
+                hotspot_cycles,
+                total_cycles,
+            },
             noise,
             proc_vars,
             records: Mutex::new(Vec::new()),
+            cache: Mutex::new(cache),
+            counters: Mutex::new(counters),
+            journal,
+            seq: AtomicU64::new(seq),
         })
     }
 
@@ -139,16 +243,18 @@ impl<'a> DynamicEvaluator<'a> {
         self.records.into_inner()
     }
 
+    /// Snapshot of the aggregate observability counters.
+    pub fn metrics(&self) -> Counters {
+        self.counters.lock().clone()
+    }
+
     /// Map a search configuration to a precision assignment over the task's
     /// atoms.
     pub fn precision_map(&self, lowered: &Config) -> PrecisionMap {
         let mut map = PrecisionMap::declared(&self.task.index);
         for (i, low) in lowered.iter().enumerate() {
             if *low {
-                map.set(
-                    self.task.atoms[i],
-                    prose_fortran::ast::FpPrecision::Single,
-                );
+                map.set(self.task.atoms[i], prose_fortran::ast::FpPrecision::Single);
             }
         }
         map
@@ -164,9 +270,71 @@ impl<'a> DynamicEvaluator<'a> {
         h
     }
 
-    /// Transform, run, and measure one configuration (pure w.r.t. shared
-    /// state; called in parallel from batches).
+    /// Answer one configuration, consulting the memoization cache first.
+    /// Cache hits never touch the interpreter; every request — hit or
+    /// miss — is appended to the trial journal when one is configured.
+    /// Called in parallel from batches.
     pub fn eval_one(&self, lowered: &Config) -> VariantRecord {
+        let t0 = Instant::now();
+        if let Some(hit) = self.cache.lock().get(lowered).cloned() {
+            self.counters.lock().bump("cache_hits", 1);
+            self.journal_append(&hit, true, t0, &StageClock::new(), Counters::new());
+            return hit;
+        }
+        let mut clock = StageClock::new();
+        let mut trial_counters = Counters::new();
+        let rec = self.eval_uncached(lowered, &mut clock, &mut trial_counters);
+        {
+            let mut agg = self.counters.lock();
+            agg.bump("cache_misses", 1);
+            agg.merge(&trial_counters);
+        }
+        self.cache.lock().insert(lowered.clone(), rec.clone());
+        self.journal_append(&rec, false, t0, &clock, trial_counters);
+        rec
+    }
+
+    /// Append one request to the trial journal (no-op without a journal).
+    fn journal_append(
+        &self,
+        rec: &VariantRecord,
+        cached: bool,
+        t0: Instant,
+        clock: &StageClock,
+        counters: Counters,
+    ) {
+        let Some(journal) = &self.journal else { return };
+        // The sequence number is taken under the journal lock so records
+        // land in the file in sequence order even under rayon parallelism.
+        let mut j = journal.lock();
+        let tr = TrialRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            config: rec.config.clone(),
+            status: status_name(rec.outcome.status).to_string(),
+            speedup: rec.outcome.speedup,
+            error: rec.outcome.error,
+            cached,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            fraction_single: rec.fraction_single,
+            wrappers: rec.wrappers.len() as u64,
+            total_cycles: rec.total_cycles,
+            hotspot_cycles: rec.hotspot_cycles,
+            stages: clock.stages().clone(),
+            counters,
+        };
+        if let Err(e) = j.append(&tr) {
+            eprintln!("[prose] trial journal write failed: {e}");
+        }
+    }
+
+    /// Transform, run, and measure one configuration (pure w.r.t. shared
+    /// state), filling per-stage wall clocks and interpreter counters.
+    fn eval_uncached(
+        &self,
+        lowered: &Config,
+        clock: &mut StageClock,
+        trial_counters: &mut Counters,
+    ) -> VariantRecord {
         let task = self.task;
         let map = self.precision_map(lowered);
         let fraction_single = map.fraction_single(&task.atoms);
@@ -178,7 +346,11 @@ impl<'a> DynamicEvaluator<'a> {
 
         let base = VariantRecord {
             config: lowered.clone(),
-            outcome: Outcome { status: Status::TransformError, speedup: 0.0, error: f64::INFINITY },
+            outcome: Outcome {
+                status: Status::TransformError,
+                speedup: 0.0,
+                error: f64::INFINITY,
+            },
             fraction_single,
             per_proc: Vec::new(),
             wrappers: Vec::new(),
@@ -188,10 +360,15 @@ impl<'a> DynamicEvaluator<'a> {
         };
 
         // T2: program transformation.
-        let variant = match make_variant(&task.program, &task.index, &map) {
+        let variant = match clock.time("transform", || {
+            make_variant(&task.program, &task.index, &map)
+        }) {
             Ok(v) => v,
             Err(e) => {
-                return VariantRecord { detail: Some(format!("transform: {e}")), ..base }
+                return VariantRecord {
+                    detail: Some(format!("transform: {e}")),
+                    ..base
+                }
             }
         };
 
@@ -202,21 +379,32 @@ impl<'a> DynamicEvaluator<'a> {
             max_events: task.max_events,
             wrapper_names: variant.wrappers.iter().cloned().collect(),
         };
+        let t_run = Instant::now();
         let run = match run_program(&variant.program, &variant.index, &run_cfg) {
             Ok(o) => o,
             Err(e) => {
+                // Aborted runs (timeouts especially) still did real work
+                // before failing; charge it to the exec stage.
+                clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
                 let status = match e {
                     RunError::Timeout { .. } => Status::Timeout,
                     _ => Status::RuntimeError,
                 };
                 return VariantRecord {
-                    outcome: Outcome { status, speedup: 0.0, error: f64::INFINITY },
+                    outcome: Outcome {
+                        status,
+                        speedup: 0.0,
+                        error: f64::INFINITY,
+                    },
                     wrappers: variant.wrappers,
                     detail: Some(e.to_string()),
                     ..base
                 };
             }
         };
+        clock.add_ns("lower", run.lower_ns);
+        clock.add_ns("exec", run.exec_ns);
+        trial_counters.merge(&ops_counters(&run.ops, run.events));
 
         // Correctness.
         let error = task
@@ -253,9 +441,9 @@ impl<'a> DynamicEvaluator<'a> {
                 .scoped_cycles(hotspot_set.iter().map(String::as_str)),
             PerfScope::WholeModel => run.total_cycles,
         };
-        let base_samples =
-            self.noise
-                .samples(self.baseline.scoped(task.scope), 0, task.n_runs);
+        let base_samples = self
+            .noise
+            .samples(self.baseline.scoped(task.scope), 0, task.n_runs);
         let var_samples = self.noise.samples(scoped_variant, vid | 1, task.n_runs);
         let sp = speedup(&base_samples, &var_samples);
 
@@ -266,7 +454,11 @@ impl<'a> DynamicEvaluator<'a> {
         };
         let per_proc = collect_proc_samples(&run.timers, &fingerprints);
         VariantRecord {
-            outcome: Outcome { status, speedup: sp, error },
+            outcome: Outcome {
+                status,
+                speedup: sp,
+                error,
+            },
             per_proc,
             wrappers: variant.wrappers,
             detail: None,
@@ -319,8 +511,7 @@ pub fn hotspot_scope_with_wrappers(
 }
 
 fn collect_proc_samples(timers: &Timers, fingerprints: &[(String, u64)]) -> Vec<ProcSample> {
-    let fp: HashMap<&str, u64> =
-        fingerprints.iter().map(|(p, f)| (p.as_str(), *f)).collect();
+    let fp: HashMap<&str, u64> = fingerprints.iter().map(|(p, f)| (p.as_str(), *f)).collect();
     fingerprints
         .iter()
         .filter_map(|(p, _)| {
@@ -334,6 +525,42 @@ fn collect_proc_samples(timers: &Timers, fingerprints: &[(String, u64)]) -> Vec<
         .collect()
 }
 
+/// Rebuild a (reduced) variant record from a journaled trial. The outcome
+/// and summary measurements survive the round trip; per-procedure samples
+/// and wrapper names are not journaled and come back empty.
+///
+/// The pass/fail-accuracy verdict is **recomputed** from the journaled
+/// error against the current task's threshold, so a journal written under
+/// one threshold replays correctly under another (the measurements are
+/// config properties; the verdict is a task property). Timeout and error
+/// statuses are kept as recorded.
+fn variant_from_trial(tr: &TrialRecord, error_threshold: f64) -> Option<VariantRecord> {
+    let status = match status_from_name(&tr.status)? {
+        Status::Pass | Status::FailAccuracy => {
+            if tr.error <= error_threshold {
+                Status::Pass
+            } else {
+                Status::FailAccuracy
+            }
+        }
+        other => other,
+    };
+    Some(VariantRecord {
+        config: tr.config.clone(),
+        outcome: Outcome {
+            status,
+            speedup: tr.speedup,
+            error: tr.error,
+        },
+        fraction_single: tr.fraction_single,
+        per_proc: Vec::new(),
+        wrappers: Vec::new(),
+        detail: Some("replayed from trial journal".into()),
+        total_cycles: tr.total_cycles,
+        hotspot_cycles: tr.hotspot_cycles,
+    })
+}
+
 impl<'a> prose_search::Evaluator for DynamicEvaluator<'a> {
     fn evaluate(&mut self, lowered: &Config) -> Outcome {
         let rec = self.eval_one(lowered);
@@ -345,8 +572,7 @@ impl<'a> prose_search::Evaluator for DynamicEvaluator<'a> {
     fn evaluate_batch(&mut self, batch: &[Config]) -> Vec<Outcome> {
         // One logical "node" per variant: rayon parallelism substitutes the
         // paper's PBS fan-out.
-        let recs: Vec<VariantRecord> =
-            batch.par_iter().map(|cfg| self.eval_one(cfg)).collect();
+        let recs: Vec<VariantRecord> = batch.par_iter().map(|cfg| self.eval_one(cfg)).collect();
         let outcomes = recs.iter().map(|r| r.outcome).collect();
         self.records.lock().extend(recs);
         outcomes

@@ -83,7 +83,9 @@ pub mod profile;
 pub mod speedup;
 pub mod tuner;
 
-pub use evaluator::{DynamicEvaluator, ProcSample, VariantRecord};
+pub use evaluator::{status_from_name, status_name, DynamicEvaluator, ProcSample, VariantRecord};
 pub use metrics::CorrectnessMetric;
 pub use profile::{profile, select_hotspot, ProfileRow};
-pub use tuner::{tune, tune_brute_force, LoadedModel, ModelSpec, PerfScope, TuningOutcome, TuningTask};
+pub use tuner::{
+    tune, tune_brute_force, LoadedModel, ModelSpec, PerfScope, TuningOutcome, TuningTask,
+};

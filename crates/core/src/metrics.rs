@@ -91,8 +91,7 @@ impl CorrectnessMetric {
                 if b.len() != v.len() || b.is_empty() {
                     return None;
                 }
-                let errs: Vec<f64> =
-                    b.iter().zip(v).map(|(x, y)| rel_err(*x, *y)).collect();
+                let errs: Vec<f64> = b.iter().zip(v).map(|(x, y)| rel_err(*x, *y)).collect();
                 Some(l2(&errs))
             }
             CorrectnessMetric::ScalarSeriesL2 { key } => {
@@ -101,8 +100,7 @@ impl CorrectnessMetric {
                 if b.len() != v.len() || b.is_empty() {
                     return None;
                 }
-                let errs: Vec<f64> =
-                    b.iter().zip(v).map(|(x, y)| rel_err(*x, *y)).collect();
+                let errs: Vec<f64> = b.iter().zip(v).map(|(x, y)| rel_err(*x, *y)).collect();
                 Some(l2(&errs))
             }
         }
@@ -159,7 +157,10 @@ mod tests {
         let b = records_with_arrays("ke", &[vec![1.0, 2.0], vec![4.0, 8.0]]);
         let v = records_with_arrays("ke", &[vec![1.0, 1.0], vec![4.0, 8.0]]);
         // Step 1 worst rel err = 0.5, step 2 = 0.
-        let m = CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.0 };
+        let m = CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: "ke".into(),
+            floor_frac: 0.0,
+        };
         assert_eq!(m.compute(&b, &v), Some(0.5));
     }
 
@@ -169,9 +170,14 @@ mod tests {
         // the pure relative metric; the floored metric scales it away.
         let b = records_with_arrays("ke", &[vec![10.0, 1e-9]]);
         let v = records_with_arrays("ke", &[vec![10.0, 2e-9]]);
-        let pure = CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.0 };
-        let floored =
-            CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.01 };
+        let pure = CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: "ke".into(),
+            floor_frac: 0.0,
+        };
+        let floored = CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: "ke".into(),
+            floor_frac: 0.01,
+        };
         assert!(pure.compute(&b, &v).unwrap() > 0.4);
         assert!(floored.compute(&b, &v).unwrap() <= 1e-8);
     }
@@ -194,7 +200,10 @@ mod tests {
         let m = CorrectnessMetric::ScalarSeriesL2 { key: "cfl".into() };
         assert_eq!(m.compute(&b, &short), None);
         assert_eq!(m.compute(&b, &missing), None);
-        let ma = CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.0 };
+        let ma = CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: "ke".into(),
+            floor_frac: 0.0,
+        };
         assert_eq!(ma.compute(&b, &b), None);
     }
 }

@@ -30,9 +30,8 @@ impl NoiseModel {
 
     /// Draw `n` noisy timing samples around the deterministic `cycles`.
     pub fn samples(&self, cycles: f64, variant_id: u64, n: usize) -> Vec<f64> {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            self.seed ^ variant_id.wrapping_mul(0x9e3779b97f4a7c15),
-        );
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ variant_id.wrapping_mul(0x9e3779b97f4a7c15));
         (0..n)
             .map(|_| {
                 // Log-normal with multiplicative sigma ≈ rsd: two uniforms

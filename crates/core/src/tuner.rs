@@ -8,7 +8,8 @@ use prose_fortran::sema::{FpVarId, ProgramIndex};
 use prose_fortran::{FortranError, Program};
 use prose_interp::{CostParams, RunError};
 use prose_search::dd::{DdParams, DeltaDebug};
-use prose_search::{brute::BruteForce, Config, SearchResult};
+use prose_search::{brute::BruteForce, Config, CountingSink, SearchResult};
+use prose_trace::Counters;
 use serde::{Deserialize, Serialize};
 
 /// What the performance metric times (Sections IV-B vs IV-C).
@@ -45,6 +46,11 @@ pub struct TuningTask {
     pub min_speedup: f64,
     /// Interpreter event safety valve.
     pub max_events: u64,
+    /// Trial-journal path (JSONL). When set, every evaluation request is
+    /// appended, and an existing journal preloads the evaluator's
+    /// memoization cache so repeated configurations never re-run the
+    /// interpreter — including across process restarts.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 /// The result of one tuning experiment.
@@ -59,11 +65,18 @@ pub struct TuningOutcome {
     pub baseline_total_cycles: f64,
     /// Hotspot share of whole-model time (Table I's "% CPU Time").
     pub hotspot_share: f64,
+    /// Observability counters: evaluator cache hits/misses, search-level
+    /// memo hits, and aggregate interpreter op counts.
+    pub metrics: Counters,
 }
 
 impl TuningOutcome {
     /// The precision map of the search's final configuration.
-    pub fn final_map(&self, index: &ProgramIndex, atoms: &[FpVarId]) -> prose_fortran::PrecisionMap {
+    pub fn final_map(
+        &self,
+        index: &ProgramIndex,
+        atoms: &[FpVarId],
+    ) -> prose_fortran::PrecisionMap {
         config_to_map(index, atoms, &self.search.final_config)
     }
 
@@ -99,13 +112,19 @@ pub fn tune(task: &TuningTask) -> Result<TuningOutcome, RunError> {
         max_variants: task.max_variants,
         ..Default::default()
     });
-    let search = dd.run(&mut eval);
+    let mut sink = CountingSink::default();
+    let search = dd.run_with_sink(&mut eval, &mut sink);
+    let mut metrics = eval.metrics();
+    metrics.bump("search_probes", sink.trials + sink.memo_hits);
+    metrics.bump("search_memo_hits", sink.memo_hits);
+    metrics.bump("search_unique_trials", sink.trials);
     Ok(TuningOutcome {
         search,
         variants: eval.into_records(),
         baseline_hotspot_cycles,
         baseline_total_cycles,
         hotspot_share,
+        metrics,
     })
 }
 
@@ -116,12 +135,14 @@ pub fn tune_brute_force(task: &TuningTask) -> Result<TuningOutcome, RunError> {
     let baseline_total_cycles = eval.baseline.total_cycles;
     let hotspot_share = eval.baseline.hotspot_share();
     let search = BruteForce::default().run(&mut eval);
+    let metrics = eval.metrics();
     Ok(TuningOutcome {
         search,
         variants: eval.into_records(),
         baseline_hotspot_cycles,
         baseline_total_cycles,
         hotspot_share,
+        metrics,
     })
 }
 
@@ -189,7 +210,12 @@ impl ModelSpec {
         }
         let mut atoms = index.atoms_in_scopes(&scopes);
         atoms.retain(|a| !self.exclude.iter().any(|x| x == &index.fp_var(*a).name));
-        Ok(LoadedModel { spec: self.clone(), program, index, atoms })
+        Ok(LoadedModel {
+            spec: self.clone(),
+            program,
+            index,
+            atoms,
+        })
     }
 }
 
@@ -212,6 +238,7 @@ impl LoadedModel {
             max_variants: None,
             min_speedup: 1.0,
             max_events: 400_000_000,
+            journal: None,
         }
     }
 }

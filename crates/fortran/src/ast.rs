@@ -225,7 +225,10 @@ pub enum UnOp {
 /// Expressions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
-    RealLit { value: f64, precision: FpPrecision },
+    RealLit {
+        value: f64,
+        precision: FpPrecision,
+    },
     IntLit(i64),
     LogicalLit(bool),
     StrLit(String),
@@ -233,19 +236,36 @@ pub enum Expr {
     Var(String),
     /// `name(args)` — array element or function reference; consumers
     /// disambiguate via symbol tables.
-    NameRef { name: String, args: Vec<Expr> },
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
-    Un { op: UnOp, operand: Box<Expr> },
+    NameRef {
+        name: String,
+        args: Vec<Expr>,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Un {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
 }
 
 impl Expr {
     /// Convenience constructor for binary nodes.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     pub fn un(op: UnOp, operand: Expr) -> Expr {
-        Expr::Un { op, operand: Box::new(operand) }
+        Expr::Un {
+            op,
+            operand: Box::new(operand),
+        }
     }
 
     /// The base variable/procedure name this expression references, if it is
@@ -297,7 +317,11 @@ impl LValue {
 /// Executable statements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
-    Assign { target: LValue, value: Expr, span: Span },
+    Assign {
+        target: LValue,
+        value: Expr,
+        span: Span,
+    },
     If {
         /// `(condition, body)` for the `if` and each `else if`.
         arms: Vec<(Expr, Vec<Stmt>)>,
@@ -312,15 +336,41 @@ pub enum Stmt {
         body: Vec<Stmt>,
         span: Span,
     },
-    DoWhile { cond: Expr, body: Vec<Stmt>, span: Span },
-    Call { name: String, args: Vec<Expr>, span: Span },
-    Return { span: Span },
-    Exit { span: Span },
-    Cycle { span: Span },
-    Allocate { items: Vec<(String, Vec<DimSpec>)>, span: Span },
-    Deallocate { names: Vec<String>, span: Span },
-    Print { items: Vec<Expr>, span: Span },
-    Stop { code: Option<i64>, span: Span },
+    DoWhile {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    Return {
+        span: Span,
+    },
+    Exit {
+        span: Span,
+    },
+    Cycle {
+        span: Span,
+    },
+    Allocate {
+        items: Vec<(String, Vec<DimSpec>)>,
+        span: Span,
+    },
+    Deallocate {
+        names: Vec<String>,
+        span: Span,
+    },
+    Print {
+        items: Vec<Expr>,
+        span: Span,
+    },
+    Stop {
+        code: Option<i64>,
+        span: Span,
+    },
 }
 
 impl Stmt {
@@ -345,7 +395,9 @@ impl Stmt {
     pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
         f(self);
         match self {
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for (_, body) in arms {
                     for s in body {
                         s.walk(f);
@@ -383,7 +435,9 @@ impl Stmt {
                     f(cond);
                 }
             }
-            Stmt::Do { start, end, step, .. } => {
+            Stmt::Do {
+                start, end, step, ..
+            } => {
                 f(start);
                 f(end);
                 if let Some(s) = step {
@@ -433,7 +487,9 @@ pub enum ProcKind {
     Subroutine,
     /// Function with its result variable name (the function name itself when
     /// no `result(..)` clause was given).
-    Function { result: String },
+    Function {
+        result: String,
+    },
 }
 
 /// A procedure definition.
@@ -565,12 +621,22 @@ mod tests {
                     dims: Some(vec![DimSpec::Deferred]),
                     init: None,
                 },
-                EntityDecl { name: "b".into(), dims: None, init: None },
+                EntityDecl {
+                    name: "b".into(),
+                    dims: None,
+                    init: None,
+                },
             ],
             span: Span::default(),
         };
-        assert_eq!(decl.dims_for(&decl.entities[0]), Some(&[DimSpec::Deferred][..]));
-        assert!(matches!(decl.dims_for(&decl.entities[1]), Some([DimSpec::Upper(_)])));
+        assert_eq!(
+            decl.dims_for(&decl.entities[0]),
+            Some(&[DimSpec::Deferred][..])
+        );
+        assert!(matches!(
+            decl.dims_for(&decl.entities[1]),
+            Some([DimSpec::Upper(_)])
+        ));
     }
 
     #[test]
@@ -594,10 +660,14 @@ mod tests {
 
     #[test]
     fn stmt_walk_visits_nested_statements() {
-        let inner = Stmt::Return { span: Span::default() };
+        let inner = Stmt::Return {
+            span: Span::default(),
+        };
         let s = Stmt::If {
             arms: vec![(Expr::LogicalLit(true), vec![inner])],
-            else_body: Some(vec![Stmt::Exit { span: Span::default() }]),
+            else_body: Some(vec![Stmt::Exit {
+                span: Span::default(),
+            }]),
             span: Span::default(),
         };
         let mut n = 0;

@@ -18,15 +18,24 @@ pub enum FortranError {
 
 impl FortranError {
     pub fn lex(line: u32, message: impl Into<String>) -> Self {
-        FortranError::Lex { line, message: message.into() }
+        FortranError::Lex {
+            line,
+            message: message.into(),
+        }
     }
 
     pub fn parse(line: u32, message: impl Into<String>) -> Self {
-        FortranError::Parse { line, message: message.into() }
+        FortranError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub fn sema(line: u32, message: impl Into<String>) -> Self {
-        FortranError::Sema { line, message: message.into() }
+        FortranError::Sema {
+            line,
+            message: message.into(),
+        }
     }
 
     /// The 1-based source line the error refers to.

@@ -23,7 +23,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>> {
@@ -67,9 +72,7 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => self.number()?,
                 b'.' => {
                     // Could be `.and.`-style operator/literal or a real like `.5`.
-                    if self.pos + 1 < self.src.len()
-                        && self.src[self.pos + 1].is_ascii_digit()
-                    {
+                    if self.pos + 1 < self.src.len() && self.src[self.pos + 1].is_ascii_digit() {
                         self.number()?;
                     } else {
                         self.dotted()?;
@@ -87,11 +90,17 @@ impl<'a> Lexer<'a> {
     fn push(&mut self, kind: TokenKind) {
         // Collapse consecutive newlines.
         if kind == TokenKind::Newline
-            && matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline) | None)
+            && matches!(
+                self.tokens.last().map(|t| &t.kind),
+                Some(TokenKind::Newline) | None
+            )
         {
             return;
         }
-        self.tokens.push(Token { kind, line: self.line });
+        self.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
     }
 
     fn skip_blanks_and_comments(&mut self) {
@@ -182,9 +191,10 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
             let text = std::str::from_utf8(&self.src[ks..self.pos]).unwrap();
-            kind_suffix = Some(text.parse().map_err(|_| {
-                FortranError::lex(self.line, format!("bad kind suffix `_{text}`"))
-            })?);
+            kind_suffix =
+                Some(text.parse().map_err(|_| {
+                    FortranError::lex(self.line, format!("bad kind suffix `_{text}`"))
+                })?);
         }
 
         let mut text: String = std::str::from_utf8(&self.src[start..self.pos])
@@ -205,9 +215,10 @@ impl<'a> Lexer<'a> {
             let precision = FpPrecision::from_kind(k).ok_or_else(|| {
                 FortranError::lex(self.line, format!("unsupported real kind `{k}`"))
             })?;
-            let value: f64 = text.replace('d', "e").parse().map_err(|_| {
-                FortranError::lex(self.line, format!("bad real literal `{text}`"))
-            })?;
+            let value: f64 = text
+                .replace('d', "e")
+                .parse()
+                .map_err(|_| FortranError::lex(self.line, format!("bad real literal `{text}`")))?;
             self.push(TokenKind::RealLit { value, precision });
             return Ok(());
         }
@@ -219,9 +230,10 @@ impl<'a> Lexer<'a> {
                 // Default real literals are single precision in Fortran.
                 FpPrecision::Single
             };
-            let value: f64 = text.replace('d', "e").parse().map_err(|_| {
-                FortranError::lex(self.line, format!("bad real literal `{text}`"))
-            })?;
+            let value: f64 = text
+                .replace('d', "e")
+                .parse()
+                .map_err(|_| FortranError::lex(self.line, format!("bad real literal `{text}`")))?;
             self.push(TokenKind::RealLit { value, precision });
         } else {
             let v: i64 = text.parse().map_err(|_| {
@@ -345,7 +357,10 @@ mod tests {
 
     #[test]
     fn lexes_identifiers_case_insensitively() {
-        assert_eq!(kinds("Foo BAR_2"), vec![T::Ident("foo".into()), T::Ident("bar_2".into())]);
+        assert_eq!(
+            kinds("Foo BAR_2"),
+            vec![T::Ident("foo".into()), T::Ident("bar_2".into())]
+        );
     }
 
     #[test]
@@ -353,35 +368,59 @@ mod tests {
         assert_eq!(kinds("42"), vec![T::IntLit(42)]);
         assert_eq!(
             kinds("1.5"),
-            vec![T::RealLit { value: 1.5, precision: FpPrecision::Single }]
+            vec![T::RealLit {
+                value: 1.5,
+                precision: FpPrecision::Single
+            }]
         );
         assert_eq!(
             kinds("1.5d0"),
-            vec![T::RealLit { value: 1.5, precision: FpPrecision::Double }]
+            vec![T::RealLit {
+                value: 1.5,
+                precision: FpPrecision::Double
+            }]
         );
         assert_eq!(
             kinds("2.5e-3"),
-            vec![T::RealLit { value: 2.5e-3, precision: FpPrecision::Single }]
+            vec![T::RealLit {
+                value: 2.5e-3,
+                precision: FpPrecision::Single
+            }]
         );
         assert_eq!(
             kinds("1.0_8"),
-            vec![T::RealLit { value: 1.0, precision: FpPrecision::Double }]
+            vec![T::RealLit {
+                value: 1.0,
+                precision: FpPrecision::Double
+            }]
         );
         assert_eq!(
             kinds("1.0_4"),
-            vec![T::RealLit { value: 1.0, precision: FpPrecision::Single }]
+            vec![T::RealLit {
+                value: 1.0,
+                precision: FpPrecision::Single
+            }]
         );
         assert_eq!(
             kinds(".5"),
-            vec![T::RealLit { value: 0.5, precision: FpPrecision::Single }]
+            vec![T::RealLit {
+                value: 0.5,
+                precision: FpPrecision::Single
+            }]
         );
         assert_eq!(
             kinds("3."),
-            vec![T::RealLit { value: 3.0, precision: FpPrecision::Single }]
+            vec![T::RealLit {
+                value: 3.0,
+                precision: FpPrecision::Single
+            }]
         );
         assert_eq!(
             kinds("1d-4"),
-            vec![T::RealLit { value: 1e-4, precision: FpPrecision::Double }]
+            vec![T::RealLit {
+                value: 1e-4,
+                precision: FpPrecision::Double
+            }]
         );
     }
 
@@ -405,7 +444,10 @@ mod tests {
                 T::LogicalLit(true)
             ]
         );
-        assert_eq!(kinds(".lt. .LE. .GT. .ge. .EQ. .ne."), vec![T::Lt, T::Le, T::Gt, T::Ge, T::Eq, T::Ne]);
+        assert_eq!(
+            kinds(".lt. .LE. .GT. .ge. .EQ. .ne."),
+            vec![T::Lt, T::Le, T::Gt, T::Ge, T::Eq, T::Ne]
+        );
     }
 
     #[test]
@@ -433,7 +475,13 @@ mod tests {
         let toks = kinds("x = 1 + &\n  2");
         assert_eq!(
             toks,
-            vec![T::Ident("x".into()), T::Assign, T::IntLit(1), T::Plus, T::IntLit(2)]
+            vec![
+                T::Ident("x".into()),
+                T::Assign,
+                T::IntLit(1),
+                T::Plus,
+                T::IntLit(2)
+            ]
         );
         // With leading ampersand on the continued line.
         let toks = kinds("x = 1 + &\n  & 2");
@@ -448,7 +496,11 @@ mod tests {
 
     #[test]
     fn newlines_separate_statements() {
-        let all: Vec<_> = lex("a\nb\n\n\nc").unwrap().into_iter().map(|t| t.kind).collect();
+        let all: Vec<_> = lex("a\nb\n\n\nc")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
         let newline_count = all.iter().filter(|k| **k == T::Newline).count();
         // Consecutive newlines collapse; leading are dropped.
         assert_eq!(newline_count, 3);
@@ -456,7 +508,11 @@ mod tests {
 
     #[test]
     fn semicolon_acts_as_statement_separator() {
-        let all: Vec<_> = lex("a = 1; b = 2").unwrap().into_iter().map(|t| t.kind).collect();
+        let all: Vec<_> = lex("a = 1; b = 2")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
         assert!(all.contains(&T::Newline));
         assert_eq!(all.iter().filter(|k| matches!(k, T::Assign)).count(), 2);
     }

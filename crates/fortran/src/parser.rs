@@ -63,7 +63,11 @@ impl Parser {
         if self.eat(kind) {
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -106,7 +110,10 @@ impl Parser {
                 Ok(())
             }
             TokenKind::Eof => Ok(()),
-            other => Err(self.err(format!("expected end of statement, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected end of statement, found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -166,7 +173,13 @@ impl Parser {
             }
         }
         self.parse_end("module", Some(&name))?;
-        Ok(Module { name, uses, decls, procedures, span })
+        Ok(Module {
+            name,
+            uses,
+            decls,
+            procedures,
+            span,
+        })
     }
 
     fn parse_main(&mut self) -> Result<MainProgram> {
@@ -191,7 +204,14 @@ impl Parser {
             }
         }
         self.parse_end("program", Some(&name))?;
-        Ok(MainProgram { name, uses, decls, body, procedures, span })
+        Ok(MainProgram {
+            name,
+            uses,
+            decls,
+            body,
+            procedures,
+            span,
+        })
     }
 
     fn parse_procedure(&mut self) -> Result<Procedure> {
@@ -205,16 +225,15 @@ impl Parser {
         let name = self.expect_ident()?;
 
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    params.push(self.expect_ident()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(&TokenKind::RParen)?;
             }
+            self.expect(&TokenKind::RParen)?;
+        }
 
         let kind = if is_function {
             let result = if self.eat_kw("result") {
@@ -238,7 +257,15 @@ impl Parser {
         let body = self.parse_stmt_block(&["end"])?;
         self.parse_end(kind_kw, Some(&name))?;
 
-        Ok(Procedure { kind, name, params, uses, decls, body, span })
+        Ok(Procedure {
+            kind,
+            name,
+            params,
+            uses,
+            decls,
+            body,
+            span,
+        })
     }
 
     /// `end`, `end <kw>`, `end <kw> <name>`, or the fused `end<kw>` form.
@@ -250,9 +277,7 @@ impl Parser {
                 let n = n.clone();
                 if let Some(expected) = name {
                     if n != expected {
-                        return Err(self.err(format!(
-                            "`end {kw} {n}` does not match `{expected}`"
-                        )));
+                        return Err(self.err(format!("`end {kw} {n}` does not match `{expected}`")));
                     }
                 }
                 self.advance();
@@ -265,9 +290,7 @@ impl Parser {
                 let n = n.clone();
                 if let Some(expected) = name {
                     if n != expected {
-                        return Err(self.err(format!(
-                            "`end {kw} {n}` does not match `{expected}`"
-                        )));
+                        return Err(self.err(format!("`end {kw} {n}` does not match `{expected}`")));
                     }
                 }
                 self.advance();
@@ -367,7 +390,12 @@ impl Parser {
             }
         }
         self.expect_newline()?;
-        Ok(Declaration { type_spec, attrs, entities, span })
+        Ok(Declaration {
+            type_spec,
+            attrs,
+            entities,
+            span,
+        })
     }
 
     fn parse_type_spec(&mut self) -> Result<TypeSpec> {
@@ -463,7 +491,10 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
             return Ok(Attr::Dimension(dims));
         }
-        Err(self.err(format!("unknown declaration attribute {}", self.peek().describe())))
+        Err(self.err(format!(
+            "unknown declaration attribute {}",
+            self.peek().describe()
+        )))
     }
 
     fn parse_dim_specs(&mut self) -> Result<Vec<DimSpec>> {
@@ -525,10 +556,12 @@ impl Parser {
         let span = self.span();
         // Keyword-shaped statements, each guarded against `kw = ...`
         // assignments by checking the following token.
-        if self.at_kw("if") && matches!(self.peek_at(1), TokenKind::LParen)
-            && !self.paren_then_assign(1) {
-                return self.parse_if(span);
-            }
+        if self.at_kw("if")
+            && matches!(self.peek_at(1), TokenKind::LParen)
+            && !self.paren_then_assign(1)
+        {
+            return self.parse_if(span);
+        }
         if self.at_kw("do") && !matches!(self.peek_at(1), TokenKind::Assign) {
             return self.parse_do(span);
         }
@@ -536,16 +569,15 @@ impl Parser {
             self.advance();
             let name = self.expect_ident()?;
             let mut args = Vec::new();
-            if self.eat(&TokenKind::LParen)
-                && !self.eat(&TokenKind::RParen) {
-                    loop {
-                        args.push(self.parse_expr()?);
-                        if !self.eat(&TokenKind::Comma) {
-                            break;
-                        }
+            if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
                     }
-                    self.expect(&TokenKind::RParen)?;
                 }
+                self.expect(&TokenKind::RParen)?;
+            }
             self.expect_newline()?;
             return Ok(Stmt::Call { name, args, span });
         }
@@ -630,7 +662,11 @@ impl Parser {
         self.expect(&TokenKind::Assign)?;
         let value = self.parse_expr()?;
         self.expect_newline()?;
-        Ok(Stmt::Assign { target, value, span })
+        Ok(Stmt::Assign {
+            target,
+            value,
+            span,
+        })
     }
 
     /// From an `(` at offset `start_offset`, scan to the matching `)` and
@@ -684,7 +720,11 @@ impl Parser {
         if !self.at_kw("then") {
             // One-line if: `if (cond) stmt`.
             let body = vec![self.parse_stmt()?];
-            return Ok(Stmt::If { arms: vec![(cond, body)], else_body: None, span });
+            return Ok(Stmt::If {
+                arms: vec![(cond, body)],
+                else_body: None,
+                span,
+            });
         }
         self.expect_kw("then")?;
         self.expect_newline()?;
@@ -726,7 +766,11 @@ impl Parser {
             self.expect_kw("if")?;
             self.expect_newline()?;
         }
-        Ok(Stmt::If { arms, else_body, span })
+        Ok(Stmt::If {
+            arms,
+            else_body,
+            span,
+        })
     }
 
     fn parse_do(&mut self, span: Span) -> Result<Stmt> {
@@ -753,7 +797,14 @@ impl Parser {
         self.expect_newline()?;
         let body = self.parse_stmt_block(&["end", "enddo"])?;
         self.parse_end_do()?;
-        Ok(Stmt::Do { var, start, end, step, body, span })
+        Ok(Stmt::Do {
+            var,
+            start,
+            end,
+            step,
+            body,
+            span,
+        })
     }
 
     fn parse_end_do(&mut self) -> Result<()> {
@@ -985,7 +1036,9 @@ end module m
         );
         let body = &p.main.unwrap().body;
         match &body[1] {
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 assert_eq!(arms.len(), 2);
                 assert!(else_body.is_some());
             }
@@ -998,7 +1051,9 @@ end module m
         let p = parse("program t\n real :: x\n x = 0.0\n if (x > 1.0) x = 1.0\nend program t\n");
         let body = &p.main.unwrap().body;
         match &body[1] {
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 assert_eq!(arms.len(), 1);
                 assert_eq!(arms[0].1.len(), 1);
                 assert!(else_body.is_none());
@@ -1048,13 +1103,29 @@ end module m
         let p = parse("program t\n real :: x\n x = 2.0 ** 3 ** 2\n x = 2.0 ** -1\nend program t\n");
         let body = &p.main.unwrap().body;
         match &body[0] {
-            Stmt::Assign { value: Expr::Bin { op: BinOp::Pow, rhs, .. }, .. } => {
+            Stmt::Assign {
+                value:
+                    Expr::Bin {
+                        op: BinOp::Pow,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Bin { op: BinOp::Pow, .. }));
             }
             other => panic!("bad parse: {other:?}"),
         }
         match &body[1] {
-            Stmt::Assign { value: Expr::Bin { op: BinOp::Pow, rhs, .. }, .. } => {
+            Stmt::Assign {
+                value:
+                    Expr::Bin {
+                        op: BinOp::Pow,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Un { op: UnOp::Neg, .. }));
             }
             other => panic!("bad parse: {other:?}"),
@@ -1063,10 +1134,20 @@ end module m
 
     #[test]
     fn operator_precedence_arithmetic_over_comparison_over_logical() {
-        let p = parse("program t\n logical :: q\n q = 1 + 2 * 3 < 4 .and. .not. 5 > 6\nend program t\n");
+        let p = parse(
+            "program t\n logical :: q\n q = 1 + 2 * 3 < 4 .and. .not. 5 > 6\nend program t\n",
+        );
         let body = &p.main.unwrap().body;
         match &body[0] {
-            Stmt::Assign { value: Expr::Bin { op: BinOp::And, lhs, rhs }, .. } => {
+            Stmt::Assign {
+                value:
+                    Expr::Bin {
+                        op: BinOp::And,
+                        lhs,
+                        rhs,
+                    },
+                ..
+            } => {
                 assert!(matches!(**lhs, Expr::Bin { op: BinOp::Lt, .. }));
                 assert!(matches!(**rhs, Expr::Un { op: UnOp::Not, .. }));
             }
@@ -1079,7 +1160,9 @@ end module m
         // No reserved words in Fortran.
         let p = parse("program t\n real :: if(3)\n if(2) = 1.0\nend program t\n");
         let body = &p.main.unwrap().body;
-        assert!(matches!(&body[0], Stmt::Assign { target: LValue::Index { name, .. }, .. } if name == "if"));
+        assert!(
+            matches!(&body[0], Stmt::Assign { target: LValue::Index { name, .. }, .. } if name == "if")
+        );
     }
 
     #[test]
@@ -1154,6 +1237,9 @@ end module m
 
     #[test]
     fn top_level_garbage_is_rejected() {
-        assert!(matches!(parse_err("subroutine s\nend\n"), FortranError::Parse { .. }));
+        assert!(matches!(
+            parse_err("subroutine s\nend\n"),
+            FortranError::Parse { .. }
+        ));
     }
 }

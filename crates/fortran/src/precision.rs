@@ -18,7 +18,9 @@ pub struct PrecisionMap {
 impl PrecisionMap {
     /// The assignment in which every variable keeps its declared precision.
     pub fn declared(index: &ProgramIndex) -> Self {
-        PrecisionMap { prec: index.fp_variables().map(|v| v.declared).collect() }
+        PrecisionMap {
+            prec: index.fp_variables().map(|v| v.declared).collect(),
+        }
     }
 
     /// Uniform assignment: every variable in the given set lowered/raised to
@@ -58,7 +60,10 @@ impl PrecisionMap {
         if vars.is_empty() {
             return 0.0;
         }
-        let n = vars.iter().filter(|v| self.get(**v) == FpPrecision::Single).count();
+        let n = vars
+            .iter()
+            .filter(|v| self.get(**v) == FpPrecision::Single)
+            .count();
         n as f64 / vars.len() as f64
     }
 
@@ -118,7 +123,10 @@ mod tests {
         flipped.set(atoms[0], FpPrecision::Single);
         assert_ne!(base.fingerprint(&atoms), flipped.fingerprint(&atoms));
         // Restricting to vars that did not change gives equal fingerprints.
-        assert_eq!(base.fingerprint(&atoms[1..]), flipped.fingerprint(&atoms[1..]));
+        assert_eq!(
+            base.fingerprint(&atoms[1..]),
+            flipped.fingerprint(&atoms[1..])
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl Symbol {
 }
 
 /// Identifies one FP variable declaration — one search atom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct FpVarId(pub usize);
 
 /// Inventory entry for an FP variable.
@@ -121,38 +123,188 @@ pub struct Intrinsic {
 /// harness hooks (`prose_record*`) and the miniature MPI collectives that
 /// stand in for the models' `MPI_ALLREDUCE` calls.
 pub const INTRINSICS: &[Intrinsic] = &[
-    Intrinsic { name: "abs", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "sqrt", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "exp", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "log", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "log10", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "sin", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "cos", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "tan", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "atan", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "atan2", kind: IntrinsicKind::Function, min_args: 2, max_args: 2 },
-    Intrinsic { name: "tanh", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "max", kind: IntrinsicKind::Function, min_args: 2, max_args: 8 },
-    Intrinsic { name: "min", kind: IntrinsicKind::Function, min_args: 2, max_args: 8 },
-    Intrinsic { name: "mod", kind: IntrinsicKind::Function, min_args: 2, max_args: 2 },
-    Intrinsic { name: "sign", kind: IntrinsicKind::Function, min_args: 2, max_args: 2 },
-    Intrinsic { name: "real", kind: IntrinsicKind::Function, min_args: 1, max_args: 2 },
-    Intrinsic { name: "dble", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "sngl", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "int", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "nint", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "floor", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "size", kind: IntrinsicKind::Function, min_args: 1, max_args: 2 },
-    Intrinsic { name: "sum", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "maxval", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "minval", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "epsilon", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "huge", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "tiny", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
-    Intrinsic { name: "isnan", kind: IntrinsicKind::Function, min_args: 1, max_args: 1 },
+    Intrinsic {
+        name: "abs",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "sqrt",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "exp",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "log",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "log10",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "sin",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "cos",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "tan",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "atan",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "atan2",
+        kind: IntrinsicKind::Function,
+        min_args: 2,
+        max_args: 2,
+    },
+    Intrinsic {
+        name: "tanh",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "max",
+        kind: IntrinsicKind::Function,
+        min_args: 2,
+        max_args: 8,
+    },
+    Intrinsic {
+        name: "min",
+        kind: IntrinsicKind::Function,
+        min_args: 2,
+        max_args: 8,
+    },
+    Intrinsic {
+        name: "mod",
+        kind: IntrinsicKind::Function,
+        min_args: 2,
+        max_args: 2,
+    },
+    Intrinsic {
+        name: "sign",
+        kind: IntrinsicKind::Function,
+        min_args: 2,
+        max_args: 2,
+    },
+    Intrinsic {
+        name: "real",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 2,
+    },
+    Intrinsic {
+        name: "dble",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "sngl",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "int",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "nint",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "floor",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "size",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 2,
+    },
+    Intrinsic {
+        name: "sum",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "maxval",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "minval",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "epsilon",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "huge",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "tiny",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
+    Intrinsic {
+        name: "isnan",
+        kind: IntrinsicKind::Function,
+        min_args: 1,
+        max_args: 1,
+    },
     // Harness hooks: record a named scalar/array sample for the correctness
     // metric (the stand-in for the models' NetCDF output path).
-    Intrinsic { name: "prose_record", kind: IntrinsicKind::Subroutine, min_args: 2, max_args: 2 },
+    Intrinsic {
+        name: "prose_record",
+        kind: IntrinsicKind::Subroutine,
+        min_args: 2,
+        max_args: 2,
+    },
     Intrinsic {
         name: "prose_record_array",
         kind: IntrinsicKind::Subroutine,
@@ -405,7 +557,10 @@ impl Analyzer {
             self.module_scopes.insert(m.name.clone(), scope);
             self.imports.insert(
                 scope,
-                m.uses.iter().map(|u| (u.module.clone(), u.only.clone())).collect(),
+                m.uses
+                    .iter()
+                    .map(|u| (u.module.clone(), u.only.clone()))
+                    .collect(),
             );
             self.collect_decls(scope, &m.decls, &[])?;
             for p in &m.procedures {
@@ -420,7 +575,10 @@ impl Analyzer {
             });
             self.imports.insert(
                 scope,
-                mp.uses.iter().map(|u| (u.module.clone(), u.only.clone())).collect(),
+                mp.uses
+                    .iter()
+                    .map(|u| (u.module.clone(), u.only.clone()))
+                    .collect(),
             );
             self.collect_decls(scope, &mp.decls, &[])?;
             for p in &mp.procedures {
@@ -434,7 +592,10 @@ impl Analyzer {
         if self.procedures.contains_key(&p.name) {
             return Err(FortranError::sema(
                 p.span.line,
-                format!("duplicate procedure `{}` (procedure names must be unique)", p.name),
+                format!(
+                    "duplicate procedure `{}` (procedure names must be unique)",
+                    p.name
+                ),
             ));
         }
         if intrinsic(&p.name).is_some() {
@@ -450,7 +611,10 @@ impl Analyzer {
         });
         self.imports.insert(
             scope,
-            p.uses.iter().map(|u| (u.module.clone(), u.only.clone())).collect(),
+            p.uses
+                .iter()
+                .map(|u| (u.module.clone(), u.only.clone()))
+                .collect(),
         );
         self.collect_decls(scope, &p.decls, &p.params)?;
 
@@ -459,7 +623,10 @@ impl Analyzer {
             if !self.symbols.contains_key(&(scope, param.clone())) {
                 return Err(FortranError::sema(
                     p.span.line,
-                    format!("dummy argument `{param}` of `{}` has no declaration", p.name),
+                    format!(
+                        "dummy argument `{param}` of `{}` has no declaration",
+                        p.name
+                    ),
                 ));
             }
         }
@@ -471,7 +638,10 @@ impl Analyzer {
             let sym = self.symbols.get(&(scope, r.clone())).ok_or_else(|| {
                 FortranError::sema(
                     p.span.line,
-                    format!("result variable `{r}` of function `{}` has no declaration", p.name),
+                    format!(
+                        "result variable `{r}` of function `{}` has no declaration",
+                        p.name
+                    ),
                 )
             })?;
             Some(sym.ty)
@@ -576,7 +746,10 @@ impl Analyzer {
         for m in &program.modules {
             for p in &m.procedures {
                 let scope = self.procedures[&p.name].scope;
-                let checker = Checker { view: &index_view, scope };
+                let checker = Checker {
+                    view: &index_view,
+                    scope,
+                };
                 checker.check_body(&p.body)?;
             }
         }
@@ -587,11 +760,17 @@ impl Analyzer {
                     .position(|s| s.kind == ScopeKind::Main)
                     .expect("main scope exists"),
             );
-            let checker = Checker { view: &index_view, scope };
+            let checker = Checker {
+                view: &index_view,
+                scope,
+            };
             checker.check_body(&mp.body)?;
             for p in &mp.procedures {
                 let pscope = self.procedures[&p.name].scope;
-                let checker = Checker { view: &index_view, scope: pscope };
+                let checker = Checker {
+                    view: &index_view,
+                    scope: pscope,
+                };
                 checker.check_body(&p.body)?;
             }
         }
@@ -696,7 +875,9 @@ impl<'a> Checker<'a> {
                 }
                 self.check_expr(value, span)
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for (cond, body) in arms {
                     self.check_expr(cond, span)?;
                     self.check_body(body)?;
@@ -706,7 +887,14 @@ impl<'a> Checker<'a> {
                 }
                 Ok(())
             }
-            Stmt::Do { var, start, end, step, body, .. } => {
+            Stmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let sym = self
                     .view
                     .lookup(self.scope, var)
@@ -768,17 +956,14 @@ impl<'a> Checker<'a> {
                         self.err(span, format!("allocate of undeclared `{name}`"))
                     })?;
                     if !sym.allocatable {
-                        return Err(
-                            self.err(span, format!("`{name}` is not declared allocatable"))
-                        );
+                        return Err(self.err(span, format!("`{name}` is not declared allocatable")));
                     }
                     match sym.rank {
                         Some(r) if r == dims.len() => {}
                         _ => {
-                            return Err(self.err(
-                                span,
-                                format!("allocate rank mismatch for `{name}`"),
-                            ))
+                            return Err(
+                                self.err(span, format!("allocate rank mismatch for `{name}`"))
+                            )
                         }
                     }
                 }
@@ -790,9 +975,7 @@ impl<'a> Checker<'a> {
                         self.err(span, format!("deallocate of undeclared `{name}`"))
                     })?;
                     if !sym.allocatable {
-                        return Err(
-                            self.err(span, format!("`{name}` is not declared allocatable"))
-                        );
+                        return Err(self.err(span, format!("`{name}` is not declared allocatable")));
                     }
                 }
                 Ok(())
@@ -1063,9 +1246,7 @@ end module b
 
     #[test]
     fn rejects_rank_mismatch() {
-        let e = sema_err(
-            "program t\n real(kind=8) :: a(3,3)\n a(1) = 0.0d0\nend program t\n",
-        );
+        let e = sema_err("program t\n real(kind=8) :: a(3,3)\n a(1) = 0.0d0\nend program t\n");
         assert!(e.to_string().contains("rank 2"));
     }
 
@@ -1095,9 +1276,7 @@ end module b
 
     #[test]
     fn rejects_nonallocatable_allocate() {
-        let e = sema_err(
-            "program t\n real(kind=8) :: a(10)\n allocate(a(10))\nend program t\n",
-        );
+        let e = sema_err("program t\n real(kind=8) :: a(10)\n allocate(a(10))\nend program t\n");
         assert!(e.to_string().contains("not declared allocatable"));
     }
 
@@ -1129,9 +1308,7 @@ end module b
 
     #[test]
     fn rejects_missing_dummy_declaration() {
-        let e = sema_err(
-            "module m\ncontains\n subroutine f(a)\n end subroutine f\nend module m\n",
-        );
+        let e = sema_err("module m\ncontains\n subroutine f(a)\n end subroutine f\nend module m\n");
         assert!(e.to_string().contains("no declaration"));
     }
 

@@ -22,7 +22,10 @@ pub enum TokenKind {
     IntLit(i64),
     /// Real literal with the precision implied by its spelling:
     /// `1.0` / `1.0e3` / `1.0_4` are single; `1.0d0` / `1.0_8` are double.
-    RealLit { value: f64, precision: FpPrecision },
+    RealLit {
+        value: f64,
+        precision: FpPrecision,
+    },
     /// Character literal, quotes stripped, `''` unescaped to `'`.
     StrLit(String),
     /// Logical literals `.true.` / `.false.`.
@@ -36,21 +39,21 @@ pub enum TokenKind {
     Colon,
     Semicolon,
     Percent,
-    Assign,    // =
+    Assign, // =
     Plus,
     Minus,
     Star,
     StarStar,
     Slash,
-    Eq,        // == or .eq.
-    Ne,        // /= or .ne.
-    Lt,        // <  or .lt.
-    Le,        // <= or .le.
-    Gt,        // >  or .gt.
-    Ge,        // >= or .ge.
-    And,       // .and.
-    Or,        // .or.
-    Not,       // .not.
+    Eq,  // == or .eq.
+    Ne,  // /= or .ne.
+    Lt,  // <  or .lt.
+    Le,  // <= or .le.
+    Gt,  // >  or .gt.
+    Ge,  // >= or .ge.
+    And, // .and.
+    Or,  // .or.
+    Not, // .not.
 
     /// Statement terminator: end of a (possibly continued) source line.
     Newline,

@@ -50,7 +50,10 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
-        Writer { out: String::new(), depth: 0 }
+        Writer {
+            out: String::new(),
+            depth: 0,
+        }
     }
 
     fn line(&mut self, text: &str) {
@@ -222,7 +225,9 @@ impl Writer {
                 Self::expr_into(&mut s, value, 0);
                 self.line(&s);
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 for (i, (cond, body)) in arms.iter().enumerate() {
                     let mut s = String::new();
                     s.push_str(if i == 0 { "if (" } else { "else if (" });
@@ -245,7 +250,14 @@ impl Writer {
                 }
                 self.line("end if");
             }
-            Stmt::Do { var, start, end, step, body, .. } => {
+            Stmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let mut s = format!("do {var} = ");
                 Self::expr_into(&mut s, start, 0);
                 s.push_str(", ");
@@ -537,7 +549,8 @@ end program t
 
     #[test]
     fn double_literal_value_and_precision_survive() {
-        let p = parse_program("program t\n real(kind=8) :: a\n a = 0.1d0\nend program t\n").unwrap();
+        let p =
+            parse_program("program t\n real(kind=8) :: a\n a = 0.1d0\nend program t\n").unwrap();
         let text = unparse(&p);
         assert!(text.contains("0.1d0"), "got: {text}");
     }

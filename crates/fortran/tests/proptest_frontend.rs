@@ -14,10 +14,37 @@ fn arb_name() -> impl Strategy<Value = String> {
     // no reserved words, but our pretty-printer writes canonical forms).
     "[a-z][a-z0-9_]{0,6}".prop_filter("no keywords", |s| {
         ![
-            "if", "do", "end", "call", "return", "exit", "cycle", "stop", "print", "else",
-            "elseif", "endif", "enddo", "allocate", "deallocate", "module", "contains",
-            "program", "use", "implicit", "real", "integer", "logical", "character",
-            "double", "then", "while", "function", "subroutine", "result", "only",
+            "if",
+            "do",
+            "end",
+            "call",
+            "return",
+            "exit",
+            "cycle",
+            "stop",
+            "print",
+            "else",
+            "elseif",
+            "endif",
+            "enddo",
+            "allocate",
+            "deallocate",
+            "module",
+            "contains",
+            "program",
+            "use",
+            "implicit",
+            "real",
+            "integer",
+            "logical",
+            "character",
+            "double",
+            "then",
+            "while",
+            "function",
+            "subroutine",
+            "result",
+            "only",
         ]
         .contains(&s.as_str())
     })
@@ -31,7 +58,7 @@ fn arb_real() -> impl Strategy<Value = f64> {
         (1u32..999u32).prop_map(|n| n as f64 * 1024.0),
         Just(0.0),
         Just(0.1),
-        Just(3.141592653589793),
+        Just(std::f64::consts::PI),
     ]
 }
 
@@ -39,8 +66,14 @@ fn arb_expr(vars: Vec<String>) -> impl Strategy<Value = Expr> {
     let leaf = {
         let vars = vars.clone();
         prop_oneof![
-            arb_real().prop_map(|v| Expr::RealLit { value: v, precision: FpPrecision::Double }),
-            arb_real().prop_map(|v| Expr::RealLit { value: v, precision: FpPrecision::Single }),
+            arb_real().prop_map(|v| Expr::RealLit {
+                value: v,
+                precision: FpPrecision::Double
+            }),
+            arb_real().prop_map(|v| Expr::RealLit {
+                value: v,
+                precision: FpPrecision::Single
+            }),
             (0u32..1000).prop_map(|v| Expr::IntLit(v as i64)),
             proptest::sample::select(vars).prop_map(Expr::Var),
         ]
@@ -60,9 +93,10 @@ fn arb_expr(vars: Vec<String>) -> impl Strategy<Value = Expr> {
             )
                 .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
             inner.clone().prop_map(|e| Expr::un(UnOp::Neg, e)),
-            inner
-                .clone()
-                .prop_map(|e| Expr::NameRef { name: "abs".into(), args: vec![e] }),
+            inner.clone().prop_map(|e| Expr::NameRef {
+                name: "abs".into(),
+                args: vec![e]
+            }),
             (inner.clone(), inner).prop_map(|(a, b)| Expr::NameRef {
                 name: "max".into(),
                 args: vec![a, b]
@@ -90,7 +124,10 @@ fn arb_stmt(vars: Vec<String>) -> impl Strategy<Value = Stmt> {
                 arb_expr(vars2.clone()).prop_map(|e| Expr::bin(
                     BinOp::Lt,
                     e,
-                    Expr::RealLit { value: 1.0, precision: FpPrecision::Double }
+                    Expr::RealLit {
+                        value: 1.0,
+                        precision: FpPrecision::Double
+                    }
                 )),
                 proptest::collection::vec(inner.clone(), 1..3),
                 proptest::option::of(proptest::collection::vec(inner.clone(), 1..3)),
@@ -136,14 +173,22 @@ fn arb_program_ast() -> impl Strategy<Value = Program> {
                     attrs: vec![],
                     entities: vars
                         .iter()
-                        .map(|v| EntityDecl { name: v.clone(), dims: None, init: None })
+                        .map(|v| EntityDecl {
+                            name: v.clone(),
+                            dims: None,
+                            init: None,
+                        })
                         .collect(),
                     span: Span::default(),
                 },
                 Declaration {
                     type_spec: TypeSpec::Integer,
                     attrs: vec![],
-                    entities: vec![EntityDecl { name: "i".into(), dims: None, init: None }],
+                    entities: vec![EntityDecl {
+                        name: "i".into(),
+                        dims: None,
+                        init: None,
+                    }],
                     span: Span::default(),
                 },
             ];

@@ -1,0 +1,112 @@
+//! Pinned regression cases for the front end.
+//!
+//! These reconstruct inputs that property testing once surfaced, as plain
+//! unit tests. A proptest-regressions seed file is only replayable while
+//! the generator can still produce the saved case; once the generator
+//! changes (e.g. `arb_program_ast` now reserves `i` for loop counters and
+//! never declares it twice), stale seeds fail for the wrong reason. Unit
+//! tests keep the interesting input alive independent of the generator.
+
+use prose_fortran::ast::*;
+use prose_fortran::span::Span;
+use prose_fortran::{analyze, parse_program, unparse};
+
+/// The shrunken program a historical proptest seed recorded: an if/else
+/// whose else-arm assigns from `max(0.0078125d0, 1 + (-0.0))`, with `i`
+/// declared both `real(double)` and `integer`.
+fn historical_case() -> Program {
+    let decls = vec![
+        Declaration {
+            type_spec: TypeSpec::Real(FpPrecision::Double),
+            attrs: vec![],
+            entities: ["cd9_0", "e_", "i", "zo"]
+                .iter()
+                .map(|n| EntityDecl {
+                    name: (*n).into(),
+                    dims: None,
+                    init: None,
+                })
+                .collect(),
+            span: Span::default(),
+        },
+        Declaration {
+            type_spec: TypeSpec::Integer,
+            attrs: vec![],
+            entities: vec![EntityDecl {
+                name: "i".into(),
+                dims: None,
+                init: None,
+            }],
+            span: Span::default(),
+        },
+    ];
+    let lit = |v: f64| Expr::RealLit {
+        value: v,
+        precision: FpPrecision::Double,
+    };
+    let body = vec![Stmt::If {
+        arms: vec![(
+            Expr::bin(BinOp::Lt, lit(0.0078125), lit(1.0)),
+            vec![Stmt::Assign {
+                target: LValue::Var("cd9_0".into()),
+                value: lit(0.0078125),
+                span: Span::default(),
+            }],
+        )],
+        else_body: Some(vec![Stmt::Assign {
+            target: LValue::Var("cd9_0".into()),
+            value: Expr::NameRef {
+                name: "max".into(),
+                args: vec![
+                    lit(0.0078125),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::IntLit(1),
+                        Expr::un(
+                            UnOp::Neg,
+                            Expr::RealLit {
+                                value: 0.0,
+                                precision: FpPrecision::Single,
+                            },
+                        ),
+                    ),
+                ],
+            },
+            span: Span::default(),
+        }]),
+        span: Span::default(),
+    }];
+    Program {
+        modules: vec![],
+        main: Some(MainProgram {
+            name: "t".into(),
+            uses: vec![],
+            decls,
+            body,
+            procedures: vec![],
+            span: Span::default(),
+        }),
+    }
+}
+
+/// The syntactic round trip must survive this shape: nested intrinsic
+/// call, mixed int/real arithmetic, negated zero single-precision
+/// literal, if/else — even though the program is semantically invalid.
+#[test]
+fn historical_case_unparse_parse_round_trips() {
+    let p = historical_case();
+    let text = unparse(&p);
+    let reparsed = parse_program(&text).expect("unparsed text re-parses");
+    assert_eq!(p, reparsed, "round trip diverged for:\n{text}");
+}
+
+/// Semantic analysis must keep rejecting the duplicate declaration of
+/// `i`, which is exactly why this case could not stay a proptest seed.
+#[test]
+fn historical_case_is_rejected_by_sema() {
+    let e = analyze(&historical_case()).expect_err("duplicate `i` must be rejected");
+    assert!(
+        e.to_string().contains("duplicate declaration of `i`"),
+        "unexpected error: {e}"
+    );
+}

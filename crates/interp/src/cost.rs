@@ -162,7 +162,12 @@ pub struct LoopCtx {
 
 impl LoopCtx {
     pub fn new() -> Self {
-        LoopCtx { buckets: Vec::new(), saw_cast: false, saw_call: false, passthrough: Vec::new() }
+        LoopCtx {
+            buckets: Vec::new(),
+            saw_cast: false,
+            saw_call: false,
+            passthrough: Vec::new(),
+        }
     }
 
     pub fn bucket(&mut self, proc: usize) -> &mut LoopBucket {
@@ -263,7 +268,10 @@ mod tests {
     #[test]
     fn mem_cost_halves_for_f32() {
         let p = CostParams::default();
-        assert_eq!(p.mem_cost(FpPrecision::Single) * 2.0, p.mem_cost(FpPrecision::Double));
+        assert_eq!(
+            p.mem_cost(FpPrecision::Single) * 2.0,
+            p.mem_cost(FpPrecision::Double)
+        );
     }
 
     #[test]

@@ -111,15 +111,37 @@ pub enum IExpr {
     BoolLit(bool),
     StrLit(Rc<str>),
     LoadScalar(SlotRef),
-    LoadElem { slot: SlotRef, indices: Vec<IExpr> },
-    CallFun { proc: usize, args: Vec<IArg> },
-    Intrinsic { f: IntrinsicFn, args: Vec<IExpr> },
+    LoadElem {
+        slot: SlotRef,
+        indices: Vec<IExpr>,
+    },
+    CallFun {
+        proc: usize,
+        args: Vec<IArg>,
+    },
+    Intrinsic {
+        f: IntrinsicFn,
+        args: Vec<IExpr>,
+    },
     /// `size(array)` / `size(array, dim)` needs the slot, not its value.
-    SizeOf { slot: SlotRef, dim: Option<Box<IExpr>> },
+    SizeOf {
+        slot: SlotRef,
+        dim: Option<Box<IExpr>>,
+    },
     /// `sum/maxval/minval(array)` over a whole array.
-    Reduce { f: IntrinsicFn, slot: SlotRef },
-    Bin { op: BinOp, lhs: Box<IExpr>, rhs: Box<IExpr> },
-    Un { op: UnOp, operand: Box<IExpr> },
+    Reduce {
+        f: IntrinsicFn,
+        slot: SlotRef,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Box<IExpr>,
+        rhs: Box<IExpr>,
+    },
+    Un {
+        op: UnOp,
+        operand: Box<IExpr>,
+    },
 }
 
 /// How an actual argument binds to a dummy.
@@ -151,13 +173,34 @@ pub struct LoopMeta {
 /// Lowered statements.
 #[derive(Debug, Clone)]
 pub enum IStmt {
-    AssignScalar { slot: SlotRef, value: IExpr, line: u32 },
-    AssignElem { slot: SlotRef, indices: Vec<IExpr>, value: IExpr, line: u32 },
+    AssignScalar {
+        slot: SlotRef,
+        value: IExpr,
+        line: u32,
+    },
+    AssignElem {
+        slot: SlotRef,
+        indices: Vec<IExpr>,
+        value: IExpr,
+        line: u32,
+    },
     /// Whole-array assignment: broadcast a scalar over every element.
-    AssignBroadcast { slot: SlotRef, value: IExpr, line: u32 },
+    AssignBroadcast {
+        slot: SlotRef,
+        value: IExpr,
+        line: u32,
+    },
     /// Whole-array copy `a = b` (element-wise, converting if kinds differ).
-    AssignArrayCopy { dst: SlotRef, src: SlotRef, line: u32 },
-    If { arms: Vec<(IExpr, Vec<IStmt>)>, else_body: Vec<IStmt>, line: u32 },
+    AssignArrayCopy {
+        dst: SlotRef,
+        src: SlotRef,
+        line: u32,
+    },
+    If {
+        arms: Vec<(IExpr, Vec<IStmt>)>,
+        else_body: Vec<IStmt>,
+        line: u32,
+    },
     Do {
         var: SlotRef,
         start: IExpr,
@@ -167,16 +210,42 @@ pub enum IStmt {
         meta: LoopMeta,
         line: u32,
     },
-    DoWhile { cond: IExpr, body: Vec<IStmt>, line: u32 },
-    CallSub { proc: usize, args: Vec<IArg>, line: u32 },
-    CallIntrinsicSub { f: IntrinsicSub, name_arg: Option<Rc<str>>, args: Vec<IArg>, line: u32 },
+    DoWhile {
+        cond: IExpr,
+        body: Vec<IStmt>,
+        line: u32,
+    },
+    CallSub {
+        proc: usize,
+        args: Vec<IArg>,
+        line: u32,
+    },
+    CallIntrinsicSub {
+        f: IntrinsicSub,
+        name_arg: Option<Rc<str>>,
+        args: Vec<IArg>,
+        line: u32,
+    },
     Return,
     Exit,
     Cycle,
-    Print { items: Vec<IExpr>, line: u32 },
-    Stop { code: Option<i64>, line: u32 },
-    Allocate { slot: SlotRef, dims: Vec<IDim>, line: u32 },
-    Deallocate { slots: Vec<SlotRef>, line: u32 },
+    Print {
+        items: Vec<IExpr>,
+        line: u32,
+    },
+    Stop {
+        code: Option<i64>,
+        line: u32,
+    },
+    Allocate {
+        slot: SlotRef,
+        dims: Vec<IDim>,
+        line: u32,
+    },
+    Deallocate {
+        slots: Vec<SlotRef>,
+        line: u32,
+    },
 }
 
 /// A lowered procedure.

@@ -42,5 +42,5 @@ pub mod timers;
 pub mod value;
 
 pub use cost::CostParams;
-pub use run::{run_program, RunConfig, RunError, RunOutcome, RunRecords};
+pub use run::{run_program, OpCounts, RunConfig, RunError, RunOutcome, RunRecords};
 pub use timers::{ProcTimer, Timers};

@@ -53,13 +53,23 @@ pub fn lower_program(
     let main_proc = proc_list.len();
     proc_ids.insert("@main".into(), main_proc);
 
-    let lw = Lowerer { index, globals, global_map, proc_ids };
+    let lw = Lowerer {
+        index,
+        globals,
+        global_map,
+        proc_ids,
+    };
 
     // Pass 2: patch global dims and inits.
     let mut patches: Vec<(usize, Option<Vec<IDim>>, Option<IExpr>)> = Vec::new();
     for m in &program.modules {
         let scope = index.module_scope(&m.name).expect("module indexed");
-        let ctx = ProcCtx { scope, slots: Vec::new(), slot_map: HashMap::new(), lw: &lw };
+        let ctx = ProcCtx {
+            scope,
+            slots: Vec::new(),
+            slot_map: HashMap::new(),
+            lw: &lw,
+        };
         for d in &m.decls {
             for e in &d.entities {
                 let idx = lw.global_map[&(scope, e.name.clone())];
@@ -81,7 +91,13 @@ pub fn lower_program(
 
     let mut procs = Vec::with_capacity(proc_list.len() + 1);
     for (p, scope) in &proc_list {
-        procs.push(lower_procedure(&lw, p, *scope, wrapper_names, inline_max_stmts)?);
+        procs.push(lower_procedure(
+            &lw,
+            p,
+            *scope,
+            wrapper_names,
+            inline_max_stmts,
+        )?);
     }
     if let Some(mp) = &program.main {
         let scope = (0..index.scope_count())
@@ -97,12 +113,25 @@ pub fn lower_program(
             body: mp.body.clone(),
             span: mp.span,
         };
-        procs.push(lower_procedure(&lw, &pseudo, scope, wrapper_names, inline_max_stmts)?);
+        procs.push(lower_procedure(
+            &lw,
+            &pseudo,
+            scope,
+            wrapper_names,
+            inline_max_stmts,
+        )?);
     } else {
-        return Err(FortranError::sema(0, "program has no main program unit to execute"));
+        return Err(FortranError::sema(
+            0,
+            "program has no main program unit to execute",
+        ));
     }
 
-    Ok(ProgramIR { procs, globals: lw.globals, main_proc })
+    Ok(ProgramIR {
+        procs,
+        globals: lw.globals,
+        main_proc,
+    })
 }
 
 struct Lowerer<'a> {
@@ -129,7 +158,12 @@ fn lower_procedure(
             slot_map.insert(e.name.clone(), idx);
         }
     }
-    let mut ctx = ProcCtx { scope, slots, slot_map, lw };
+    let mut ctx = ProcCtx {
+        scope,
+        slots,
+        slot_map,
+        lw,
+    };
 
     // Pass 2: dims and inits (may reference any slot).
     let mut patches: Vec<(usize, Option<Vec<IDim>>, Option<IExpr>)> = Vec::new();
@@ -152,11 +186,17 @@ fn lower_procedure(
     let params: Vec<usize> = p
         .params
         .iter()
-        .map(|name| *ctx.slot_map.get(name).expect("sema checked dummy declarations"))
+        .map(|name| {
+            *ctx.slot_map
+                .get(name)
+                .expect("sema checked dummy declarations")
+        })
         .collect();
-    let result_slot = p
-        .result_name()
-        .map(|r| *ctx.slot_map.get(r).expect("sema checked result declaration"));
+    let result_slot = p.result_name().map(|r| {
+        *ctx.slot_map
+            .get(r)
+            .expect("sema checked result declaration")
+    });
 
     let body = ctx.lower_stmts(&p.body)?;
 
@@ -240,9 +280,10 @@ impl<'a> ProcCtx<'a> {
     fn lower_decl_dims(&self, dims: &[DimSpec], line: u32) -> Result<Vec<IDim>> {
         dims.iter()
             .map(|d| match d {
-                DimSpec::Upper(e) => {
-                    Ok(IDim::Explicit { lower: None, upper: self.lower_expr(e)? })
-                }
+                DimSpec::Upper(e) => Ok(IDim::Explicit {
+                    lower: None,
+                    upper: self.lower_expr(e)?,
+                }),
                 DimSpec::Range(lo, hi) => Ok(IDim::Explicit {
                     lower: Some(self.lower_expr(lo)?),
                     upper: self.lower_expr(hi)?,
@@ -275,14 +316,26 @@ impl<'a> ProcCtx<'a> {
                                     let src = self.resolve(srcn).ok_or_else(|| {
                                         self.err(line, format!("unresolved `{srcn}`"))
                                     })?;
-                                    return Ok(IStmt::AssignArrayCopy { dst: slot, src, line });
+                                    return Ok(IStmt::AssignArrayCopy {
+                                        dst: slot,
+                                        src,
+                                        line,
+                                    });
                                 }
                             }
                             let v = self.lower_expr(value)?;
-                            Ok(IStmt::AssignBroadcast { slot, value: v, line })
+                            Ok(IStmt::AssignBroadcast {
+                                slot,
+                                value: v,
+                                line,
+                            })
                         } else {
                             let v = self.lower_expr(value)?;
-                            Ok(IStmt::AssignScalar { slot, value: v, line })
+                            Ok(IStmt::AssignScalar {
+                                slot,
+                                value: v,
+                                line,
+                            })
                         }
                     }
                     LValue::Index { name, indices } => {
@@ -294,11 +347,18 @@ impl<'a> ProcCtx<'a> {
                             .map(|e| self.lower_expr(e))
                             .collect::<Result<Vec<_>>>()?;
                         let v = self.lower_expr(value)?;
-                        Ok(IStmt::AssignElem { slot, indices: idx, value: v, line })
+                        Ok(IStmt::AssignElem {
+                            slot,
+                            indices: idx,
+                            value: v,
+                            line,
+                        })
                     }
                 }
             }
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 let mut iarms = Vec::with_capacity(arms.len());
                 for (cond, b) in arms {
                     iarms.push((self.lower_expr(cond)?, self.lower_stmts(b)?));
@@ -307,9 +367,20 @@ impl<'a> ProcCtx<'a> {
                     Some(b) => self.lower_stmts(b)?,
                     None => Vec::new(),
                 };
-                Ok(IStmt::If { arms: iarms, else_body: ielse, line })
+                Ok(IStmt::If {
+                    arms: iarms,
+                    else_body: ielse,
+                    line,
+                })
             }
-            Stmt::Do { var, start, end, step, body, .. } => {
+            Stmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let vslot = self
                     .resolve(var)
                     .ok_or_else(|| self.err(line, format!("unresolved loop var `{var}`")))?;
@@ -318,10 +389,18 @@ impl<'a> ProcCtx<'a> {
                 let la = analyze_counted_loop(
                     var,
                     body,
-                    &|n| index.lookup(scope, n).map(|s| s.is_array()).unwrap_or(false),
+                    &|n| {
+                        index
+                            .lookup(scope, n)
+                            .map(|s| s.is_array())
+                            .unwrap_or(false)
+                    },
                     &|n| index.lookup(scope, n).is_none() && index.procedure(n).is_some(),
                 );
-                let meta = LoopMeta { vectorizable: la.vectorizable, blocker: la.blocker };
+                let meta = LoopMeta {
+                    vectorizable: la.vectorizable,
+                    blocker: la.blocker,
+                };
                 Ok(IStmt::Do {
                     var: vslot,
                     start: self.lower_expr(start)?,
@@ -349,7 +428,11 @@ impl<'a> ProcCtx<'a> {
                     .get(name)
                     .ok_or_else(|| self.err(line, format!("unknown procedure `{name}`")))?;
                 let iargs = self.lower_args(name, args, line)?;
-                Ok(IStmt::CallSub { proc, args: iargs, line })
+                Ok(IStmt::CallSub {
+                    proc,
+                    args: iargs,
+                    line,
+                })
             }
             Stmt::Return { .. } => Ok(IStmt::Return),
             Stmt::Exit { .. } => Ok(IStmt::Exit),
@@ -369,7 +452,11 @@ impl<'a> ProcCtx<'a> {
                         .resolve(name)
                         .ok_or_else(|| self.err(line, format!("unresolved `{name}`")))?;
                     let idims = self.lower_alloc_dims(dims, line)?;
-                    stmts.push(IStmt::Allocate { slot, dims: idims, line });
+                    stmts.push(IStmt::Allocate {
+                        slot,
+                        dims: idims,
+                        line,
+                    });
                 }
                 if stmts.len() == 1 {
                     Ok(stmts.pop().unwrap())
@@ -397,9 +484,10 @@ impl<'a> ProcCtx<'a> {
     fn lower_alloc_dims(&self, dims: &[DimSpec], line: u32) -> Result<Vec<IDim>> {
         dims.iter()
             .map(|d| match d {
-                DimSpec::Upper(e) => {
-                    Ok(IDim::Explicit { lower: None, upper: self.lower_expr(e)? })
-                }
+                DimSpec::Upper(e) => Ok(IDim::Explicit {
+                    lower: None,
+                    upper: self.lower_expr(e)?,
+                }),
                 DimSpec::Range(lo, hi) => Ok(IDim::Explicit {
                     lower: Some(self.lower_expr(lo)?),
                     upper: self.lower_expr(hi)?,
@@ -415,8 +503,10 @@ impl<'a> ProcCtx<'a> {
                 let label: Rc<str> = match &args[0] {
                     Expr::StrLit(s) => Rc::from(s.as_str()),
                     _ => {
-                        return Err(self
-                            .err(line, "first argument of prose_record must be a string literal"))
+                        return Err(self.err(
+                            line,
+                            "first argument of prose_record must be a string literal",
+                        ))
                     }
                 };
                 if name == "prose_record" {
@@ -428,17 +518,16 @@ impl<'a> ProcCtx<'a> {
                         line,
                     })
                 } else {
-                    let slot = match &args[1] {
-                        Expr::Var(n) if self.is_array_name(n) => self
-                            .resolve(n)
-                            .ok_or_else(|| self.err(line, format!("unresolved `{n}`")))?,
-                        _ => {
-                            return Err(self.err(
+                    let slot =
+                        match &args[1] {
+                            Expr::Var(n) if self.is_array_name(n) => self
+                                .resolve(n)
+                                .ok_or_else(|| self.err(line, format!("unresolved `{n}`")))?,
+                            _ => return Err(self.err(
                                 line,
                                 "second argument of prose_record_array must be an array variable",
-                            ))
-                        }
-                    };
+                            )),
+                        };
                     Ok(IStmt::CallIntrinsicSub {
                         f: IntrinsicSub::ProseRecordArray,
                         name_arg: Some(label),
@@ -455,7 +544,12 @@ impl<'a> ProcCtx<'a> {
                 };
                 let local = IArg::Value(self.lower_expr(&args[0])?);
                 let out = self.lower_lvalue_arg(&args[1], line)?;
-                Ok(IStmt::CallIntrinsicSub { f, name_arg: None, args: vec![local, out], line })
+                Ok(IStmt::CallIntrinsicSub {
+                    f,
+                    name_arg: None,
+                    args: vec![local, out],
+                    line,
+                })
             }
             other => Err(self.err(line, format!("unsupported intrinsic subroutine `{other}`"))),
         }
@@ -623,9 +717,7 @@ impl<'a> ProcCtx<'a> {
                     Expr::Var(n) if self.is_array_name(n) => self
                         .resolve(n)
                         .ok_or_else(|| self.err(0, format!("unresolved `{n}`")))?,
-                    _ => {
-                        return Err(self.err(0, format!("{name}() requires an array variable")))
-                    }
+                    _ => return Err(self.err(0, format!("{name}() requires an array variable"))),
                 };
                 let f = match name {
                     "sum" => Sum,
@@ -641,7 +733,10 @@ impl<'a> ProcCtx<'a> {
                     None => None,
                 };
                 let a0 = self.lower_expr(&args[0])?;
-                return Ok(IExpr::Intrinsic { f: Real(prec), args: vec![a0] });
+                return Ok(IExpr::Intrinsic {
+                    f: Real(prec),
+                    args: vec![a0],
+                });
             }
             _ => {}
         }
@@ -685,7 +780,9 @@ fn count_stmts(body: &[IStmt]) -> usize {
     for s in body {
         n += 1;
         match s {
-            IStmt::If { arms, else_body, .. } => {
+            IStmt::If {
+                arms, else_body, ..
+            } => {
                 for (_, b) in arms {
                     n += count_stmts(b);
                 }
@@ -701,9 +798,9 @@ fn count_stmts(body: &[IStmt]) -> usize {
 fn body_has_loop(body: &[IStmt]) -> bool {
     body.iter().any(|s| match s {
         IStmt::Do { .. } | IStmt::DoWhile { .. } => true,
-        IStmt::If { arms, else_body, .. } => {
-            arms.iter().any(|(_, b)| body_has_loop(b)) || body_has_loop(else_body)
-        }
+        IStmt::If {
+            arms, else_body, ..
+        } => arms.iter().any(|(_, b)| body_has_loop(b)) || body_has_loop(else_body),
         _ => false,
     })
 }
@@ -730,12 +827,20 @@ fn body_is_leaf(body: &[IStmt]) -> bool {
             IStmt::AssignElem { indices, value, .. } => {
                 !expr_has_call(value) && !indices.iter().any(expr_has_call)
             }
-            IStmt::If { arms, else_body, .. } => {
+            IStmt::If {
+                arms, else_body, ..
+            } => {
                 arms.iter()
                     .all(|(c, b)| !expr_has_call(c) && b.iter().all(stmt_is_leaf))
                     && else_body.iter().all(stmt_is_leaf)
             }
-            IStmt::Do { start, end, step, body, .. } => {
+            IStmt::Do {
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 !expr_has_call(start)
                     && !expr_has_call(end)
                     && !step.as_ref().map(expr_has_call).unwrap_or(false)
@@ -786,7 +891,10 @@ end program main
         let bump = &ir.procs[ir.proc_index("bump").unwrap()];
         assert!(matches!(
             bump.body[0],
-            IStmt::AssignScalar { slot: SlotRef::Global(0), .. }
+            IStmt::AssignScalar {
+                slot: SlotRef::Global(0),
+                ..
+            }
         ));
     }
 
@@ -812,7 +920,10 @@ end program main
         );
         let s = &ir.procs[ir.proc_index("s").unwrap()];
         match &s.body[0] {
-            IStmt::AssignElem { value: IExpr::CallFun { args, .. }, .. } => {
+            IStmt::AssignElem {
+                value: IExpr::CallFun { args, .. },
+                ..
+            } => {
                 assert!(matches!(args[0], IArg::ScalarRef(ILValue::Elem { .. })));
             }
             other => panic!("bad lowering: {other:?}"),
@@ -918,14 +1029,24 @@ end program main
         let main = &ir.procs[ir.main_proc];
         assert!(matches!(
             main.body[2],
-            IStmt::CallIntrinsicSub { f: IntrinsicSub::ProseRecord, .. }
+            IStmt::CallIntrinsicSub {
+                f: IntrinsicSub::ProseRecord,
+                ..
+            }
         ));
         assert!(matches!(
             main.body[3],
-            IStmt::CallIntrinsicSub { f: IntrinsicSub::ProseRecordArray, .. }
+            IStmt::CallIntrinsicSub {
+                f: IntrinsicSub::ProseRecordArray,
+                ..
+            }
         ));
         match &main.body[4] {
-            IStmt::CallIntrinsicSub { f: IntrinsicSub::MpiAllreduceSum, args, .. } => {
+            IStmt::CallIntrinsicSub {
+                f: IntrinsicSub::MpiAllreduceSum,
+                args,
+                ..
+            } => {
                 assert!(matches!(args[0], IArg::Value(_)));
                 assert!(matches!(args[1], IArg::ScalarRef(_)));
             }
@@ -935,8 +1056,7 @@ end program main
 
     #[test]
     fn whole_array_assignment_is_broadcast() {
-        let ir =
-            lower("program main\n real(kind=8) :: a(4)\n a = 1.0d0\nend program main\n");
+        let ir = lower("program main\n real(kind=8) :: a(4)\n a = 1.0d0\nend program main\n");
         let main = &ir.procs[ir.main_proc];
         assert!(matches!(main.body[0], IStmt::AssignBroadcast { .. }));
     }
@@ -949,10 +1069,16 @@ end program main
         let main = &ir.procs[ir.main_proc];
         assert!(matches!(
             main.body[1],
-            IStmt::AssignScalar { value: IExpr::SizeOf { .. }, .. }
+            IStmt::AssignScalar {
+                value: IExpr::SizeOf { .. },
+                ..
+            }
         ));
         match &main.body[2] {
-            IStmt::AssignScalar { value: IExpr::Bin { .. }, .. } => {}
+            IStmt::AssignScalar {
+                value: IExpr::Bin { .. },
+                ..
+            } => {}
             other => panic!("bad lowering: {other:?}"),
         }
     }
@@ -991,9 +1117,7 @@ end program main
 
     #[test]
     fn explicit_bounds_with_ranges_lower() {
-        let ir = lower(
-            "program main\n real(kind=8) :: a(0:4, 2)\n a = 0.0d0\nend program main\n",
-        );
+        let ir = lower("program main\n real(kind=8) :: a(0:4, 2)\n a = 0.0d0\nend program main\n");
         let main = &ir.procs[ir.main_proc];
         let a = main.slots.iter().find(|s| &*s.name == "a").unwrap();
         let dims = a.dims.as_ref().unwrap();

@@ -21,9 +21,47 @@ use crate::ir::*;
 use crate::timers::Timers;
 use crate::value::{ArrayRef, ArrayVal, Fp, Num};
 use prose_fortran::ast::{BinOp, FpPrecision, UnOp};
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Aggregate operation counters for one run. Pure observability: the
+/// counters never feed back into the cost model, they exist so the trial
+/// journal can explain *where* a variant's simulated cycles came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// FP arithmetic charged at single precision.
+    pub fp32_ops: u64,
+    /// FP arithmetic charged at double precision.
+    pub fp64_ops: u64,
+    /// Array/memory traffic charges.
+    pub mem_ops: u64,
+    /// Scalar precision conversions (vectorizable `vcvt` kind).
+    pub casts: u64,
+    /// Converting stores — the kind that demotes a loop to scalar cost.
+    pub cast_stores: u64,
+    /// Non-inlined procedure calls that paid call + timer overhead.
+    pub timed_calls: u64,
+    /// Loop-control charges (`do` / `do while` iterations).
+    pub loop_iters: u64,
+    /// `MPI_ALLREDUCE` collectives.
+    pub allreduces: u64,
+}
+
+impl OpCounts {
+    /// Total counted events (not cycles — see [`crate::cost`] for those).
+    pub fn total(&self) -> u64 {
+        self.fp32_ops
+            + self.fp64_ops
+            + self.mem_ops
+            + self.casts
+            + self.cast_stores
+            + self.timed_calls
+            + self.loop_iters
+            + self.allreduces
+    }
+}
 
 /// Why a run aborted.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,7 +79,11 @@ pub enum RunError {
     /// Use of an unallocated allocatable.
     Unallocated { proc: String, line: u32 },
     /// Type/kind/shape violation (e.g. mismatched argument association).
-    Invalid { proc: String, line: u32, msg: String },
+    Invalid {
+        proc: String,
+        line: u32,
+        msg: String,
+    },
     /// Integer division by zero.
     DivByZero { proc: String, line: u32 },
     /// Lowering failed (malformed program).
@@ -129,6 +171,7 @@ pub struct Machine<'ir> {
     pub budget: f64,
     pub max_events: u64,
     pub events: u64,
+    ops: OpCounts,
 }
 
 type R<T> = Result<T, RunError>;
@@ -150,6 +193,7 @@ impl<'ir> Machine<'ir> {
             budget,
             max_events,
             events: 0,
+            ops: OpCounts::default(),
         }
     }
 
@@ -165,8 +209,9 @@ impl<'ir> Machine<'ir> {
         }
     }
 
-    /// Consume the machine, producing the timer table and records.
-    pub fn finish(self) -> (Timers, RunRecords, f64, u64) {
+    /// Consume the machine, producing the timer table, records, and
+    /// operation counters.
+    pub fn finish(self) -> (Timers, RunRecords, f64, u64, OpCounts) {
         let mut timers = Timers::new();
         for (i, proc) in self.ir.procs.iter().enumerate() {
             if self.proc_calls[i] > 0 || self.proc_cycles[i] > 0.0 {
@@ -174,7 +219,7 @@ impl<'ir> Machine<'ir> {
                 timers.add_calls(&proc.name, self.proc_calls[i]);
             }
         }
-        (timers, self.records, self.total, self.events)
+        (timers, self.records, self.total, self.events, self.ops)
     }
 
     // ---- context helpers -------------------------------------------------
@@ -192,7 +237,11 @@ impl<'ir> Machine<'ir> {
 
     fn err_invalid(&self, line: u32, msg: impl Into<String>) -> RunError {
         let line = if line == 0 { self.cur_line } else { line };
-        RunError::Invalid { proc: self.cur_proc_name(), line, msg: msg.into() }
+        RunError::Invalid {
+            proc: self.cur_proc_name(),
+            line,
+            msg: msg.into(),
+        }
     }
 
     /// Prefer the current statement's line for errors raised from
@@ -234,6 +283,7 @@ impl<'ir> Machine<'ir> {
     /// lanes when the loop vectorizes).
     fn charge_cast(&mut self) {
         let cost = self.params.cast;
+        self.ops.casts += 1;
         self.charge_tagged(FpPrecision::Double, cost);
     }
 
@@ -243,6 +293,7 @@ impl<'ir> Machine<'ir> {
     /// what makes synthesized wrapper copy loops expensive.
     fn charge_cast_store(&mut self) {
         let cost = self.params.cast;
+        self.ops.cast_stores += 1;
         if let Some(ctx) = self.loop_stack.last_mut() {
             ctx.saw_cast = true;
         }
@@ -259,11 +310,16 @@ impl<'ir> Machine<'ir> {
 
     fn charge_op(&mut self, class: OpClass, prec: FpPrecision) {
         let c = self.params.op_cost_at(class, prec);
+        match prec {
+            FpPrecision::Single => self.ops.fp32_ops += 1,
+            FpPrecision::Double => self.ops.fp64_ops += 1,
+        }
         self.charge_tagged(prec, c);
     }
 
     fn charge_mem(&mut self, prec: FpPrecision) {
         let c = self.params.mem_cost(prec);
+        self.ops.mem_ops += 1;
         self.charge_tagged(prec, c);
     }
 
@@ -277,7 +333,9 @@ impl<'ir> Machine<'ir> {
 
     fn check_budget(&self) -> R<()> {
         if self.total > self.budget {
-            return Err(RunError::Timeout { budget: self.budget });
+            return Err(RunError::Timeout {
+                budget: self.budget,
+            });
         }
         Ok(())
     }
@@ -312,9 +370,7 @@ impl<'ir> Machine<'ir> {
             STy::Fp(p) => ArrayVal::new_fp(p, bounds),
             STy::Int => ArrayVal::new_int(bounds),
             STy::Bool => ArrayVal::new_bool(bounds),
-            STy::Str => {
-                return Err(self.err_invalid(line, "character arrays are not supported"))
-            }
+            STy::Str => return Err(self.err_invalid(line, "character arrays are not supported")),
         })
     }
 
@@ -362,6 +418,7 @@ impl<'ir> Machine<'ir> {
         self.proc_calls[proc_id] += 1;
         if !inlined && !self.proc_stack.is_empty() {
             self.mark_call();
+            self.ops.timed_calls += 1;
             let oh = self.params.call_overhead + self.params.timer_overhead;
             self.charge_plain(oh);
         }
@@ -485,7 +542,12 @@ impl<'ir> Machine<'ir> {
                 self.store_scalar(*slot, v, frame, *line)?;
                 Ok(Flow::Normal)
             }
-            IStmt::AssignElem { slot, indices, value, line } => {
+            IStmt::AssignElem {
+                slot,
+                indices,
+                value,
+                line,
+            } => {
                 let v = self.eval(value, frame)?;
                 let subs = self.eval_subs(indices, frame, *line)?;
                 let arr = self.read_array_handle(*slot, frame, *line)?;
@@ -505,9 +567,9 @@ impl<'ir> Machine<'ir> {
                         }
                         None => {
                             // Integer array element.
-                            let iv = v
-                                .as_int()
-                                .ok_or_else(|| self.err_invalid(*line, "non-integer into integer array"))?;
+                            let iv = v.as_int().ok_or_else(|| {
+                                self.err_invalid(*line, "non-integer into integer array")
+                            })?;
                             if let crate::value::ArrayData::Int(d) = &mut a.data {
                                 d[off] = iv;
                             }
@@ -586,8 +648,8 @@ impl<'ir> Machine<'ir> {
                             }
                             self.charge_tagged(FpPrecision::Double, cost);
                         } else {
-                            let cost = n as f64 * 2.0 * self.params.mem_cost(sp)
-                                / self.params.lanes(sp);
+                            let cost =
+                                n as f64 * 2.0 * self.params.mem_cost(sp) / self.params.lanes(sp);
                             self.charge_tagged(sp, cost);
                         }
                     }
@@ -595,12 +657,15 @@ impl<'ir> Machine<'ir> {
                 }
                 Ok(Flow::Normal)
             }
-            IStmt::If { arms, else_body, line } => {
+            IStmt::If {
+                arms,
+                else_body,
+                line,
+            } => {
                 for (cond, body) in arms {
                     let c = self.eval(cond, frame)?;
                     self.charge_plain(self.params.op_int); // branch
-                    if c
-                        .as_bool()
+                    if c.as_bool()
                         .ok_or_else(|| self.err_invalid(*line, "non-logical condition"))?
                     {
                         return self.exec_body(body, frame);
@@ -608,7 +673,15 @@ impl<'ir> Machine<'ir> {
                 }
                 self.exec_body(else_body, frame)
             }
-            IStmt::Do { var, start, end, step, body, meta, line } => {
+            IStmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body,
+                meta,
+                line,
+            } => {
                 let s0 = self.eval_int(start, frame, *line)?;
                 let e0 = self.eval_int(end, frame, *line)?;
                 let st = match step {
@@ -629,6 +702,7 @@ impl<'ir> Machine<'ir> {
                         break;
                     }
                     self.store_int(*var, i, frame);
+                    self.ops.loop_iters += 1;
                     self.charge_plain(self.params.loop_control);
                     self.bump_event()?;
                     match self.exec_body(body, frame) {
@@ -659,6 +733,7 @@ impl<'ir> Machine<'ir> {
                 let mut flow = Flow::Normal;
                 loop {
                     let c = self.eval(cond, frame)?;
+                    self.ops.loop_iters += 1;
                     self.charge_plain(self.params.loop_control);
                     self.bump_event()?;
                     if !c
@@ -683,7 +758,12 @@ impl<'ir> Machine<'ir> {
                 self.call_proc(*proc, args, frame)?;
                 Ok(Flow::Normal)
             }
-            IStmt::CallIntrinsicSub { f, name_arg, args, line } => {
+            IStmt::CallIntrinsicSub {
+                f,
+                name_arg,
+                args,
+                line,
+            } => {
                 self.exec_intrinsic_sub(*f, name_arg.as_deref(), args, frame, *line)?;
                 Ok(Flow::Normal)
             }
@@ -780,6 +860,7 @@ impl<'ir> Machine<'ir> {
                     _ => unreachable!(),
                 };
                 self.mark_call();
+                self.ops.allreduces += 1;
                 self.charge_plain(self.params.allreduce);
                 self.write_lvalue(&out, v, frame, line, true)?;
                 Ok(())
@@ -862,10 +943,9 @@ impl<'ir> Machine<'ir> {
             (STy::Int, Num::Lit(x)) => Ok(Slot::Int(x.trunc() as i64)),
             (STy::Bool, Num::Bool(b)) => Ok(Slot::Bool(b)),
             (STy::Str, Num::Str(s)) => Ok(Slot::Str(s)),
-            (ty, v) => Err(self.err_invalid(
-                line,
-                format!("cannot assign {v:?} to a {ty:?} variable"),
-            )),
+            (ty, v) => {
+                Err(self.err_invalid(line, format!("cannot assign {v:?} to a {ty:?} variable")))
+            }
         }
     }
 
@@ -896,7 +976,10 @@ impl<'ir> Machine<'ir> {
         if f.is_finite() {
             Ok(())
         } else {
-            Err(RunError::NonFinite { proc: self.cur_proc_name(), line: self.at_line(line) })
+            Err(RunError::NonFinite {
+                proc: self.cur_proc_name(),
+                line: self.at_line(line),
+            })
         }
     }
 
@@ -954,10 +1037,8 @@ impl<'ir> Machine<'ir> {
                         (STy::Bool, Num::Bool(b)) => Slot::Bool(b),
                         (STy::Str, Num::Str(s)) => Slot::Str(s),
                         (ty, v) => {
-                            return Err(self.err_invalid(
-                                line,
-                                format!("cannot write back {v:?} into {ty:?}"),
-                            ))
+                            return Err(self
+                                .err_invalid(line, format!("cannot write back {v:?} into {ty:?}")))
                         }
                     };
                     self.put_slot(*r, slot, frame);
@@ -1046,7 +1127,10 @@ impl<'ir> Machine<'ir> {
             IExpr::LoadScalar(r) => slot_to_num(self.get_slot(*r, frame))
                 .ok_or_else(|| self.err_invalid(0, "scalar read of array or unallocated slot")),
             IExpr::LoadElem { slot, indices } => {
-                let lv = ILValue::Elem { slot: *slot, indices: indices.clone() };
+                let lv = ILValue::Elem {
+                    slot: *slot,
+                    indices: indices.clone(),
+                };
                 self.read_lvalue(&lv, frame, 0)
             }
             IExpr::CallFun { proc, args } => {
@@ -1077,15 +1161,11 @@ impl<'ir> Machine<'ir> {
                     .ok_or_else(|| self.err_invalid(0, "reduction over non-real array"))?;
                 let n = a.len() as f64;
                 // Reductions vectorize: charge at SIMD rate directly.
-                let cost = n * (self.params.op_basic + self.params.mem_cost(p))
-                    / self.params.lanes(p);
+                let cost =
+                    n * (self.params.op_basic + self.params.mem_cost(p)) / self.params.lanes(p);
                 let out = match (&a.data, f) {
-                    (crate::value::ArrayData::F32(d), IntrinsicFn::Sum) => {
-                        Fp::F32(d.iter().sum())
-                    }
-                    (crate::value::ArrayData::F64(d), IntrinsicFn::Sum) => {
-                        Fp::F64(d.iter().sum())
-                    }
+                    (crate::value::ArrayData::F32(d), IntrinsicFn::Sum) => Fp::F32(d.iter().sum()),
+                    (crate::value::ArrayData::F64(d), IntrinsicFn::Sum) => Fp::F64(d.iter().sum()),
                     (crate::value::ArrayData::F32(d), IntrinsicFn::Maxval) => {
                         Fp::F32(d.iter().copied().fold(f32::NEG_INFINITY, f32::max))
                     }
@@ -1183,12 +1263,8 @@ impl<'ir> Machine<'ir> {
             },
             (Fp(fa), Fp(fb)) => {
                 match (fa, fb) {
-                    (crate::value::Fp::F32(x), crate::value::Fp::F32(y)) => {
-                        PromotedPair::F32(x, y)
-                    }
-                    (crate::value::Fp::F64(x), crate::value::Fp::F64(y)) => {
-                        PromotedPair::F64(x, y)
-                    }
+                    (crate::value::Fp::F32(x), crate::value::Fp::F32(y)) => PromotedPair::F32(x, y),
+                    (crate::value::Fp::F64(x), crate::value::Fp::F64(y)) => PromotedPair::F64(x, y),
                     // Mixed: the conversion instruction the whole paper is
                     // about.
                     (crate::value::Fp::F32(x), crate::value::Fp::F64(y)) => {
@@ -1202,9 +1278,7 @@ impl<'ir> Machine<'ir> {
                 }
             }
             (a, b) => {
-                return Err(
-                    self.err_invalid(line, format!("non-numeric operands {a:?}, {b:?}"))
-                )
+                return Err(self.err_invalid(line, format!("non-numeric operands {a:?}, {b:?}")))
             }
         })
     }
@@ -1212,8 +1286,10 @@ impl<'ir> Machine<'ir> {
     fn binop(&mut self, op: BinOp, a: Num, b: Num, line: u32) -> R<Num> {
         if op.is_logical() {
             let (x, y) = (
-                a.as_bool().ok_or_else(|| self.err_invalid(line, "non-logical operand"))?,
-                b.as_bool().ok_or_else(|| self.err_invalid(line, "non-logical operand"))?,
+                a.as_bool()
+                    .ok_or_else(|| self.err_invalid(line, "non-logical operand"))?,
+                b.as_bool()
+                    .ok_or_else(|| self.err_invalid(line, "non-logical operand"))?,
             );
             return Ok(Num::Bool(match op {
                 BinOp::And => x && y,
@@ -1334,20 +1410,54 @@ impl<'ir> Machine<'ir> {
                 }
             }
             Sqrt => self.unary_math(vals.pop().unwrap(), OpClass::Sqrt, f32::sqrt, f64::sqrt),
-            Exp => self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::exp, f64::exp),
-            Log => self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::ln, f64::ln),
-            Log10 => {
-                self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::log10, f64::log10)
-            }
-            Sin => self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::sin, f64::sin),
-            Cos => self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::cos, f64::cos),
-            Tan => self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::tan, f64::tan),
-            Atan => {
-                self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::atan, f64::atan)
-            }
-            Tanh => {
-                self.unary_math(vals.pop().unwrap(), OpClass::Transcendental, f32::tanh, f64::tanh)
-            }
+            Exp => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::exp,
+                f64::exp,
+            ),
+            Log => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::ln,
+                f64::ln,
+            ),
+            Log10 => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::log10,
+                f64::log10,
+            ),
+            Sin => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::sin,
+                f64::sin,
+            ),
+            Cos => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::cos,
+                f64::cos,
+            ),
+            Tan => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::tan,
+                f64::tan,
+            ),
+            Atan => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::atan,
+                f64::atan,
+            ),
+            Tanh => self.unary_math(
+                vals.pop().unwrap(),
+                OpClass::Transcendental,
+                f32::tanh,
+                f64::tanh,
+            ),
             Atan2 => {
                 let b = vals.pop().unwrap();
                 let a = vals.pop().unwrap();

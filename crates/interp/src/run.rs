@@ -8,7 +8,7 @@ use prose_fortran::sema::ProgramIndex;
 use prose_fortran::Program;
 use std::collections::HashSet;
 
-pub use crate::machine::{RunError, RunRecords};
+pub use crate::machine::{OpCounts, RunError, RunRecords};
 
 /// Configuration for one dynamic evaluation.
 #[derive(Debug, Clone)]
@@ -46,6 +46,12 @@ pub struct RunOutcome {
     pub total_cycles: f64,
     /// Interpreter events executed (statements + iterations).
     pub events: u64,
+    /// Operation counters (observability; not part of the cost model).
+    pub ops: OpCounts,
+    /// Wall-clock nanoseconds spent lowering AST → IR.
+    pub lower_ns: u64,
+    /// Wall-clock nanoseconds spent interpreting.
+    pub exec_ns: u64,
 }
 
 /// Lower and execute `program`, returning timing + records, or the runtime
@@ -55,13 +61,30 @@ pub fn run_program(
     index: &ProgramIndex,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, RunError> {
-    let ir = lower_program(program, index, &cfg.wrapper_names, cfg.cost.inline_max_stmts)
-        .map_err(|e| RunError::Lower(e.to_string()))?;
+    let t0 = std::time::Instant::now();
+    let ir = lower_program(
+        program,
+        index,
+        &cfg.wrapper_names,
+        cfg.cost.inline_max_stmts,
+    )
+    .map_err(|e| RunError::Lower(e.to_string()))?;
+    let lower_ns = t0.elapsed().as_nanos() as u64;
     let budget = cfg.budget.unwrap_or(f64::INFINITY);
+    let t1 = std::time::Instant::now();
     let mut m = Machine::new(&ir, cfg.cost.clone(), budget, cfg.max_events);
     m.run()?;
-    let (timers, records, total_cycles, events) = m.finish();
-    Ok(RunOutcome { timers, records, total_cycles, events })
+    let (timers, records, total_cycles, events, ops) = m.finish();
+    let exec_ns = t1.elapsed().as_nanos() as u64;
+    Ok(RunOutcome {
+        timers,
+        records,
+        total_cycles,
+        events,
+        ops,
+        lower_ns,
+        exec_ns,
+    })
 }
 
 #[cfg(test)]
@@ -97,6 +120,25 @@ mod tests {
     }
 
     #[test]
+    fn op_counts_reflect_program_structure() {
+        let out = run(
+            "program t\n real(kind=8) :: s\n integer :: i\n s = 0.0d0\n do i = 1, 10\n s = s + 1.5d0\n end do\n call prose_record('s', s)\nend program t\n",
+        );
+        assert_eq!(out.ops.loop_iters, 10);
+        assert!(
+            out.ops.fp64_ops >= 10,
+            "fp64 adds in the loop: {:?}",
+            out.ops
+        );
+        assert_eq!(out.ops.fp32_ops, 0);
+        assert_eq!(out.ops.allreduces, 0);
+        assert!(out.ops.total() > 0);
+        // Stage clocks are plumbed through; at least one of the two
+        // stages must have registered time for a real parse+run.
+        assert!(out.lower_ns > 0 || out.exec_ns > 0);
+    }
+
+    #[test]
     fn single_precision_arithmetic_really_rounds() {
         let src = |kind: u8| {
             format!(
@@ -124,8 +166,7 @@ mod tests {
 
     #[test]
     fn procedures_functions_and_scalar_writeback() {
-        let out = run(
-            r#"
+        let out = run(r#"
 module m
 contains
   function square(x) result(y)
@@ -144,15 +185,13 @@ program t
   call bump(a)
   call prose_record('a', a)
 end program t
-"#,
-        );
+"#);
         assert_eq!(out.records.scalars["a"], vec![10.0]);
     }
 
     #[test]
     fn arrays_are_passed_by_reference() {
-        let out = run(
-            r#"
+        let out = run(r#"
 module m
 contains
   subroutine fill(v, n)
@@ -171,8 +210,7 @@ program t
   call prose_record('a3', a(3))
   call prose_record_array('a', a)
 end program t
-"#,
-        );
+"#);
         assert_eq!(out.records.scalars["a3"], vec![3.0]);
         assert_eq!(out.records.arrays["a"], vec![vec![1.0, 2.0, 3.0, 4.0]]);
     }
@@ -253,7 +291,10 @@ end program t
 
     #[test]
     fn budget_timeout_fires() {
-        let cfg = RunConfig { budget: Some(100.0), ..Default::default() };
+        let cfg = RunConfig {
+            budget: Some(100.0),
+            ..Default::default()
+        };
         let e = run_cfg(
             "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 1, 100000\n s = s + 1.0d0\n end do\nend program t\n",
             &cfg,
@@ -264,7 +305,10 @@ end program t
 
     #[test]
     fn event_limit_catches_infinite_loops() {
-        let cfg = RunConfig { max_events: 10_000, ..Default::default() };
+        let cfg = RunConfig {
+            max_events: 10_000,
+            ..Default::default()
+        };
         let e = run_cfg(
             "program t\n real(kind=8) :: x\n x = 1.0d0\n do while (x > 0.0d0)\n x = x + 1.0d0\n x = x - 1.0d0\n end do\nend program t\n",
             &cfg,
@@ -348,11 +392,9 @@ end program t
             )
         };
         let p64 = parse_program(&src(8)).unwrap();
-        let o64 =
-            run_program(&p64, &analyze(&p64).unwrap(), &RunConfig::default()).unwrap();
+        let o64 = run_program(&p64, &analyze(&p64).unwrap(), &RunConfig::default()).unwrap();
         let p32 = parse_program(&src(4)).unwrap();
-        let o32 =
-            run_program(&p32, &analyze(&p32).unwrap(), &RunConfig::default()).unwrap();
+        let o32 = run_program(&p32, &analyze(&p32).unwrap(), &RunConfig::default()).unwrap();
         let t64 = o64.timers.get("scan").unwrap().cycles;
         let t32 = o32.timers.get("scan").unwrap().cycles;
         let speedup = t64 / t32;
@@ -402,14 +444,19 @@ end program t
         let uniform64 = time(8, 8);
         let uniform32 = time(4, 4);
         let mixed = time(8, 4); // f64 scalar inside f32 loop → casts, no SIMD
-        assert!(mixed > uniform64, "mixed {mixed} should exceed uniform64 {uniform64}");
-        assert!(mixed > uniform32, "mixed {mixed} should exceed uniform32 {uniform32}");
+        assert!(
+            mixed > uniform64,
+            "mixed {mixed} should exceed uniform64 {uniform64}"
+        );
+        assert!(
+            mixed > uniform32,
+            "mixed {mixed} should exceed uniform32 {uniform32}"
+        );
     }
 
     #[test]
     fn intrinsics_compute_correctly() {
-        let out = run(
-            r#"
+        let out = run(r#"
 program t
   real(kind=8) :: x
   x = sqrt(16.0d0) + abs(-2.0d0) + max(1.0d0, 3.0d0) + min(5.0d0, 4.0d0)
@@ -419,9 +466,11 @@ program t
   call prose_record('ep32', dble(epsilon(sngl(x))))
   call prose_record('fl', 1.0d0 * floor(2.7d0) + nint(2.6d0))
 end program t
-"#,
+"#);
+        assert_eq!(
+            out.records.scalars["x"],
+            vec![4.0 + 2.0 + 3.0 + 4.0 - 2.0 + 3.0]
         );
-        assert_eq!(out.records.scalars["x"], vec![4.0 + 2.0 + 3.0 + 4.0 - 2.0 + 3.0]);
         assert_eq!(out.records.scalars["e"], vec![1.0]);
         assert_eq!(out.records.scalars["ep32"], vec![f32::EPSILON as f64]);
         assert_eq!(out.records.scalars["fl"], vec![5.0]);
@@ -439,8 +488,7 @@ end program t
 
     #[test]
     fn module_variables_are_shared_state() {
-        let out = run(
-            r#"
+        let out = run(r#"
 module state
   real(kind=8) :: counter = 0.0d0
 contains
@@ -454,8 +502,7 @@ program t
   call tick()
   call prose_record('c', counter)
 end program t
-"#,
-        );
+"#);
         assert_eq!(out.records.scalars["c"], vec![2.0]);
     }
 
@@ -467,8 +514,7 @@ end program t
 
     #[test]
     fn exit_and_cycle_control_loops() {
-        let out = run(
-            r#"
+        let out = run(r#"
 program t
   integer :: i
   real(kind=8) :: s
@@ -484,8 +530,7 @@ program t
   end do
   call prose_record('s', s)
 end program t
-"#,
-        );
+"#);
         assert_eq!(out.records.scalars["s"], vec![4.0]); // i = 1,2,4,5
     }
 
@@ -516,8 +561,7 @@ end program t
 
     #[test]
     fn function_result_kind_conversion_at_assignment() {
-        let out = run(
-            r#"
+        let out = run(r#"
 module m
 contains
   function third() result(r)
@@ -531,8 +575,7 @@ program t
   x = third()
   call prose_record('x', x)
 end program t
-"#,
-        );
+"#);
         let x = out.records.scalars["x"][0];
         assert_eq!(x, (1.0f32 / 3.0f32) as f64);
     }

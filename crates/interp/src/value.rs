@@ -171,12 +171,18 @@ impl ArrayVal {
 
     pub fn new_int(bounds: Vec<(i64, i64)>) -> ArrayVal {
         let n = total_len(&bounds);
-        ArrayVal { data: ArrayData::Int(vec![0; n]), bounds }
+        ArrayVal {
+            data: ArrayData::Int(vec![0; n]),
+            bounds,
+        }
     }
 
     pub fn new_bool(bounds: Vec<(i64, i64)>) -> ArrayVal {
         let n = total_len(&bounds);
-        ArrayVal { data: ArrayData::Bool(vec![false; n]), bounds }
+        ArrayVal {
+            data: ArrayData::Bool(vec![false; n]),
+            bounds,
+        }
     }
 
     pub fn rank(&self) -> usize {

@@ -84,7 +84,10 @@ end program t
 "#;
     let t_mixed = proc_cycles(&run(mixed), "kern");
     let t64 = proc_cycles(&run(&saxpy(8)), "kern");
-    assert!(t_mixed > t64, "mixed {t_mixed} must cost more than uniform-64 {t64}");
+    assert!(
+        t_mixed > t64,
+        "mixed {t_mixed} must cost more than uniform-64 {t64}"
+    );
     assert!(
         t_mixed < 3.0 * t64,
         "mixed {t_mixed} must stay vectorized-scale (uniform-64 {t64}), not scalar"
@@ -285,8 +288,7 @@ end program t
 /// visible per procedure.
 #[test]
 fn timers_count_calls_and_attribute_exclusively() {
-    let out = run(
-        r#"
+    let out = run(r#"
 module m
 contains
   function g(v) result(r)
@@ -311,8 +313,7 @@ program t
   call outer(x)
   call prose_record('x', x)
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["x"], vec![10.0]);
     assert_eq!(out.timers.get("g").unwrap().calls, 10);
     assert_eq!(out.timers.get("outer").unwrap().calls, 1);

@@ -18,8 +18,7 @@ fn run_err(src: &str) -> RunError {
 
 #[test]
 fn reallocate_after_deallocate_resizes() {
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   real(kind=8), allocatable :: a(:)
   allocate(a(3))
@@ -30,16 +29,14 @@ program t
   a = 2.0d0
   call prose_record('s2', sum(a))
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["s1"], vec![3.0]);
     assert_eq!(out.records.scalars["s2"], vec![10.0]);
 }
 
 #[test]
 fn negative_step_loops_with_exit_and_cycle() {
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   integer :: i
   real(kind=8) :: s
@@ -55,8 +52,7 @@ program t
   end do
   call prose_record('s', s)
 end program t
-"#,
-    );
+"#);
     // i = 9 (+9), 7 (cycle), 5 (+5), 3 (+3), 1 (exit) => 17.
     assert_eq!(out.records.scalars["s"], vec![17.0]);
 }
@@ -71,8 +67,7 @@ fn zero_trip_loops_execute_nothing() {
 
 #[test]
 fn integer_arrays_work_as_index_maps() {
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   integer :: idx(4), i
   real(kind=8) :: v(4), s
@@ -86,8 +81,7 @@ program t
   end do
   call prose_record('s', s)
 end program t
-"#,
-    );
+"#);
     // v(4)/1 + v(3)/2 + v(2)/3 + v(1)/4 = 40 + 15 + 6.667 + 2.5
     let s = out.records.scalars["s"][0];
     assert!((s - (40.0 + 15.0 + 20.0 / 3.0 + 2.5)).abs() < 1e-12);
@@ -95,8 +89,7 @@ end program t
 
 #[test]
 fn function_calls_inside_conditions_and_bounds() {
-    let out = run(
-        r#"
+    let out = run(r#"
 module m
 contains
   function double_it(x) result(y)
@@ -120,8 +113,7 @@ program t
   end do
   call prose_record('s', s)
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["s"], vec![8.0]);
 }
 
@@ -148,8 +140,7 @@ end program t
 
 #[test]
 fn whole_array_copy_between_same_kind_arrays() {
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   real(kind=8) :: a(4), b(4)
   integer :: i
@@ -161,8 +152,7 @@ program t
   call prose_record('b', sum(b))
   call prose_record('a', sum(a))
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["b"], vec![15.0]);
     assert_eq!(out.records.scalars["a"], vec![0.0]);
 }
@@ -177,8 +167,7 @@ fn array_copy_shape_mismatch_is_an_error() {
 
 #[test]
 fn intent_out_scalars_write_back_through_two_levels() {
-    let out = run(
-        r#"
+    let out = run(r#"
 module m
 contains
   subroutine inner(v)
@@ -198,15 +187,13 @@ program t
   call outer(x)
   call prose_record('x', x)
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["x"], vec![8.0]);
 }
 
 #[test]
 fn array_element_as_scalar_argument_writes_back() {
-    let out = run(
-        r#"
+    let out = run(r#"
 module m
 contains
   subroutine bump(v)
@@ -222,16 +209,14 @@ program t
   call prose_record('a2', a(2))
   call prose_record('a1', a(1))
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["a2"], vec![6.0]);
     assert_eq!(out.records.scalars["a1"], vec![5.0]);
 }
 
 #[test]
 fn module_array_state_persists_across_calls() {
-    let out = run(
-        r#"
+    let out = run(r#"
 module state
   real(kind=8) :: hist(3)
   integer :: n = 0
@@ -250,8 +235,7 @@ program t
   call prose_record('sum', sum(hist))
   call prose_record('n', 1.0d0 * n)
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["sum"], vec![7.5]);
     assert_eq!(out.records.scalars["n"], vec![3.0]);
 }
@@ -261,8 +245,7 @@ fn mixed_kind_comparison_promotes_correctly() {
     // 0.1 is not exactly representable: the f32 and f64 roundings differ,
     // and Fortran compares them after promotion — a classic trap that the
     // interpreter must reproduce faithfully.
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   real(kind=4) :: a
   real(kind=8) :: b
@@ -275,15 +258,17 @@ program t
   end if
   call prose_record('eq', flag)
 end program t
-"#,
+"#);
+    assert_eq!(
+        out.records.scalars["eq"],
+        vec![0.0],
+        "f32(0.1) must differ from f64(0.1)"
     );
-    assert_eq!(out.records.scalars["eq"], vec![0.0], "f32(0.1) must differ from f64(0.1)");
 }
 
 #[test]
 fn negative_zero_and_sign_intrinsic() {
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   real(kind=8) :: a, b
   a = sign(3.0d0, -0.0d0)
@@ -291,8 +276,7 @@ program t
   call prose_record('a', a)
   call prose_record('b', b)
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.scalars["a"], vec![-3.0]);
     assert_eq!(out.records.scalars["b"], vec![3.0]);
 }
@@ -308,16 +292,13 @@ fn integer_division_truncates_toward_zero() {
 
 #[test]
 fn integer_div_by_zero_is_an_error() {
-    let e = run_err(
-        "program t\n integer :: a, b\n b = 0\n a = 7 / b\nend program t\n",
-    );
+    let e = run_err("program t\n integer :: a, b\n b = 0\n a = 7 / b\nend program t\n");
     assert!(matches!(e, RunError::DivByZero { .. }));
 }
 
 #[test]
 fn print_and_stop_interact_with_records() {
-    let out = run(
-        r#"
+    let out = run(r#"
 program t
   real(kind=8) :: x
   x = 2.0d0
@@ -326,8 +307,7 @@ program t
   stop
   call prose_record('never', x)
 end program t
-"#,
-    );
+"#);
     assert_eq!(out.records.stdout.len(), 1);
     assert!(out.records.scalars.contains_key("x"));
     assert!(!out.records.scalars.contains_key("never"));

@@ -2,22 +2,50 @@ use prose_core::tuner::{tune, PerfScope};
 use prose_models::*;
 fn main() {
     let which = std::env::args().nth(1).unwrap_or("mpas_a".into());
-    let size = if std::env::args().nth(2).as_deref() == Some("paper") { ModelSize::Paper } else { ModelSize::Small };
+    let size = if std::env::args().nth(2).as_deref() == Some("paper") {
+        ModelSize::Paper
+    } else {
+        ModelSize::Small
+    };
     for spec in all_models(size) {
-        if spec.name != which { continue; }
+        if spec.name != which {
+            continue;
+        }
         let m = spec.load().unwrap();
         let mut task = m.task(PerfScope::Hotspot, 11);
         task.max_variants = Some(300);
         let t0 = std::time::Instant::now();
         let out = tune(&task).unwrap();
         let s = out.search.status_summary();
-        println!("=== {} ({} atoms) in {:?} ===", spec.name, m.atoms.len(), t0.elapsed());
-        println!("variants={} pass={:.1}% fail={:.1}% timeout={:.1}% error={:.1}% | best speedup {:.2}",
-            s.total, s.pct(s.pass), s.pct(s.fail), s.pct(s.timeout), s.pct(s.error), s.best_speedup);
-        println!("one_minimal={} budget_exhausted={} remaining_double={}",
-            out.search.one_minimal, out.search.budget_exhausted, out.remaining_double());
-        let high: Vec<String> = out.search.final_config.iter().enumerate()
-            .filter(|(_,b)| !**b).map(|(i,_)| m.index.fp_var_path(task.atoms[i])).collect();
+        println!(
+            "=== {} ({} atoms) in {:?} ===",
+            spec.name,
+            m.atoms.len(),
+            t0.elapsed()
+        );
+        println!(
+            "variants={} pass={:.1}% fail={:.1}% timeout={:.1}% error={:.1}% | best speedup {:.2}",
+            s.total,
+            s.pct(s.pass),
+            s.pct(s.fail),
+            s.pct(s.timeout),
+            s.pct(s.error),
+            s.best_speedup
+        );
+        println!(
+            "one_minimal={} budget_exhausted={} remaining_double={}",
+            out.search.one_minimal,
+            out.search.budget_exhausted,
+            out.remaining_double()
+        );
+        let high: Vec<String> = out
+            .search
+            .final_config
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| m.index.fp_var_path(task.atoms[i]))
+            .collect();
         println!("final high set: {high:?}");
     }
 }

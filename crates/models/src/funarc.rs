@@ -22,7 +22,9 @@ pub fn funarc(size: ModelSize) -> ModelSpec {
         source: substitute(TEMPLATE, &[("__N__", n)]),
         hotspot_module: "funarc_mod".into(),
         target_procs: vec!["funarc".into(), "fun".into()],
-        metric: CorrectnessMetric::ScalarSeriesL2 { key: "result".into() },
+        metric: CorrectnessMetric::ScalarSeriesL2 {
+            key: "result".into(),
+        },
         // The error threshold used in the motivating example's frontier
         // discussion (Figure 2: "given an error threshold of 4e-4 ...").
         error_threshold: 4.0e-4,
@@ -44,8 +46,15 @@ mod tests {
     fn has_exactly_eight_atoms() {
         let m = funarc(ModelSize::Small).load().unwrap();
         // s1, h, t1, t2, dppi (funarc) + x, t1, d1 (fun); `result` excluded.
-        assert_eq!(m.atoms.len(), 8, "{:?}",
-            m.atoms.iter().map(|a| m.index.fp_var_path(*a)).collect::<Vec<_>>());
+        assert_eq!(
+            m.atoms.len(),
+            8,
+            "{:?}",
+            m.atoms
+                .iter()
+                .map(|a| m.index.fp_var_path(*a))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -80,6 +89,10 @@ mod tests {
         let mut map = PrecisionMap::declared(&m.index);
         map.set(m.index.fp_var_id(scope, "x").unwrap(), FpPrecision::Single);
         let v = prose_transform::make_variant(&m.program, &m.index, &map).unwrap();
-        assert!(v.wrappers.iter().any(|w| w.starts_with("fun_w")), "{:?}", v.wrappers);
+        assert!(
+            v.wrappers.iter().any(|w| w.starts_with("fun_w")),
+            "{:?}",
+            v.wrappers
+        );
     }
 }

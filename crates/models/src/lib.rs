@@ -52,7 +52,12 @@ pub(crate) fn substitute(template: &str, pairs: &[(&str, i64)]) -> String {
 /// All four models at the given size (funarc last — it is the motivating
 /// example, not a weather model).
 pub fn all_models(size: ModelSize) -> Vec<ModelSpec> {
-    vec![mpas::mpas_a(size), adcirc::adcirc(size), mom6::mom6(size), funarc::funarc(size)]
+    vec![
+        mpas::mpas_a(size),
+        adcirc::adcirc(size),
+        mom6::mom6(size),
+        funarc::funarc(size),
+    ]
 }
 
 #[cfg(test)]
@@ -74,7 +79,9 @@ mod tests {
     #[test]
     fn all_models_load() {
         for spec in all_models(ModelSize::Small) {
-            let m = spec.load().unwrap_or_else(|e| panic!("{} fails to load: {e}", spec.name));
+            let m = spec
+                .load()
+                .unwrap_or_else(|e| panic!("{} fails to load: {e}", spec.name));
             assert!(!m.atoms.is_empty(), "{} has no atoms", spec.name);
         }
     }

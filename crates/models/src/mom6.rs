@@ -58,7 +58,10 @@ mod tests {
         let out = run_program(&m.program, &m.index, &RunConfig::default()).unwrap();
         let cfl = &out.records.scalars["cfl"];
         assert_eq!(cfl.len(), 6);
-        assert!(cfl.iter().all(|c| c.is_finite() && *c > 0.0 && *c < 1.0), "{cfl:?}");
+        assert!(
+            cfl.iter().all(|c| c.is_finite() && *c > 0.0 && *c < 1.0),
+            "{cfl:?}"
+        );
         // The adjusters converge far below itmax in double precision:
         // their share of hotspot time is modest.
         let adjust = out.timers.get("zonal_flux_adjust").unwrap();
@@ -105,11 +108,14 @@ mod tests {
             wrapper_names: v.wrappers.iter().cloned().collect(),
             ..RunConfig::default()
         };
-        let err = run_program(&v.program, &v.index, &cfg)
-            .expect_err("mixed hl/hr must abort");
+        let err = run_program(&v.program, &v.index, &cfg).expect_err("mixed hl/hr must abort");
         assert!(
-            matches!(err, RunError::Stop { code: 21 } | RunError::Stop { code: 24 }
-                | RunError::NonFinite { .. }),
+            matches!(
+                err,
+                RunError::Stop { code: 21 }
+                    | RunError::Stop { code: 24 }
+                    | RunError::NonFinite { .. }
+            ),
             "unexpected failure mode: {err}"
         );
     }

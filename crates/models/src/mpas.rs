@@ -25,7 +25,12 @@ pub fn mpas_a(size: ModelSize) -> ModelSpec {
         name: "mpas_a".into(),
         source: substitute(
             TEMPLATE,
-            &[("__NC__", nc), ("__NZ__", nz), ("__STEPS__", steps), ("__NS__", ns)],
+            &[
+                ("__NC__", nc),
+                ("__NZ__", nz),
+                ("__STEPS__", steps),
+                ("__NS__", ns),
+            ],
         ),
         hotspot_module: "atm_time_integration".into(),
         target_procs: vec![
@@ -35,7 +40,10 @@ pub fn mpas_a(size: ModelSize) -> ModelSpec {
             "flux4".into(),
             "flux3".into(),
         ],
-        metric: CorrectnessMetric::MaxOverSpaceL2OverTime { key: "ke".into(), floor_frac: 0.01 },
+        metric: CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: "ke".into(),
+            floor_frac: 0.01,
+        },
         error_threshold: uniform32_reference_error(size),
         n_runs: 1,
         noise_rsd: 0.01,
@@ -94,7 +102,7 @@ mod tests {
         let out = run_program(&m.program, &m.index, &RunConfig::default()).unwrap();
         let ke = &out.records.arrays["ke"];
         assert_eq!(ke.len(), 8); // one snapshot per step
-        // Waves develop: kinetic energy becomes nonzero.
+                                 // Waves develop: kinetic energy becomes nonzero.
         let last_max = ke.last().unwrap().iter().cloned().fold(0.0f64, f64::max);
         assert!(last_max > 1e-6, "max KE {last_max}");
         assert!(last_max < 1e4, "max KE {last_max}");

@@ -12,7 +12,10 @@ pub struct BruteForce {
 
 impl Default for BruteForce {
     fn default() -> Self {
-        BruteForce { min_speedup: 1.0, max_atoms: 20 }
+        BruteForce {
+            min_speedup: 1.0,
+            max_atoms: 20,
+        }
     }
 }
 
@@ -40,8 +43,10 @@ impl BruteForce {
             memo.evaluate_batch(&batch);
         }
         let best = memo.best(self.min_speedup);
-        let final_config =
-            best.as_ref().map(|t| t.config.clone()).unwrap_or_else(|| vec![false; n]);
+        let final_config = best
+            .as_ref()
+            .map(|t| t.config.clone())
+            .unwrap_or_else(|| vec![false; n]);
         SearchResult {
             best,
             final_config,
@@ -78,8 +83,10 @@ mod tests {
     #[test]
     fn reports_no_best_when_nothing_accepted() {
         let mut ev = Synthetic::new(4, &[0, 1, 2, 3]);
-        let mut bf = BruteForce::default();
-        bf.min_speedup = 10.0;
+        let bf = BruteForce {
+            min_speedup: 10.0,
+            ..Default::default()
+        };
         let r = bf.run(&mut ev);
         assert!(r.best.is_none());
         assert_eq!(r.final_config, vec![false; 4]);

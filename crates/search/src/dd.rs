@@ -14,7 +14,7 @@
 //!
 //! Average complexity O(n log n), worst case O(n²) (Section III-B).
 
-use crate::{Config, Evaluator, Memo, SearchResult};
+use crate::{Config, Evaluator, Memo, SearchResult, TrialSink};
 
 /// Parameters for the delta-debugging search.
 #[derive(Debug, Clone)]
@@ -35,7 +35,12 @@ pub struct DdParams {
 
 impl Default for DdParams {
     fn default() -> Self {
-        DdParams { min_speedup: 1.0, max_variants: None, monotone: true, monotone_slack: 0.995 }
+        DdParams {
+            min_speedup: 1.0,
+            max_variants: None,
+            monotone: true,
+            monotone_slack: 0.995,
+        }
     }
 }
 
@@ -51,8 +56,29 @@ impl DeltaDebug {
 
     /// Run the search to completion (or budget exhaustion).
     pub fn run<E: Evaluator>(&self, eval: &mut E) -> SearchResult {
+        self.run_impl(eval, None)
+    }
+
+    /// Like [`DeltaDebug::run`], with a [`TrialSink`] observing every probe
+    /// (unique evaluations and memo hits).
+    pub fn run_with_sink<'a, E: Evaluator>(
+        &self,
+        eval: &'a mut E,
+        sink: &'a mut dyn TrialSink,
+    ) -> SearchResult {
+        self.run_impl(eval, Some(sink))
+    }
+
+    fn run_impl<'a, E: Evaluator>(
+        &self,
+        eval: &'a mut E,
+        sink: Option<&'a mut dyn TrialSink>,
+    ) -> SearchResult {
         let n = eval.atom_count();
         let mut memo = Memo::new(eval, self.params.max_variants);
+        if let Some(s) = sink {
+            memo.attach_sink(s);
+        }
         let mut bar = self.params.min_speedup;
 
         let config_for = |high: &[usize], n: usize| -> Config {
@@ -229,7 +255,13 @@ mod tests {
 
     #[test]
     fn isolates_scattered_critical_sets() {
-        for critical in [vec![0], vec![31], vec![3, 19], vec![5, 6, 7], vec![0, 15, 31]] {
+        for critical in [
+            vec![0],
+            vec![31],
+            vec![3, 19],
+            vec![5, 6, 7],
+            vec![0, 15, 31],
+        ] {
             let mut ev = Synthetic::new(32, &critical);
             let r = DeltaDebug::new(DdParams::default()).run(&mut ev);
             let mut hs = high_set(&r.final_config);
@@ -301,11 +333,28 @@ mod tests {
         // Critical-free evaluator, but demand an impossible 3x: the search
         // should find nothing acceptable and keep everything high.
         let mut ev = Synthetic::new(8, &[]);
-        let r = DeltaDebug::new(DdParams { min_speedup: 3.0, ..Default::default() }).run(&mut ev);
+        let r = DeltaDebug::new(DdParams {
+            min_speedup: 3.0,
+            ..Default::default()
+        })
+        .run(&mut ev);
         assert!(r.best.is_none());
         // Nothing acceptable: the search ends with the full high set
         // (equivalent to the original program).
         assert_eq!(high_set(&r.final_config).len(), 8);
+    }
+
+    #[test]
+    fn sink_counts_agree_with_trace_and_evaluator() {
+        let mut ev = Synthetic::new(16, &[3]);
+        let mut sink = crate::CountingSink::default();
+        let r = DeltaDebug::new(DdParams::default()).run_with_sink(&mut ev, &mut sink);
+        assert_eq!(high_set(&r.final_config), vec![3]);
+        assert_eq!(sink.trials as usize, r.trace.len());
+        assert_eq!(ev.evaluations, r.trace.len());
+        // ddmin revisits configurations across granularity changes; the
+        // memo table answers those without consulting the evaluator.
+        assert!(sink.memo_hits > 0);
     }
 
     #[test]

@@ -134,7 +134,10 @@ pub struct SearchResult {
 impl SearchResult {
     /// Table II row: counts and percentages by status.
     pub fn status_summary(&self) -> StatusSummary {
-        let mut s = StatusSummary { total: self.trace.len(), ..Default::default() };
+        let mut s = StatusSummary {
+            total: self.trace.len(),
+            ..Default::default()
+        };
         for t in &self.trace {
             match t.outcome.status {
                 Status::Pass => s.pass += 1,
@@ -171,6 +174,37 @@ impl StatusSummary {
     }
 }
 
+/// Observer of the search's probe stream, called by [`Memo`] as the search
+/// runs. Implementations feed dashboards, journals, or plain counters; the
+/// default methods make every hook optional.
+pub trait TrialSink {
+    /// A new unique variant was evaluated (it just entered the trace).
+    fn on_trial(&mut self, _trial: &Trial) {}
+
+    /// A probe was answered from the search-level memo table without
+    /// consulting the evaluator.
+    fn on_memo_hit(&mut self, _config: &Config, _outcome: &Outcome) {}
+}
+
+/// The simplest [`TrialSink`]: counts probes.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    /// Unique evaluations forwarded to the evaluator.
+    pub trials: u64,
+    /// Probes answered from the search-level memo table.
+    pub memo_hits: u64,
+}
+
+impl TrialSink for CountingSink {
+    fn on_trial(&mut self, _trial: &Trial) {
+        self.trials += 1;
+    }
+
+    fn on_memo_hit(&mut self, _config: &Config, _outcome: &Outcome) {
+        self.memo_hits += 1;
+    }
+}
+
 /// Shared memoizing harness: guarantees each unique configuration is
 /// evaluated once and every unique evaluation lands in the trace.
 pub struct Memo<'a, E: Evaluator> {
@@ -179,18 +213,35 @@ pub struct Memo<'a, E: Evaluator> {
     pub trace: Vec<Trial>,
     /// Maximum number of *unique* evaluations; `None` = unlimited.
     pub max_variants: Option<usize>,
+    sink: Option<&'a mut dyn TrialSink>,
 }
 
 impl<'a, E: Evaluator> Memo<'a, E> {
     pub fn new(eval: &'a mut E, max_variants: Option<usize>) -> Self {
-        Memo { eval, seen: Default::default(), trace: Vec::new(), max_variants }
+        Memo {
+            eval,
+            seen: Default::default(),
+            trace: Vec::new(),
+            max_variants,
+            sink: None,
+        }
+    }
+
+    /// Attach an observer that sees every probe (unique evaluations and
+    /// memo hits alike).
+    pub fn attach_sink(&mut self, sink: &'a mut dyn TrialSink) {
+        self.sink = Some(sink);
     }
 
     /// Evaluate (or recall) a configuration. Returns `None` when the
     /// variant budget is exhausted and the configuration is new.
     pub fn evaluate(&mut self, cfg: &Config) -> Option<Outcome> {
         if let Some(o) = self.seen.get(cfg) {
-            return Some(*o);
+            let o = *o;
+            if let Some(s) = self.sink.as_deref_mut() {
+                s.on_memo_hit(cfg, &o);
+            }
+            return Some(o);
         }
         if let Some(max) = self.max_variants {
             if self.trace.len() >= max {
@@ -199,7 +250,14 @@ impl<'a, E: Evaluator> Memo<'a, E> {
         }
         let outcome = self.eval.evaluate(cfg);
         self.seen.insert(cfg.clone(), outcome);
-        self.trace.push(Trial { index: self.trace.len(), config: cfg.clone(), outcome });
+        self.trace.push(Trial {
+            index: self.trace.len(),
+            config: cfg.clone(),
+            outcome,
+        });
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.on_trial(self.trace.last().expect("just pushed"));
+        }
         Some(outcome)
     }
 
@@ -223,14 +281,40 @@ impl<'a, E: Evaluator> Memo<'a, E> {
             let remaining = max.saturating_sub(self.trace.len());
             fresh.truncate(remaining);
         }
+        // Remember which configurations get their first evaluation in this
+        // call: the first batch position holding one is the trial, every
+        // other answered position is a memo hit.
+        let mut fresh_first: std::collections::HashSet<Config> = fresh.iter().cloned().collect();
         if !fresh.is_empty() {
+            let start = self.trace.len();
             let outcomes = self.eval.evaluate_batch(&fresh);
             for (cfg, outcome) in fresh.into_iter().zip(outcomes) {
                 self.seen.insert(cfg.clone(), outcome);
-                self.trace.push(Trial { index: self.trace.len(), config: cfg, outcome });
+                self.trace.push(Trial {
+                    index: self.trace.len(),
+                    config: cfg,
+                    outcome,
+                });
+            }
+            if let Some(s) = self.sink.as_deref_mut() {
+                for t in &self.trace[start..] {
+                    s.on_trial(t);
+                }
             }
         }
-        batch.iter().map(|cfg| self.seen.get(cfg).copied()).collect()
+        let mut out = Vec::with_capacity(batch.len());
+        for cfg in batch {
+            let o = self.seen.get(cfg).copied();
+            if let Some(ref oc) = o {
+                if !fresh_first.remove(cfg) {
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_memo_hit(cfg, oc);
+                    }
+                }
+            }
+            out.push(o);
+        }
+        out
     }
 
     /// Best accepted trial so far.
@@ -260,7 +344,12 @@ pub(crate) mod testutil {
 
     impl Synthetic {
         pub fn new(n: usize, critical: &[usize]) -> Self {
-            Synthetic { n, critical: critical.to_vec(), poison: vec![], evaluations: 0 }
+            Synthetic {
+                n,
+                critical: critical.to_vec(),
+                poison: vec![],
+                evaluations: 0,
+            }
         }
     }
 
@@ -269,15 +358,27 @@ pub(crate) mod testutil {
             self.evaluations += 1;
             assert_eq!(lowered.len(), self.n);
             if self.poison.iter().any(|p| lowered[*p]) {
-                return Outcome { status: Status::RuntimeError, speedup: 0.0, error: f64::INFINITY };
+                return Outcome {
+                    status: Status::RuntimeError,
+                    speedup: 0.0,
+                    error: f64::INFINITY,
+                };
             }
             let bad = self.critical.iter().any(|c| lowered[*c]);
             let k = lowered.iter().filter(|b| **b).count();
             let speedup = 1.0 + k as f64 / self.n as f64;
             if bad {
-                Outcome { status: Status::FailAccuracy, speedup, error: 10.0 }
+                Outcome {
+                    status: Status::FailAccuracy,
+                    speedup,
+                    error: 10.0,
+                }
             } else {
-                Outcome { status: Status::Pass, speedup, error: 1e-6 }
+                Outcome {
+                    status: Status::Pass,
+                    speedup,
+                    error: 1e-6,
+                }
             }
         }
 
@@ -294,9 +395,21 @@ mod tests {
 
     #[test]
     fn outcome_acceptance_requires_pass_and_speedup() {
-        let pass_fast = Outcome { status: Status::Pass, speedup: 1.5, error: 0.0 };
-        let pass_slow = Outcome { status: Status::Pass, speedup: 0.9, error: 0.0 };
-        let fail_fast = Outcome { status: Status::FailAccuracy, speedup: 2.0, error: 9.0 };
+        let pass_fast = Outcome {
+            status: Status::Pass,
+            speedup: 1.5,
+            error: 0.0,
+        };
+        let pass_slow = Outcome {
+            status: Status::Pass,
+            speedup: 0.9,
+            error: 0.0,
+        };
+        let fail_fast = Outcome {
+            status: Status::FailAccuracy,
+            speedup: 2.0,
+            error: 9.0,
+        };
         assert!(pass_fast.accepted(1.0));
         assert!(!pass_slow.accepted(1.0));
         assert!(!fail_fast.accepted(1.0));
@@ -318,12 +431,45 @@ mod tests {
     }
 
     #[test]
+    fn trial_sink_observes_probes_and_memo_hits() {
+        let mut ev = Synthetic::new(4, &[]);
+        let mut sink = CountingSink::default();
+        let a = vec![true, false, false, false];
+        let b = vec![false, true, false, false];
+        {
+            let mut memo = Memo::new(&mut ev, None);
+            memo.attach_sink(&mut sink);
+            memo.evaluate(&a);
+            memo.evaluate(&a); // memo hit
+            memo.evaluate(&b);
+            // All three answered from the table: two pre-seen plus an
+            // in-batch duplicate.
+            memo.evaluate_batch(&[a.clone(), b.clone(), a.clone()]);
+            // One fresh config evaluated, its duplicate is a hit.
+            let c = vec![false, false, true, false];
+            memo.evaluate_batch(&[c.clone(), c.clone()]);
+            assert_eq!(memo.trace.len(), 3);
+        }
+        assert_eq!(ev.evaluations, 3);
+        assert_eq!(sink.trials, 3);
+        assert_eq!(sink.memo_hits, 5);
+    }
+
+    #[test]
     fn outcome_serde_round_trips_infinity() {
-        let o = Outcome { status: Status::RuntimeError, speedup: 0.0, error: f64::INFINITY };
+        let o = Outcome {
+            status: Status::RuntimeError,
+            speedup: 0.0,
+            error: f64::INFINITY,
+        };
         let text = serde_json::to_string(&o).unwrap();
         let back: Outcome = serde_json::from_str(&text).unwrap();
         assert_eq!(back.error, f64::INFINITY);
-        let o2 = Outcome { status: Status::Pass, speedup: 1.5, error: 1e-6 };
+        let o2 = Outcome {
+            status: Status::Pass,
+            speedup: 1.5,
+            error: 1e-6,
+        };
         let back2: Outcome = serde_json::from_str(&serde_json::to_string(&o2).unwrap()).unwrap();
         assert_eq!(back2, o2);
     }
@@ -333,7 +479,11 @@ mod tests {
         let t = Trial {
             index: 0,
             config: vec![true, true, false, false],
-            outcome: Outcome { status: Status::Pass, speedup: 1.0, error: 0.0 },
+            outcome: Outcome {
+                status: Status::Pass,
+                speedup: 1.0,
+                error: 0.0,
+            },
         };
         assert_eq!(t.fraction_lowered(), 0.5);
     }
@@ -343,7 +493,11 @@ mod tests {
         let mk = |status| Trial {
             index: 0,
             config: vec![],
-            outcome: Outcome { status, speedup: 1.2, error: 0.0 },
+            outcome: Outcome {
+                status,
+                speedup: 1.2,
+                error: 0.0,
+            },
         };
         let r = SearchResult {
             best: Some(mk(Status::Pass)),

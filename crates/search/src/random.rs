@@ -21,7 +21,11 @@ pub struct RandomSearch {
 
 impl RandomSearch {
     pub fn new(samples: usize, seed: u64) -> Self {
-        RandomSearch { samples, min_speedup: 1.0, seed }
+        RandomSearch {
+            samples,
+            min_speedup: 1.0,
+            seed,
+        }
     }
 
     pub fn run<E: Evaluator>(&self, eval: &mut E) -> SearchResult {
@@ -41,8 +45,10 @@ impl RandomSearch {
             }
         }
         let best = memo.best(self.min_speedup);
-        let final_config =
-            best.as_ref().map(|t| t.config.clone()).unwrap_or_else(|| vec![false; n]);
+        let final_config = best
+            .as_ref()
+            .map(|t| t.config.clone())
+            .unwrap_or_else(|| vec![false; n]);
         SearchResult {
             best,
             final_config,

@@ -1,0 +1,309 @@
+//! The trial journal: an append-only JSON Lines file with one record per
+//! variant evaluation request.
+//!
+//! Records are self-describing and append-only so a crashed or interrupted
+//! search leaves a readable journal; [`Journal::load`] tolerates a
+//! truncated final line (the torn-write case) but rejects corruption
+//! anywhere else.
+
+use crate::Counters;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// One evaluation request, as observed at the evaluator boundary.
+///
+/// `cached = true` means the outcome was served from the memoization cache
+/// (either this process's table or a preloaded journal) and **no**
+/// interpreter run happened; such records have no stage timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Journal sequence number (continues across runs appending to the
+    /// same file).
+    pub seq: u64,
+    /// The search configuration (`true` = atom lowered to 32-bit).
+    pub config: Vec<bool>,
+    /// Outcome status (`pass`, `fail_accuracy`, `timeout`, `runtime_error`,
+    /// `transform_error`).
+    pub status: String,
+    /// Eq. 1 median speedup vs. baseline (0 when the run did not finish).
+    pub speedup: f64,
+    /// Correctness-metric relative error. JSON cannot carry infinities, so
+    /// a non-finite error round-trips through `null`.
+    #[serde(with = "maybe_infinite")]
+    pub error: f64,
+    /// Whether the outcome was served from cache (no interpreter run).
+    pub cached: bool,
+    /// Wall-clock milliseconds spent answering this request.
+    pub wall_ms: f64,
+    /// Fraction of atoms at 32-bit in this configuration.
+    #[serde(default)]
+    pub fraction_single: f64,
+    /// Number of wrapper procedures the transformer synthesized.
+    #[serde(default)]
+    pub wrappers: u64,
+    /// Whole-model simulated cycles (when the run completed).
+    #[serde(default)]
+    pub total_cycles: Option<f64>,
+    /// Hotspot-scoped simulated cycles (when the run completed).
+    #[serde(default)]
+    pub hotspot_cycles: Option<f64>,
+    /// Wall-clock nanoseconds per pipeline stage
+    /// (`transform` / `lower` / `exec`); empty for cached records.
+    #[serde(default)]
+    pub stages: BTreeMap<String, u64>,
+    /// Per-trial interpreter counters (op counts by precision, casts,
+    /// memory traffic, timer events, ...); empty for cached records.
+    #[serde(default)]
+    pub counters: Counters,
+}
+
+impl TrialRecord {
+    /// Fraction helper for configs (mirrors `Trial::fraction_lowered`).
+    pub fn fraction_of(config: &[bool]) -> f64 {
+        if config.is_empty() {
+            return 0.0;
+        }
+        config.iter().filter(|b| **b).count() as f64 / config.len() as f64
+    }
+}
+
+/// Serde adapter: non-finite f64 ⇄ JSON null (same convention as
+/// `prose-search`'s `Outcome::error`).
+mod maybe_infinite {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_some(v)
+        } else {
+            s.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// Append-only JSONL writer. Every [`Journal::append`] flushes, so records
+/// survive a crash of the tuning process.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Open `path` for appending, creating parent directories and the file
+    /// as needed.
+    pub fn open_append(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record as a single JSON line and flush.
+    pub fn append(&mut self, rec: &TrialRecord) -> io::Result<()> {
+        let line = serde_json::to_string(rec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+
+    /// Read every record of a journal file, in order.
+    ///
+    /// A malformed **final** line is silently dropped (a torn write from an
+    /// interrupted run); malformed earlier lines are an error.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Vec<TrialRecord>> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<TrialRecord>(line) {
+                Ok(rec) => out.push(rec),
+                Err(e) if i + 1 == lines.len() => {
+                    eprintln!(
+                        "[prose-trace] dropping torn final journal line in {}: {e}",
+                        path.as_ref().display()
+                    );
+                }
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal line {}: {e}", i + 1),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`Journal::load`], but a missing file is an empty journal.
+    pub fn load_or_empty(path: impl AsRef<Path>) -> io::Result<Vec<TrialRecord>> {
+        match Self::load(path) {
+            Ok(v) => Ok(v),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("prose-trace-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    fn sample(seq: u64, cached: bool, error: f64) -> TrialRecord {
+        let mut counters = Counters::new();
+        if !cached {
+            counters.bump("interp_fp64_ops", 10 + seq);
+        }
+        let mut stages = BTreeMap::new();
+        if !cached {
+            stages.insert("exec".to_string(), 1234);
+            stages.insert("transform".to_string(), 56);
+        }
+        TrialRecord {
+            seq,
+            config: vec![true, false, seq.is_multiple_of(2)],
+            status: if error.is_finite() {
+                "pass"
+            } else {
+                "runtime_error"
+            }
+            .into(),
+            speedup: if error.is_finite() { 1.25 } else { 0.0 },
+            error,
+            cached,
+            wall_ms: 0.5,
+            fraction_single: TrialRecord::fraction_of(&[true, false, seq.is_multiple_of(2)]),
+            wrappers: 2,
+            total_cycles: error.is_finite().then_some(1e6),
+            hotspot_cycles: error.is_finite().then_some(2e5),
+            stages,
+            counters,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_including_infinite_error() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let recs = vec![
+            sample(0, false, 1e-7),
+            sample(1, false, f64::INFINITY),
+            sample(2, true, 1e-7),
+        ];
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            for r in &recs {
+                j.append(r).unwrap();
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        // The non-finite error must be encoded as JSON null, not Infinity.
+        let inf_line = text.lines().nth(1).unwrap();
+        assert!(inf_line.contains("\"error\":null"), "line: {inf_line}");
+        assert!(!text.contains("inf"), "no non-JSON infinities: {text}");
+
+        let back = Journal::load(&path).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(back[1].error, f64::INFINITY);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_continues_an_existing_journal() {
+        let path = tmp_path("appends");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&sample(0, false, 1e-9)).unwrap();
+        }
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&sample(1, true, 1e-9)).unwrap();
+        }
+        let back = Journal::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!((back[0].seq, back[0].cached), (0, false));
+        assert_eq!((back[1].seq, back[1].cached), (1, true));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_drops_torn_final_line_only() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&sample(0, false, 1e-9)).unwrap();
+            j.append(&sample(1, false, 1e-9)).unwrap();
+        }
+        // Simulate a crash mid-write: truncate the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+        let back = Journal::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].seq, 0);
+
+        // Corruption in the middle is an error, not silent data loss.
+        let lines: Vec<&str> = text.lines().collect();
+        std::fs::write(&path, format!("{}\ngarbage\n{}\n", lines[0], lines[1])).unwrap();
+        assert!(Journal::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn old_records_without_new_fields_still_load() {
+        // Forward compatibility: a minimal record (as an older writer might
+        // have produced) deserializes with defaulted stages/counters.
+        let line = r#"{"seq":7,"config":[true,true],"status":"pass","speedup":1.5,"error":1e-8,"cached":false,"wall_ms":2.0}"#;
+        let rec: TrialRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.fraction_single, 0.0);
+        assert_eq!(rec.wrappers, 0);
+        assert_eq!(rec.total_cycles, None);
+        assert!(rec.stages.is_empty());
+        assert!(rec.counters.is_empty());
+    }
+
+    #[test]
+    fn load_or_empty_tolerates_missing_file() {
+        let path = tmp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(Journal::load(&path).is_err());
+        assert_eq!(Journal::load_or_empty(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn open_append_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("prose-trace-dirs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/trials.jsonl");
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            assert_eq!(j.path(), path.as_path());
+            j.append(&sample(0, false, 0.0)).unwrap();
+        }
+        assert_eq!(Journal::load(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! # prose-trace
+//!
+//! Observability substrate for the tuning loop: a structured **trial
+//! journal** (JSON Lines, one record per variant evaluation), per-stage
+//! **clocks**, and string-keyed **counters**.
+//!
+//! The paper's pipeline ran each variant through T2 (transform) and T3
+//! (compile + run) as batch jobs, so every evaluation left artifacts on
+//! disk for free. This crate restores that property for the in-process
+//! reproduction: every request the search makes of the evaluator — cache
+//! hit or not — is appended to a journal, which then serves three roles:
+//!
+//! 1. an audit trail (`prose-report` renders Table II / Figure 5-style
+//!    summaries from it),
+//! 2. a persistent cross-run memoization cache (the evaluator preloads it
+//!    and never re-runs the interpreter for an already-measured config),
+//! 3. the raw data for search-efficiency statistics (probes vs. unique
+//!    evaluations, time saved by caching).
+//!
+//! The crate is a leaf: it knows nothing about Fortran, searches, or the
+//! interpreter. Statuses travel as strings; config bits as `Vec<bool>`.
+
+pub mod journal;
+
+pub use journal::{Journal, TrialRecord};
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// String-keyed monotone counters (cache hits, interpreter op counts,
+/// timer-overhead events, ...). Serializes as a flat JSON object.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters(BTreeMap<String, u64>);
+
+impl Counters {
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `n` to `key` (creating it at zero).
+    pub fn bump(&mut self, key: &str, n: u64) {
+        if n != 0 {
+            *self.0.entry(key.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Current value of `key` (zero when absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.0.get(key).copied().unwrap_or(0)
+    }
+
+    /// Add every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.0 {
+            *self.0.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Accumulates wall-clock nanoseconds into named stages
+/// (`transform` / `lower` / `exec`, ...).
+#[derive(Debug, Clone, Default)]
+pub struct StageClock {
+    stages: BTreeMap<String, u64>,
+}
+
+impl StageClock {
+    pub fn new() -> Self {
+        StageClock::default()
+    }
+
+    /// Time a closure and charge its duration to `stage`.
+    pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add_ns(stage, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Charge `ns` nanoseconds to `stage` directly (for durations measured
+    /// elsewhere, e.g. inside the interpreter).
+    pub fn add_ns(&mut self, stage: &str, ns: u64) {
+        *self.stages.entry(stage.to_string()).or_insert(0) += ns;
+    }
+
+    pub fn get_ns(&self, stage: &str) -> u64 {
+        self.stages.get(stage).copied().unwrap_or(0)
+    }
+
+    pub fn stages(&self) -> &BTreeMap<String, u64> {
+        &self.stages
+    }
+
+    pub fn into_stages(self) -> BTreeMap<String, u64> {
+        self.stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_get_merge() {
+        let mut a = Counters::new();
+        a.bump("x", 2);
+        a.bump("x", 3);
+        a.bump("zero", 0); // no-op: zero bumps do not create keys
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("zero"), 0);
+        assert_eq!(a.get("missing"), 0);
+        assert!(!a.is_empty());
+
+        let mut b = Counters::new();
+        b.bump("x", 1);
+        b.bump("y", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 6);
+        assert_eq!(a.get("y"), 7);
+    }
+
+    #[test]
+    fn counters_serde_round_trips_as_flat_object() {
+        let mut c = Counters::new();
+        c.bump("cache_hits", 3);
+        c.bump("fp64_ops", 12345);
+        let text = serde_json::to_string(&c).unwrap();
+        assert!(text.contains("\"cache_hits\""), "flat object: {text}");
+        let back: Counters = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn stage_clock_accumulates() {
+        let mut clk = StageClock::new();
+        let v = clk.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        clk.add_ns("work", 1000);
+        clk.add_ns("other", 5);
+        assert!(clk.get_ns("work") >= 1000);
+        assert_eq!(clk.get_ns("other"), 5);
+        assert_eq!(clk.stages().len(), 2);
+        let map = clk.into_stages();
+        assert!(map.contains_key("work"));
+    }
+}

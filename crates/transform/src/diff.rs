@@ -155,7 +155,11 @@ mod tests {
         let original = "subroutine funarc(result)\n  real(kind=8) :: s1, h, t1, t2, dppi\nend subroutine funarc\n";
         let variant = "subroutine funarc(result)\n  real(kind=8) :: s1\n  real(kind=4) :: h, t1, t2, dppi\nend subroutine funarc\n";
         let d = unified_diff(original, variant);
-        assert!(d.contains("- real(kind=8) :: s1, h, t1, t2, dppi") || d.contains("-   real(kind=8) :: s1, h, t1, t2, dppi"), "{d}");
+        assert!(
+            d.contains("- real(kind=8) :: s1, h, t1, t2, dppi")
+                || d.contains("-   real(kind=8) :: s1, h, t1, t2, dppi"),
+            "{d}"
+        );
         assert!(d.contains("+"), "{d}");
     }
 

@@ -62,7 +62,12 @@ pub fn make_variant(
     let text = unparse(&variant);
     let reparsed = parse_program(&text)?;
     let new_index = analyze(&reparsed)?;
-    Ok(Variant { program: reparsed, index: new_index, text, wrappers })
+    Ok(Variant {
+        program: reparsed,
+        index: new_index,
+        text,
+        wrappers,
+    })
 }
 
 #[cfg(test)]

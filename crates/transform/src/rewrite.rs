@@ -23,7 +23,9 @@ pub fn apply_precision(program: &mut Program, index: &ProgramIndex, map: &Precis
             .expect("index built from this program");
         rewrite_decls(&mut m.decls, scope, index, map);
         for p in &mut m.procedures {
-            let pscope = index.scope_of_procedure(&p.name).expect("indexed procedure");
+            let pscope = index
+                .scope_of_procedure(&p.name)
+                .expect("indexed procedure");
             rewrite_decls(&mut p.decls, pscope, index, map);
         }
     }
@@ -31,7 +33,9 @@ pub fn apply_precision(program: &mut Program, index: &ProgramIndex, map: &Precis
         let scope = main_scope(index);
         rewrite_decls(&mut mp.decls, scope, index, map);
         for p in &mut mp.procedures {
-            let pscope = index.scope_of_procedure(&p.name).expect("indexed procedure");
+            let pscope = index
+                .scope_of_procedure(&p.name)
+                .expect("indexed procedure");
             rewrite_decls(&mut p.decls, pscope, index, map);
         }
     }
@@ -123,8 +127,14 @@ mod tests {
         map.set(ix.fp_var_id(scope, "b").unwrap(), FpPrecision::Single);
         apply_precision(&mut p, &ix, &map);
         let text = unparse(&p);
-        assert!(text.contains("real(kind=8), intent(inout) :: a(n)"), "{text}");
-        assert!(text.contains("real(kind=4), intent(inout) :: b(n)"), "{text}");
+        assert!(
+            text.contains("real(kind=8), intent(inout) :: a(n)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("real(kind=4), intent(inout) :: b(n)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn synthesize_wrappers(
     if !demands.is_empty() {
         let mut additions: BTreeMap<String, Vec<String>> = BTreeMap::new();
         for (wname, demand) in &demands {
-            additions.entry(demand.callee.clone()).or_default().push(wname.clone());
+            additions
+                .entry(demand.callee.clone())
+                .or_default()
+                .push(wname.clone());
         }
         extend_uses(program, &additions);
     }
@@ -117,7 +120,9 @@ fn rewrite_stmt(
             }
             rewrite_expr(value, scope, index, map, demands);
         }
-        Stmt::If { arms, else_body, .. } => {
+        Stmt::If {
+            arms, else_body, ..
+        } => {
             for (cond, body) in arms.iter_mut() {
                 rewrite_expr(cond, scope, index, map, demands);
                 for b in body.iter_mut() {
@@ -130,7 +135,13 @@ fn rewrite_stmt(
                 }
             }
         }
-        Stmt::Do { start, end, step, body, .. } => {
+        Stmt::Do {
+            start,
+            end,
+            step,
+            body,
+            ..
+        } => {
             rewrite_expr(start, scope, index, map, demands);
             rewrite_expr(end, scope, index, map, demands);
             if let Some(st) = step {
@@ -224,7 +235,9 @@ fn demand_for(
             Some(id) => map.get(id),
             None => dummy.ty.fp_precision().unwrap(),
         };
-        let caller_prec = match args.get(i).and_then(|a| adapted_precision(index, scope, map, a))
+        let caller_prec = match args
+            .get(i)
+            .and_then(|a| adapted_precision(index, scope, map, a))
         {
             Some(p) => p,
             // Kind-generic actuals (pure literals) convert for free at the
@@ -248,9 +261,11 @@ fn demand_for(
         })
         .collect();
     let wname = format!("{callee}_w{sig_str}");
-    demands
-        .entry(wname.clone())
-        .or_insert_with(|| Demand { callee: callee.to_string(), sig, is_function });
+    demands.entry(wname.clone()).or_insert_with(|| Demand {
+        callee: callee.to_string(),
+        sig,
+        is_function,
+    });
     Some(wname)
 }
 
@@ -272,8 +287,8 @@ fn build_wrapper(
     index: &ProgramIndex,
     map: &PrecisionMap,
 ) -> Procedure {
-    let callee_ast = find_procedure(program, &demand.callee)
-        .expect("callee definition exists in program");
+    let callee_ast =
+        find_procedure(program, &demand.callee).expect("callee definition exists in program");
     let pinfo = index.procedure(&demand.callee).expect("callee indexed");
     let sp = Span::default();
 
@@ -307,7 +322,11 @@ fn build_wrapper(
         decls.push(Declaration {
             type_spec: caller_side,
             attrs,
-            entities: vec![EntityDecl { name: param.clone(), dims: dims.clone(), init: None }],
+            entities: vec![EntityDecl {
+                name: param.clone(),
+                dims: dims.clone(),
+                init: None,
+            }],
             span: sp,
         });
 
@@ -324,11 +343,19 @@ fn build_wrapper(
         let is_deferred = dims
             .as_ref()
             .is_some_and(|d| d.iter().any(|x| matches!(x, DimSpec::Deferred)));
-        let temp_attrs: Vec<Attr> = if is_deferred { vec![Attr::Allocatable] } else { vec![] };
+        let temp_attrs: Vec<Attr> = if is_deferred {
+            vec![Attr::Allocatable]
+        } else {
+            vec![]
+        };
         decls.push(Declaration {
             type_spec: callee_side,
             attrs: temp_attrs,
-            entities: vec![EntityDecl { name: temp.clone(), dims: dims.clone(), init: None }],
+            entities: vec![EntityDecl {
+                name: temp.clone(),
+                dims: dims.clone(),
+                init: None,
+            }],
             span: sp,
         });
         if is_deferred {
@@ -364,7 +391,11 @@ fn build_wrapper(
             type_spec: TypeSpec::Integer,
             attrs: vec![],
             entities: (1..=max_rank)
-                .map(|d| EntityDecl { name: format!("prose_i{d}"), dims: None, init: None })
+                .map(|d| EntityDecl {
+                    name: format!("prose_i{d}"),
+                    dims: None,
+                    init: None,
+                })
                 .collect(),
             span: sp,
         });
@@ -376,7 +407,10 @@ fn build_wrapper(
         let dims: Vec<DimSpec> = (1..=*rank)
             .map(|d| DimSpec::Upper(size_of(param, *rank, d)))
             .collect();
-        body.push(Stmt::Allocate { items: vec![(temp.clone(), dims)], span: sp });
+        body.push(Stmt::Allocate {
+            items: vec![(temp.clone(), dims)],
+            span: sp,
+        });
     }
     body.extend(pre);
 
@@ -395,17 +429,28 @@ fn build_wrapper(
         decls.push(Declaration {
             type_spec: ret,
             attrs: vec![],
-            entities: vec![EntityDecl { name: result.clone(), dims: None, init: None }],
+            entities: vec![EntityDecl {
+                name: result.clone(),
+                dims: None,
+                init: None,
+            }],
             span: sp,
         });
         body.push(Stmt::Assign {
             target: LValue::Var(result.clone()),
-            value: Expr::NameRef { name: demand.callee.clone(), args: fwd_args },
+            value: Expr::NameRef {
+                name: demand.callee.clone(),
+                args: fwd_args,
+            },
             span: sp,
         });
         ProcKind::Function { result }
     } else {
-        body.push(Stmt::Call { name: demand.callee.clone(), args: fwd_args, span: sp });
+        body.push(Stmt::Call {
+            name: demand.callee.clone(),
+            args: fwd_args,
+            span: sp,
+        });
         ProcKind::Subroutine
     };
     body.extend(post);
@@ -422,13 +467,20 @@ fn build_wrapper(
 }
 
 fn assign_var(name: &str, value: Expr) -> Stmt {
-    Stmt::Assign { target: LValue::Var(name.to_string()), value, span: Span::default() }
+    Stmt::Assign {
+        target: LValue::Var(name.to_string()),
+        value,
+        span: Span::default(),
+    }
 }
 
 /// `size(param, d)`.
 fn size_of(param: &str, rank: usize, d: usize) -> Expr {
     if rank == 1 {
-        Expr::NameRef { name: "size".into(), args: vec![Expr::Var(param.into())] }
+        Expr::NameRef {
+            name: "size".into(),
+            args: vec![Expr::Var(param.into())],
+        }
     } else {
         Expr::NameRef {
             name: "size".into(),
@@ -441,10 +493,18 @@ fn size_of(param: &str, rank: usize, d: usize) -> Expr {
 fn copy_loop(dst: &str, src: &str, dspec: &[DimSpec], size_target: &str) -> Stmt {
     let sp = Span::default();
     let rank = dspec.len();
-    let idx: Vec<Expr> = (1..=rank).map(|d| Expr::Var(format!("prose_i{d}"))).collect();
+    let idx: Vec<Expr> = (1..=rank)
+        .map(|d| Expr::Var(format!("prose_i{d}")))
+        .collect();
     let mut stmt = Stmt::Assign {
-        target: LValue::Index { name: dst.to_string(), indices: idx.clone() },
-        value: Expr::NameRef { name: src.to_string(), args: idx },
+        target: LValue::Index {
+            name: dst.to_string(),
+            indices: idx.clone(),
+        },
+        value: Expr::NameRef {
+            name: src.to_string(),
+            args: idx,
+        },
         span: sp,
     };
     for (d, spec) in dspec.iter().enumerate() {
@@ -568,7 +628,10 @@ end module m
         let (variant, wrappers, text) = run(FUN, &[("fun", "x")]);
         assert_eq!(wrappers, vec!["fun_w8".to_string()]);
         // Wrapper declares a single-kind temp and assigns through it.
-        assert!(text.contains("function fun_w8(x) result(prose_res)"), "{text}");
+        assert!(
+            text.contains("function fun_w8(x) result(prose_res)"),
+            "{text}"
+        );
         assert!(text.contains("x_tmp = x"), "{text}");
         assert!(text.contains("prose_res = fun(x_tmp)"), "{text}");
         // The variant re-analyzes.
@@ -616,7 +679,10 @@ end program main
         assert_eq!(text.matches("u(prose_i1) = u_tmp(prose_i1)").count(), 0);
         analyze(&variant).expect("variant analyzes");
         // Call site rewritten.
-        assert!(text.contains(&format!("call {}(a, b, 4)", wrappers[0])), "{text}");
+        assert!(
+            text.contains(&format!("call {}(a, b, 4)", wrappers[0])),
+            "{text}"
+        );
     }
 
     #[test]
@@ -674,7 +740,10 @@ end program main
 "#;
         let (variant, wrappers, text) = run(src, &[("norm", "u")]);
         assert_eq!(wrappers.len(), 1);
-        assert!(text.contains("real(kind=4), allocatable :: u_tmp(:)"), "{text}");
+        assert!(
+            text.contains("real(kind=4), allocatable :: u_tmp(:)"),
+            "{text}"
+        );
         assert!(text.contains("allocate(u_tmp(size(u)))"), "{text}");
         analyze(&variant).expect("variant analyzes");
     }

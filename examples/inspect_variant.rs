@@ -15,7 +15,9 @@ use prose::fortran::PrecisionMap;
 use prose::models::{mom6, ModelSize};
 
 fn main() {
-    let model = mom6::mom6(ModelSize::Small).load().expect("mini-MOM6 loads");
+    let model = mom6::mom6(ModelSize::Small)
+        .load()
+        .expect("mini-MOM6 loads");
     let task = model.task(PerfScope::Hotspot, 58);
     let eval = DynamicEvaluator::new(&task).expect("baseline runs");
 
@@ -27,7 +29,11 @@ fn main() {
         .atoms
         .iter()
         .map(|a| {
-            let scope = model.index.scope_info(model.index.fp_var(*a).scope).name.clone();
+            let scope = model
+                .index
+                .scope_info(model.index.fp_var(*a).scope)
+                .name
+                .clone();
             scope != keep_f64 && scope != "continuity_ppm" && scope != "merid_mass_flux"
         })
         .collect();

@@ -75,7 +75,10 @@ fn main() {
         source: USER_MODEL.into(),
         hotspot_module: "heat".into(),
         target_procs: vec!["heat_step".into()],
-        metric: CorrectnessMetric::MaxOverSpaceL2OverTime { key: "t".into(), floor_frac: 0.01 },
+        metric: CorrectnessMetric::MaxOverSpaceL2OverTime {
+            key: "t".into(),
+            floor_frac: 0.01,
+        },
         error_threshold: 1.0e-5,
         n_runs: 1,
         noise_rsd: 0.0,
@@ -99,7 +102,11 @@ fn main() {
         summary.total, summary.pass, summary.fail, summary.error, summary.timeout
     );
 
-    let best = outcome.search.best.as_ref().expect("found an accepted variant");
+    let best = outcome
+        .search
+        .best
+        .as_ref()
+        .expect("found an accepted variant");
     println!(
         "best variant: {:.2}x speedup, error {:.2e} ({} of {} vars still 64-bit)",
         best.outcome.speedup,

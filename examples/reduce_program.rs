@@ -8,7 +8,9 @@ use prose::analysis::reduce_program;
 use prose::models::{adcirc, ModelSize};
 
 fn main() {
-    let model = adcirc::adcirc(ModelSize::Small).load().expect("mini-ADCIRC loads");
+    let model = adcirc::adcirc(ModelSize::Small)
+        .load()
+        .expect("mini-ADCIRC loads");
     let full_text = prose::fortran::unparse(&model.program);
 
     // Target just the solver driver's convergence parameters.
@@ -19,7 +21,10 @@ fn main() {
         .collect();
     println!(
         "targets: {:?}",
-        targets.iter().map(|t| model.index.fp_var_path(*t)).collect::<Vec<_>>()
+        targets
+            .iter()
+            .map(|t| model.index.fp_var_path(*t))
+            .collect::<Vec<_>>()
     );
 
     let reduced = reduce_program(&model.program, &model.index, &targets);

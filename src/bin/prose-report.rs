@@ -1,0 +1,208 @@
+//! `prose-report` — summarize a trial journal into Table II / Figure 5
+//! style artifacts plus cache and search-efficiency statistics.
+//!
+//! ```text
+//! prose-report <trials.jsonl> [--csv out.csv]
+//! ```
+//!
+//! The journal is the JSONL file written by `prose-tune --journal`, by the
+//! `prose-bench` search binaries (`results/trials_<model>.jsonl`), or by
+//! any [`prose::core::tuner::TuningTask`] with `journal` set. Each record
+//! is one evaluation request; `cached` records were answered from the
+//! memoization cache without running the interpreter.
+
+use prose::trace::{Counters, Journal, TrialRecord};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: prose-report <trials.jsonl> [--csv out.csv]");
+    std::process::exit(2)
+}
+
+struct Args {
+    journal: String,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut journal = None;
+    let mut csv = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => {
+                i += 1;
+                csv = Some(argv.get(i)?.clone());
+            }
+            a if journal.is_none() && !a.starts_with("--") => journal = Some(a.to_string()),
+            _ => return None,
+        }
+        i += 1;
+    }
+    Some(Args {
+        journal: journal?,
+        csv,
+    })
+}
+
+fn pct(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / total as f64
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { usage() };
+    let records = match Journal::load(&args.journal) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read journal {}: {e}", args.journal);
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        println!("{}: empty journal", args.journal);
+        return ExitCode::SUCCESS;
+    }
+
+    // ---- cache / search efficiency ------------------------------------
+    let total = records.len();
+    let hits: Vec<&TrialRecord> = records.iter().filter(|r| r.cached).collect();
+    let misses: Vec<&TrialRecord> = records.iter().filter(|r| !r.cached).collect();
+    let mut unique: BTreeMap<&[bool], &TrialRecord> = BTreeMap::new();
+    for r in &records {
+        unique.entry(&r.config).or_insert(r);
+    }
+    println!("journal: {} ({} records)", args.journal, total);
+    println!();
+    println!("== cache / search efficiency ==");
+    println!("  requests:            {total}");
+    println!("  unique configs:      {}", unique.len());
+    println!("  interpreter runs:    {}", misses.len());
+    println!(
+        "  cache hits:          {} ({:.1}% of requests)",
+        hits.len(),
+        pct(hits.len(), total)
+    );
+    let wall_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
+    let miss_ms: f64 = misses.iter().map(|r| r.wall_ms).sum();
+    if !misses.is_empty() && !hits.is_empty() {
+        let mean_miss = miss_ms / misses.len() as f64;
+        println!(
+            "  est. time saved:     {:.1} ms ({} hits x {:.2} ms mean evaluation)",
+            hits.len() as f64 * mean_miss,
+            hits.len(),
+            mean_miss
+        );
+    }
+    println!("  journal wall time:   {wall_ms:.1} ms");
+
+    // ---- Table II-style status breakdown over unique configs ----------
+    let mut by_status: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in unique.values() {
+        *by_status.entry(r.status.as_str()).or_insert(0) += 1;
+    }
+    println!();
+    println!("== variants explored (Table II style) ==");
+    for (status, n) in &by_status {
+        println!("  {status:<16} {n:>6}  ({:.1}%)", pct(*n, unique.len()));
+    }
+    let best = unique
+        .values()
+        .filter(|r| r.status == "pass")
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup));
+    match best {
+        Some(b) => println!(
+            "  best pass: {:.2}x speedup, error {:.3e}, {:.0}% of atoms at 32-bit",
+            b.speedup,
+            b.error,
+            100.0 * b.fraction_single
+        ),
+        None => println!("  best pass: none"),
+    }
+
+    // ---- Figure 5-style scatter (speedup vs fraction lowered) ---------
+    println!();
+    println!("== pass variants by fraction lowered (Figure 5 style) ==");
+    let mut buckets: Vec<(usize, f64)> = vec![(0, 0.0); 10];
+    for r in unique.values().filter(|r| r.status == "pass") {
+        let b = ((r.fraction_single * 10.0) as usize).min(9);
+        buckets[b].0 += 1;
+        buckets[b].1 = buckets[b].1.max(r.speedup);
+    }
+    for (i, (n, best)) in buckets.iter().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        println!(
+            "  {:>3.0}-{:>3.0}% lowered: {:>5} pass, best {best:.2}x  {}",
+            i as f64 * 10.0,
+            (i + 1) as f64 * 10.0,
+            n,
+            "#".repeat((*n).min(60))
+        );
+    }
+
+    // ---- per-stage timing + aggregate counters ------------------------
+    let mut stage_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut counters = Counters::new();
+    for r in &records {
+        for (k, v) in &r.stages {
+            *stage_ns.entry(k.as_str()).or_insert(0) += v;
+        }
+        counters.merge(&r.counters);
+    }
+    if !stage_ns.is_empty() {
+        println!();
+        println!("== stage wall time (uncached evaluations) ==");
+        for (stage, ns) in &stage_ns {
+            println!(
+                "  {stage:<12} {:>10.1} ms total, {:>8.3} ms/run",
+                *ns as f64 / 1e6,
+                *ns as f64 / 1e6 / misses.len().max(1) as f64
+            );
+        }
+    }
+    if !counters.is_empty() {
+        println!();
+        println!("== interpreter counters (all evaluations) ==");
+        for (k, v) in counters.iter() {
+            println!("  {k:<22} {v}");
+        }
+    }
+
+    // ---- optional CSV export ------------------------------------------
+    if let Some(path) = &args.csv {
+        let mut csv =
+            String::from("seq,cached,status,speedup,error,fraction_single,wrappers,wall_ms\n");
+        for r in &records {
+            let error = if r.error.is_finite() {
+                format!("{:e}", r.error)
+            } else {
+                String::new()
+            };
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                r.seq,
+                r.cached,
+                r.status,
+                r.speedup,
+                error,
+                r.fraction_single,
+                r.wrappers,
+                r.wall_ms
+            ));
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

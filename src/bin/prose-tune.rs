@@ -6,6 +6,7 @@
 //!     [--scope hotspot|whole] [--n-runs 1] [--noise 0.0] [--seed 42]
 //!     [--budget 400] [--exclude result] [--emit-best best.f90]
 //!     [--strategy dd|brute|random] [--samples 100]
+//!     [--journal trials.jsonl]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -37,6 +38,7 @@ struct Args {
     emit_best: Option<String>,
     strategy: String,
     samples: usize,
+    journal: Option<String>,
 }
 
 fn usage() -> ! {
@@ -44,7 +46,8 @@ fn usage() -> ! {
         "usage: prose-tune <file.f90> --procs p1,p2 --metric scalar:<key>|field:<key>|maxspace:<key>[:floor] --threshold X\n\
          options: --scope hotspot|whole (default hotspot), --n-runs N (1), --noise RSD (0),\n\
          --seed S (42), --budget K, --exclude v1,v2, --emit-best out.f90,\n\
-         --strategy dd|brute|random (dd), --samples N (random strategy, default 100)"
+         --strategy dd|brute|random (dd), --samples N (random strategy, default 100),\n\
+         --journal trials.jsonl (append every trial; reuse to skip re-evaluation)"
     );
     std::process::exit(2)
 }
@@ -52,8 +55,12 @@ fn usage() -> ! {
 fn parse_metric(spec: &str) -> Option<CorrectnessMetric> {
     let parts: Vec<&str> = spec.split(':').collect();
     match parts.as_slice() {
-        ["scalar", key] => Some(CorrectnessMetric::ScalarSeriesL2 { key: key.to_string() }),
-        ["field", key] => Some(CorrectnessMetric::FieldL2 { key: key.to_string() }),
+        ["scalar", key] => Some(CorrectnessMetric::ScalarSeriesL2 {
+            key: key.to_string(),
+        }),
+        ["field", key] => Some(CorrectnessMetric::FieldL2 {
+            key: key.to_string(),
+        }),
         ["maxspace", key] => Some(CorrectnessMetric::MaxOverSpaceL2OverTime {
             key: key.to_string(),
             floor_frac: 0.0,
@@ -81,6 +88,7 @@ fn parse_args() -> Option<Args> {
     let mut emit_best = None;
     let mut strategy = "dd".to_string();
     let mut samples = 100usize;
+    let mut journal = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -108,6 +116,7 @@ fn parse_args() -> Option<Args> {
             "--emit-best" => emit_best = next(),
             "--strategy" => strategy = next()?,
             "--samples" => samples = next()?.parse().ok()?,
+            "--journal" => journal = next(),
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -127,6 +136,7 @@ fn parse_args() -> Option<Args> {
         emit_best,
         strategy,
         samples,
+        journal,
     })
 }
 
@@ -160,13 +170,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("{}: {} search atoms in {:?}", args.file, model.atoms.len(), args.procs);
+    println!(
+        "{}: {} search atoms in {:?}",
+        args.file,
+        model.atoms.len(),
+        args.procs
+    );
     for a in &model.atoms {
         println!("  {}", model.index.fp_var_path(*a));
     }
 
     let mut task = model.task(args.scope, args.seed);
     task.max_variants = args.budget;
+    task.journal = args.journal.as_ref().map(Into::into);
 
     let outcome = match args.strategy.as_str() {
         "brute" => tune_brute_force(&task),
@@ -176,11 +192,13 @@ fn main() -> ExitCode {
             match DynamicEvaluator::new(&task) {
                 Ok(mut eval) => {
                     let search = RandomSearch::new(args.samples, args.seed).run(&mut eval);
+                    let metrics = eval.metrics();
                     Ok(prose::core::tuner::TuningOutcome {
                         search,
                         baseline_hotspot_cycles: eval.baseline.hotspot_cycles,
                         baseline_total_cycles: eval.baseline.total_cycles,
                         hotspot_share: eval.baseline.hotspot_share(),
+                        metrics,
                         variants: eval.into_records(),
                     })
                 }
@@ -212,6 +230,15 @@ fn main() -> ExitCode {
         outcome.baseline_total_cycles,
         100.0 * outcome.hotspot_share
     );
+    if let Some(journal) = &task.journal {
+        println!(
+            "journal: {} ({} preloaded, {} cache hits, {} evaluated)",
+            journal.display(),
+            outcome.metrics.get("cache_preloaded"),
+            outcome.metrics.get("cache_hits"),
+            outcome.metrics.get("cache_misses")
+        );
+    }
 
     match &outcome.search.best {
         Some(best) => {

@@ -36,6 +36,7 @@
 //! | [`search`] | `prose-search` | delta debugging, brute force, random baseline |
 //! | [`core`] | `prose-core` | the end-to-end tuning pipeline (Figure 1) |
 //! | [`models`] | `prose-models` | the four embedded mini-models |
+//! | [`trace`] | `prose-trace` | trial journal, stage clocks, metric counters |
 
 pub use prose_analysis as analysis;
 pub use prose_core as core;
@@ -43,4 +44,5 @@ pub use prose_fortran as fortran;
 pub use prose_interp as interp;
 pub use prose_models as models;
 pub use prose_search as search;
+pub use prose_trace as trace;
 pub use prose_transform as transform;

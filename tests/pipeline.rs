@@ -23,13 +23,11 @@ fn all_model_sources_round_trip() {
 fn identity_variant_reproduces_baseline_bit_for_bit() {
     for spec in prose::models::all_models(ModelSize::Small) {
         let m = spec.load().unwrap();
-        let base =
-            prose::interp::run_program(&m.program, &m.index, &Default::default()).unwrap();
+        let base = prose::interp::run_program(&m.program, &m.index, &Default::default()).unwrap();
         let map = PrecisionMap::declared(&m.index);
         let v = prose::transform::make_variant(&m.program, &m.index, &map).unwrap();
         assert!(v.wrappers.is_empty());
-        let again =
-            prose::interp::run_program(&v.program, &v.index, &Default::default()).unwrap();
+        let again = prose::interp::run_program(&v.program, &v.index, &Default::default()).unwrap();
         assert_eq!(base.records.scalars, again.records.scalars, "{}", spec.name);
         assert_eq!(base.records.arrays, again.records.arrays, "{}", spec.name);
         assert_eq!(base.total_cycles, again.total_cycles, "{}", spec.name);
@@ -91,7 +89,12 @@ fn funarc_brute_force_finds_the_frontier() {
     let fig3 = out
         .variants
         .iter()
-        .find(|v| v.config.iter().enumerate().all(|(i, b)| *b == (i != s1_pos)))
+        .find(|v| {
+            v.config
+                .iter()
+                .enumerate()
+                .all(|(i, b)| *b == (i != s1_pos))
+        })
         .expect("the keep-s1 variant was enumerated");
     assert!(
         fig3.outcome.error < uniform32.outcome.error,
@@ -99,7 +102,11 @@ fn funarc_brute_force_finds_the_frontier() {
         fig3.outcome.error,
         uniform32.outcome.error
     );
-    assert!(fig3.outcome.speedup > 1.1, "keep-s1 speedup {}", fig3.outcome.speedup);
+    assert!(
+        fig3.outcome.speedup > 1.1,
+        "keep-s1 speedup {}",
+        fig3.outcome.speedup
+    );
     assert!(fig3.outcome.speedup > 0.85 * uniform32.outcome.speedup);
 }
 

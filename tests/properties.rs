@@ -89,7 +89,11 @@ impl Evaluator for SyntheticEval {
         let bad = self.critical.iter().any(|c| lowered[*c]);
         let k = lowered.iter().filter(|b| **b).count();
         Outcome {
-            status: if bad { Status::FailAccuracy } else { Status::Pass },
+            status: if bad {
+                Status::FailAccuracy
+            } else {
+                Status::Pass
+            },
             speedup: 1.0 + k as f64 / self.n as f64,
             error: if bad { 1.0 } else { 1e-9 },
         }
