@@ -67,6 +67,44 @@ fn bench_transform(c: &mut Criterion) {
     });
 }
 
+/// The tentpole comparison: per-variant cost of the faithful pipeline
+/// (clone + rewrite + unparse + reparse + reanalyze + full lower) vs. the
+/// template fast path (plan replay + IR specialization), on the same
+/// uniform-32 mini-MPAS variant. Execution is excluded from both sides —
+/// it is identical by construction (see the `variant_path_diff` test).
+fn bench_variant_path(c: &mut Criterion) {
+    let src = model_source(Small);
+    let program = parse_program(&src).unwrap();
+    let index = analyze(&program).unwrap();
+    let atoms = index.atoms();
+    let map = PrecisionMap::uniform(&index, &atoms, prose_fortran::ast::FpPrecision::Single);
+    let inline = prose_interp::CostParams::default().inline_max_stmts;
+
+    let mut g = c.benchmark_group("variant_path");
+    g.bench_function("faithful transform+lower (uniform-32 mini-MPAS)", |b| {
+        b.iter(|| {
+            let v = prose_transform::make_variant(black_box(&program), &index, &map).unwrap();
+            let wrappers: std::collections::HashSet<String> = v.wrappers.iter().cloned().collect();
+            prose_interp::lower::lower_program(&v.program, &v.index, &wrappers, inline).unwrap()
+        })
+    });
+
+    let vt = prose_transform::VariantTemplate::new(&program, &index);
+    let it = prose_interp::IrTemplate::new(&program, &index, inline).unwrap();
+    g.bench_function("fast instantiate+lower (uniform-32 mini-MPAS)", |b| {
+        b.iter(|| {
+            let plan = vt.instantiate(black_box(&map));
+            let prose_transform::VariantPlan {
+                wrappers,
+                decisions,
+            } = plan;
+            let pairs: Vec<_> = wrappers.into_iter().map(|w| (w.callee, w.ast)).collect();
+            it.instantiate(&map, &pairs, &decisions).unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_interp(c: &mut Criterion) {
     let spec = prose_models::funarc::funarc(Small);
     let m = spec.load().unwrap();
@@ -122,6 +160,7 @@ criterion_group!(
     bench_frontend,
     bench_analyses,
     bench_transform,
+    bench_variant_path,
     bench_interp,
     bench_search
 );

@@ -80,6 +80,8 @@ fn run_search(
     let mut task: TuningTask = model.task(scope, 20_240_417);
     task.max_variants = variant_budget(name);
     task.journal = Some(results_dir().join(format!("trials_{name}.jsonl")));
+    task.variant_path = crate::variant_path();
+    task.crosscheck = crate::crosscheck();
     let t0 = std::time::Instant::now();
     let outcome = tune(&task).expect("baseline runs");
     let wall = t0.elapsed().as_secs_f64();

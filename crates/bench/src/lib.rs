@@ -25,7 +25,7 @@ pub mod cache;
 pub mod report;
 pub mod validate;
 
-use prose_core::tuner::{ModelSpec, PerfScope};
+use prose_core::tuner::{ModelSpec, PerfScope, VariantPath};
 use prose_models::ModelSize;
 
 /// Directory where all regenerated artifacts land.
@@ -67,4 +67,30 @@ pub fn variant_budget(model: &str) -> Option<usize> {
 /// Section IV-C whole-model).
 pub fn search_scope() -> PerfScope {
     PerfScope::Hotspot
+}
+
+/// Variant-generation path for every harness search: `--variant-path
+/// fast|faithful` on any binary's command line (default fast), or the
+/// `PROSE_VARIANT_PATH` environment variable.
+pub fn variant_path() -> VariantPath {
+    cli_or_env("--variant-path", "PROSE_VARIANT_PATH")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_default()
+}
+
+/// Fast-path cross-check budget: the first K uncached evaluations per
+/// search are re-run through the faithful pipeline and asserted
+/// bit-identical (`--crosscheck K` / `PROSE_CROSSCHECK`, default 1).
+pub fn crosscheck() -> usize {
+    cli_or_env("--crosscheck", "PROSE_CROSSCHECK")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn cli_or_env(flag: &str, var: &str) -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1).cloned())
+        .or_else(|| std::env::var(var).ok())
 }

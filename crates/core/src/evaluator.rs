@@ -17,18 +17,21 @@
 //! evaluations and the journal doubles as the experiment's audit trail.
 
 use crate::speedup::{speedup, NoiseModel};
-use crate::tuner::{PerfScope, TuningTask};
+use crate::tuner::{PerfScope, TuningTask, VariantPath};
 use parking_lot::Mutex;
 use prose_analysis::flow::FpFlowGraph;
+use prose_fortran::ast::Procedure;
 use prose_fortran::precision::PrecisionMap;
 use prose_fortran::sema::FpVarId;
-use prose_interp::{run_program, OpCounts, RunConfig, RunError, RunOutcome, Timers};
+use prose_interp::{
+    run_ir, run_program, IrTemplate, OpCounts, RunConfig, RunError, RunOutcome, Timers,
+};
 use prose_search::{Config, Outcome, Status};
 use prose_trace::{Counters, Journal, StageClock, TrialRecord};
-use prose_transform::make_variant;
+use prose_transform::{make_variant, VariantPlan, VariantTemplate};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -157,6 +160,13 @@ pub struct DynamicEvaluator<'a> {
     journal: Option<Mutex<Journal>>,
     /// Next journal sequence number (continues a preloaded journal).
     seq: AtomicU64,
+    /// Fast-path templates, built once per task when
+    /// [`TuningTask::variant_path`] is [`VariantPath::Fast`]. `None` means
+    /// every evaluation takes the faithful unparse → reparse → re-lower
+    /// pipeline (requested, or the template build failed).
+    templates: Option<(VariantTemplate<'a>, IrTemplate<'a>)>,
+    /// Faithful cross-check tickets remaining ([`TuningTask::crosscheck`]).
+    crosschecks_left: AtomicU64,
 }
 
 impl<'a> DynamicEvaluator<'a> {
@@ -169,6 +179,25 @@ impl<'a> DynamicEvaluator<'a> {
             wrapper_names: Default::default(),
         };
         let outcome = run_program(&task.program, &task.index, &cfg)?;
+
+        // Fast-path templates: one AST scan + one full lowering per task,
+        // amortized over every uncached evaluation. A build failure is not
+        // fatal — the faithful pipeline remains available.
+        let templates = match task.variant_path {
+            VariantPath::Faithful => None,
+            VariantPath::Fast => {
+                match IrTemplate::new(&task.program, &task.index, task.cost.inline_max_stmts) {
+                    Ok(ir) => Some((VariantTemplate::new(&task.program, &task.index), ir)),
+                    Err(e) => {
+                        eprintln!(
+                            "[prose] fast variant path unavailable ({e}); using faithful path"
+                        );
+                        None
+                    }
+                }
+            }
+        };
+
         let hotspot_cycles = outcome
             .timers
             .scoped_cycles(task.hotspot_procs.iter().map(String::as_str));
@@ -235,7 +264,18 @@ impl<'a> DynamicEvaluator<'a> {
             counters: Mutex::new(counters),
             journal,
             seq: AtomicU64::new(seq),
+            templates,
+            crosschecks_left: AtomicU64::new(task.crosscheck as u64),
         })
+    }
+
+    /// Journal-facing name of the path evaluations actually take.
+    pub fn variant_path_name(&self) -> &'static str {
+        if self.templates.is_some() {
+            VariantPath::Fast.name()
+        } else {
+            VariantPath::Faithful.name()
+        }
     }
 
     /// Consume the evaluator, returning every variant record.
@@ -321,6 +361,7 @@ impl<'a> DynamicEvaluator<'a> {
             hotspot_cycles: rec.hotspot_cycles,
             stages: clock.stages().clone(),
             counters,
+            variant_path: self.variant_path_name().to_string(),
         };
         if let Err(e) = j.append(&tr) {
             eprintln!("[prose] trial journal write failed: {e}");
@@ -359,48 +400,17 @@ impl<'a> DynamicEvaluator<'a> {
             hotspot_cycles: None,
         };
 
-        // T2: program transformation.
-        let variant = match clock.time("transform", || {
-            make_variant(&task.program, &task.index, &map)
-        }) {
-            Ok(v) => v,
-            Err(e) => {
-                return VariantRecord {
-                    detail: Some(format!("transform: {e}")),
-                    ..base
-                }
-            }
+        // T2 + T3 via the task's variant path. Both paths return the
+        // completed run plus the wrapper set and the variant's hotspot
+        // procedure scope; failures come back as finished records.
+        let path_result = if let Some((vt, it)) = &self.templates {
+            self.run_fast(vt, it, &map, clock, trial_counters, &base)
+        } else {
+            self.run_faithful(&map, clock, &base)
         };
-
-        // T3: dynamic evaluation under the 3×-baseline budget.
-        let run_cfg = RunConfig {
-            cost: task.cost.clone(),
-            budget: Some(task.timeout_factor * self.baseline.total_cycles),
-            max_events: task.max_events,
-            wrapper_names: variant.wrappers.iter().cloned().collect(),
-        };
-        let t_run = Instant::now();
-        let run = match run_program(&variant.program, &variant.index, &run_cfg) {
-            Ok(o) => o,
-            Err(e) => {
-                // Aborted runs (timeouts especially) still did real work
-                // before failing; charge it to the exec stage.
-                clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
-                let status = match e {
-                    RunError::Timeout { .. } => Status::Timeout,
-                    _ => Status::RuntimeError,
-                };
-                return VariantRecord {
-                    outcome: Outcome {
-                        status,
-                        speedup: 0.0,
-                        error: f64::INFINITY,
-                    },
-                    wrappers: variant.wrappers,
-                    detail: Some(e.to_string()),
-                    ..base
-                };
-            }
+        let (run, wrappers, hotspot_set) = match path_result {
+            Ok(t) => t,
+            Err(rec) => return *rec,
         };
         clock.add_ns("lower", run.lower_ns);
         clock.add_ns("exec", run.exec_ns);
@@ -417,7 +427,7 @@ impl<'a> DynamicEvaluator<'a> {
                     speedup: 0.0,
                     error: f64::INFINITY,
                 },
-                wrappers: variant.wrappers,
+                wrappers,
                 detail: Some("correctness metric unavailable (corrupted output)".into()),
                 ..base
             };
@@ -429,12 +439,6 @@ impl<'a> DynamicEvaluator<'a> {
         // hotspot's outer boundary are not (the Figure-5 vs Figure-7
         // distinction).
         let vid = Self::variant_id(lowered);
-        let hotspot_set = hotspot_scope_with_wrappers(
-            &variant.program,
-            &variant.index,
-            &task.hotspot_procs,
-            &variant.wrappers,
-        );
         let scoped_variant = match task.scope {
             PerfScope::Hotspot => run
                 .timers
@@ -460,7 +464,7 @@ impl<'a> DynamicEvaluator<'a> {
                 error,
             },
             per_proc,
-            wrappers: variant.wrappers,
+            wrappers,
             detail: None,
             total_cycles: Some(run.total_cycles),
             hotspot_cycles: Some(
@@ -469,6 +473,181 @@ impl<'a> DynamicEvaluator<'a> {
             ),
             ..base
         }
+    }
+
+    /// The faithful pipeline: clone + rewrite the AST, unparse → reparse →
+    /// reanalyze ([`make_variant`]), then lower and run from scratch.
+    fn run_faithful(
+        &self,
+        map: &PrecisionMap,
+        clock: &mut StageClock,
+        base: &VariantRecord,
+    ) -> Result<(RunOutcome, Vec<String>, Vec<String>), Box<VariantRecord>> {
+        let task = self.task;
+        let variant = match clock.time("transform", || {
+            make_variant(&task.program, &task.index, map)
+        }) {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(Box::new(VariantRecord {
+                    detail: Some(format!("transform: {e}")),
+                    ..base.clone()
+                }))
+            }
+        };
+
+        let run_cfg = RunConfig {
+            cost: task.cost.clone(),
+            budget: Some(task.timeout_factor * self.baseline.total_cycles),
+            max_events: task.max_events,
+            wrapper_names: variant.wrappers.iter().cloned().collect(),
+        };
+        let t_run = Instant::now();
+        let run = match run_program(&variant.program, &variant.index, &run_cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                // Aborted runs (timeouts especially) still did real work
+                // before failing; charge it to the exec stage.
+                clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
+                let status = match e {
+                    RunError::Timeout { .. } => Status::Timeout,
+                    _ => Status::RuntimeError,
+                };
+                return Err(Box::new(VariantRecord {
+                    outcome: Outcome {
+                        status,
+                        speedup: 0.0,
+                        error: f64::INFINITY,
+                    },
+                    wrappers: variant.wrappers,
+                    detail: Some(e.to_string()),
+                    ..base.clone()
+                }));
+            }
+        };
+        let hotspot_set = hotspot_scope_with_wrappers(
+            &variant.program,
+            &variant.index,
+            &task.hotspot_procs,
+            &variant.wrappers,
+        );
+        Ok((run, variant.wrappers, hotspot_set))
+    }
+
+    /// The template fast path: replay the wrapper rewrite on the variant
+    /// template ("transform"), specialize the pre-lowered IR ("lower"), and
+    /// run it — no text round trip, no full re-lower.
+    fn run_fast(
+        &self,
+        vt: &VariantTemplate<'_>,
+        it: &IrTemplate<'_>,
+        map: &PrecisionMap,
+        clock: &mut StageClock,
+        trial_counters: &mut Counters,
+        base: &VariantRecord,
+    ) -> Result<(RunOutcome, Vec<String>, Vec<String>), Box<VariantRecord>> {
+        let task = self.task;
+        let plan = clock.time("transform", || vt.instantiate(map));
+        let wrappers = plan.wrapper_names();
+        let hotspot_set = hotspot_scope_from_callers(&task.hotspot_procs, &plan.wrapper_callers());
+
+        let VariantPlan {
+            wrappers: planned,
+            decisions,
+        } = plan;
+        let pairs: Vec<(String, Procedure)> =
+            planned.into_iter().map(|w| (w.callee, w.ast)).collect();
+        let ir = match clock.time("lower", || it.instantiate(map, &pairs, &decisions)) {
+            Ok(ir) => ir,
+            Err(e) => {
+                return Err(Box::new(VariantRecord {
+                    wrappers,
+                    detail: Some(format!("transform: {e}")),
+                    ..base.clone()
+                }))
+            }
+        };
+
+        let run_cfg = RunConfig {
+            cost: task.cost.clone(),
+            budget: Some(task.timeout_factor * self.baseline.total_cycles),
+            max_events: task.max_events,
+            // Wrapper classification is baked into the template-lowered IR;
+            // run_ir ignores this field.
+            wrapper_names: Default::default(),
+        };
+        let t_run = Instant::now();
+        let run = match run_ir(&ir, &run_cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
+                let status = match e {
+                    RunError::Timeout { .. } => Status::Timeout,
+                    _ => Status::RuntimeError,
+                };
+                return Err(Box::new(VariantRecord {
+                    outcome: Outcome {
+                        status,
+                        speedup: 0.0,
+                        error: f64::INFINITY,
+                    },
+                    wrappers,
+                    detail: Some(e.to_string()),
+                    ..base.clone()
+                }));
+            }
+        };
+
+        if self.take_crosscheck() {
+            self.crosscheck_faithful(map, &wrappers, &run, &run_cfg);
+            trial_counters.bump("crosscheck_faithful", 1);
+        }
+        Ok((run, wrappers, hotspot_set))
+    }
+
+    /// Claim one faithful cross-check ticket, if any remain.
+    fn take_crosscheck(&self) -> bool {
+        self.crosschecks_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Re-run one configuration through the faithful unparse → reparse →
+    /// re-lower pipeline and assert the fast path produced bit-identical
+    /// observables. A divergence is a fidelity bug in the templates, not a
+    /// data point — it aborts the experiment rather than contaminating it.
+    fn crosscheck_faithful(
+        &self,
+        map: &PrecisionMap,
+        fast_wrappers: &[String],
+        fast: &RunOutcome,
+        run_cfg: &RunConfig,
+    ) {
+        let task = self.task;
+        let variant = make_variant(&task.program, &task.index, map)
+            .expect("crosscheck: faithful transform failed on a fast-path success");
+        assert_eq!(
+            variant.wrappers, fast_wrappers,
+            "crosscheck: wrapper sets diverge between variant paths"
+        );
+        let cfg = RunConfig {
+            wrapper_names: variant.wrappers.iter().cloned().collect(),
+            ..run_cfg.clone()
+        };
+        let faithful = run_program(&variant.program, &variant.index, &cfg)
+            .expect("crosscheck: faithful run failed on a fast-path success");
+        assert_eq!(
+            faithful.records, fast.records,
+            "crosscheck: recorded outputs diverge between variant paths"
+        );
+        assert_eq!(
+            faithful.total_cycles, fast.total_cycles,
+            "crosscheck: simulated cycles diverge between variant paths"
+        );
+        assert_eq!(
+            faithful.ops, fast.ops,
+            "crosscheck: op counts diverge between variant paths"
+        );
     }
 }
 
@@ -498,6 +677,35 @@ pub fn hotspot_scope_with_wrappers(
                 .filter(|s| &s.callee == w)
                 .map(|s| index.scope_info(s.caller).name.clone())
                 .collect();
+            if !callers.is_empty() && callers.iter().all(|c| set.contains(c)) {
+                set.push(w.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    set
+}
+
+/// Fast-path equivalent of [`hotspot_scope_with_wrappers`]: the caller sets
+/// come from the variant plan's decision streams instead of a flow-graph
+/// walk over the rewritten program. The main program body appears under
+/// [`prose_transform::MAIN_BODY_KEY`], which is never a hotspot procedure,
+/// so boundary wrappers stay outside the scope exactly as on the faithful
+/// path.
+pub fn hotspot_scope_from_callers(
+    hotspot_procs: &[String],
+    wrapper_callers: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<String> {
+    let mut set: Vec<String> = hotspot_procs.to_vec();
+    loop {
+        let mut grew = false;
+        for (w, callers) in wrapper_callers {
+            if set.contains(w) {
+                continue;
+            }
             if !callers.is_empty() && callers.iter().all(|c| set.contains(c)) {
                 set.push(w.clone());
                 grew = true;

@@ -83,9 +83,13 @@ pub mod profile;
 pub mod speedup;
 pub mod tuner;
 
-pub use evaluator::{status_from_name, status_name, DynamicEvaluator, ProcSample, VariantRecord};
+pub use evaluator::{
+    hotspot_scope_from_callers, hotspot_scope_with_wrappers, status_from_name, status_name,
+    DynamicEvaluator, ProcSample, VariantRecord,
+};
 pub use metrics::CorrectnessMetric;
 pub use profile::{profile, select_hotspot, ProfileRow};
 pub use tuner::{
     tune, tune_brute_force, LoadedModel, ModelSpec, PerfScope, TuningOutcome, TuningTask,
+    VariantPath,
 };

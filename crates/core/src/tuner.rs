@@ -21,6 +21,44 @@ pub enum PerfScope {
     WholeModel,
 }
 
+/// How the evaluator turns a precision assignment into a runnable variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum VariantPath {
+    /// Precision-parametric templates: the baseline is lowered to IR once
+    /// per task, and each variant specializes slot precisions and call-site
+    /// retargets in place — no unparse → reparse → re-lower round trip.
+    #[default]
+    Fast,
+    /// The original per-variant pipeline: clone the AST, rewrite
+    /// declarations, synthesize wrappers, unparse, reparse, reanalyze, and
+    /// lower from scratch. Kept as the fidelity reference the fast path is
+    /// cross-checked against.
+    Faithful,
+}
+
+impl VariantPath {
+    /// Journal-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantPath::Fast => "fast",
+            VariantPath::Faithful => "faithful",
+        }
+    }
+}
+
+impl std::str::FromStr for VariantPath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(VariantPath::Fast),
+            "faithful" => Ok(VariantPath::Faithful),
+            other => Err(format!("unknown variant path `{other}` (fast|faithful)")),
+        }
+    }
+}
+
 /// A fully specified tuning task.
 #[derive(Debug)]
 pub struct TuningTask {
@@ -51,6 +89,12 @@ pub struct TuningTask {
     /// memoization cache so repeated configurations never re-run the
     /// interpreter — including across process restarts.
     pub journal: Option<std::path::PathBuf>,
+    /// Variant-generation path (template fast path by default).
+    pub variant_path: VariantPath,
+    /// On the fast path: the first `crosscheck` uncached evaluations are
+    /// re-run through the faithful pipeline and asserted bit-identical
+    /// (records, simulated cycles, op counts, wrapper set). `0` disables.
+    pub crosscheck: usize,
 }
 
 /// The result of one tuning experiment.
@@ -239,6 +283,8 @@ impl LoadedModel {
             min_speedup: 1.0,
             max_events: 400_000_000,
             journal: None,
+            variant_path: VariantPath::default(),
+            crosscheck: 1,
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use prose_analysis::vect::VectBlocker;
 use prose_fortran::ast::{BinOp, FpPrecision, Intent, UnOp};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A slot reference: procedure-local frame slot or module-level global.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +46,7 @@ pub enum IDim {
 /// Slot declaration inside a procedure or at module level.
 #[derive(Debug, Clone)]
 pub struct SlotDecl {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub ty: STy,
     /// `None` for scalars.
     pub dims: Option<Vec<IDim>>,
@@ -109,7 +109,7 @@ pub enum IExpr {
     RealLit(f64),
     IntLit(i64),
     BoolLit(bool),
-    StrLit(Rc<str>),
+    StrLit(Arc<str>),
     LoadScalar(SlotRef),
     LoadElem {
         slot: SlotRef,
@@ -222,7 +222,7 @@ pub enum IStmt {
     },
     CallIntrinsicSub {
         f: IntrinsicSub,
-        name_arg: Option<Rc<str>>,
+        name_arg: Option<Arc<str>>,
         args: Vec<IArg>,
         line: u32,
     },
@@ -249,9 +249,12 @@ pub enum IStmt {
 }
 
 /// A lowered procedure.
-#[derive(Debug)]
+///
+/// `Clone` exists for the variant fast path ([`crate::template`]): a
+/// baseline `ProgramIR` is cloned per variant and patched in place.
+#[derive(Debug, Clone)]
 pub struct ProcIR {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub is_function: bool,
     /// Slot index of the function result.
     pub result_slot: Option<usize>,
@@ -268,7 +271,11 @@ pub struct ProcIR {
 }
 
 /// A lowered program.
-#[derive(Debug)]
+///
+/// Shared (`&ProgramIR`) across rayon workers by the fast path, so every
+/// payload type here is `Send + Sync` — interned strings are `Arc<str>`,
+/// never `Rc<str>`.
+#[derive(Debug, Clone)]
 pub struct ProgramIR {
     pub procs: Vec<ProcIR>,
     /// Module-level and program-level variables.

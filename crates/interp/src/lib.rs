@@ -38,9 +38,11 @@ pub mod ir;
 pub mod lower;
 pub mod machine;
 pub mod run;
+pub mod template;
 pub mod timers;
 pub mod value;
 
 pub use cost::CostParams;
-pub use run::{run_program, OpCounts, RunConfig, RunError, RunOutcome, RunRecords};
+pub use run::{run_ir, run_program, OpCounts, RunConfig, RunError, RunOutcome, RunRecords};
+pub use template::IrTemplate;
 pub use timers::{ProcTimer, Timers};

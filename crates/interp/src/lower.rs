@@ -14,7 +14,7 @@ use prose_fortran::ast::{self, DimSpec, Expr, LValue, Procedure, Program, Stmt, 
 use prose_fortran::error::{FortranError, Result};
 use prose_fortran::sema::{intrinsic, ProgramIndex, ScopeId, ScopeKind};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Lower an analyzed program. `wrapper_names` marks synthesized conversion
 /// wrappers (never inline candidates); `inline_max_stmts` is the inlining
@@ -25,6 +25,24 @@ pub fn lower_program(
     wrapper_names: &HashSet<String>,
     inline_max_stmts: usize,
 ) -> Result<ProgramIR> {
+    lower_program_with_maps(program, index, wrapper_names, inline_max_stmts).map(|(ir, _, _)| ir)
+}
+
+/// Global slot numbering: `(module scope, variable name)` → global index.
+pub(crate) type GlobalMap = HashMap<(ScopeId, String), usize>;
+/// Procedure id numbering: procedure name (`@main` for the main body) → id.
+pub(crate) type ProcIdMap = HashMap<String, usize>;
+
+/// [`lower_program`], also returning the global slot map and the procedure
+/// id map used during lowering, so the variant fast path
+/// ([`crate::template`]) can lower synthesized wrapper procedures against
+/// the same slot numbering later.
+pub(crate) fn lower_program_with_maps(
+    program: &Program,
+    index: &ProgramIndex,
+    wrapper_names: &HashSet<String>,
+    inline_max_stmts: usize,
+) -> Result<(ProgramIR, GlobalMap, ProcIdMap)> {
     let mut globals: Vec<SlotDecl> = Vec::new();
     let mut global_map: HashMap<(ScopeId, String), usize> = HashMap::new();
 
@@ -69,6 +87,7 @@ pub fn lower_program(
             slots: Vec::new(),
             slot_map: HashMap::new(),
             lw: &lw,
+            local_arrays: None,
         };
         for d in &m.decls {
             for e in &d.entities {
@@ -127,14 +146,66 @@ pub fn lower_program(
         ));
     }
 
-    Ok(ProgramIR {
-        procs,
-        globals: lw.globals,
-        main_proc,
-    })
+    let Lowerer {
+        globals,
+        global_map,
+        proc_ids,
+        ..
+    } = lw;
+    Ok((
+        ProgramIR {
+            procs,
+            globals,
+            main_proc,
+        },
+        global_map,
+        proc_ids,
+    ))
 }
 
-struct Lowerer<'a> {
+/// Rebuild a [`Lowerer`] from a finished baseline lowering, for lowering
+/// synthesized wrapper procedures later (built once per template, shared
+/// across variant instantiations).
+pub(crate) fn wrapper_lowerer<'a>(
+    index: &'a ProgramIndex,
+    base: &ProgramIR,
+    global_map: HashMap<(ScopeId, String), usize>,
+    proc_ids: HashMap<String, usize>,
+) -> Lowerer<'a> {
+    Lowerer {
+        index,
+        globals: base.globals.clone(),
+        global_map,
+        proc_ids,
+    }
+}
+
+/// Lower one synthesized wrapper procedure against the *baseline* program's
+/// index and slot numbering (the wrapper itself has no scope in `index`).
+///
+/// Local names resolve through the wrapper's own declarations; everything
+/// else (module globals referenced by forwarded dimension expressions, the
+/// callee procedure) resolves through `callee_scope` — the same names the
+/// faithful path resolves after inserting the wrapper into the callee's
+/// module and re-analyzing the variant source.
+pub(crate) fn lower_wrapper_procedure(
+    lw: &Lowerer<'_>,
+    p: &Procedure,
+    callee_scope: ScopeId,
+) -> Result<ProcIR> {
+    // Wrapper locals whose declarations carry dimensions: the wrapper-local
+    // substitute for `ProgramIndex::lookup(..).is_array()`.
+    let arrays: HashSet<String> = p
+        .decls
+        .iter()
+        .flat_map(|d| d.entities.iter().filter(|e| d.dims_for(e).is_some()))
+        .map(|e| e.name.clone())
+        .collect();
+    let wrapper_names: HashSet<String> = std::iter::once(p.name.clone()).collect();
+    lower_procedure_inner(lw, p, callee_scope, &wrapper_names, 0, Some(arrays))
+}
+
+pub(crate) struct Lowerer<'a> {
     index: &'a ProgramIndex,
     globals: Vec<SlotDecl>,
     global_map: HashMap<(ScopeId, String), usize>,
@@ -147,6 +218,17 @@ fn lower_procedure(
     scope: ScopeId,
     wrapper_names: &HashSet<String>,
     inline_max_stmts: usize,
+) -> Result<ProcIR> {
+    lower_procedure_inner(lw, p, scope, wrapper_names, inline_max_stmts, None)
+}
+
+fn lower_procedure_inner(
+    lw: &Lowerer<'_>,
+    p: &Procedure,
+    scope: ScopeId,
+    wrapper_names: &HashSet<String>,
+    inline_max_stmts: usize,
+    local_arrays: Option<HashSet<String>>,
 ) -> Result<ProcIR> {
     // Pass 1: create slots.
     let mut slots = Vec::new();
@@ -163,6 +245,7 @@ fn lower_procedure(
         slots,
         slot_map,
         lw,
+        local_arrays,
     };
 
     // Pass 2: dims and inits (may reference any slot).
@@ -207,7 +290,7 @@ fn lower_procedure(
     let inlinable = !is_wrapper && !has_loop && leaf && stmt_count <= inline_max_stmts;
 
     Ok(ProcIR {
-        name: Rc::from(p.name.as_str()),
+        name: Arc::from(p.name.as_str()),
         is_function: p.is_function(),
         result_slot,
         params,
@@ -226,7 +309,7 @@ fn make_slot_decl(d: &ast::Declaration, e: &ast::EntityDecl, is_dummy: bool) -> 
         TypeSpec::Character => STy::Str,
     };
     SlotDecl {
-        name: Rc::from(e.name.as_str()),
+        name: Arc::from(e.name.as_str()),
         ty,
         dims: None,
         init: None,
@@ -243,6 +326,11 @@ struct ProcCtx<'a> {
     slots: Vec<SlotDecl>,
     slot_map: HashMap<String, usize>,
     lw: &'a Lowerer<'a>,
+    /// `Some` when lowering a synthesized wrapper that has no scope in the
+    /// program index: the set of local names declared with dimensions.
+    /// Local name classification then comes from the wrapper's own
+    /// declarations instead of an index lookup.
+    local_arrays: Option<HashSet<String>>,
 }
 
 impl<'a> ProcCtx<'a> {
@@ -270,11 +358,24 @@ impl<'a> ProcCtx<'a> {
     }
 
     fn is_array_name(&self, name: &str) -> bool {
+        if let Some(arrays) = &self.local_arrays {
+            if self.slot_map.contains_key(name) {
+                return arrays.contains(name);
+            }
+        }
         self.lw
             .index
             .lookup(self.scope, name)
             .map(|s| s.is_array())
             .unwrap_or(false)
+    }
+
+    /// Is `name` a user-procedure reference (not a variable) here?
+    fn is_proc_name(&self, name: &str) -> bool {
+        if self.local_arrays.is_some() && self.slot_map.contains_key(name) {
+            return false;
+        }
+        self.lw.index.lookup(self.scope, name).is_none() && self.lw.index.procedure(name).is_some()
     }
 
     fn lower_decl_dims(&self, dims: &[DimSpec], line: u32) -> Result<Vec<IDim>> {
@@ -384,19 +485,9 @@ impl<'a> ProcCtx<'a> {
                 let vslot = self
                     .resolve(var)
                     .ok_or_else(|| self.err(line, format!("unresolved loop var `{var}`")))?;
-                let index = self.lw.index;
-                let scope = self.scope;
-                let la = analyze_counted_loop(
-                    var,
-                    body,
-                    &|n| {
-                        index
-                            .lookup(scope, n)
-                            .map(|s| s.is_array())
-                            .unwrap_or(false)
-                    },
-                    &|n| index.lookup(scope, n).is_none() && index.procedure(n).is_some(),
-                );
+                let la = analyze_counted_loop(var, body, &|n| self.is_array_name(n), &|n| {
+                    self.is_proc_name(n)
+                });
                 let meta = LoopMeta {
                     vectorizable: la.vectorizable,
                     blocker: la.blocker,
@@ -500,8 +591,8 @@ impl<'a> ProcCtx<'a> {
     fn lower_intrinsic_sub(&self, name: &str, args: &[Expr], line: u32) -> Result<IStmt> {
         match name {
             "prose_record" | "prose_record_array" => {
-                let label: Rc<str> = match &args[0] {
-                    Expr::StrLit(s) => Rc::from(s.as_str()),
+                let label: Arc<str> = match &args[0] {
+                    Expr::StrLit(s) => Arc::from(s.as_str()),
                     _ => {
                         return Err(self.err(
                             line,
@@ -645,7 +736,7 @@ impl<'a> ProcCtx<'a> {
             Expr::RealLit { value, .. } => Ok(IExpr::RealLit(*value)),
             Expr::IntLit(v) => Ok(IExpr::IntLit(*v)),
             Expr::LogicalLit(b) => Ok(IExpr::BoolLit(*b)),
-            Expr::StrLit(s) => Ok(IExpr::StrLit(Rc::from(s.as_str()))),
+            Expr::StrLit(s) => Ok(IExpr::StrLit(Arc::from(s.as_str()))),
             Expr::Var(n) => {
                 if self.is_array_name(n) {
                     return Err(self.err(

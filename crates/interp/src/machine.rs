@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Aggregate operation counters for one run. Pure observability: the
 /// counters never feed back into the cost model, they exist so the trial
@@ -64,10 +65,13 @@ impl OpCounts {
 }
 
 /// Why a run aborted.
+///
+/// `proc` fields are interned: they share the lowered IR's procedure-name
+/// `Arc<str>`s instead of allocating a fresh `String` per error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunError {
     /// A floating-point operation produced NaN/Inf.
-    NonFinite { proc: String, line: u32 },
+    NonFinite { proc: Arc<str>, line: u32 },
     /// `stop <code>` with a non-zero code (model guard tripped).
     Stop { code: i64 },
     /// Simulated time exceeded the budget (3× baseline in searches).
@@ -75,17 +79,17 @@ pub enum RunError {
     /// Event-count safety valve tripped (runaway loop).
     EventLimit,
     /// Array subscript out of bounds.
-    OutOfBounds { proc: String, line: u32 },
+    OutOfBounds { proc: Arc<str>, line: u32 },
     /// Use of an unallocated allocatable.
-    Unallocated { proc: String, line: u32 },
+    Unallocated { proc: Arc<str>, line: u32 },
     /// Type/kind/shape violation (e.g. mismatched argument association).
     Invalid {
-        proc: String,
+        proc: Arc<str>,
         line: u32,
         msg: String,
     },
     /// Integer division by zero.
-    DivByZero { proc: String, line: u32 },
+    DivByZero { proc: Arc<str>, line: u32 },
     /// Lowering failed (malformed program).
     Lower(String),
     /// Call stack exceeded the recursion guard.
@@ -122,7 +126,10 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// Output recorded by `prose_record*` plus captured `print` lines.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is bitwise on the recorded floats — the comparison the
+/// fast-path cross-check uses to assert the two variant paths agree.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunRecords {
     pub scalars: BTreeMap<String, Vec<f64>>,
     pub arrays: BTreeMap<String, Vec<Vec<f64>>>,
@@ -135,7 +142,7 @@ pub enum Slot {
     Int(i64),
     Fp(Fp),
     Bool(bool),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Array(ArrayRef),
     Unallocated,
 }
@@ -224,11 +231,11 @@ impl<'ir> Machine<'ir> {
 
     // ---- context helpers -------------------------------------------------
 
-    fn cur_proc_name(&self) -> String {
+    fn cur_proc_name(&self) -> Arc<str> {
         self.proc_stack
             .last()
-            .map(|p| self.ir.procs[*p].name.to_string())
-            .unwrap_or_else(|| "@init".to_string())
+            .map(|p| Arc::clone(&self.ir.procs[*p].name))
+            .unwrap_or_else(|| Arc::from("@init"))
     }
 
     fn cur_proc(&self) -> usize {
@@ -1808,7 +1815,7 @@ fn default_slot(d: &SlotDecl) -> Slot {
             STy::Fp(p) => Slot::Fp(Fp::zero(p)),
             STy::Int => Slot::Int(0),
             STy::Bool => Slot::Bool(false),
-            STy::Str => Slot::Str(Rc::from("")),
+            STy::Str => Slot::Str(Arc::from("")),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Top-level entry: lower, execute, and package results.
 
 use crate::cost::CostParams;
+use crate::ir::ProgramIR;
 use crate::lower::lower_program;
 use crate::machine::Machine;
 use crate::timers::Timers;
@@ -70,9 +71,20 @@ pub fn run_program(
     )
     .map_err(|e| RunError::Lower(e.to_string()))?;
     let lower_ns = t0.elapsed().as_nanos() as u64;
+    let mut outcome = run_ir(&ir, cfg)?;
+    outcome.lower_ns = lower_ns;
+    Ok(outcome)
+}
+
+/// Execute pre-lowered IR — the variant fast path ([`crate::template`]).
+///
+/// `wrapper_names` in `cfg` is ignored: wrapper status is already baked
+/// into the IR. `lower_ns` in the outcome is zero; template instantiation
+/// time is accounted by the caller's stage clock.
+pub fn run_ir(ir: &ProgramIR, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
     let budget = cfg.budget.unwrap_or(f64::INFINITY);
     let t1 = std::time::Instant::now();
-    let mut m = Machine::new(&ir, cfg.cost.clone(), budget, cfg.max_events);
+    let mut m = Machine::new(ir, cfg.cost.clone(), budget, cfg.max_events);
     m.run()?;
     let (timers, records, total_cycles, events, ops) = m.finish();
     let exec_ns = t1.elapsed().as_nanos() as u64;
@@ -82,7 +94,7 @@ pub fn run_program(
         total_cycles,
         events,
         ops,
-        lower_ns,
+        lower_ns: 0,
         exec_ns,
     })
 }

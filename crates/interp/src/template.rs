@@ -1,0 +1,408 @@
+//! Precision-parametric IR templates: the interpreter-side half of the
+//! variant fast path.
+//!
+//! [`run_program`](crate::run_program) re-lowers the whole AST to IR for
+//! every variant, even though precision appears in exactly one place in the
+//! IR — [`SlotDecl::ty`]. An [`IrTemplate`] lowers all non-wrapper
+//! procedures once from the *baseline* program and remembers which slots
+//! are tunable FP variables. [`IrTemplate::instantiate`] then clones the
+//! baseline IR, patches those slot types from the variant's
+//! [`PrecisionMap`], lowers the (tiny) synthesized wrapper procedures
+//! directly, and retargets call sites by replaying the transform-side
+//! decision streams — no unparse, reparse, reanalysis, or full re-lower.
+//!
+//! Decision replay relies on an ordinal correspondence: the IR call-site
+//! walk below visits user call sites in exactly the order the wrapper
+//! rewrite visits them in the AST ([`crate::lower`] preserves expression
+//! and statement order; dropped constructs — `prose_record` labels, the
+//! multi-item `allocate` grouping — contain no call sites on either side).
+//! The walk is validated at instantiation time: a count mismatch is an
+//! error, never a silent mispatch.
+//!
+//! Wrapper procedures differ from the faithful path only in their procedure
+//! *ids* (appended after `@main` instead of interleaved by re-analysis
+//! order), which nothing observable depends on: records, timers, op counts,
+//! and cycle totals are all keyed or summed by name.
+
+use crate::ir::{IArg, IDim, IExpr, ILValue, IStmt, ProgramIR, STy, SlotDecl};
+use crate::lower::{lower_program_with_maps, lower_wrapper_procedure, wrapper_lowerer, Lowerer};
+use prose_fortran::ast::Procedure;
+use prose_fortran::error::{FortranError, Result};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{FpVarId, ProgramIndex, ScopeId, ScopeKind};
+use prose_fortran::Program;
+use std::collections::{HashMap, HashSet};
+
+/// Where a tunable FP slot lives in the baseline IR.
+enum FpSlotLoc {
+    Global(usize),
+    /// `(procedure id, slot index)`.
+    Proc(usize, usize),
+}
+
+/// A baseline lowering plus the recipe for specializing it per variant.
+pub struct IrTemplate<'a> {
+    index: &'a ProgramIndex,
+    base: ProgramIR,
+    /// Slots whose `STy::Fp(_)` is resolved from the precision map at
+    /// instantiation — exactly the declarations `apply_precision` rewrites.
+    fp_slots: Vec<(FpSlotLoc, FpVarId)>,
+    /// Lowering context for synthesized wrappers, sharing the baseline's
+    /// global slot numbering and procedure ids.
+    lw: Lowerer<'a>,
+}
+
+impl<'a> IrTemplate<'a> {
+    /// Lower the baseline program once and record its tunable FP slots.
+    pub fn new(
+        program: &'a Program,
+        index: &'a ProgramIndex,
+        inline_max_stmts: usize,
+    ) -> Result<Self> {
+        let (base, global_map, proc_ids) =
+            lower_program_with_maps(program, index, &HashSet::new(), inline_max_stmts)?;
+
+        let mut fp_slots: Vec<(FpSlotLoc, FpVarId)> = Vec::new();
+        for ((scope, name), idx) in &global_map {
+            if matches!(base.globals[*idx].ty, STy::Fp(_)) {
+                if let Some(id) = index.fp_var_id(*scope, name) {
+                    fp_slots.push((FpSlotLoc::Global(*idx), id));
+                }
+            }
+        }
+        let main_scope = (0..index.scope_count())
+            .map(ScopeId)
+            .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
+            .expect("main scope");
+        for (pid, proc) in base.procs.iter().enumerate() {
+            let scope = if &*proc.name == "@main" {
+                main_scope
+            } else {
+                index.scope_of_procedure(&proc.name).expect("proc indexed")
+            };
+            for (sid, slot) in proc.slots.iter().enumerate() {
+                if matches!(slot.ty, STy::Fp(_)) {
+                    if let Some(id) = index.fp_var_id(scope, &slot.name) {
+                        fp_slots.push((FpSlotLoc::Proc(pid, sid), id));
+                    }
+                }
+            }
+        }
+
+        let lw = wrapper_lowerer(index, &base, global_map, proc_ids);
+        Ok(IrTemplate {
+            index,
+            base,
+            fp_slots,
+            lw,
+        })
+    }
+
+    /// The baseline lowering (identity-map variant) this template patches.
+    pub fn base(&self) -> &ProgramIR {
+        &self.base
+    }
+
+    /// Build one variant's IR: clone the baseline, resolve FP slot types
+    /// from `map`, lower the synthesized `wrappers` (`(callee, wrapper
+    /// AST)` pairs), and retarget call sites per the `decisions` streams
+    /// (keyed by caller procedure name, `"@main"` for the main body; one
+    /// entry per user call site in walk order).
+    pub fn instantiate(
+        &self,
+        map: &PrecisionMap,
+        wrappers: &[(String, Procedure)],
+        decisions: &HashMap<String, Vec<Option<String>>>,
+    ) -> Result<ProgramIR> {
+        let mut ir = self.base.clone();
+        for (loc, id) in &self.fp_slots {
+            let slot: &mut SlotDecl = match loc {
+                FpSlotLoc::Global(i) => &mut ir.globals[*i],
+                FpSlotLoc::Proc(p, s) => &mut ir.procs[*p].slots[*s],
+            };
+            slot.ty = STy::Fp(map.get(*id));
+        }
+
+        let mut wrapper_ids: HashMap<String, usize> = HashMap::with_capacity(wrappers.len());
+        for (callee, proc) in wrappers {
+            let callee_scope = self.index.scope_of_procedure(callee).ok_or_else(|| {
+                FortranError::sema(0, format!("unknown wrapped callee `{callee}`"))
+            })?;
+            let lowered = lower_wrapper_procedure(&self.lw, proc, callee_scope)?;
+            wrapper_ids.insert(proc.name.clone(), ir.procs.len());
+            ir.procs.push(lowered);
+        }
+
+        for pid in 0..self.base.procs.len() {
+            let Some(ds) = decisions.get(&*ir.procs[pid].name) else {
+                continue;
+            };
+            let mut patcher = SitePatcher {
+                ds,
+                next: 0,
+                wrapper_ids: &wrapper_ids,
+            };
+            patcher.walk_stmts(&mut ir.procs[pid].body)?;
+            if patcher.next != ds.len() {
+                return Err(FortranError::sema(
+                    0,
+                    format!(
+                        "fast path desync in `{}`: {} decisions but {} IR call sites",
+                        ir.procs[pid].name,
+                        ds.len(),
+                        patcher.next
+                    ),
+                ));
+            }
+        }
+        Ok(ir)
+    }
+}
+
+/// Replays one procedure's decision stream over its IR call sites, visiting
+/// them in the shared AST/IR walk order.
+struct SitePatcher<'a> {
+    ds: &'a [Option<String>],
+    next: usize,
+    wrapper_ids: &'a HashMap<String, usize>,
+}
+
+impl SitePatcher<'_> {
+    fn site(&mut self, proc: &mut usize) -> Result<()> {
+        let d = self.ds.get(self.next).ok_or_else(|| {
+            FortranError::sema(0, "fast path desync: more IR call sites than decisions")
+        })?;
+        self.next += 1;
+        if let Some(w) = d {
+            *proc = *self
+                .wrapper_ids
+                .get(w)
+                .ok_or_else(|| FortranError::sema(0, format!("unplanned wrapper `{w}`")))?;
+        }
+        Ok(())
+    }
+
+    fn walk_stmts(&mut self, body: &mut [IStmt]) -> Result<()> {
+        for s in body.iter_mut() {
+            self.walk_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn walk_stmt(&mut self, s: &mut IStmt) -> Result<()> {
+        match s {
+            IStmt::AssignScalar { value, .. } | IStmt::AssignBroadcast { value, .. } => {
+                self.walk_expr(value)
+            }
+            IStmt::AssignElem { indices, value, .. } => {
+                for ix in indices.iter_mut() {
+                    self.walk_expr(ix)?;
+                }
+                self.walk_expr(value)
+            }
+            IStmt::If {
+                arms, else_body, ..
+            } => {
+                for (cond, body) in arms.iter_mut() {
+                    self.walk_expr(cond)?;
+                    self.walk_stmts(body)?;
+                }
+                self.walk_stmts(else_body)
+            }
+            IStmt::Do {
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
+                self.walk_expr(start)?;
+                self.walk_expr(end)?;
+                if let Some(st) = step {
+                    self.walk_expr(st)?;
+                }
+                self.walk_stmts(body)
+            }
+            IStmt::DoWhile { cond, body, .. } => {
+                self.walk_expr(cond)?;
+                self.walk_stmts(body)
+            }
+            IStmt::CallSub { proc, args, .. } => {
+                for a in args.iter_mut() {
+                    self.walk_arg(a)?;
+                }
+                self.site(proc)
+            }
+            IStmt::CallIntrinsicSub { args, .. } => {
+                for a in args.iter_mut() {
+                    self.walk_arg(a)?;
+                }
+                Ok(())
+            }
+            IStmt::Print { items, .. } => {
+                for e in items.iter_mut() {
+                    self.walk_expr(e)?;
+                }
+                Ok(())
+            }
+            IStmt::Allocate { dims, .. } => {
+                for d in dims.iter_mut() {
+                    if let IDim::Explicit { lower, upper } = d {
+                        if let Some(lo) = lower {
+                            self.walk_expr(lo)?;
+                        }
+                        self.walk_expr(upper)?;
+                    }
+                }
+                Ok(())
+            }
+            IStmt::AssignArrayCopy { .. }
+            | IStmt::Return
+            | IStmt::Exit
+            | IStmt::Cycle
+            | IStmt::Stop { .. }
+            | IStmt::Deallocate { .. } => Ok(()),
+        }
+    }
+
+    fn walk_expr(&mut self, e: &mut IExpr) -> Result<()> {
+        match e {
+            IExpr::CallFun { proc, args } => {
+                for a in args.iter_mut() {
+                    self.walk_arg(a)?;
+                }
+                self.site(proc)
+            }
+            IExpr::Intrinsic { args, .. } => {
+                for a in args.iter_mut() {
+                    self.walk_expr(a)?;
+                }
+                Ok(())
+            }
+            IExpr::SizeOf { dim, .. } => {
+                if let Some(d) = dim {
+                    self.walk_expr(d)?;
+                }
+                Ok(())
+            }
+            IExpr::LoadElem { indices, .. } => {
+                for ix in indices.iter_mut() {
+                    self.walk_expr(ix)?;
+                }
+                Ok(())
+            }
+            IExpr::Bin { lhs, rhs, .. } => {
+                self.walk_expr(lhs)?;
+                self.walk_expr(rhs)
+            }
+            IExpr::Un { operand, .. } => self.walk_expr(operand),
+            IExpr::RealLit(_)
+            | IExpr::IntLit(_)
+            | IExpr::BoolLit(_)
+            | IExpr::StrLit(_)
+            | IExpr::LoadScalar(_)
+            | IExpr::Reduce { .. } => Ok(()),
+        }
+    }
+
+    fn walk_arg(&mut self, a: &mut IArg) -> Result<()> {
+        match a {
+            IArg::Value(e) => self.walk_expr(e),
+            IArg::ScalarRef(ILValue::Elem { indices, .. }) => {
+                for ix in indices.iter_mut() {
+                    self.walk_expr(ix)?;
+                }
+                Ok(())
+            }
+            IArg::ScalarRef(ILValue::Scalar(_)) | IArg::ArrayRef(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::ast::FpPrecision;
+    use prose_fortran::{analyze, parse_program};
+
+    const SRC: &str = r#"
+module m
+  real(kind=8) :: shared = 1.0d0
+contains
+  function flux(q) result(f)
+    real(kind=8) :: q, f
+    f = q * 0.5d0
+  end function flux
+  subroutine kernel(u, t, n)
+    real(kind=8), intent(in) :: u(n)
+    real(kind=8), intent(out) :: t(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      t(i) = flux(u(i)) + shared
+    end do
+  end subroutine kernel
+end module m
+program main
+  use m, only: kernel
+  real(kind=8) :: a(8), b(8)
+  integer :: k
+  do k = 1, 8
+    a(k) = 0.25d0 * k
+  end do
+  call kernel(a, b, 8)
+  call prose_record('b1', b(1))
+end program main
+"#;
+
+    #[test]
+    fn identity_instantiation_equals_baseline_types() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let t = IrTemplate::new(&p, &ix, 16).unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let ir = t.instantiate(&map, &[], &HashMap::new()).unwrap();
+        assert_eq!(ir.procs.len(), t.base().procs.len());
+        for (a, b) in ir.procs.iter().zip(t.base().procs.iter()) {
+            for (sa, sb) in a.slots.iter().zip(b.slots.iter()) {
+                assert_eq!(sa.ty, sb.ty, "{}::{}", a.name, sa.name);
+            }
+        }
+    }
+
+    #[test]
+    fn precision_map_patches_exactly_the_mapped_slots() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let t = IrTemplate::new(&p, &ix, 16).unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        let flux = ix.scope_of_procedure("flux").unwrap();
+        map.set(ix.fp_var_id(flux, "q").unwrap(), FpPrecision::Single);
+        let ir = t.instantiate(&map, &[], &HashMap::new()).unwrap();
+        let fid = ir.proc_index("flux").unwrap();
+        let fp = &ir.procs[fid];
+        let q = fp.slots.iter().find(|s| &*s.name == "q").unwrap();
+        let f = fp.slots.iter().find(|s| &*s.name == "f").unwrap();
+        assert_eq!(q.ty, STy::Fp(FpPrecision::Single));
+        assert_eq!(f.ty, STy::Fp(FpPrecision::Double));
+        // Globals patch too, and the template itself stays pristine.
+        let g = ix.module_scope("m").unwrap();
+        map.set(ix.fp_var_id(g, "shared").unwrap(), FpPrecision::Single);
+        let ir2 = t.instantiate(&map, &[], &HashMap::new()).unwrap();
+        assert_eq!(ir2.globals[0].ty, STy::Fp(FpPrecision::Single));
+        assert_eq!(t.base().globals[0].ty, STy::Fp(FpPrecision::Double));
+    }
+
+    #[test]
+    fn desynced_decision_stream_is_an_error_not_a_mispatch() {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        let t = IrTemplate::new(&p, &ix, 16).unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let mut decisions: HashMap<String, Vec<Option<String>>> = HashMap::new();
+        // kernel has exactly one call site; two decisions must fail loudly.
+        decisions.insert("kernel".into(), vec![None, None]);
+        let err = t.instantiate(&map, &[], &decisions).unwrap_err();
+        assert!(err.to_string().contains("desync"), "{err}");
+    }
+}

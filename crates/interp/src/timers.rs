@@ -43,18 +43,27 @@ impl Timers {
         Self::default()
     }
 
+    /// Get-or-insert without allocating a `String` on the (overwhelmingly
+    /// common) hit path — `entry()` would clone the key on every call.
+    fn timer_mut(&mut self, proc: &str) -> &mut ProcTimer {
+        if !self.table.contains_key(proc) {
+            self.table.insert(proc.to_string(), ProcTimer::default());
+        }
+        self.table.get_mut(proc).expect("just inserted")
+    }
+
     pub fn charge(&mut self, proc: &str, cycles: f64) {
-        self.table.entry(proc.to_string()).or_default().cycles += cycles;
+        self.timer_mut(proc).cycles += cycles;
         self.total += cycles;
     }
 
     pub fn count_call(&mut self, proc: &str) {
-        self.table.entry(proc.to_string()).or_default().calls += 1;
+        self.timer_mut(proc).calls += 1;
     }
 
     /// Bulk-add invocations (used when folding per-id counters).
     pub fn add_calls(&mut self, proc: &str, calls: u64) {
-        self.table.entry(proc.to_string()).or_default().calls += calls;
+        self.timer_mut(proc).calls += calls;
     }
 
     pub fn get(&self, proc: &str) -> Option<&ProcTimer> {

@@ -9,6 +9,7 @@
 use prose_fortran::ast::FpPrecision;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A floating-point scalar carrying its precision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +82,8 @@ pub enum Num {
     Lit(f64),
     Fp(Fp),
     Bool(bool),
-    Str(Rc<str>),
+    /// Interned: shares the lowered IR's `Arc<str>` literals.
+    Str(Arc<str>),
 }
 
 impl Num {

@@ -58,6 +58,10 @@ pub struct TrialRecord {
     /// memory traffic, timer events, ...); empty for cached records.
     #[serde(default)]
     pub counters: Counters,
+    /// Variant-generation path the evaluator was using (`fast` or
+    /// `faithful`); empty in records from writers predating the fast path.
+    #[serde(default)]
+    pub variant_path: String,
 }
 
 impl TrialRecord {
@@ -198,6 +202,7 @@ mod tests {
             hotspot_cycles: error.is_finite().then_some(2e5),
             stages,
             counters,
+            variant_path: "fast".to_string(),
         }
     }
 
@@ -283,6 +288,7 @@ mod tests {
         assert_eq!(rec.total_cycles, None);
         assert!(rec.stages.is_empty());
         assert!(rec.counters.is_empty());
+        assert_eq!(rec.variant_path, "");
     }
 
     #[test]

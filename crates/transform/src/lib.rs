@@ -22,10 +22,12 @@
 
 pub mod diff;
 pub mod rewrite;
+pub mod template;
 pub mod wrapper;
 
 pub use diff::unified_diff;
 pub use rewrite::apply_precision;
+pub use template::{PlannedWrapper, VariantPlan, VariantTemplate, MAIN_BODY_KEY};
 pub use wrapper::synthesize_wrappers;
 
 use prose_fortran::precision::PrecisionMap;

@@ -1,0 +1,318 @@
+//! Variant templates: the transform-side half of the fast path.
+//!
+//! [`make_variant`](crate::make_variant) pays a full program clone, wrapper
+//! synthesis over the whole AST, and an unparse → reparse → reanalyze round
+//! trip for every probed configuration. A [`VariantTemplate`] is built once
+//! per tuning task from the *baseline* program and hoists everything that
+//! does not depend on the precision map: it keeps only the body statements
+//! that contain user call sites (the only statements wrapper rewriting can
+//! touch). [`VariantTemplate::instantiate`] then replays the exact faithful
+//! rewrite — the same [`wrapper`](crate::wrapper) demand and naming logic,
+//! on per-variant clones of just those statements — and emits a
+//! [`VariantPlan`]: the synthesized wrapper procedure ASTs plus the per-site
+//! retarget decisions, with no text round trip.
+//!
+//! Decision streams are keyed by caller procedure name (the main program
+//! body uses [`MAIN_BODY_KEY`]) and ordered by the shared statement walk, so
+//! the interpreter-side template can replay them onto pre-lowered IR whose
+//! call sites it visits in the same order.
+
+use crate::wrapper::{build_wrapper, main_scope, rewrite_stmt, Demand};
+use prose_fortran::ast::{DimSpec, Expr, LValue, Procedure, Program, Stmt};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{ProgramIndex, ScopeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Decision-stream key for call sites in the main program body.
+pub const MAIN_BODY_KEY: &str = "@main";
+
+/// Per-task precomputation for fast variant generation.
+pub struct VariantTemplate<'a> {
+    program: &'a Program,
+    index: &'a ProgramIndex,
+    callers: Vec<CallerSites>,
+}
+
+/// One caller body's precision-sensitive statements.
+struct CallerSites {
+    /// Decision key: procedure name, or [`MAIN_BODY_KEY`] for the main body.
+    proc: String,
+    scope: ScopeId,
+    /// Top-level body statements containing at least one user call site, in
+    /// body order. Site-free statements are dropped — they contribute no
+    /// decisions and never change under a precision map.
+    stmts: Vec<Stmt>,
+}
+
+/// A wrapper procedure to lower for one variant.
+pub struct PlannedWrapper {
+    pub name: String,
+    /// The wrapped user procedure; the wrapper lives in its scope.
+    pub callee: String,
+    pub ast: Procedure,
+}
+
+/// Everything variant-specific the fast path needs from the transform side.
+pub struct VariantPlan {
+    /// Wrappers in deterministic (name-sorted) order, matching the order
+    /// [`crate::synthesize_wrappers`] returns on the faithful path.
+    pub wrappers: Vec<PlannedWrapper>,
+    /// Per caller procedure: the wrapper decision for each user call site in
+    /// walk order (`None` = call left on the original callee).
+    pub decisions: HashMap<String, Vec<Option<String>>>,
+}
+
+impl VariantPlan {
+    /// Wrapper names in the same order as [`Self::wrappers`].
+    pub fn wrapper_names(&self) -> Vec<String> {
+        self.wrappers.iter().map(|w| w.name.clone()).collect()
+    }
+
+    /// Caller procedure names per wrapper, derived from the decision
+    /// streams. The fast-path replacement for re-walking the variant's flow
+    /// graph when scoping hotspot cycles.
+    pub fn wrapper_callers(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (proc, ds) in &self.decisions {
+            for w in ds.iter().flatten() {
+                out.entry(w.clone()).or_default().insert(proc.clone());
+            }
+        }
+        out
+    }
+}
+
+impl<'a> VariantTemplate<'a> {
+    /// Scan the baseline program once, keeping only call-site-bearing
+    /// statements per caller body.
+    pub fn new(program: &'a Program, index: &'a ProgramIndex) -> Self {
+        let mut callers: Vec<CallerSites> = Vec::new();
+        let mut add = |proc: String, scope: ScopeId, body: &[Stmt]| {
+            let stmts: Vec<Stmt> = body
+                .iter()
+                .filter(|s| stmt_has_site(s, scope, index))
+                .cloned()
+                .collect();
+            if !stmts.is_empty() {
+                callers.push(CallerSites { proc, scope, stmts });
+            }
+        };
+        for m in &program.modules {
+            for p in &m.procedures {
+                let scope = index.scope_of_procedure(&p.name).expect("indexed");
+                add(p.name.clone(), scope, &p.body);
+            }
+        }
+        if let Some(mp) = &program.main {
+            add(MAIN_BODY_KEY.to_string(), main_scope(index), &mp.body);
+            for p in &mp.procedures {
+                let scope = index.scope_of_procedure(&p.name).expect("indexed");
+                add(p.name.clone(), scope, &p.body);
+            }
+        }
+        VariantTemplate {
+            program,
+            index,
+            callers,
+        }
+    }
+
+    /// Replay the faithful wrapper rewrite for `map` over the stored
+    /// statements (cloned per variant, so nested-call renaming behaves
+    /// identically) and build the demanded wrappers from the baseline AST.
+    pub fn instantiate(&self, map: &PrecisionMap) -> VariantPlan {
+        let mut demands: BTreeMap<String, Demand> = BTreeMap::new();
+        let mut decisions: HashMap<String, Vec<Option<String>>> = HashMap::new();
+        for c in &self.callers {
+            let mut ds: Vec<Option<String>> = Vec::new();
+            for s in &c.stmts {
+                let mut s = s.clone();
+                rewrite_stmt(&mut s, c.scope, self.index, map, &mut demands, &mut ds);
+            }
+            decisions.insert(c.proc.clone(), ds);
+        }
+        let wrappers = demands
+            .iter()
+            .map(|(wname, demand)| PlannedWrapper {
+                name: wname.clone(),
+                callee: demand.callee.clone(),
+                ast: build_wrapper(wname, demand, self.program, self.index, map),
+            })
+            .collect();
+        VariantPlan {
+            wrappers,
+            decisions,
+        }
+    }
+}
+
+/// Whether rewriting could touch this statement: it (transitively) contains
+/// a user call site. Mirrors the [`crate::wrapper`] statement walk exactly —
+/// under-approximating here would desynchronize the decision streams.
+fn stmt_has_site(s: &Stmt, scope: ScopeId, index: &ProgramIndex) -> bool {
+    match s {
+        Stmt::Call { name, args, .. } => {
+            index.procedure(name).is_some() || args.iter().any(|a| expr_has_site(a, scope, index))
+        }
+        Stmt::Assign { target, value, .. } => {
+            let in_target = match target {
+                LValue::Index { indices, .. } => {
+                    indices.iter().any(|ix| expr_has_site(ix, scope, index))
+                }
+                LValue::Var(_) => false,
+            };
+            in_target || expr_has_site(value, scope, index)
+        }
+        Stmt::If {
+            arms, else_body, ..
+        } => {
+            arms.iter().any(|(cond, body)| {
+                expr_has_site(cond, scope, index)
+                    || body.iter().any(|b| stmt_has_site(b, scope, index))
+            }) || else_body
+                .as_ref()
+                .is_some_and(|body| body.iter().any(|b| stmt_has_site(b, scope, index)))
+        }
+        Stmt::Do {
+            start,
+            end,
+            step,
+            body,
+            ..
+        } => {
+            expr_has_site(start, scope, index)
+                || expr_has_site(end, scope, index)
+                || step
+                    .as_ref()
+                    .is_some_and(|e| expr_has_site(e, scope, index))
+                || body.iter().any(|b| stmt_has_site(b, scope, index))
+        }
+        Stmt::DoWhile { cond, body, .. } => {
+            expr_has_site(cond, scope, index) || body.iter().any(|b| stmt_has_site(b, scope, index))
+        }
+        Stmt::Print { items, .. } => items.iter().any(|e| expr_has_site(e, scope, index)),
+        Stmt::Allocate { items, .. } => items.iter().any(|(_, dims)| {
+            dims.iter().any(|d| match d {
+                DimSpec::Upper(e) => expr_has_site(e, scope, index),
+                DimSpec::Range(lo, hi) => {
+                    expr_has_site(lo, scope, index) || expr_has_site(hi, scope, index)
+                }
+                DimSpec::Deferred => false,
+            })
+        }),
+        _ => false,
+    }
+}
+
+fn expr_has_site(e: &Expr, scope: ScopeId, index: &ProgramIndex) -> bool {
+    match e {
+        Expr::NameRef { name, args } => {
+            let is_function = index.lookup(scope, name).is_none()
+                && index.procedure(name).is_some_and(|p| p.is_function);
+            is_function || args.iter().any(|a| expr_has_site(a, scope, index))
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_has_site(lhs, scope, index) || expr_has_site(rhs, scope, index)
+        }
+        Expr::Un { operand, .. } => expr_has_site(operand, scope, index),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::make_variant;
+    use prose_fortran::ast::FpPrecision;
+    use prose_fortran::{analyze, parse_program};
+
+    const SRC: &str = r#"
+module m
+contains
+  function flux(q) result(f)
+    real(kind=8) :: q, f
+    f = q * 0.5d0
+  end function flux
+  subroutine kernel(u, t, n)
+    real(kind=8), intent(in) :: u(n)
+    real(kind=8), intent(out) :: t(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      t(i) = flux(u(i))
+    end do
+  end subroutine kernel
+end module m
+program main
+  use m, only: kernel
+  real(kind=8) :: a(8), b(8)
+  integer :: k
+  do k = 1, 8
+    a(k) = 0.25d0 * k
+  end do
+  call kernel(a, b, 8)
+  call prose_record('b1', b(1))
+end program main
+"#;
+
+    fn setup() -> (Program, ProgramIndex) {
+        let p = parse_program(SRC).unwrap();
+        let ix = analyze(&p).unwrap();
+        (p, ix)
+    }
+
+    #[test]
+    fn identity_map_plans_no_wrappers_and_all_none_decisions() {
+        let (p, ix) = setup();
+        let t = VariantTemplate::new(&p, &ix);
+        let plan = t.instantiate(&PrecisionMap::declared(&ix));
+        assert!(plan.wrappers.is_empty());
+        // kernel has one site (flux), main has one (kernel).
+        assert_eq!(plan.decisions["kernel"], vec![None]);
+        assert_eq!(plan.decisions[MAIN_BODY_KEY], vec![None]);
+    }
+
+    #[test]
+    fn plan_matches_faithful_wrapper_set_and_retargets_sites() {
+        let (p, ix) = setup();
+        let mut map = PrecisionMap::declared(&ix);
+        let flux = ix.scope_of_procedure("flux").unwrap();
+        map.set(ix.fp_var_id(flux, "q").unwrap(), FpPrecision::Single);
+        map.set(ix.fp_var_id(flux, "f").unwrap(), FpPrecision::Single);
+
+        let t = VariantTemplate::new(&p, &ix);
+        let plan = t.instantiate(&map);
+        let faithful = make_variant(&p, &ix, &map).unwrap();
+
+        assert_eq!(plan.wrapper_names(), faithful.wrappers);
+        assert_eq!(plan.wrappers.len(), 1);
+        assert_eq!(plan.wrappers[0].callee, "flux");
+        // kernel's single flux site is retargeted at the wrapper.
+        assert_eq!(
+            plan.decisions["kernel"],
+            vec![Some(plan.wrappers[0].name.clone())]
+        );
+        assert_eq!(plan.decisions[MAIN_BODY_KEY], vec![None]);
+        assert_eq!(
+            plan.wrapper_callers()[&plan.wrappers[0].name],
+            BTreeSet::from(["kernel".to_string()])
+        );
+    }
+
+    #[test]
+    fn template_reuse_across_maps_is_independent() {
+        let (p, ix) = setup();
+        let t = VariantTemplate::new(&p, &ix);
+        let atoms = ix.atoms();
+        let uniform = PrecisionMap::uniform(&ix, &atoms, FpPrecision::Single);
+        let declared = PrecisionMap::declared(&ix);
+        // Instantiations do not contaminate each other or the template.
+        assert!(t.instantiate(&uniform).wrappers.is_empty());
+        let mut mixed = declared.clone();
+        let flux = ix.scope_of_procedure("flux").unwrap();
+        mixed.set(ix.fp_var_id(flux, "q").unwrap(), FpPrecision::Single);
+        mixed.set(ix.fp_var_id(flux, "f").unwrap(), FpPrecision::Single);
+        assert_eq!(t.instantiate(&mixed).wrappers.len(), 1);
+        assert!(t.instantiate(&declared).wrappers.is_empty());
+    }
+}

@@ -34,8 +34,11 @@ pub fn synthesize_wrappers(
     index: &ProgramIndex,
     map: &PrecisionMap,
 ) -> Vec<String> {
-    // Pass 1: find demands and rewrite call references.
+    // Pass 1: find demands and rewrite call references. (The per-site
+    // decisions are recorded for the template fast path; the faithful
+    // path discards them.)
     let mut demands: BTreeMap<String, Demand> = BTreeMap::new();
+    let mut decisions: Vec<Option<String>> = Vec::new();
 
     // Collect (scope, body) pairs to rewrite.
     let mut scoped_bodies: Vec<(ScopeId, &mut Vec<Stmt>)> = Vec::new();
@@ -55,7 +58,7 @@ pub fn synthesize_wrappers(
     }
     for (scope, body) in scoped_bodies {
         for s in body.iter_mut() {
-            rewrite_stmt(s, scope, index, map, &mut demands);
+            rewrite_stmt(s, scope, index, map, &mut demands, &mut decisions);
         }
     }
 
@@ -82,56 +85,66 @@ pub fn synthesize_wrappers(
 }
 
 /// One wrapper to generate: the callee plus caller-side kinds per parameter.
-struct Demand {
-    callee: String,
+pub(crate) struct Demand {
+    pub(crate) callee: String,
     /// Caller-side precision for FP params, `None` for non-FP params.
     sig: Vec<Option<FpPrecision>>,
     is_function: bool,
 }
 
-fn main_scope(index: &ProgramIndex) -> ScopeId {
+pub(crate) fn main_scope(index: &ProgramIndex) -> ScopeId {
     (0..index.scope_count())
         .map(ScopeId)
         .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
         .expect("program has a main scope")
 }
 
-fn rewrite_stmt(
+/// Rewrite one statement, registering wrapper demands and appending one
+/// entry to `decisions` per user call site encountered, in walk order
+/// (`None` = call left on the original callee). The fast path replays
+/// these decisions onto the pre-lowered IR, whose call sites it visits in
+/// the same order.
+pub(crate) fn rewrite_stmt(
     s: &mut Stmt,
     scope: ScopeId,
     index: &ProgramIndex,
     map: &PrecisionMap,
     demands: &mut BTreeMap<String, Demand>,
+    decisions: &mut Vec<Option<String>>,
 ) {
     match s {
         Stmt::Call { name, args, .. } => {
             for a in args.iter_mut() {
-                rewrite_expr(a, scope, index, map, demands);
+                rewrite_expr(a, scope, index, map, demands, decisions);
             }
-            if let Some(w) = demand_for(name, args, false, scope, index, map, demands) {
-                *name = w;
+            if index.procedure(name).is_some() {
+                let w = demand_for(name, args, false, scope, index, map, demands);
+                decisions.push(w.clone());
+                if let Some(w) = w {
+                    *name = w;
+                }
             }
         }
         Stmt::Assign { target, value, .. } => {
             if let LValue::Index { indices, .. } = target {
                 for ix in indices.iter_mut() {
-                    rewrite_expr(ix, scope, index, map, demands);
+                    rewrite_expr(ix, scope, index, map, demands, decisions);
                 }
             }
-            rewrite_expr(value, scope, index, map, demands);
+            rewrite_expr(value, scope, index, map, demands, decisions);
         }
         Stmt::If {
             arms, else_body, ..
         } => {
             for (cond, body) in arms.iter_mut() {
-                rewrite_expr(cond, scope, index, map, demands);
+                rewrite_expr(cond, scope, index, map, demands, decisions);
                 for b in body.iter_mut() {
-                    rewrite_stmt(b, scope, index, map, demands);
+                    rewrite_stmt(b, scope, index, map, demands, decisions);
                 }
             }
             if let Some(body) = else_body {
                 for b in body.iter_mut() {
-                    rewrite_stmt(b, scope, index, map, demands);
+                    rewrite_stmt(b, scope, index, map, demands, decisions);
                 }
             }
         }
@@ -142,34 +155,34 @@ fn rewrite_stmt(
             body,
             ..
         } => {
-            rewrite_expr(start, scope, index, map, demands);
-            rewrite_expr(end, scope, index, map, demands);
+            rewrite_expr(start, scope, index, map, demands, decisions);
+            rewrite_expr(end, scope, index, map, demands, decisions);
             if let Some(st) = step {
-                rewrite_expr(st, scope, index, map, demands);
+                rewrite_expr(st, scope, index, map, demands, decisions);
             }
             for b in body.iter_mut() {
-                rewrite_stmt(b, scope, index, map, demands);
+                rewrite_stmt(b, scope, index, map, demands, decisions);
             }
         }
         Stmt::DoWhile { cond, body, .. } => {
-            rewrite_expr(cond, scope, index, map, demands);
+            rewrite_expr(cond, scope, index, map, demands, decisions);
             for b in body.iter_mut() {
-                rewrite_stmt(b, scope, index, map, demands);
+                rewrite_stmt(b, scope, index, map, demands, decisions);
             }
         }
         Stmt::Print { items, .. } => {
             for e in items.iter_mut() {
-                rewrite_expr(e, scope, index, map, demands);
+                rewrite_expr(e, scope, index, map, demands, decisions);
             }
         }
         Stmt::Allocate { items, .. } => {
             for (_, dims) in items.iter_mut() {
                 for d in dims.iter_mut() {
                     match d {
-                        DimSpec::Upper(e) => rewrite_expr(e, scope, index, map, demands),
+                        DimSpec::Upper(e) => rewrite_expr(e, scope, index, map, demands, decisions),
                         DimSpec::Range(lo, hi) => {
-                            rewrite_expr(lo, scope, index, map, demands);
-                            rewrite_expr(hi, scope, index, map, demands);
+                            rewrite_expr(lo, scope, index, map, demands, decisions);
+                            rewrite_expr(hi, scope, index, map, demands, decisions);
                         }
                         DimSpec::Deferred => {}
                     }
@@ -186,26 +199,29 @@ fn rewrite_expr(
     index: &ProgramIndex,
     map: &PrecisionMap,
     demands: &mut BTreeMap<String, Demand>,
+    decisions: &mut Vec<Option<String>>,
 ) {
     match e {
         Expr::NameRef { name, args } => {
             for a in args.iter_mut() {
-                rewrite_expr(a, scope, index, map, demands);
+                rewrite_expr(a, scope, index, map, demands, decisions);
             }
             // Only function references (not array indexing) are calls.
             let is_function = index.lookup(scope, name).is_none()
                 && index.procedure(name).is_some_and(|p| p.is_function);
             if is_function {
-                if let Some(w) = demand_for(name, args, true, scope, index, map, demands) {
+                let w = demand_for(name, args, true, scope, index, map, demands);
+                decisions.push(w.clone());
+                if let Some(w) = w {
                     *name = w;
                 }
             }
         }
         Expr::Bin { lhs, rhs, .. } => {
-            rewrite_expr(lhs, scope, index, map, demands);
-            rewrite_expr(rhs, scope, index, map, demands);
+            rewrite_expr(lhs, scope, index, map, demands, decisions);
+            rewrite_expr(rhs, scope, index, map, demands, decisions);
         }
-        Expr::Un { operand, .. } => rewrite_expr(operand, scope, index, map, demands),
+        Expr::Un { operand, .. } => rewrite_expr(operand, scope, index, map, demands, decisions),
         _ => {}
     }
 }
@@ -280,7 +296,11 @@ fn find_procedure<'a>(program: &'a Program, name: &str) -> Option<&'a Procedure>
 }
 
 /// Build the wrapper procedure AST for one demand.
-fn build_wrapper(
+///
+/// Derives callee-side kinds from `map` rather than the declaration text,
+/// so it works both on a declaration-rewritten variant (faithful path,
+/// where the two agree) and on the pristine baseline AST (fast path).
+pub(crate) fn build_wrapper(
     wname: &str,
     demand: &Demand,
     program: &Program,
@@ -308,7 +328,15 @@ fn build_wrapper(
             .expect("dummy argument declared (checked by sema)");
         let dims: Option<Vec<DimSpec>> = decl.dims_for(entity).map(|d| d.to_vec());
         let intent = decl.intent();
-        let callee_side = decl.type_spec;
+        let callee_side = match decl.type_spec {
+            TypeSpec::Real(declared) => TypeSpec::Real(
+                index
+                    .fp_var_id(pinfo.scope, param)
+                    .map(|id| map.get(id))
+                    .unwrap_or(declared),
+            ),
+            other => other,
+        };
 
         // The wrapper's dummy: caller-side kind for mismatched FP params.
         let caller_side = match (demand.sig[i], callee_side) {

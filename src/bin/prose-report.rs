@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! prose-report <trials.jsonl> [--csv out.csv]
+//! prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out BENCH_variant_path.json]
 //! ```
 //!
 //! The journal is the JSONL file written by `prose-tune --journal`, by the
@@ -10,14 +11,145 @@
 //! any [`prose::core::tuner::TuningTask`] with `journal` set. Each record
 //! is one evaluation request; `cached` records were answered from the
 //! memoization cache without running the interpreter.
+//!
+//! `--variant-path-bench` compares two journals of the *same* search run
+//! once per variant path (`--variant-path fast` / `faithful` on the search
+//! binary) and snapshots uncached-evaluation throughput and per-stage wall
+//! shares as `BENCH_variant_path.json`.
 
 use prose::trace::{Counters, Journal, TrialRecord};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: prose-report <trials.jsonl> [--csv out.csv]");
+    eprintln!(
+        "usage: prose-report <trials.jsonl> [--csv out.csv]\n\
+         \x20      prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out out.json]"
+    );
     std::process::exit(2)
+}
+
+/// Uncached-evaluation statistics of one journal, for the variant-path
+/// benchmark snapshot.
+#[derive(serde::Serialize)]
+struct PathStats {
+    journal: String,
+    /// `variant_path` recorded in the journal (empty for pre-fast-path
+    /// journals).
+    variant_path: String,
+    /// Uncached evaluations (interpreter runs).
+    evaluations: u64,
+    /// Total wall nanoseconds per pipeline stage, uncached records only.
+    stage_ns: BTreeMap<String, u64>,
+    /// Each stage's fraction of the summed stage wall time.
+    stage_share: BTreeMap<String, f64>,
+    /// Uncached evaluations per second of summed stage wall time.
+    evals_per_sec: f64,
+    mean_eval_ms: f64,
+    /// Variant-generation (`transform` + `lower`) milliseconds per uncached
+    /// evaluation — the cost the fast path removes; `exec` is identical on
+    /// both paths by construction.
+    generation_ms_per_eval: f64,
+}
+
+fn path_stats(path: &str) -> Result<PathStats, String> {
+    let records = Journal::load(path).map_err(|e| format!("cannot read journal {path}: {e}"))?;
+    let misses: Vec<&TrialRecord> = records.iter().filter(|r| !r.cached).collect();
+    if misses.is_empty() {
+        return Err(format!("{path}: no uncached evaluations to measure"));
+    }
+    let mut stage_ns: BTreeMap<String, u64> = BTreeMap::new();
+    for r in &misses {
+        for (k, v) in &r.stages {
+            *stage_ns.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    let total_ns: u64 = stage_ns.values().sum();
+    let stage_share = stage_ns
+        .iter()
+        .map(|(k, v)| (k.clone(), *v as f64 / total_ns.max(1) as f64))
+        .collect();
+    let variant_path = misses
+        .iter()
+        .find(|r| !r.variant_path.is_empty())
+        .map(|r| r.variant_path.clone())
+        .unwrap_or_default();
+    let gen_ns = stage_ns.get("transform").copied().unwrap_or(0)
+        + stage_ns.get("lower").copied().unwrap_or(0);
+    Ok(PathStats {
+        journal: path.to_string(),
+        variant_path,
+        evaluations: misses.len() as u64,
+        evals_per_sec: misses.len() as f64 / (total_ns as f64 / 1e9),
+        mean_eval_ms: total_ns as f64 / 1e6 / misses.len() as f64,
+        generation_ms_per_eval: gen_ns as f64 / 1e6 / misses.len() as f64,
+        stage_ns,
+        stage_share,
+    })
+}
+
+fn variant_path_bench(argv: &[String]) -> ExitCode {
+    let mut out = "results/BENCH_variant_path.json".to_string();
+    let mut journals: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                let Some(p) = argv.get(i) else { usage() };
+                out = p.clone();
+            }
+            a if !a.starts_with("--") => journals.push(a.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if journals.len() != 2 {
+        usage();
+    }
+    let (fast, faithful) = match (path_stats(&journals[0]), path_stats(&journals[1])) {
+        (Ok(f), Ok(g)) => (f, g),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ratio = fast.evals_per_sec / faithful.evals_per_sec;
+    let gen_ratio = faithful.generation_ms_per_eval / fast.generation_ms_per_eval;
+    #[derive(serde::Serialize)]
+    struct BenchDoc {
+        bench: &'static str,
+        description: &'static str,
+        fast: PathStats,
+        faithful: PathStats,
+        /// End-to-end uncached-evaluation throughput ratio (includes
+        /// execution, which dominates on the in-repo models).
+        throughput_ratio_fast_over_faithful: f64,
+        /// Variant-generation (transform+lower) cost ratio — the stage the
+        /// fast path replaces.
+        generation_speedup_fast_over_faithful: f64,
+    }
+    let doc = BenchDoc {
+        bench: "variant_path",
+        description: "Uncached variant-evaluation throughput and per-stage wall shares, \
+                      template fast path vs faithful unparse/reparse/re-lower pipeline, \
+                      from the two searches' trial journals.",
+        fast,
+        faithful,
+        throughput_ratio_fast_over_faithful: ratio,
+        generation_speedup_fast_over_faithful: gen_ratio,
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("serialize");
+    if let Err(e) = std::fs::write(&out, text + "\n") {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: fast {:.1} evals/s vs faithful {:.1} evals/s ({ratio:.2}x end-to-end, \
+         {gen_ratio:.2}x variant generation)",
+        doc.fast.evals_per_sec, doc.faithful.evals_per_sec
+    );
+    ExitCode::SUCCESS
 }
 
 struct Args {
@@ -56,6 +188,10 @@ fn pct(n: usize, total: usize) -> f64 {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--variant-path-bench") {
+        return variant_path_bench(&argv[1..]);
+    }
     let Some(args) = parse_args() else { usage() };
     let records = match Journal::load(&args.journal) {
         Ok(r) => r,
@@ -100,6 +236,19 @@ fn main() -> ExitCode {
         );
     }
     println!("  journal wall time:   {wall_ms:.1} ms");
+    let mut by_path: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in &misses {
+        let p = if r.variant_path.is_empty() {
+            "unknown"
+        } else {
+            r.variant_path.as_str()
+        };
+        *by_path.entry(p).or_insert(0) += 1;
+    }
+    if by_path.keys().any(|k| *k != "unknown") {
+        let desc: Vec<String> = by_path.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        println!("  variant paths:       {}", desc.join(", "));
+    }
 
     // ---- Table II-style status breakdown over unique configs ----------
     let mut by_status: BTreeMap<&str, usize> = BTreeMap::new();

@@ -7,6 +7,7 @@
 //!     [--budget 400] [--exclude result] [--emit-best best.f90]
 //!     [--strategy dd|brute|random] [--samples 100]
 //!     [--journal trials.jsonl]
+//!     [--variant-path fast|faithful] [--crosscheck K]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -21,7 +22,9 @@
 //!   over snapshots.
 
 use prose::core::metrics::CorrectnessMetric;
-use prose::core::tuner::{config_to_map, tune, tune_brute_force, ModelSpec, PerfScope};
+use prose::core::tuner::{
+    config_to_map, tune, tune_brute_force, ModelSpec, PerfScope, VariantPath,
+};
 use std::process::ExitCode;
 
 struct Args {
@@ -39,6 +42,8 @@ struct Args {
     strategy: String,
     samples: usize,
     journal: Option<String>,
+    variant_path: VariantPath,
+    crosscheck: usize,
 }
 
 fn usage() -> ! {
@@ -47,7 +52,10 @@ fn usage() -> ! {
          options: --scope hotspot|whole (default hotspot), --n-runs N (1), --noise RSD (0),\n\
          --seed S (42), --budget K, --exclude v1,v2, --emit-best out.f90,\n\
          --strategy dd|brute|random (dd), --samples N (random strategy, default 100),\n\
-         --journal trials.jsonl (append every trial; reuse to skip re-evaluation)"
+         --journal trials.jsonl (append every trial; reuse to skip re-evaluation),\n\
+         --variant-path fast|faithful (fast: template-specialized IR per variant;\n\
+         faithful: unparse/reparse/re-lower), --crosscheck K (fast path: re-run the\n\
+         first K uncached variants faithfully and assert bit-identical results; default 1)"
     );
     std::process::exit(2)
 }
@@ -89,6 +97,8 @@ fn parse_args() -> Option<Args> {
     let mut strategy = "dd".to_string();
     let mut samples = 100usize;
     let mut journal = None;
+    let mut variant_path = VariantPath::default();
+    let mut crosscheck = 1usize;
 
     let mut i = 0;
     while i < argv.len() {
@@ -117,6 +127,8 @@ fn parse_args() -> Option<Args> {
             "--strategy" => strategy = next()?,
             "--samples" => samples = next()?.parse().ok()?,
             "--journal" => journal = next(),
+            "--variant-path" => variant_path = next()?.parse().ok()?,
+            "--crosscheck" => crosscheck = next()?.parse().ok()?,
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -137,6 +149,8 @@ fn parse_args() -> Option<Args> {
         strategy,
         samples,
         journal,
+        variant_path,
+        crosscheck,
     })
 }
 
@@ -183,6 +197,8 @@ fn main() -> ExitCode {
     let mut task = model.task(args.scope, args.seed);
     task.max_variants = args.budget;
     task.journal = args.journal.as_ref().map(Into::into);
+    task.variant_path = args.variant_path;
+    task.crosscheck = args.crosscheck;
 
     let outcome = match args.strategy.as_str() {
         "brute" => tune_brute_force(&task),
