@@ -78,7 +78,7 @@ impl<'a, 'b> Evaluator for Filtered<'a, 'b> {
 fn main() {
     let spec = prose_models::mpas::mpas_a(bench_size());
     let model = spec.load().expect("model loads");
-    let task = model.task(PerfScope::Hotspot, 99);
+    let task = model.task(PerfScope::Hotspot, 99).unwrap();
 
     // Unfiltered delta debugging.
     let mut eval = DynamicEvaluator::new(&task).expect("baseline");

@@ -11,7 +11,7 @@ use prose_search::Status;
 fn main() {
     let spec = prose_models::funarc::funarc(bench_size());
     let model = spec.load().expect("funarc loads");
-    let task = model.task(PerfScope::WholeModel, 7);
+    let task = model.task(PerfScope::WholeModel, 7).unwrap();
     let outcome = tune_brute_force(&task).expect("baseline runs");
     assert_eq!(outcome.variants.len(), 256, "2^8 variants");
 

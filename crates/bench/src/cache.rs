@@ -77,7 +77,7 @@ fn run_search(
 ) -> ModelSearch {
     eprintln!("[prose-bench] running {name} search ({scope:?})...");
     let model = spec.load().expect("model loads");
-    let mut task: TuningTask = model.task(scope, 20_240_417);
+    let mut task: TuningTask = model.task(scope, 20_240_417).expect("task builds");
     task.max_variants = variant_budget(name);
     task.journal = Some(results_dir().join(format!("trials_{name}.jsonl")));
     task.variant_path = crate::variant_path();

@@ -32,8 +32,90 @@ use prose_transform::{make_variant, VariantPlan, VariantTemplate};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Why a variant evaluation failed, one level finer than [`Status`].
+///
+/// `Status` is the search-facing verdict (a timeout and a floating-point
+/// trap are both "not a candidate"); `FailureKind` is the operator-facing
+/// diagnosis that the journal and `prose-report` preserve. Every failed
+/// evaluation carries exactly one kind; passing and fail-accuracy records
+/// carry none (an accuracy miss is a measurement, not a fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Simulated-cycle budget or event-limit valve tripped.
+    Timeout,
+    /// Non-finite value surfaced where the interpreter checks for one.
+    FpException,
+    /// Fast-path template output diverged from the faithful pipeline.
+    TemplateDesync,
+    /// A panic unwound out of the evaluation and was contained.
+    Panic,
+    /// The trial journal could not be read or written.
+    JournalError,
+    /// The source-level transform rejected the precision assignment.
+    Transform,
+    /// Any other interpreter abort (out-of-bounds, div-by-zero, ...).
+    RuntimeOther,
+}
+
+impl FailureKind {
+    /// Journal-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::FpException => "fp_exception",
+            FailureKind::TemplateDesync => "template_desync",
+            FailureKind::Panic => "panic",
+            FailureKind::JournalError => "journal_error",
+            FailureKind::Transform => "transform",
+            FailureKind::RuntimeOther => "runtime_other",
+        }
+    }
+
+    /// Inverse of [`FailureKind::name`].
+    pub fn from_name(name: &str) -> Option<FailureKind> {
+        Some(match name {
+            "timeout" => FailureKind::Timeout,
+            "fp_exception" => FailureKind::FpException,
+            "template_desync" => FailureKind::TemplateDesync,
+            "panic" => FailureKind::Panic,
+            "journal_error" => FailureKind::JournalError,
+            "transform" => FailureKind::Transform,
+            "runtime_other" => FailureKind::RuntimeOther,
+            _ => return None,
+        })
+    }
+
+    /// Classify an interpreter abort.
+    pub fn from_run_error(e: &RunError) -> FailureKind {
+        match e {
+            RunError::Timeout { .. } | RunError::EventLimit => FailureKind::Timeout,
+            RunError::NonFinite { .. } => FailureKind::FpException,
+            RunError::Lower(_) => FailureKind::Transform,
+            _ => FailureKind::RuntimeOther,
+        }
+    }
+}
+
+/// Panic payload raised by the strict crosscheck policy: a template
+/// divergence under `--strict` must abort the experiment, so
+/// [`DynamicEvaluator::eval_one`]'s containment re-raises it instead of
+/// recording a [`FailureKind::Panic`] trial.
+pub struct StrictDesync(pub String);
+
+/// Best-effort text of a contained panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Journal-facing name of a [`Status`].
 pub fn status_name(s: Status) -> &'static str {
@@ -112,6 +194,17 @@ pub struct VariantRecord {
     pub total_cycles: Option<f64>,
     /// Hotspot-scoped cycles (present when the run completed).
     pub hotspot_cycles: Option<f64>,
+    /// Structured failure classification (set iff the evaluation failed
+    /// for a reason other than accuracy).
+    #[serde(default)]
+    pub failure: Option<FailureKind>,
+    /// Name of the fault injected into this trial, when the fault harness
+    /// planned one ("nan" / "timeout" / "abort" / "jitter").
+    #[serde(default)]
+    pub fault_kind: Option<String>,
+    /// Per-trial fault-plan seed (reproduces the injection exactly).
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
 }
 
 /// Baseline measurements shared by every variant evaluation.
@@ -167,6 +260,13 @@ pub struct DynamicEvaluator<'a> {
     templates: Option<(VariantTemplate<'a>, IrTemplate<'a>)>,
     /// Faithful cross-check tickets remaining ([`TuningTask::crosscheck`]).
     crosschecks_left: AtomicU64,
+    /// Set when a lenient crosscheck caught a template divergence: the
+    /// fast path is no longer trusted and every subsequent evaluation
+    /// takes the faithful pipeline.
+    fast_disabled: AtomicBool,
+    /// Journal records appended this process (drives the fault harness's
+    /// `kill-after` mid-run abort).
+    journal_appends: AtomicU64,
 }
 
 impl<'a> DynamicEvaluator<'a> {
@@ -177,6 +277,9 @@ impl<'a> DynamicEvaluator<'a> {
             budget: None,
             max_events: task.max_events,
             wrapper_names: Default::default(),
+            // The baseline is never fault-injected: it anchors correctness
+            // and timing for every variant.
+            fault: None,
         };
         let outcome = run_program(&task.program, &task.index, &cfg)?;
 
@@ -224,10 +327,11 @@ impl<'a> DynamicEvaluator<'a> {
         let mut journal = None;
         let mut seq = 0;
         if let Some(path) = &task.journal {
-            match Journal::load_or_empty(path) {
-                Ok(past) => {
-                    seq = past.len() as u64;
-                    for tr in &past {
+            match Journal::load_or_empty_report(path) {
+                Ok(report) => {
+                    counters.bump("journal_torn_lines", u64::from(report.torn_tail));
+                    seq = report.records.len() as u64;
+                    for tr in &report.records {
                         if tr.config.len() == task.atoms.len() && !cache.contains_key(&tr.config) {
                             if let Some(rec) = variant_from_trial(tr, task.error_threshold) {
                                 cache.insert(tr.config.clone(), rec);
@@ -236,17 +340,24 @@ impl<'a> DynamicEvaluator<'a> {
                         }
                     }
                 }
-                Err(e) => eprintln!(
-                    "[prose] ignoring unreadable trial journal {}: {e}",
-                    path.display()
-                ),
+                Err(e) => {
+                    counters.bump("journal_errors", 1);
+                    eprintln!(
+                        "[prose] ignoring unreadable trial journal {} ({}): {e}",
+                        path.display(),
+                        FailureKind::JournalError.name()
+                    );
+                }
             }
-            match Journal::open_append(path) {
+            match Journal::open_append_with(path, task.wal_flush) {
                 Ok(j) => journal = Some(Mutex::new(j)),
-                Err(e) => eprintln!(
-                    "[prose] trial journaling disabled ({}: {e})",
-                    path.display()
-                ),
+                Err(e) => {
+                    counters.bump("journal_errors", 1);
+                    eprintln!(
+                        "[prose] trial journaling disabled ({}: {e})",
+                        path.display()
+                    );
+                }
             }
         }
 
@@ -266,12 +377,14 @@ impl<'a> DynamicEvaluator<'a> {
             seq: AtomicU64::new(seq),
             templates,
             crosschecks_left: AtomicU64::new(task.crosscheck as u64),
+            fast_disabled: AtomicBool::new(false),
+            journal_appends: AtomicU64::new(0),
         })
     }
 
     /// Journal-facing name of the path evaluations actually take.
     pub fn variant_path_name(&self) -> &'static str {
-        if self.templates.is_some() {
+        if self.templates.is_some() && !self.fast_disabled.load(Ordering::Relaxed) {
             VariantPath::Fast.name()
         } else {
             VariantPath::Faithful.name()
@@ -362,17 +475,115 @@ impl<'a> DynamicEvaluator<'a> {
             stages: clock.stages().clone(),
             counters,
             variant_path: self.variant_path_name().to_string(),
+            failure_kind: rec.failure.map(|f| f.name().to_string()),
+            fault_kind: rec.fault_kind.clone(),
+            fault_seed: rec.fault_seed,
         };
         if let Err(e) = j.append(&tr) {
-            eprintln!("[prose] trial journal write failed: {e}");
+            // A journal failure cannot itself be journaled; it surfaces as
+            // a counter and a warning instead of killing the search.
+            self.counters.lock().bump("journal_errors", 1);
+            eprintln!(
+                "[prose] trial journal write failed ({}): {e}",
+                FailureKind::JournalError.name()
+            );
+        }
+        let appended = self.journal_appends.fetch_add(1, Ordering::Relaxed) + 1;
+        drop(j);
+        // Fault harness kill switch: simulate the process dying mid-run
+        // right after the k-th append. Raised as an uncontained panic so it
+        // tears down the whole search exactly where a real crash would.
+        if let Some(k) = self.task.faults.as_ref().and_then(|f| f.kill_after) {
+            if appended >= k {
+                std::panic::panic_any(prose_faults::InjectedKill { appended });
+            }
         }
     }
 
-    /// Transform, run, and measure one configuration (pure w.r.t. shared
-    /// state), filling per-stage wall clocks and interpreter counters.
+    /// Transform, run, and measure one configuration, with panic
+    /// containment and fault-plan bookkeeping.
+    ///
+    /// Any panic that unwinds out of the evaluation — an injected abort
+    /// from the fault harness, or a genuine bug in a transform/interpreter
+    /// path — is caught here and classified as [`FailureKind::Panic`], so
+    /// one poisoned variant rejects that configuration instead of killing
+    /// the whole search. Two payloads are deliberately re-raised:
+    /// [`StrictDesync`] (the `--strict` crosscheck policy aborts the
+    /// experiment) and [`prose_faults::InjectedKill`] (the harness's
+    /// process-death stand-in must not be contained).
     fn eval_uncached(
         &self,
         lowered: &Config,
+        clock: &mut StageClock,
+        trial_counters: &mut Counters,
+    ) -> VariantRecord {
+        let vid = Self::variant_id(lowered);
+        let plan = self
+            .task
+            .faults
+            .as_ref()
+            .filter(|f| f.is_active())
+            .map(|f| f.plan(vid));
+        if plan.as_ref().is_some_and(|p| p.kind_name().is_some()) {
+            trial_counters.bump("faults_injected", 1);
+        }
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            self.eval_inner(lowered, vid, plan.as_ref(), clock, trial_counters)
+        }));
+        let mut rec = match attempt {
+            Ok(rec) => rec,
+            Err(payload) => {
+                if payload.downcast_ref::<StrictDesync>().is_some()
+                    || payload
+                        .downcast_ref::<prose_faults::InjectedKill>()
+                        .is_some()
+                {
+                    resume_unwind(payload);
+                }
+                trial_counters.bump("failures_contained_panic", 1);
+                let detail = if let Some(a) = payload.downcast_ref::<prose_faults::InjectedAbort>()
+                {
+                    format!(
+                        "contained panic: injected abort after {} events",
+                        a.after_events
+                    )
+                } else {
+                    format!("contained panic: {}", panic_message(payload.as_ref()))
+                };
+                let map = self.precision_map(lowered);
+                VariantRecord {
+                    config: lowered.clone(),
+                    outcome: Outcome {
+                        status: Status::RuntimeError,
+                        speedup: 0.0,
+                        error: f64::INFINITY,
+                    },
+                    fraction_single: map.fraction_single(&self.task.atoms),
+                    per_proc: Vec::new(),
+                    wrappers: Vec::new(),
+                    detail: Some(detail),
+                    total_cycles: None,
+                    hotspot_cycles: None,
+                    failure: Some(FailureKind::Panic),
+                    fault_kind: None,
+                    fault_seed: None,
+                }
+            }
+        };
+        if let Some(p) = &plan {
+            rec.fault_kind = p.kind_name().map(str::to_string);
+            rec.fault_seed = Some(p.seed);
+        }
+        rec
+    }
+
+    /// The uncontained evaluation body (pure w.r.t. shared state), filling
+    /// per-stage wall clocks and interpreter counters.
+    fn eval_inner(
+        &self,
+        lowered: &Config,
+        vid: u64,
+        plan: Option<&prose_faults::TrialFaults>,
         clock: &mut StageClock,
         trial_counters: &mut Counters,
     ) -> VariantRecord {
@@ -398,15 +609,20 @@ impl<'a> DynamicEvaluator<'a> {
             detail: None,
             total_cycles: None,
             hotspot_cycles: None,
+            failure: None,
+            fault_kind: None,
+            fault_seed: None,
         };
 
         // T2 + T3 via the task's variant path. Both paths return the
         // completed run plus the wrapper set and the variant's hotspot
         // procedure scope; failures come back as finished records.
-        let path_result = if let Some((vt, it)) = &self.templates {
-            self.run_fast(vt, it, &map, clock, trial_counters, &base)
-        } else {
-            self.run_faithful(&map, clock, &base)
+        let fault = plan.and_then(|p| p.fault.clone());
+        let path_result = match &self.templates {
+            Some((vt, it)) if !self.fast_disabled.load(Ordering::Relaxed) => {
+                self.run_fast(vt, it, &map, fault, clock, trial_counters, &base)
+            }
+            _ => self.run_faithful(&map, fault, clock, &base),
         };
         let (run, wrappers, hotspot_set) = match path_result {
             Ok(t) => t,
@@ -429,6 +645,7 @@ impl<'a> DynamicEvaluator<'a> {
                 },
                 wrappers,
                 detail: Some("correctness metric unavailable (corrupted output)".into()),
+                failure: Some(FailureKind::RuntimeOther),
                 ..base
             };
         };
@@ -438,18 +655,41 @@ impl<'a> DynamicEvaluator<'a> {
         // hotspot procedure are part of the measured time; wrappers at the
         // hotspot's outer boundary are not (the Figure-5 vs Figure-7
         // distinction).
-        let vid = Self::variant_id(lowered);
         let scoped_variant = match task.scope {
             PerfScope::Hotspot => run
                 .timers
                 .scoped_cycles(hotspot_set.iter().map(String::as_str)),
             PerfScope::WholeModel => run.total_cycles,
         };
-        let base_samples = self
-            .noise
-            .samples(self.baseline.scoped(task.scope), 0, task.n_runs);
-        let var_samples = self.noise.samples(scoped_variant, vid | 1, task.n_runs);
-        let sp = speedup(&base_samples, &var_samples);
+        let measure = |n: usize| -> f64 {
+            let base_samples = self.noise.samples(self.baseline.scoped(task.scope), 0, n);
+            let mut var_samples = self.noise.samples(scoped_variant, vid | 1, n);
+            if let Some(p) = plan {
+                // Injected timing jitter perturbs each variant sample
+                // independently; the streams are prefix-stable, so a
+                // larger n re-observes the same draws plus fresh ones.
+                for (v, j) in var_samples.iter_mut().zip(p.jitter_factors(n)) {
+                    *v *= j;
+                }
+            }
+            speedup(&base_samples, &var_samples)
+        };
+        let mut n = task.n_runs.max(1);
+        let mut sp = measure(n);
+        // Noise-tolerant re-evaluation: a speedup landing within
+        // `retry_band` (relative) of the acceptance bar is re-measured
+        // with an escalating sample count until it leaves the band or the
+        // run budget is exhausted, so borderline accept/reject verdicts
+        // stop flapping with the noise draw.
+        if task.retry_band > 0.0 && task.min_speedup > 0.0 {
+            while (sp - task.min_speedup).abs() <= task.retry_band * task.min_speedup
+                && n < task.retry_max_runs
+            {
+                n = (n * 2 + 1).min(task.retry_max_runs);
+                trial_counters.bump("speedup_reeval", 1);
+                sp = measure(n);
+            }
+        }
 
         let status = if error <= task.error_threshold {
             Status::Pass
@@ -480,6 +720,7 @@ impl<'a> DynamicEvaluator<'a> {
     fn run_faithful(
         &self,
         map: &PrecisionMap,
+        fault: Option<prose_faults::InjectedFault>,
         clock: &mut StageClock,
         base: &VariantRecord,
     ) -> Result<(RunOutcome, Vec<String>, Vec<String>), Box<VariantRecord>> {
@@ -491,6 +732,7 @@ impl<'a> DynamicEvaluator<'a> {
             Err(e) => {
                 return Err(Box::new(VariantRecord {
                     detail: Some(format!("transform: {e}")),
+                    failure: Some(FailureKind::Transform),
                     ..base.clone()
                 }))
             }
@@ -501,6 +743,7 @@ impl<'a> DynamicEvaluator<'a> {
             budget: Some(task.timeout_factor * self.baseline.total_cycles),
             max_events: task.max_events,
             wrapper_names: variant.wrappers.iter().cloned().collect(),
+            fault,
         };
         let t_run = Instant::now();
         let run = match run_program(&variant.program, &variant.index, &run_cfg) {
@@ -521,6 +764,7 @@ impl<'a> DynamicEvaluator<'a> {
                     },
                     wrappers: variant.wrappers,
                     detail: Some(e.to_string()),
+                    failure: Some(FailureKind::from_run_error(&e)),
                     ..base.clone()
                 }));
             }
@@ -537,11 +781,13 @@ impl<'a> DynamicEvaluator<'a> {
     /// The template fast path: replay the wrapper rewrite on the variant
     /// template ("transform"), specialize the pre-lowered IR ("lower"), and
     /// run it — no text round trip, no full re-lower.
+    #[allow(clippy::too_many_arguments)]
     fn run_fast(
         &self,
         vt: &VariantTemplate<'_>,
         it: &IrTemplate<'_>,
         map: &PrecisionMap,
+        fault: Option<prose_faults::InjectedFault>,
         clock: &mut StageClock,
         trial_counters: &mut Counters,
         base: &VariantRecord,
@@ -563,6 +809,7 @@ impl<'a> DynamicEvaluator<'a> {
                 return Err(Box::new(VariantRecord {
                     wrappers,
                     detail: Some(format!("transform: {e}")),
+                    failure: Some(FailureKind::Transform),
                     ..base.clone()
                 }))
             }
@@ -575,6 +822,7 @@ impl<'a> DynamicEvaluator<'a> {
             // Wrapper classification is baked into the template-lowered IR;
             // run_ir ignores this field.
             wrapper_names: Default::default(),
+            fault,
         };
         let t_run = Instant::now();
         let run = match run_ir(&ir, &run_cfg) {
@@ -593,14 +841,38 @@ impl<'a> DynamicEvaluator<'a> {
                     },
                     wrappers,
                     detail: Some(e.to_string()),
+                    failure: Some(FailureKind::from_run_error(&e)),
                     ..base.clone()
                 }));
             }
         };
 
         if self.take_crosscheck() {
-            self.crosscheck_faithful(map, &wrappers, &run, &run_cfg);
             trial_counters.bump("crosscheck_faithful", 1);
+            if let Err(why) = self.crosscheck_faithful(map, &wrappers, &run, &run_cfg) {
+                trial_counters.bump("crosscheck_desync", 1);
+                if task.strict {
+                    // --strict: a template fidelity bug must abort the
+                    // experiment, not contaminate it. The typed payload
+                    // rides through eval_one's containment untouched.
+                    eprintln!(
+                        "[prose] fast-path crosscheck divergence under --strict ({}): {why}",
+                        FailureKind::TemplateDesync.name()
+                    );
+                    std::panic::panic_any(StrictDesync(why));
+                }
+                // Lenient (default): distrust the templates from here on,
+                // count the desync, and re-answer this configuration via
+                // the faithful pipeline. A fault is never in play here —
+                // a planned fault would have aborted the fast run above.
+                eprintln!(
+                    "[prose] fast-path crosscheck divergence ({}): {why}; \
+                     downgrading to the faithful pipeline",
+                    FailureKind::TemplateDesync.name()
+                );
+                self.fast_disabled.store(true, Ordering::Relaxed);
+                return self.run_faithful(map, None, clock, base);
+            }
         }
         Ok((run, wrappers, hotspot_set))
     }
@@ -613,41 +885,41 @@ impl<'a> DynamicEvaluator<'a> {
     }
 
     /// Re-run one configuration through the faithful unparse → reparse →
-    /// re-lower pipeline and assert the fast path produced bit-identical
+    /// re-lower pipeline and check the fast path produced bit-identical
     /// observables. A divergence is a fidelity bug in the templates, not a
-    /// data point — it aborts the experiment rather than contaminating it.
+    /// data point — the caller decides whether to abort (`--strict`) or
+    /// downgrade to the faithful pipeline (lenient default).
     fn crosscheck_faithful(
         &self,
         map: &PrecisionMap,
         fast_wrappers: &[String],
         fast: &RunOutcome,
         run_cfg: &RunConfig,
-    ) {
+    ) -> Result<(), String> {
         let task = self.task;
         let variant = make_variant(&task.program, &task.index, map)
-            .expect("crosscheck: faithful transform failed on a fast-path success");
-        assert_eq!(
-            variant.wrappers, fast_wrappers,
-            "crosscheck: wrapper sets diverge between variant paths"
-        );
+            .map_err(|e| format!("faithful transform failed on a fast-path success: {e}"))?;
+        if variant.wrappers != fast_wrappers {
+            return Err("wrapper sets diverge between variant paths".into());
+        }
         let cfg = RunConfig {
             wrapper_names: variant.wrappers.iter().cloned().collect(),
+            // The crosscheck is a reference run; never fault-inject it.
+            fault: None,
             ..run_cfg.clone()
         };
         let faithful = run_program(&variant.program, &variant.index, &cfg)
-            .expect("crosscheck: faithful run failed on a fast-path success");
-        assert_eq!(
-            faithful.records, fast.records,
-            "crosscheck: recorded outputs diverge between variant paths"
-        );
-        assert_eq!(
-            faithful.total_cycles, fast.total_cycles,
-            "crosscheck: simulated cycles diverge between variant paths"
-        );
-        assert_eq!(
-            faithful.ops, fast.ops,
-            "crosscheck: op counts diverge between variant paths"
-        );
+            .map_err(|e| format!("faithful run failed on a fast-path success: {e}"))?;
+        if faithful.records != fast.records {
+            return Err("recorded outputs diverge between variant paths".into());
+        }
+        if faithful.total_cycles != fast.total_cycles {
+            return Err("simulated cycles diverge between variant paths".into());
+        }
+        if faithful.ops != fast.ops {
+            return Err("op counts diverge between variant paths".into());
+        }
+        Ok(())
     }
 }
 
@@ -766,6 +1038,9 @@ fn variant_from_trial(tr: &TrialRecord, error_threshold: f64) -> Option<VariantR
         detail: Some("replayed from trial journal".into()),
         total_cycles: tr.total_cycles,
         hotspot_cycles: tr.hotspot_cycles,
+        failure: tr.failure_kind.as_deref().and_then(FailureKind::from_name),
+        fault_kind: tr.fault_kind.clone(),
+        fault_seed: tr.fault_seed,
     })
 }
 

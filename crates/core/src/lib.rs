@@ -71,7 +71,7 @@
 //!     exclude: vec![],
 //! };
 //! let model = spec.load().unwrap();
-//! let task = model.task(tuner::PerfScope::Hotspot, 42);
+//! let task = model.task(tuner::PerfScope::Hotspot, 42).unwrap();
 //! let outcome = tuner::tune(&task).unwrap();
 //! let best = outcome.search.best.expect("found a faster variant");
 //! assert!(best.outcome.speedup > 1.0);
@@ -85,7 +85,7 @@ pub mod tuner;
 
 pub use evaluator::{
     hotspot_scope_from_callers, hotspot_scope_with_wrappers, status_from_name, status_name,
-    DynamicEvaluator, ProcSample, VariantRecord,
+    DynamicEvaluator, FailureKind, ProcSample, StrictDesync, VariantRecord,
 };
 pub use metrics::CorrectnessMetric;
 pub use profile::{profile, select_hotspot, ProfileRow};

@@ -92,9 +92,24 @@ pub struct TuningTask {
     /// Variant-generation path (template fast path by default).
     pub variant_path: VariantPath,
     /// On the fast path: the first `crosscheck` uncached evaluations are
-    /// re-run through the faithful pipeline and asserted bit-identical
+    /// re-run through the faithful pipeline and checked bit-identical
     /// (records, simulated cycles, op counts, wrapper set). `0` disables.
     pub crosscheck: usize,
+    /// Strict crosscheck policy: a fast/faithful divergence aborts the
+    /// experiment. Lenient (default) counts it, disables the fast path,
+    /// and re-answers through the faithful pipeline.
+    pub strict: bool,
+    /// Deterministic fault-injection plan (`None` = no injection).
+    pub faults: Option<prose_faults::FaultConfig>,
+    /// Noise-tolerant re-evaluation: when a measured speedup lands within
+    /// `retry_band * min_speedup` of the acceptance bar, re-measure with
+    /// an escalating sample count. `0.0` disables.
+    pub retry_band: f64,
+    /// Sample-count ceiling for the escalating re-measurement.
+    pub retry_max_runs: usize,
+    /// Journal write-ahead-log flush policy (per-record by default, so a
+    /// killed process loses at most the record being written).
+    pub wal_flush: prose_trace::FlushPolicy,
 }
 
 /// The result of one tuning experiment.
@@ -265,10 +280,15 @@ impl ModelSpec {
 
 impl LoadedModel {
     /// Build a tuning task with the given performance scope and seed.
-    pub fn task(&self, scope: PerfScope, seed: u64) -> TuningTask {
-        TuningTask {
+    ///
+    /// Re-analyzes the stored program (the task owns its own index); the
+    /// analysis already succeeded in [`ModelSpec::load`], so an error here
+    /// means the model was mutated in between and is reported, not
+    /// panicked on.
+    pub fn task(&self, scope: PerfScope, seed: u64) -> Result<TuningTask, FortranError> {
+        Ok(TuningTask {
             program: self.program.clone(),
-            index: prose_fortran::analyze(&self.program).expect("already analyzed"),
+            index: prose_fortran::analyze(&self.program)?,
             atoms: self.atoms.clone(),
             hotspot_procs: self.spec.target_procs.clone(),
             metric: self.spec.metric.clone(),
@@ -285,6 +305,11 @@ impl LoadedModel {
             journal: None,
             variant_path: VariantPath::default(),
             crosscheck: 1,
-        }
+            strict: false,
+            faults: None,
+            retry_band: 0.0,
+            retry_max_runs: 25,
+            wal_flush: prose_trace::FlushPolicy::default(),
+        })
     }
 }

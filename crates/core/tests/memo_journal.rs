@@ -76,7 +76,7 @@ fn temp_journal(tag: &str) -> PathBuf {
 #[test]
 fn repeated_config_is_served_from_cache() {
     let model = spec().load().unwrap();
-    let task = model.task(PerfScope::Hotspot, 7);
+    let task = model.task(PerfScope::Hotspot, 7).unwrap();
     let eval = DynamicEvaluator::new(&task).unwrap();
 
     let cfg = vec![true; task.atoms.len()];
@@ -111,7 +111,7 @@ fn rerun_against_journal_performs_zero_interpreter_evaluations() {
     let _ = std::fs::remove_file(&path);
 
     let model = spec().load().unwrap();
-    let mut task = model.task(PerfScope::Hotspot, 7);
+    let mut task = model.task(PerfScope::Hotspot, 7).unwrap();
     task.journal = Some(path.clone());
 
     let run1 = tune(&task).unwrap();
@@ -158,7 +158,7 @@ fn replayed_verdicts_follow_the_current_threshold() {
     let _ = std::fs::remove_file(&path);
 
     let model = spec().load().unwrap();
-    let mut task = model.task(PerfScope::Hotspot, 7);
+    let mut task = model.task(PerfScope::Hotspot, 7).unwrap();
     task.journal = Some(path.clone());
     let run1 = tune(&task).unwrap();
     assert!(run1.search.best.is_some());

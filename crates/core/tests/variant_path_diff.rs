@@ -122,6 +122,7 @@ fn differential(src: &str, bits: &[bool]) -> Result<(), TestCaseError> {
         budget: None,
         max_events: 50_000_000,
         wrapper_names: variant.wrappers.iter().cloned().collect(),
+        fault: None,
     };
     let faithful = run_program(&variant.program, &variant.index, &cfg);
 

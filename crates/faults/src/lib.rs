@@ -1,0 +1,345 @@
+//! # prose-faults
+//!
+//! Deterministic fault injection for the tuning pipeline.
+//!
+//! The paper's search must survive hostile variants by design: candidates
+//! crash, produce NaN/Inf, time out, and timing noise near the acceptance
+//! boundary walks the search into wrong minima. This crate supplies the
+//! *adversary* for testing that posture — a seeded, per-trial fault plan
+//! that the interpreter and evaluator consult:
+//!
+//! * **NaN/Inf results** ([`InjectedFault::NonFinite`]) — the interpreter
+//!   aborts with a non-finite error after a drawn number of events.
+//! * **Spurious timeouts** ([`InjectedFault::Timeout`]) — the interpreter
+//!   reports a budget timeout that the cost model did not earn.
+//! * **Mid-run aborts** ([`InjectedFault::Abort`]) — the interpreter
+//!   panics mid-execution (payload [`InjectedAbort`]), exercising the
+//!   evaluator's `catch_unwind` containment.
+//! * **Amplified timing jitter** ([`TrialFaults::jitter_factors`]) — extra
+//!   multiplicative log-normal noise on the measured cycles, stressing the
+//!   median-of-n re-evaluation defense.
+//! * **Process kill** ([`FaultConfig::kill_after`]) — after N journal
+//!   appends the evaluator raises an [`InjectedKill`] panic *outside* its
+//!   containment boundary, standing in for `kill -9` in crash-safe-resume
+//!   tests.
+//!
+//! Every decision is a pure function of `(config seed, trial id)`, so a
+//! failing trial reproduces bit-for-bit given its journaled seed, and a
+//! resumed search re-derives the same plan for every configuration.
+//!
+//! The crate is a leaf with no knowledge of Fortran, searches, or the
+//! interpreter; it only hands out plans.
+
+use serde::{Deserialize, Serialize};
+
+/// Injection probabilities and amplitudes for one experiment.
+///
+/// All-zero (the [`Default`]) means no injection anywhere; components are
+/// independent so a config can, say, inject only jitter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-trial probability of an injected non-finite result.
+    pub nan: f64,
+    /// Per-trial probability of a spurious timeout.
+    pub timeout: f64,
+    /// Per-trial probability of a mid-run abort (interpreter panic).
+    pub abort: f64,
+    /// Relative standard deviation of extra multiplicative timing jitter
+    /// (0 disables; compare the paper's 1%–9% observed run-time RSD).
+    pub jitter: f64,
+    /// Base seed; per-trial plans derive from `seed` and the trial id.
+    pub seed: u64,
+    /// Raise an uncontained [`InjectedKill`] panic once this many journal
+    /// records have been appended (crash-safe-resume testing).
+    pub kill_after: Option<u64>,
+}
+
+impl FaultConfig {
+    /// Does this config inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.nan > 0.0
+            || self.timeout > 0.0
+            || self.abort > 0.0
+            || self.jitter > 0.0
+            || self.kill_after.is_some()
+    }
+
+    /// Parse a `key=value` comma list:
+    /// `nan=0.1,timeout=0.05,abort=0.02,jitter=0.3,seed=7,kill-after=12`.
+    ///
+    /// Unknown keys, malformed numbers, and probabilities outside [0, 1]
+    /// are errors; every key is optional.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = |slot: &mut f64| -> Result<(), String> {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("fault spec `{key}`: bad number `{value}`"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("fault spec `{key}`: probability {v} outside [0,1]"));
+                }
+                *slot = v;
+                Ok(())
+            };
+            match key {
+                "nan" => prob(&mut cfg.nan)?,
+                "timeout" => prob(&mut cfg.timeout)?,
+                "abort" => prob(&mut cfg.abort)?,
+                "jitter" => {
+                    cfg.jitter = value
+                        .parse()
+                        .map_err(|_| format!("fault spec `jitter`: bad number `{value}`"))?;
+                    if cfg.jitter.is_nan() || cfg.jitter < 0.0 {
+                        return Err(format!("fault spec `jitter`: {value} must be >= 0"));
+                    }
+                }
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault spec `seed`: bad integer `{value}`"))?
+                }
+                "kill-after" | "kill_after" => {
+                    cfg.kill_after =
+                        Some(value.parse().map_err(|_| {
+                            format!("fault spec `kill-after`: bad integer `{value}`")
+                        })?)
+                }
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        if cfg.nan + cfg.timeout + cfg.abort > 1.0 {
+            return Err("fault probabilities nan+timeout+abort exceed 1".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Derive the deterministic fault plan for one trial. `trial_id` should
+    /// identify the evaluated configuration (not the evaluation order), so
+    /// a resumed search re-derives identical plans.
+    pub fn plan(&self, trial_id: u64) -> TrialFaults {
+        let seed = mix(self.seed ^ trial_id.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut state = seed;
+        let u = unit(splitmix64(&mut state));
+        // One discrete fault at most per trial, chosen by stacked ranges.
+        let after_events = 1 + splitmix64(&mut state) % 2048;
+        let fault = if u < self.nan {
+            Some(InjectedFault::NonFinite { after_events })
+        } else if u < self.nan + self.timeout {
+            Some(InjectedFault::Timeout { after_events })
+        } else if u < self.nan + self.timeout + self.abort {
+            Some(InjectedFault::Abort { after_events })
+        } else {
+            None
+        };
+        TrialFaults {
+            seed,
+            fault,
+            jitter_rsd: self.jitter,
+        }
+    }
+}
+
+/// The injector's decision for one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialFaults {
+    /// The derived per-trial seed — journaled so the trial reproduces.
+    pub seed: u64,
+    /// The discrete fault to fire inside the interpreter, if any.
+    pub fault: Option<InjectedFault>,
+    /// Amplitude of the extra timing jitter (0 = none).
+    pub jitter_rsd: f64,
+}
+
+impl TrialFaults {
+    /// Journal-facing name of the injected fault, if any (`nan`,
+    /// `timeout`, `abort`, or `jitter` when only jitter is active).
+    pub fn kind_name(&self) -> Option<&'static str> {
+        match &self.fault {
+            Some(InjectedFault::NonFinite { .. }) => Some("nan"),
+            Some(InjectedFault::Timeout { .. }) => Some("timeout"),
+            Some(InjectedFault::Abort { .. }) => Some("abort"),
+            None if self.jitter_rsd > 0.0 => Some("jitter"),
+            None => None,
+        }
+    }
+
+    /// Deterministic multiplicative jitter factors for `n` measurement
+    /// runs. A prefix-stable stream: `jitter_factors(m)` for `m > n`
+    /// extends `jitter_factors(n)`, so the escalating median-of-n
+    /// re-evaluation sees a growing sample of the *same* noise process.
+    pub fn jitter_factors(&self, n: usize) -> Vec<f64> {
+        if self.jitter_rsd == 0.0 {
+            return vec![1.0; n];
+        }
+        let mut state = mix(self.seed ^ 0x6a09e667f3bcc909);
+        (0..n)
+            .map(|_| {
+                // Box–Muller from two uniform draws; amplitude `jitter`.
+                let u1 = unit(splitmix64(&mut state)).max(f64::EPSILON);
+                let u2 = unit(splitmix64(&mut state));
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (self.jitter_rsd * z).exp()
+            })
+            .collect()
+    }
+}
+
+/// A fault the interpreter fires mid-run. `after_events` counts
+/// interpreter events; if the run finishes earlier the fault fires at
+/// termination instead, so a planned fault always manifests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedFault {
+    /// Abort with a non-finite-result error after `after_events` events.
+    NonFinite { after_events: u64 },
+    /// Abort with a spurious budget timeout after `after_events` events.
+    Timeout { after_events: u64 },
+    /// Panic (payload [`InjectedAbort`]) after `after_events` events.
+    Abort { after_events: u64 },
+}
+
+impl InjectedFault {
+    pub fn after_events(&self) -> u64 {
+        match self {
+            InjectedFault::NonFinite { after_events }
+            | InjectedFault::Timeout { after_events }
+            | InjectedFault::Abort { after_events } => *after_events,
+        }
+    }
+}
+
+/// Panic payload of an injected mid-run abort. The evaluator's
+/// `catch_unwind` containment downcasts to this to classify the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedAbort {
+    /// Interpreter events executed when the abort fired.
+    pub after_events: u64,
+}
+
+/// Panic payload of the kill switch ([`FaultConfig::kill_after`]). Raised
+/// *outside* the evaluator's containment boundary — it deliberately tears
+/// down the whole search, like a process kill, leaving only the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedKill {
+    /// Journal records appended when the kill fired.
+    pub appended: u64,
+}
+
+/// splitmix64: tiny, seedable, dependency-free PRNG step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    mix(*state)
+}
+
+fn mix(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Map a u64 to [0, 1).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inactive() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.is_active());
+        assert_eq!(cfg.plan(7).fault, None);
+        assert_eq!(cfg.plan(7).kind_name(), None);
+        assert_eq!(cfg.plan(7).jitter_factors(3), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let cfg =
+            FaultConfig::parse("nan=0.1,timeout=0.05,abort=0.02,jitter=0.3,seed=7,kill-after=12")
+                .unwrap();
+        assert_eq!(cfg.nan, 0.1);
+        assert_eq!(cfg.timeout, 0.05);
+        assert_eq!(cfg.abort, 0.02);
+        assert_eq!(cfg.jitter, 0.3);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.kill_after, Some(12));
+        assert!(cfg.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultConfig::parse("nan").is_err());
+        assert!(FaultConfig::parse("nan=2.0").is_err());
+        assert!(FaultConfig::parse("nan=-0.5").is_err());
+        assert!(FaultConfig::parse("wat=1").is_err());
+        assert!(FaultConfig::parse("jitter=abc").is_err());
+        assert!(FaultConfig::parse("nan=0.6,timeout=0.6").is_err());
+        assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::default());
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_trial() {
+        let cfg = FaultConfig::parse("nan=0.3,timeout=0.3,abort=0.2,jitter=0.1,seed=42").unwrap();
+        for trial in 0..50u64 {
+            assert_eq!(cfg.plan(trial), cfg.plan(trial));
+        }
+        // Different trials draw different plans (overwhelmingly likely
+        // across 200 trials at these probabilities).
+        let distinct: std::collections::HashSet<_> = (0..200u64)
+            .map(|t| format!("{:?}", cfg.plan(t).fault))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn fault_mix_roughly_matches_probabilities() {
+        let cfg = FaultConfig::parse("nan=0.25,timeout=0.25,abort=0.25,seed=9").unwrap();
+        let n = 4000;
+        let mut counts = [0usize; 4]; // nan, timeout, abort, none
+        for t in 0..n as u64 {
+            match cfg.plan(t).fault {
+                Some(InjectedFault::NonFinite { .. }) => counts[0] += 1,
+                Some(InjectedFault::Timeout { .. }) => counts[1] += 1,
+                Some(InjectedFault::Abort { .. }) => counts[2] += 1,
+                None => counts[3] += 1,
+            }
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.05, "fault mix skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_stream_is_prefix_stable_and_roughly_sized() {
+        let cfg = FaultConfig::parse("jitter=0.2,seed=3").unwrap();
+        let plan = cfg.plan(11);
+        assert_eq!(plan.kind_name(), Some("jitter"));
+        let short = plan.jitter_factors(4);
+        let long = plan.jitter_factors(16);
+        assert_eq!(&long[..4], &short[..]);
+        let big = plan.jitter_factors(4000);
+        let mean = big.iter().sum::<f64>() / big.len() as f64;
+        let rsd = (big.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / big.len() as f64)
+            .sqrt()
+            / mean;
+        assert!((rsd - 0.2).abs() < 0.05, "observed jitter rsd {rsd}");
+    }
+
+    #[test]
+    fn after_events_is_positive_and_bounded() {
+        let cfg = FaultConfig::parse("nan=1.0,seed=5").unwrap();
+        for t in 0..100u64 {
+            let f = cfg.plan(t).fault.expect("nan=1.0 always injects");
+            assert!((1..=2048).contains(&f.after_events()));
+        }
+    }
+}

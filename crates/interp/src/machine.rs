@@ -179,6 +179,9 @@ pub struct Machine<'ir> {
     pub max_events: u64,
     pub events: u64,
     ops: OpCounts,
+    /// Fault-injection plan for this run ([`prose_faults`]); `None` in
+    /// normal operation.
+    pub fault: Option<prose_faults::InjectedFault>,
 }
 
 type R<T> = Result<T, RunError>;
@@ -201,6 +204,7 @@ impl<'ir> Machine<'ir> {
             max_events,
             events: 0,
             ops: OpCounts::default(),
+            fault: None,
         }
     }
 
@@ -208,11 +212,39 @@ impl<'ir> Machine<'ir> {
     pub fn run(&mut self) -> R<()> {
         self.init_globals()?;
         let main = self.ir.main_proc;
-        match self.call_proc(main, &[], &mut Vec::new()) {
+        let result = match self.call_proc(main, &[], &mut Vec::new()) {
             Ok(_) => Ok(()),
             // `stop` / `stop 0` unwinds as a sentinel: clean termination.
             Err(RunError::Stop { code: 0 }) => Ok(()),
             Err(e) => Err(e),
+        };
+        // A planned fault whose event threshold exceeded the run length
+        // still fires — at termination — so injection is deterministic
+        // regardless of variant size.
+        if result.is_ok() && self.fault.is_some() {
+            return Err(self.fire_fault());
+        }
+        result
+    }
+
+    /// Abort the run with the armed injected fault.
+    /// [`prose_faults::InjectedFault::Abort`] does not return: it panics
+    /// with an [`prose_faults::InjectedAbort`] payload for the evaluator's
+    /// `catch_unwind` containment to classify.
+    fn fire_fault(&mut self) -> RunError {
+        match self.fault.take().expect("fire_fault with no fault armed") {
+            prose_faults::InjectedFault::NonFinite { .. } => RunError::NonFinite {
+                proc: self.cur_proc_name(),
+                line: self.cur_line,
+            },
+            prose_faults::InjectedFault::Timeout { .. } => RunError::Timeout {
+                budget: self.budget,
+            },
+            prose_faults::InjectedFault::Abort { after_events } => {
+                std::panic::panic_any(prose_faults::InjectedAbort {
+                    after_events: after_events.min(self.events),
+                })
+            }
         }
     }
 
@@ -334,6 +366,11 @@ impl<'ir> Machine<'ir> {
         self.events += 1;
         if self.events > self.max_events {
             return Err(RunError::EventLimit);
+        }
+        if let Some(f) = &self.fault {
+            if self.events >= f.after_events() {
+                return Err(self.fire_fault());
+            }
         }
         Ok(())
     }

@@ -23,6 +23,11 @@ pub struct RunConfig {
     /// Names of synthesized wrapper procedures (excluded from inlining and
     /// from hotspot timer scopes).
     pub wrapper_names: HashSet<String>,
+    /// Fault to inject into this run ([`prose_faults`]); `None` in normal
+    /// operation. The fault fires after its event threshold, or at run
+    /// termination if the run is shorter, so a planned fault always
+    /// manifests.
+    pub fault: Option<prose_faults::InjectedFault>,
 }
 
 impl Default for RunConfig {
@@ -32,6 +37,7 @@ impl Default for RunConfig {
             budget: None,
             max_events: 400_000_000,
             wrapper_names: HashSet::new(),
+            fault: None,
         }
     }
 }
@@ -85,6 +91,7 @@ pub fn run_ir(ir: &ProgramIR, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
     let budget = cfg.budget.unwrap_or(f64::INFINITY);
     let t1 = std::time::Instant::now();
     let mut m = Machine::new(ir, cfg.cost.clone(), budget, cfg.max_events);
+    m.fault = cfg.fault.clone();
     m.run()?;
     let (timers, records, total_cycles, events, ops) = m.finish();
     let exec_ns = t1.elapsed().as_nanos() as u64;
@@ -327,6 +334,61 @@ end program t
         )
         .unwrap_err();
         assert_eq!(e, RunError::EventLimit);
+    }
+
+    #[test]
+    fn injected_faults_fire_deterministically() {
+        use prose_faults::InjectedFault;
+        let src = "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 1, 1000\n s = s + 1.0d0\n end do\n call prose_record('s', s)\nend program t\n";
+        // Spurious timeout, despite an infinite budget.
+        let cfg = RunConfig {
+            fault: Some(InjectedFault::Timeout { after_events: 50 }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_cfg(src, &cfg).unwrap_err(),
+            RunError::Timeout { .. }
+        ));
+        // NaN/Inf result on a program that computes nothing non-finite.
+        let cfg = RunConfig {
+            fault: Some(InjectedFault::NonFinite { after_events: 50 }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_cfg(src, &cfg).unwrap_err(),
+            RunError::NonFinite { .. }
+        ));
+        // A fault with a threshold beyond the run length fires at
+        // termination rather than silently evaporating.
+        let cfg = RunConfig {
+            fault: Some(InjectedFault::NonFinite {
+                after_events: u64::MAX,
+            }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_cfg(src, &cfg).unwrap_err(),
+            RunError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn injected_abort_panics_with_typed_payload() {
+        use prose_faults::{InjectedAbort, InjectedFault};
+        let src = "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 1, 1000\n s = s + 1.0d0\n end do\nend program t\n";
+        let cfg = RunConfig {
+            fault: Some(InjectedFault::Abort { after_events: 25 }),
+            ..Default::default()
+        };
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let payload =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_program(&p, &ix, &cfg)))
+                .unwrap_err();
+        let abort = payload
+            .downcast_ref::<InjectedAbort>()
+            .expect("abort panic carries an InjectedAbort payload");
+        assert_eq!(abort.after_events, 25);
     }
 
     #[test]

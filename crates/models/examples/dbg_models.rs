@@ -49,7 +49,7 @@ fn main() {
                     println!("  rec {}: {:?}...", k, preview);
                 }
                 // uniform 32
-                let task = m.task(PerfScope::Hotspot, 1);
+                let task = m.task(PerfScope::Hotspot, 1).unwrap();
                 let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
                 let rec = eval.eval_one(&vec![true; m.atoms.len()]);
                 println!(
@@ -57,7 +57,7 @@ fn main() {
                     rec.outcome.status, rec.outcome.error, rec.detail
                 );
                 println!("  uniform32 hotspot speedup = {:.2}", rec.outcome.speedup);
-                let taskw = m.task(PerfScope::WholeModel, 1);
+                let taskw = m.task(PerfScope::WholeModel, 1).unwrap();
                 let evalw = prose_core::DynamicEvaluator::new(&taskw).unwrap();
                 let recw = evalw.eval_one(&vec![true; m.atoms.len()]);
                 println!(

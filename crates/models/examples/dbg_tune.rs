@@ -12,7 +12,7 @@ fn main() {
             continue;
         }
         let m = spec.load().unwrap();
-        let mut task = m.task(PerfScope::Hotspot, 11);
+        let mut task = m.task(PerfScope::Hotspot, 11).unwrap();
         task.max_variants = Some(300);
         let t0 = std::time::Instant::now();
         let out = tune(&task).unwrap();

@@ -61,7 +61,7 @@ mod tests {
         // was ~1.1×) because pjac's recurrence and peror's MPI latency
         // don't benefit from f32.
         let m = adcirc(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::Hotspot, 5);
+        let task = m.task(PerfScope::Hotspot, 5).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let rec = eval.eval_one(&vec![true; m.atoms.len()]);
         assert!(
@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn hotspot_share_is_minority() {
         let m = adcirc(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::Hotspot, 5);
+        let task = m.task(PerfScope::Hotspot, 5).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let share = eval.baseline.hotspot_share();
         assert!(share > 0.04 && share < 0.5, "hotspot share {share}");

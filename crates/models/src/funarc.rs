@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn uniform_32_is_faster_and_less_accurate() {
         let m = funarc(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::WholeModel, 1);
+        let task = m.task(PerfScope::WholeModel, 1).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let all32 = vec![true; m.atoms.len()];
         let rec = eval.eval_one(&all32);

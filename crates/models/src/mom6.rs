@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn uniform_32_runs_to_itmax_and_slows_down() {
         let m = mom6(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::Hotspot, 9);
+        let task = m.task(PerfScope::Hotspot, 9).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let map = eval.precision_map(&vec![true; m.atoms.len()]);
         let v = prose_transform::make_variant(&m.program, &m.index, &map).unwrap();
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn hotspot_share_is_small() {
         let m = mom6(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::Hotspot, 9);
+        let task = m.task(PerfScope::Hotspot, 9).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let share = eval.baseline.hotspot_share();
         assert!(share > 0.03 && share < 0.6, "hotspot share {share}");

@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn hotspot_is_a_minority_share_of_the_model() {
         let m = mpas_a(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::Hotspot, 3);
+        let task = m.task(PerfScope::Hotspot, 3).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let share = eval.baseline.hotspot_share();
         assert!(share > 0.05 && share < 0.45, "hotspot share {share}");
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn uniform_32_hotspot_speedup_is_large() {
         let m = mpas_a(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::Hotspot, 3);
+        let task = m.task(PerfScope::Hotspot, 3).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let rec = eval.eval_one(&vec![true; m.atoms.len()]);
         assert!(
@@ -149,7 +149,7 @@ mod tests {
     fn uniform_32_whole_model_is_slower() {
         // The Figure-7 effect: boundary casting outweighs the hotspot gain.
         let m = mpas_a(ModelSize::Small).load().unwrap();
-        let task = m.task(PerfScope::WholeModel, 3);
+        let task = m.task(PerfScope::WholeModel, 3).unwrap();
         let eval = prose_core::DynamicEvaluator::new(&task).unwrap();
         let rec = eval.eval_one(&vec![true; m.atoms.len()]);
         assert!(

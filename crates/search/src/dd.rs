@@ -249,7 +249,10 @@ mod tests {
         assert_eq!(high_set(&r.final_config), vec![17]);
         assert!(!r.budget_exhausted);
         // The best variant lowers all but one atom.
-        let best = r.best.unwrap();
+        let best = r
+            .best
+            .as_ref()
+            .expect("an accepting search must report a best variant");
         assert_eq!(best.config.iter().filter(|b| !**b).count(), 1);
     }
 

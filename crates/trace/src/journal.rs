@@ -1,16 +1,18 @@
-//! The trial journal: an append-only JSON Lines file with one record per
-//! variant evaluation request.
+//! The trial journal: an append-only JSON Lines **write-ahead log** with
+//! one record per variant evaluation request.
 //!
 //! Records are self-describing and append-only so a crashed or interrupted
 //! search leaves a readable journal; [`Journal::load`] tolerates a
 //! truncated final line (the torn-write case) but rejects corruption
-//! anywhere else.
+//! anywhere else. [`Journal::load_report`] additionally reports how many
+//! torn lines were dropped, and [`FlushPolicy`] selects the durability /
+//! throughput trade-off per record.
 
 use crate::Counters;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// One evaluation request, as observed at the evaluator boundary.
@@ -62,6 +64,20 @@ pub struct TrialRecord {
     /// `faithful`); empty in records from writers predating the fast path.
     #[serde(default)]
     pub variant_path: String,
+    /// Structured failure classification (`timeout`, `fp_exception`,
+    /// `template_desync`, `panic`, `journal_error`, `transform`,
+    /// `runtime_other`); `None` for successful trials and records from
+    /// writers predating failure classification.
+    #[serde(default)]
+    pub failure_kind: Option<String>,
+    /// Kind of the injected fault, when the trial ran under fault
+    /// injection (`nan`, `timeout`, `abort`, `jitter`).
+    #[serde(default)]
+    pub fault_kind: Option<String>,
+    /// Per-trial injection seed; with the experiment's fault config it
+    /// reproduces the injected failure exactly.
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
 }
 
 impl TrialRecord {
@@ -92,18 +108,69 @@ mod maybe_infinite {
     }
 }
 
-/// Append-only JSONL writer. Every [`Journal::append`] flushes, so records
-/// survive a crash of the tuning process.
+/// When the WAL pushes records to the operating system / the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Flush to the OS after every record (default). A killed *process*
+    /// loses at most the torn tail of the final record; an OS crash or
+    /// power loss may lose more.
+    #[default]
+    EveryRecord,
+    /// Flush **and fsync** after every record: power-loss durable, one
+    /// `fsync` per trial.
+    Sync,
+    /// Flush every `n` records (and on drop). Highest throughput; a crash
+    /// loses up to `n` buffered records plus a torn tail.
+    EveryN(u32),
+}
+
+impl std::str::FromStr for FlushPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "record" | "every-record" => Ok(FlushPolicy::EveryRecord),
+            "sync" => Ok(FlushPolicy::Sync),
+            n => n
+                .parse::<u32>()
+                .ok()
+                .filter(|n| *n > 0)
+                .map(FlushPolicy::EveryN)
+                .ok_or_else(|| format!("unknown flush policy `{n}` (sync|record|<N>)")),
+        }
+    }
+}
+
+/// What [`Journal::load_report`] found in a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Every intact record, in order.
+    pub records: Vec<TrialRecord>,
+    /// Number of torn (truncated-write) lines dropped from the tail —
+    /// 0 or 1; surfaced as a warning counter by consumers.
+    pub torn_tail: u32,
+}
+
+/// Append-only JSONL write-ahead log. [`FlushPolicy`] governs when records
+/// reach the OS/disk; the default flushes per record, so records survive a
+/// crash of the tuning process.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: File,
+    writer: BufWriter<File>,
+    policy: FlushPolicy,
+    unflushed: u32,
 }
 
 impl Journal {
-    /// Open `path` for appending, creating parent directories and the file
-    /// as needed.
+    /// Open `path` for appending with the default flush policy, creating
+    /// parent directories and the file as needed.
     pub fn open_append(path: impl AsRef<Path>) -> io::Result<Journal> {
+        Self::open_append_with(path, FlushPolicy::default())
+    }
+
+    /// Open `path` for appending under an explicit [`FlushPolicy`].
+    pub fn open_append_with(path: impl AsRef<Path>, policy: FlushPolicy) -> io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -111,38 +178,75 @@ impl Journal {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Journal { path, file })
+        Ok(Journal {
+            path,
+            writer: BufWriter::new(file),
+            policy,
+            unflushed: 0,
+        })
     }
 
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Append one record as a single JSON line and flush.
+    /// Append one record as a single JSON line, flushing per the journal's
+    /// [`FlushPolicy`].
     pub fn append(&mut self, rec: &TrialRecord) -> io::Result<()> {
         let line = serde_json::to_string(rec)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.flush()
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.unflushed += 1;
+        match self.policy {
+            FlushPolicy::EveryRecord => self.flush(),
+            FlushPolicy::Sync => {
+                self.flush()?;
+                self.writer.get_ref().sync_data()
+            }
+            FlushPolicy::EveryN(n) => {
+                if self.unflushed >= n {
+                    self.flush()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Push buffered records to the OS.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.unflushed = 0;
+        self.writer.flush()
     }
 
     /// Read every record of a journal file, in order.
     ///
-    /// A malformed **final** line is silently dropped (a torn write from an
-    /// interrupted run); malformed earlier lines are an error.
+    /// A malformed **final** line is dropped (a torn write from an
+    /// interrupted run); malformed earlier lines are an error. Use
+    /// [`Journal::load_report`] to observe how many lines were dropped.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Vec<TrialRecord>> {
+        Self::load_report(path).map(|r| r.records)
+    }
+
+    /// Like [`Journal::load`], reporting dropped torn-tail lines so
+    /// callers can surface a warning counter instead of losing the event.
+    pub fn load_report(path: impl AsRef<Path>) -> io::Result<LoadReport> {
         let text = std::fs::read_to_string(path.as_ref())?;
         let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-        let mut out = Vec::with_capacity(lines.len());
+        let mut report = LoadReport {
+            records: Vec::with_capacity(lines.len()),
+            torn_tail: 0,
+        };
         for (i, line) in lines.iter().enumerate() {
             match serde_json::from_str::<TrialRecord>(line) {
-                Ok(rec) => out.push(rec),
+                Ok(rec) => report.records.push(rec),
                 Err(e) if i + 1 == lines.len() => {
                     eprintln!(
                         "[prose-trace] dropping torn final journal line in {}: {e}",
                         path.as_ref().display()
                     );
+                    report.torn_tail += 1;
                 }
                 Err(e) => {
                     return Err(io::Error::new(
@@ -152,16 +256,30 @@ impl Journal {
                 }
             }
         }
-        Ok(out)
+        Ok(report)
     }
 
     /// Like [`Journal::load`], but a missing file is an empty journal.
     pub fn load_or_empty(path: impl AsRef<Path>) -> io::Result<Vec<TrialRecord>> {
-        match Self::load(path) {
-            Ok(v) => Ok(v),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Self::load_or_empty_report(path).map(|r| r.records)
+    }
+
+    /// Like [`Journal::load_report`], but a missing file is an empty
+    /// journal.
+    pub fn load_or_empty_report(path: impl AsRef<Path>) -> io::Result<LoadReport> {
+        match Self::load_report(path) {
+            Ok(r) => Ok(r),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(LoadReport::default()),
             Err(e) => Err(e),
         }
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Best effort: under EveryN, buffered records still reach the OS
+        // on clean shutdown (a panic unwinding through the owner included).
+        let _ = self.flush();
     }
 }
 
@@ -203,6 +321,9 @@ mod tests {
             stages,
             counters,
             variant_path: "fast".to_string(),
+            failure_kind: (!error.is_finite()).then(|| "fp_exception".to_string()),
+            fault_kind: None,
+            fault_seed: None,
         }
     }
 
@@ -289,6 +410,99 @@ mod tests {
         assert!(rec.stages.is_empty());
         assert!(rec.counters.is_empty());
         assert_eq!(rec.variant_path, "");
+        assert_eq!(rec.failure_kind, None);
+        assert_eq!(rec.fault_kind, None);
+        assert_eq!(rec.fault_seed, None);
+    }
+
+    #[test]
+    fn load_report_counts_torn_tail() {
+        let path = tmp_path("torn-report");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&sample(0, false, 1e-9)).unwrap();
+            j.append(&sample(1, false, 1e-9)).unwrap();
+        }
+        let clean = Journal::load_report(&path).unwrap();
+        assert_eq!(clean.records.len(), 2);
+        assert_eq!(clean.torn_tail, 0);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+        let torn = Journal::load_report(&path).unwrap();
+        assert_eq!(torn.records.len(), 1);
+        assert_eq!(torn.torn_tail, 1);
+
+        // Missing file: empty report, no torn lines.
+        let _ = std::fs::remove_file(&path);
+        let empty = Journal::load_or_empty_report(&path).unwrap();
+        assert!(empty.records.is_empty());
+        assert_eq!(empty.torn_tail, 0);
+    }
+
+    #[test]
+    fn flush_policies_persist_records() {
+        // EveryN buffers; drop flushes the remainder.
+        let path = tmp_path("flush-n");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open_append_with(&path, FlushPolicy::EveryN(3)).unwrap();
+            j.append(&sample(0, false, 1e-9)).unwrap();
+            j.append(&sample(1, false, 1e-9)).unwrap();
+            // Not yet flushed: the file may be shorter than two records,
+            // but after drop everything must be present.
+        }
+        assert_eq!(Journal::load(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+
+        // Sync flushes + fsyncs each record.
+        let path = tmp_path("flush-sync");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open_append_with(&path, FlushPolicy::Sync).unwrap();
+            j.append(&sample(0, false, 1e-9)).unwrap();
+            assert_eq!(Journal::load(&path).unwrap().len(), 1);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_policy_parses() {
+        use std::str::FromStr;
+        assert_eq!(
+            FlushPolicy::from_str("record").unwrap(),
+            FlushPolicy::EveryRecord
+        );
+        assert_eq!(FlushPolicy::from_str("sync").unwrap(), FlushPolicy::Sync);
+        assert_eq!(
+            FlushPolicy::from_str("16").unwrap(),
+            FlushPolicy::EveryN(16)
+        );
+        assert!(FlushPolicy::from_str("0").is_err());
+        assert!(FlushPolicy::from_str("whenever").is_err());
+    }
+
+    #[test]
+    fn failure_and_fault_fields_round_trip() {
+        let path = tmp_path("fault-fields");
+        let _ = std::fs::remove_file(&path);
+        let mut rec = sample(0, false, f64::INFINITY);
+        rec.status = "runtime_error".into();
+        rec.failure_kind = Some("panic".into());
+        rec.fault_kind = Some("abort".into());
+        rec.fault_seed = Some(0xdead_beef);
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&rec).unwrap();
+            j.append(&sample(1, false, 1e-9)).unwrap();
+        }
+        let back = Journal::load(&path).unwrap();
+        assert_eq!(back[0].failure_kind.as_deref(), Some("panic"));
+        assert_eq!(back[0].fault_kind.as_deref(), Some("abort"));
+        assert_eq!(back[0].fault_seed, Some(0xdead_beef));
+        assert_eq!(back[1].fault_kind, None);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

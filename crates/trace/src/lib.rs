@@ -22,7 +22,7 @@
 
 pub mod journal;
 
-pub use journal::{Journal, TrialRecord};
+pub use journal::{FlushPolicy, Journal, LoadReport, TrialRecord};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

@@ -18,7 +18,7 @@ fn main() {
     let model = mom6::mom6(ModelSize::Small)
         .load()
         .expect("mini-MOM6 loads");
-    let task = model.task(PerfScope::Hotspot, 58);
+    let task = model.task(PerfScope::Hotspot, 58).unwrap();
     let eval = DynamicEvaluator::new(&task).expect("baseline runs");
 
     // Variant 58's shape: zonal_mass_flux stays 64-bit, its callees

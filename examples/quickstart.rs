@@ -94,7 +94,7 @@ fn main() {
     }
 
     // 3. Tune: delta-debugging search with hotspot-scoped timing.
-    let task = model.task(PerfScope::Hotspot, 42);
+    let task = model.task(PerfScope::Hotspot, 42).unwrap();
     let outcome = tune(&task).expect("baseline runs");
     let summary = outcome.search.status_summary();
     println!(

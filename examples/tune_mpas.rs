@@ -16,7 +16,7 @@ fn main() {
     );
 
     // Section IV-B: hotspot-guided search.
-    let task = model.task(PerfScope::Hotspot, 11);
+    let task = model.task(PerfScope::Hotspot, 11).unwrap();
     println!("\n=== hotspot-guided search (Figure 5 / Table II) ===");
     let hot = tune(&task).expect("baseline runs");
     let s = hot.search.status_summary();
@@ -43,7 +43,7 @@ fn main() {
     println!("1-minimal 64-bit set ({}): {:?}", high.len(), high);
 
     // Section IV-C: the same tuning guided by whole-model time.
-    let task_w = model.task(PerfScope::WholeModel, 11);
+    let task_w = model.task(PerfScope::WholeModel, 11).unwrap();
     println!("\n=== whole-model-guided search (Figure 7) ===");
     let whole = tune(&task_w).expect("baseline runs");
     let sw = whole.search.status_summary();

@@ -260,6 +260,26 @@ fn main() -> ExitCode {
     for (status, n) in &by_status {
         println!("  {status:<16} {n:>6}  ({:.1}%)", pct(*n, unique.len()));
     }
+    let mut by_failure: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_fault: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in unique.values() {
+        if let Some(f) = &r.failure_kind {
+            *by_failure.entry(f.as_str()).or_insert(0) += 1;
+        }
+        if let Some(f) = &r.fault_kind {
+            *by_fault.entry(f.as_str()).or_insert(0) += 1;
+        }
+    }
+    if !by_failure.is_empty() {
+        println!("  failure kinds:");
+        for (kind, n) in &by_failure {
+            println!("    {kind:<14} {n:>6}  ({:.1}%)", pct(*n, unique.len()));
+        }
+    }
+    if !by_fault.is_empty() {
+        let desc: Vec<String> = by_fault.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        println!("  injected faults:     {}", desc.join(", "));
+    }
     let best = unique
         .values()
         .filter(|r| r.status == "pass")
@@ -326,8 +346,9 @@ fn main() -> ExitCode {
 
     // ---- optional CSV export ------------------------------------------
     if let Some(path) = &args.csv {
-        let mut csv =
-            String::from("seq,cached,status,speedup,error,fraction_single,wrappers,wall_ms\n");
+        let mut csv = String::from(
+            "seq,cached,status,failure_kind,fault_kind,speedup,error,fraction_single,wrappers,wall_ms\n",
+        );
         for r in &records {
             let error = if r.error.is_finite() {
                 format!("{:e}", r.error)
@@ -335,10 +356,12 @@ fn main() -> ExitCode {
                 String::new()
             };
             csv.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 r.seq,
                 r.cached,
                 r.status,
+                r.failure_kind.as_deref().unwrap_or(""),
+                r.fault_kind.as_deref().unwrap_or(""),
                 r.speedup,
                 error,
                 r.fraction_single,

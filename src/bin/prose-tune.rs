@@ -6,8 +6,10 @@
 //!     [--scope hotspot|whole] [--n-runs 1] [--noise 0.0] [--seed 42]
 //!     [--budget 400] [--exclude result] [--emit-best best.f90]
 //!     [--strategy dd|brute|random] [--samples 100]
-//!     [--journal trials.jsonl]
-//!     [--variant-path fast|faithful] [--crosscheck K]
+//!     [--journal trials.jsonl] [--resume]
+//!     [--variant-path fast|faithful] [--crosscheck K] [--strict]
+//!     [--faults nan=P,timeout=P,abort=P,jitter=RSD,seed=S[,kill-after=K]]
+//!     [--retry-band B] [--retry-runs N] [--wal-flush record|sync|N]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -44,6 +46,12 @@ struct Args {
     journal: Option<String>,
     variant_path: VariantPath,
     crosscheck: usize,
+    resume: bool,
+    strict: bool,
+    faults: Option<prose::faults::FaultConfig>,
+    retry_band: f64,
+    retry_runs: usize,
+    wal_flush: prose::trace::FlushPolicy,
 }
 
 fn usage() -> ! {
@@ -55,7 +63,15 @@ fn usage() -> ! {
          --journal trials.jsonl (append every trial; reuse to skip re-evaluation),\n\
          --variant-path fast|faithful (fast: template-specialized IR per variant;\n\
          faithful: unparse/reparse/re-lower), --crosscheck K (fast path: re-run the\n\
-         first K uncached variants faithfully and assert bit-identical results; default 1)"
+         first K uncached variants faithfully and check bit-identical results; default 1),\n\
+         --strict (abort on a fast/faithful crosscheck divergence instead of\n\
+         downgrading to the faithful path), --resume (continue an interrupted search\n\
+         from its --journal; replays journaled trials without re-running them),\n\
+         --faults nan=P,timeout=P,abort=P,jitter=RSD,seed=S[,kill-after=K]\n\
+         (deterministic fault injection for robustness testing),\n\
+         --retry-band B (re-measure speedups within B of the acceptance bar with\n\
+         escalating sample counts; 0 disables), --retry-runs N (escalation cap, 25),\n\
+         --wal-flush record|sync|N (journal flush policy; default record)"
     );
     std::process::exit(2)
 }
@@ -99,6 +115,12 @@ fn parse_args() -> Option<Args> {
     let mut journal = None;
     let mut variant_path = VariantPath::default();
     let mut crosscheck = 1usize;
+    let mut resume = false;
+    let mut strict = false;
+    let mut faults = None;
+    let mut retry_band = 0.0f64;
+    let mut retry_runs = 25usize;
+    let mut wal_flush = prose::trace::FlushPolicy::default();
 
     let mut i = 0;
     while i < argv.len() {
@@ -129,6 +151,18 @@ fn parse_args() -> Option<Args> {
             "--journal" => journal = next(),
             "--variant-path" => variant_path = next()?.parse().ok()?,
             "--crosscheck" => crosscheck = next()?.parse().ok()?,
+            "--resume" => resume = true,
+            "--strict" => strict = true,
+            "--faults" => match prose::faults::FaultConfig::parse(&next()?) {
+                Ok(f) => faults = Some(f),
+                Err(e) => {
+                    eprintln!("error: --faults: {e}");
+                    return None;
+                }
+            },
+            "--retry-band" => retry_band = next()?.parse().ok()?,
+            "--retry-runs" => retry_runs = next()?.parse().ok()?,
+            "--wal-flush" => wal_flush = next()?.parse().ok()?,
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -151,6 +185,12 @@ fn parse_args() -> Option<Args> {
         journal,
         variant_path,
         crosscheck,
+        resume,
+        strict,
+        faults,
+        retry_band,
+        retry_runs,
+        wal_flush,
     })
 }
 
@@ -194,11 +234,69 @@ fn main() -> ExitCode {
         println!("  {}", model.index.fp_var_path(*a));
     }
 
-    let mut task = model.task(args.scope, args.seed);
+    let mut task = match model.task(args.scope, args.seed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     task.max_variants = args.budget;
     task.journal = args.journal.as_ref().map(Into::into);
     task.variant_path = args.variant_path;
     task.crosscheck = args.crosscheck;
+    task.strict = args.strict;
+    task.faults = args.faults.clone();
+    task.retry_band = args.retry_band;
+    task.retry_max_runs = args.retry_runs;
+    task.wal_flush = args.wal_flush;
+
+    // --resume: continue an interrupted search from its journal. The
+    // search itself is deterministic, so replaying it against the
+    // journal-preloaded cache reconstructs the monotone bar and
+    // best-so-far without a single duplicate interpreter evaluation;
+    // only configurations past the crash point run fresh.
+    if args.resume {
+        let Some(journal) = &task.journal else {
+            eprintln!("error: --resume requires --journal");
+            return ExitCode::FAILURE;
+        };
+        match prose::trace::Journal::load_or_empty_report(journal) {
+            Ok(report) => {
+                let passes = report
+                    .records
+                    .iter()
+                    .filter(|r| r.status == "pass" && !r.cached)
+                    .count();
+                let best = report
+                    .records
+                    .iter()
+                    .filter(|r| r.status == "pass")
+                    .map(|r| r.speedup)
+                    .fold(f64::NAN, f64::max);
+                println!(
+                    "resuming from {}: {} trials ({} unique passing, best speedup {}{})",
+                    journal.display(),
+                    report.records.len(),
+                    passes,
+                    if best.is_nan() {
+                        "n/a".to_string()
+                    } else {
+                        format!("{best:.3}")
+                    },
+                    if report.torn_tail > 0 {
+                        format!("; dropped {} torn line(s)", report.torn_tail)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            Err(e) => {
+                eprintln!("error: --resume: cannot read {}: {e}", journal.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let outcome = match args.strategy.as_str() {
         "brute" => tune_brute_force(&task),

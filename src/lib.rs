@@ -18,7 +18,7 @@
 //!
 //! // The paper's motivating example: enumerate all 256 funarc variants.
 //! let model = funarc::funarc(ModelSize::Small).load().unwrap();
-//! let task = model.task(PerfScope::WholeModel, 7);
+//! let task = model.task(PerfScope::WholeModel, 7).unwrap();
 //! let outcome = tune_brute_force(&task).unwrap();
 //! assert_eq!(outcome.search.trace.len(), 256);
 //! let best = outcome.search.best.unwrap();
@@ -37,9 +37,11 @@
 //! | [`core`] | `prose-core` | the end-to-end tuning pipeline (Figure 1) |
 //! | [`models`] | `prose-models` | the four embedded mini-models |
 //! | [`trace`] | `prose-trace` | trial journal, stage clocks, metric counters |
+//! | [`faults`] | `prose-faults` | deterministic fault injection for robustness testing |
 
 pub use prose_analysis as analysis;
 pub use prose_core as core;
+pub use prose_faults as faults;
 pub use prose_fortran as fortran;
 pub use prose_interp as interp;
 pub use prose_models as models;

@@ -71,7 +71,7 @@ fn random_variants_always_transform_cleanly() {
 #[test]
 fn funarc_brute_force_finds_the_frontier() {
     let m = funarc::funarc(ModelSize::Small).load().unwrap();
-    let task = m.task(PerfScope::WholeModel, 7);
+    let task = m.task(PerfScope::WholeModel, 7).unwrap();
     let out = prose::core::tuner::tune_brute_force(&task).unwrap();
     assert_eq!(out.variants.len(), 256);
     let uniform32 = out
@@ -115,7 +115,7 @@ fn funarc_brute_force_finds_the_frontier() {
 #[test]
 fn mpas_search_reproduces_the_headline() {
     let m = mpas::mpas_a(ModelSize::Small).load().unwrap();
-    let task = m.task(PerfScope::Hotspot, 11);
+    let task = m.task(PerfScope::Hotspot, 11).unwrap();
     let out = tune(&task).unwrap();
     let s = out.search.status_summary();
     assert!(s.best_speedup > 1.7, "best speedup {}", s.best_speedup);
@@ -138,7 +138,7 @@ fn mpas_search_reproduces_the_headline() {
 #[test]
 fn mpas_whole_model_search_shows_the_boundary_cost() {
     let m = mpas::mpas_a(ModelSize::Small).load().unwrap();
-    let task = m.task(PerfScope::WholeModel, 11);
+    let task = m.task(PerfScope::WholeModel, 11).unwrap();
     let out = tune(&task).unwrap();
     let s = out.search.status_summary();
     assert!(s.best_speedup < 1.1, "whole-model best {}", s.best_speedup);
@@ -184,7 +184,7 @@ fn mom6_pathologies_reproduce() {
 #[test]
 fn adcirc_speedup_is_minimal() {
     let m = adcirc::adcirc(ModelSize::Small).load().unwrap();
-    let task = m.task(PerfScope::Hotspot, 5);
+    let task = m.task(PerfScope::Hotspot, 5).unwrap();
     let eval = prose::core::DynamicEvaluator::new(&task).unwrap();
     let rec = eval.eval_one(&vec![true; m.atoms.len()]);
     assert!(matches!(rec.outcome.status, Status::Pass));
@@ -201,7 +201,7 @@ fn adcirc_speedup_is_minimal() {
 #[test]
 fn final_variant_text_is_self_contained() {
     let m = funarc::funarc(ModelSize::Small).load().unwrap();
-    let task = m.task(PerfScope::WholeModel, 3);
+    let task = m.task(PerfScope::WholeModel, 3).unwrap();
     let out = tune(&task).unwrap();
     let map = config_to_map(&m.index, &m.atoms, &out.search.final_config);
     let v = prose::transform::make_variant(&m.program, &m.index, &map).unwrap();
