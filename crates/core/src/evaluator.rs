@@ -24,10 +24,11 @@ use prose_fortran::ast::Procedure;
 use prose_fortran::precision::PrecisionMap;
 use prose_fortran::sema::FpVarId;
 use prose_interp::{
-    run_ir, run_program, IrTemplate, OpCounts, RunConfig, RunError, RunOutcome, Timers,
+    run_ir_shadow, run_program, run_program_shadow, IrTemplate, OpCounts, RunConfig, RunError,
+    RunOutcome, ShadowReport, Timers,
 };
 use prose_search::{Config, Outcome, Status};
-use prose_trace::{Counters, Journal, StageClock, TrialRecord};
+use prose_trace::{Counters, Journal, ShadowTrial, StageClock, TrialRecord};
 use prose_transform::{make_variant, VariantPlan, VariantTemplate};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,10 @@ pub enum FailureKind {
     Transform,
     /// Any other interpreter abort (out-of-bounds, div-by-zero, ...).
     RuntimeOther,
+    /// The scalar metric passed but the shadow-execution guardrail demoted
+    /// the trial: per-variable shadow error over budget, or catastrophic
+    /// cancellation flagged.
+    ShadowBudget,
 }
 
 impl FailureKind {
@@ -72,6 +77,7 @@ impl FailureKind {
             FailureKind::JournalError => "journal_error",
             FailureKind::Transform => "transform",
             FailureKind::RuntimeOther => "runtime_other",
+            FailureKind::ShadowBudget => "shadow_budget",
         }
     }
 
@@ -85,6 +91,7 @@ impl FailureKind {
             "journal_error" => FailureKind::JournalError,
             "transform" => FailureKind::Transform,
             "runtime_other" => FailureKind::RuntimeOther,
+            "shadow_budget" => FailureKind::ShadowBudget,
             _ => return None,
         })
     }
@@ -205,6 +212,64 @@ pub struct VariantRecord {
     /// Per-trial fault-plan seed (reproduces the injection exactly).
     #[serde(default)]
     pub fault_seed: Option<u64>,
+    /// Shadow-execution diagnostics, when the task ran with `--shadow`.
+    #[serde(default)]
+    pub shadow: Option<ShadowTrial>,
+}
+
+/// What a variant path hands back: the completed run, the wrapper set, the
+/// variant's hotspot procedure scope, and the shadow report (when the task
+/// runs with shadow execution). Failures come back as finished records.
+type PathResult =
+    Result<(RunOutcome, Vec<String>, Vec<String>, Option<ShadowReport>), Box<VariantRecord>>;
+
+/// Flatten an interpreter shadow report to the journal-friendly per-trial
+/// summary. `demoted` is filled in by the guardrail gate afterwards.
+fn shadow_trial(rep: &ShadowReport) -> ShadowTrial {
+    ShadowTrial {
+        worst_rel: rep.worst_rel,
+        worst_var: rep.worst_var().map(|v| v.name.clone()),
+        cancellations: rep.cancellations,
+        cancellation_site: rep.worst_cancellation.as_ref().map(|c| {
+            format!(
+                "{}:{} ({:.1} bits lost, rel {:.2e})",
+                c.proc, c.line, c.lost_bits, c.rel_err
+            )
+        }),
+        nonfinite_origin: rep
+            .nonfinite
+            .as_ref()
+            .map(|n| format!("{} at {}:{}", n.op, n.proc, n.line)),
+        nonfinite_injected: rep.nonfinite.as_ref().is_some_and(|n| n.injected),
+        demoted: false,
+    }
+}
+
+/// Operator-facing explanation of a guardrail demotion.
+fn shadow_demotion_detail(rep: &ShadowReport, budget: f64) -> String {
+    let mut parts = Vec::new();
+    if rep.worst_rel > budget {
+        let var = rep
+            .worst_var()
+            .map(|v| v.name.clone())
+            .unwrap_or_else(|| "?".into());
+        parts.push(format!(
+            "shadow error {:.2e} on {var} exceeds budget {budget:.2e}",
+            rep.worst_rel
+        ));
+    }
+    if rep.cancellations > 0 {
+        let site = rep
+            .worst_cancellation
+            .as_ref()
+            .map(|c| format!("{}:{}", c.proc, c.line))
+            .unwrap_or_else(|| "?".into());
+        parts.push(format!(
+            "{} catastrophic cancellation(s), worst at {site}",
+            rep.cancellations
+        ));
+    }
+    format!("shadow guardrail: {}", parts.join("; "))
 }
 
 /// Baseline measurements shared by every variant evaluation.
@@ -278,8 +343,10 @@ impl<'a> DynamicEvaluator<'a> {
             max_events: task.max_events,
             wrapper_names: Default::default(),
             // The baseline is never fault-injected: it anchors correctness
-            // and timing for every variant.
+            // and timing for every variant. It is also never shadowed —
+            // the baseline is all-fp64, so its shadow is itself.
             fault: None,
+            shadow: false,
         };
         let outcome = run_program(&task.program, &task.index, &cfg)?;
 
@@ -332,6 +399,12 @@ impl<'a> DynamicEvaluator<'a> {
                     counters.bump("journal_torn_lines", u64::from(report.torn_tail));
                     seq = report.records.len() as u64;
                     for tr in &report.records {
+                        // Records are keyed by (config, ensemble member):
+                        // the same configuration evaluated on a different
+                        // held-out member is a different measurement.
+                        if tr.member != task.member {
+                            continue;
+                        }
                         if tr.config.len() == task.atoms.len() && !cache.contains_key(&tr.config) {
                             if let Some(rec) = variant_from_trial(tr, task.error_threshold) {
                                 cache.insert(tr.config.clone(), rec);
@@ -478,6 +551,8 @@ impl<'a> DynamicEvaluator<'a> {
             failure_kind: rec.failure.map(|f| f.name().to_string()),
             fault_kind: rec.fault_kind.clone(),
             fault_seed: rec.fault_seed,
+            shadow: rec.shadow.clone(),
+            member: self.task.member,
         };
         if let Err(e) = j.append(&tr) {
             // A journal failure cannot itself be journaled; it surfaces as
@@ -567,6 +642,7 @@ impl<'a> DynamicEvaluator<'a> {
                     failure: Some(FailureKind::Panic),
                     fault_kind: None,
                     fault_seed: None,
+                    shadow: None,
                 }
             }
         };
@@ -612,6 +688,7 @@ impl<'a> DynamicEvaluator<'a> {
             failure: None,
             fault_kind: None,
             fault_seed: None,
+            shadow: None,
         };
 
         // T2 + T3 via the task's variant path. Both paths return the
@@ -624,13 +701,14 @@ impl<'a> DynamicEvaluator<'a> {
             }
             _ => self.run_faithful(&map, fault, clock, &base),
         };
-        let (run, wrappers, hotspot_set) = match path_result {
+        let (run, wrappers, hotspot_set, report) = match path_result {
             Ok(t) => t,
             Err(rec) => return *rec,
         };
         clock.add_ns("lower", run.lower_ns);
         clock.add_ns("exec", run.exec_ns);
         trial_counters.merge(&ops_counters(&run.ops, run.events));
+        let mut shadow = report.as_ref().map(shadow_trial);
 
         // Correctness.
         let error = task
@@ -646,6 +724,7 @@ impl<'a> DynamicEvaluator<'a> {
                 wrappers,
                 detail: Some("correctness metric unavailable (corrupted output)".into()),
                 failure: Some(FailureKind::RuntimeOther),
+                shadow,
                 ..base
             };
         };
@@ -691,11 +770,34 @@ impl<'a> DynamicEvaluator<'a> {
             }
         }
 
-        let status = if error <= task.error_threshold {
+        let mut status = if error <= task.error_threshold {
             Status::Pass
         } else {
             Status::FailAccuracy
         };
+
+        // Guardrail gate: a trial that passes the scalar metric is still
+        // demoted when the shadow run shows the variant's arithmetic
+        // diverging beyond budget anywhere, or catastrophically cancelling.
+        // The scalar metric samples what the model records; the shadow sees
+        // every store.
+        let mut failure = None;
+        let mut detail = None;
+        if status == Status::Pass {
+            if let Some(rep) = &report {
+                let budget = task.shadow_budget.unwrap_or(task.error_threshold);
+                if rep.worst_rel > budget || rep.cancellations > 0 {
+                    status = Status::FailAccuracy;
+                    failure = Some(FailureKind::ShadowBudget);
+                    detail = Some(shadow_demotion_detail(rep, budget));
+                    if let Some(s) = &mut shadow {
+                        s.demoted = true;
+                    }
+                    trial_counters.bump("shadow_demotions", 1);
+                }
+            }
+        }
+
         let per_proc = collect_proc_samples(&run.timers, &fingerprints);
         VariantRecord {
             outcome: Outcome {
@@ -705,12 +807,14 @@ impl<'a> DynamicEvaluator<'a> {
             },
             per_proc,
             wrappers,
-            detail: None,
+            detail,
             total_cycles: Some(run.total_cycles),
             hotspot_cycles: Some(
                 run.timers
                     .scoped_cycles(hotspot_set.iter().map(String::as_str)),
             ),
+            failure,
+            shadow,
             ..base
         }
     }
@@ -723,7 +827,7 @@ impl<'a> DynamicEvaluator<'a> {
         fault: Option<prose_faults::InjectedFault>,
         clock: &mut StageClock,
         base: &VariantRecord,
-    ) -> Result<(RunOutcome, Vec<String>, Vec<String>), Box<VariantRecord>> {
+    ) -> PathResult {
         let task = self.task;
         let variant = match clock.time("transform", || {
             make_variant(&task.program, &task.index, map)
@@ -744,13 +848,17 @@ impl<'a> DynamicEvaluator<'a> {
             max_events: task.max_events,
             wrapper_names: variant.wrappers.iter().cloned().collect(),
             fault,
+            shadow: task.shadow,
         };
         let t_run = Instant::now();
-        let run = match run_program(&variant.program, &variant.index, &run_cfg) {
+        let (res, report) = run_program_shadow(&variant.program, &variant.index, &run_cfg);
+        let run = match res {
             Ok(o) => o,
             Err(e) => {
                 // Aborted runs (timeouts especially) still did real work
-                // before failing; charge it to the exec stage.
+                // before failing; charge it to the exec stage. The shadow
+                // report survives the abort — that is where NaN/Inf
+                // provenance lives.
                 clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
                 let status = match e {
                     RunError::Timeout { .. } => Status::Timeout,
@@ -765,6 +873,7 @@ impl<'a> DynamicEvaluator<'a> {
                     wrappers: variant.wrappers,
                     detail: Some(e.to_string()),
                     failure: Some(FailureKind::from_run_error(&e)),
+                    shadow: report.as_ref().map(shadow_trial),
                     ..base.clone()
                 }));
             }
@@ -775,7 +884,7 @@ impl<'a> DynamicEvaluator<'a> {
             &task.hotspot_procs,
             &variant.wrappers,
         );
-        Ok((run, variant.wrappers, hotspot_set))
+        Ok((run, variant.wrappers, hotspot_set, report))
     }
 
     /// The template fast path: replay the wrapper rewrite on the variant
@@ -791,7 +900,7 @@ impl<'a> DynamicEvaluator<'a> {
         clock: &mut StageClock,
         trial_counters: &mut Counters,
         base: &VariantRecord,
-    ) -> Result<(RunOutcome, Vec<String>, Vec<String>), Box<VariantRecord>> {
+    ) -> PathResult {
         let task = self.task;
         let plan = clock.time("transform", || vt.instantiate(map));
         let wrappers = plan.wrapper_names();
@@ -823,9 +932,11 @@ impl<'a> DynamicEvaluator<'a> {
             // run_ir ignores this field.
             wrapper_names: Default::default(),
             fault,
+            shadow: task.shadow,
         };
         let t_run = Instant::now();
-        let run = match run_ir(&ir, &run_cfg) {
+        let (res, report) = run_ir_shadow(&ir, &run_cfg);
+        let run = match res {
             Ok(o) => o,
             Err(e) => {
                 clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
@@ -842,6 +953,7 @@ impl<'a> DynamicEvaluator<'a> {
                     wrappers,
                     detail: Some(e.to_string()),
                     failure: Some(FailureKind::from_run_error(&e)),
+                    shadow: report.as_ref().map(shadow_trial),
                     ..base.clone()
                 }));
             }
@@ -874,7 +986,7 @@ impl<'a> DynamicEvaluator<'a> {
                 return self.run_faithful(map, None, clock, base);
             }
         }
-        Ok((run, wrappers, hotspot_set))
+        Ok((run, wrappers, hotspot_set, report))
     }
 
     /// Claim one faithful cross-check ticket, if any remain.
@@ -904,8 +1016,10 @@ impl<'a> DynamicEvaluator<'a> {
         }
         let cfg = RunConfig {
             wrapper_names: variant.wrappers.iter().cloned().collect(),
-            // The crosscheck is a reference run; never fault-inject it.
+            // The crosscheck is a reference run; never fault-inject it,
+            // and skip the shadow (the comparison is on primary outputs).
             fault: None,
+            shadow: false,
             ..run_cfg.clone()
         };
         let faithful = run_program(&variant.program, &variant.index, &cfg)
@@ -1015,7 +1129,13 @@ fn collect_proc_samples(timers: &Timers, fingerprints: &[(String, u64)]) -> Vec<
 /// config properties; the verdict is a task property). Timeout and error
 /// statuses are kept as recorded.
 fn variant_from_trial(tr: &TrialRecord, error_threshold: f64) -> Option<VariantRecord> {
+    let failure = tr.failure_kind.as_deref().and_then(FailureKind::from_name);
     let status = match status_from_name(&tr.status)? {
+        // A shadow-guardrail demotion is sticky: the journaled scalar error
+        // may be under the threshold (that is the whole point of the
+        // gate), so the threshold recomputation below must not resurrect
+        // the trial to Pass.
+        _ if failure == Some(FailureKind::ShadowBudget) => Status::FailAccuracy,
         Status::Pass | Status::FailAccuracy => {
             if tr.error <= error_threshold {
                 Status::Pass
@@ -1038,9 +1158,10 @@ fn variant_from_trial(tr: &TrialRecord, error_threshold: f64) -> Option<VariantR
         detail: Some("replayed from trial journal".into()),
         total_cycles: tr.total_cycles,
         hotspot_cycles: tr.hotspot_cycles,
-        failure: tr.failure_kind.as_deref().and_then(FailureKind::from_name),
+        failure,
         fault_kind: tr.fault_kind.clone(),
         fault_seed: tr.fault_seed,
+        shadow: tr.shadow.clone(),
     })
 }
 

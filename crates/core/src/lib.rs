@@ -77,12 +77,17 @@
 //! assert!(best.outcome.speedup > 1.0);
 //! ```
 
+pub mod ensemble;
 pub mod evaluator;
 pub mod metrics;
 pub mod profile;
 pub mod speedup;
 pub mod tuner;
 
+pub use ensemble::{
+    validate_ensemble, CandidateValidation, EnsembleError, EnsembleParams, EnsembleReport,
+    MemberResult,
+};
 pub use evaluator::{
     hotspot_scope_from_callers, hotspot_scope_with_wrappers, status_from_name, status_name,
     DynamicEvaluator, FailureKind, ProcSample, StrictDesync, VariantRecord,

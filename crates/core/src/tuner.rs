@@ -110,6 +110,19 @@ pub struct TuningTask {
     /// Journal write-ahead-log flush policy (per-record by default, so a
     /// killed process loses at most the record being written).
     pub wal_flush: prose_trace::FlushPolicy,
+    /// Run every variant with an fp64 shadow and gate passing trials on
+    /// the shadow-error budget (the numerical guardrail).
+    pub shadow: bool,
+    /// Per-metric shadow-error budget; `None` uses `error_threshold`. A
+    /// passing trial whose worst per-variable shadow error exceeds the
+    /// budget — or that triggered catastrophic cancellation — is demoted
+    /// to fail-accuracy with [`crate::evaluator::FailureKind::ShadowBudget`].
+    pub shadow_budget: Option<f64>,
+    /// Held-out ensemble member id this task evaluates (`None` = the
+    /// tuning input). Stamped into journal records and part of the
+    /// memoization key, so resumed ensemble validations skip completed
+    /// members without cross-member cache collisions.
+    pub member: Option<u32>,
 }
 
 /// The result of one tuning experiment.
@@ -310,6 +323,9 @@ impl LoadedModel {
             retry_band: 0.0,
             retry_max_runs: 25,
             wal_flush: prose_trace::FlushPolicy::default(),
+            shadow: false,
+            shadow_budget: None,
+            member: None,
         })
     }
 }

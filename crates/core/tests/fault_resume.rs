@@ -10,6 +10,7 @@
 //!   duplicate interpreter evaluations;
 //! * a torn final journal line is tolerated and counted.
 
+use prose_core::ensemble::{validate_ensemble, EnsembleParams};
 use prose_core::tuner::{tune, tune_brute_force, ModelSpec, PerfScope, TuningTask};
 use prose_core::{metrics::CorrectnessMetric, DynamicEvaluator, FailureKind};
 use prose_faults::{FaultConfig, InjectedKill};
@@ -300,6 +301,138 @@ fn torn_journal_tail_is_tolerated_and_counted() {
     assert_eq!(run2.metrics.get("cache_preloaded"), miss1);
     assert_eq!(run2.metrics.get("cache_misses"), 0);
     assert_eq!(run2.search.final_config, run1.search.final_config);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Shadow execution composes with fault injection: a NaN injected by the
+/// harness is attributed to the injection in the shadow provenance
+/// (`injected = true`), never misreported as genuine catastrophic
+/// cancellation — and classified `FpException` as before.
+#[test]
+fn injected_nan_is_attributed_to_the_fault_not_to_cancellation() {
+    let (mut task, path) = task_with("nan_shadow");
+    task.shadow = true;
+    task.faults = Some(FaultConfig::parse("nan=1.0,seed=9").unwrap());
+
+    let cfg = vec![true; task.atoms.len()];
+    let eval = DynamicEvaluator::new(&task).unwrap();
+    let rec = eval.eval_one(&cfg);
+    assert_eq!(rec.outcome.status, Status::RuntimeError);
+    assert_eq!(rec.failure, Some(FailureKind::FpException));
+    assert_eq!(rec.fault_kind.as_deref(), Some("nan"));
+    let sh = rec
+        .shadow
+        .as_ref()
+        .expect("shadow diagnostics survive aborted runs");
+    assert!(
+        sh.nonfinite_injected,
+        "the NaN's provenance must say it was injected: {sh:?}"
+    );
+    assert!(
+        sh.nonfinite_origin.is_some(),
+        "provenance must name the op and site"
+    );
+    assert_eq!(
+        sh.cancellations, 0,
+        "an injected NaN must not be blamed on cancellation"
+    );
+    assert!(
+        !sh.demoted,
+        "the guardrail gate only demotes passing trials"
+    );
+    drop(eval);
+
+    // The attribution round-trips through the journal into a fresh memo.
+    task.faults = None;
+    let eval2 = DynamicEvaluator::new(&task).unwrap();
+    let replayed = eval2.eval_one(&cfg);
+    assert_eq!(eval2.metrics().get("cache_hits"), 1);
+    let sh2 = replayed
+        .shadow
+        .expect("shadow section replays from journal");
+    assert!(sh2.nonfinite_injected);
+    assert_eq!(sh2.cancellations, 0);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Held-out ensemble validation under resume: member measurements are
+/// stamped with their member id in the journal and memo key, so a repeated
+/// validation against the same journal re-runs nothing, members never
+/// share cache entries, and growing the ensemble only evaluates the new
+/// member.
+#[test]
+fn ensemble_members_resume_from_journal_without_rerunning() {
+    let (mut task, path) = task_with("ensemble_resume");
+    task.error_threshold = 1.0e-6;
+    let outcome = tune(&task).unwrap();
+    let baseline_len = Journal::load(&path).unwrap().len();
+
+    let params = EnsembleParams {
+        members: 3,
+        seed: 99,
+        amplitude: 1e-3,
+        max_candidates: 2,
+    };
+    let report1 = validate_ensemble(&task, &outcome, &params).unwrap();
+    let after_first = Journal::load(&path).unwrap();
+    assert!(after_first.len() > baseline_len);
+    for m in 1..=3u32 {
+        let member_recs: Vec<_> = after_first.iter().filter(|r| r.member == Some(m)).collect();
+        assert!(
+            !member_recs.is_empty(),
+            "member {m} left no journal records"
+        );
+        assert!(
+            member_recs.iter().all(|r| !r.cached),
+            "member {m} must evaluate fresh — identical configs from other \
+             members or the tuning run must not satisfy it"
+        );
+    }
+    // Tuning-input records stay unstamped.
+    assert!(after_first[..baseline_len]
+        .iter()
+        .all(|r| r.member.is_none()));
+
+    // Resume: the same validation again — zero interpreter re-runs.
+    let report2 = validate_ensemble(&task, &outcome, &params).unwrap();
+    let after_second = Journal::load(&path).unwrap();
+    let replayed = &after_second[after_first.len()..];
+    assert!(!replayed.is_empty());
+    assert!(
+        replayed.iter().all(|r| r.cached),
+        "a resumed ensemble must serve every completed member from the journal"
+    );
+    assert_eq!(report1.winner, report2.winner);
+    for (a, b) in report1.candidates.iter().zip(&report2.candidates) {
+        assert_eq!(a.validated, b.validated);
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(ma.record.outcome, mb.record.outcome);
+        }
+    }
+
+    // Growing the ensemble: only the new member touches the interpreter.
+    let report3 = validate_ensemble(
+        &task,
+        &outcome,
+        &EnsembleParams {
+            members: 4,
+            ..params
+        },
+    )
+    .unwrap();
+    let after_third = Journal::load(&path).unwrap();
+    let fresh: Vec<_> = after_third[after_second.len()..]
+        .iter()
+        .filter(|r| !r.cached)
+        .collect();
+    assert!(!fresh.is_empty(), "member 4 must actually run");
+    assert!(
+        fresh.iter().all(|r| r.member == Some(4)),
+        "members 1-3 must replay from the journal"
+    );
+    assert_eq!(report3.candidates.len(), report1.candidates.len());
 
     let _ = std::fs::remove_file(&path);
 }

@@ -123,6 +123,7 @@ fn differential(src: &str, bits: &[bool]) -> Result<(), TestCaseError> {
         max_events: 50_000_000,
         wrapper_names: variant.wrappers.iter().cloned().collect(),
         fault: None,
+        shadow: false,
     };
     let faithful = run_program(&variant.program, &variant.index, &cfg);
 

@@ -53,6 +53,7 @@ pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod perturb;
 pub mod precision;
 pub mod sema;
 pub mod span;
@@ -61,6 +62,7 @@ pub mod unparse;
 
 pub use ast::{Module, Procedure, Program};
 pub use error::{FortranError, Result};
+pub use perturb::{member_seed, perturb_main, DEFAULT_AMPLITUDE};
 pub use precision::PrecisionMap;
 pub use sema::{analyze, ProgramIndex};
 pub use span::Span;

@@ -1,0 +1,223 @@
+//! Seeded input perturbation for held-out ensemble validation.
+//!
+//! A tuned precision configuration is accepted on the strength of a single
+//! input realization: the literal constants in the model's main program.
+//! A configuration can therefore *overfit the input* — e.g. a branch guarded
+//! by `gate > 1.0` never executes during tuning because the driver happens to
+//! set `gate` just below 1, so the precision of the variables inside the
+//! branch is unconstrained by the scalar metric.
+//!
+//! This module generates ensemble members: clones of a program in which every
+//! real literal appearing in the **main program's** inputs (declaration
+//! initializers, assignment right-hand sides, and call arguments) is scaled
+//! by `1 + amplitude * u` with `u` drawn uniformly from `[-1, 1)` by a seeded
+//! splitmix64 stream. Module code — the kernel under tuning — is never
+//! touched, so the precision search space and the program structure are
+//! identical across members; only the driver's inputs move. Loop bounds,
+//! branch conditions, and array extents in the driver are also left alone:
+//! members must execute the same driver control flow so that per-member
+//! timings remain comparable.
+//!
+//! Determinism: the literal visit order is the AST order, and one draw is
+//! consumed per visited literal (including exact zeros, which scaling leaves
+//! unchanged), so a given `(program, seed, amplitude)` triple always yields
+//! the same member.
+
+use crate::ast::{Expr, MainProgram, Program, Stmt};
+
+/// Default relative amplitude for ensemble perturbations: 0.1 %.
+///
+/// Large enough to cross knife-edge branch guards planted within ~1e-4 of
+/// their threshold, small enough that a numerically honest configuration's
+/// error metric moves by O(amplitude), not orders of magnitude.
+pub const DEFAULT_AMPLITUDE: f64 = 1e-3;
+
+/// Derive the RNG seed for ensemble member `member` from a base seed.
+///
+/// Member 0 is reserved for the unperturbed tuning input; callers typically
+/// perturb with `member_seed(base, m)` for `m >= 1`.
+pub fn member_seed(base: u64, member: u32) -> u64 {
+    let mut s = Splitmix64::new(
+        base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(member))),
+    );
+    s.next_u64()
+}
+
+/// Return a copy of `program` with the main program's input literals
+/// perturbed by the seeded stream, plus the number of literals touched.
+///
+/// Programs without a main program are returned unchanged (count 0).
+pub fn perturb_main(program: &Program, seed: u64, amplitude: f64) -> (Program, usize) {
+    let mut out = program.clone();
+    let mut rng = Splitmix64::new(seed);
+    let mut count = 0usize;
+    if let Some(main) = &mut out.main {
+        perturb_main_program(main, amplitude, &mut rng, &mut count);
+    }
+    (out, count)
+}
+
+fn perturb_main_program(
+    main: &mut MainProgram,
+    amplitude: f64,
+    rng: &mut Splitmix64,
+    count: &mut usize,
+) {
+    for decl in &mut main.decls {
+        for entity in &mut decl.entities {
+            if let Some(init) = &mut entity.init {
+                perturb_expr(init, amplitude, rng, count);
+            }
+        }
+    }
+    perturb_stmts(&mut main.body, amplitude, rng, count);
+}
+
+fn perturb_stmts(stmts: &mut [Stmt], amplitude: f64, rng: &mut Splitmix64, count: &mut usize) {
+    for stmt in stmts {
+        match stmt {
+            // Only value-producing positions are perturbed: the assignment
+            // RHS and arguments handed to procedures. Index expressions,
+            // loop bounds, and conditions stay fixed so driver control flow
+            // is identical across members.
+            Stmt::Assign { value, .. } => perturb_expr(value, amplitude, rng, count),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    perturb_expr(a, amplitude, rng, count);
+                }
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (_, body) in arms {
+                    perturb_stmts(body, amplitude, rng, count);
+                }
+                if let Some(body) = else_body {
+                    perturb_stmts(body, amplitude, rng, count);
+                }
+            }
+            Stmt::Do { body, .. } | Stmt::DoWhile { body, .. } => {
+                perturb_stmts(body, amplitude, rng, count);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn perturb_expr(expr: &mut Expr, amplitude: f64, rng: &mut Splitmix64, count: &mut usize) {
+    match expr {
+        Expr::RealLit { value, .. } => {
+            *value *= 1.0 + amplitude * rng.next_unit();
+            *count += 1;
+        }
+        Expr::NameRef { args, .. } => {
+            for a in args {
+                perturb_expr(a, amplitude, rng, count);
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            perturb_expr(lhs, amplitude, rng, count);
+            perturb_expr(rhs, amplitude, rng, count);
+        }
+        Expr::Un { operand, .. } => perturb_expr(operand, amplitude, rng, count),
+        _ => {}
+    }
+}
+
+/// Minimal splitmix64 stream — deliberately self-contained so the fortran
+/// front end stays dependency-free.
+struct Splitmix64 {
+    state: u64,
+}
+
+impl Splitmix64 {
+    fn new(seed: u64) -> Self {
+        Splitmix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[-1, 1)`.
+    fn next_unit(&mut self) -> f64 {
+        let bits = self.next_u64() >> 11; // 53 random mantissa bits
+        let unit = bits as f64 / (1u64 << 53) as f64; // [0, 1)
+        2.0 * unit - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    const SRC: &str = r#"
+module m
+contains
+  subroutine kern(x, y)
+    real(kind=8) :: x, y
+    y = x * 2.0d0
+  end subroutine kern
+end module m
+
+program drive
+  use m
+  real(kind=8) :: a = 3.0d0
+  real(kind=8) :: b
+  a = a + 0.5d0
+  call kern(a, b)
+  if (b > 1.0d0) then
+    b = b - 0.25d0
+  end if
+end program drive
+"#;
+
+    #[test]
+    fn perturbation_is_deterministic_and_scoped_to_main() {
+        let p = parse_program(SRC).unwrap();
+        let (m1, n1) = perturb_main(&p, 42, DEFAULT_AMPLITUDE);
+        let (m2, n2) = perturb_main(&p, 42, DEFAULT_AMPLITUDE);
+        assert_eq!(m1, m2, "same seed must give the same member");
+        assert_eq!(n1, n2);
+        // Driver literals: init 3.0, rhs 0.5, branch-body 0.25. The branch
+        // condition literal 1.0 and all module code stay fixed.
+        assert_eq!(n1, 3);
+        assert_eq!(p.modules, m1.modules, "module code must not be perturbed");
+        assert_ne!(p.main, m1.main, "driver inputs must move");
+    }
+
+    #[test]
+    fn different_seeds_give_different_members_within_amplitude() {
+        let p = parse_program(SRC).unwrap();
+        let (m1, _) = perturb_main(&p, 1, DEFAULT_AMPLITUDE);
+        let (m2, _) = perturb_main(&p, 2, DEFAULT_AMPLITUDE);
+        assert_ne!(m1, m2);
+        let init = |prog: &Program| -> f64 {
+            match prog.main.as_ref().unwrap().decls[0].entities[0]
+                .init
+                .as_ref()
+                .unwrap()
+            {
+                Expr::RealLit { value, .. } => *value,
+                other => panic!("unexpected init {other:?}"),
+            }
+        };
+        let (v1, v2) = (init(&m1), init(&m2));
+        for v in [v1, v2] {
+            assert!((v - 3.0).abs() <= 3.0 * DEFAULT_AMPLITUDE * 1.0001);
+        }
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn member_seed_is_stable_and_spreads() {
+        assert_eq!(member_seed(7, 1), member_seed(7, 1));
+        assert_ne!(member_seed(7, 1), member_seed(7, 2));
+        assert_ne!(member_seed(7, 1), member_seed(8, 1));
+    }
+}

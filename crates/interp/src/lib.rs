@@ -38,11 +38,16 @@ pub mod ir;
 pub mod lower;
 pub mod machine;
 pub mod run;
+pub mod shadow;
 pub mod template;
 pub mod timers;
 pub mod value;
 
 pub use cost::CostParams;
-pub use run::{run_ir, run_program, OpCounts, RunConfig, RunError, RunOutcome, RunRecords};
+pub use run::{
+    run_ir, run_ir_shadow, run_program, run_program_shadow, OpCounts, RunConfig, RunError,
+    RunOutcome, RunRecords,
+};
+pub use shadow::{CancellationEvent, NonFiniteOrigin, ShadowReport, VarShadow};
 pub use template::IrTemplate;
 pub use timers::{ProcTimer, Timers};

@@ -18,6 +18,10 @@
 
 use crate::cost::{CostParams, LoopCtx, OpClass};
 use crate::ir::*;
+use crate::shadow::{
+    shadow_rel, CancellationEvent, NonFiniteOrigin, ShadowReport, ShadowState, VarShadow,
+    CANCEL_DIVERGENCE, CANCEL_LOST_BITS, GLOBAL_SCOPE,
+};
 use crate::timers::Timers;
 use crate::value::{ArrayRef, ArrayVal, Fp, Num};
 use prose_fortran::ast::{BinOp, FpPrecision, UnOp};
@@ -147,7 +151,54 @@ pub enum Slot {
     Unallocated,
 }
 
-pub type Frame = Vec<Slot>;
+/// One activation's slots plus, under shadow execution, a parallel fp64
+/// shadow value per slot. Indexing (`frame[i]`) reaches the primary slots;
+/// the shadow plane is empty (and every accessor a no-op) when shadow
+/// execution is off, so the normal path pays nothing.
+#[derive(Debug, Default)]
+pub struct Frame {
+    pub slots: Vec<Slot>,
+    sh: Vec<f64>,
+}
+
+impl Frame {
+    pub fn new() -> Frame {
+        Frame::default()
+    }
+
+    fn for_decls(decls: &[SlotDecl], shadow: bool) -> Frame {
+        let slots: Vec<Slot> = decls.iter().map(default_slot).collect();
+        let sh = if shadow {
+            vec![0.0; slots.len()]
+        } else {
+            Vec::new()
+        };
+        Frame { slots, sh }
+    }
+
+    fn sh_get(&self, i: usize) -> f64 {
+        self.sh.get(i).copied().unwrap_or(0.0)
+    }
+
+    fn sh_set(&mut self, i: usize, v: f64) {
+        if let Some(s) = self.sh.get_mut(i) {
+            *s = v;
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Frame {
+    type Output = Slot;
+    fn index(&self, i: usize) -> &Slot {
+        &self.slots[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Frame {
+    fn index_mut(&mut self, i: usize) -> &mut Slot {
+        &mut self.slots[i]
+    }
+}
 
 /// Control flow signal from statement execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +233,13 @@ pub struct Machine<'ir> {
     /// Fault-injection plan for this run ([`prose_faults`]); `None` in
     /// normal operation.
     pub fault: Option<prose_faults::InjectedFault>,
+    /// Shadow execution enabled ([`crate::shadow`]).
+    sh_on: bool,
+    /// Shadow of the most recently evaluated expression. The discipline:
+    /// every `eval` arm leaves the shadow of its result here, and consumers
+    /// (stores, argument binding, recording) read it before the next `eval`.
+    sh_reg: f64,
+    shadow: Option<Box<ShadowState>>,
 }
 
 type R<T> = Result<T, RunError>;
@@ -192,7 +250,7 @@ impl<'ir> Machine<'ir> {
         Machine {
             ir,
             params,
-            globals: Vec::new(),
+            globals: Frame::new(),
             records: RunRecords::default(),
             proc_cycles: vec![0.0; nprocs],
             proc_calls: vec![0; nprocs],
@@ -205,14 +263,23 @@ impl<'ir> Machine<'ir> {
             events: 0,
             ops: OpCounts::default(),
             fault: None,
+            sh_on: false,
+            sh_reg: 0.0,
+            shadow: None,
         }
+    }
+
+    /// Turn on shadow execution. Must be called before [`Machine::run`].
+    pub fn enable_shadow(&mut self) {
+        self.sh_on = true;
+        self.shadow = Some(Box::default());
     }
 
     /// Initialize globals and execute the main program.
     pub fn run(&mut self) -> R<()> {
         self.init_globals()?;
         let main = self.ir.main_proc;
-        let result = match self.call_proc(main, &[], &mut Vec::new()) {
+        let result = match self.call_proc(main, &[], &mut Frame::new()) {
             Ok(_) => Ok(()),
             // `stop` / `stop 0` unwinds as a sentinel: clean termination.
             Err(RunError::Stop { code: 0 }) => Ok(()),
@@ -233,10 +300,14 @@ impl<'ir> Machine<'ir> {
     /// `catch_unwind` containment to classify.
     fn fire_fault(&mut self) -> RunError {
         match self.fault.take().expect("fire_fault with no fault armed") {
-            prose_faults::InjectedFault::NonFinite { .. } => RunError::NonFinite {
-                proc: self.cur_proc_name(),
-                line: self.cur_line,
-            },
+            prose_faults::InjectedFault::NonFinite { .. } => {
+                // Provenance: this NaN never traversed real arithmetic —
+                // attribute it to the injection, not to the variant.
+                let proc = self.cur_proc_name();
+                let line = self.cur_line;
+                self.note_nonfinite("injected", &proc, line, true);
+                RunError::NonFinite { proc, line }
+            }
             prose_faults::InjectedFault::Timeout { .. } => RunError::Timeout {
                 budget: self.budget,
             },
@@ -291,6 +362,201 @@ impl<'ir> Machine<'ir> {
         } else {
             line
         }
+    }
+
+    // ---- shadow execution ------------------------------------------------
+    //
+    // None of these charge cycles, count ops, or bump events: shadow-on and
+    // shadow-off runs are bit-identical in everything but the report.
+
+    /// Shadow value of a scalar slot: the stored fp64 shadow for FP slots,
+    /// the primary value widened to f64 for everything else (integers,
+    /// logicals follow the primary by construction).
+    fn load_shadow(&self, r: SlotRef, frame: &Frame) -> f64 {
+        let (slot, sh) = match r {
+            SlotRef::Local(i) => (&frame.slots[i], frame.sh_get(i)),
+            SlotRef::Global(i) => (&self.globals.slots[i], self.globals.sh_get(i)),
+        };
+        match slot {
+            Slot::Fp(_) => sh,
+            Slot::Int(i) => *i as f64,
+            Slot::Bool(b) => f64::from(u8::from(*b)),
+            _ => 0.0,
+        }
+    }
+
+    /// After a scalar slot store: persist the value's shadow (from the
+    /// register) and fold the divergence into the per-variable stats. Non-FP
+    /// slots snap their shadow to the primary.
+    fn store_scalar_shadow(&mut self, r: SlotRef, frame: &mut Frame) {
+        if !self.sh_on {
+            return;
+        }
+        let (prim, is_fp) = match self.get_slot(r, frame) {
+            Slot::Fp(f) => (f.as_f64(), true),
+            Slot::Int(i) => (*i as f64, false),
+            Slot::Bool(b) => (f64::from(u8::from(*b)), false),
+            _ => return,
+        };
+        let sh = if is_fp { self.sh_reg } else { prim };
+        match r {
+            SlotRef::Local(i) => frame.sh_set(i, sh),
+            SlotRef::Global(i) => self.globals.sh_set(i, sh),
+        }
+        if is_fp {
+            self.note_var(r, prim, sh);
+        }
+    }
+
+    /// Fold one store's divergence into the (scope, slot) stats.
+    fn note_var(&mut self, r: SlotRef, prim: f64, sh: f64) {
+        let key = match r {
+            SlotRef::Local(i) => (self.cur_proc(), i),
+            SlotRef::Global(i) => (GLOBAL_SCOPE, i),
+        };
+        if let Some(st) = &mut self.shadow {
+            st.vars.entry(key).or_default().update(prim, sh);
+        }
+    }
+
+    /// Shadow of a binary op's result; also the cancellation detector.
+    fn shadow_bin(
+        &mut self,
+        op: BinOp,
+        pa: Option<f64>,
+        pb: Option<f64>,
+        ash: f64,
+        bsh: f64,
+        r: &Num,
+    ) {
+        if op.is_logical() || op.is_comparison() {
+            self.sh_reg = match r {
+                Num::Bool(b) => f64::from(u8::from(*b)),
+                _ => 0.0,
+            };
+            return;
+        }
+        if let Num::Int(i) = r {
+            // Integer arithmetic: shadow snaps to the primary.
+            self.sh_reg = *i as f64;
+            return;
+        }
+        let sh = apply_f64(op, ash, bsh);
+        self.sh_reg = sh;
+        // Catastrophic cancellation: only meaningful for runtime FP add/sub
+        // (literal folds are compile-time and precision-independent).
+        if matches!(op, BinOp::Add | BinOp::Sub) && matches!(r, Num::Fp(_)) {
+            if let (Some(x), Some(y), Some(pr)) = (pa, pb, r.as_f64()) {
+                self.note_cancellation(x, y, pr, sh);
+            }
+        }
+    }
+
+    fn note_cancellation(&mut self, x: f64, y: f64, prim: f64, sh: f64) {
+        let m = x.abs().max(y.abs());
+        if m <= 0.0 || !prim.is_finite() {
+            return;
+        }
+        // Exponent drop: result at least CANCEL_LOST_BITS bits below the
+        // larger operand.
+        if prim.abs() >= m * CANCEL_LOST_BITS.exp2().recip() {
+            return;
+        }
+        let rel = shadow_rel(prim, sh);
+        if rel < CANCEL_DIVERGENCE {
+            // Benign cancellation: the shadow cancelled the same way.
+            return;
+        }
+        let lost_bits = if prim == 0.0 {
+            f64::from(f64::MANTISSA_DIGITS)
+        } else {
+            (m / prim.abs()).log2()
+        };
+        let ev = CancellationEvent {
+            proc: self.cur_proc_name().to_string(),
+            line: self.cur_line,
+            lost_bits,
+            rel_err: rel,
+        };
+        if let Some(st) = &mut self.shadow {
+            st.cancellations += 1;
+            let worse = st
+                .worst_cancellation
+                .as_ref()
+                .is_none_or(|w| ev.rel_err > w.rel_err);
+            if worse {
+                st.worst_cancellation = Some(ev);
+            }
+        }
+    }
+
+    /// Record provenance for the first non-finite value and build the error.
+    fn nonfinite_at(&mut self, line: u32, op: &'static str) -> RunError {
+        let proc = self.cur_proc_name();
+        let line = self.at_line(line);
+        self.note_nonfinite(op, &proc, line, false);
+        RunError::NonFinite { proc, line }
+    }
+
+    fn note_nonfinite(&mut self, op: &str, proc: &str, line: u32, injected: bool) {
+        if let Some(st) = &mut self.shadow {
+            if st.nonfinite.is_none() {
+                st.nonfinite = Some(NonFiniteOrigin {
+                    op: op.to_string(),
+                    proc: proc.to_string(),
+                    line,
+                    injected,
+                });
+            }
+        }
+    }
+
+    /// Build the shadow report, resolving slot keys to display names.
+    /// `None` unless shadow execution was enabled.
+    pub fn shadow_report(&self) -> Option<ShadowReport> {
+        let st = self.shadow.as_ref()?;
+        let name_of = |&(scope, slot): &(usize, usize)| -> String {
+            if scope == GLOBAL_SCOPE {
+                format!("@global::{}", self.ir.globals[slot].name)
+            } else {
+                let p = &self.ir.procs[scope];
+                format!("{}::{}", p.name, p.slots[slot].name)
+            }
+        };
+        let mut vars: Vec<VarShadow> = st
+            .vars
+            .iter()
+            .map(|(k, e)| VarShadow {
+                name: name_of(k),
+                max_rel: e.max_rel,
+                final_rel: e.final_rel,
+                stores: e.stores,
+            })
+            .collect();
+        vars.sort_by(|a, b| b.max_rel.total_cmp(&a.max_rel).then(a.name.cmp(&b.name)));
+        let records: Vec<VarShadow> = {
+            let mut r: Vec<VarShadow> = st
+                .records
+                .iter()
+                .map(|(k, e)| VarShadow {
+                    name: k.clone(),
+                    max_rel: e.max_rel,
+                    final_rel: e.final_rel,
+                    stores: e.stores,
+                })
+                .collect();
+            r.sort_by(|a, b| b.max_rel.total_cmp(&a.max_rel).then(a.name.cmp(&b.name)));
+            r
+        };
+        let worst_rel = vars.first().map(|v| v.max_rel).unwrap_or(0.0);
+        Some(ShadowReport {
+            vars,
+            records,
+            worst_rel,
+            cancellations: st.cancellations,
+            worst_cancellation: st.worst_cancellation.clone(),
+            nonfinite: st.nonfinite.clone(),
+        })
     }
 
     // ---- cost charging ---------------------------------------------------
@@ -389,21 +655,22 @@ impl<'ir> Machine<'ir> {
     fn init_globals(&mut self) -> R<()> {
         let ir = self.ir;
         // Slots first (so dim expressions can read earlier constants).
-        self.globals = ir.globals.iter().map(default_slot).collect();
+        self.globals = Frame::for_decls(&ir.globals, self.sh_on);
         // Evaluate initializers and array shapes in declaration order.
         for (i, decl) in ir.globals.iter().enumerate() {
             if let Some(dims) = &decl.dims {
                 if !decl.allocatable {
-                    let mut frame = Vec::new();
+                    let mut frame = Frame::new();
                     let bounds = self.eval_bounds(dims, &mut frame, 0)?;
                     let arr = self.make_array(decl, bounds, 0)?;
                     self.globals[i] = Slot::Array(Rc::new(RefCell::new(arr)));
                 }
             } else if let Some(init) = &decl.init {
-                let mut frame = Vec::new();
+                let mut frame = Frame::new();
                 let v = self.eval(init, &mut frame)?;
                 let slot = self.convert_to_slot(decl, v, 0)?;
                 self.globals[i] = slot;
+                self.store_scalar_shadow(SlotRef::Global(i), &mut frame);
             }
         }
         Ok(())
@@ -411,7 +678,14 @@ impl<'ir> Machine<'ir> {
 
     fn make_array(&self, decl: &SlotDecl, bounds: Vec<(i64, i64)>, line: u32) -> R<ArrayVal> {
         Ok(match decl.ty {
-            STy::Fp(p) => ArrayVal::new_fp(p, bounds),
+            STy::Fp(p) => {
+                let a = ArrayVal::new_fp(p, bounds);
+                if self.sh_on {
+                    a.with_shadow()
+                } else {
+                    a
+                }
+            }
             STy::Int => ArrayVal::new_int(bounds),
             STy::Bool => ArrayVal::new_bool(bounds),
             STy::Str => return Err(self.err_invalid(line, "character arrays are not supported")),
@@ -468,7 +742,7 @@ impl<'ir> Machine<'ir> {
         }
 
         // Bind arguments.
-        let mut frame: Frame = proc.slots.iter().map(default_slot).collect();
+        let mut frame = Frame::for_decls(&proc.slots, self.sh_on);
         let mut writebacks: Vec<(ILValue, usize)> = Vec::new();
         for (i, arg) in args.iter().enumerate() {
             let slot_idx = proc.params[i];
@@ -477,10 +751,12 @@ impl<'ir> Machine<'ir> {
                 IArg::Value(e) => {
                     let v = self.eval(e, caller_frame)?;
                     frame[slot_idx] = self.convert_to_slot(decl, v, 0)?;
+                    frame.sh_set(slot_idx, self.sh_reg);
                 }
                 IArg::ScalarRef(lv) => {
                     let v = self.read_lvalue(lv, caller_frame, 0)?;
                     frame[slot_idx] = self.convert_to_slot(decl, v, 0)?;
+                    frame.sh_set(slot_idx, self.sh_reg);
                     if decl.intent != Some(prose_fortran::ast::Intent::In) {
                         writebacks.push((lv.clone(), slot_idx));
                     }
@@ -531,6 +807,7 @@ impl<'ir> Machine<'ir> {
             } else if let Some(init) = &decl.init {
                 let v = self.eval(init, &mut frame)?;
                 frame[i] = self.convert_to_slot(decl, v, 0)?;
+                frame.sh_set(i, self.sh_reg);
             }
         }
 
@@ -544,6 +821,7 @@ impl<'ir> Machine<'ir> {
         for (lv, slot_idx) in writebacks {
             let v = slot_to_num(&frame[slot_idx])
                 .ok_or_else(|| self.err_invalid(0, "writeback of non-scalar"))?;
+            self.sh_reg = self.load_shadow(SlotRef::Local(slot_idx), &frame);
             self.write_lvalue(&lv, v, caller_frame, 0, false)?;
         }
 
@@ -557,6 +835,7 @@ impl<'ir> Machine<'ir> {
             let rs = proc.result_slot.expect("functions have result slots");
             let v = slot_to_num(&frame[rs])
                 .ok_or_else(|| self.err_invalid(0, "function result is not scalar"))?;
+            self.sh_reg = self.load_shadow(SlotRef::Local(rs), &frame);
             Ok(Some(v))
         } else {
             Ok(None)
@@ -593,9 +872,12 @@ impl<'ir> Machine<'ir> {
                 line,
             } => {
                 let v = self.eval(value, frame)?;
+                // Subscript evaluation clobbers the shadow register: hold
+                // the value's shadow across it.
+                let vsh = self.sh_reg;
                 let subs = self.eval_subs(indices, frame, *line)?;
                 let arr = self.read_array_handle(*slot, frame, *line)?;
-                let prec = {
+                let (prec, stored) = {
                     let a = arr.borrow();
                     let off = a.offset(&subs).ok_or_else(|| RunError::OutOfBounds {
                         proc: self.cur_proc_name(),
@@ -607,7 +889,8 @@ impl<'ir> Machine<'ir> {
                         Some(p) => {
                             let fv = self.num_to_fp(v, p, *line)?;
                             a.set_fp(off, fv);
-                            Some(p)
+                            a.shadow_set(off, vsh);
+                            (Some(p), Some(fv.as_f64()))
                         }
                         None => {
                             // Integer array element.
@@ -617,10 +900,15 @@ impl<'ir> Machine<'ir> {
                             if let crate::value::ArrayData::Int(d) = &mut a.data {
                                 d[off] = iv;
                             }
-                            None
+                            (None, None)
                         }
                     }
                 };
+                if self.sh_on {
+                    if let Some(prim) = stored {
+                        self.note_var(*slot, prim, vsh);
+                    }
+                }
                 match prec {
                     Some(p) => self.charge_mem(p),
                     None => self.charge_plain(self.params.op_int),
@@ -629,6 +917,7 @@ impl<'ir> Machine<'ir> {
             }
             IStmt::AssignBroadcast { slot, value, line } => {
                 let v = self.eval(value, frame)?;
+                let vsh = self.sh_reg;
                 let arr = self.read_array_handle(*slot, frame, *line)?;
                 let n = arr.borrow().len();
                 let prec = arr.borrow().data.fp_precision();
@@ -638,6 +927,9 @@ impl<'ir> Machine<'ir> {
                         let mut a = arr.borrow_mut();
                         for off in 0..n {
                             a.set_fp(off, fv);
+                        }
+                        if let Some(s) = &mut a.shadow {
+                            s.fill(vsh);
                         }
                         drop(a);
                         // Broadcast stores vectorize.
@@ -678,6 +970,9 @@ impl<'ir> Machine<'ir> {
                         for off in 0..n {
                             let v = sb.get_fp(off);
                             db.set_fp(off, v);
+                        }
+                        if let (Some(ss), Some(ds)) = (&sb.shadow, &mut db.shadow) {
+                            ds.clone_from(ss);
                         }
                         drop(db);
                         drop(sb);
@@ -871,9 +1166,16 @@ impl<'ir> Machine<'ir> {
                 let x = v
                     .as_f64()
                     .ok_or_else(|| self.err_invalid(line, "prose_record of non-numeric"))?;
+                let key = name_arg.unwrap_or("unnamed");
+                if let Some(st) = &mut self.shadow {
+                    st.records
+                        .entry(key.to_string())
+                        .or_default()
+                        .update(x, self.sh_reg);
+                }
                 self.records
                     .scalars
-                    .entry(name_arg.unwrap_or("unnamed").to_string())
+                    .entry(key.to_string())
                     .or_default()
                     .push(x);
                 Ok(())
@@ -884,9 +1186,19 @@ impl<'ir> Machine<'ir> {
                     _ => unreachable!("lowering guarantees an array arg"),
                 };
                 let snap = handle.borrow().snapshot_f64();
+                let key = name_arg.unwrap_or("unnamed");
+                if self.sh_on {
+                    let sh = handle.borrow().shadow.clone();
+                    if let (Some(sh), Some(st)) = (sh, &mut self.shadow) {
+                        let e = st.records.entry(key.to_string()).or_default();
+                        for (p, s) in snap.iter().zip(&sh) {
+                            e.update(*p, *s);
+                        }
+                    }
+                }
                 self.records
                     .arrays
-                    .entry(name_arg.unwrap_or("unnamed").to_string())
+                    .entry(key.to_string())
                     .or_default()
                     .push(snap);
                 Ok(())
@@ -952,10 +1264,13 @@ impl<'ir> Machine<'ir> {
     }
 
     /// Store a scalar with Fortran assignment conversion (and cast charges).
+    /// Under shadow execution the value's shadow must be in the register
+    /// (i.e. no intervening `eval` since the value was produced).
     fn store_scalar(&mut self, r: SlotRef, v: Num, frame: &mut Frame, line: u32) -> R<()> {
         let decl_ty = self.slot_decl(r).ty;
         let slot = self.convert_with_charges(decl_ty, v, line)?;
         self.put_slot(r, slot, frame);
+        self.store_scalar_shadow(r, frame);
         Ok(())
     }
 
@@ -967,12 +1282,12 @@ impl<'ir> Machine<'ir> {
                     self.charge_cast();
                 }
                 let out = f.to_precision(p);
-                self.check_finite(out, line)?;
+                self.check_finite(out, line, "store")?;
                 Ok(Slot::Fp(out))
             }
             (STy::Fp(p), Num::Lit(x)) => {
                 let out = Fp::from_f64(x, p);
-                self.check_finite(out, line)?;
+                self.check_finite(out, line, "store")?;
                 Ok(Slot::Fp(out))
             }
             (STy::Fp(p), Num::Int(i)) => {
@@ -1016,21 +1331,24 @@ impl<'ir> Machine<'ir> {
         self.convert_with_charges(decl.ty, v, line)
     }
 
-    fn check_finite(&self, f: Fp, line: u32) -> R<()> {
+    fn check_finite(&mut self, f: Fp, line: u32, op: &'static str) -> R<()> {
         if f.is_finite() {
             Ok(())
         } else {
-            Err(RunError::NonFinite {
-                proc: self.cur_proc_name(),
-                line: self.at_line(line),
-            })
+            Err(self.nonfinite_at(line, op))
         }
     }
 
     fn read_lvalue(&mut self, lv: &ILValue, frame: &mut Frame, line: u32) -> R<Num> {
         match lv {
-            ILValue::Scalar(r) => slot_to_num(self.get_slot(*r, frame))
-                .ok_or_else(|| self.err_invalid(line, "scalar read of non-scalar slot")),
+            ILValue::Scalar(r) => {
+                let v = slot_to_num(self.get_slot(*r, frame))
+                    .ok_or_else(|| self.err_invalid(line, "scalar read of non-scalar slot"))?;
+                if self.sh_on {
+                    self.sh_reg = self.load_shadow(*r, frame);
+                }
+                Ok(v)
+            }
             ILValue::Elem { slot, indices } => {
                 let subs = self.eval_subs(indices, frame, line)?;
                 let arr = self.read_array_handle(*slot, frame, line)?;
@@ -1044,10 +1362,18 @@ impl<'ir> Machine<'ir> {
                         drop(a);
                         self.charge_mem(p);
                         let a = arr.borrow();
+                        if self.sh_on {
+                            self.sh_reg = a.shadow_at(off);
+                        }
                         Num::Fp(a.get_fp(off))
                     }
                     None => match &a.data {
-                        crate::value::ArrayData::Int(d) => Num::Int(d[off]),
+                        crate::value::ArrayData::Int(d) => {
+                            if self.sh_on {
+                                self.sh_reg = d[off] as f64;
+                            }
+                            Num::Int(d[off])
+                        }
                         _ => return Err(self.err_invalid(line, "unsupported array read")),
                     },
                 };
@@ -1067,6 +1393,8 @@ impl<'ir> Machine<'ir> {
         line: u32,
         charge: bool,
     ) -> R<()> {
+        // Hold the value's shadow across subscript evaluation.
+        let vsh = self.sh_reg;
         match lv {
             ILValue::Scalar(r) => {
                 if charge {
@@ -1086,6 +1414,7 @@ impl<'ir> Machine<'ir> {
                         }
                     };
                     self.put_slot(*r, slot, frame);
+                    self.store_scalar_shadow(*r, frame);
                     Ok(())
                 }
             }
@@ -1103,8 +1432,13 @@ impl<'ir> Machine<'ir> {
                         let fv = self.num_to_fp(v, p, line)?;
                         let mut a = arr.borrow_mut();
                         a.set_fp(off, fv);
+                        a.shadow_set(off, vsh);
+                        let prim = fv.as_f64();
+                        drop(a);
+                        if self.sh_on {
+                            self.note_var(*slot, prim, vsh);
+                        }
                         if charge {
-                            drop(a);
                             self.charge_mem(p);
                         }
                     }
@@ -1139,7 +1473,7 @@ impl<'ir> Machine<'ir> {
             }
             other => return Err(self.err_invalid(line, format!("expected real, got {other:?}"))),
         };
-        self.check_finite(out, line)?;
+        self.check_finite(out, line, "elem-store")?;
         Ok(out)
     }
 
@@ -1164,12 +1498,29 @@ impl<'ir> Machine<'ir> {
 
     pub fn eval(&mut self, e: &IExpr, frame: &mut Frame) -> R<Num> {
         match e {
-            IExpr::RealLit(v) => Ok(Num::Lit(*v)),
-            IExpr::IntLit(v) => Ok(Num::Int(*v)),
-            IExpr::BoolLit(b) => Ok(Num::Bool(*b)),
-            IExpr::StrLit(s) => Ok(Num::Str(s.clone())),
-            IExpr::LoadScalar(r) => slot_to_num(self.get_slot(*r, frame))
-                .ok_or_else(|| self.err_invalid(0, "scalar read of array or unallocated slot")),
+            IExpr::RealLit(v) => {
+                self.sh_reg = *v;
+                Ok(Num::Lit(*v))
+            }
+            IExpr::IntLit(v) => {
+                self.sh_reg = *v as f64;
+                Ok(Num::Int(*v))
+            }
+            IExpr::BoolLit(b) => {
+                self.sh_reg = f64::from(u8::from(*b));
+                Ok(Num::Bool(*b))
+            }
+            IExpr::StrLit(s) => {
+                self.sh_reg = 0.0;
+                Ok(Num::Str(s.clone()))
+            }
+            IExpr::LoadScalar(r) => {
+                if self.sh_on {
+                    self.sh_reg = self.load_shadow(*r, frame);
+                }
+                slot_to_num(self.get_slot(*r, frame))
+                    .ok_or_else(|| self.err_invalid(0, "scalar read of array or unallocated slot"))
+            }
             IExpr::LoadElem { slot, indices } => {
                 let lv = ILValue::Elem {
                     slot: *slot,
@@ -1184,17 +1535,19 @@ impl<'ir> Machine<'ir> {
             IExpr::Intrinsic { f, args } => self.eval_intrinsic(*f, args, frame),
             IExpr::SizeOf { slot, dim } => {
                 let arr = self.read_array_handle(*slot, frame, 0)?;
-                match dim {
+                let n = match dim {
                     Some(d) => {
                         let di = self.eval_int(d, frame, 0)?;
                         let a = arr.borrow();
                         if di < 1 || di as usize > a.rank() {
                             return Err(self.err_invalid(0, "size() dim out of range"));
                         }
-                        Ok(Num::Int(a.extent(di as usize)))
+                        a.extent(di as usize)
                     }
-                    None => Ok(Num::Int(arr.borrow().len() as i64)),
-                }
+                    None => arr.borrow().len() as i64,
+                };
+                self.sh_reg = n as f64;
+                Ok(Num::Int(n))
             }
             IExpr::Reduce { f, slot } => {
                 let arr = self.read_array_handle(*slot, frame, 0)?;
@@ -1224,15 +1577,41 @@ impl<'ir> Machine<'ir> {
                     }
                     _ => return Err(self.err_invalid(0, "unsupported reduction")),
                 };
+                let sh = if self.sh_on {
+                    match (&a.shadow, f) {
+                        (Some(s), IntrinsicFn::Sum) => s.iter().sum(),
+                        (Some(s), IntrinsicFn::Maxval) => {
+                            s.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                        }
+                        (Some(s), IntrinsicFn::Minval) => {
+                            s.iter().copied().fold(f64::INFINITY, f64::min)
+                        }
+                        _ => out.as_f64(),
+                    }
+                } else {
+                    0.0
+                };
                 drop(a);
                 self.charge_tagged(p, cost);
-                self.check_finite(out, 0)?;
+                self.check_finite(out, 0, "reduce")?;
+                self.sh_reg = sh;
                 Ok(Num::Fp(out))
             }
             IExpr::Bin { op, lhs, rhs } => {
                 let a = self.eval(lhs, frame)?;
+                let ash = self.sh_reg;
                 let b = self.eval(rhs, frame)?;
-                self.binop(*op, a, b, 0)
+                let bsh = self.sh_reg;
+                let (pa, pb) = if self.sh_on {
+                    (a.as_f64(), b.as_f64())
+                } else {
+                    (None, None)
+                };
+                let r = self.binop(*op, a, b, 0)?;
+                if self.sh_on {
+                    self.shadow_bin(*op, pa, pb, ash, bsh, &r);
+                }
+                Ok(r)
             }
             IExpr::Un { op, operand } => {
                 let v = self.eval(operand, frame)?;
@@ -1241,17 +1620,23 @@ impl<'ir> Machine<'ir> {
                         let b = v
                             .as_bool()
                             .ok_or_else(|| self.err_invalid(0, ".not. of non-logical"))?;
+                        self.sh_reg = f64::from(u8::from(!b));
                         Ok(Num::Bool(!b))
                     }
                     UnOp::Plus => Ok(v),
                     UnOp::Neg => match v {
                         Num::Int(i) => {
                             self.charge_plain(self.params.op_int);
+                            self.sh_reg = -(i as f64);
                             Ok(Num::Int(-i))
                         }
-                        Num::Lit(x) => Ok(Num::Lit(-x)),
+                        Num::Lit(x) => {
+                            self.sh_reg = -self.sh_reg;
+                            Ok(Num::Lit(-x))
+                        }
                         Num::Fp(f) => {
                             self.charge_op(OpClass::Basic, f.precision());
+                            self.sh_reg = -self.sh_reg;
                             Ok(Num::Fp(match f {
                                 Fp::F32(x) => Fp::F32(-x),
                                 Fp::F64(x) => Fp::F64(-x),
@@ -1390,10 +1775,7 @@ impl<'ir> Machine<'ir> {
                 // Pure-literal arithmetic: compile-time folded; no charge.
                 let r = apply_f64(op, x, y);
                 if !r.is_finite() {
-                    return Err(RunError::NonFinite {
-                        proc: self.cur_proc_name(),
-                        line: self.at_line(line),
-                    });
+                    return Err(self.nonfinite_at(line, "arith"));
                 }
                 Ok(Num::Lit(r))
             }
@@ -1401,10 +1783,7 @@ impl<'ir> Machine<'ir> {
                 self.charge_op(op_class(op), FpPrecision::Double);
                 let r = apply_f64(op, x, y);
                 if !r.is_finite() {
-                    return Err(RunError::NonFinite {
-                        proc: self.cur_proc_name(),
-                        line: self.at_line(line),
-                    });
+                    return Err(self.nonfinite_at(line, "arith"));
                 }
                 Ok(Num::Lit(r))
             }
@@ -1412,14 +1791,14 @@ impl<'ir> Machine<'ir> {
                 self.charge_op(op_class(op), FpPrecision::Single);
                 let r = apply_f32(op, x, y);
                 let out = Fp::F32(r);
-                self.check_finite(out, line)?;
+                self.check_finite(out, line, "arith")?;
                 Ok(Num::Fp(out))
             }
             PromotedPair::F64(x, y) => {
                 self.charge_op(op_class(op), FpPrecision::Double);
                 let r = apply_f64(op, x, y);
                 let out = Fp::F64(r);
-                self.check_finite(out, line)?;
+                self.check_finite(out, line, "arith")?;
                 Ok(Num::Fp(out))
             }
         }
@@ -1427,15 +1806,19 @@ impl<'ir> Machine<'ir> {
 
     fn eval_intrinsic(&mut self, f: IntrinsicFn, args: &[IExpr], frame: &mut Frame) -> R<Num> {
         use IntrinsicFn::*;
-        // Evaluate arguments first.
+        // Evaluate arguments first, capturing each one's shadow as it lands
+        // in the register (the next eval overwrites it).
         let mut vals = Vec::with_capacity(args.len());
+        let mut shs = Vec::with_capacity(args.len());
         for a in args {
             vals.push(self.eval(a, frame)?);
+            shs.push(self.sh_reg);
         }
         let prec_of = |v: &Num| v.fp_precision().unwrap_or(FpPrecision::Double);
         match f {
             Abs => {
                 let v = vals.pop().unwrap();
+                self.sh_reg = shs.pop().unwrap().abs();
                 match v {
                     Num::Int(i) => {
                         self.charge_plain(self.params.op_int);
@@ -1505,13 +1888,15 @@ impl<'ir> Machine<'ir> {
             Atan2 => {
                 let b = vals.pop().unwrap();
                 let a = vals.pop().unwrap();
+                let (bsh, ash) = (shs.pop().unwrap(), shs.pop().unwrap());
                 let pair = self.promote_pair(a, b, 0)?;
                 self.charge_op(OpClass::Transcendental, pair.precision());
-                pair.apply(self, f32::atan2, f64::atan2, 0)
+                pair.apply(self, f32::atan2, f64::atan2, 0, ash, bsh)
             }
             Mod => {
                 let b = vals.pop().unwrap();
                 let a = vals.pop().unwrap();
+                let (bsh, ash) = (shs.pop().unwrap(), shs.pop().unwrap());
                 match (&a, &b) {
                     (Num::Int(x), Num::Int(y)) => {
                         if *y == 0 {
@@ -1521,18 +1906,20 @@ impl<'ir> Machine<'ir> {
                             });
                         }
                         self.charge_plain(self.params.op_int);
+                        self.sh_reg = (x % y) as f64;
                         Ok(Num::Int(x % y))
                     }
                     _ => {
                         let pair = self.promote_pair(a, b, 0)?;
                         self.charge_op(OpClass::Div, pair.precision());
-                        pair.apply(self, |x, y| x % y, |x, y| x % y, 0)
+                        pair.apply(self, |x, y| x % y, |x, y| x % y, 0, ash, bsh)
                     }
                 }
             }
             Sign => {
                 let b = vals.pop().unwrap();
                 let a = vals.pop().unwrap();
+                let (bsh, ash) = (shs.pop().unwrap(), shs.pop().unwrap());
                 let pair = self.promote_pair(a, b, 0)?;
                 self.charge_op(OpClass::Basic, pair.precision());
                 pair.apply(
@@ -1540,11 +1927,14 @@ impl<'ir> Machine<'ir> {
                     |x, y| x.abs().copysign(y),
                     |x, y| x.abs().copysign(y),
                     0,
+                    ash,
+                    bsh,
                 )
             }
             Max | Min => {
                 let mut acc = vals[0].clone();
-                for v in vals.into_iter().skip(1) {
+                let mut sacc = shs[0];
+                for (v, sv) in vals.into_iter().zip(shs).skip(1) {
                     let pair = self.promote_pair(acc, v, 0)?;
                     self.charge_op(OpClass::Basic, pair.precision());
                     acc = match (f, pair) {
@@ -1558,7 +1948,16 @@ impl<'ir> Machine<'ir> {
                         (Min, PromotedPair::F64(x, y)) => Num::Fp(Fp::F64(x.min(y))),
                         _ => unreachable!(),
                     };
+                    sacc = match f {
+                        Max => sacc.max(sv),
+                        Min => sacc.min(sv),
+                        _ => unreachable!(),
+                    };
                 }
+                self.sh_reg = match &acc {
+                    Num::Int(i) => *i as f64,
+                    _ => sacc,
+                };
                 Ok(acc)
             }
             Real(k) => {
@@ -1577,12 +1976,14 @@ impl<'ir> Machine<'ir> {
             Int => {
                 let v = vals.pop().unwrap();
                 self.charge_plain(self.params.op_basic);
-                match v {
-                    Num::Int(i) => Ok(Num::Int(i)),
-                    Num::Lit(x) => Ok(Num::Int(x.trunc() as i64)),
-                    Num::Fp(fv) => Ok(Num::Int(fv.as_f64().trunc() as i64)),
-                    other => Err(self.err_invalid(0, format!("int() of {other:?}"))),
-                }
+                let r = match v {
+                    Num::Int(i) => i,
+                    Num::Lit(x) => x.trunc() as i64,
+                    Num::Fp(fv) => fv.as_f64().trunc() as i64,
+                    other => return Err(self.err_invalid(0, format!("int() of {other:?}"))),
+                };
+                self.sh_reg = r as f64;
+                Ok(Num::Int(r))
             }
             Nint => {
                 let v = vals.pop().unwrap();
@@ -1590,7 +1991,9 @@ impl<'ir> Machine<'ir> {
                 let x = v
                     .as_f64()
                     .ok_or_else(|| self.err_invalid(0, "nint() of non-numeric"))?;
-                Ok(Num::Int(x.round() as i64))
+                let r = x.round() as i64;
+                self.sh_reg = r as f64;
+                Ok(Num::Int(r))
             }
             Floor => {
                 let v = vals.pop().unwrap();
@@ -1598,36 +2001,45 @@ impl<'ir> Machine<'ir> {
                 let x = v
                     .as_f64()
                     .ok_or_else(|| self.err_invalid(0, "floor() of non-numeric"))?;
-                Ok(Num::Int(x.floor() as i64))
+                let r = x.floor() as i64;
+                self.sh_reg = r as f64;
+                Ok(Num::Int(r))
             }
             Epsilon => {
-                let p = prec_of(&vals[0]);
-                Ok(match p {
-                    FpPrecision::Single => Num::Fp(Fp::F32(f32::EPSILON)),
-                    FpPrecision::Double => Num::Fp(Fp::F64(f64::EPSILON)),
-                })
+                // Environment-inquiry intrinsics report the *variant's*
+                // precision: the shadow snaps to the primary value.
+                let out = match prec_of(&vals[0]) {
+                    FpPrecision::Single => Fp::F32(f32::EPSILON),
+                    FpPrecision::Double => Fp::F64(f64::EPSILON),
+                };
+                self.sh_reg = out.as_f64();
+                Ok(Num::Fp(out))
             }
             Huge => {
-                let p = prec_of(&vals[0]);
-                Ok(match p {
-                    FpPrecision::Single => Num::Fp(Fp::F32(f32::MAX)),
-                    FpPrecision::Double => Num::Fp(Fp::F64(f64::MAX)),
-                })
+                let out = match prec_of(&vals[0]) {
+                    FpPrecision::Single => Fp::F32(f32::MAX),
+                    FpPrecision::Double => Fp::F64(f64::MAX),
+                };
+                self.sh_reg = out.as_f64();
+                Ok(Num::Fp(out))
             }
             Tiny => {
-                let p = prec_of(&vals[0]);
-                Ok(match p {
-                    FpPrecision::Single => Num::Fp(Fp::F32(f32::MIN_POSITIVE)),
-                    FpPrecision::Double => Num::Fp(Fp::F64(f64::MIN_POSITIVE)),
-                })
+                let out = match prec_of(&vals[0]) {
+                    FpPrecision::Single => Fp::F32(f32::MIN_POSITIVE),
+                    FpPrecision::Double => Fp::F64(f64::MIN_POSITIVE),
+                };
+                self.sh_reg = out.as_f64();
+                Ok(Num::Fp(out))
             }
             Isnan => {
                 let v = vals.pop().unwrap();
-                Ok(Num::Bool(match v {
+                let b = match v {
                     Num::Fp(fv) => fv.is_nan(),
                     Num::Lit(x) => x.is_nan(),
                     _ => false,
-                }))
+                };
+                self.sh_reg = f64::from(u8::from(b));
+                Ok(Num::Bool(b))
             }
             Sum | Maxval | Minval | Size => {
                 unreachable!("lowered to Reduce/SizeOf nodes")
@@ -1642,15 +2054,17 @@ impl<'ir> Machine<'ir> {
         f32f: fn(f32) -> f32,
         f64f: fn(f64) -> f64,
     ) -> R<Num> {
+        // Single-argument intrinsic: the operand's shadow is still in the
+        // register; replay the op on it in f64.
+        if self.sh_on {
+            self.sh_reg = f64f(self.sh_reg);
+        }
         match v {
             Num::Lit(x) => {
                 self.charge_op(class, FpPrecision::Double);
                 let r = f64f(x);
                 if !r.is_finite() {
-                    return Err(RunError::NonFinite {
-                        proc: self.cur_proc_name(),
-                        line: self.cur_line,
-                    });
+                    return Err(self.nonfinite_at(0, "math"));
                 }
                 Ok(Num::Lit(r))
             }
@@ -1658,19 +2072,19 @@ impl<'ir> Machine<'ir> {
                 self.charge_op(class, FpPrecision::Double);
                 let r = f64f(i as f64);
                 let out = Fp::F64(r);
-                self.check_finite(out, 0)?;
+                self.check_finite(out, 0, "math")?;
                 Ok(Num::Fp(out))
             }
             Num::Fp(Fp::F32(x)) => {
                 self.charge_op(class, FpPrecision::Single);
                 let out = Fp::F32(f32f(x));
-                self.check_finite(out, 0)?;
+                self.check_finite(out, 0, "math")?;
                 Ok(Num::Fp(out))
             }
             Num::Fp(Fp::F64(x)) => {
                 self.charge_op(class, FpPrecision::Double);
                 let out = Fp::F64(f64f(x));
-                self.check_finite(out, 0)?;
+                self.check_finite(out, 0, "math")?;
                 Ok(Num::Fp(out))
             }
             other => Err(self.err_invalid(0, format!("math intrinsic of {other:?}"))),
@@ -1695,7 +2109,7 @@ impl<'ir> Machine<'ir> {
             }
             other => return Err(self.err_invalid(0, format!("conversion of {other:?}"))),
         };
-        self.check_finite(out, 0)?;
+        self.check_finite(out, 0, "convert")?;
         Ok(Num::Fp(out))
     }
 }
@@ -1722,10 +2136,12 @@ impl PromotedPair {
 
     fn apply(
         self,
-        m: &Machine<'_>,
+        m: &mut Machine<'_>,
         f32f: fn(f32, f32) -> f32,
         f64f: fn(f64, f64) -> f64,
         line: u32,
+        ash: f64,
+        bsh: f64,
     ) -> R<Num> {
         let out = match self {
             PromotedPair::Int(x, y) => Num::Int(f64f(x as f64, y as f64) as i64),
@@ -1733,12 +2149,15 @@ impl PromotedPair {
             PromotedPair::F32(x, y) => Num::Fp(Fp::F32(f32f(x, y))),
             PromotedPair::F64(x, y) => Num::Fp(Fp::F64(f64f(x, y))),
         };
+        if m.sh_on {
+            m.sh_reg = match &out {
+                Num::Int(i) => *i as f64,
+                _ => f64f(ash, bsh),
+            };
+        }
         if let Num::Fp(f) = &out {
             if !f.is_finite() {
-                return Err(RunError::NonFinite {
-                    proc: m.cur_proc_name(),
-                    line: m.at_line(line),
-                });
+                return Err(m.nonfinite_at(line, "math"));
             }
         }
         Ok(out)

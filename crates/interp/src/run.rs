@@ -4,6 +4,7 @@ use crate::cost::CostParams;
 use crate::ir::ProgramIR;
 use crate::lower::lower_program;
 use crate::machine::Machine;
+use crate::shadow::ShadowReport;
 use crate::timers::Timers;
 use prose_fortran::sema::ProgramIndex;
 use prose_fortran::Program;
@@ -28,6 +29,10 @@ pub struct RunConfig {
     /// termination if the run is shorter, so a planned fault always
     /// manifests.
     pub fault: Option<prose_faults::InjectedFault>,
+    /// Run an fp64 shadow value alongside every FP slot and array element
+    /// ([`crate::shadow`]). Bit-identical primary results; use
+    /// [`run_ir_shadow`]/[`run_program_shadow`] to retrieve the report.
+    pub shadow: bool,
 }
 
 impl Default for RunConfig {
@@ -38,6 +43,7 @@ impl Default for RunConfig {
             max_events: 400_000_000,
             wrapper_names: HashSet::new(),
             fault: None,
+            shadow: false,
         }
     }
 }
@@ -68,18 +74,36 @@ pub fn run_program(
     index: &ProgramIndex,
     cfg: &RunConfig,
 ) -> Result<RunOutcome, RunError> {
+    run_program_shadow(program, index, cfg).0
+}
+
+/// [`run_program`], also returning the shadow report when
+/// [`RunConfig::shadow`] is set. The report is produced even when the run
+/// aborts with an error — that is where NaN/Inf provenance lives.
+pub fn run_program_shadow(
+    program: &Program,
+    index: &ProgramIndex,
+    cfg: &RunConfig,
+) -> (Result<RunOutcome, RunError>, Option<ShadowReport>) {
     let t0 = std::time::Instant::now();
-    let ir = lower_program(
+    let ir = match lower_program(
         program,
         index,
         &cfg.wrapper_names,
         cfg.cost.inline_max_stmts,
-    )
-    .map_err(|e| RunError::Lower(e.to_string()))?;
+    ) {
+        Ok(ir) => ir,
+        Err(e) => return (Err(RunError::Lower(e.to_string())), None),
+    };
     let lower_ns = t0.elapsed().as_nanos() as u64;
-    let mut outcome = run_ir(&ir, cfg)?;
-    outcome.lower_ns = lower_ns;
-    Ok(outcome)
+    let (res, report) = run_ir_shadow(&ir, cfg);
+    (
+        res.map(|mut outcome| {
+            outcome.lower_ns = lower_ns;
+            outcome
+        }),
+        report,
+    )
 }
 
 /// Execute pre-lowered IR — the variant fast path ([`crate::template`]).
@@ -88,22 +112,42 @@ pub fn run_program(
 /// into the IR. `lower_ns` in the outcome is zero; template instantiation
 /// time is accounted by the caller's stage clock.
 pub fn run_ir(ir: &ProgramIR, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
+    run_ir_shadow(ir, cfg).0
+}
+
+/// [`run_ir`], also returning the shadow report when [`RunConfig::shadow`]
+/// is set. The report survives aborted runs so NaN/Inf provenance is
+/// available for failure classification.
+pub fn run_ir_shadow(
+    ir: &ProgramIR,
+    cfg: &RunConfig,
+) -> (Result<RunOutcome, RunError>, Option<ShadowReport>) {
     let budget = cfg.budget.unwrap_or(f64::INFINITY);
     let t1 = std::time::Instant::now();
     let mut m = Machine::new(ir, cfg.cost.clone(), budget, cfg.max_events);
     m.fault = cfg.fault.clone();
-    m.run()?;
+    if cfg.shadow {
+        m.enable_shadow();
+    }
+    if let Err(e) = m.run() {
+        let report = m.shadow_report();
+        return (Err(e), report);
+    }
+    let report = m.shadow_report();
     let (timers, records, total_cycles, events, ops) = m.finish();
     let exec_ns = t1.elapsed().as_nanos() as u64;
-    Ok(RunOutcome {
-        timers,
-        records,
-        total_cycles,
-        events,
-        ops,
-        lower_ns: 0,
-        exec_ns,
-    })
+    (
+        Ok(RunOutcome {
+            timers,
+            records,
+            total_cycles,
+            events,
+            ops,
+            lower_ns: 0,
+            exec_ns,
+        }),
+        report,
+    )
 }
 
 #[cfg(test)]

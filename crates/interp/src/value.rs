@@ -159,6 +159,9 @@ pub struct ArrayVal {
     pub data: ArrayData,
     /// Inclusive (lower, upper) bounds per dimension.
     pub bounds: Vec<(i64, i64)>,
+    /// fp64 shadow values, allocated only for FP arrays under shadow
+    /// execution ([`crate::shadow`]); `None` in normal operation.
+    pub shadow: Option<Vec<f64>>,
 }
 
 impl ArrayVal {
@@ -168,7 +171,11 @@ impl ArrayVal {
             FpPrecision::Single => ArrayData::F32(vec![0.0; n]),
             FpPrecision::Double => ArrayData::F64(vec![0.0; n]),
         };
-        ArrayVal { data, bounds }
+        ArrayVal {
+            data,
+            bounds,
+            shadow: None,
+        }
     }
 
     pub fn new_int(bounds: Vec<(i64, i64)>) -> ArrayVal {
@@ -176,6 +183,7 @@ impl ArrayVal {
         ArrayVal {
             data: ArrayData::Int(vec![0; n]),
             bounds,
+            shadow: None,
         }
     }
 
@@ -184,6 +192,36 @@ impl ArrayVal {
         ArrayVal {
             data: ArrayData::Bool(vec![false; n]),
             bounds,
+            shadow: None,
+        }
+    }
+
+    /// Allocate the fp64 shadow plane (shadow execution, FP arrays only).
+    pub fn with_shadow(mut self) -> ArrayVal {
+        if self.data.fp_precision().is_some() {
+            self.shadow = Some(vec![0.0; self.data.len()]);
+        }
+        self
+    }
+
+    /// Shadow value at `off`, falling back to the primary value widened to
+    /// f64 when no shadow plane exists.
+    pub fn shadow_at(&self, off: usize) -> f64 {
+        match &self.shadow {
+            Some(s) => s[off],
+            None => match &self.data {
+                ArrayData::F32(v) => v[off] as f64,
+                ArrayData::F64(v) => v[off],
+                ArrayData::Int(v) => v[off] as f64,
+                ArrayData::Bool(v) => f64::from(u8::from(v[off])),
+            },
+        }
+    }
+
+    /// Set the shadow value at `off` (no-op without a shadow plane).
+    pub fn shadow_set(&mut self, off: usize, v: f64) {
+        if let Some(s) = &mut self.shadow {
+            s[off] = v;
         }
     }
 

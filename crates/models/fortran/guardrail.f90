@@ -1,0 +1,65 @@
+! Synthetic guardrail testbed: two numerical traps that a scalar
+! correctness metric alone cannot see.
+!
+! 1. Catastrophic cancellation (`eps`, `canc`): `canc = (1 + eps) - 1`
+!    evaluates to exactly zero once `eps` is stored in single precision
+!    (1e-8 is below the f32 unit roundoff of ~1.2e-7), while the fp64
+!    shadow keeps ~1e-8. The result is scaled by 1e-10 before reaching the
+!    recorded output, so the scalar metric moves by ~1e-18 and the variant
+!    passes — only shadow execution flags it.
+!
+! 2. Input overfit (`gate`, `q`): the driver sets `gate` just below 1, so
+!    the guarded branch never executes on the tuning input and `q`'s
+!    precision is unconstrained by the metric. A held-out ensemble member
+!    that perturbs the driver's literals by ~1e-3 pushes `gate` above 1
+!    about half the time; the branch then counts 100 unit increments on
+!    top of 2^24, which single precision absorbs completely (f32 spacing
+!    at 2^24 is 2), so `(q - 2^24)` collapses from 100 to 0 and `out`
+!    loses the branch's +1 contribution — an O(0.1) relative error, far
+!    over the 4e-4 threshold. (2^24 is exactly representable in f32, so
+!    kind-generic literal rounding cannot mask the trap.)
+!
+! The hot loop through `s`/`x` is the honest speedup: div and sqrt get the
+! scalar narrow-precision discount, and single precision accumulates only
+! ~1e-7 relative error — safely inside both the metric threshold and the
+! shadow budget.
+
+module guard_mod
+contains
+  subroutine kernel(out, gate, n)
+    real(kind=8) :: out, gate
+    integer :: n
+    real(kind=8) :: eps, canc, q, s, acc, x
+    integer :: i
+    s = 0.0d0
+    x = 1.0d0
+    do i = 1, n
+      x = x + 1.0d0
+      s = s + 1.0d0 / sqrt(x * x + 1.0d0)
+    end do
+    eps = 1.0d-8
+    canc = (1.0d0 + eps) - 1.0d0
+    acc = 0.0d0
+    if (gate > 1.0d0) then
+      q = 16777216.0d0
+      do i = 1, 100
+        q = q + 1.0d0
+      end do
+      acc = (q - 16777216.0d0) * 1.0d-2
+    end if
+    out = s + acc + canc * 1.0d-10
+  end subroutine kernel
+end module guard_mod
+
+program main
+  use guard_mod, only: kernel
+  implicit none
+  real(kind=8) :: out, gate
+  integer :: step
+  out = 0.0d0
+  gate = 1.0d0 - 1.0d-9
+  do step = 1, __STEPS__
+    call kernel(out, gate, __N__)
+    call prose_record('out', out)
+  end do
+end program main

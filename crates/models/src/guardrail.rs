@@ -1,0 +1,63 @@
+//! Synthetic guardrail testbed: planted catastrophic cancellation plus an
+//! input-gated overfit branch (see `fortran/guardrail.f90` for the
+//! numerical anatomy). Not one of the paper's four models — it exists to
+//! exercise the shadow-execution gate and held-out ensemble validation,
+//! and is what the CI guardrail-smoke job tunes.
+
+use crate::{substitute, ModelSize};
+use prose_core::metrics::CorrectnessMetric;
+use prose_core::tuner::ModelSpec;
+
+const TEMPLATE: &str = include_str!("../fortran/guardrail.f90");
+
+/// Six-atom testbed (`eps`, `canc`, `q`, `s`, `acc`, `x`; the `out` and
+/// `gate` dummies are excluded): a 2⁶ = 64 variant space small enough for
+/// brute force yet containing both planted traps.
+pub fn guardrail_smoke(size: ModelSize) -> ModelSpec {
+    let (n, steps) = match size {
+        ModelSize::Small => (400, 5),
+        ModelSize::Paper => (20_000, 10),
+    };
+    ModelSpec {
+        name: "guardrail_smoke".into(),
+        source: substitute(TEMPLATE, &[("__N__", n), ("__STEPS__", steps)]),
+        hotspot_module: "guard_mod".into(),
+        target_procs: vec!["kernel".into()],
+        metric: CorrectnessMetric::ScalarSeriesL2 { key: "out".into() },
+        error_threshold: 4.0e-4,
+        n_runs: 1,
+        noise_rsd: 0.0,
+        exclude: vec!["out".into(), "gate".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_interp::{run_program, RunConfig};
+
+    #[test]
+    fn has_exactly_six_atoms() {
+        let m = guardrail_smoke(ModelSize::Small).load().unwrap();
+        assert_eq!(
+            m.atoms.len(),
+            6,
+            "{:?}",
+            m.atoms
+                .iter()
+                .map(|a| m.index.fp_var_path(*a))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn baseline_gate_branch_is_dormant() {
+        let m = guardrail_smoke(ModelSize::Small).load().unwrap();
+        let out = run_program(&m.program, &m.index, &RunConfig::default()).unwrap();
+        let series = &out.records.scalars["out"];
+        assert_eq!(series.len(), 5);
+        // The branch contributes -0.5 when taken; dormant, `out` is just
+        // the positive harmonic-like sum (~ ln(n) scale).
+        assert!(series[0] > 5.0 && series[0] < 8.0, "out = {}", series[0]);
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod adcirc;
 pub mod funarc;
+pub mod guardrail;
 pub mod mom6;
 pub mod mpas;
 

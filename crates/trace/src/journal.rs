@@ -78,6 +78,44 @@ pub struct TrialRecord {
     /// reproduces the injected failure exactly.
     #[serde(default)]
     pub fault_seed: Option<u64>,
+    /// Shadow-precision diagnostics (`--shadow`); `None` for trials run
+    /// without shadow execution and records from writers predating it.
+    #[serde(default)]
+    pub shadow: Option<ShadowTrial>,
+    /// Held-out ensemble member this trial belongs to; `None` for the
+    /// tuning input. Part of the memoization key: the same configuration
+    /// evaluated on different members must not collide.
+    #[serde(default)]
+    pub member: Option<u32>,
+}
+
+/// Per-trial shadow-execution summary, journaled when the evaluator runs
+/// with shadow execution enabled. Field names mirror the interpreter's
+/// `ShadowReport`, flattened to journal-friendly scalars.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShadowTrial {
+    /// Largest per-variable relative error vs. the fp64 shadow.
+    pub worst_rel: f64,
+    /// Variable with the worst error (`proc::var` / `@global::var`).
+    #[serde(default)]
+    pub worst_var: Option<String>,
+    /// Flagged catastrophic-cancellation events.
+    #[serde(default)]
+    pub cancellations: u64,
+    /// Worst cancellation site, as `proc:line` with bits lost.
+    #[serde(default)]
+    pub cancellation_site: Option<String>,
+    /// First non-finite producer, as `op at proc:line`.
+    #[serde(default)]
+    pub nonfinite_origin: Option<String>,
+    /// True when the non-finite value was injected by the fault harness
+    /// (and therefore not a genuine numerical event).
+    #[serde(default)]
+    pub nonfinite_injected: bool,
+    /// True when the guardrail gate demoted this trial (scalar metric
+    /// passed but the shadow error budget was exceeded).
+    #[serde(default)]
+    pub demoted: bool,
 }
 
 impl TrialRecord {
@@ -324,6 +362,8 @@ mod tests {
             failure_kind: (!error.is_finite()).then(|| "fp_exception".to_string()),
             fault_kind: None,
             fault_seed: None,
+            shadow: None,
+            member: None,
         }
     }
 
@@ -413,6 +453,38 @@ mod tests {
         assert_eq!(rec.failure_kind, None);
         assert_eq!(rec.fault_kind, None);
         assert_eq!(rec.fault_seed, None);
+        assert_eq!(rec.shadow, None);
+        assert_eq!(rec.member, None);
+    }
+
+    #[test]
+    fn shadow_and_member_fields_round_trip() {
+        let path = tmp_path("shadow-fields");
+        let _ = std::fs::remove_file(&path);
+        let mut rec = sample(0, false, 1e-9);
+        rec.status = "fail_accuracy".into();
+        rec.failure_kind = Some("shadow_budget".into());
+        rec.member = Some(2);
+        rec.shadow = Some(ShadowTrial {
+            worst_rel: 0.5,
+            worst_var: Some("fun::t1".into()),
+            cancellations: 3,
+            cancellation_site: Some("fun:12 (24.0 bits)".into()),
+            nonfinite_origin: None,
+            nonfinite_injected: false,
+            demoted: true,
+        });
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(&rec).unwrap();
+        }
+        let back = Journal::load(&path).unwrap();
+        assert_eq!(back[0].member, Some(2));
+        let sh = back[0].shadow.as_ref().unwrap();
+        assert_eq!(sh.worst_rel, 0.5);
+        assert_eq!(sh.cancellations, 3);
+        assert!(sh.demoted);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 pub mod journal;
 
-pub use journal::{FlushPolicy, Journal, LoadReport, TrialRecord};
+pub use journal::{FlushPolicy, Journal, LoadReport, ShadowTrial, TrialRecord};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

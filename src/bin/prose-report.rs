@@ -2,7 +2,7 @@
 //! style artifacts plus cache and search-efficiency statistics.
 //!
 //! ```text
-//! prose-report <trials.jsonl> [--csv out.csv]
+//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails]
 //! prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out BENCH_variant_path.json]
 //! ```
 //!
@@ -23,8 +23,10 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prose-report <trials.jsonl> [--csv out.csv]\n\
-         \x20      prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out out.json]"
+        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails]\n\
+         \x20      prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out out.json]\n\
+         options: --guardrails (numerical-guardrail section: shadow-error demotions,\n\
+         cancellation and non-finite provenance, per-member ensemble records)"
     );
     std::process::exit(2)
 }
@@ -155,12 +157,14 @@ fn variant_path_bench(argv: &[String]) -> ExitCode {
 struct Args {
     journal: String,
     csv: Option<String>,
+    guardrails: bool,
 }
 
 fn parse_args() -> Option<Args> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut journal = None;
     let mut csv = None;
+    let mut guardrails = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -168,6 +172,7 @@ fn parse_args() -> Option<Args> {
                 i += 1;
                 csv = Some(argv.get(i)?.clone());
             }
+            "--guardrails" => guardrails = true,
             a if journal.is_none() && !a.starts_with("--") => journal = Some(a.to_string()),
             _ => return None,
         }
@@ -176,7 +181,129 @@ fn parse_args() -> Option<Args> {
     Some(Args {
         journal: journal?,
         csv,
+        guardrails,
     })
+}
+
+/// The `--guardrails` section: everything the journal knows about shadow
+/// execution, error provenance, and held-out ensemble validation. Older
+/// journals (written before these fields existed) simply report that no
+/// guardrail data is present — every field is serde-defaulted.
+fn print_guardrails(records: &[TrialRecord]) {
+    println!();
+    println!("== numerical guardrails ==");
+
+    let shadowed: Vec<&TrialRecord> = records.iter().filter(|r| r.shadow.is_some()).collect();
+    if shadowed.is_empty() && records.iter().all(|r| r.member.is_none()) {
+        println!("  no shadow or ensemble data in this journal (pre-guardrail run?)");
+        return;
+    }
+    println!(
+        "  shadowed trials:     {} of {} records",
+        shadowed.len(),
+        records.len()
+    );
+
+    // Demotions: the scalar metric said pass, the fp64 shadow said no.
+    let demoted: Vec<&TrialRecord> = shadowed
+        .iter()
+        .filter(|r| r.shadow.as_ref().is_some_and(|s| s.demoted))
+        .copied()
+        .collect();
+    println!("  shadow demotions:    {}", demoted.len());
+    for r in demoted.iter().take(10) {
+        let s = r.shadow.as_ref().unwrap();
+        println!(
+            "    trial {}: worst rel {:.3e} in {}{}",
+            r.seq,
+            s.worst_rel,
+            s.worst_var.as_deref().unwrap_or("?"),
+            if s.cancellations > 0 {
+                format!(
+                    ", {} cancellation(s){}",
+                    s.cancellations,
+                    s.cancellation_site
+                        .as_deref()
+                        .map(|site| format!(" worst at {site}"))
+                        .unwrap_or_default()
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+    if demoted.len() > 10 {
+        println!("    ... and {} more", demoted.len() - 10);
+    }
+
+    // Worst shadow error over all shadowed trials, demoted or not.
+    if let Some(worst) = shadowed
+        .iter()
+        .max_by(|a, b| {
+            let (sa, sb) = (a.shadow.as_ref().unwrap(), b.shadow.as_ref().unwrap());
+            sa.worst_rel.total_cmp(&sb.worst_rel)
+        })
+        .and_then(|r| r.shadow.as_ref())
+    {
+        println!(
+            "  worst shadow error:  {:.3e} in {}",
+            worst.worst_rel,
+            worst.worst_var.as_deref().unwrap_or("?")
+        );
+    }
+
+    // Non-finite provenance: genuine numerical blow-ups vs harness faults.
+    let genuine: Vec<&TrialRecord> = shadowed
+        .iter()
+        .filter(|r| {
+            r.shadow
+                .as_ref()
+                .is_some_and(|s| s.nonfinite_origin.is_some() && !s.nonfinite_injected)
+        })
+        .copied()
+        .collect();
+    let injected = shadowed
+        .iter()
+        .filter(|r| r.shadow.as_ref().is_some_and(|s| s.nonfinite_injected))
+        .count();
+    if !genuine.is_empty() || injected > 0 {
+        println!(
+            "  non-finite origins:  {} genuine, {} fault-injected",
+            genuine.len(),
+            injected
+        );
+        for r in genuine.iter().take(5) {
+            let s = r.shadow.as_ref().unwrap();
+            println!(
+                "    trial {}: first produced by {}",
+                r.seq,
+                s.nonfinite_origin.as_deref().unwrap_or("?")
+            );
+        }
+    }
+
+    // Held-out ensemble members, grouped by member id.
+    let mut by_member: BTreeMap<u32, (usize, usize, usize)> = BTreeMap::new();
+    for r in records {
+        if let Some(m) = r.member {
+            let e = by_member.entry(m).or_insert((0, 0, 0));
+            e.0 += 1;
+            if r.status == "pass" {
+                e.1 += 1;
+            }
+            if r.cached {
+                e.2 += 1;
+            }
+        }
+    }
+    if by_member.is_empty() {
+        println!("  ensemble members:    none journaled");
+    } else {
+        println!("  ensemble members:    {}", by_member.len());
+        for (m, (n, pass, cached)) in &by_member {
+            println!("    member {m}: {n} trial(s), {pass} pass, {cached} replayed from journal");
+        }
+    }
 }
 
 fn pct(n: usize, total: usize) -> f64 {
@@ -342,6 +469,11 @@ fn main() -> ExitCode {
         for (k, v) in counters.iter() {
             println!("  {k:<22} {v}");
         }
+    }
+
+    // ---- numerical guardrails (--guardrails) --------------------------
+    if args.guardrails {
+        print_guardrails(&records);
     }
 
     // ---- optional CSV export ------------------------------------------

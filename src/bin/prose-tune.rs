@@ -10,6 +10,7 @@
 //!     [--variant-path fast|faithful] [--crosscheck K] [--strict]
 //!     [--faults nan=P,timeout=P,abort=P,jitter=RSD,seed=S[,kill-after=K]]
 //!     [--retry-band B] [--retry-runs N] [--wal-flush record|sync|N]
+//!     [--shadow] [--shadow-budget X] [--validate-ensemble N] [--ensemble-seed S]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -23,6 +24,7 @@
 //!   snapshot (denominators floored at `floor` × the snapshot max), L2
 //!   over snapshots.
 
+use prose::core::ensemble::{validate_ensemble, EnsembleParams};
 use prose::core::metrics::CorrectnessMetric;
 use prose::core::tuner::{
     config_to_map, tune, tune_brute_force, ModelSpec, PerfScope, VariantPath,
@@ -52,6 +54,10 @@ struct Args {
     retry_band: f64,
     retry_runs: usize,
     wal_flush: prose::trace::FlushPolicy,
+    shadow: bool,
+    shadow_budget: Option<f64>,
+    ensemble_members: Option<u32>,
+    ensemble_seed: u64,
 }
 
 fn usage() -> ! {
@@ -71,7 +77,14 @@ fn usage() -> ! {
          (deterministic fault injection for robustness testing),\n\
          --retry-band B (re-measure speedups within B of the acceptance bar with\n\
          escalating sample counts; 0 disables), --retry-runs N (escalation cap, 25),\n\
-         --wal-flush record|sync|N (journal flush policy; default record)"
+         --wal-flush record|sync|N (journal flush policy; default record),\n\
+         --shadow (run every variant with an fp64 shadow; passing trials whose\n\
+         shadow error exceeds the budget or that cancel catastrophically are\n\
+         demoted to fail-accuracy), --shadow-budget X (per-metric shadow-error\n\
+         budget; defaults to --threshold), --validate-ensemble N (after the\n\
+         search, re-validate the final configuration and its runner-ups on N\n\
+         held-out input perturbations and demote input-overfit configs),\n\
+         --ensemble-seed S (perturbation base seed)"
     );
     std::process::exit(2)
 }
@@ -121,6 +134,10 @@ fn parse_args() -> Option<Args> {
     let mut retry_band = 0.0f64;
     let mut retry_runs = 25usize;
     let mut wal_flush = prose::trace::FlushPolicy::default();
+    let mut shadow = false;
+    let mut shadow_budget = None;
+    let mut ensemble_members = None;
+    let mut ensemble_seed = EnsembleParams::default().seed;
 
     let mut i = 0;
     while i < argv.len() {
@@ -163,6 +180,10 @@ fn parse_args() -> Option<Args> {
             "--retry-band" => retry_band = next()?.parse().ok()?,
             "--retry-runs" => retry_runs = next()?.parse().ok()?,
             "--wal-flush" => wal_flush = next()?.parse().ok()?,
+            "--shadow" => shadow = true,
+            "--shadow-budget" => shadow_budget = Some(next()?.parse().ok()?),
+            "--validate-ensemble" => ensemble_members = Some(next()?.parse().ok()?),
+            "--ensemble-seed" => ensemble_seed = next()?.parse().ok()?,
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -191,6 +212,10 @@ fn parse_args() -> Option<Args> {
         retry_band,
         retry_runs,
         wal_flush,
+        shadow,
+        shadow_budget,
+        ensemble_members,
+        ensemble_seed,
     })
 }
 
@@ -250,6 +275,8 @@ fn main() -> ExitCode {
     task.retry_band = args.retry_band;
     task.retry_max_runs = args.retry_runs;
     task.wal_flush = args.wal_flush;
+    task.shadow = args.shadow;
+    task.shadow_budget = args.shadow_budget;
 
     // --resume: continue an interrupted search from its journal. The
     // search itself is deterministic, so replaying it against the
@@ -353,6 +380,12 @@ fn main() -> ExitCode {
             outcome.metrics.get("cache_misses")
         );
     }
+    if args.shadow {
+        println!(
+            "shadow guardrail: {} metric-passing variant(s) demoted for excess fp64-shadow error",
+            outcome.metrics.get("shadow_demotions")
+        );
+    }
 
     match &outcome.search.best {
         Some(best) => {
@@ -393,6 +426,81 @@ fn main() -> ExitCode {
         }
         None => {
             println!("no variant satisfied the correctness threshold while beating the baseline");
+        }
+    }
+
+    // --validate-ensemble: re-measure the final configuration (plus the
+    // runner-up frontier) on held-out input perturbations and demote
+    // input-overfit candidates.
+    if let Some(members) = args.ensemble_members.filter(|m| *m > 0) {
+        let params = EnsembleParams {
+            members,
+            seed: args.ensemble_seed,
+            ..EnsembleParams::default()
+        };
+        let report = match validate_ensemble(&task, &outcome, &params) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: ensemble validation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "\nensemble validation: {} member(s), seed {}, amplitude {:.1e}",
+            params.members, params.seed, params.amplitude
+        );
+        for (i, cand) in report.candidates.iter().enumerate() {
+            let role = if i == 0 { "final" } else { "runner-up" };
+            println!(
+                "  candidate {i} ({role}): {:.0}% lowered, tuning speedup {:.2}x",
+                100.0 * cand.fraction_single,
+                cand.tuning_speedup
+            );
+            for mr in &cand.members {
+                println!(
+                    "    member {}: {:?}, speedup {:.2}x, error {:.3e}",
+                    mr.member,
+                    mr.record.outcome.status,
+                    mr.record.outcome.speedup,
+                    mr.record.outcome.error
+                );
+            }
+            if cand.validated {
+                println!(
+                    "    validated (min member speedup {:.2}x)",
+                    cand.min_member_speedup().unwrap_or(f64::NAN)
+                );
+            } else {
+                println!(
+                    "    DEMOTED: input-overfit, failed member(s) {:?}",
+                    cand.failed_members()
+                );
+            }
+        }
+        if report.final_demoted() {
+            println!("ensemble verdict: the search's final configuration is input-overfit");
+        }
+        match report.winner {
+            Some(i) => {
+                let cand = &report.candidates[i];
+                let high: Vec<String> = cand
+                    .config
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !**b)
+                    .map(|(j, _)| model.index.fp_var_path(task.atoms[j]))
+                    .collect();
+                println!(
+                    "ensemble verdict: ship candidate {i} ({:.0}% lowered); 64-bit set {high:?}",
+                    100.0 * cand.fraction_single
+                );
+            }
+            None => {
+                println!(
+                    "ensemble verdict: no candidate survived all {} member(s); keep full fp64",
+                    params.members
+                );
+            }
         }
     }
     ExitCode::SUCCESS
