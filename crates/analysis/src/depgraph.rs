@@ -1,0 +1,599 @@
+//! Interprocedural precision dependence analysis.
+//!
+//! The delta-debugging search treats every FP declaration as an independent
+//! atom, but static structure already ties many of them together: a chain of
+//! narrowing-free assignments, or an `intent(inout)` binding, means two
+//! variables can only ever pass the flow invariant at the *same* precision
+//! (or pay a wrapper on every interaction). This module computes
+//! interprocedural def-use chains over the AST — assignments, call argument
+//! bindings, function results; array sections handled conservatively as
+//! whole objects — and derives:
+//!
+//! - **precision congruence classes**: variables statically constrained to
+//!   share a precision level, found by union-find over (a) assignments whose
+//!   right-hand side has exactly one distinct direct FP source (a pure copy
+//!   chain, possibly through precision-preserving intrinsics like `sqrt`)
+//!   and (b) explicit `intent(inout)` argument bindings;
+//! - a **weighted affinity graph** between classes: edge weight is the
+//!   static interaction count (loop-nest trip estimates from
+//!   [`crate::static_cost`]) times the call-volume cast penalty for
+//!   interactions that cross a call boundary.
+//!
+//! The search consumes the classes through [`DepGraph::atom_groups`] /
+//! [`DepGraph::ordered_atom_groups`]: one search decision per class first,
+//! then per-variable refinement of only the classes left on the frontier.
+
+use crate::flow::FpFlowGraph;
+use crate::static_cost::{static_penalty_scoped, CAST_COST, DEFAULT_TRIP};
+use crate::typing::{classify, NameClass};
+use prose_fortran::ast::{Expr, FpPrecision, Intent, Program, Stmt};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{FpVarId, ProgramIndex, ScopeId, ScopeKind};
+
+/// Intrinsics that change the kind (or type) of their argument: a value
+/// flowing through one of these is *re-represented*, so it does not
+/// constrain the source and target to share a precision.
+const CONVERSION_BARRIERS: &[&str] = &[
+    "dble", "sngl", "real", "int", "nint", "floor", "size", "isnan", "epsilon", "huge", "tiny",
+];
+
+/// A weighted interaction between two precision congruence classes, keyed
+/// by class representatives (the smallest [`FpVarId`] in each class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinityEdge {
+    pub a: FpVarId,
+    pub b: FpVarId,
+    pub weight: f64,
+}
+
+/// The whole-program precision dependence graph: congruence classes plus
+/// the class-level affinity edges.
+pub struct DepGraph {
+    /// Union-find root per FP variable (indexed by `FpVarId.0`).
+    root: Vec<usize>,
+    /// Raw pairwise interactions recorded during the walk (pre-projection).
+    interactions: Vec<(FpVarId, FpVarId, f64)>,
+    /// The flow graph built alongside (reused for static-penalty ordering).
+    flow: FpFlowGraph,
+}
+
+impl DepGraph {
+    pub fn build(program: &Program, index: &ProgramIndex) -> Self {
+        let mut uf = UnionFind::new(index.fp_var_count());
+        let mut interactions = Vec::new();
+        for (_, proc) in program.all_procedures() {
+            let scope = index
+                .scope_of_procedure(&proc.name)
+                .expect("analyzed program has all procedures indexed");
+            walk_body(&proc.body, scope, index, 0, &mut uf, &mut interactions);
+        }
+        if let Some(mp) = &program.main {
+            let scope = main_scope(index);
+            walk_body(&mp.body, scope, index, 0, &mut uf, &mut interactions);
+        }
+
+        let flow = FpFlowGraph::build(program, index);
+        // Call argument bindings: `intent(inout)` forces the actual and the
+        // dummy to agree in both directions — a congruence merge. Every FP
+        // actual→dummy pair is an affinity interaction, charged the cast
+        // cost because a precision split here buys a wrapper per call.
+        for site in flow.sites() {
+            let Some(pinfo) = index.procedure(&site.callee) else {
+                continue;
+            };
+            let w = DEFAULT_TRIP.powi(site.loop_depth as i32).max(1.0) * CAST_COST;
+            for (ai, actual) in site.args.iter().enumerate() {
+                let Some(param) = pinfo.params.get(ai) else {
+                    continue;
+                };
+                let Some(dummy_id) = fp_id(index, pinfo.scope, param) else {
+                    continue;
+                };
+                let mut srcs = Vec::new();
+                direct_sources(index, site.caller, actual, &mut srcs);
+                srcs.sort_by_key(|v| v.0);
+                srcs.dedup();
+                for &sid in &srcs {
+                    if sid != dummy_id {
+                        interactions.push((sid, dummy_id, w));
+                    }
+                }
+                // A plain variable (or whole array) bound to an explicit
+                // intent(inout) dummy flows both ways unconverted.
+                let inout = index
+                    .lookup(pinfo.scope, param)
+                    .is_some_and(|sym| sym.intent == Some(Intent::InOut));
+                if inout {
+                    if let Expr::Var(name) = actual {
+                        if let Some(actual_id) = fp_id(index, site.caller, name) {
+                            uf.union(actual_id.0, dummy_id.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut g = DepGraph {
+            root: Vec::new(),
+            interactions,
+            flow,
+        };
+        g.root = (0..index.fp_var_count()).map(|i| uf.find(i)).collect();
+        g
+    }
+
+    /// The congruence-class representative of `id` (smallest member id).
+    pub fn class_rep(&self, id: FpVarId) -> FpVarId {
+        FpVarId(self.root[id.0])
+    }
+
+    /// All congruence classes over the program's FP variables, each sorted
+    /// by variable id, ordered by representative.
+    pub fn classes(&self) -> Vec<Vec<FpVarId>> {
+        let mut by_root: Vec<Vec<FpVarId>> = vec![Vec::new(); self.root.len()];
+        for (i, &r) in self.root.iter().enumerate() {
+            by_root[r].push(FpVarId(i));
+        }
+        by_root.into_iter().filter(|c| !c.is_empty()).collect()
+    }
+
+    /// Class-level affinity edges: raw interactions projected onto class
+    /// representatives, intra-class pairs dropped, weights summed.
+    pub fn affinity_edges(&self) -> Vec<AffinityEdge> {
+        let mut edges: Vec<AffinityEdge> = Vec::new();
+        for &(a, b, w) in &self.interactions {
+            let (ra, rb) = (self.class_rep(a), self.class_rep(b));
+            if ra == rb {
+                continue;
+            }
+            let (lo, hi) = if ra.0 <= rb.0 { (ra, rb) } else { (rb, ra) };
+            match edges.iter_mut().find(|e| e.a == lo && e.b == hi) {
+                Some(e) => e.weight += w,
+                None => edges.push(AffinityEdge {
+                    a: lo,
+                    b: hi,
+                    weight: w,
+                }),
+            }
+        }
+        edges.sort_by_key(|x| (x.a.0, x.b.0));
+        edges
+    }
+
+    /// Partition the search atoms into congruence groups: each group is a
+    /// set of indices into `atoms` whose variables share a class. Groups
+    /// appear in order of their first atom.
+    pub fn atom_groups(&self, atoms: &[FpVarId]) -> Vec<Vec<usize>> {
+        let mut groups: Vec<(FpVarId, Vec<usize>)> = Vec::new();
+        for (i, &a) in atoms.iter().enumerate() {
+            let rep = self.class_rep(a);
+            match groups.iter_mut().find(|(r, _)| *r == rep) {
+                Some((_, g)) => g.push(i),
+                None => groups.push((rep, vec![i])),
+            }
+        }
+        groups.into_iter().map(|(_, g)| g).collect()
+    }
+
+    /// [`Self::atom_groups`] ordered by descending static penalty: the
+    /// groups whose demotion creates the most expensive precision boundary
+    /// are probed first, so high-value decisions are made early in the dd
+    /// schedule. Ties break toward the group with the smallest atom index
+    /// (declaration order). `caller_scopes` restricts penalty pricing to
+    /// call sites inside those scopes, matching a hotspot-scoped search.
+    pub fn ordered_atom_groups(
+        &self,
+        index: &ProgramIndex,
+        atoms: &[FpVarId],
+        caller_scopes: Option<&[ScopeId]>,
+    ) -> Vec<Vec<usize>> {
+        let mut groups = self.atom_groups(atoms);
+        let mut keyed: Vec<(f64, usize, Vec<usize>)> = groups
+            .drain(..)
+            .map(|g| {
+                let mut map = PrecisionMap::declared(index);
+                for &i in &g {
+                    map.set(atoms[i], FpPrecision::Single);
+                }
+                let pen = static_penalty_scoped(&self.flow, index, &map, caller_scopes);
+                let first = g[0];
+                (pen, first, g)
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        keyed.into_iter().map(|(_, _, g)| g).collect()
+    }
+}
+
+fn main_scope(index: &ProgramIndex) -> ScopeId {
+    (0..index.scope_count())
+        .map(ScopeId)
+        .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
+        .expect("program has a main scope")
+}
+
+/// Resolve `name` in `scope` to its home-scope FP variable id, if it is an
+/// FP variable at all.
+fn fp_id(index: &ProgramIndex, scope: ScopeId, name: &str) -> Option<FpVarId> {
+    let sym = index.lookup(scope, name)?;
+    sym.ty.fp_precision()?;
+    index.fp_var_id(sym.scope, name)
+}
+
+/// Collect the *direct* FP sources of `e`: variables whose stored
+/// representation reaches the expression value without re-representation.
+/// Array references contribute the whole object (no index descent);
+/// function references contribute the callee's result variable only (the
+/// arguments feed the callee through its own assignments, which the walk of
+/// the callee body already sees); conversion intrinsics are flow barriers;
+/// all other intrinsics (`sqrt`, `sin`, …) pass their arguments through.
+fn direct_sources(index: &ProgramIndex, scope: ScopeId, e: &Expr, out: &mut Vec<FpVarId>) {
+    match e {
+        Expr::Var(name) => {
+            if let Some(id) = fp_id(index, scope, name) {
+                out.push(id);
+            }
+        }
+        Expr::NameRef { name, args } => match classify(index, scope, name) {
+            NameClass::Scalar | NameClass::Array => {
+                if let Some(id) = fp_id(index, scope, name) {
+                    out.push(id);
+                }
+            }
+            NameClass::Function => {
+                if let Some(p) = index.procedure(name) {
+                    if let Some(result) = p.result.as_deref() {
+                        if let Some(id) = index.fp_var_id(p.scope, result) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+            NameClass::Intrinsic if !CONVERSION_BARRIERS.contains(&name.as_str()) => {
+                for a in args {
+                    direct_sources(index, scope, a, out);
+                }
+            }
+            _ => {}
+        },
+        Expr::Bin { lhs, rhs, .. } => {
+            direct_sources(index, scope, lhs, out);
+            direct_sources(index, scope, rhs, out);
+        }
+        Expr::Un { operand, .. } => direct_sources(index, scope, operand, out),
+        _ => {}
+    }
+}
+
+fn walk_body(
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    depth: usize,
+    uf: &mut UnionFind,
+    interactions: &mut Vec<(FpVarId, FpVarId, f64)>,
+) {
+    for s in body {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                let Some(t) = fp_id(index, scope, target.name()) else {
+                    continue;
+                };
+                let mut srcs = Vec::new();
+                direct_sources(index, scope, value, &mut srcs);
+                srcs.sort_by_key(|v| v.0);
+                srcs.dedup();
+                let w = DEFAULT_TRIP.powi(depth as i32).max(1.0);
+                for &sid in &srcs {
+                    if sid != t {
+                        interactions.push((t, sid, w));
+                    }
+                }
+                // The congruence rule: a copy chain. Exactly one distinct
+                // direct source (and not a self-update) means the target is
+                // a re-expression of that source — demoting one without the
+                // other narrows the chain. Multi-source mixes (sums of
+                // several variables) do NOT merge: the mix point is exactly
+                // where precision may legitimately change.
+                if srcs.len() == 1 && srcs[0] != t {
+                    uf.union(t.0, srcs[0].0);
+                }
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (_, arm_body) in arms {
+                    walk_body(arm_body, scope, index, depth, uf, interactions);
+                }
+                if let Some(eb) = else_body {
+                    walk_body(eb, scope, index, depth, uf, interactions);
+                }
+            }
+            Stmt::Do { body: lb, .. } => {
+                walk_body(lb, scope, index, depth + 1, uf, interactions);
+            }
+            Stmt::DoWhile { body: lb, .. } => {
+                walk_body(lb, scope, index, depth + 1, uf, interactions);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Minimal union-find with path compression; classes are canonicalised to
+/// their smallest member so representatives are deterministic.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let mut r = i;
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        let mut c = i;
+        while self.parent[c] != r {
+            let next = self.parent[c];
+            self.parent[c] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Smaller id wins the root: stable, declaration-ordered reps.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::{analyze, parse_program};
+
+    fn setup(src: &str) -> (Program, ProgramIndex) {
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        (p, ix)
+    }
+
+    fn id(ix: &ProgramIndex, proc: &str, name: &str) -> FpVarId {
+        let scope = ix.scope_of_procedure(proc).unwrap();
+        ix.fp_var_id(scope, name)
+            .unwrap_or_else(|| panic!("no fp var {proc}::{name}"))
+    }
+
+    /// Class membership by (proc, name) pairs, order-insensitive.
+    fn same_class(g: &DepGraph, ix: &ProgramIndex, a: (&str, &str), b: (&str, &str)) -> bool {
+        g.class_rep(id(ix, a.0, a.1)) == g.class_rep(id(ix, b.0, b.1))
+    }
+
+    const COPY_CHAIN: &str = r#"
+module m
+contains
+  function fun(x) result(t1)
+    real(kind=8) :: x, t1, d1
+    integer :: k
+    d1 = 1.0d0
+    t1 = x
+    do k = 1, 5
+      d1 = 2.0d0 * d1
+      t1 = t1 + sin(d1 * x) / d1
+    end do
+  end function fun
+  subroutine driver(result, n)
+    real(kind=8) :: result
+    integer :: n
+    real(kind=8) :: s1, h, t1, t2, dppi
+    integer :: i
+    s1 = 0.0d0
+    t1 = 0.0d0
+    dppi = 3.141592653589793d0
+    h = dppi / n
+    do i = 1, n
+      t2 = fun(i * h)
+      s1 = s1 + sqrt(h * h + (t2 - t1) * (t2 - t1))
+      t1 = t2
+    end do
+    result = s1
+  end subroutine driver
+end module m
+"#;
+
+    #[test]
+    fn copy_chains_merge_across_calls_and_assignments() {
+        let (p, ix) = setup(COPY_CHAIN);
+        let g = DepGraph::build(&p, &ix);
+        // t2 = fun(...) chains to fun's result t1, which chains to fun's x.
+        assert!(same_class(&g, &ix, ("driver", "t2"), ("fun", "t1")));
+        assert!(same_class(&g, &ix, ("fun", "t1"), ("fun", "x")));
+        // t1 = t2 joins driver's t1 to the same class.
+        assert!(same_class(&g, &ix, ("driver", "t1"), ("driver", "t2")));
+        // h = dppi / n is a copy chain (n is an integer, not an FP source).
+        assert!(same_class(&g, &ix, ("driver", "h"), ("driver", "dppi")));
+        // result = s1 is a copy chain.
+        assert!(same_class(&g, &ix, ("driver", "result"), ("driver", "s1")));
+        // Multi-source mixes do NOT merge: s1 accumulates h, t1, t2 but
+        // stays in its own class; d1's only defs are literal/self-updates.
+        assert!(!same_class(&g, &ix, ("driver", "s1"), ("driver", "h")));
+        assert!(!same_class(&g, &ix, ("driver", "s1"), ("driver", "t1")));
+        assert!(!same_class(&g, &ix, ("fun", "d1"), ("fun", "t1")));
+        assert!(!same_class(&g, &ix, ("fun", "d1"), ("driver", "h")));
+    }
+
+    const GUARD_SHAPE: &str = r#"
+module m
+contains
+  subroutine kernel(out, gate, n)
+    real(kind=8) :: out, gate
+    integer :: n
+    real(kind=8) :: eps, canc, q, s, acc, x
+    integer :: i
+    s = 0.0d0
+    x = 1.0d0
+    do i = 1, n
+      x = x + 1.0d0
+      s = s + 1.0d0 / sqrt(x * x + 1.0d0)
+    end do
+    eps = 1.0d-8
+    canc = (1.0d0 + eps) - 1.0d0
+    acc = 0.0d0
+    if (gate > 1.0d0) then
+      q = 16777216.0d0
+      do i = 1, 100
+        q = q + 1.0d0
+      end do
+      acc = (q - 16777216.0d0) * 1.0d-2
+    end if
+    out = s + acc + canc * 1.0d-10
+  end subroutine kernel
+end module m
+"#;
+
+    #[test]
+    fn guardrail_shape_produces_the_expected_classes() {
+        let (p, ix) = setup(GUARD_SHAPE);
+        let g = DepGraph::build(&p, &ix);
+        assert!(same_class(&g, &ix, ("kernel", "eps"), ("kernel", "canc")));
+        assert!(same_class(&g, &ix, ("kernel", "q"), ("kernel", "acc")));
+        // s, x, out are mix points and stay separate.
+        for (a, b) in [("s", "x"), ("s", "eps"), ("x", "q"), ("out", "s")] {
+            assert!(
+                !same_class(&g, &ix, ("kernel", a), ("kernel", b)),
+                "{a} and {b} must not merge"
+            );
+        }
+    }
+
+    #[test]
+    fn atom_groups_partition_atoms_by_class() {
+        let (p, ix) = setup(GUARD_SHAPE);
+        let g = DepGraph::build(&p, &ix);
+        let scope = ix.scope_of_procedure("kernel").unwrap();
+        let atoms: Vec<FpVarId> = ["eps", "canc", "q", "s", "acc", "x"]
+            .iter()
+            .map(|n| ix.fp_var_id(scope, n).unwrap())
+            .collect();
+        let groups = g.atom_groups(&atoms);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 4], vec![3], vec![5]]);
+        // Every atom appears in exactly one group.
+        let mut seen: Vec<usize> = groups.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..atoms.len()).collect::<Vec<_>>());
+    }
+
+    const INOUT: &str = r#"
+module m
+contains
+  subroutine update(u, w, n)
+    real(kind=8), intent(inout) :: u(n)
+    real(kind=8), intent(in) :: w(n)
+    integer, intent(in) :: n
+    integer :: i
+    do i = 1, n
+      u(i) = u(i) + w(i) * 0.5d0
+    end do
+  end subroutine update
+  subroutine driver(a, b, n)
+    real(kind=8) :: a(n), b(n)
+    integer :: n
+    call update(a, b, n)
+  end subroutine driver
+end module m
+"#;
+
+    #[test]
+    fn intent_inout_bindings_merge_but_intent_in_does_not() {
+        let (p, ix) = setup(INOUT);
+        let g = DepGraph::build(&p, &ix);
+        assert!(same_class(&g, &ix, ("driver", "a"), ("update", "u")));
+        assert!(!same_class(&g, &ix, ("driver", "b"), ("update", "w")));
+    }
+
+    #[test]
+    fn affinity_edges_connect_classes_with_call_weighted_interactions() {
+        let (p, ix) = setup(COPY_CHAIN);
+        let g = DepGraph::build(&p, &ix);
+        let edges = g.affinity_edges();
+        assert!(!edges.is_empty());
+        // h interacts with fun's x through the call argument i*h, inside
+        // the driver loop: the edge carries the trip × cast weight.
+        let h = g.class_rep(id(&ix, "driver", "h"));
+        let x = g.class_rep(id(&ix, "fun", "x"));
+        let (lo, hi) = if h.0 <= x.0 { (h, x) } else { (x, h) };
+        let e = edges
+            .iter()
+            .find(|e| e.a == lo && e.b == hi)
+            .expect("h ~ fun::x affinity edge");
+        assert!(
+            e.weight >= DEFAULT_TRIP * CAST_COST,
+            "call-boundary edge weight {} must carry trip × cast",
+            e.weight
+        );
+        // No edge connects a class to itself.
+        for e in &edges {
+            assert_ne!(e.a, e.b);
+        }
+    }
+
+    const ORDERING: &str = r#"
+module m
+contains
+  subroutine leaf(v)
+    real(kind=8) :: v
+    v = v * 0.5d0
+  end subroutine leaf
+  subroutine driver(n)
+    integer :: n
+    real(kind=8) :: hot, cold
+    integer :: i
+    hot = 1.0d0
+    cold = 2.0d0
+    do i = 1, n
+      call leaf(hot)
+    end do
+    cold = cold * 1.5d0
+  end subroutine driver
+end module m
+"#;
+
+    #[test]
+    fn ordered_atom_groups_probe_high_penalty_classes_first() {
+        let (p, ix) = setup(ORDERING);
+        let g = DepGraph::build(&p, &ix);
+        let scope = ix.scope_of_procedure("driver").unwrap();
+        // Atom order deliberately puts `cold` first: penalty ordering must
+        // override declaration order.
+        let atoms = vec![
+            ix.fp_var_id(scope, "cold").unwrap(),
+            ix.fp_var_id(scope, "hot").unwrap(),
+        ];
+        let plain = g.atom_groups(&atoms);
+        assert_eq!(plain[0], vec![0], "declaration order starts with cold");
+        let ordered = g.ordered_atom_groups(&ix, &atoms, None);
+        // Lowering `hot` splits the in-loop call boundary to `leaf` (its
+        // dummy has no intent, so no congruence merge) — a 64×3 penalty.
+        // Lowering `cold` costs nothing statically. hot's group goes first.
+        assert_eq!(ordered[0], vec![1], "hot (penalty) before cold (free)");
+        assert_eq!(ordered[1], vec![0]);
+        // Zero-penalty ties fall back to first-atom order.
+        let tie = g.ordered_atom_groups(&ix, &atoms[..1], None);
+        assert_eq!(tie, vec![vec![0]]);
+    }
+}

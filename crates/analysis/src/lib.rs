@@ -21,15 +21,27 @@
 //! * [`static_cost`] — the static mixed-precision cost estimator the paper's
 //!   lessons-learned section proposes (penalty proportional to call volume
 //!   times array elements), used as a pre-filter ablation.
+//! * [`depgraph`] — interprocedural precision dependence analysis:
+//!   congruence classes of variables statically constrained to share a
+//!   precision (copy chains, `intent(inout)` bindings) plus a weighted
+//!   affinity graph. The delta-debugging search uses the classes as grouped
+//!   atoms, probed in descending static-penalty order.
+//! * [`lint`] — static numerical-hazard lints (float equality, absorption,
+//!   implicit narrowing, cancellation candidates, uninitialized FP use)
+//!   with `proc:line` sites matching the dynamic shadow guardrails.
 
+pub mod depgraph;
 pub mod flow;
+pub mod lint;
 pub mod static_cost;
 pub mod taint;
 pub mod typing;
 pub mod vect;
 pub mod vect_report;
 
+pub use depgraph::{AffinityEdge, DepGraph};
 pub use flow::{CallSite, FpFlowGraph, Mismatch};
+pub use lint::{run_lints, Lint, LintKind};
 pub use static_cost::static_penalty;
 pub use taint::reduce_program;
 pub use typing::{expr_type, NameClass};

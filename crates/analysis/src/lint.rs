@@ -1,0 +1,842 @@
+//! Static numerical-hazard lints.
+//!
+//! Verificarlo CI's lesson (PAPERS.md) is that numerical checks belong in
+//! the CI gate, not only inside a tuning run. This pass inspects the AST —
+//! no variant is executed — and reports, with `proc:line` spans:
+//!
+//! - [`LintKind::FloatEquality`]: `==` / `/=` between floating operands;
+//! - [`LintKind::AbsorptionRisk`]: an f32 accumulator updated in a counted
+//!   loop whose total trip count can exceed 2²⁴ (the point where `x + 1.0`
+//!   returns `x`), or that is seeded at a magnitude ≥ 2²⁴;
+//! - [`LintKind::ImplicitNarrowing`]: a double-precision value stored into
+//!   a single-precision target (assignment or call-argument binding) under
+//!   the candidate [`PrecisionMap`];
+//! - [`LintKind::CancellationCandidate`]: subtraction whose operands share
+//!   a direct source (variable or literal), the static shape of
+//!   catastrophic cancellation like `(1 + eps) - 1`;
+//! - [`LintKind::UninitializedUse`]: an FP local read before any textual
+//!   definition reaches it (optimistic: every branch counts).
+//!
+//! Sites use the same `proc:line` keys as the shadow-execution guardrails
+//! (`cancellation_site`, `nonfinite_origin` in the trial journal), so
+//! `prose-report` can line static predictions up against dynamically
+//! observed hazards.
+
+use std::collections::HashSet;
+
+use crate::flow::FpFlowGraph;
+use crate::static_cost::const_int;
+use crate::typing::{adapted_precision, classify, expr_type, NameClass};
+use prose_fortran::ast::{
+    BinOp, Declaration, Expr, FpPrecision, Intent, LValue, Program, Stmt, TypeSpec,
+};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{FpVarId, ProgramIndex, ScopeId, ScopeKind};
+use serde::{Deserialize, Serialize};
+
+/// One ulp step at 2²⁴ exceeds 1.0 in f32: unit increments are absorbed.
+const ABSORPTION_MAGNITUDE: f64 = 16_777_216.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum LintKind {
+    FloatEquality,
+    AbsorptionRisk,
+    ImplicitNarrowing,
+    CancellationCandidate,
+    UninitializedUse,
+}
+
+/// A single static finding. `site` is `proc:line`, matching the site keys
+/// the dynamic shadow guardrails journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lint {
+    pub kind: LintKind,
+    pub site: String,
+    pub proc: String,
+    pub line: u32,
+    #[serde(default)]
+    pub variable: Option<String>,
+    pub message: String,
+}
+
+impl Lint {
+    fn new(kind: LintKind, proc: &str, line: u32, variable: Option<String>, msg: String) -> Self {
+        Lint {
+            kind,
+            site: format!("{proc}:{line}"),
+            proc: proc.to_string(),
+            line,
+            variable,
+            message: msg,
+        }
+    }
+}
+
+/// Run every lint over the program under the candidate precision map.
+/// Narrowing lints are map-relative (a uniform map produces none); the
+/// structural lints (equality, cancellation, uninitialized use) are not.
+pub fn run_lints(program: &Program, index: &ProgramIndex, map: &PrecisionMap) -> Vec<Lint> {
+    let mut out = Vec::new();
+    for (_, proc) in program.all_procedures() {
+        let scope = index
+            .scope_of_procedure(&proc.name)
+            .expect("analyzed program has all procedures indexed");
+        lint_unit(&proc.name, &proc.body, scope, index, map, &mut out);
+        uninit_unit(&proc.name, &proc.decls, &proc.body, scope, index, &mut out);
+    }
+    if let Some(mp) = &program.main {
+        let scope = main_scope(index);
+        let name = index.scope_info(scope).name.clone();
+        lint_unit(&name, &mp.body, scope, index, map, &mut out);
+        uninit_unit(&name, &mp.decls, &mp.body, scope, index, &mut out);
+    }
+    // Call-boundary narrowing rides the flow graph's mismatch machinery.
+    let flow = FpFlowGraph::build(program, index);
+    for m in flow.mismatches(index, map) {
+        use prose_fortran::ast::FpPrecision::*;
+        if !(m.caller_precision == Double && m.callee_precision == Single) {
+            continue;
+        }
+        let site = &flow.sites()[m.site];
+        let caller = index.scope_info(site.caller).name.clone();
+        out.push(Lint::new(
+            LintKind::ImplicitNarrowing,
+            &caller,
+            site.line,
+            Some(m.param.clone()),
+            format!(
+                "argument {} of {} narrows f64 to f32 at the call boundary",
+                m.param, site.callee
+            ),
+        ));
+    }
+    // Identical expressions repeated on one line ((t2-t1)*(t2-t1)) would
+    // otherwise report twice.
+    let mut seen = HashSet::new();
+    out.retain(|l| {
+        seen.insert(format!(
+            "{:?}|{}|{:?}|{}",
+            l.kind, l.site, l.variable, l.message
+        ))
+    });
+    out
+}
+
+fn main_scope(index: &ProgramIndex) -> ScopeId {
+    (0..index.scope_count())
+        .map(ScopeId)
+        .find(|s| index.scope_info(*s).kind == ScopeKind::Main)
+        .expect("program has a main scope")
+}
+
+fn fp_id(index: &ProgramIndex, scope: ScopeId, name: &str) -> Option<FpVarId> {
+    let sym = index.lookup(scope, name)?;
+    sym.ty.fp_precision()?;
+    index.fp_var_id(sym.scope, name)
+}
+
+/// The expression-shape lints plus absorption, one procedure at a time.
+fn lint_unit(
+    unit: &str,
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    out: &mut Vec<Lint>,
+) {
+    // Accumulators seeded at ≥ 2²⁴ anywhere in the unit: a short loop on
+    // top of such a seed absorbs just the same as a 2²⁴-trip loop.
+    let mut big_seeded: HashSet<&str> = HashSet::new();
+    for s in body {
+        s.walk(&mut |st| {
+            if let Stmt::Assign { target, value, .. } = st {
+                let mut big = false;
+                value.walk(&mut |e| {
+                    if let Expr::RealLit { value: v, .. } = e {
+                        big |= v.abs() >= ABSORPTION_MAGNITUDE;
+                    }
+                });
+                if big {
+                    big_seeded.insert(target.name());
+                }
+            }
+        });
+    }
+    walk_stmts(
+        unit,
+        body,
+        scope,
+        index,
+        map,
+        &big_seeded,
+        &mut Vec::new(),
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_stmts(
+    unit: &str,
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    big_seeded: &HashSet<&str>,
+    trips: &mut Vec<Option<f64>>,
+    out: &mut Vec<Lint>,
+) {
+    for s in body {
+        let line = s.span().line;
+        s.for_each_expr(&mut |e| {
+            e.walk(&mut |sub| expr_lints(unit, line, sub, scope, index, map, out));
+        });
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                assign_lints(
+                    unit, line, target, value, scope, index, map, big_seeded, trips, out,
+                );
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (_, b) in arms {
+                    walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                }
+                if let Some(b) = else_body {
+                    walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                }
+            }
+            Stmt::Do {
+                start,
+                end,
+                step,
+                body: b,
+                ..
+            } => {
+                trips.push(trip_count(start, end, step.as_ref()));
+                walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                trips.pop();
+            }
+            Stmt::DoWhile { body: b, .. } => {
+                // No static trip bound at all.
+                trips.push(None);
+                walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                trips.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Constant trip count of a counted loop, if derivable.
+fn trip_count(start: &Expr, end: &Expr, step: Option<&Expr>) -> Option<f64> {
+    let lo = const_int(start)?;
+    let hi = const_int(end)?;
+    let st = match step {
+        Some(e) => const_int(e)?,
+        None => 1,
+    };
+    if st == 0 {
+        return None;
+    }
+    Some((((hi - lo) / st + 1).max(0)) as f64)
+}
+
+/// Float equality and cancellation candidates, per expression node.
+fn expr_lints(
+    unit: &str,
+    line: u32,
+    e: &Expr,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    out: &mut Vec<Lint>,
+) {
+    let Expr::Bin { op, lhs, rhs } = e else {
+        return;
+    };
+    let fp = |x: &Expr| matches!(expr_type(index, scope, map, x), Some(TypeSpec::Real(_)));
+    match op {
+        BinOp::Eq | BinOp::Ne if (fp(lhs) || fp(rhs)) => {
+            let var = named_operand(lhs).or_else(|| named_operand(rhs));
+            out.push(Lint::new(
+                LintKind::FloatEquality,
+                unit,
+                line,
+                var,
+                "floating-point equality comparison; use a tolerance".into(),
+            ));
+        }
+        BinOp::Sub => {
+            if !fp(lhs) && !fp(rhs) {
+                return;
+            }
+            let (a, b) = (leaf_set(index, scope, lhs), leaf_set(index, scope, rhs));
+            if let Some(shared) = a.intersection(&b).next() {
+                let (var, what) = match shared {
+                    Leaf::Var(_, n) => (Some(n.clone()), n.clone()),
+                    Leaf::Lit(bits) => (None, format!("literal {}", f64::from_bits(*bits))),
+                };
+                out.push(Lint::new(
+                    LintKind::CancellationCandidate,
+                    unit,
+                    line,
+                    var,
+                    format!("subtraction of correlated expressions sharing {what}"),
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn named_operand(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Var(n) => Some(n.clone()),
+        Expr::NameRef { name, .. } => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// Direct sources of an expression for correlation purposes: resolved
+/// variables (whole-object) and FP literals. Function and intrinsic
+/// references contribute their *arguments* — `sin(x) - x` is correlated
+/// through `x` — never the callee itself.
+#[derive(PartialEq, Eq, Hash)]
+enum Leaf {
+    Var(usize, String),
+    Lit(u64),
+}
+
+fn leaf_set(index: &ProgramIndex, scope: ScopeId, e: &Expr) -> HashSet<Leaf> {
+    let mut out = HashSet::new();
+    collect_leaves(index, scope, e, &mut out);
+    out
+}
+
+fn collect_leaves(index: &ProgramIndex, scope: ScopeId, e: &Expr, out: &mut HashSet<Leaf>) {
+    match e {
+        Expr::RealLit { value, .. } => {
+            out.insert(Leaf::Lit(value.to_bits()));
+        }
+        Expr::IntLit(v) => {
+            out.insert(Leaf::Lit((*v as f64).to_bits()));
+        }
+        Expr::Var(name) => {
+            if let Some(sym) = index.lookup(scope, name) {
+                out.insert(Leaf::Var(sym.scope.0, name.clone()));
+            }
+        }
+        Expr::NameRef { name, args } => {
+            match classify(index, scope, name) {
+                NameClass::Scalar | NameClass::Array => {
+                    if let Some(sym) = index.lookup(scope, name) {
+                        out.insert(Leaf::Var(sym.scope.0, name.clone()));
+                    }
+                }
+                _ => {}
+            }
+            for a in args {
+                collect_leaves(index, scope, a, out);
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            collect_leaves(index, scope, lhs, out);
+            collect_leaves(index, scope, rhs, out);
+        }
+        Expr::Un { operand, .. } => collect_leaves(index, scope, operand, out),
+        _ => {}
+    }
+}
+
+/// Assignment-level lints: absorption-prone accumulators and implicit
+/// narrowing under the candidate map.
+#[allow(clippy::too_many_arguments)]
+fn assign_lints(
+    unit: &str,
+    line: u32,
+    target: &LValue,
+    value: &Expr,
+    scope: ScopeId,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    big_seeded: &HashSet<&str>,
+    trips: &[Option<f64>],
+    out: &mut Vec<Lint>,
+) {
+    let Some(tid) = fp_id(index, scope, target.name()) else {
+        return;
+    };
+    let lowered = map.get(tid) == FpPrecision::Single;
+
+    if lowered && !trips.is_empty() && is_self_accumulation(target.name(), value) {
+        let total: Option<f64> = trips
+            .iter()
+            .copied()
+            .try_fold(1.0, |acc, t| t.map(|n| acc * n.max(1.0)));
+        let hazard = match total {
+            None => Some("loop trip count is not statically bounded".to_string()),
+            Some(n) if n >= ABSORPTION_MAGNITUDE => {
+                Some(format!("loop trip count {n:.0} exceeds 2^24"))
+            }
+            Some(_) if big_seeded.contains(target.name()) => {
+                Some("accumulator is seeded at a magnitude >= 2^24".to_string())
+            }
+            Some(_) => None,
+        };
+        if let Some(why) = hazard {
+            out.push(Lint::new(
+                LintKind::AbsorptionRisk,
+                unit,
+                line,
+                Some(target.name().to_string()),
+                format!("f32 accumulation may absorb increments: {why}"),
+            ));
+        }
+    }
+
+    if lowered && adapted_precision(index, scope, map, value) == Some(FpPrecision::Double) {
+        out.push(Lint::new(
+            LintKind::ImplicitNarrowing,
+            unit,
+            line,
+            Some(target.name().to_string()),
+            "f64 value implicitly narrowed to an f32 target".into(),
+        ));
+    }
+}
+
+/// `x = x + e` / `x = e + x` / `x = x - e` shapes (whole-object for array
+/// elements): the target feeds back into an additive update.
+fn is_self_accumulation(name: &str, value: &Expr) -> bool {
+    let top_additive = matches!(
+        value,
+        Expr::Bin {
+            op: BinOp::Add | BinOp::Sub,
+            ..
+        }
+    );
+    if !top_additive {
+        return false;
+    }
+    let mut found = false;
+    value.walk(&mut |e| match e {
+        Expr::Var(n) | Expr::NameRef { name: n, .. } if n == name => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Optimistic textual-order uninitialized-use scan: an FP local (neither a
+/// dummy nor a parameter, no declared initializer) read before any
+/// definition in statement order. Every branch body counts as executed, so
+/// conditional initialisation never triggers a report.
+fn uninit_unit(
+    unit: &str,
+    decls: &[Declaration],
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    out: &mut Vec<Lint>,
+) {
+    let initialized: HashSet<&str> = decls
+        .iter()
+        .flat_map(|d| d.entities.iter())
+        .filter(|e| e.init.is_some())
+        .map(|e| e.name.as_str())
+        .collect();
+    let tracked: HashSet<String> = index
+        .fp_variables()
+        .filter(|v| {
+            v.scope == scope
+                && !v.is_dummy
+                && !v.is_parameter
+                && !initialized.contains(v.name.as_str())
+        })
+        .map(|v| v.name.clone())
+        .collect();
+    if tracked.is_empty() {
+        return;
+    }
+    let mut defined: HashSet<String> = HashSet::new();
+    let mut reported: HashSet<String> = HashSet::new();
+    uninit_walk(
+        unit,
+        body,
+        scope,
+        index,
+        &tracked,
+        &mut defined,
+        &mut reported,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn uninit_walk(
+    unit: &str,
+    body: &[Stmt],
+    scope: ScopeId,
+    index: &ProgramIndex,
+    tracked: &HashSet<String>,
+    defined: &mut HashSet<String>,
+    reported: &mut HashSet<String>,
+    out: &mut Vec<Lint>,
+) {
+    let use_of = |e: &Expr,
+                  line: u32,
+                  defined: &HashSet<String>,
+                  reported: &mut HashSet<String>,
+                  out: &mut Vec<Lint>| {
+        e.walk(&mut |sub| {
+            let name = match sub {
+                Expr::Var(n) => n,
+                Expr::NameRef { name, .. }
+                    if matches!(
+                        classify(index, scope, name),
+                        NameClass::Scalar | NameClass::Array
+                    ) =>
+                {
+                    name
+                }
+                _ => return,
+            };
+            if tracked.contains(name) && !defined.contains(name) && reported.insert(name.clone()) {
+                out.push(Lint::new(
+                    LintKind::UninitializedUse,
+                    unit,
+                    line,
+                    Some(name.clone()),
+                    format!("{name} is read before any definition reaches it"),
+                ));
+            }
+        });
+    };
+    for s in body {
+        let line = s.span().line;
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                if let LValue::Index { indices, .. } = target {
+                    for ix in indices {
+                        use_of(ix, line, defined, reported, out);
+                    }
+                }
+                use_of(value, line, defined, reported, out);
+                defined.insert(target.name().to_string());
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (cond, b) in arms {
+                    use_of(cond, line, defined, reported, out);
+                    uninit_walk(unit, b, scope, index, tracked, defined, reported, out);
+                }
+                if let Some(b) = else_body {
+                    uninit_walk(unit, b, scope, index, tracked, defined, reported, out);
+                }
+            }
+            Stmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body: b,
+                ..
+            } => {
+                use_of(start, line, defined, reported, out);
+                use_of(end, line, defined, reported, out);
+                if let Some(st) = step {
+                    use_of(st, line, defined, reported, out);
+                }
+                defined.insert(var.clone());
+                uninit_walk(unit, b, scope, index, tracked, defined, reported, out);
+            }
+            Stmt::DoWhile { cond, body: b, .. } => {
+                use_of(cond, line, defined, reported, out);
+                uninit_walk(unit, b, scope, index, tracked, defined, reported, out);
+            }
+            Stmt::Call { name, args, .. } => match index.procedure(name) {
+                Some(pinfo) => {
+                    let pscope = pinfo.scope;
+                    let params = pinfo.params.clone();
+                    for (ai, a) in args.iter().enumerate() {
+                        let intent = params
+                            .get(ai)
+                            .and_then(|p| index.lookup(pscope, p))
+                            .and_then(|sym| sym.intent);
+                        match a {
+                            Expr::Var(n) => match intent {
+                                Some(Intent::In) | Some(Intent::InOut) => {
+                                    use_of(a, line, defined, reported, out);
+                                    if intent == Some(Intent::InOut) {
+                                        defined.insert(n.clone());
+                                    }
+                                }
+                                // intent(out) and unannotated dummies may
+                                // be pure outputs: optimistically a def.
+                                _ => {
+                                    defined.insert(n.clone());
+                                }
+                            },
+                            _ => use_of(a, line, defined, reported, out),
+                        }
+                    }
+                }
+                None => {
+                    for a in args {
+                        use_of(a, line, defined, reported, out);
+                    }
+                }
+            },
+            _ => {
+                s.for_each_expr(&mut |e| use_of(e, line, defined, reported, out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prose_fortran::{analyze, parse_program};
+
+    fn lints_for(src: &str) -> Vec<Lint> {
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        // Lower every non-main FP variable: the candidate map a whole-
+        // procedure tuning run would probe first.
+        let mut map = PrecisionMap::declared(&ix);
+        for v in ix.fp_variables() {
+            if !v.is_parameter && ix.scope_info(v.scope).kind != ScopeKind::Main {
+                map.set(v.id, FpPrecision::Single);
+            }
+        }
+        run_lints(&p, &ix, &map)
+    }
+
+    fn kinds_at<'a>(lints: &'a [Lint], site: &str) -> Vec<&'a LintKind> {
+        lints
+            .iter()
+            .filter(|l| l.site == site)
+            .map(|l| &l.kind)
+            .collect()
+    }
+
+    #[test]
+    fn float_equality_is_flagged_with_site() {
+        let lints = lints_for(
+            "module m\ncontains\n  subroutine f(a, b, ok)\n    real(kind=8) :: a, b\n    logical :: ok\n    ok = a == b\n  end subroutine f\nend module m\n",
+        );
+        let eq: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::FloatEquality)
+            .collect();
+        assert_eq!(eq.len(), 1);
+        assert_eq!(eq[0].site, "f:6");
+        assert_eq!(eq[0].variable.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn integer_equality_is_not_flagged() {
+        let lints = lints_for(
+            "module m\ncontains\n  subroutine f(i, j, ok)\n    integer :: i, j\n    logical :: ok\n    ok = i == j\n  end subroutine f\nend module m\n",
+        );
+        assert!(lints.iter().all(|l| l.kind != LintKind::FloatEquality));
+    }
+
+    #[test]
+    fn absorption_fires_on_big_trip_unknown_trip_and_big_seed() {
+        let src = r#"
+module m
+contains
+  subroutine f(n)
+    integer :: n, i
+    real(kind=8) :: a, b, c, d
+    a = 0.0d0
+    do i = 1, 20000000
+      a = a + 1.0d0
+    end do
+    b = 0.0d0
+    do i = 1, n
+      b = b + 1.0d0
+    end do
+    c = 16777216.0d0
+    do i = 1, 100
+      c = c + 1.0d0
+    end do
+    d = 0.0d0
+    do i = 1, 100
+      d = d + 1.0d0
+    end do
+  end subroutine f
+end module m
+"#;
+        let lints = lints_for(src);
+        let absorb: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::AbsorptionRisk)
+            .map(|l| l.variable.as_deref().unwrap())
+            .collect();
+        assert!(absorb.contains(&"a"), "2e7-trip accumulator: {lints:?}");
+        assert!(absorb.contains(&"b"), "unknown-trip accumulator");
+        assert!(absorb.contains(&"c"), "2^24-seeded accumulator");
+        assert!(!absorb.contains(&"d"), "short benign accumulator");
+    }
+
+    #[test]
+    fn absorption_is_silent_when_the_accumulator_stays_double() {
+        let src = "module m\ncontains\n  subroutine f(n)\n    integer :: n, i\n    real(kind=8) :: a\n    a = 0.0d0\n    do i = 1, n\n      a = a + 1.0d0\n    end do\n  end subroutine f\nend module m\n";
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let map = PrecisionMap::declared(&ix);
+        let lints = run_lints(&p, &ix, &map);
+        assert!(lints.iter().all(|l| l.kind != LintKind::AbsorptionRisk));
+    }
+
+    #[test]
+    fn narrowing_is_reported_at_assignments_and_call_boundaries() {
+        let src = r#"
+module m
+contains
+  subroutine leaf(v)
+    real(kind=8) :: v
+    v = v * 0.5d0
+  end subroutine leaf
+end module m
+program main
+  use m, only: leaf
+  implicit none
+  real(kind=8) :: big, small
+  big = 1.0d0
+  small = big
+  call leaf(small)
+end program main
+"#;
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        // Lower only main's `small`: big stays f64, so `small = big`
+        // narrows, and so does passing small's f32 bits... no — passing
+        // `small` (f32) to leaf's f64 dummy widens. Lower the dummy too
+        // and keep `small` f64 to get the call-boundary direction.
+        let main = (0..ix.scope_count())
+            .map(ScopeId)
+            .find(|s| ix.scope_info(*s).kind == ScopeKind::Main)
+            .unwrap();
+        let leaf = ix.scope_of_procedure("leaf").unwrap();
+        map.set(ix.fp_var_id(main, "small").unwrap(), FpPrecision::Single);
+        let lints = run_lints(&p, &ix, &map);
+        let assign: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::ImplicitNarrowing)
+            .collect();
+        assert_eq!(assign.len(), 1, "{lints:?}");
+        assert_eq!(assign[0].variable.as_deref(), Some("small"));
+        assert_eq!(assign[0].site, "main:14");
+
+        let mut map2 = PrecisionMap::declared(&ix);
+        map2.set(ix.fp_var_id(leaf, "v").unwrap(), FpPrecision::Single);
+        let lints2 = run_lints(&p, &ix, &map2);
+        let boundary: Vec<_> = lints2
+            .iter()
+            .filter(|l| l.kind == LintKind::ImplicitNarrowing)
+            .collect();
+        assert_eq!(boundary.len(), 1, "{lints2:?}");
+        assert_eq!(boundary[0].variable.as_deref(), Some("v"));
+        assert_eq!(boundary[0].site, "main:15");
+    }
+
+    #[test]
+    fn cancellation_candidate_matches_the_planted_trap_shape() {
+        let src = r#"
+module m
+contains
+  subroutine f(out)
+    real(kind=8) :: out
+    real(kind=8) :: eps, canc, q, t1, t2
+    eps = 1.0d-8
+    canc = (1.0d0 + eps) - 1.0d0
+    q = 16777300.0d0
+    out = (q - 16777216.0d0) * 1.0d-2
+    t1 = 0.5d0
+    t2 = 0.6d0
+    out = out + (t2 - t1) * (t2 - t1) + canc
+  end subroutine f
+end module m
+"#;
+        let lints = lints_for(src);
+        let canc: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::CancellationCandidate)
+            .collect();
+        assert_eq!(canc.len(), 1, "{canc:?}");
+        assert_eq!(canc[0].site, "f:8", "only the shared-literal subtraction");
+    }
+
+    #[test]
+    fn correlated_function_arguments_are_cancellation_candidates() {
+        // sin(x) - x for small x: correlation flows through the argument.
+        let lints = lints_for(
+            "module m\ncontains\n  subroutine f(x, y)\n    real(kind=8) :: x, y\n    y = sin(x) - x\n  end subroutine f\nend module m\n",
+        );
+        assert_eq!(
+            kinds_at(&lints, "f:5"),
+            vec![&LintKind::CancellationCandidate]
+        );
+    }
+
+    #[test]
+    fn uninitialized_use_is_flagged_once_with_site() {
+        let src = r#"
+module m
+contains
+  subroutine f(out, n)
+    real(kind=8) :: out
+    integer :: n, i
+    real(kind=8) :: s, t
+    do i = 1, n
+      s = s + 1.0d0
+    end do
+    t = 1.0d0
+    out = s + t
+  end subroutine f
+end module m
+"#;
+        let lints = lints_for(src);
+        let uninit: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::UninitializedUse)
+            .collect();
+        assert_eq!(uninit.len(), 1, "{lints:?}");
+        assert_eq!(uninit[0].variable.as_deref(), Some("s"));
+        assert_eq!(uninit[0].site, "f:9");
+    }
+
+    #[test]
+    fn branch_initialisation_and_call_outputs_count_as_definitions() {
+        let src = r#"
+module m
+contains
+  subroutine fill(v)
+    real(kind=8) :: v
+    v = 2.0d0
+  end subroutine fill
+  subroutine f(out, gate)
+    real(kind=8) :: out, gate
+    real(kind=8) :: a, b
+    if (gate > 0.0d0) then
+      a = 1.0d0
+    end if
+    call fill(b)
+    out = a + b
+  end subroutine f
+end module m
+"#;
+        let lints = lints_for(src);
+        assert!(
+            lints.iter().all(|l| l.kind != LintKind::UninitializedUse),
+            "{lints:?}"
+        );
+    }
+}

@@ -127,10 +127,16 @@ fn filter_stmts(
             {
                 out.push(s.clone());
             }
-            Stmt::Assign { value, .. } => {
+            Stmt::Assign { target, value, .. } => {
+                // Statements defining a needed variable are rule-3
+                // statements; the target name covers scalar writes and
+                // array-section writes alike (a section write defines the
+                // whole object, conservatively).
+                let defines_needed = resolve_key(index, scope, target.name())
+                    .is_some_and(|key| needed.contains(&key));
                 // Function references passing needed vars (rule 2 applies to
                 // any procedure call, including function calls).
-                let mut hit = false;
+                let mut hit = defines_needed;
                 value.walk(&mut |node| {
                     if let Expr::NameRef { name, args } = node {
                         if index.procedure(name).is_some()
@@ -145,6 +151,20 @@ fn filter_stmts(
                 if hit {
                     out.push(s.clone());
                 }
+            }
+            Stmt::Allocate { items, .. }
+                if items.iter().any(|(name, _)| {
+                    resolve_key(index, scope, name).is_some_and(|key| needed.contains(&key))
+                }) =>
+            {
+                out.push(s.clone());
+            }
+            Stmt::Deallocate { names, .. }
+                if names.iter().any(|name| {
+                    resolve_key(index, scope, name).is_some_and(|key| needed.contains(&key))
+                }) =>
+            {
+                out.push(s.clone());
             }
             Stmt::If {
                 arms,
@@ -255,6 +275,29 @@ fn mark_stmts(
             if let Stmt::Do { var, .. } = stmt {
                 if let Some(key) = resolve_key(index, scope, var) {
                     needed_vars.insert(key);
+                }
+            }
+            // A kept assignment's target must be declared even when only the
+            // RHS made the statement interesting (e.g. `t2 = fun(i*h)` kept
+            // because it passes a needed var into `fun`).
+            if let Stmt::Assign { target, .. } = stmt {
+                if let Some(key) = resolve_key(index, scope, target.name()) {
+                    needed_vars.insert(key);
+                }
+            }
+            // Allocate/deallocate name their objects outside any expression.
+            if let Stmt::Allocate { items, .. } = stmt {
+                for (name, _) in items {
+                    if let Some(key) = resolve_key(index, scope, name) {
+                        needed_vars.insert(key);
+                    }
+                }
+            }
+            if let Stmt::Deallocate { names, .. } = stmt {
+                for name in names {
+                    if let Some(key) = resolve_key(index, scope, name) {
+                        needed_vars.insert(key);
+                    }
                 }
             }
             stmt.for_each_expr(&mut |e| {
@@ -602,6 +645,114 @@ end module hot
             .decls
             .iter()
             .any(|d| d.entities.iter().any(|e| e.name == "s")));
+    }
+
+    #[test]
+    fn defining_assignments_of_needed_vars_survive() {
+        let (p, ix) = setup();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "scale", "v")]);
+        // `v(i) = v(i) * factor` defines the target through an indexed
+        // write (conservatively the whole object); it and its do-loop
+        // shell survive, pulling `factor` and `i` in as rule-3 symbols.
+        let helpers = reduced.module("helpers").unwrap();
+        let scale = helpers
+            .procedures
+            .iter()
+            .find(|p| p.name == "scale")
+            .unwrap();
+        let mut writes_v = false;
+        let mut in_loop = false;
+        for s in &scale.body {
+            if let Stmt::Do { .. } = s {
+                in_loop = true;
+            }
+            s.walk(&mut |st| {
+                if let Stmt::Assign { target, .. } = st {
+                    if target.name() == "v" {
+                        writes_v = true;
+                    }
+                }
+            });
+        }
+        assert!(writes_v, "defining write of the target must be kept");
+        assert!(in_loop, "the enclosing do-loop shell must be kept");
+        assert!(helpers
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "factor")));
+    }
+
+    #[test]
+    fn while_loop_writes_of_needed_vars_survive() {
+        let src = r#"
+program p
+  implicit none
+  real(kind=8) :: a(10)
+  real(kind=8) :: junk
+  integer :: k
+  k = 0
+  do while (k < 3)
+    a(k + 1) = 1.0d0
+    k = k + 1
+  end do
+  junk = 5.0d0
+  call prose_record('a', a(1))
+end program p
+"#;
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let scope = main_scope(&ix);
+        let t = ix.fp_var_id(scope, "a").unwrap();
+        let reduced = reduce_program(&p, &ix, &[t]);
+        let main = reduced.main.as_ref().unwrap();
+        // The do-while shell and the indexed write of `a` survive; the
+        // loop counter writes ride along once `k` becomes needed through
+        // the kept statements; `junk` stays out.
+        let mut has_while = false;
+        let mut writes_a = false;
+        for s in &main.body {
+            s.walk(&mut |st| match st {
+                Stmt::DoWhile { .. } => has_while = true,
+                Stmt::Assign { target, .. } if target.name() == "a" => writes_a = true,
+                _ => {}
+            });
+        }
+        assert!(has_while && writes_a);
+        assert!(!main
+            .decls
+            .iter()
+            .any(|d| d.entities.iter().any(|e| e.name == "junk")));
+        let text = unparse(&reduced);
+        analyze(&parse_program(&text).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn guardrail_dormant_branch_survives_reduction() {
+        // The guardrail's `gate > 1` branch never executes on the tuning
+        // input, but reduction is static: targeting `q` must keep the
+        // branch, its 2^24 seed, and the accumulation loop — dropping a
+        // dormant branch would erase the very trap ensemble validation
+        // exists to catch.
+        let src = include_str!("../../models/fortran/guardrail.f90")
+            .replace("__STEPS__", "3")
+            .replace("__N__", "50");
+        let p = parse_program(&src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let reduced = reduce_program(&p, &ix, &[target(&ix, "kernel", "q")]);
+        let kernel = &reduced.module("guard_mod").unwrap().procedures[0];
+        let mut q_writes = 0;
+        let mut has_branch = false;
+        for s in &kernel.body {
+            s.walk(&mut |st| match st {
+                Stmt::If { .. } => has_branch = true,
+                Stmt::Assign { target, .. } if target.name() == "q" => q_writes += 1,
+                _ => {}
+            });
+        }
+        assert!(has_branch, "the dormant gate branch must survive");
+        assert!(q_writes >= 2, "seed and accumulation writes of q survive");
+        let text = unparse(&reduced);
+        analyze(&parse_program(&text).unwrap()).expect("reduced guardrail re-analyzes");
     }
 
     #[test]

@@ -408,6 +408,74 @@ end module m
     }
 
     #[test]
+    fn promotion_edge_cases() {
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let map = PrecisionMap::declared(&ix);
+        use FpPrecision::*;
+        use TypeSpec::*;
+        for (src, expected) in [
+            // Mixed-kind intrinsic arguments promote pairwise.
+            ("sign(d, s)", Real(Double)),
+            ("sign(s, d)", Real(Double)),
+            ("sign(s, i)", Real(Single)),
+            ("atan2(s, d)", Real(Double)),
+            ("mod(i, i)", Integer),
+            ("mod(d, s)", Real(Double)),
+            ("min(i, s)", Real(Single)),
+            ("max(i, i)", Integer),
+            ("max(d, s, i)", Real(Double)),
+            // Integer exponents do not promote the base.
+            ("d ** 2", Real(Double)),
+            ("s ** 2", Real(Single)),
+            ("i ** 2", Integer),
+            ("d ** s", Real(Double)),
+            ("s ** i", Real(Single)),
+        ] {
+            let e = parse_expr_in_host(src);
+            assert_eq!(expr_type(&ix, host, &map, &e), Some(expected), "for {src}");
+        }
+        // Logical contexts are logical regardless of operand kinds. These
+        // parse as whole assignments (the `== 0` wrapper would rebind under
+        // `.and.`/`.not.` precedence).
+        for src in [
+            "(d > s) .and. (s < 2.0)",
+            ".not. isnan(d)",
+            "(i == 1) .or. (d >= s)",
+        ] {
+            let text = format!("program t\n logical :: q\n q = {src}\nend program t\n");
+            let p = prose_fortran::parse_program(&text).unwrap();
+            let prose_fortran::ast::Stmt::Assign { value, .. } = &p.main.unwrap().body[0] else {
+                unreachable!()
+            };
+            assert_eq!(
+                expr_type(&ix, host, &map, value),
+                Some(Logical),
+                "for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn promotion_edge_cases_follow_the_map() {
+        // Lowering `d` drags every expression it dominates down to single,
+        // except where an explicit conversion re-raises it.
+        let (_, ix) = setup();
+        let host = ix.scope_of_procedure("host").unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        map.set(ix.fp_var_id(host, "d").unwrap(), FpPrecision::Single);
+        use FpPrecision::*;
+        for (src, expected) in [
+            ("d ** 2", TypeSpec::Real(Single)),
+            ("sign(d, s)", TypeSpec::Real(Single)),
+            ("max(d, dble(s))", TypeSpec::Real(Double)),
+        ] {
+            let e = parse_expr_in_host(src);
+            assert_eq!(expr_type(&ix, host, &map, &e), Some(expected), "for {src}");
+        }
+    }
+
+    #[test]
     fn array_element_type_follows_map() {
         let (_, ix) = setup();
         let host = ix.scope_of_procedure("host").unwrap();

@@ -217,6 +217,7 @@ fn member_task(
         wal_flush: task.wal_flush,
         shadow: task.shadow,
         shadow_budget: task.shadow_budget,
+        granularity: task.granularity,
         member: Some(member),
     })
 }

@@ -553,6 +553,7 @@ impl<'a> DynamicEvaluator<'a> {
             fault_seed: rec.fault_seed,
             shadow: rec.shadow.clone(),
             member: self.task.member,
+            search_granularity: self.task.granularity.name().to_string(),
         };
         if let Err(e) = j.append(&tr) {
             // A journal failure cannot itself be journaled; it surfaces as

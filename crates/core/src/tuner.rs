@@ -59,6 +59,44 @@ impl std::str::FromStr for VariantPath {
     }
 }
 
+/// Atom granularity of the delta-debugging search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SearchGranularity {
+    /// One search decision per FP declaration (the paper's search space).
+    #[default]
+    Variable,
+    /// One decision per precision congruence class first (variables the
+    /// dependence analysis proves must co-move), then per-variable
+    /// refinement of only the classes on the 1-minimal frontier. Classes
+    /// are probed in descending static-penalty order.
+    Grouped,
+}
+
+impl SearchGranularity {
+    /// Journal-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchGranularity::Variable => "variable",
+            SearchGranularity::Grouped => "grouped",
+        }
+    }
+}
+
+impl std::str::FromStr for SearchGranularity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "variable" => Ok(SearchGranularity::Variable),
+            "grouped" => Ok(SearchGranularity::Grouped),
+            other => Err(format!(
+                "unknown search granularity `{other}` (variable|grouped)"
+            )),
+        }
+    }
+}
+
 /// A fully specified tuning task.
 #[derive(Debug)]
 pub struct TuningTask {
@@ -123,6 +161,9 @@ pub struct TuningTask {
     /// memoization key, so resumed ensemble validations skip completed
     /// members without cross-member cache collisions.
     pub member: Option<u32>,
+    /// Atom granularity for the delta-debugging search: per-variable (the
+    /// default) or per congruence class with frontier refinement.
+    pub granularity: SearchGranularity,
 }
 
 /// The result of one tuning experiment.
@@ -185,7 +226,26 @@ pub fn tune(task: &TuningTask) -> Result<TuningOutcome, RunError> {
         ..Default::default()
     });
     let mut sink = CountingSink::default();
-    let search = dd.run_with_sink(&mut eval, &mut sink);
+    let search = match task.granularity {
+        SearchGranularity::Variable => dd.run_with_sink(&mut eval, &mut sink),
+        SearchGranularity::Grouped => {
+            let depgraph = prose_analysis::DepGraph::build(&task.program, &task.index);
+            // Hotspot-scoped searches price casting only at call sites the
+            // hotspot timers can see, mirroring the dynamic metric.
+            let caller_scopes: Option<Vec<_>> = match task.scope {
+                PerfScope::Hotspot => Some(
+                    task.hotspot_procs
+                        .iter()
+                        .filter_map(|p| task.index.scope_of_procedure(p))
+                        .collect(),
+                ),
+                PerfScope::WholeModel => None,
+            };
+            let units =
+                depgraph.ordered_atom_groups(&task.index, &task.atoms, caller_scopes.as_deref());
+            dd.run_grouped_with_sink(&mut eval, &units, &mut sink)
+        }
+    };
     let mut metrics = eval.metrics();
     metrics.bump("search_probes", sink.trials + sink.memo_hits);
     metrics.bump("search_memo_hits", sink.memo_hits);
@@ -326,6 +386,7 @@ impl LoadedModel {
             shadow: false,
             shadow_budget: None,
             member: None,
+            granularity: SearchGranularity::default(),
         })
     }
 }

@@ -56,7 +56,7 @@ impl DeltaDebug {
 
     /// Run the search to completion (or budget exhaustion).
     pub fn run<E: Evaluator>(&self, eval: &mut E) -> SearchResult {
-        self.run_impl(eval, None)
+        self.run_impl(eval, None, None)
     }
 
     /// Like [`DeltaDebug::run`], with a [`TrialSink`] observing every probe
@@ -66,12 +66,38 @@ impl DeltaDebug {
         eval: &'a mut E,
         sink: &'a mut dyn TrialSink,
     ) -> SearchResult {
-        self.run_impl(eval, Some(sink))
+        self.run_impl(eval, None, Some(sink))
+    }
+
+    /// Grouped-atom search: ddmin first decides one bit per *unit* (a
+    /// precision congruence class — a set of atom indices forced to move
+    /// together), then refines the surviving units back to individual
+    /// atoms on the same memo, with the monotone bar carried across the
+    /// phases. The final configuration is therefore accepted at a bar at
+    /// least as high as any group-phase acceptance, and the refinement
+    /// phase's termination test is the same exhaustive single-atom removal
+    /// variable-granular dd ends with — the result is 1-minimal at atom
+    /// granularity and no worse than variable-granular dd on this memo.
+    ///
+    /// `units` must partition `0..eval.atom_count()`.
+    pub fn run_grouped<E: Evaluator>(&self, eval: &mut E, units: &[Vec<usize>]) -> SearchResult {
+        self.run_impl(eval, Some(units), None)
+    }
+
+    /// [`DeltaDebug::run_grouped`] with a [`TrialSink`] attached.
+    pub fn run_grouped_with_sink<'a, E: Evaluator>(
+        &self,
+        eval: &'a mut E,
+        units: &[Vec<usize>],
+        sink: &'a mut dyn TrialSink,
+    ) -> SearchResult {
+        self.run_impl(eval, Some(units), Some(sink))
     }
 
     fn run_impl<'a, E: Evaluator>(
         &self,
         eval: &'a mut E,
+        units: Option<&[Vec<usize>]>,
         sink: Option<&'a mut dyn TrialSink>,
     ) -> SearchResult {
         let n = eval.atom_count();
@@ -81,24 +107,72 @@ impl DeltaDebug {
         }
         let mut bar = self.params.min_speedup;
 
-        let config_for = |high: &[usize], n: usize| -> Config {
-            let mut cfg = vec![true; n];
-            for &h in high {
-                cfg[h] = false;
+        let singletons: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let first_units = units.unwrap_or(&singletons);
+        let first = self.ddmin_units(&mut memo, first_units, n, &mut bar);
+
+        let (high_atoms, one_minimal, budget_exhausted) = match units {
+            // Variable-granular: unit indices are atom indices.
+            None => (first.high, first.one_minimal, first.budget_exhausted),
+            Some(us) => {
+                let mut atoms: Vec<usize> = first
+                    .high
+                    .iter()
+                    .flat_map(|&u| us[u].iter().copied())
+                    .collect();
+                atoms.sort_unstable();
+                let already_atomic = first.high.iter().all(|&u| us[u].len() == 1);
+                if first.budget_exhausted || atoms.is_empty() || already_atomic {
+                    // No budget left to refine, the empty high set was
+                    // accepted (trivially minimal at any granularity), or
+                    // every surviving unit is a single atom — the group
+                    // phase's termination already tested each removal.
+                    (atoms, first.one_minimal, first.budget_exhausted)
+                } else {
+                    // Refinement: per-atom ddmin over the frontier classes
+                    // only; everything outside them stays lowered.
+                    let frontier: Vec<Vec<usize>> = atoms.iter().map(|&a| vec![a]).collect();
+                    let second = self.ddmin_units(&mut memo, &frontier, n, &mut bar);
+                    let refined: Vec<usize> = second.high.iter().map(|&u| frontier[u][0]).collect();
+                    (refined, second.one_minimal, second.budget_exhausted)
+                }
             }
-            cfg
         };
 
-        // Fast path: uniform 32-bit (empty high set).
+        let final_config = config_for(&high_atoms.iter().map(|&a| vec![a]).collect::<Vec<_>>(), n);
+        SearchResult {
+            best: memo.best(self.params.min_speedup),
+            final_config,
+            one_minimal,
+            trace: memo.trace,
+            budget_exhausted,
+        }
+    }
+
+    /// One ddmin pass over an arbitrary unit partition. `high` in the
+    /// result is a set of indices into `units`. The monotone bar is shared
+    /// with (and survives into) any later pass on the same memo.
+    fn ddmin_units<E: Evaluator>(
+        &self,
+        memo: &mut Memo<'_, E>,
+        units: &[Vec<usize>],
+        n: usize,
+        bar: &mut f64,
+    ) -> DdminPass {
+        let nu = units.len();
+        let cfg_of = |high: &[usize]| -> Config {
+            let members: Vec<Vec<usize>> = high.iter().map(|&u| units[u].clone()).collect();
+            config_for(&members, n)
+        };
+
+        // Fast path: lower every unit (empty high set).
         let mut budget_exhausted = false;
-        let all_lowered = vec![true; n];
+        let all_lowered = cfg_of(&[]);
         match memo.evaluate(&all_lowered) {
-            Some(o) if o.accepted(bar) => {
-                return SearchResult {
-                    best: memo.best(self.params.min_speedup),
-                    final_config: all_lowered,
+            Some(o) if o.accepted(*bar) => {
+                return DdminPass {
+                    high: vec![],
                     one_minimal: true, // empty high set is trivially minimal
-                    trace: memo.trace,
                     budget_exhausted: false,
                 };
             }
@@ -106,7 +180,7 @@ impl DeltaDebug {
             None => budget_exhausted = true,
         }
 
-        let mut high: Vec<usize> = (0..n).collect();
+        let mut high: Vec<usize> = (0..nu).collect();
         let mut granularity: usize = 2;
         let mut one_minimal = false;
 
@@ -117,16 +191,16 @@ impl DeltaDebug {
             // generated up front and evaluated together (the paper's T2/T3
             // run each batch in parallel, one node per variant).
             if parts.len() > 1 {
-                let batch: Vec<Config> = parts.iter().map(|p| config_for(p, n)).collect();
+                let batch: Vec<Config> = parts.iter().map(|p| cfg_of(p)).collect();
                 let outcomes = memo.evaluate_batch(&batch);
                 if outcomes.iter().any(Option::is_none) {
                     budget_exhausted = true;
                 }
                 for (p, o) in parts.iter().zip(&outcomes) {
                     if let Some(o) = o {
-                        if o.accepted(bar) {
+                        if o.accepted(*bar) {
                             if self.params.monotone {
-                                bar = bar.max(o.speedup * self.params.monotone_slack);
+                                *bar = bar.max(o.speedup * self.params.monotone_slack);
                             }
                             high = p.clone();
                             granularity = 2;
@@ -150,7 +224,7 @@ impl DeltaDebug {
                         .collect()
                 })
                 .collect();
-            let batch: Vec<Config> = complements.iter().map(|c| config_for(c, n)).collect();
+            let batch: Vec<Config> = complements.iter().map(|c| cfg_of(c)).collect();
             let outcomes = memo.evaluate_batch(&batch);
             if outcomes.iter().any(Option::is_none) {
                 budget_exhausted = true;
@@ -158,9 +232,9 @@ impl DeltaDebug {
             let mut removed_any = false;
             for (candidate, o) in complements.into_iter().zip(&outcomes) {
                 if let Some(o) = o {
-                    if o.accepted(bar) {
+                    if o.accepted(*bar) {
                         if self.params.monotone {
-                            bar = bar.max(o.speedup * self.params.monotone_slack);
+                            *bar = bar.max(o.speedup * self.params.monotone_slack);
                         }
                         let was_single_granularity = granularity >= high.len();
                         high = candidate;
@@ -190,15 +264,31 @@ impl DeltaDebug {
             granularity = (granularity * 2).min(high.len());
         }
 
-        let final_config = config_for(&high, n);
-        SearchResult {
-            best: memo.best(self.params.min_speedup),
-            final_config,
+        DdminPass {
+            high,
             one_minimal,
-            trace: memo.trace,
             budget_exhausted,
         }
     }
+}
+
+/// Result of one [`DeltaDebug::ddmin_units`] pass; `high` indexes into the
+/// unit partition the pass ran over.
+struct DdminPass {
+    high: Vec<usize>,
+    one_minimal: bool,
+    budget_exhausted: bool,
+}
+
+/// Lower everything, then raise the atoms of the given unit groups.
+fn config_for(high_units: &[Vec<usize>], n: usize) -> Config {
+    let mut cfg = vec![true; n];
+    for unit in high_units {
+        for &a in unit {
+            cfg[a] = false;
+        }
+    }
+    cfg
 }
 
 /// Split `set` into `k` nearly-equal contiguous partitions.
@@ -358,6 +448,90 @@ mod tests {
         // ddmin revisits configurations across granularity changes; the
         // memo table answers those without consulting the evaluator.
         assert!(sink.memo_hits > 0);
+    }
+
+    #[test]
+    fn singleton_units_reproduce_the_variable_granular_search_exactly() {
+        let critical = vec![2, 9, 20, 21];
+        let mut plain_ev = Synthetic::new(24, &critical);
+        let plain = DeltaDebug::new(DdParams::default()).run(&mut plain_ev);
+        let units: Vec<Vec<usize>> = (0..24).map(|i| vec![i]).collect();
+        let mut grouped_ev = Synthetic::new(24, &critical);
+        let grouped = DeltaDebug::new(DdParams::default()).run_grouped(&mut grouped_ev, &units);
+        assert_eq!(grouped.final_config, plain.final_config);
+        assert_eq!(grouped.one_minimal, plain.one_minimal);
+        // Same memo-visible probes in the group phase; the refinement pass
+        // re-asks only memoised configurations, so the evaluator sees no
+        // extra work.
+        assert_eq!(grouped_ev.evaluations, plain_ev.evaluations);
+        let plain_cfgs: Vec<_> = plain.trace.iter().map(|t| t.config.clone()).collect();
+        let grouped_cfgs: Vec<_> = grouped.trace.iter().map(|t| t.config.clone()).collect();
+        assert_eq!(grouped_cfgs, plain_cfgs);
+    }
+
+    #[test]
+    fn grouped_units_isolate_a_critical_class_with_fewer_evaluations() {
+        // Four critical atoms forming one congruence class, *scattered*
+        // across declaration order (class members never sit side by side
+        // in real code): grouped dd decides them as a single bit, while
+        // ddmin's contiguous partitions must grind down to them one by
+        // one. Refinement then confirms each member individually.
+        let critical = vec![3, 11, 19, 27];
+        let units: Vec<Vec<usize>> = (0..8).map(|g| vec![g, g + 8, g + 16, g + 24]).collect();
+
+        let mut grouped_ev = Synthetic::new(32, &critical);
+        let grouped = DeltaDebug::new(DdParams::default()).run_grouped(&mut grouped_ev, &units);
+        assert!(grouped.one_minimal);
+        assert_eq!(high_set(&grouped.final_config), critical);
+
+        let mut plain_ev = Synthetic::new(32, &critical);
+        let plain = DeltaDebug::new(DdParams::default()).run(&mut plain_ev);
+        assert_eq!(high_set(&plain.final_config), critical);
+        assert!(
+            grouped_ev.evaluations < plain_ev.evaluations,
+            "grouped {} must beat variable-granular {}",
+            grouped_ev.evaluations,
+            plain_ev.evaluations
+        );
+        // Equally good final configuration: same high set, same speedup.
+        let gb = grouped.best.unwrap().outcome.speedup;
+        let pb = plain.best.unwrap().outcome.speedup;
+        assert!(gb >= pb * 0.995, "grouped best {gb} vs plain best {pb}");
+    }
+
+    #[test]
+    fn refinement_splits_a_class_grouped_too_coarsely() {
+        // Atoms 4..8 share a unit but only atom 5 is critical: the group
+        // phase must keep the unit, and refinement must shed 4, 6, 7.
+        let units: Vec<Vec<usize>> = vec![(0..4).collect(), (4..8).collect(), (8..12).collect()];
+        let mut ev = Synthetic::new(12, &[5]);
+        let r = DeltaDebug::new(DdParams::default()).run_grouped(&mut ev, &units);
+        assert!(r.one_minimal);
+        assert_eq!(high_set(&r.final_config), vec![5]);
+    }
+
+    #[test]
+    fn grouped_search_respects_the_variant_budget() {
+        let units: Vec<Vec<usize>> = (0..16).map(|g| vec![2 * g, 2 * g + 1]).collect();
+        let mut ev = Synthetic::new(32, &[1, 13, 30]);
+        let r = DeltaDebug::new(DdParams {
+            max_variants: Some(4),
+            ..Default::default()
+        })
+        .run_grouped(&mut ev, &units);
+        assert!(r.budget_exhausted);
+        assert!(!r.one_minimal);
+        assert_eq!(r.trace.len(), 4);
+    }
+
+    #[test]
+    fn grouped_fast_path_accepts_the_empty_high_set() {
+        let units: Vec<Vec<usize>> = vec![(0..8).collect(), (8..16).collect()];
+        let mut ev = Synthetic::new(16, &[]);
+        let r = DeltaDebug::new(DdParams::default()).run_grouped(&mut ev, &units);
+        assert!(r.one_minimal);
+        assert!(high_set(&r.final_config).is_empty());
+        assert_eq!(r.trace.len(), 1);
     }
 
     #[test]

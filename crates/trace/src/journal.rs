@@ -87,6 +87,10 @@ pub struct TrialRecord {
     /// evaluated on different members must not collide.
     #[serde(default)]
     pub member: Option<u32>,
+    /// Search granularity the tuner ran at (`variable` or `grouped`);
+    /// empty in records from writers predating grouped-atom search.
+    #[serde(default)]
+    pub search_granularity: String,
 }
 
 /// Per-trial shadow-execution summary, journaled when the evaluator runs
@@ -364,6 +368,7 @@ mod tests {
             fault_seed: None,
             shadow: None,
             member: None,
+            search_granularity: "variable".to_string(),
         }
     }
 
@@ -455,6 +460,7 @@ mod tests {
         assert_eq!(rec.fault_seed, None);
         assert_eq!(rec.shadow, None);
         assert_eq!(rec.member, None);
+        assert_eq!(rec.search_granularity, "");
     }
 
     #[test]

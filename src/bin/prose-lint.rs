@@ -1,0 +1,151 @@
+//! `prose-lint` — static numerical-hazard lints for Fortran files.
+//!
+//! ```text
+//! prose-lint <file.f90> [--format text|json] [--map single|declared]
+//! ```
+//!
+//! Runs the [`prose::analysis::lint`] suite (float equality, absorption-prone
+//! accumulators, implicit narrowing, catastrophic-cancellation candidates,
+//! uninitialized FP use) and prints one finding per line, each anchored at a
+//! `proc:line` site — the same site keys the dynamic shadow guardrails
+//! record, so `prose-report --lints` can show static and dynamic hazards
+//! side by side.
+//!
+//! `--map` picks the candidate precision assignment the narrowing lints are
+//! evaluated under: `single` (default) lowers every non-parameter FP
+//! variable outside the main program to 32-bit — the same variables the
+//! tuner treats as search atoms — so the narrowing hazards a maximal
+//! lowering would introduce are all visible; `declared` keeps the source
+//! declarations and reports only hazards already present.
+
+use prose::analysis::{run_lints, Lint};
+use prose::fortran::ast::FpPrecision;
+use prose::fortran::sema::ScopeKind;
+use prose::fortran::PrecisionMap;
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    format: String,
+    map: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prose-lint <file.f90> [--format text|json] [--map single|declared]\n\
+         options: --format text (default; one `proc:line kind message` per finding)\n\
+         or json (machine-readable {{file, map, lints}} document),\n\
+         --map single (default; every tunable variable lowered to 32-bit, the\n\
+         narrowing hazards of a maximal lowering) or declared (source precisions)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut format = "text".to_string();
+    let mut map = "single".to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        let mut next = || -> Option<String> {
+            i += 1;
+            argv.get(i).cloned()
+        };
+        match a.as_str() {
+            "--format" => {
+                format = next()?;
+                if format != "text" && format != "json" {
+                    return None;
+                }
+            }
+            "--map" => {
+                map = next()?;
+                if map != "single" && map != "declared" {
+                    return None;
+                }
+            }
+            _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
+            _ => return None,
+        }
+        i += 1;
+    }
+    Some(Args {
+        file: file?,
+        format,
+        map,
+    })
+}
+
+#[derive(serde::Serialize)]
+struct LintDoc {
+    file: String,
+    map: String,
+    lints: Vec<Lint>,
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { usage() };
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match prose::fortran::parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: parsing {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let index = match prose::fortran::sema::analyze(&program) {
+        Ok(ix) => ix,
+        Err(e) => {
+            eprintln!("error: analyzing {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let map = match args.map.as_str() {
+        "declared" => PrecisionMap::declared(&index),
+        _ => {
+            // The tuner's lowering targets: every non-parameter FP variable
+            // outside the main program driver.
+            let lowered: Vec<_> = index
+                .fp_variables()
+                .filter(|v| !v.is_parameter && index.scope_info(v.scope).kind != ScopeKind::Main)
+                .map(|v| v.id)
+                .collect();
+            PrecisionMap::uniform(&index, &lowered, FpPrecision::Single)
+        }
+    };
+
+    let lints = run_lints(&program, &index, &map);
+    if args.format == "json" {
+        let doc = LintDoc {
+            file: args.file.clone(),
+            map: args.map.clone(),
+            lints,
+        };
+        println!("{}", serde_json::to_string(&doc).expect("serialize"));
+    } else {
+        for l in &lints {
+            let var = l
+                .variable
+                .as_deref()
+                .map(|v| format!(" [{v}]"))
+                .unwrap_or_default();
+            println!("{}: {:?}{var}: {}", l.site, l.kind, l.message);
+        }
+        println!(
+            "{}: {} finding(s) under the `{}` precision map",
+            args.file,
+            lints.len(),
+            args.map
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -2,9 +2,14 @@
 //! style artifacts plus cache and search-efficiency statistics.
 //!
 //! ```text
-//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails]
+//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json]
 //! prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out BENCH_variant_path.json]
 //! ```
+//!
+//! `--lints` takes the JSON document written by `prose-lint --format json`
+//! and renders the static findings next to the journal's dynamic shadow
+//! evidence: a lint whose `proc:line` site matches a journaled cancellation
+//! site or non-finite origin is flagged as dynamically confirmed.
 //!
 //! The journal is the JSONL file written by `prose-tune --journal`, by the
 //! `prose-bench` search binaries (`results/trials_<model>.jsonl`), or by
@@ -23,10 +28,12 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails]\n\
+        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json]\n\
          \x20      prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out out.json]\n\
          options: --guardrails (numerical-guardrail section: shadow-error demotions,\n\
-         cancellation and non-finite provenance, per-member ensemble records)"
+         cancellation and non-finite provenance, per-member ensemble records),\n\
+         --lints lints.json (static-lint section from `prose-lint --format json`\n\
+         output, cross-referenced against the journal's shadow sites)"
     );
     std::process::exit(2)
 }
@@ -158,6 +165,7 @@ struct Args {
     journal: String,
     csv: Option<String>,
     guardrails: bool,
+    lints: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -165,6 +173,7 @@ fn parse_args() -> Option<Args> {
     let mut journal = None;
     let mut csv = None;
     let mut guardrails = false;
+    let mut lints = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -173,6 +182,10 @@ fn parse_args() -> Option<Args> {
                 csv = Some(argv.get(i)?.clone());
             }
             "--guardrails" => guardrails = true,
+            "--lints" => {
+                i += 1;
+                lints = Some(argv.get(i)?.clone());
+            }
             a if journal.is_none() && !a.starts_with("--") => journal = Some(a.to_string()),
             _ => return None,
         }
@@ -182,6 +195,7 @@ fn parse_args() -> Option<Args> {
         journal: journal?,
         csv,
         guardrails,
+        lints,
     })
 }
 
@@ -303,6 +317,78 @@ fn print_guardrails(records: &[TrialRecord]) {
         for (m, (n, pass, cached)) in &by_member {
             println!("    member {m}: {n} trial(s), {pass} pass, {cached} replayed from journal");
         }
+    }
+}
+
+/// The document written by `prose-lint --format json`.
+#[derive(serde::Deserialize)]
+struct LintDoc {
+    file: String,
+    map: String,
+    lints: Vec<prose::analysis::Lint>,
+}
+
+/// The `--lints` section: static numerical-hazard findings rendered next to
+/// the journal's dynamic shadow evidence. The lints carry `proc:line` sites
+/// in the same key space as the shadow machinery's cancellation sites and
+/// non-finite origins, so a static hazard the shadow actually observed at
+/// run time is marked as dynamically confirmed. Journals written before the
+/// shadow fields existed simply yield no confirmations.
+fn print_lints(doc: &LintDoc, records: &[TrialRecord]) {
+    println!();
+    println!("== static numerical-hazard lints ==");
+    println!(
+        "  {}: {} finding(s) under the `{}` precision map",
+        doc.file,
+        doc.lints.len(),
+        doc.map
+    );
+
+    // Dynamic sites the shadow machinery attributed hazards to, normalized
+    // back to bare `proc:line` keys ("fun:12 (24.0 bits)" -> "fun:12",
+    // "sub at fun:12" -> "fun:12").
+    let mut dynamic_sites: BTreeMap<String, &'static str> = BTreeMap::new();
+    for r in records {
+        let Some(s) = &r.shadow else { continue };
+        if let Some(site) = &s.cancellation_site {
+            let key = site.split_whitespace().next().unwrap_or(site).to_string();
+            dynamic_sites.entry(key).or_insert("cancellation observed");
+        }
+        if let Some(origin) = s
+            .nonfinite_origin
+            .as_deref()
+            .filter(|_| !s.nonfinite_injected)
+        {
+            let key = origin.rsplit(" at ").next().unwrap_or(origin).to_string();
+            dynamic_sites.entry(key).or_insert("non-finite origin");
+        }
+    }
+
+    let mut confirmed = 0usize;
+    for l in &doc.lints {
+        let var = l
+            .variable
+            .as_deref()
+            .map(|v| format!(" [{v}]"))
+            .unwrap_or_default();
+        let dynamic = match dynamic_sites.get(&l.site) {
+            Some(kind) => {
+                confirmed += 1;
+                format!("  <- shadow: {kind} at this site")
+            }
+            None => String::new(),
+        };
+        println!("  {}: {:?}{var}: {}{dynamic}", l.site, l.kind, l.message);
+    }
+    if dynamic_sites.is_empty() {
+        println!("  no dynamic shadow sites in this journal to cross-reference");
+    } else {
+        println!(
+            "  dynamically confirmed: {confirmed} of {} static finding(s) \
+             ({} shadow site(s) in journal)",
+            doc.lints.len(),
+            dynamic_sites.len()
+        );
     }
 }
 
@@ -474,6 +560,21 @@ fn main() -> ExitCode {
     // ---- numerical guardrails (--guardrails) --------------------------
     if args.guardrails {
         print_guardrails(&records);
+    }
+
+    // ---- static lints vs dynamic shadow evidence (--lints) ------------
+    if let Some(path) = &args.lints {
+        let doc: LintDoc = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: cannot read lint document {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_lints(&doc, &records);
     }
 
     // ---- optional CSV export ------------------------------------------

@@ -6,6 +6,7 @@
 //!     [--scope hotspot|whole] [--n-runs 1] [--noise 0.0] [--seed 42]
 //!     [--budget 400] [--exclude result] [--emit-best best.f90]
 //!     [--strategy dd|brute|random] [--samples 100]
+//!     [--granularity variable|grouped]
 //!     [--journal trials.jsonl] [--resume]
 //!     [--variant-path fast|faithful] [--crosscheck K] [--strict]
 //!     [--faults nan=P,timeout=P,abort=P,jitter=RSD,seed=S[,kill-after=K]]
@@ -27,7 +28,7 @@
 use prose::core::ensemble::{validate_ensemble, EnsembleParams};
 use prose::core::metrics::CorrectnessMetric;
 use prose::core::tuner::{
-    config_to_map, tune, tune_brute_force, ModelSpec, PerfScope, VariantPath,
+    config_to_map, tune, tune_brute_force, ModelSpec, PerfScope, SearchGranularity, VariantPath,
 };
 use std::process::ExitCode;
 
@@ -45,6 +46,7 @@ struct Args {
     emit_best: Option<String>,
     strategy: String,
     samples: usize,
+    granularity: SearchGranularity,
     journal: Option<String>,
     variant_path: VariantPath,
     crosscheck: usize,
@@ -66,6 +68,8 @@ fn usage() -> ! {
          options: --scope hotspot|whole (default hotspot), --n-runs N (1), --noise RSD (0),\n\
          --seed S (42), --budget K, --exclude v1,v2, --emit-best out.f90,\n\
          --strategy dd|brute|random (dd), --samples N (random strategy, default 100),\n\
+         --granularity variable|grouped (dd strategy; grouped searches static\n\
+         precision congruence classes first, then refines surviving classes),\n\
          --journal trials.jsonl (append every trial; reuse to skip re-evaluation),\n\
          --variant-path fast|faithful (fast: template-specialized IR per variant;\n\
          faithful: unparse/reparse/re-lower), --crosscheck K (fast path: re-run the\n\
@@ -125,6 +129,7 @@ fn parse_args() -> Option<Args> {
     let mut emit_best = None;
     let mut strategy = "dd".to_string();
     let mut samples = 100usize;
+    let mut granularity = SearchGranularity::default();
     let mut journal = None;
     let mut variant_path = VariantPath::default();
     let mut crosscheck = 1usize;
@@ -165,6 +170,7 @@ fn parse_args() -> Option<Args> {
             "--emit-best" => emit_best = next(),
             "--strategy" => strategy = next()?,
             "--samples" => samples = next()?.parse().ok()?,
+            "--granularity" => granularity = next()?.parse().ok()?,
             "--journal" => journal = next(),
             "--variant-path" => variant_path = next()?.parse().ok()?,
             "--crosscheck" => crosscheck = next()?.parse().ok()?,
@@ -203,6 +209,7 @@ fn parse_args() -> Option<Args> {
         emit_best,
         strategy,
         samples,
+        granularity,
         journal,
         variant_path,
         crosscheck,
@@ -277,6 +284,7 @@ fn main() -> ExitCode {
     task.wal_flush = args.wal_flush;
     task.shadow = args.shadow;
     task.shadow_budget = args.shadow_budget;
+    task.granularity = args.granularity;
 
     // --resume: continue an interrupted search from its journal. The
     // search itself is deterministic, so replaying it against the

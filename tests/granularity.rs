@@ -1,0 +1,151 @@
+//! Differential tests for grouped-atom delta debugging: searching static
+//! precision congruence classes first, then refining only the surviving
+//! classes, must evaluate strictly fewer uncached trials than
+//! variable-granular dd while landing on an equally good configuration.
+//!
+//! Both runs journal every trial, so the comparison is made on the
+//! journals' `cached: false` records — the interpreter evaluations the
+//! memo could not answer — and on the `search_granularity` stamp each
+//! writer records.
+
+use prose::core::tuner::{tune, PerfScope, SearchGranularity, TuningOutcome};
+use prose::models::{funarc, mpas, ModelSize};
+use prose::trace::{Journal, TrialRecord};
+use std::path::PathBuf;
+
+fn tmp_journal(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "prose-granularity-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+struct Run {
+    outcome: TuningOutcome,
+    records: Vec<TrialRecord>,
+}
+
+fn run(
+    model: &prose::core::tuner::LoadedModel,
+    scope: PerfScope,
+    granularity: SearchGranularity,
+    tag: &str,
+) -> Run {
+    let journal = tmp_journal(tag);
+    let mut task = model.task(scope, 42).unwrap();
+    task.granularity = granularity;
+    task.journal = Some(journal.clone());
+    let outcome = tune(&task).unwrap();
+    let records = Journal::load(&journal).unwrap();
+    let _ = std::fs::remove_file(&journal);
+    Run { outcome, records }
+}
+
+fn uncached(records: &[TrialRecord]) -> usize {
+    records.iter().filter(|r| !r.cached).count()
+}
+
+fn best_speedup(o: &TuningOutcome) -> f64 {
+    o.search
+        .best
+        .as_ref()
+        .map(|b| b.outcome.speedup)
+        .unwrap_or(f64::NAN)
+}
+
+/// Grouped vs variable dd on the funarc motivating example. At the spec's
+/// 4e-4 threshold the all-lowered fast-path probe passes and both modes
+/// stop after one trial, so the threshold is tightened until lowering
+/// everything fails and dd has to isolate the sensitive accumulators —
+/// which sit in a congruence class scattered across `funarc` and `fun`
+/// (`t1 = fun(...)` chains `fun`'s result into the caller), exactly the
+/// shape contiguous-partition dd splits badly.
+#[test]
+fn grouped_dd_prunes_funarc_with_an_equally_good_result() {
+    let mut spec = funarc::funarc(ModelSize::Small);
+    spec.error_threshold = 5.0e-8;
+    let m = spec.load().unwrap();
+
+    let var = run(
+        &m,
+        PerfScope::WholeModel,
+        SearchGranularity::Variable,
+        "fa-var",
+    );
+    let grp = run(
+        &m,
+        PerfScope::WholeModel,
+        SearchGranularity::Grouped,
+        "fa-grp",
+    );
+
+    assert!(
+        uncached(&grp.records) < uncached(&var.records),
+        "grouped dd must evaluate strictly fewer uncached trials \
+         (grouped {}, variable {})",
+        uncached(&grp.records),
+        uncached(&var.records)
+    );
+    // Equally good: both verdicts agree and the grouped speedup is within
+    // the search's own monotone-bar slack of the variable-granular one.
+    assert_eq!(
+        grp.outcome.search.best.is_some(),
+        var.outcome.search.best.is_some()
+    );
+    assert!(
+        best_speedup(&grp.outcome) >= 0.995 * best_speedup(&var.outcome),
+        "grouped best {} vs variable best {}",
+        best_speedup(&grp.outcome),
+        best_speedup(&var.outcome)
+    );
+
+    // Every record is stamped with the granularity its writer ran at.
+    assert!(var
+        .records
+        .iter()
+        .all(|r| r.search_granularity == "variable"));
+    assert!(grp
+        .records
+        .iter()
+        .all(|r| r.search_granularity == "grouped"));
+}
+
+/// The same comparison on the MPAS-A dycore miniature at its shipped
+/// hotspot configuration: ~47 atoms across five work procedures, where
+/// argument-binding congruence classes cut across declaration order.
+#[test]
+fn grouped_dd_prunes_mpas_with_an_equally_good_result() {
+    let m = mpas::mpas_a(ModelSize::Small).load().unwrap();
+
+    let var = run(
+        &m,
+        PerfScope::Hotspot,
+        SearchGranularity::Variable,
+        "mp-var",
+    );
+    let grp = run(&m, PerfScope::Hotspot, SearchGranularity::Grouped, "mp-grp");
+
+    assert!(
+        uncached(&grp.records) < uncached(&var.records),
+        "grouped dd must evaluate strictly fewer uncached trials \
+         (grouped {}, variable {})",
+        uncached(&grp.records),
+        uncached(&var.records)
+    );
+    assert_eq!(
+        grp.outcome.search.best.is_some(),
+        var.outcome.search.best.is_some()
+    );
+    assert!(
+        best_speedup(&grp.outcome) >= 0.995 * best_speedup(&var.outcome),
+        "grouped best {} vs variable best {}",
+        best_speedup(&grp.outcome),
+        best_speedup(&var.outcome)
+    );
+    assert!(grp
+        .records
+        .iter()
+        .all(|r| r.search_granularity == "grouped"));
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the static-analysis layer against the bundled
+//! mini-models: the numerical-hazard lints must flag the guardrail's two
+//! planted traps at their exact `proc:line` sites, and the dependence
+//! graph's congruence classes must match the models' copy-chain structure.
+
+use prose::analysis::{run_lints, DepGraph, LintKind};
+use prose::fortran::ast::FpPrecision;
+use prose::fortran::PrecisionMap;
+use prose::models::{funarc, guardrail, ModelSize};
+
+/// The guardrail's planted traps, found statically. The dynamic shadow
+/// machinery (PR-4) catches these at run time; the lint suite flags the
+/// same sites without running anything, under the all-lowered candidate
+/// map the tuner would probe first.
+#[test]
+fn lints_flag_both_planted_guardrail_traps() {
+    let m = guardrail::guardrail_smoke(ModelSize::Small).load().unwrap();
+    let map = PrecisionMap::uniform(&m.index, &m.atoms, FpPrecision::Single);
+    let lints = run_lints(&m.program, &m.index, &map);
+
+    // Trap 1: `canc = (1.0d0 + eps) - 1.0d0` — catastrophic cancellation.
+    assert!(
+        lints
+            .iter()
+            .any(|l| l.kind == LintKind::CancellationCandidate && l.site == "kernel:41"),
+        "cancellation trap not flagged at kernel:41: {lints:#?}"
+    );
+    // Trap 2: `q = q + 1.0d0` on top of a 2^24 seed — f32 absorption.
+    assert!(
+        lints.iter().any(|l| l.kind == LintKind::AbsorptionRisk
+            && l.site == "kernel:46"
+            && l.variable.as_deref() == Some("q")),
+        "absorption trap not flagged at kernel:46: {lints:#?}"
+    );
+}
+
+/// Lints are keyed by `proc:line`, the same site space the shadow
+/// machinery's cancellation provenance uses, so reports can join them.
+#[test]
+fn lint_sites_use_proc_line_keys() {
+    let m = guardrail::guardrail_smoke(ModelSize::Small).load().unwrap();
+    let map = PrecisionMap::uniform(&m.index, &m.atoms, FpPrecision::Single);
+    for l in run_lints(&m.program, &m.index, &map) {
+        assert_eq!(l.site, format!("{}:{}", l.proc, l.line));
+        assert!(l.line > 0);
+    }
+}
+
+/// funarc's congruence classes: `t1 = fun(i * h)` chains `fun`'s result
+/// variable into the caller's `t1`, and `t2 = fun(...)` rides the same
+/// class, so the scattered {funarc::t1, funarc::t2, fun::x, fun::t1}
+/// quadruple must land in one class — the structure the grouped search
+/// exploits on this model.
+#[test]
+fn funarc_congruence_classes_chain_across_the_call() {
+    let m = funarc::funarc(ModelSize::Small).load().unwrap();
+    let dep = DepGraph::build(&m.program, &m.index);
+    let groups = dep.atom_groups(&m.atoms);
+    assert_eq!(
+        groups.iter().map(Vec::len).sum::<usize>(),
+        m.atoms.len(),
+        "groups partition the atoms"
+    );
+    let name = |i: usize| m.index.fp_var_path(m.atoms[i]);
+    let quad = groups
+        .iter()
+        .find(|g| g.iter().any(|&i| name(i).ends_with("funarc::t1")))
+        .expect("t1's class exists");
+    let names: Vec<String> = quad.iter().map(|&i| name(i)).collect();
+    for expect in ["funarc::t1", "funarc::t2", "fun::x", "fun::t1"] {
+        assert!(
+            names.iter().any(|n| n.ends_with(expect)),
+            "{expect} missing from {names:?}"
+        );
+    }
+}
+
+/// The guardrail's copy chains: `canc` is computed from `eps` alone and
+/// `acc` from `q` alone, so {eps, canc} and {q, acc} group while the
+/// independent accumulators `s` and `x` stay singletons.
+#[test]
+fn guardrail_congruence_classes_match_the_copy_chains() {
+    let m = guardrail::guardrail_smoke(ModelSize::Small).load().unwrap();
+    let dep = DepGraph::build(&m.program, &m.index);
+    let groups = dep.atom_groups(&m.atoms);
+    let name = |i: usize| m.index.fp_var(m.atoms[i]).name.clone();
+    let as_names: Vec<Vec<String>> = groups
+        .iter()
+        .map(|g| g.iter().map(|&i| name(i)).collect())
+        .collect();
+    let has = |members: &[&str]| {
+        as_names
+            .iter()
+            .any(|g| g.len() == members.len() && members.iter().all(|m| g.iter().any(|n| n == m)))
+    };
+    assert!(has(&["eps", "canc"]), "groups: {as_names:?}");
+    assert!(has(&["q", "acc"]), "groups: {as_names:?}");
+    assert!(has(&["s"]), "groups: {as_names:?}");
+    assert!(has(&["x"]), "groups: {as_names:?}");
+}
