@@ -1,0 +1,139 @@
+//! Parallel-evaluation scaling curve: the mpas_a hotspot search end to
+//! end at worker-pool widths 1/2/4/8, written to
+//! `results/BENCH_parallel_scaling.json`.
+//!
+//! Each width runs the *same* deterministic search from a cold start (no
+//! journal, no shared cache), so wall-clock differences are purely the
+//! worker pool's doing. The run asserts the parallel invariant along the
+//! way: every width must produce the identical final configuration and
+//! trial count. Speedups are measured against the 1-worker run on this
+//! host; `host_cpus` is recorded so a single-core container's flat curve
+//! is legible as such rather than as a regression.
+//!
+//! ```text
+//! parallel-scaling [--workers-list 1,2,4,8] [--out results/BENCH_parallel_scaling.json]
+//! ```
+
+use prose_bench::{bench_size, results_dir, search_scope};
+use prose_core::tuner::{tune, TuningTask};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WidthSample {
+    workers: usize,
+    wall_seconds: f64,
+    /// Wall-clock speedup vs the 1-worker run of this invocation.
+    speedup_vs_serial: f64,
+    trials: usize,
+    final_config: Vec<bool>,
+}
+
+#[derive(Serialize)]
+struct ScalingDoc {
+    bench: &'static str,
+    description: &'static str,
+    model: &'static str,
+    /// Logical CPUs visible to this process — scaling beyond this count
+    /// cannot appear in wall clock no matter how wide the pool is.
+    host_cpus: usize,
+    samples: Vec<WidthSample>,
+    /// Highest wall-clock speedup across the sampled widths.
+    best_speedup: f64,
+    /// All widths produced byte-identical final configurations.
+    deterministic: bool,
+}
+
+fn run_width(workers: usize) -> (f64, prose_core::tuner::TuningOutcome) {
+    let spec = prose_models::mpas::mpas_a(bench_size());
+    let model = spec.load().expect("model loads");
+    let mut task: TuningTask = model.task(search_scope(), 20_240_417).expect("task builds");
+    // Cold start: no journal — each width pays the full evaluation cost.
+    task.journal = None;
+    task.workers = workers;
+    let t0 = std::time::Instant::now();
+    let outcome = tune(&task).expect("baseline runs");
+    (t0.elapsed().as_secs_f64(), outcome)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let arg = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let widths: Vec<usize> = arg("--workers-list")
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .map(|w| w.trim().parse().expect("--workers-list takes integers"))
+        .collect();
+    let out = arg("--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BENCH_parallel_scaling.json"));
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("[prose-bench] parallel scaling on {host_cpus} host cpu(s), widths {widths:?}");
+
+    let mut samples: Vec<WidthSample> = Vec::new();
+    let mut serial_wall = None;
+    let mut reference_config: Option<Vec<bool>> = None;
+    let mut deterministic = true;
+    for &w in &widths {
+        eprintln!("[prose-bench]   mpas_a hotspot search, {w} worker(s)...");
+        let (wall, outcome) = run_width(w);
+        let serial = *serial_wall.get_or_insert(wall);
+        match &reference_config {
+            None => reference_config = Some(outcome.search.final_config.clone()),
+            Some(r) if *r != outcome.search.final_config => {
+                deterministic = false;
+                eprintln!(
+                    "[prose-bench]   DETERMINISM VIOLATION: {w}-worker final config diverges"
+                );
+            }
+            Some(_) => {}
+        }
+        eprintln!(
+            "[prose-bench]   {w} worker(s): {wall:.2}s wall, {} trials, {:.2}x vs serial",
+            outcome.search.trace.len(),
+            serial / wall
+        );
+        samples.push(WidthSample {
+            workers: w,
+            wall_seconds: wall,
+            speedup_vs_serial: serial / wall,
+            trials: outcome.search.trace.len(),
+            final_config: outcome.search.final_config,
+        });
+    }
+
+    let best_speedup = samples
+        .iter()
+        .map(|s| s.speedup_vs_serial)
+        .fold(0.0, f64::max);
+    let doc = ScalingDoc {
+        bench: "parallel_scaling",
+        description: "End-to-end mpas_a hotspot delta-debugging search at increasing \
+                      worker-pool widths, cold start per width. Speedups are wall-clock \
+                      vs the 1-worker run on this host; widths beyond host_cpus cannot \
+                      improve wall clock.",
+        model: "mpas_a",
+        host_cpus,
+        samples,
+        best_speedup,
+        deterministic,
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out, text + "\n").expect("write scaling doc");
+    println!(
+        "wrote {}: best {best_speedup:.2}x across widths {widths:?} on {host_cpus} cpu(s){}",
+        out.display(),
+        if deterministic {
+            ""
+        } else {
+            " [DETERMINISM VIOLATION]"
+        }
+    );
+    assert!(deterministic, "worker count changed the search result");
+}

@@ -82,6 +82,7 @@ fn run_search(
     task.journal = Some(results_dir().join(format!("trials_{name}.jsonl")));
     task.variant_path = crate::variant_path();
     task.crosscheck = crate::crosscheck();
+    task.workers = crate::workers();
     let t0 = std::time::Instant::now();
     let outcome = tune(&task).expect("baseline runs");
     let wall = t0.elapsed().as_secs_f64();

@@ -87,6 +87,17 @@ pub fn crosscheck() -> usize {
         .unwrap_or(1)
 }
 
+/// Worker-pool width for every harness search: `--workers N` on any
+/// binary's command line, or the `PROSE_WORKERS` environment variable
+/// (default 1 = serial). Results are identical at any width; only wall
+/// clock changes.
+pub fn workers() -> usize {
+    cli_or_env("--workers", "PROSE_WORKERS")
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 fn cli_or_env(flag: &str, var: &str) -> Option<String> {
     let argv: Vec<String> = std::env::args().collect();
     argv.iter()

@@ -219,6 +219,7 @@ fn member_task(
         shadow_budget: task.shadow_budget,
         granularity: task.granularity,
         member: Some(member),
+        workers: task.workers,
     })
 }
 
@@ -255,8 +256,12 @@ pub fn validate_ensemble(
     for m in 1..=params.members {
         let mtask = member_task(task, m, params)?;
         let eval = DynamicEvaluator::new(&mtask).map_err(EnsembleError::Run)?;
-        for cand in &mut candidates {
-            let record = eval.eval_one(&cand.config);
+        // One batch per member: candidate evaluations ride the same worker
+        // pool as search probes, and come back (and are journaled) in
+        // candidate order regardless of worker count.
+        let configs: Vec<Config> = candidates.iter().map(|c| c.config.clone()).collect();
+        let records = eval.eval_batch_records(&configs);
+        for (cand, record) in candidates.iter_mut().zip(records) {
             cand.validated &= record.outcome.status == Status::Pass;
             cand.members.push(MemberResult { member: m, record });
         }

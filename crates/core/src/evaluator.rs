@@ -1,9 +1,30 @@
 //! The dynamic-evaluation half of the Figure-1 cycle: transform → run →
 //! measure, for one tuning task.
 //!
-//! Implements [`prose_search::Evaluator`]; batches are evaluated in
-//! parallel with rayon, standing in for the paper's one-Derecho-node-per-
-//! variant parallelism.
+//! Implements [`prose_search::Evaluator`]; batches are evaluated on a
+//! scoped-thread worker pool ([`TuningTask::workers`]), standing in for
+//! the paper's one-Derecho-node-per-variant parallelism.
+//!
+//! ## Determinism under parallelism
+//!
+//! Worker count must never change results. Three invariants make a
+//! parallel run byte-equivalent to a serial one (up to wall-clock and
+//! worker-provenance fields):
+//!
+//! 1. **Stable reduction order** — batch results land in index-ordered
+//!    slots, so the search applies outcomes in submission order no matter
+//!    which worker finished first. Worker panics are captured per slot
+//!    and re-raised in batch order.
+//! 2. **Single-flight memo** — the config cache carries an in-flight set
+//!    guarded by the same lock; concurrent requests for one configuration
+//!    wait for the first evaluation instead of repeating it, so every
+//!    configuration runs the interpreter at most once per journal.
+//! 3. **Deferred journal writes** — workers only *record* trials; the
+//!    submitting thread appends them through the single journal writer in
+//!    batch index order, so sequence numbers and record order in the file
+//!    are identical at any worker count. Per-trial fault plans are keyed
+//!    by a hash of the configuration ([`prose_faults::config_hash`]), not
+//!    by evaluation arrival order.
 //!
 //! ## Memoization and the trial journal
 //!
@@ -18,7 +39,6 @@
 
 use crate::speedup::{speedup, NoiseModel};
 use crate::tuner::{PerfScope, TuningTask, VariantPath};
-use parking_lot::Mutex;
 use prose_analysis::flow::FpFlowGraph;
 use prose_fortran::ast::Procedure;
 use prose_fortran::precision::PrecisionMap;
@@ -30,11 +50,11 @@ use prose_interp::{
 use prose_search::{Config, Outcome, Status};
 use prose_trace::{Counters, Journal, ShadowTrial, StageClock, TrialRecord};
 use prose_transform::{make_variant, VariantPlan, VariantTemplate};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Why a variant evaluation failed, one level finer than [`Status`].
@@ -272,6 +292,47 @@ fn shadow_demotion_detail(rep: &ShadowReport, budget: f64) -> String {
     format!("shadow guardrail: {}", parts.join("; "))
 }
 
+/// Config-keyed memoization state. The in-flight set lives under the same
+/// lock as the map so a membership check and an insertion are atomic:
+/// concurrent workers asking for the same configuration elect exactly one
+/// evaluator, and the rest wait on [`DynamicEvaluator::memo_cv`].
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<Config, VariantRecord>,
+    inflight: HashSet<Config>,
+}
+
+/// Per-trial bookkeeping produced alongside a [`VariantRecord`] and
+/// consumed by the (possibly deferred) journal append.
+struct TrialMeta {
+    cached: bool,
+    /// Wall time of *this evaluation*, measured when it completed — not
+    /// when its journal record is appended, so batch queueing never skews
+    /// the number.
+    wall_ms: f64,
+    clock: StageClock,
+    counters: Counters,
+    /// Pool worker that ran the trial (`None`: submitting thread).
+    worker: Option<u32>,
+}
+
+/// Removes the in-flight marker for a configuration even when the
+/// evaluation unwinds, so waiters blocked on the single-flight condvar are
+/// released instead of deadlocking under a propagating panic.
+struct InflightGuard<'a, 'b> {
+    eval: &'a DynamicEvaluator<'b>,
+    config: &'a Config,
+}
+
+impl Drop for InflightGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut memo = self.eval.memo.lock().unwrap();
+        memo.inflight.remove(self.config);
+        drop(memo);
+        self.eval.memo_cv.notify_all();
+    }
+}
+
 /// Baseline measurements shared by every variant evaluation.
 #[derive(Debug)]
 pub struct Baseline {
@@ -308,8 +369,11 @@ pub struct DynamicEvaluator<'a> {
     /// All evaluated variants, in evaluation order.
     records: Mutex<Vec<VariantRecord>>,
     /// Config-keyed memoization: every measured configuration, including
-    /// outcomes replayed from a preloaded journal.
-    cache: Mutex<HashMap<Config, VariantRecord>>,
+    /// outcomes replayed from a preloaded journal, plus the in-flight set
+    /// backing the single-flight election.
+    memo: Mutex<MemoState>,
+    /// Signalled whenever an in-flight evaluation completes (or unwinds).
+    memo_cv: Condvar,
     /// Aggregate observability counters (cache hits/misses, interpreter op
     /// totals).
     counters: Mutex<Counters>,
@@ -332,6 +396,12 @@ pub struct DynamicEvaluator<'a> {
     /// Journal records appended this process (drives the fault harness's
     /// `kill-after` mid-run abort).
     journal_appends: AtomicU64,
+    /// Evaluation-round ordinal: one per [`eval_one`] call or
+    /// [`Evaluator::evaluate_batch`] submission. Deterministic across
+    /// worker counts (it counts submissions, not completions) and stamped
+    /// into every trial record so `prose-report` can reconstruct
+    /// wall-clock-per-round.
+    batch_seq: AtomicU64,
 }
 
 impl<'a> DynamicEvaluator<'a> {
@@ -444,7 +514,11 @@ impl<'a> DynamicEvaluator<'a> {
             noise,
             proc_vars,
             records: Mutex::new(Vec::new()),
-            cache: Mutex::new(cache),
+            memo: Mutex::new(MemoState {
+                map: cache,
+                inflight: HashSet::new(),
+            }),
+            memo_cv: Condvar::new(),
             counters: Mutex::new(counters),
             journal,
             seq: AtomicU64::new(seq),
@@ -452,6 +526,7 @@ impl<'a> DynamicEvaluator<'a> {
             crosschecks_left: AtomicU64::new(task.crosscheck as u64),
             fast_disabled: AtomicBool::new(false),
             journal_appends: AtomicU64::new(0),
+            batch_seq: AtomicU64::new(0),
         })
     }
 
@@ -466,12 +541,17 @@ impl<'a> DynamicEvaluator<'a> {
 
     /// Consume the evaluator, returning every variant record.
     pub fn into_records(self) -> Vec<VariantRecord> {
-        self.records.into_inner()
+        self.records.into_inner().unwrap()
     }
 
     /// Snapshot of the aggregate observability counters.
     pub fn metrics(&self) -> Counters {
-        self.counters.lock().clone()
+        self.counters.lock().unwrap().clone()
+    }
+
+    /// Effective worker-pool width for batch evaluation.
+    pub fn workers(&self) -> usize {
+        self.task.workers.max(1)
     }
 
     /// Map a search configuration to a precision assignment over the task's
@@ -499,54 +579,152 @@ impl<'a> DynamicEvaluator<'a> {
     /// Answer one configuration, consulting the memoization cache first.
     /// Cache hits never touch the interpreter; every request — hit or
     /// miss — is appended to the trial journal when one is configured.
-    /// Called in parallel from batches.
     pub fn eval_one(&self, lowered: &Config) -> VariantRecord {
+        let batch = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let (rec, meta) = self.eval_record(lowered, None);
+        self.journal_append(&rec, &meta, batch);
+        rec
+    }
+
+    /// Measure one configuration without journaling it: the memoized (or
+    /// freshly evaluated) record plus the bookkeeping a journal append
+    /// needs. Safe to call from pool workers; the single-flight election
+    /// guarantees the interpreter runs at most once per configuration even
+    /// when several workers ask concurrently.
+    fn eval_record(&self, lowered: &Config, worker: Option<u32>) -> (VariantRecord, TrialMeta) {
         let t0 = Instant::now();
-        if let Some(hit) = self.cache.lock().get(lowered).cloned() {
-            self.counters.lock().bump("cache_hits", 1);
-            self.journal_append(&hit, true, t0, &StageClock::new(), Counters::new());
-            return hit;
+        {
+            let mut memo = self.memo.lock().unwrap();
+            loop {
+                if let Some(hit) = memo.map.get(lowered) {
+                    let hit = hit.clone();
+                    drop(memo);
+                    self.counters.lock().unwrap().bump("cache_hits", 1);
+                    let meta = TrialMeta {
+                        cached: true,
+                        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        clock: StageClock::new(),
+                        counters: Counters::new(),
+                        worker,
+                    };
+                    return (hit, meta);
+                }
+                if !memo.inflight.contains(lowered) {
+                    memo.inflight.insert(lowered.clone());
+                    break;
+                }
+                // Another worker is evaluating this exact configuration:
+                // wait for it rather than duplicating interpreter work.
+                self.counters.lock().unwrap().bump("singleflight_waits", 1);
+                memo = self.memo_cv.wait(memo).unwrap();
+            }
         }
+        let guard = InflightGuard {
+            eval: self,
+            config: lowered,
+        };
         let mut clock = StageClock::new();
         let mut trial_counters = Counters::new();
         let rec = self.eval_uncached(lowered, &mut clock, &mut trial_counters);
         {
-            let mut agg = self.counters.lock();
+            let mut agg = self.counters.lock().unwrap();
             agg.bump("cache_misses", 1);
             agg.merge(&trial_counters);
         }
-        self.cache.lock().insert(lowered.clone(), rec.clone());
-        self.journal_append(&rec, false, t0, &clock, trial_counters);
-        rec
+        self.memo
+            .lock()
+            .unwrap()
+            .map
+            .insert(lowered.clone(), rec.clone());
+        drop(guard); // releases the in-flight marker and wakes waiters
+        let meta = TrialMeta {
+            cached: false,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            clock,
+            counters: trial_counters,
+            worker,
+        };
+        (rec, meta)
+    }
+
+    /// Evaluate a batch on the worker pool and return the records in batch
+    /// index order, with journal appends performed afterwards — also in
+    /// batch index order — on the calling thread. This is what makes the
+    /// journal byte-stable across worker counts. A panic escaping any
+    /// trial (only [`StrictDesync`] and [`prose_faults::InjectedKill`]
+    /// escape containment) is re-raised here in batch index order with its
+    /// payload intact.
+    pub fn eval_batch_records(&self, batch: &[Config]) -> Vec<VariantRecord> {
+        type Slot = Option<std::thread::Result<(VariantRecord, TrialMeta)>>;
+        let batch_id = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let workers = self.workers().min(batch.len()).max(1);
+        let mut slots: Vec<std::thread::Result<(VariantRecord, TrialMeta)>> = if workers <= 1 {
+            batch
+                .iter()
+                .map(|cfg| catch_unwind(AssertUnwindSafe(|| self.eval_record(cfg, None))))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let cells: Vec<Mutex<Slot>> = batch.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let next = &next;
+                    let cells = &cells;
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cfg) = batch.get(i) else { break };
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            self.eval_record(cfg, Some(w as u32))
+                        }));
+                        *cells[i].lock().unwrap() = Some(out);
+                    });
+                }
+            });
+            cells
+                .into_iter()
+                .map(|c| {
+                    c.into_inner()
+                        .unwrap()
+                        .expect("worker filled every claimed slot")
+                })
+                .collect()
+        };
+        // Reduce in submission order: journal appends (and any re-raised
+        // panic) happen exactly where a serial run would place them.
+        let mut recs = Vec::with_capacity(slots.len());
+        for slot in slots.drain(..) {
+            match slot {
+                Ok((rec, meta)) => {
+                    self.journal_append(&rec, &meta, batch_id);
+                    recs.push(rec);
+                }
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        recs
     }
 
     /// Append one request to the trial journal (no-op without a journal).
-    fn journal_append(
-        &self,
-        rec: &VariantRecord,
-        cached: bool,
-        t0: Instant,
-        clock: &StageClock,
-        counters: Counters,
-    ) {
+    fn journal_append(&self, rec: &VariantRecord, meta: &TrialMeta, batch: u64) {
         let Some(journal) = &self.journal else { return };
         // The sequence number is taken under the journal lock so records
-        // land in the file in sequence order even under rayon parallelism.
-        let mut j = journal.lock();
+        // land in the file in sequence order; batch appends additionally
+        // arrive pre-ordered by the submission-order reduction.
+        let mut j = journal.lock().unwrap();
         let tr = TrialRecord {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             config: rec.config.clone(),
             status: status_name(rec.outcome.status).to_string(),
             speedup: rec.outcome.speedup,
             error: rec.outcome.error,
-            cached,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            cached: meta.cached,
+            wall_ms: meta.wall_ms,
             fraction_single: rec.fraction_single,
             wrappers: rec.wrappers.len() as u64,
             total_cycles: rec.total_cycles,
             hotspot_cycles: rec.hotspot_cycles,
-            stages: clock.stages().clone(),
-            counters,
+            stages: meta.clock.stages().clone(),
+            counters: meta.counters.clone(),
             variant_path: self.variant_path_name().to_string(),
             failure_kind: rec.failure.map(|f| f.name().to_string()),
             fault_kind: rec.fault_kind.clone(),
@@ -554,11 +732,14 @@ impl<'a> DynamicEvaluator<'a> {
             shadow: rec.shadow.clone(),
             member: self.task.member,
             search_granularity: self.task.granularity.name().to_string(),
+            workers: self.workers() as u64,
+            worker: meta.worker,
+            batch: Some(batch),
         };
         if let Err(e) = j.append(&tr) {
             // A journal failure cannot itself be journaled; it surfaces as
             // a counter and a warning instead of killing the search.
-            self.counters.lock().bump("journal_errors", 1);
+            self.counters.lock().unwrap().bump("journal_errors", 1);
             eprintln!(
                 "[prose] trial journal write failed ({}): {e}",
                 FailureKind::JournalError.name()
@@ -569,6 +750,9 @@ impl<'a> DynamicEvaluator<'a> {
         // Fault harness kill switch: simulate the process dying mid-run
         // right after the k-th append. Raised as an uncontained panic so it
         // tears down the whole search exactly where a real crash would.
+        // Appends are always performed on the submitting thread (batch
+        // reduction is deferred), so the kill tears down the search rather
+        // than a worker.
         if let Some(k) = self.task.faults.as_ref().and_then(|f| f.kill_after) {
             if appended >= k {
                 std::panic::panic_any(prose_faults::InjectedKill { appended });
@@ -594,12 +778,15 @@ impl<'a> DynamicEvaluator<'a> {
         trial_counters: &mut Counters,
     ) -> VariantRecord {
         let vid = Self::variant_id(lowered);
+        // Fault plans are keyed by the configuration's own hash, never by
+        // arrival order, so a parallel run injects exactly the faults a
+        // serial run would.
         let plan = self
             .task
             .faults
             .as_ref()
             .filter(|f| f.is_active())
-            .map(|f| f.plan(vid));
+            .map(|f| f.plan_for_config(lowered));
         if plan.as_ref().is_some_and(|p| p.kind_name().is_some()) {
             trial_counters.bump("faults_injected", 1);
         }
@@ -1170,16 +1357,17 @@ impl<'a> prose_search::Evaluator for DynamicEvaluator<'a> {
     fn evaluate(&mut self, lowered: &Config) -> Outcome {
         let rec = self.eval_one(lowered);
         let outcome = rec.outcome;
-        self.records.lock().push(rec);
+        self.records.lock().unwrap().push(rec);
         outcome
     }
 
     fn evaluate_batch(&mut self, batch: &[Config]) -> Vec<Outcome> {
-        // One logical "node" per variant: rayon parallelism substitutes the
-        // paper's PBS fan-out.
-        let recs: Vec<VariantRecord> = batch.par_iter().map(|cfg| self.eval_one(cfg)).collect();
+        // One logical "node" per variant: the scoped-thread worker pool
+        // substitutes the paper's PBS fan-out. Results come back (and are
+        // journaled) in batch index order regardless of worker count.
+        let recs = self.eval_batch_records(batch);
         let outcomes = recs.iter().map(|r| r.outcome).collect();
-        self.records.lock().extend(recs);
+        self.records.lock().unwrap().extend(recs);
         outcomes
     }
 

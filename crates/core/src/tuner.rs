@@ -164,6 +164,11 @@ pub struct TuningTask {
     /// Atom granularity for the delta-debugging search: per-variable (the
     /// default) or per congruence class with frontier refinement.
     pub granularity: SearchGranularity,
+    /// Worker-pool width for batch evaluation (the paper's
+    /// one-PBS-node-per-variant fan-out). `1` (the default) evaluates
+    /// serially on the submitting thread; results, journals, and the
+    /// final configuration are identical at any width.
+    pub workers: usize,
 }
 
 /// The result of one tuning experiment.
@@ -387,6 +392,18 @@ impl LoadedModel {
             shadow_budget: None,
             member: None,
             granularity: SearchGranularity::default(),
+            workers: default_workers(),
         })
     }
+}
+
+/// Worker-pool width when none is requested explicitly: the
+/// `PROSE_WORKERS` environment variable when set to a positive integer,
+/// else 1 (serial). CLI `--workers` flags override this.
+pub fn default_workers() -> usize {
+    std::env::var("PROSE_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }

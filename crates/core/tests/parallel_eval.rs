@@ -1,0 +1,239 @@
+//! Parallel-evaluation invariants: the worker pool must be a pure
+//! wall-clock optimization. These tests pin the two guarantees the
+//! `parallel-smoke` CI job relies on — (1) a grouped delta-debugging
+//! tune produces byte-identical journals at any worker count once the
+//! scheduling-dependent fields are normalized, and (2) the shared memo
+//! and journal writer survive concurrent hammering without lost,
+//! duplicated, or torn records.
+
+use prose_core::tuner::{tune, ModelSpec, PerfScope, SearchGranularity, TuningTask};
+use prose_core::{metrics::CorrectnessMetric, DynamicEvaluator};
+use prose_trace::{Journal, TrialRecord};
+use std::path::PathBuf;
+
+/// A funarc-style model, shrunk so delta debugging finishes in
+/// milliseconds: 6 search atoms, 60 integration steps.
+const SRC: &str = r#"
+module arc_mod
+contains
+  function fun(x) result(t1)
+    real(kind=8) :: x, t1, d1
+    integer :: k
+    d1 = 1.0d0
+    t1 = x
+    do k = 1, 4
+      d1 = 2.0d0 * d1
+      t1 = t1 + sin(d1 * x) / d1
+    end do
+  end function fun
+
+  subroutine arc(result, n)
+    real(kind=8) :: result
+    integer :: n
+    real(kind=8) :: s1, h, t1, t2
+    integer :: i
+    s1 = 0.0d0
+    t1 = 0.0d0
+    h = 3.141592653589793d0 / n
+    do i = 1, n
+      t2 = fun(i * h)
+      s1 = s1 + sqrt(h * h + (t2 - t1) * (t2 - t1))
+      t1 = t2
+    end do
+    result = s1
+  end subroutine arc
+end module arc_mod
+
+program main
+  use arc_mod, only: arc
+  implicit none
+  real(kind=8) :: result
+  result = 0.0d0
+  call arc(result, 60)
+  call prose_record('result', result)
+end program main
+"#;
+
+fn spec() -> ModelSpec {
+    ModelSpec {
+        name: "arc_parallel".into(),
+        source: SRC.into(),
+        hotspot_module: "arc_mod".into(),
+        target_procs: vec!["arc".into(), "fun".into()],
+        metric: CorrectnessMetric::ScalarSeriesL2 {
+            key: "result".into(),
+        },
+        error_threshold: 4.0e-4,
+        n_runs: 1,
+        noise_rsd: 0.0,
+        exclude: vec!["result".into()],
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("prose_parallel_{tag}_{}.jsonl", std::process::id()))
+}
+
+/// Strip the fields that legitimately vary with scheduling: wall clock,
+/// per-stage timings, the pool-width stamp, and worker provenance.
+/// Everything else — seq, config, outcome, cache status, batch ordinal,
+/// fault seed — must be byte-identical across worker counts.
+fn normalized(mut r: TrialRecord) -> TrialRecord {
+    r.wall_ms = 0.0;
+    r.stages.clear();
+    r.workers = 0;
+    r.worker = None;
+    r
+}
+
+fn grouped_task(workers: usize, journal: PathBuf) -> TuningTask {
+    let model = spec().load().unwrap();
+    let mut task = model.task(PerfScope::Hotspot, 7).unwrap();
+    task.granularity = SearchGranularity::Grouped;
+    task.journal = Some(journal);
+    task.workers = workers;
+    // Exercise the full pipeline the CI smoke gate runs: deterministic
+    // fault injection plus the retry band's escalating re-measurements.
+    task.faults = Some(prose_faults::FaultConfig {
+        nan: 0.05,
+        timeout: 0.05,
+        abort: 0.0,
+        jitter: 0.02,
+        seed: 11,
+        kill_after: None,
+    });
+    task.retry_band = 0.05;
+    task.retry_max_runs = 4;
+    task
+}
+
+/// The differential gate: a grouped delta-debugging tune at 1 worker and
+/// at 8 workers must produce the same final configuration, the same best
+/// outcome, and journals whose records match exactly after normalizing
+/// the scheduling-dependent fields.
+#[test]
+fn grouped_dd_serial_vs_eight_workers_journals_match() {
+    let path1 = temp_journal("serial");
+    let path8 = temp_journal("eight");
+    let _ = std::fs::remove_file(&path1);
+    let _ = std::fs::remove_file(&path8);
+
+    let serial = tune(&grouped_task(1, path1.clone())).unwrap();
+    let pooled = tune(&grouped_task(8, path8.clone())).unwrap();
+
+    assert_eq!(serial.search.final_config, pooled.search.final_config);
+    assert_eq!(
+        serial.search.best.as_ref().map(|b| b.outcome),
+        pooled.search.best.as_ref().map(|b| b.outcome)
+    );
+    assert_eq!(
+        serial.search.trace.len(),
+        pooled.search.trace.len(),
+        "worker pool must not change how many trials the search makes"
+    );
+    assert_eq!(
+        serial.metrics.get("cache_misses"),
+        pooled.metrics.get("cache_misses"),
+        "worker pool must not change how many interpreter runs happen"
+    );
+
+    let rec1 = Journal::load(&path1).unwrap();
+    let rec8 = Journal::load(&path8).unwrap();
+    assert_eq!(rec1.len(), rec8.len());
+    for (a, b) in rec1.into_iter().zip(rec8) {
+        // Sanity that the width really was stamped before normalization.
+        assert_eq!(a.workers, 1);
+        assert_eq!(b.workers, 8);
+        assert_eq!(normalized(a), normalized(b));
+    }
+
+    let _ = std::fs::remove_file(&path1);
+    let _ = std::fs::remove_file(&path8);
+}
+
+/// Concurrency stress: many threads issue overlapping `eval_one` requests
+/// against one evaluator. Single-flight election must keep the
+/// interpreter-run count at exactly one per unique configuration, every
+/// thread must observe the same outcome per configuration, and the
+/// journal must hold one intact record per request with no torn lines.
+#[test]
+fn concurrent_memo_and_journal_survive_hammering() {
+    const THREADS: usize = 8;
+    let path = temp_journal("stress");
+    let _ = std::fs::remove_file(&path);
+
+    let model = spec().load().unwrap();
+    let mut task = model.task(PerfScope::Hotspot, 7).unwrap();
+    task.journal = Some(path.clone());
+    let eval = DynamicEvaluator::new(&task).unwrap();
+
+    // Every subset of the first 4 atoms, padded to full width: 16 unique
+    // configurations, each requested once per thread in a per-thread
+    // order, so threads collide on the memo constantly.
+    let n = task.atoms.len();
+    let configs: Vec<Vec<bool>> = (0u32..16)
+        .map(|bits| (0..n).map(|i| i < 4 && (bits >> i) & 1 == 1).collect())
+        .collect();
+
+    let per_thread: Vec<Vec<prose_core::evaluator::VariantRecord>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let eval = &eval;
+                let configs = &configs;
+                scope.spawn(move || {
+                    (0..configs.len())
+                        .map(|i| eval.eval_one(&configs[(i + t * 5) % configs.len()]))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Memo consistency: all threads agree on every configuration's outcome.
+    let reference: std::collections::HashMap<Vec<bool>, _> = per_thread[0]
+        .iter()
+        .map(|r| (r.config.clone(), r.outcome))
+        .collect();
+    assert_eq!(reference.len(), configs.len());
+    for thread_records in &per_thread {
+        for r in thread_records {
+            assert_eq!(reference[&r.config], r.outcome, "memo served torn outcome");
+        }
+    }
+
+    // Single-flight: exactly one interpreter run per unique configuration,
+    // no lost and no duplicated memo entries.
+    let m = eval.metrics();
+    assert_eq!(m.get("cache_misses"), configs.len() as u64);
+    // Every request resolves as exactly one hit or one miss; the
+    // single-flight wait counter is scheduling-dependent extra telemetry.
+    assert_eq!(
+        m.get("cache_hits") + m.get("cache_misses"),
+        (THREADS * configs.len()) as u64
+    );
+
+    drop(eval);
+    let report = prose_trace::Journal::load_report(&path).unwrap();
+    assert_eq!(report.torn_tail, 0, "no torn journal lines");
+    assert_eq!(report.records.len(), THREADS * configs.len());
+    // Exactly one uncached record per unique configuration.
+    let mut uncached = std::collections::HashMap::new();
+    for r in &report.records {
+        if !r.cached {
+            *uncached.entry(r.config.clone()).or_insert(0u32) += 1;
+        }
+    }
+    assert_eq!(uncached.len(), configs.len());
+    assert!(uncached.values().all(|&c| c == 1), "duplicate evaluation");
+    // Sequence numbers are a clean 0..N run: the single writer never
+    // skipped or reused one under contention.
+    let mut seqs: Vec<u64> = report.records.iter().map(|r| r.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        (0..(THREADS * configs.len()) as u64).collect::<Vec<_>>()
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

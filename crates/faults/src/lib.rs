@@ -118,6 +118,14 @@ impl FaultConfig {
         Ok(cfg)
     }
 
+    /// Derive the deterministic fault plan for one configuration. The plan
+    /// is a pure function of `(base seed, config contents)` — never of
+    /// evaluation order or thread scheduling — so serial, parallel, and
+    /// resumed searches all inject identical faults per configuration.
+    pub fn plan_for_config(&self, config: &[bool]) -> TrialFaults {
+        self.plan(config_hash(config))
+    }
+
     /// Derive the deterministic fault plan for one trial. `trial_id` should
     /// identify the evaluated configuration (not the evaluation order), so
     /// a resumed search re-derives identical plans.
@@ -229,6 +237,21 @@ pub struct InjectedKill {
     pub appended: u64,
 }
 
+/// Order-independent hash of a precision configuration: FNV-1a over the
+/// atom bits, finalized through the splitmix64 mixer so nearby configs
+/// (one bit apart) land in unrelated fault-plan streams. This is the
+/// trial-id scheme the evaluator feeds to [`FaultConfig::plan_for_config`];
+/// it depends only on the configuration's contents, never on when or on
+/// which worker the trial runs.
+pub fn config_hash(config: &[bool]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in config {
+        h ^= u64::from(*b) + 1;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    mix(h)
+}
+
 /// splitmix64: tiny, seedable, dependency-free PRNG step.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e3779b97f4a7c15);
@@ -332,6 +355,39 @@ mod tests {
             .sqrt()
             / mean;
         assert!((rsd - 0.2).abs() < 0.05, "observed jitter rsd {rsd}");
+    }
+
+    #[test]
+    fn config_keyed_plans_ignore_evaluation_order() {
+        // Regression: fault seeds are keyed by splitmix64(config hash),
+        // not by arrival order. Evaluating the same configs in any
+        // permutation must derive identical per-config plans.
+        let cfg = FaultConfig::parse("nan=0.3,timeout=0.3,abort=0.2,jitter=0.1,seed=42").unwrap();
+        let configs: Vec<Vec<bool>> = (0..32u32)
+            .map(|i| (0..5).map(|b| i >> b & 1 == 1).collect())
+            .collect();
+        let forward: Vec<TrialFaults> = configs.iter().map(|c| cfg.plan_for_config(c)).collect();
+        let mut backward: Vec<TrialFaults> = configs
+            .iter()
+            .rev()
+            .map(|c| cfg.plan_for_config(c))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // The plan seed is exactly splitmix64-mixed FNV over the bits.
+        for (c, p) in configs.iter().zip(&forward) {
+            assert_eq!(p.seed, cfg.plan(config_hash(c)).seed);
+        }
+        // Adjacent configs (Hamming distance 1) land in distinct streams.
+        let seeds: std::collections::HashSet<u64> = forward.iter().map(|p| p.seed).collect();
+        assert_eq!(seeds.len(), configs.len());
+    }
+
+    #[test]
+    fn config_hash_is_order_and_content_sensitive() {
+        assert_eq!(config_hash(&[true, false]), config_hash(&[true, false]));
+        assert_ne!(config_hash(&[true, false]), config_hash(&[false, true]));
+        assert_ne!(config_hash(&[]), config_hash(&[false]));
     }
 
     #[test]

@@ -91,6 +91,20 @@ pub struct TrialRecord {
     /// empty in records from writers predating grouped-atom search.
     #[serde(default)]
     pub search_granularity: String,
+    /// Worker-pool width the evaluator ran with; 0 in records from writers
+    /// predating parallel evaluation (read as "serial, unstamped").
+    #[serde(default)]
+    pub workers: u64,
+    /// Pool worker that executed this trial; `None` when the submitting
+    /// thread ran it (serial path) or for pre-parallel records. Provenance
+    /// only — scheduling-dependent, so equivalence checks must ignore it.
+    #[serde(default)]
+    pub worker: Option<u32>,
+    /// Evaluation-round ordinal (one per batch submission or solo
+    /// request). Deterministic across worker counts; `None` for
+    /// pre-parallel records.
+    #[serde(default)]
+    pub batch: Option<u64>,
 }
 
 /// Per-trial shadow-execution summary, journaled when the evaluator runs
@@ -369,6 +383,9 @@ mod tests {
             shadow: None,
             member: None,
             search_granularity: "variable".to_string(),
+            workers: 1,
+            worker: None,
+            batch: Some(seq),
         }
     }
 

@@ -463,6 +463,50 @@ fn main() -> ExitCode {
         println!("  variant paths:       {}", desc.join(", "));
     }
 
+    // ---- parallel evaluation ------------------------------------------
+    // Rounds are the evaluator's batch ordinals (deterministic across
+    // worker counts); per-round wall clock separates the serial cost
+    // (sum of trial walls) from the critical path (slowest trial per
+    // round), which is what a perfectly scheduled pool pays.
+    let workers_seen = records.iter().map(|r| r.workers).max().unwrap_or(0);
+    if workers_seen > 0 {
+        let mut rounds: BTreeMap<u64, (usize, f64, f64)> = BTreeMap::new();
+        for r in &records {
+            if let Some(b) = r.batch {
+                let e = rounds.entry(b).or_insert((0, 0.0, 0.0));
+                e.0 += 1;
+                e.1 += r.wall_ms;
+                e.2 = e.2.max(r.wall_ms);
+            }
+        }
+        println!();
+        println!("== parallel evaluation ==");
+        println!("  workers:             {workers_seen}");
+        let pool_trials = records.iter().filter(|r| r.worker.is_some()).count();
+        println!("  pool-executed:       {pool_trials} of {total} trials ran on a pool worker");
+        if !rounds.is_empty() {
+            let serial_ms: f64 = rounds.values().map(|(_, sum, _)| sum).sum();
+            let critical_ms: f64 = rounds.values().map(|(_, _, max)| max).sum();
+            let mean_per_round =
+                rounds.values().map(|(n, _, _)| *n).sum::<usize>() as f64 / rounds.len() as f64;
+            println!("  evaluation rounds:   {}", rounds.len());
+            println!("  trials per round:    {mean_per_round:.1} mean");
+            println!(
+                "  wall clock per round: {:.2} ms mean (serial-equivalent), \
+                 {:.2} ms mean critical path",
+                serial_ms / rounds.len() as f64,
+                critical_ms / rounds.len() as f64
+            );
+            if critical_ms > 0.0 {
+                println!(
+                    "  round parallelism:   {:.2}x available (serial {serial_ms:.1} ms / \
+                     critical path {critical_ms:.1} ms)",
+                    serial_ms / critical_ms
+                );
+            }
+        }
+    }
+
     // ---- Table II-style status breakdown over unique configs ----------
     let mut by_status: BTreeMap<&str, usize> = BTreeMap::new();
     for r in unique.values() {

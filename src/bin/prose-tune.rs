@@ -12,6 +12,7 @@
 //!     [--faults nan=P,timeout=P,abort=P,jitter=RSD,seed=S[,kill-after=K]]
 //!     [--retry-band B] [--retry-runs N] [--wal-flush record|sync|N]
 //!     [--shadow] [--shadow-budget X] [--validate-ensemble N] [--ensemble-seed S]
+//!     [--workers N]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -60,6 +61,7 @@ struct Args {
     shadow_budget: Option<f64>,
     ensemble_members: Option<u32>,
     ensemble_seed: u64,
+    workers: usize,
 }
 
 fn usage() -> ! {
@@ -88,7 +90,9 @@ fn usage() -> ! {
          budget; defaults to --threshold), --validate-ensemble N (after the\n\
          search, re-validate the final configuration and its runner-ups on N\n\
          held-out input perturbations and demote input-overfit configs),\n\
-         --ensemble-seed S (perturbation base seed)"
+         --ensemble-seed S (perturbation base seed),\n\
+         --workers N (worker-pool width for batch evaluation; default\n\
+         $PROSE_WORKERS or 1; results are identical at any width)"
     );
     std::process::exit(2)
 }
@@ -143,6 +147,7 @@ fn parse_args() -> Option<Args> {
     let mut shadow_budget = None;
     let mut ensemble_members = None;
     let mut ensemble_seed = EnsembleParams::default().seed;
+    let mut workers = prose::core::tuner::default_workers();
 
     let mut i = 0;
     while i < argv.len() {
@@ -190,6 +195,7 @@ fn parse_args() -> Option<Args> {
             "--shadow-budget" => shadow_budget = Some(next()?.parse().ok()?),
             "--validate-ensemble" => ensemble_members = Some(next()?.parse().ok()?),
             "--ensemble-seed" => ensemble_seed = next()?.parse().ok()?,
+            "--workers" => workers = next()?.parse::<usize>().ok().filter(|&n| n >= 1)?,
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -223,6 +229,7 @@ fn parse_args() -> Option<Args> {
         shadow_budget,
         ensemble_members,
         ensemble_seed,
+        workers,
     })
 }
 
@@ -285,6 +292,10 @@ fn main() -> ExitCode {
     task.shadow = args.shadow;
     task.shadow_budget = args.shadow_budget;
     task.granularity = args.granularity;
+    task.workers = args.workers;
+    if task.workers > 1 {
+        println!("parallel evaluation: {} workers", task.workers);
+    }
 
     // --resume: continue an interrupted search from its journal. The
     // search itself is deterministic, so replaying it against the
