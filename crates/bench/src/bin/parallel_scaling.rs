@@ -50,6 +50,8 @@ fn run_width(workers: usize) -> (f64, prose_core::tuner::TuningOutcome) {
     // Cold start: no journal — each width pays the full evaluation cost.
     task.journal = None;
     task.workers = workers;
+    task.deadline_ms = prose_bench::deadline_ms();
+    task.retry_attempts = prose_bench::retry_attempts();
     let t0 = std::time::Instant::now();
     let outcome = tune(&task).expect("baseline runs");
     (t0.elapsed().as_secs_f64(), outcome)

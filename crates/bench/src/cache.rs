@@ -83,6 +83,8 @@ fn run_search(
     task.variant_path = crate::variant_path();
     task.crosscheck = crate::crosscheck();
     task.workers = crate::workers();
+    task.deadline_ms = crate::deadline_ms();
+    task.retry_attempts = crate::retry_attempts();
     let t0 = std::time::Instant::now();
     let outcome = tune(&task).expect("baseline runs");
     let wall = t0.elapsed().as_secs_f64();

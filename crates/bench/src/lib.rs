@@ -98,6 +98,24 @@ pub fn workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Per-variant wall-clock deadline for every harness search:
+/// `--deadline-ms MS` on any binary's command line, or the
+/// `PROSE_DEADLINE_MS` environment variable (default: disabled). Results
+/// are identical whenever the deadline never fires.
+pub fn deadline_ms() -> Option<u64> {
+    cli_or_env("--deadline-ms", "PROSE_DEADLINE_MS")
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Transient-failure retry budget for every harness search:
+/// `--retry-attempts K` / `PROSE_RETRY_ATTEMPTS` (default 0 = disabled).
+pub fn retry_attempts() -> u32 {
+    cli_or_env("--retry-attempts", "PROSE_RETRY_ATTEMPTS")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 fn cli_or_env(flag: &str, var: &str) -> Option<String> {
     let argv: Vec<String> = std::env::args().collect();
     argv.iter()

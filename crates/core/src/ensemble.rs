@@ -220,6 +220,8 @@ fn member_task(
         granularity: task.granularity,
         member: Some(member),
         workers: task.workers,
+        deadline_ms: task.deadline_ms,
+        retry_attempts: task.retry_attempts,
     })
 }
 

@@ -51,11 +51,21 @@ use prose_search::{Config, Outcome, Status};
 use prose_trace::{Counters, Journal, ShadowTrial, StageClock, TrialRecord};
 use prose_transform::{make_variant, VariantPlan, VariantTemplate};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Poison-tolerant lock acquisition. A worker panic while holding a lock
+/// poisons it; every panic that can unwind through a lock scope here is
+/// either contained per-trial or deliberately re-raised (strict desync,
+/// injected kill), so the guarded data is never left half-updated in a way
+/// the search cares about. Propagating the poison would instead cascade
+/// one contained failure into a panic on every later trial.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Why a variant evaluation failed, one level finer than [`Status`].
 ///
@@ -68,6 +78,10 @@ use std::time::Instant;
 pub enum FailureKind {
     /// Simulated-cycle budget or event-limit valve tripped.
     Timeout,
+    /// Wall-clock deadline exceeded — the supervision layer killed a run
+    /// (or the watchdog declared a stuck election dead). Real elapsed
+    /// time, unlike [`FailureKind::Timeout`]'s modeled cycles.
+    Deadline,
     /// Non-finite value surfaced where the interpreter checks for one.
     FpException,
     /// Fast-path template output diverged from the faithful pipeline.
@@ -91,6 +105,7 @@ impl FailureKind {
     pub fn name(self) -> &'static str {
         match self {
             FailureKind::Timeout => "timeout",
+            FailureKind::Deadline => "deadline",
             FailureKind::FpException => "fp_exception",
             FailureKind::TemplateDesync => "template_desync",
             FailureKind::Panic => "panic",
@@ -105,6 +120,7 @@ impl FailureKind {
     pub fn from_name(name: &str) -> Option<FailureKind> {
         Some(match name {
             "timeout" => FailureKind::Timeout,
+            "deadline" => FailureKind::Deadline,
             "fp_exception" => FailureKind::FpException,
             "template_desync" => FailureKind::TemplateDesync,
             "panic" => FailureKind::Panic,
@@ -120,6 +136,7 @@ impl FailureKind {
     pub fn from_run_error(e: &RunError) -> FailureKind {
         match e {
             RunError::Timeout { .. } | RunError::EventLimit => FailureKind::Timeout,
+            RunError::Deadline { .. } => FailureKind::Deadline,
             RunError::NonFinite { .. } => FailureKind::FpException,
             RunError::Lower(_) => FailureKind::Transform,
             _ => FailureKind::RuntimeOther,
@@ -292,6 +309,17 @@ fn shadow_demotion_detail(rep: &ShadowReport, budget: f64) -> String {
     format!("shadow guardrail: {}", parts.join("; "))
 }
 
+/// Is this failed record worth re-attempting? Transient kinds are the two
+/// wall-clock-ish ones jitter can cause: an injected timeout and a
+/// deadline kill. Deterministic rejections (accuracy, transform errors,
+/// FP traps, panics) re-fail identically and are never retried.
+fn is_transient(rec: &VariantRecord) -> bool {
+    matches!(
+        rec.failure,
+        Some(FailureKind::Timeout) | Some(FailureKind::Deadline)
+    )
+}
+
 /// Config-keyed memoization state. The in-flight set lives under the same
 /// lock as the map so a membership check and an insertion are atomic:
 /// concurrent workers asking for the same configuration elect exactly one
@@ -299,7 +327,19 @@ fn shadow_demotion_detail(rep: &ShadowReport, budget: f64) -> String {
 #[derive(Default)]
 struct MemoState {
     map: HashMap<Config, VariantRecord>,
-    inflight: HashSet<Config>,
+    /// In-flight configurations, keyed to their election time so the
+    /// watchdog can spot a stuck evaluator by wall-clock age.
+    inflight: HashMap<Config, Instant>,
+}
+
+/// One completed evaluation attempt that was retried: its failed record
+/// plus the bookkeeping its journal entry needs.
+struct AttemptTrial {
+    rec: VariantRecord,
+    attempt: u32,
+    wall_ms: f64,
+    clock: StageClock,
+    counters: Counters,
 }
 
 /// Per-trial bookkeeping produced alongside a [`VariantRecord`] and
@@ -314,6 +354,26 @@ struct TrialMeta {
     counters: Counters,
     /// Pool worker that ran the trial (`None`: submitting thread).
     worker: Option<u32>,
+    /// Attempt ordinal of the *final* record (0 unless transient-failure
+    /// retries happened).
+    attempt: u32,
+    /// Earlier attempts that failed transiently and were retried; each is
+    /// journaled (in attempt order) ahead of the final record.
+    prior: Vec<AttemptTrial>,
+}
+
+impl TrialMeta {
+    fn cached_hit(wall_ms: f64, worker: Option<u32>) -> Self {
+        TrialMeta {
+            cached: true,
+            wall_ms,
+            clock: StageClock::new(),
+            counters: Counters::new(),
+            worker,
+            attempt: 0,
+            prior: Vec::new(),
+        }
+    }
 }
 
 /// Removes the in-flight marker for a configuration even when the
@@ -326,7 +386,7 @@ struct InflightGuard<'a, 'b> {
 
 impl Drop for InflightGuard<'_, '_> {
     fn drop(&mut self) {
-        let mut memo = self.eval.memo.lock().unwrap();
+        let mut memo = lock(&self.eval.memo);
         memo.inflight.remove(self.config);
         drop(memo);
         self.eval.memo_cv.notify_all();
@@ -414,9 +474,13 @@ impl<'a> DynamicEvaluator<'a> {
             wrapper_names: Default::default(),
             // The baseline is never fault-injected: it anchors correctness
             // and timing for every variant. It is also never shadowed —
-            // the baseline is all-fp64, so its shadow is itself.
+            // the baseline is all-fp64, so its shadow is itself. No
+            // deadline either: killing the baseline would abort the whole
+            // task, and it is exactly the run the deadline is calibrated
+            // against.
             fault: None,
             shadow: false,
+            deadline: None,
         };
         let outcome = run_program(&task.program, &task.index, &cfg)?;
 
@@ -464,10 +528,32 @@ impl<'a> DynamicEvaluator<'a> {
         let mut journal = None;
         let mut seq = 0;
         if let Some(path) = &task.journal {
-            match Journal::load_or_empty_report(path) {
+            // Repair mode: corrupt mid-file records are quarantined (not
+            // fatal) and a torn tail is truncated so this process's appends
+            // can never merge into a partial line. A healthy journal is
+            // left untouched.
+            match Journal::load_repair_or_empty(path) {
                 Ok(report) => {
                     counters.bump("journal_torn_lines", u64::from(report.torn_tail));
-                    seq = report.records.len() as u64;
+                    counters.bump("journal_quarantined", u64::from(report.quarantined));
+                    if report.damaged() > 0 {
+                        if let Some(q) = &report.quarantine_path {
+                            eprintln!(
+                                "[prose] journal repair: {} damaged record(s) quarantined to {}",
+                                report.damaged(),
+                                q.display()
+                            );
+                        }
+                    }
+                    // Continue the sequence after the highest surviving
+                    // record (not the record count: quarantine can leave
+                    // holes, and seq collisions would corrupt resume).
+                    seq = report
+                        .records
+                        .iter()
+                        .map(|tr| tr.seq + 1)
+                        .max()
+                        .unwrap_or(0);
                     for tr in &report.records {
                         // Records are keyed by (config, ensemble member):
                         // the same configuration evaluated on a different
@@ -516,7 +602,7 @@ impl<'a> DynamicEvaluator<'a> {
             records: Mutex::new(Vec::new()),
             memo: Mutex::new(MemoState {
                 map: cache,
-                inflight: HashSet::new(),
+                inflight: HashMap::new(),
             }),
             memo_cv: Condvar::new(),
             counters: Mutex::new(counters),
@@ -541,12 +627,14 @@ impl<'a> DynamicEvaluator<'a> {
 
     /// Consume the evaluator, returning every variant record.
     pub fn into_records(self) -> Vec<VariantRecord> {
-        self.records.into_inner().unwrap()
+        self.records
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Snapshot of the aggregate observability counters.
     pub fn metrics(&self) -> Counters {
-        self.counters.lock().unwrap().clone()
+        lock(&self.counters).clone()
     }
 
     /// Effective worker-pool width for batch evaluation.
@@ -594,48 +682,115 @@ impl<'a> DynamicEvaluator<'a> {
     fn eval_record(&self, lowered: &Config, worker: Option<u32>) -> (VariantRecord, TrialMeta) {
         let t0 = Instant::now();
         {
-            let mut memo = self.memo.lock().unwrap();
+            let mut memo = lock(&self.memo);
+            let mut logged_wait = false;
+            let mut reelections = 0u64;
             loop {
                 if let Some(hit) = memo.map.get(lowered) {
                     let hit = hit.clone();
                     drop(memo);
-                    self.counters.lock().unwrap().bump("cache_hits", 1);
-                    let meta = TrialMeta {
-                        cached: true,
-                        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-                        clock: StageClock::new(),
-                        counters: Counters::new(),
-                        worker,
-                    };
+                    lock(&self.counters).bump("cache_hits", 1);
+                    let mut meta = TrialMeta::cached_hit(t0.elapsed().as_secs_f64() * 1e3, worker);
+                    if reelections > 0 {
+                        // Surface the re-election in the waiter's journal
+                        // record; a healthy run journals nothing extra, so
+                        // journals stay byte-stable across worker counts.
+                        meta.counters.bump("watchdog_reelections", reelections);
+                    }
                     return (hit, meta);
                 }
-                if !memo.inflight.contains(lowered) {
-                    memo.inflight.insert(lowered.clone());
-                    break;
+                match memo.inflight.get(lowered) {
+                    None => {
+                        memo.inflight.insert(lowered.clone(), Instant::now());
+                        break;
+                    }
+                    Some(elected_at) if elected_at.elapsed() > self.watchdog_limit() => {
+                        // Watchdog: the elected evaluator has been in
+                        // flight longer than any legitimate evaluation
+                        // can take (every escalated retry plus grace).
+                        // Either it is hung with no interpreter deadline
+                        // armed to kill it, or its thread died abnormally
+                        // without unwinding. Re-elect: mark the trial
+                        // failed-by-deadline so every waiter (and the
+                        // search) moves on instead of stranding forever.
+                        // A late answer from the stuck worker simply
+                        // overwrites this record with the same verdict.
+                        memo.inflight.remove(lowered);
+                        let rec = self.watchdog_record(lowered);
+                        memo.map.insert(lowered.clone(), rec);
+                        reelections += 1;
+                        lock(&self.counters).bump("watchdog_reelections", 1);
+                        drop(memo);
+                        self.memo_cv.notify_all();
+                        memo = lock(&self.memo);
+                    }
+                    Some(_) => {
+                        // Another worker is evaluating this exact
+                        // configuration: wait for it rather than
+                        // duplicating interpreter work — but never
+                        // unboundedly, so a stuck election is noticed.
+                        if !logged_wait {
+                            lock(&self.counters).bump("singleflight_waits", 1);
+                            logged_wait = true;
+                        }
+                        let (m, _timed_out) = self
+                            .memo_cv
+                            .wait_timeout(memo, self.watchdog_tick())
+                            .unwrap_or_else(PoisonError::into_inner);
+                        memo = m;
+                    }
                 }
-                // Another worker is evaluating this exact configuration:
-                // wait for it rather than duplicating interpreter work.
-                self.counters.lock().unwrap().bump("singleflight_waits", 1);
-                memo = self.memo_cv.wait(memo).unwrap();
             }
         }
         let guard = InflightGuard {
             eval: self,
             config: lowered,
         };
-        let mut clock = StageClock::new();
-        let mut trial_counters = Counters::new();
-        let rec = self.eval_uncached(lowered, &mut clock, &mut trial_counters);
+        // Transient-failure retry: an injected timeout or a wall-clock
+        // deadline kill may be jitter, not a property of the
+        // configuration. Re-attempt up to `task.retry_attempts` times with
+        // a doubled budget and deadline each attempt; every attempt is
+        // journaled. Only the final verdict enters the memo cache, so an
+        // exhausted retry quarantines the configuration as an ordinary
+        // rejection — delta debugging treats it like any failed trial.
+        let mut prior: Vec<AttemptTrial> = Vec::new();
+        let mut attempt: u32 = 0;
+        let (rec, clock, trial_counters) = loop {
+            let t_attempt = Instant::now();
+            let mut clock = StageClock::new();
+            let mut trial_counters = Counters::new();
+            let rec = self.eval_uncached(lowered, attempt, &mut clock, &mut trial_counters);
+            if attempt < self.task.retry_attempts && is_transient(&rec) {
+                trial_counters.bump("retry_attempts", 1);
+                {
+                    let mut agg = lock(&self.counters);
+                    agg.bump("retry_attempts", 1);
+                    agg.merge(&trial_counters);
+                }
+                prior.push(AttemptTrial {
+                    rec,
+                    attempt,
+                    wall_ms: t_attempt.elapsed().as_secs_f64() * 1e3,
+                    clock,
+                    counters: trial_counters,
+                });
+                attempt += 1;
+                continue;
+            }
+            break (rec, clock, trial_counters);
+        };
         {
-            let mut agg = self.counters.lock().unwrap();
+            let mut agg = lock(&self.counters);
             agg.bump("cache_misses", 1);
             agg.merge(&trial_counters);
+            if rec.failure == Some(FailureKind::Deadline) {
+                agg.bump("deadline_kills", 1);
+            }
+            if !prior.is_empty() && rec.outcome.status == Status::Pass {
+                agg.bump("retry_recovered", 1);
+            }
         }
-        self.memo
-            .lock()
-            .unwrap()
-            .map
-            .insert(lowered.clone(), rec.clone());
+        lock(&self.memo).map.insert(lowered.clone(), rec.clone());
         drop(guard); // releases the in-flight marker and wakes waiters
         let meta = TrialMeta {
             cached: false,
@@ -643,8 +798,61 @@ impl<'a> DynamicEvaluator<'a> {
             clock,
             counters: trial_counters,
             worker,
+            attempt,
+            prior,
         };
         (rec, meta)
+    }
+
+    /// How long an election may be in flight before the watchdog declares
+    /// it dead. Generous by construction: the sum of every escalated
+    /// attempt's deadline plus a fixed grace, so a legitimately slow (but
+    /// progressing) evaluation is never misfired on. Without a configured
+    /// deadline there is no calibration to lean on and the limit falls
+    /// back to a large constant.
+    fn watchdog_limit(&self) -> Duration {
+        match self.task.deadline_ms {
+            Some(ms) => {
+                let escalated: u64 = (0..=self.task.retry_attempts.min(20))
+                    .map(|a| ms.saturating_mul(1u64 << a))
+                    .fold(0, u64::saturating_add);
+                Duration::from_millis(escalated.saturating_add((ms * 4).max(5_000)))
+            }
+            None => Duration::from_secs(300),
+        }
+    }
+
+    /// Condvar wait quantum for single-flight waiters: short enough to
+    /// notice a stuck election promptly, long enough not to spin.
+    fn watchdog_tick(&self) -> Duration {
+        (self.watchdog_limit() / 8).clamp(Duration::from_millis(10), Duration::from_secs(1))
+    }
+
+    /// The record a watchdog re-election synthesizes for a stuck trial:
+    /// failed-by-deadline, rejected by the search.
+    fn watchdog_record(&self, lowered: &Config) -> VariantRecord {
+        let map = self.precision_map(lowered);
+        VariantRecord {
+            config: lowered.clone(),
+            outcome: Outcome {
+                status: Status::Timeout,
+                speedup: 0.0,
+                error: f64::INFINITY,
+            },
+            fraction_single: map.fraction_single(&self.task.atoms),
+            per_proc: Vec::new(),
+            wrappers: Vec::new(),
+            detail: Some(format!(
+                "watchdog: elected evaluator stuck past {} ms; marked failed-by-deadline",
+                self.watchdog_limit().as_millis()
+            )),
+            total_cycles: None,
+            hotspot_cycles: None,
+            failure: Some(FailureKind::Deadline),
+            fault_kind: None,
+            fault_seed: None,
+            shadow: None,
+        }
     }
 
     /// Evaluate a batch on the worker pool and return the records in batch
@@ -676,7 +884,7 @@ impl<'a> DynamicEvaluator<'a> {
                         let out = catch_unwind(AssertUnwindSafe(|| {
                             self.eval_record(cfg, Some(w as u32))
                         }));
-                        *cells[i].lock().unwrap() = Some(out);
+                        *lock(&cells[i]) = Some(out);
                     });
                 }
             });
@@ -684,7 +892,7 @@ impl<'a> DynamicEvaluator<'a> {
                 .into_iter()
                 .map(|c| {
                     c.into_inner()
-                        .unwrap()
+                        .unwrap_or_else(PoisonError::into_inner)
                         .expect("worker filled every claimed slot")
                 })
                 .collect()
@@ -705,26 +913,67 @@ impl<'a> DynamicEvaluator<'a> {
     }
 
     /// Append one request to the trial journal (no-op without a journal).
+    /// Retried attempts are appended first, in attempt order, then the
+    /// final record; each gets its own sequence number and CRC stamp.
     fn journal_append(&self, rec: &VariantRecord, meta: &TrialMeta, batch: u64) {
+        if self.journal.is_none() {
+            return;
+        }
+        for a in &meta.prior {
+            self.journal_append_one(
+                &a.rec,
+                a.attempt,
+                false,
+                a.wall_ms,
+                &a.clock,
+                &a.counters,
+                meta.worker,
+                batch,
+            );
+        }
+        self.journal_append_one(
+            rec,
+            meta.attempt,
+            meta.cached,
+            meta.wall_ms,
+            &meta.clock,
+            &meta.counters,
+            meta.worker,
+            batch,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn journal_append_one(
+        &self,
+        rec: &VariantRecord,
+        attempt: u32,
+        cached: bool,
+        wall_ms: f64,
+        clock: &StageClock,
+        counters: &Counters,
+        worker: Option<u32>,
+        batch: u64,
+    ) {
         let Some(journal) = &self.journal else { return };
         // The sequence number is taken under the journal lock so records
         // land in the file in sequence order; batch appends additionally
         // arrive pre-ordered by the submission-order reduction.
-        let mut j = journal.lock().unwrap();
+        let mut j = lock(journal);
         let tr = TrialRecord {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             config: rec.config.clone(),
             status: status_name(rec.outcome.status).to_string(),
             speedup: rec.outcome.speedup,
             error: rec.outcome.error,
-            cached: meta.cached,
-            wall_ms: meta.wall_ms,
+            cached,
+            wall_ms,
             fraction_single: rec.fraction_single,
             wrappers: rec.wrappers.len() as u64,
             total_cycles: rec.total_cycles,
             hotspot_cycles: rec.hotspot_cycles,
-            stages: meta.clock.stages().clone(),
-            counters: meta.counters.clone(),
+            stages: clock.stages().clone(),
+            counters: counters.clone(),
             variant_path: self.variant_path_name().to_string(),
             failure_kind: rec.failure.map(|f| f.name().to_string()),
             fault_kind: rec.fault_kind.clone(),
@@ -733,13 +982,41 @@ impl<'a> DynamicEvaluator<'a> {
             member: self.task.member,
             search_granularity: self.task.granularity.name().to_string(),
             workers: self.workers() as u64,
-            worker: meta.worker,
+            worker,
             batch: Some(batch),
+            attempt,
+            crc: None,
         };
-        if let Err(e) = j.append(&tr) {
+        // Serialize (stamping the CRC) before deciding how to write: the
+        // corrupt-record fault flips one bit of the already-checksummed
+        // line, which is exactly the damage `load_repair` must catch. The
+        // draw is keyed off the trial's own fault plan, never arrival
+        // order, so a parallel run corrupts exactly the records a serial
+        // run would.
+        let write_result = match Journal::serialize_line(&tr) {
+            Ok(line) => {
+                let flip = self
+                    .task
+                    .faults
+                    .as_ref()
+                    .filter(|f| f.is_active())
+                    .map(|f| f.plan_for_config_attempt(&tr.config, attempt))
+                    .and_then(|p| p.corrupt_at(line.len()));
+                if let Some((off, bit)) = flip {
+                    let mut bytes = line.into_bytes();
+                    bytes[off] ^= bit;
+                    lock(&self.counters).bump("journal_corruptions_injected", 1);
+                    j.append_raw_line(&bytes)
+                } else {
+                    j.append_raw_line(line.as_bytes())
+                }
+            }
+            Err(e) => Err(e),
+        };
+        if let Err(e) = write_result {
             // A journal failure cannot itself be journaled; it surfaces as
             // a counter and a warning instead of killing the search.
-            self.counters.lock().unwrap().bump("journal_errors", 1);
+            lock(&self.counters).bump("journal_errors", 1);
             eprintln!(
                 "[prose] trial journal write failed ({}): {e}",
                 FailureKind::JournalError.name()
@@ -774,26 +1051,29 @@ impl<'a> DynamicEvaluator<'a> {
     fn eval_uncached(
         &self,
         lowered: &Config,
+        attempt: u32,
         clock: &mut StageClock,
         trial_counters: &mut Counters,
     ) -> VariantRecord {
         let vid = Self::variant_id(lowered);
         // Fault plans are keyed by the configuration's own hash, never by
         // arrival order, so a parallel run injects exactly the faults a
-        // serial run would.
+        // serial run would. Retries re-draw (attempt 0 is bit-identical to
+        // the unkeyed plan): a transient injected fault models jitter, and
+        // jitter does not strike the same run twice deterministically.
         let plan = self
             .task
             .faults
             .as_ref()
             .filter(|f| f.is_active())
-            .map(|f| f.plan_for_config(lowered));
+            .map(|f| f.plan_for_config_attempt(lowered, attempt));
         if plan.as_ref().is_some_and(|p| p.kind_name().is_some()) {
             trial_counters.bump("faults_injected", 1);
         }
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            self.eval_inner(lowered, vid, plan.as_ref(), clock, trial_counters)
+        let contained = catch_unwind(AssertUnwindSafe(|| {
+            self.eval_inner(lowered, vid, attempt, plan.as_ref(), clock, trial_counters)
         }));
-        let mut rec = match attempt {
+        let mut rec = match contained {
             Ok(rec) => rec,
             Err(payload) => {
                 if payload.downcast_ref::<StrictDesync>().is_some()
@@ -843,10 +1123,26 @@ impl<'a> DynamicEvaluator<'a> {
 
     /// The uncontained evaluation body (pure w.r.t. shared state), filling
     /// per-stage wall clocks and interpreter counters.
+    /// Simulated-cycle budget for one attempt: the configured timeout
+    /// factor, doubled per retry so a genuinely slow (but convergent)
+    /// variant gets headroom a transient draw did not.
+    fn run_budget(&self, attempt: u32) -> f64 {
+        self.task.timeout_factor * (1u64 << attempt.min(20)) as f64 * self.baseline.total_cycles
+    }
+
+    /// Wall-clock deadline for one attempt (None: deadlines disabled),
+    /// escalating in lockstep with the budget.
+    fn run_deadline(&self, attempt: u32) -> Option<Duration> {
+        self.task
+            .deadline_ms
+            .map(|ms| Duration::from_millis(ms.saturating_mul(1u64 << attempt.min(20))))
+    }
+
     fn eval_inner(
         &self,
         lowered: &Config,
         vid: u64,
+        attempt: u32,
         plan: Option<&prose_faults::TrialFaults>,
         clock: &mut StageClock,
         trial_counters: &mut Counters,
@@ -885,9 +1181,9 @@ impl<'a> DynamicEvaluator<'a> {
         let fault = plan.and_then(|p| p.fault.clone());
         let path_result = match &self.templates {
             Some((vt, it)) if !self.fast_disabled.load(Ordering::Relaxed) => {
-                self.run_fast(vt, it, &map, fault, clock, trial_counters, &base)
+                self.run_fast(vt, it, &map, fault, attempt, clock, trial_counters, &base)
             }
-            _ => self.run_faithful(&map, fault, clock, &base),
+            _ => self.run_faithful(&map, fault, attempt, clock, &base),
         };
         let (run, wrappers, hotspot_set, report) = match path_result {
             Ok(t) => t,
@@ -1013,6 +1309,7 @@ impl<'a> DynamicEvaluator<'a> {
         &self,
         map: &PrecisionMap,
         fault: Option<prose_faults::InjectedFault>,
+        attempt: u32,
         clock: &mut StageClock,
         base: &VariantRecord,
     ) -> PathResult {
@@ -1032,11 +1329,12 @@ impl<'a> DynamicEvaluator<'a> {
 
         let run_cfg = RunConfig {
             cost: task.cost.clone(),
-            budget: Some(task.timeout_factor * self.baseline.total_cycles),
+            budget: Some(self.run_budget(attempt)),
             max_events: task.max_events,
             wrapper_names: variant.wrappers.iter().cloned().collect(),
             fault,
             shadow: task.shadow,
+            deadline: self.run_deadline(attempt),
         };
         let t_run = Instant::now();
         let (res, report) = run_program_shadow(&variant.program, &variant.index, &run_cfg);
@@ -1049,7 +1347,7 @@ impl<'a> DynamicEvaluator<'a> {
                 // provenance lives.
                 clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
                 let status = match e {
-                    RunError::Timeout { .. } => Status::Timeout,
+                    RunError::Timeout { .. } | RunError::Deadline { .. } => Status::Timeout,
                     _ => Status::RuntimeError,
                 };
                 return Err(Box::new(VariantRecord {
@@ -1085,6 +1383,7 @@ impl<'a> DynamicEvaluator<'a> {
         it: &IrTemplate<'_>,
         map: &PrecisionMap,
         fault: Option<prose_faults::InjectedFault>,
+        attempt: u32,
         clock: &mut StageClock,
         trial_counters: &mut Counters,
         base: &VariantRecord,
@@ -1114,13 +1413,14 @@ impl<'a> DynamicEvaluator<'a> {
 
         let run_cfg = RunConfig {
             cost: task.cost.clone(),
-            budget: Some(task.timeout_factor * self.baseline.total_cycles),
+            budget: Some(self.run_budget(attempt)),
             max_events: task.max_events,
             // Wrapper classification is baked into the template-lowered IR;
             // run_ir ignores this field.
             wrapper_names: Default::default(),
             fault,
             shadow: task.shadow,
+            deadline: self.run_deadline(attempt),
         };
         let t_run = Instant::now();
         let (res, report) = run_ir_shadow(&ir, &run_cfg);
@@ -1129,7 +1429,7 @@ impl<'a> DynamicEvaluator<'a> {
             Err(e) => {
                 clock.add_ns("exec", t_run.elapsed().as_nanos() as u64);
                 let status = match e {
-                    RunError::Timeout { .. } => Status::Timeout,
+                    RunError::Timeout { .. } | RunError::Deadline { .. } => Status::Timeout,
                     _ => Status::RuntimeError,
                 };
                 return Err(Box::new(VariantRecord {
@@ -1171,7 +1471,7 @@ impl<'a> DynamicEvaluator<'a> {
                     FailureKind::TemplateDesync.name()
                 );
                 self.fast_disabled.store(true, Ordering::Relaxed);
-                return self.run_faithful(map, None, clock, base);
+                return self.run_faithful(map, None, attempt, clock, base);
             }
         }
         Ok((run, wrappers, hotspot_set, report))
@@ -1357,7 +1657,7 @@ impl<'a> prose_search::Evaluator for DynamicEvaluator<'a> {
     fn evaluate(&mut self, lowered: &Config) -> Outcome {
         let rec = self.eval_one(lowered);
         let outcome = rec.outcome;
-        self.records.lock().unwrap().push(rec);
+        lock(&self.records).push(rec);
         outcome
     }
 
@@ -1367,7 +1667,7 @@ impl<'a> prose_search::Evaluator for DynamicEvaluator<'a> {
         // journaled) in batch index order regardless of worker count.
         let recs = self.eval_batch_records(batch);
         let outcomes = recs.iter().map(|r| r.outcome).collect();
-        self.records.lock().unwrap().extend(recs);
+        lock(&self.records).extend(recs);
         outcomes
     }
 

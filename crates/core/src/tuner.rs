@@ -169,6 +169,20 @@ pub struct TuningTask {
     /// serially on the submitting thread; results, journals, and the
     /// final configuration are identical at any width.
     pub workers: usize,
+    /// Per-variant wall-clock deadline in milliseconds (`None` disables).
+    /// Unlike `timeout_factor` — a budget on *modeled* cycles — this is
+    /// real elapsed time: the supervision valve that kills a hung or
+    /// pathologically slow interpreter run. Checked cooperatively every
+    /// [`prose_interp::DEADLINE_CHECK_INTERVAL`] events, so modeled
+    /// cycles, numerics, and journals are bit-identical when it never
+    /// fires. Also seeds the stuck-election watchdog's patience.
+    pub deadline_ms: Option<u64>,
+    /// Transient-failure retry budget: re-attempt a trial that failed by
+    /// injected timeout or wall-clock deadline up to this many extra
+    /// times, doubling the cycle budget and deadline each attempt. Every
+    /// attempt is journaled (`attempt` field); after exhaustion the final
+    /// failure stands as an ordinary rejection. `0` (default) disables.
+    pub retry_attempts: u32,
 }
 
 /// The result of one tuning experiment.
@@ -393,6 +407,8 @@ impl LoadedModel {
             member: None,
             granularity: SearchGranularity::default(),
             workers: default_workers(),
+            deadline_ms: default_deadline_ms(),
+            retry_attempts: default_retry_attempts(),
         })
     }
 }
@@ -406,4 +422,24 @@ pub fn default_workers() -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Per-variant wall-clock deadline when none is requested explicitly: the
+/// `PROSE_DEADLINE_MS` environment variable when set to a positive
+/// integer, else disabled. CLI `--deadline-ms` flags override this.
+pub fn default_deadline_ms() -> Option<u64> {
+    std::env::var("PROSE_DEADLINE_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Transient-failure retry budget when none is requested explicitly: the
+/// `PROSE_RETRY_ATTEMPTS` environment variable, else 0 (disabled). CLI
+/// `--retry-attempts` flags override this.
+pub fn default_retry_attempts() -> u32 {
+    std::env::var("PROSE_RETRY_ATTEMPTS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(0)
 }

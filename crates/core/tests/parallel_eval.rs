@@ -83,6 +83,9 @@ fn normalized(mut r: TrialRecord) -> TrialRecord {
     r.stages.clear();
     r.workers = 0;
     r.worker = None;
+    // The CRC covers the wall-clock fields cleared above, so it differs
+    // between equivalent runs by construction.
+    r.crc = None;
     r
 }
 
@@ -101,6 +104,8 @@ fn grouped_task(workers: usize, journal: PathBuf) -> TuningTask {
         jitter: 0.02,
         seed: 11,
         kill_after: None,
+        hang: 0.0,
+        corrupt_record: 0.0,
     });
     task.retry_band = 0.05;
     task.retry_max_runs = 4;

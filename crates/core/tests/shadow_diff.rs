@@ -161,6 +161,7 @@ fn shadow_differential(src: &str, bits: &[bool]) -> Result<(), TestCaseError> {
         wrapper_names: variant.wrappers.iter().cloned().collect(),
         fault: None,
         shadow: false,
+        deadline: None,
     };
     let cfg_on = RunConfig {
         shadow: true,

@@ -124,6 +124,7 @@ fn differential(src: &str, bits: &[bool]) -> Result<(), TestCaseError> {
         wrapper_names: variant.wrappers.iter().cloned().collect(),
         fault: None,
         shadow: false,
+        deadline: None,
     };
     let faithful = run_program(&variant.program, &variant.index, &cfg);
 

@@ -15,9 +15,15 @@
 //! * **Mid-run aborts** ([`InjectedFault::Abort`]) — the interpreter
 //!   panics mid-execution (payload [`InjectedAbort`]), exercising the
 //!   evaluator's `catch_unwind` containment.
+//! * **Event-loop hangs** ([`InjectedFault::Hang`]) — the interpreter
+//!   stalls without advancing modeled state; only a wall-clock deadline
+//!   can kill it, exercising the supervision layer end-to-end.
 //! * **Amplified timing jitter** ([`TrialFaults::jitter_factors`]) — extra
 //!   multiplicative log-normal noise on the measured cycles, stressing the
 //!   median-of-n re-evaluation defense.
+//! * **Journal corruption** ([`TrialFaults::corrupt_record`]) — the
+//!   evaluator flips a byte in the serialized journal line for this trial,
+//!   exercising CRC detection and `load_repair` quarantine.
 //! * **Process kill** ([`FaultConfig::kill_after`]) — after N journal
 //!   appends the evaluator raises an [`InjectedKill`] panic *outside* its
 //!   containment boundary, standing in for `kill -9` in crash-safe-resume
@@ -44,6 +50,15 @@ pub struct FaultConfig {
     pub timeout: f64,
     /// Per-trial probability of a mid-run abort (interpreter panic).
     pub abort: f64,
+    /// Per-trial probability of an event-loop hang (stall that only a
+    /// wall-clock deadline can kill; always pair with a deadline).
+    #[serde(default)]
+    pub hang: f64,
+    /// Per-trial probability of flipping one byte in the trial's
+    /// serialized journal record (detected by CRC, repaired by
+    /// quarantine). Independent of the discrete interpreter faults.
+    #[serde(default)]
+    pub corrupt_record: f64,
     /// Relative standard deviation of extra multiplicative timing jitter
     /// (0 disables; compare the paper's 1%–9% observed run-time RSD).
     pub jitter: f64,
@@ -60,6 +75,8 @@ impl FaultConfig {
         self.nan > 0.0
             || self.timeout > 0.0
             || self.abort > 0.0
+            || self.hang > 0.0
+            || self.corrupt_record > 0.0
             || self.jitter > 0.0
             || self.kill_after.is_some()
     }
@@ -90,6 +107,8 @@ impl FaultConfig {
                 "nan" => prob(&mut cfg.nan)?,
                 "timeout" => prob(&mut cfg.timeout)?,
                 "abort" => prob(&mut cfg.abort)?,
+                "hang" => prob(&mut cfg.hang)?,
+                "corrupt-record" | "corrupt_record" => prob(&mut cfg.corrupt_record)?,
                 "jitter" => {
                     cfg.jitter = value
                         .parse()
@@ -112,8 +131,8 @@ impl FaultConfig {
                 other => return Err(format!("unknown fault spec key `{other}`")),
             }
         }
-        if cfg.nan + cfg.timeout + cfg.abort > 1.0 {
-            return Err("fault probabilities nan+timeout+abort exceed 1".into());
+        if cfg.nan + cfg.timeout + cfg.abort + cfg.hang > 1.0 {
+            return Err("fault probabilities nan+timeout+abort+hang exceed 1".into());
         }
         Ok(cfg)
     }
@@ -124,6 +143,21 @@ impl FaultConfig {
     /// resumed searches all inject identical faults per configuration.
     pub fn plan_for_config(&self, config: &[bool]) -> TrialFaults {
         self.plan(config_hash(config))
+    }
+
+    /// [`FaultConfig::plan_for_config`] for a retry attempt. Attempt 0 is
+    /// bit-identical to `plan_for_config` (so retry-off searches and old
+    /// journals are unchanged); attempts 1.. derive independent streams,
+    /// which is what makes an injected transient *transient* — a retried
+    /// trial re-draws its fault. Still a pure function of
+    /// `(seed, config, attempt)`, never of scheduling.
+    pub fn plan_for_config_attempt(&self, config: &[bool], attempt: u32) -> TrialFaults {
+        let h = config_hash(config);
+        if attempt == 0 {
+            self.plan(h)
+        } else {
+            self.plan(mix(h ^ u64::from(attempt).wrapping_mul(0xd1342543de82ef95)))
+        }
     }
 
     /// Derive the deterministic fault plan for one trial. `trial_id` should
@@ -141,13 +175,20 @@ impl FaultConfig {
             Some(InjectedFault::Timeout { after_events })
         } else if u < self.nan + self.timeout + self.abort {
             Some(InjectedFault::Abort { after_events })
+        } else if u < self.nan + self.timeout + self.abort + self.hang {
+            Some(InjectedFault::Hang { after_events })
         } else {
             None
         };
+        // Independent draw, after the discrete-fault stream, so enabling
+        // corruption never perturbs which interpreter fault a trial draws.
+        let corrupt_record =
+            self.corrupt_record > 0.0 && unit(splitmix64(&mut state)) < self.corrupt_record;
         TrialFaults {
             seed,
             fault,
             jitter_rsd: self.jitter,
+            corrupt_record,
         }
     }
 }
@@ -161,6 +202,8 @@ pub struct TrialFaults {
     pub fault: Option<InjectedFault>,
     /// Amplitude of the extra timing jitter (0 = none).
     pub jitter_rsd: f64,
+    /// Flip one byte in this trial's serialized journal record.
+    pub corrupt_record: bool,
 }
 
 impl TrialFaults {
@@ -171,9 +214,25 @@ impl TrialFaults {
             Some(InjectedFault::NonFinite { .. }) => Some("nan"),
             Some(InjectedFault::Timeout { .. }) => Some("timeout"),
             Some(InjectedFault::Abort { .. }) => Some("abort"),
+            Some(InjectedFault::Hang { .. }) => Some("hang"),
             None if self.jitter_rsd > 0.0 => Some("jitter"),
             None => None,
         }
+    }
+
+    /// Deterministic byte-flip position for this trial's corrupted journal
+    /// record: `(offset % len, bit)` derived from the trial seed. Never
+    /// targets the final newline, so corruption damages the record itself
+    /// rather than merging two lines.
+    pub fn corrupt_at(&self, len: usize) -> Option<(usize, u8)> {
+        if !self.corrupt_record || len == 0 {
+            return None;
+        }
+        let mut state = mix(self.seed ^ 0x243f6a8885a308d3);
+        let off = (splitmix64(&mut state) % len as u64) as usize;
+        // Flip a low bit: enough to break JSON or the CRC, deterministic.
+        let bit = 1u8 << (splitmix64(&mut state) % 7);
+        Some((off, bit))
     }
 
     /// Deterministic multiplicative jitter factors for `n` measurement
@@ -208,6 +267,10 @@ pub enum InjectedFault {
     Timeout { after_events: u64 },
     /// Panic (payload [`InjectedAbort`]) after `after_events` events.
     Abort { after_events: u64 },
+    /// Stall the event loop after `after_events` events. The stall
+    /// advances no modeled state and ignores the cycle budget and event
+    /// limit — only a wall-clock deadline terminates it.
+    Hang { after_events: u64 },
 }
 
 impl InjectedFault {
@@ -215,7 +278,8 @@ impl InjectedFault {
         match self {
             InjectedFault::NonFinite { after_events }
             | InjectedFault::Timeout { after_events }
-            | InjectedFault::Abort { after_events } => *after_events,
+            | InjectedFault::Abort { after_events }
+            | InjectedFault::Hang { after_events } => *after_events,
         }
     }
 }
@@ -332,6 +396,7 @@ mod tests {
                 Some(InjectedFault::NonFinite { .. }) => counts[0] += 1,
                 Some(InjectedFault::Timeout { .. }) => counts[1] += 1,
                 Some(InjectedFault::Abort { .. }) => counts[2] += 1,
+                Some(InjectedFault::Hang { .. }) => unreachable!("hang=0 here"),
                 None => counts[3] += 1,
             }
         }
@@ -388,6 +453,94 @@ mod tests {
         assert_eq!(config_hash(&[true, false]), config_hash(&[true, false]));
         assert_ne!(config_hash(&[true, false]), config_hash(&[false, true]));
         assert_ne!(config_hash(&[]), config_hash(&[false]));
+    }
+
+    #[test]
+    fn parse_hang_and_corrupt_record() {
+        let cfg = FaultConfig::parse("hang=0.2,corrupt-record=0.5,seed=3").unwrap();
+        assert_eq!(cfg.hang, 0.2);
+        assert_eq!(cfg.corrupt_record, 0.5);
+        assert!(cfg.is_active());
+        assert!(FaultConfig::parse("hang=1.5").is_err());
+        assert!(FaultConfig::parse("corrupt_record=-0.1").is_err());
+        assert!(FaultConfig::parse("nan=0.5,timeout=0.3,hang=0.3").is_err());
+        // hang=1.0 always injects a hang.
+        let cfg = FaultConfig::parse("hang=1.0,seed=5").unwrap();
+        for t in 0..50u64 {
+            let p = cfg.plan(t);
+            assert!(matches!(p.fault, Some(InjectedFault::Hang { .. })));
+            assert_eq!(p.kind_name(), Some("hang"));
+        }
+    }
+
+    #[test]
+    fn new_fault_kinds_do_not_perturb_existing_draws() {
+        // With hang=0 and corrupt-record=0 the per-trial discrete-fault
+        // draw is bit-identical to a config that never heard of them —
+        // the back-compat contract for old journals and retry-off runs.
+        let base = FaultConfig::parse("nan=0.3,timeout=0.3,abort=0.2,jitter=0.1,seed=42").unwrap();
+        let with = FaultConfig::parse(
+            "nan=0.3,timeout=0.3,abort=0.2,jitter=0.1,seed=42,hang=0.0,corrupt-record=0.0",
+        )
+        .unwrap();
+        for t in 0..200u64 {
+            assert_eq!(base.plan(t), with.plan(t));
+        }
+        // Enabling corruption never changes which discrete fault fires.
+        let corrupting = FaultConfig::parse(
+            "nan=0.3,timeout=0.3,abort=0.2,jitter=0.1,seed=42,corrupt-record=1.0",
+        )
+        .unwrap();
+        for t in 0..200u64 {
+            assert_eq!(base.plan(t).fault, corrupting.plan(t).fault);
+            assert!(corrupting.plan(t).corrupt_record);
+        }
+    }
+
+    #[test]
+    fn attempt_zero_plans_match_plan_for_config() {
+        let cfg = FaultConfig::parse("nan=0.3,timeout=0.3,hang=0.2,seed=7").unwrap();
+        let configs: Vec<Vec<bool>> = (0..32u32)
+            .map(|i| (0..5).map(|b| i >> b & 1 == 1).collect())
+            .collect();
+        for c in &configs {
+            assert_eq!(cfg.plan_for_config(c), cfg.plan_for_config_attempt(c, 0));
+        }
+        // Later attempts derive distinct, deterministic streams.
+        let c = &configs[3];
+        let a1 = cfg.plan_for_config_attempt(c, 1);
+        let a2 = cfg.plan_for_config_attempt(c, 2);
+        assert_eq!(a1, cfg.plan_for_config_attempt(c, 1));
+        assert_ne!(a1.seed, a2.seed);
+        assert_ne!(a1.seed, cfg.plan_for_config(c).seed);
+        // A timeout=1.0 config stays faulted on every attempt (permanent
+        // faults are permanent); a 50% fault clears on some attempt for
+        // nearly every config (transients are transient).
+        let always = FaultConfig::parse("timeout=1.0,seed=1").unwrap();
+        for a in 0..4 {
+            assert!(always.plan_for_config_attempt(c, a).fault.is_some());
+        }
+        let sometimes = FaultConfig::parse("timeout=0.5,seed=1").unwrap();
+        let cleared = configs
+            .iter()
+            .filter(|c| (0..6).any(|a| sometimes.plan_for_config_attempt(c, a).fault.is_none()));
+        assert!(cleared.count() >= 30);
+    }
+
+    #[test]
+    fn corrupt_at_is_deterministic_and_in_bounds() {
+        let cfg = FaultConfig::parse("corrupt-record=1.0,seed=11").unwrap();
+        for t in 0..100u64 {
+            let p = cfg.plan(t);
+            assert!(p.corrupt_record);
+            let (off, bit) = p.corrupt_at(257).unwrap();
+            assert_eq!(p.corrupt_at(257), Some((off, bit)));
+            assert!(off < 257);
+            assert!(bit != 0 && bit < 0x80);
+            assert_eq!(p.corrupt_at(0), None);
+        }
+        let clean = FaultConfig::default().plan(4);
+        assert_eq!(clean.corrupt_at(100), None);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod timers;
 pub mod value;
 
 pub use cost::CostParams;
+pub use machine::DEADLINE_CHECK_INTERVAL;
 pub use run::{
     run_ir, run_ir_shadow, run_program, run_program_shadow, OpCounts, RunConfig, RunError,
     RunOutcome, RunRecords,

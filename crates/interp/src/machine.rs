@@ -80,6 +80,10 @@ pub enum RunError {
     Stop { code: i64 },
     /// Simulated time exceeded the budget (3× baseline in searches).
     Timeout { budget: f64 },
+    /// Wall-clock deadline exceeded ([`crate::run::RunConfig::deadline`]).
+    /// Unlike [`RunError::Timeout`] this is real elapsed time, not modeled
+    /// cycles: it is the only thing that can kill a stalled event loop.
+    Deadline { ms: u64 },
     /// Event-count safety valve tripped (runaway loop).
     EventLimit,
     /// Array subscript out of bounds.
@@ -108,6 +112,7 @@ impl std::fmt::Display for RunError {
             }
             RunError::Stop { code } => write!(f, "stop {code}"),
             RunError::Timeout { budget } => write!(f, "timeout (budget {budget} cycles)"),
+            RunError::Deadline { ms } => write!(f, "wall-clock deadline exceeded ({ms} ms)"),
             RunError::EventLimit => write!(f, "event limit exceeded"),
             RunError::OutOfBounds { proc, line } => {
                 write!(f, "subscript out of bounds in `{proc}` at line {line}")
@@ -233,6 +238,14 @@ pub struct Machine<'ir> {
     /// Fault-injection plan for this run ([`prose_faults`]); `None` in
     /// normal operation.
     pub fault: Option<prose_faults::InjectedFault>,
+    /// Wall-clock instant after which the run aborts with
+    /// [`RunError::Deadline`]. Checked cooperatively every
+    /// [`DEADLINE_CHECK_INTERVAL`] events; the check reads the clock and
+    /// changes nothing unless it fires, so modeled cycles, numerics, and
+    /// event counts are bit-identical whether or not a deadline is armed.
+    pub deadline_at: Option<std::time::Instant>,
+    /// Configured deadline in milliseconds (diagnostics only).
+    pub deadline_ms: u64,
     /// Shadow execution enabled ([`crate::shadow`]).
     sh_on: bool,
     /// Shadow of the most recently evaluated expression. The discipline:
@@ -241,6 +254,12 @@ pub struct Machine<'ir> {
     sh_reg: f64,
     shadow: Option<Box<ShadowState>>,
 }
+
+/// Events between cooperative wall-clock deadline checks (power of two:
+/// the check divides into `bump_event` with a mask). Coarse enough that
+/// an un-armed run never pays a clock read per event; fine enough that a
+/// deadline is noticed within microseconds of real work.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
 
 type R<T> = Result<T, RunError>;
 
@@ -263,6 +282,8 @@ impl<'ir> Machine<'ir> {
             events: 0,
             ops: OpCounts::default(),
             fault: None,
+            deadline_at: None,
+            deadline_ms: 0,
             sh_on: false,
             sh_reg: 0.0,
             shadow: None,
@@ -316,6 +337,23 @@ impl<'ir> Machine<'ir> {
                     after_events: after_events.min(self.events),
                 })
             }
+            prose_faults::InjectedFault::Hang { .. } => self.stall(),
+        }
+    }
+
+    /// Simulate a hung event loop: burn wall-clock time without advancing
+    /// any modeled state. No budget or event limit applies here — by
+    /// design, only an armed wall-clock deadline terminates the stall.
+    fn stall(&mut self) -> RunError {
+        loop {
+            if let Some(at) = self.deadline_at {
+                if std::time::Instant::now() >= at {
+                    return RunError::Deadline {
+                        ms: self.deadline_ms,
+                    };
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
     }
 
@@ -632,6 +670,15 @@ impl<'ir> Machine<'ir> {
         self.events += 1;
         if self.events > self.max_events {
             return Err(RunError::EventLimit);
+        }
+        if self.events & (DEADLINE_CHECK_INTERVAL - 1) == 0 {
+            if let Some(at) = self.deadline_at {
+                if std::time::Instant::now() >= at {
+                    return Err(RunError::Deadline {
+                        ms: self.deadline_ms,
+                    });
+                }
+            }
         }
         if let Some(f) = &self.fault {
             if self.events >= f.after_events() {

@@ -21,6 +21,14 @@ pub struct RunConfig {
     pub budget: Option<f64>,
     /// Hard event-count safety valve.
     pub max_events: u64,
+    /// Wall-clock deadline for the execution phase. Checked cooperatively
+    /// every [`crate::machine::DEADLINE_CHECK_INTERVAL`] events; exceeding
+    /// it aborts with [`RunError::Deadline`]. Unlike `budget` (modeled
+    /// cycles) this is real elapsed time — the only mechanism that can kill
+    /// a stalled event loop (e.g. an injected `hang` fault). `None`
+    /// disables the check; modeled cycles, numerics, and records are
+    /// bit-identical either way as long as the deadline does not fire.
+    pub deadline: Option<std::time::Duration>,
     /// Names of synthesized wrapper procedures (excluded from inlining and
     /// from hotspot timer scopes).
     pub wrapper_names: HashSet<String>,
@@ -41,6 +49,7 @@ impl Default for RunConfig {
             cost: CostParams::default(),
             budget: None,
             max_events: 400_000_000,
+            deadline: None,
             wrapper_names: HashSet::new(),
             fault: None,
             shadow: false,
@@ -126,6 +135,10 @@ pub fn run_ir_shadow(
     let t1 = std::time::Instant::now();
     let mut m = Machine::new(ir, cfg.cost.clone(), budget, cfg.max_events);
     m.fault = cfg.fault.clone();
+    if let Some(d) = cfg.deadline {
+        m.deadline_at = Some(t1 + d);
+        m.deadline_ms = d.as_millis() as u64;
+    }
     if cfg.shadow {
         m.enable_shadow();
     }
@@ -378,6 +391,58 @@ end program t
         )
         .unwrap_err();
         assert_eq!(e, RunError::EventLimit);
+    }
+
+    #[test]
+    fn deadline_kills_long_runs_but_not_short_ones() {
+        let src = "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 1, 100000\n s = s + 1.0d0\n end do\n call prose_record('s', s)\nend program t\n";
+        // A generous deadline never fires, and the run is unaffected.
+        let cfg = RunConfig {
+            deadline: Some(std::time::Duration::from_secs(600)),
+            ..Default::default()
+        };
+        let out = run_cfg(src, &cfg).unwrap();
+        assert_eq!(out.records.scalars["s"], vec![100000.0]);
+        // A zero deadline kills any run long enough to hit a check point.
+        let cfg = RunConfig {
+            deadline: Some(std::time::Duration::from_millis(0)),
+            ..Default::default()
+        };
+        let e = run_cfg(src, &cfg).unwrap_err();
+        assert_eq!(e, RunError::Deadline { ms: 0 });
+    }
+
+    #[test]
+    fn deadline_does_not_perturb_modeled_state() {
+        let src = "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 1, 5000\n s = s + 0.1d0\n end do\n call prose_record('s', s)\nend program t\n";
+        let off = run_cfg(src, &RunConfig::default()).unwrap();
+        let cfg = RunConfig {
+            deadline: Some(std::time::Duration::from_secs(600)),
+            ..Default::default()
+        };
+        let on = run_cfg(src, &cfg).unwrap();
+        assert_eq!(off.records, on.records);
+        assert_eq!(off.total_cycles.to_bits(), on.total_cycles.to_bits());
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.ops, on.ops);
+    }
+
+    #[test]
+    fn hang_fault_is_killed_only_by_the_deadline() {
+        use prose_faults::InjectedFault;
+        let src = "program t\n integer :: i\n real(kind=8) :: s\n s = 0.0d0\n do i = 1, 1000\n s = s + 1.0d0\n end do\nend program t\n";
+        // Once the stall begins, neither the modeled budget nor the event
+        // limit is ever consulted again — only the wall-clock deadline
+        // terminates it.
+        let cfg = RunConfig {
+            fault: Some(InjectedFault::Hang { after_events: 10 }),
+            deadline: Some(std::time::Duration::from_millis(50)),
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let e = run_cfg(src, &cfg).unwrap_err();
+        assert_eq!(e, RunError::Deadline { ms: 50 });
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(50));
     }
 
     #[test]

@@ -22,7 +22,10 @@
 
 pub mod journal;
 
-pub use journal::{FlushPolicy, Journal, LoadReport, ShadowTrial, TrialRecord};
+pub use journal::{
+    crc32, quarantine_path_for, FlushPolicy, Journal, LoadReport, RepairReport, ShadowTrial,
+    TrialRecord,
+};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

@@ -2,9 +2,14 @@
 //! style artifacts plus cache and search-efficiency statistics.
 //!
 //! ```text
-//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json]
+//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json] [--repair]
 //! prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out BENCH_variant_path.json]
 //! ```
+//!
+//! `--repair` loads the journal in self-healing mode: corrupt mid-file
+//! records (torn writes, bit rot — anything that fails to parse or whose
+//! CRC32 mismatches) are quarantined into `<journal>.quarantine`, a torn
+//! tail is truncated, and the report runs over the surviving records.
 //!
 //! `--lints` takes the JSON document written by `prose-lint --format json`
 //! and renders the static findings next to the journal's dynamic shadow
@@ -28,12 +33,14 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json]\n\
+        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json] [--repair]\n\
          \x20      prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out out.json]\n\
          options: --guardrails (numerical-guardrail section: shadow-error demotions,\n\
          cancellation and non-finite provenance, per-member ensemble records),\n\
          --lints lints.json (static-lint section from `prose-lint --format json`\n\
-         output, cross-referenced against the journal's shadow sites)"
+         output, cross-referenced against the journal's shadow sites),\n\
+         --repair (self-healing load: quarantine corrupt mid-file records to\n\
+         <journal>.quarantine, truncate a torn tail, report on the survivors)"
     );
     std::process::exit(2)
 }
@@ -166,6 +173,7 @@ struct Args {
     csv: Option<String>,
     guardrails: bool,
     lints: Option<String>,
+    repair: bool,
 }
 
 fn parse_args() -> Option<Args> {
@@ -174,6 +182,7 @@ fn parse_args() -> Option<Args> {
     let mut csv = None;
     let mut guardrails = false;
     let mut lints = None;
+    let mut repair = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -186,6 +195,7 @@ fn parse_args() -> Option<Args> {
                 i += 1;
                 lints = Some(argv.get(i)?.clone());
             }
+            "--repair" => repair = true,
             a if journal.is_none() && !a.starts_with("--") => journal = Some(a.to_string()),
             _ => return None,
         }
@@ -196,7 +206,70 @@ fn parse_args() -> Option<Args> {
         csv,
         guardrails,
         lints,
+        repair,
     })
+}
+
+/// The supervision section: wall-clock deadline kills, transient-failure
+/// retries, single-flight watchdog re-elections, and quarantined journal
+/// records. Journals written before the supervision layer existed carry
+/// none of these fields (all serde-defaulted) and report zeros.
+fn print_supervision(records: &[TrialRecord], journal: &str) {
+    println!();
+    println!("== supervision ==");
+
+    let deadline_kills = records
+        .iter()
+        .filter(|r| r.failure_kind.as_deref() == Some("deadline"))
+        .count();
+    println!("  deadline kills:      {deadline_kills}");
+
+    // A record was retried when the journal also holds the same config at
+    // the next attempt ordinal; group the retried failures by kind.
+    let attempts_seen: std::collections::HashSet<(&[bool], u32)> = records
+        .iter()
+        .map(|r| (r.config.as_slice(), r.attempt))
+        .collect();
+    let mut retried_by_kind: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in records {
+        if attempts_seen.contains(&(r.config.as_slice(), r.attempt + 1)) {
+            let kind = r.failure_kind.as_deref().unwrap_or("unknown");
+            *retried_by_kind.entry(kind).or_insert(0) += 1;
+        }
+    }
+    let retry_records = records.iter().filter(|r| r.attempt > 0).count();
+    let recovered: std::collections::HashSet<&[bool]> = records
+        .iter()
+        .filter(|r| r.attempt > 0 && r.status == "pass")
+        .map(|r| r.config.as_slice())
+        .collect();
+    println!("  retry attempts:      {retry_records}");
+    if !retried_by_kind.is_empty() {
+        let desc: Vec<String> = retried_by_kind
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect();
+        println!("  retried failures:    {}", desc.join(", "));
+        println!("  recovered by retry:  {} config(s)", recovered.len());
+    }
+
+    let mut merged = Counters::new();
+    for r in records {
+        merged.merge(&r.counters);
+    }
+    println!(
+        "  watchdog re-elections: {}",
+        merged.get("watchdog_reelections")
+    );
+
+    let qpath = prose::trace::quarantine_path_for(std::path::Path::new(journal));
+    match std::fs::read_to_string(&qpath) {
+        Ok(s) => {
+            let n = s.lines().filter(|l| !l.trim().is_empty()).count();
+            println!("  quarantined records: {n} (in {})", qpath.display());
+        }
+        Err(_) => println!("  quarantined records: none"),
+    }
 }
 
 /// The `--guardrails` section: everything the journal knows about shadow
@@ -406,11 +479,36 @@ fn main() -> ExitCode {
         return variant_path_bench(&argv[1..]);
     }
     let Some(args) = parse_args() else { usage() };
-    let records = match Journal::load(&args.journal) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: cannot read journal {}: {e}", args.journal);
-            return ExitCode::FAILURE;
+    let records = if args.repair {
+        match Journal::load_repair(std::path::Path::new(&args.journal)) {
+            Ok(rep) => {
+                if rep.damaged() > 0 {
+                    println!(
+                        "repair: {} damaged record(s) quarantined{}, {} torn line(s) dropped",
+                        rep.quarantined,
+                        rep.quarantine_path
+                            .as_ref()
+                            .map(|p| format!(" to {}", p.display()))
+                            .unwrap_or_default(),
+                        rep.torn_tail
+                    );
+                } else {
+                    println!("repair: journal healthy, nothing to do");
+                }
+                rep.records
+            }
+            Err(e) => {
+                eprintln!("error: cannot repair journal {}: {e}", args.journal);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match Journal::load(&args.journal) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: cannot read journal {}: {e}", args.journal);
+                return ExitCode::FAILURE;
+            }
         }
     };
     if records.is_empty() {
@@ -600,6 +698,9 @@ fn main() -> ExitCode {
             println!("  {k:<22} {v}");
         }
     }
+
+    // ---- supervision: deadlines, retries, watchdog, quarantine --------
+    print_supervision(&records, &args.journal);
 
     // ---- numerical guardrails (--guardrails) --------------------------
     if args.guardrails {

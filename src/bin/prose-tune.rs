@@ -12,7 +12,7 @@
 //!     [--faults nan=P,timeout=P,abort=P,jitter=RSD,seed=S[,kill-after=K]]
 //!     [--retry-band B] [--retry-runs N] [--wal-flush record|sync|N]
 //!     [--shadow] [--shadow-budget X] [--validate-ensemble N] [--ensemble-seed S]
-//!     [--workers N]
+//!     [--workers N] [--deadline-ms MS] [--retry-attempts K]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -62,6 +62,8 @@ struct Args {
     ensemble_members: Option<u32>,
     ensemble_seed: u64,
     workers: usize,
+    deadline_ms: Option<u64>,
+    retry_attempts: u32,
 }
 
 fn usage() -> ! {
@@ -92,7 +94,13 @@ fn usage() -> ! {
          held-out input perturbations and demote input-overfit configs),\n\
          --ensemble-seed S (perturbation base seed),\n\
          --workers N (worker-pool width for batch evaluation; default\n\
-         $PROSE_WORKERS or 1; results are identical at any width)"
+         $PROSE_WORKERS or 1; results are identical at any width),\n\
+         --deadline-ms MS (per-variant wall-clock deadline; kills hung or\n\
+         pathologically slow runs as failed-by-deadline; default\n\
+         $PROSE_DEADLINE_MS or disabled; results are identical when it\n\
+         never fires), --retry-attempts K (re-attempt trials that failed\n\
+         by injected timeout or deadline up to K extra times with doubled\n\
+         budget and deadline; default $PROSE_RETRY_ATTEMPTS or 0)"
     );
     std::process::exit(2)
 }
@@ -148,6 +156,8 @@ fn parse_args() -> Option<Args> {
     let mut ensemble_members = None;
     let mut ensemble_seed = EnsembleParams::default().seed;
     let mut workers = prose::core::tuner::default_workers();
+    let mut deadline_ms = prose::core::tuner::default_deadline_ms();
+    let mut retry_attempts = prose::core::tuner::default_retry_attempts();
 
     let mut i = 0;
     while i < argv.len() {
@@ -196,6 +206,8 @@ fn parse_args() -> Option<Args> {
             "--validate-ensemble" => ensemble_members = Some(next()?.parse().ok()?),
             "--ensemble-seed" => ensemble_seed = next()?.parse().ok()?,
             "--workers" => workers = next()?.parse::<usize>().ok().filter(|&n| n >= 1)?,
+            "--deadline-ms" => deadline_ms = Some(next()?.parse::<u64>().ok().filter(|&n| n >= 1)?),
+            "--retry-attempts" => retry_attempts = next()?.parse().ok()?,
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -230,6 +242,8 @@ fn parse_args() -> Option<Args> {
         ensemble_members,
         ensemble_seed,
         workers,
+        deadline_ms,
+        retry_attempts,
     })
 }
 
@@ -293,8 +307,16 @@ fn main() -> ExitCode {
     task.shadow_budget = args.shadow_budget;
     task.granularity = args.granularity;
     task.workers = args.workers;
+    task.deadline_ms = args.deadline_ms;
+    task.retry_attempts = args.retry_attempts;
     if task.workers > 1 {
         println!("parallel evaluation: {} workers", task.workers);
+    }
+    if let Some(ms) = task.deadline_ms {
+        println!(
+            "supervision: {ms} ms wall-clock deadline per variant, {} retry attempt(s)",
+            task.retry_attempts
+        );
     }
 
     // --resume: continue an interrupted search from its journal. The
@@ -307,7 +329,11 @@ fn main() -> ExitCode {
             eprintln!("error: --resume requires --journal");
             return ExitCode::FAILURE;
         };
-        match prose::trace::Journal::load_or_empty_report(journal) {
+        // Resume always goes through repair mode: a mid-file corrupted
+        // record (torn write, bit rot) is quarantined instead of aborting
+        // the resume, and a torn tail is truncated so this process's
+        // appends cannot merge into a partial line.
+        match prose::trace::Journal::load_repair_or_empty(journal) {
             Ok(report) => {
                 let passes = report
                     .records
@@ -320,6 +346,21 @@ fn main() -> ExitCode {
                     .filter(|r| r.status == "pass")
                     .map(|r| r.speedup)
                     .fold(f64::NAN, f64::max);
+                let mut notes = String::new();
+                if report.torn_tail > 0 {
+                    notes.push_str(&format!("; dropped {} torn line(s)", report.torn_tail));
+                }
+                if report.quarantined > 0 {
+                    notes.push_str(&format!(
+                        "; quarantined {} damaged record(s) to {}",
+                        report.quarantined,
+                        report
+                            .quarantine_path
+                            .as_ref()
+                            .map(|p| p.display().to_string())
+                            .unwrap_or_default()
+                    ));
+                }
                 println!(
                     "resuming from {}: {} trials ({} unique passing, best speedup {}{})",
                     journal.display(),
@@ -330,11 +371,7 @@ fn main() -> ExitCode {
                     } else {
                         format!("{best:.3}")
                     },
-                    if report.torn_tail > 0 {
-                        format!("; dropped {} torn line(s)", report.torn_tail)
-                    } else {
-                        String::new()
-                    },
+                    notes,
                 );
             }
             Err(e) => {
