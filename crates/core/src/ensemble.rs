@@ -222,6 +222,8 @@ fn member_task(
         workers: task.workers,
         deadline_ms: task.deadline_ms,
         retry_attempts: task.retry_attempts,
+        job_id: task.job_id.clone(),
+        cancel: task.cancel.clone(),
     })
 }
 

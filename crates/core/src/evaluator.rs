@@ -150,6 +150,14 @@ impl FailureKind {
 /// recording a [`FailureKind::Panic`] trial.
 pub struct StrictDesync(pub String);
 
+/// Panic payload raised when the task's cancellation token flips while a
+/// search is running. Raised only at evaluation boundaries on the
+/// submitting thread — between journal appends, never inside one — so the
+/// journal of a cancelled run is always intact and resumable. Callers
+/// embedding the tuner as a library (`run_job`, `prose-tune`'s signal
+/// handler) catch it with `catch_unwind` and downcast.
+pub struct CancelRequested;
+
 /// Best-effort text of a contained panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -668,6 +676,7 @@ impl<'a> DynamicEvaluator<'a> {
     /// Cache hits never touch the interpreter; every request — hit or
     /// miss — is appended to the trial journal when one is configured.
     pub fn eval_one(&self, lowered: &Config) -> VariantRecord {
+        self.check_cancelled();
         let batch = self.batch_seq.fetch_add(1, Ordering::Relaxed);
         let (rec, meta) = self.eval_record(lowered, None);
         self.journal_append(&rec, &meta, batch);
@@ -804,6 +813,19 @@ impl<'a> DynamicEvaluator<'a> {
         (rec, meta)
     }
 
+    /// Raise [`CancelRequested`] when the task's cancellation token has
+    /// flipped. Called only at evaluation boundaries on the submitting
+    /// thread, so the unwind can never tear a journal record or strand a
+    /// single-flight election on a worker.
+    fn check_cancelled(&self) {
+        if let Some(cancel) = &self.task.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                lock(&self.counters).bump("cancel_checkpoints", 1);
+                std::panic::panic_any(CancelRequested);
+            }
+        }
+    }
+
     /// How long an election may be in flight before the watchdog declares
     /// it dead. Generous by construction: the sum of every escalated
     /// attempt's deadline plus a fixed grace, so a legitimately slow (but
@@ -863,6 +885,7 @@ impl<'a> DynamicEvaluator<'a> {
     /// escape containment) is re-raised here in batch index order with its
     /// payload intact.
     pub fn eval_batch_records(&self, batch: &[Config]) -> Vec<VariantRecord> {
+        self.check_cancelled();
         type Slot = Option<std::thread::Result<(VariantRecord, TrialMeta)>>;
         let batch_id = self.batch_seq.fetch_add(1, Ordering::Relaxed);
         let workers = self.workers().min(batch.len()).max(1);
@@ -985,6 +1008,7 @@ impl<'a> DynamicEvaluator<'a> {
             worker,
             batch: Some(batch),
             attempt,
+            job: self.task.job_id.clone(),
             crc: None,
         };
         // Serialize (stamping the CRC) before deciding how to write: the

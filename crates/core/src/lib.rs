@@ -79,6 +79,7 @@
 
 pub mod ensemble;
 pub mod evaluator;
+pub mod job;
 pub mod metrics;
 pub mod profile;
 pub mod speedup;
@@ -90,8 +91,9 @@ pub use ensemble::{
 };
 pub use evaluator::{
     hotspot_scope_from_callers, hotspot_scope_with_wrappers, status_from_name, status_name,
-    DynamicEvaluator, FailureKind, ProcSample, StrictDesync, VariantRecord,
+    CancelRequested, DynamicEvaluator, FailureKind, ProcSample, StrictDesync, VariantRecord,
 };
+pub use job::{job_id_for, run_job, JobError, JobRequest, JobResult};
 pub use metrics::CorrectnessMetric;
 pub use profile::{profile, select_hotspot, ProfileRow};
 pub use tuner::{

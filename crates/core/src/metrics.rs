@@ -33,6 +33,40 @@ pub enum CorrectnessMetric {
     ScalarSeriesL2 { key: String },
 }
 
+impl std::str::FromStr for CorrectnessMetric {
+    type Err = String;
+
+    /// Parse the CLI/service metric syntax: `scalar:<key>`, `field:<key>`,
+    /// or `maxspace:<key>[:floor]`.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["scalar", key] if !key.is_empty() => Ok(CorrectnessMetric::ScalarSeriesL2 {
+                key: key.to_string(),
+            }),
+            ["field", key] if !key.is_empty() => Ok(CorrectnessMetric::FieldL2 {
+                key: key.to_string(),
+            }),
+            ["maxspace", key] if !key.is_empty() => Ok(CorrectnessMetric::MaxOverSpaceL2OverTime {
+                key: key.to_string(),
+                floor_frac: 0.0,
+            }),
+            ["maxspace", key, floor] if !key.is_empty() => {
+                let floor_frac = floor
+                    .parse()
+                    .map_err(|_| format!("bad maxspace floor `{floor}`"))?;
+                Ok(CorrectnessMetric::MaxOverSpaceL2OverTime {
+                    key: key.to_string(),
+                    floor_frac,
+                })
+            }
+            _ => Err(format!(
+                "unknown metric `{spec}` (scalar:<key>|field:<key>|maxspace:<key>[:floor])"
+            )),
+        }
+    }
+}
+
 /// Relative error with a floor guard: where the baseline magnitude is tiny
 /// the absolute difference is used instead (avoids division blow-ups on
 /// zero-initialized boundary values).
@@ -121,6 +155,36 @@ mod tests {
         let mut r = RunRecords::default();
         r.arrays.insert(key.into(), steps.to_vec());
         r
+    }
+
+    #[test]
+    fn metric_spec_parses() {
+        use std::str::FromStr;
+        assert_eq!(
+            CorrectnessMetric::from_str("scalar:cfl").unwrap(),
+            CorrectnessMetric::ScalarSeriesL2 { key: "cfl".into() }
+        );
+        assert_eq!(
+            CorrectnessMetric::from_str("field:eta").unwrap(),
+            CorrectnessMetric::FieldL2 { key: "eta".into() }
+        );
+        assert_eq!(
+            CorrectnessMetric::from_str("maxspace:ke").unwrap(),
+            CorrectnessMetric::MaxOverSpaceL2OverTime {
+                key: "ke".into(),
+                floor_frac: 0.0
+            }
+        );
+        assert_eq!(
+            CorrectnessMetric::from_str("maxspace:ke:0.01").unwrap(),
+            CorrectnessMetric::MaxOverSpaceL2OverTime {
+                key: "ke".into(),
+                floor_frac: 0.01
+            }
+        );
+        assert!(CorrectnessMetric::from_str("scalar:").is_err());
+        assert!(CorrectnessMetric::from_str("maxspace:ke:zero").is_err());
+        assert!(CorrectnessMetric::from_str("energy").is_err());
     }
 
     #[test]

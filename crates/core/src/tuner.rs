@@ -183,6 +183,15 @@ pub struct TuningTask {
     /// attempt is journaled (`attempt` field); after exhaustion the final
     /// failure stands as an ordinary rejection. `0` (default) disables.
     pub retry_attempts: u32,
+    /// Content-addressed service job id this task runs under; stamped into
+    /// every journal record (provenance only, never part of the
+    /// memoization key). `None` for standalone runs.
+    pub job_id: Option<String>,
+    /// Cooperative cancellation token. When set and flipped to `true`, the
+    /// evaluator raises [`crate::evaluator::CancelRequested`] at the next
+    /// evaluation boundary — between trials, never mid-journal-append, so
+    /// a cancelled run's journal stays intact and resumable.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 /// The result of one tuning experiment.
@@ -409,6 +418,8 @@ impl LoadedModel {
             workers: default_workers(),
             deadline_ms: default_deadline_ms(),
             retry_attempts: default_retry_attempts(),
+            job_id: None,
+            cancel: None,
         })
     }
 }

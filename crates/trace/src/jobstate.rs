@@ -1,0 +1,239 @@
+//! The **job-state WAL**: a tiny append-only JSONL log of job lifecycle
+//! transitions (`queued → running → {done, failed, cancelled}`), one per
+//! service job, stored as `jobs/<id>/state.jsonl`.
+//!
+//! Same durability playbook as the trial journal, scaled down: every line
+//! carries a CRC32 over its crc-less serialization, appends are flushed
+//! and fsynced per record (state transitions are rare and must survive a
+//! kill at any instant), and [`load_states`] is damage-tolerant — a torn
+//! or corrupted line is skipped, never fatal, because the recovery scan
+//! must classify *every* job directory even after a `kill -9` mid-append.
+//! The current state of a job is simply the last intact line; a journal
+//! whose lines are all damaged (or an absent file next to a persisted
+//! `spec.json`) reads as "queued", the safe default: re-running a job is
+//! free (memoized), failing to run one loses work.
+
+use crate::journal::crc32;
+use serde::{Deserialize, Serialize};
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Lifecycle phase of a service job. Transitions only move forward except
+/// `Running → Queued` (a checkpoint: the daemon was asked to shut down and
+/// re-queued the interrupted job for the next process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobState {
+    /// Persisted and waiting for a worker.
+    Queued,
+    /// Picked up by the runner; a crash in this state resumes via the
+    /// trial journal.
+    Running,
+    /// Finished with a final configuration.
+    Done,
+    /// Finished without one (error surfaced to the client).
+    Failed,
+    /// Cancelled by a client or operator.
+    Cancelled,
+}
+
+impl JobState {
+    /// `true` for states with no further transitions.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Wire name (`queued`, `running`, `done`, `failed`, `cancelled`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One state transition, as a WAL line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStateRecord {
+    /// Transition ordinal within this job's WAL (0-based).
+    pub seq: u64,
+    /// The state entered.
+    pub state: JobState,
+    /// Free-form detail: error text for `failed`, requester for
+    /// `cancelled`, empty otherwise.
+    #[serde(default)]
+    pub detail: String,
+    /// CRC32 of this record serialized with `crc` cleared to null.
+    #[serde(default)]
+    pub crc: Option<u32>,
+}
+
+impl JobStateRecord {
+    fn expected_crc(&self) -> u32 {
+        let mut body = self.clone();
+        body.crc = None;
+        let text = serde_json::to_string(&body).expect("JobStateRecord serializes");
+        crc32(text.as_bytes())
+    }
+}
+
+/// Append one state transition to the WAL at `path`, flushed **and
+/// fsynced** before returning: once this returns, the transition survives
+/// a `kill -9`. Creates the file (and parent directories) as needed; the
+/// `seq` is derived from the current intact history.
+pub fn append_state(path: impl AsRef<Path>, state: JobState, detail: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let seq = load_states(path)?.len() as u64;
+    let mut rec = JobStateRecord {
+        seq,
+        state,
+        detail: detail.to_string(),
+        crc: None,
+    };
+    rec.crc = Some(rec.expected_crc());
+    let line = serde_json::to_string(&rec)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    // A kill mid-append can leave a torn line with no trailing newline;
+    // appending onto it would merge this record into the damage. Start on
+    // a fresh line instead (the torn bytes stay skippable).
+    let len = f.metadata()?.len();
+    if len > 0 {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut last = [0u8; 1];
+        let mut reader = std::fs::File::open(path)?;
+        reader.seek(SeekFrom::Start(len - 1))?;
+        reader.read_exact(&mut last)?;
+        if last[0] != b'\n' {
+            f.write_all(b"\n")?;
+        }
+    }
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.flush()?;
+    f.sync_data()
+}
+
+/// Read the intact transitions of a job-state WAL, in order. Damaged
+/// lines (torn writes, corruption, CRC mismatches) are **skipped**, not
+/// fatal — recovery must classify every job even from a WAL whose tail
+/// was torn by a kill. A missing file is an empty history.
+pub fn load_states(path: impl AsRef<Path>) -> io::Result<Vec<JobStateRecord>> {
+    let text = match std::fs::read_to_string(path.as_ref()) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<JobStateRecord>(l).ok())
+        .filter(|r| r.crc.is_none_or(|c| c == r.expected_crc()))
+        .collect())
+}
+
+/// The job's current state: the last intact transition, or `Queued` when
+/// the WAL is missing or fully damaged (the safe default — a persisted
+/// job with unreadable state is re-run, and memoization makes that free).
+pub fn current_state(path: impl AsRef<Path>) -> io::Result<JobState> {
+    Ok(load_states(path)?
+        .last()
+        .map(|r| r.state)
+        .unwrap_or(JobState::Queued))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("prose-jobstate-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn state_wal_round_trips_and_tracks_current() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(current_state(&path).unwrap(), JobState::Queued);
+        append_state(&path, JobState::Queued, "").unwrap();
+        append_state(&path, JobState::Running, "").unwrap();
+        assert_eq!(current_state(&path).unwrap(), JobState::Running);
+        append_state(&path, JobState::Done, "").unwrap();
+        let states = load_states(&path).unwrap();
+        assert_eq!(states.len(), 3);
+        assert_eq!(
+            states.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(current_state(&path).unwrap(), JobState::Done);
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_fatal() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        append_state(&path, JobState::Queued, "").unwrap();
+        append_state(&path, JobState::Running, "").unwrap();
+        // Simulate a kill mid-append: a truncated final line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+        assert_eq!(current_state(&path).unwrap(), JobState::Queued);
+        // Recovery can keep appending after the damage.
+        append_state(&path, JobState::Running, "").unwrap();
+        assert_eq!(current_state(&path).unwrap(), JobState::Running);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc_mismatch_is_skipped() {
+        let path = tmp_path("crc");
+        let _ = std::fs::remove_file(&path);
+        append_state(&path, JobState::Queued, "").unwrap();
+        append_state(&path, JobState::Done, "").unwrap();
+        // Tamper with the final line's state without breaking JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"state\":\"done\"", "\"state\":\"failed\"");
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        // The tampered line fails its CRC and is ignored.
+        assert_eq!(current_state(&path).unwrap(), JobState::Queued);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detail_travels_with_failures() {
+        let path = tmp_path("detail");
+        let _ = std::fs::remove_file(&path);
+        append_state(&path, JobState::Failed, "interpreter diverged").unwrap();
+        let states = load_states(&path).unwrap();
+        assert_eq!(states[0].detail, "interpreter diverged");
+        assert_eq!(states[0].state.name(), "failed");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("prose-jobstate-dirs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("jobs/abc123/state.jsonl");
+        append_state(&path, JobState::Queued, "").unwrap();
+        assert_eq!(current_state(&path).unwrap(), JobState::Queued);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

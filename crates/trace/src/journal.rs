@@ -117,6 +117,11 @@ pub struct TrialRecord {
     /// records from writers predating retry.
     #[serde(default)]
     pub attempt: u32,
+    /// Content-addressed service job this trial belongs to; `None` for
+    /// standalone `prose-tune` runs and records from writers predating the
+    /// service layer. Provenance only — never part of the memoization key.
+    #[serde(default)]
+    pub job: Option<String>,
     /// CRC32 (IEEE) of this record serialized with `crc` cleared to null.
     /// Stamped by [`Journal::append`]; verified by [`Journal::load_repair`]
     /// to catch in-place byte corruption that still parses as JSON.
@@ -613,6 +618,7 @@ mod tests {
             worker: None,
             batch: Some(seq),
             attempt: 0,
+            job: None,
             crc: None,
         }
     }
@@ -713,6 +719,7 @@ mod tests {
         assert_eq!(rec.member, None);
         assert_eq!(rec.search_granularity, "");
         assert_eq!(rec.attempt, 0);
+        assert_eq!(rec.job, None);
         assert_eq!(rec.crc, None);
         // No checksum → never treated as corrupt.
         assert_eq!(rec.crc_valid(), None);

@@ -20,12 +20,16 @@
 //! The crate is a leaf: it knows nothing about Fortran, searches, or the
 //! interpreter. Statuses travel as strings; config bits as `Vec<bool>`.
 
+pub mod jobstate;
 pub mod journal;
+pub mod tail;
 
+pub use jobstate::{append_state, current_state, load_states, JobState, JobStateRecord};
 pub use journal::{
     crc32, quarantine_path_for, FlushPolicy, Journal, LoadReport, RepairReport, ShadowTrial,
     TrialRecord,
 };
+pub use tail::JournalTail;
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

@@ -1,0 +1,163 @@
+//! Incremental journal tailing: follow a growing JSONL file and yield
+//! each **complete** line exactly once, in order.
+//!
+//! The service layer streams live job progress as server-sent events by
+//! tailing the job's trial journal — the journal *is* the event format,
+//! so the tailer only needs to deliver whole lines as they land. Partial
+//! tails (a record mid-append, or the torn tail of a killed writer) are
+//! left in place and re-examined on the next poll; a line is surfaced
+//! only once its trailing newline exists. The tailer keeps a byte offset,
+//! not a file handle, so it survives the journal being atomically
+//! replaced underneath it (`load_repair`'s rewrite) — a shrunken file
+//! resets the offset and re-reads from the start.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Follows one JSONL file by byte offset, yielding complete lines.
+#[derive(Debug)]
+pub struct JournalTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl JournalTail {
+    /// Tail `path` from the beginning (existing lines are yielded by the
+    /// first [`JournalTail::poll`]). The file need not exist yet.
+    pub fn new(path: impl AsRef<Path>) -> JournalTail {
+        JournalTail {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// Tail `path` from its current end (only lines appended after this
+    /// call are yielded).
+    pub fn from_end(path: impl AsRef<Path>) -> io::Result<JournalTail> {
+        let offset = match std::fs::metadata(path.as_ref()) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        Ok(JournalTail {
+            path: path.as_ref().to_path_buf(),
+            offset,
+        })
+    }
+
+    /// Current byte offset (start of the first unconsumed line).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Return every complete line appended since the last poll. A missing
+    /// file yields nothing; a file *shorter* than the consumed offset
+    /// (atomically replaced by a repair pass) resets the tail to the
+    /// start, so replacement re-delivers the surviving lines rather than
+    /// silently skipping them.
+    pub fn poll(&mut self) -> io::Result<Vec<String>> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        if (bytes.len() as u64) < self.offset {
+            self.offset = 0;
+        }
+        let mut out = Vec::new();
+        let mut start = self.offset as usize;
+        while let Some(nl) = bytes[start..].iter().position(|b| *b == b'\n') {
+            let line = &bytes[start..start + nl];
+            // A corrupted journal may hold non-UTF-8 bytes; surface the
+            // line lossily rather than stalling the stream.
+            if !line.is_empty() {
+                out.push(String::from_utf8_lossy(line).into_owned());
+            }
+            start += nl + 1;
+        }
+        self.offset = start as u64;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("prose-tail-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn yields_complete_lines_exactly_once() {
+        let path = tmp_path("once");
+        let _ = std::fs::remove_file(&path);
+        let mut tail = JournalTail::new(&path);
+        assert!(
+            tail.poll().unwrap().is_empty(),
+            "missing file yields nothing"
+        );
+
+        std::fs::write(&path, "one\ntwo\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["one", "two"]);
+        assert!(tail.poll().unwrap().is_empty(), "no re-delivery");
+
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"three\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["three"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_tail_waits_for_its_newline() {
+        let path = tmp_path("partial");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "full\npart").unwrap();
+        let mut tail = JournalTail::new(&path);
+        assert_eq!(tail.poll().unwrap(), vec!["full"]);
+        // The partial line stays pending until its newline arrives.
+        assert!(tail.poll().unwrap().is_empty());
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"ial\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["partial"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_end_skips_history() {
+        let path = tmp_path("end");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "old\n").unwrap();
+        let mut tail = JournalTail::from_end(&path).unwrap();
+        assert!(tail.poll().unwrap().is_empty());
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"new\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["new"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_replacement_resets_the_tail() {
+        let path = tmp_path("replace");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "a\nb\nc\n").unwrap();
+        let mut tail = JournalTail::new(&path);
+        assert_eq!(tail.poll().unwrap().len(), 3);
+        // A repair pass rewrote the journal smaller: the tail re-reads
+        // from the start instead of pointing past the end.
+        std::fs::write(&path, "a\nc\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["a", "c"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

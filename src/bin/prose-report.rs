@@ -465,6 +465,55 @@ fn print_lints(doc: &LintDoc, records: &[TrialRecord]) {
     }
 }
 
+/// The service-job section: a journal that lives in a `prose-served`
+/// `jobs/<id>/` directory (sibling `state.jsonl` WAL) or whose records
+/// carry `job` stamps gets its job id and current state printed. Standalone
+/// `prose-tune` journals have neither and skip the section; records from
+/// writers predating the service layer read the stamp as `None`
+/// (serde-defaulted), so old journals keep loading unchanged.
+fn print_job(records: &[TrialRecord], journal: &str) {
+    let dir = std::path::Path::new(journal).parent();
+    let state_path = dir.map(|d| d.join("state.jsonl")).filter(|p| p.is_file());
+    let stamped: Option<&str> = records.iter().find_map(|r| r.job.as_deref());
+    if stamped.is_none() && state_path.is_none() {
+        return;
+    }
+    println!();
+    println!("== service job ==");
+    let id = stamped
+        .map(str::to_string)
+        .or_else(|| {
+            dir.and_then(|d| d.file_name())
+                .map(|n| n.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("  job id:              {id}");
+    let stamped_count = records.iter().filter(|r| r.job.is_some()).count();
+    println!(
+        "  stamped records:     {stamped_count} of {} carry the job id",
+        records.len()
+    );
+    if let Some(path) = state_path {
+        match prose::trace::load_states(&path) {
+            Ok(states) => {
+                let current = states
+                    .last()
+                    .map(|s| s.state)
+                    .unwrap_or(prose::trace::JobState::Queued);
+                println!("  state:               {}", current.name());
+                if let Some(last) = states.last().filter(|s| !s.detail.is_empty()) {
+                    println!("  detail:              {}", last.detail);
+                }
+                let history: Vec<&str> = states.iter().map(|s| s.state.name()).collect();
+                println!("  transitions:         {}", history.join(" -> "));
+            }
+            Err(e) => println!("  state:               unreadable ({e})"),
+        }
+    } else {
+        println!("  state:               no state WAL next to this journal");
+    }
+}
+
 fn pct(n: usize, total: usize) -> f64 {
     if total == 0 {
         0.0
@@ -525,6 +574,7 @@ fn main() -> ExitCode {
         unique.entry(&r.config).or_insert(r);
     }
     println!("journal: {} ({} records)", args.journal, total);
+    print_job(&records, &args.journal);
     println!();
     println!("== cache / search efficiency ==");
     println!("  requests:            {total}");

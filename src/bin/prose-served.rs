@@ -1,0 +1,121 @@
+//! `prose-served` — crash-safe tuning-as-a-service daemon.
+//!
+//! ```text
+//! prose-served --port 8080 --jobs-dir jobs \
+//!     [--queue-cap 64] [--runners 1] [--drain-ms 2000]
+//! ```
+//!
+//! HTTP surface (JSON in, JSON out, `Connection: close`):
+//!
+//! * `POST /jobs` — submit `{"program": "<fortran>", "spec": {...}}`;
+//!   201 with the content-addressed job id, or 200 when the identical
+//!   content was already submitted (idempotent), or 429 when the pending
+//!   queue is full.
+//! * `GET /jobs` — id + state of every persisted job.
+//! * `GET /jobs/<id>` — state, detail, and (when done) the result.
+//! * `GET /jobs/<id>/events` — server-sent events tailing the job's
+//!   trial journal live, closing with a terminal `state` event.
+//! * `POST /jobs/<id>/cancel` — cancel a queued or running job.
+//! * `GET /healthz` — queue depth, counters, drain status.
+//!
+//! The daemon acknowledges a submission only after it is durably
+//! persisted, recovers every non-terminal job on restart with zero
+//! duplicate interpreter evaluations, and drains gracefully on
+//! SIGINT/SIGTERM (in-flight jobs get `--drain-ms` to finish, then are
+//! checkpointed back to `queued`). The bound address is written to
+//! `<jobs-dir>/served.addr` for scripts that bind port 0.
+
+use prose::serve::{signals, ServeConfig, Server};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prose-served [--port P] [--host H] [--jobs-dir DIR]\n\
+         options: --port P (default 8080; 0 = ephemeral, see <jobs-dir>/served.addr),\n\
+         --host H (default 127.0.0.1), --jobs-dir DIR (default jobs),\n\
+         --queue-cap N (pending-queue bound; default 64; full queue => HTTP 429),\n\
+         --runners N (concurrent job runners; default 1),\n\
+         --drain-ms MS (SIGTERM drain window before in-flight jobs are\n\
+         checkpointed back to queued; default 2000)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_config() -> Option<ServeConfig> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 8080u16;
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        let mut next = || -> Option<String> {
+            i += 1;
+            argv.get(i).cloned()
+        };
+        match a.as_str() {
+            "--port" => port = next()?.parse().ok()?,
+            "--host" => host = next()?,
+            "--jobs-dir" => config.jobs_dir = next()?.into(),
+            "--queue-cap" => {
+                config.queue_cap = next()?.parse::<usize>().ok().filter(|&n| n >= 1)?
+            }
+            "--runners" => config.runners = next()?.parse::<usize>().ok().filter(|&n| n >= 1)?,
+            "--drain-ms" => config.drain_ms = next()?.parse().ok()?,
+            _ => return None,
+        }
+        i += 1;
+    }
+    config.addr = format!("{host}:{port}").parse().ok()?;
+    Some(config)
+}
+
+fn main() -> ExitCode {
+    let Some(config) = parse_config() else {
+        usage()
+    };
+    signals::install();
+    let jobs_dir = config.jobs_dir.clone();
+    let server = match Server::new(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: starting daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: resolving bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts binding port 0 discover the real port here; written
+    // atomically so a concurrent reader never sees a torn address.
+    let addr_tmp = jobs_dir.join("served.addr.tmp");
+    if std::fs::write(&addr_tmp, addr.to_string())
+        .and_then(|()| std::fs::rename(&addr_tmp, jobs_dir.join("served.addr")))
+        .is_err()
+    {
+        eprintln!(
+            "warning: could not write {}/served.addr",
+            jobs_dir.display()
+        );
+    }
+    let rec = server.recovery();
+    eprintln!(
+        "[prose-served] listening on {addr}; jobs dir {}; recovered {} job(s) ({} finished, {} damaged line(s) quarantined, {} tmp discarded)",
+        jobs_dir.display(),
+        rec.resumed.len(),
+        rec.finished,
+        rec.quarantined,
+        rec.discarded_tmp
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serving: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -105,27 +105,6 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
-fn parse_metric(spec: &str) -> Option<CorrectnessMetric> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["scalar", key] => Some(CorrectnessMetric::ScalarSeriesL2 {
-            key: key.to_string(),
-        }),
-        ["field", key] => Some(CorrectnessMetric::FieldL2 {
-            key: key.to_string(),
-        }),
-        ["maxspace", key] => Some(CorrectnessMetric::MaxOverSpaceL2OverTime {
-            key: key.to_string(),
-            floor_frac: 0.0,
-        }),
-        ["maxspace", key, floor] => Some(CorrectnessMetric::MaxOverSpaceL2OverTime {
-            key: key.to_string(),
-            floor_frac: floor.parse().ok()?,
-        }),
-        _ => None,
-    }
-}
-
 fn parse_args() -> Option<Args> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
@@ -168,7 +147,13 @@ fn parse_args() -> Option<Args> {
         };
         match a.as_str() {
             "--procs" => procs = next()?.split(',').map(str::to_string).collect(),
-            "--metric" => metric = parse_metric(&next()?),
+            "--metric" => match next()?.parse::<CorrectnessMetric>() {
+                Ok(m) => metric = Some(m),
+                Err(e) => {
+                    eprintln!("error: --metric: {e}");
+                    return None;
+                }
+            },
             "--threshold" => threshold = next()?.parse().ok(),
             "--scope" => {
                 scope = match next()?.as_str() {
@@ -247,6 +232,92 @@ fn parse_args() -> Option<Args> {
     })
 }
 
+/// Append the graceful-shutdown marker record to `journal` and flush it to
+/// disk. The marker is provenance, not a trial: preloading skips it because
+/// its status is unknown to `variant_from_trial` and its empty config never
+/// matches the search's atom count, so a subsequent `--resume` replays the
+/// journal exactly as if the run had been interrupted between trials.
+fn append_shutdown_marker(path: &std::path::Path, signum: i32) -> std::io::Result<u64> {
+    use prose::trace::{FlushPolicy, Journal, TrialRecord};
+    let next_seq = Journal::load(path)
+        .ok()
+        .and_then(|rs| rs.last().map(|r| r.seq + 1))
+        .unwrap_or(0);
+    let mut journal = Journal::open_append_with(path, FlushPolicy::Sync)?;
+    journal.append(&TrialRecord {
+        seq: next_seq,
+        config: Vec::new(),
+        status: "shutdown".to_string(),
+        speedup: 0.0,
+        error: 0.0,
+        cached: true,
+        wall_ms: 0.0,
+        fraction_single: 0.0,
+        wrappers: 0,
+        total_cycles: None,
+        hotspot_cycles: None,
+        stages: Default::default(),
+        counters: Default::default(),
+        variant_path: String::new(),
+        failure_kind: Some(format!("signal:{signum}")),
+        fault_kind: None,
+        fault_seed: None,
+        shadow: None,
+        member: None,
+        search_granularity: String::new(),
+        workers: 0,
+        worker: None,
+        batch: None,
+        attempt: 0,
+        job: None,
+        crc: None,
+    })?;
+    journal.flush()?;
+    Ok(next_seq)
+}
+
+/// Exit path for a latched SIGINT/SIGTERM: flush the WAL, journal the
+/// shutdown marker, and exit with the conventional `128 + signum` code
+/// (130 for SIGINT, 143 for SIGTERM) so callers can tell an interrupted
+/// search from a failed one.
+fn shutdown_exit(journal: Option<&std::path::Path>) -> ExitCode {
+    let signum = prose::serve::signals::pending().unwrap_or(prose::serve::signals::SIGINT);
+    match journal {
+        Some(path) => match append_shutdown_marker(path, signum) {
+            Ok(seq) => eprintln!(
+                "interrupted by signal {signum}: journal {} flushed, shutdown marker seq {seq}; \
+                 continue with --resume",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "interrupted by signal {signum}: could not append shutdown marker to {}: {e}",
+                path.display()
+            ),
+        },
+        None => eprintln!("interrupted by signal {signum} (no --journal; nothing to checkpoint)"),
+    }
+    ExitCode::from(u8::try_from(128 + signum).unwrap_or(130))
+}
+
+/// Run `f`, translating a [`CancelRequested`](prose::core::CancelRequested)
+/// unwind (raised by the evaluator when the signal watcher flips the cancel
+/// token) into `Err(())`; any other panic propagates.
+fn run_cancellable<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            if payload
+                .downcast_ref::<prose::core::CancelRequested>()
+                .is_some()
+            {
+                Err(())
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else { usage() };
     if args.procs.is_empty() {
@@ -309,6 +380,24 @@ fn main() -> ExitCode {
     task.workers = args.workers;
     task.deadline_ms = args.deadline_ms;
     task.retry_attempts = args.retry_attempts;
+
+    // Graceful SIGINT/SIGTERM: latch the signal, flip the evaluator's
+    // cancel token, and let the search unwind at the next evaluation
+    // boundary — never mid-journal-append, so the WAL stays intact and a
+    // later --resume replays every finished trial from cache.
+    prose::serve::signals::install();
+    let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    task.cancel = Some(cancel.clone());
+    {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || loop {
+            if prose::serve::signals::pending().is_some() {
+                cancel.store(true, std::sync::atomic::Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
     if task.workers > 1 {
         println!("parallel evaluation: {} workers", task.workers);
     }
@@ -381,7 +470,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = match args.strategy.as_str() {
+    let outcome = match run_cancellable(|| match args.strategy.as_str() {
         "brute" => tune_brute_force(&task),
         "random" => {
             use prose::core::DynamicEvaluator;
@@ -403,6 +492,9 @@ fn main() -> ExitCode {
             }
         }
         _ => tune(&task),
+    }) {
+        Ok(r) => r,
+        Err(()) => return shutdown_exit(task.journal.as_deref()),
     };
     let outcome = match outcome {
         Ok(o) => o,
@@ -494,12 +586,13 @@ fn main() -> ExitCode {
             seed: args.ensemble_seed,
             ..EnsembleParams::default()
         };
-        let report = match validate_ensemble(&task, &outcome, &params) {
-            Ok(r) => r,
-            Err(e) => {
+        let report = match run_cancellable(|| validate_ensemble(&task, &outcome, &params)) {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => {
                 eprintln!("error: ensemble validation failed: {e}");
                 return ExitCode::FAILURE;
             }
+            Err(()) => return shutdown_exit(task.journal.as_deref()),
         };
         println!(
             "\nensemble validation: {} member(s), seed {}, amplitude {:.1e}",

@@ -38,6 +38,9 @@
 //! | [`models`] | `prose-models` | the four embedded mini-models |
 //! | [`trace`] | `prose-trace` | trial journal, stage clocks, metric counters |
 //! | [`faults`] | `prose-faults` | deterministic fault injection for robustness testing |
+//! | [`serve`] | (this crate) | `prose-served`'s durable job queue + HTTP front end |
+
+pub mod serve;
 
 pub use prose_analysis as analysis;
 pub use prose_core as core;

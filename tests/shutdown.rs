@@ -1,0 +1,136 @@
+//! Graceful-shutdown integration test for `prose-tune`: SIGINT mid-search
+//! flushes the WAL, appends a `shutdown` marker record, and exits 130;
+//! `--resume` then finishes the search with zero quarantined records and
+//! zero duplicate interpreter evaluations.
+
+use prose::trace::Journal;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// 100 timesteps put ~0.5 s of interpreter work into each trial, and the
+/// 1e-9 threshold forces delta debugging to explore several
+/// configurations — plenty of window for the signal to land mid-search.
+const PROGRAM: &str = r#"
+module hot
+contains
+  subroutine work(u, n)
+    real(kind=8), intent(inout) :: u(n)
+    integer, intent(in) :: n
+    real(kind=8) :: c
+    real(kind=8) :: d
+    integer :: i
+    c = 1.0000001d0
+    d = 0.25d0
+    do i = 1, n
+      u(i) = u(i) * c + d
+    end do
+  end subroutine work
+end module hot
+program main
+  use hot
+  real(kind=8) :: field(256), diag(2048), acc
+  integer :: step, i
+  field = 1.0d0
+  diag = 0.5d0
+  acc = 0.0d0
+  do step = 1, 100
+    call work(field, 256)
+    do i = 1, 2048
+      diag(i) = diag(i) * 0.999d0 + 0.001d0
+    end do
+    acc = acc + sum(diag)
+  end do
+  call prose_record_array('field', field)
+end program main
+"#;
+
+fn tune_cmd(source: &PathBuf, journal: &PathBuf, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_prose-tune"));
+    cmd.arg(source)
+        .args(["--procs", "work"])
+        .args(["--metric", "maxspace:field:0.0"])
+        .args(["--threshold", "1e-9"])
+        .arg("--journal")
+        .arg(journal)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for a in extra {
+        cmd.arg(a);
+    }
+    cmd
+}
+
+#[test]
+fn sigint_checkpoints_journal_and_resume_completes() {
+    let dir = std::env::temp_dir().join(format!("prose-shutdown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("model.f90");
+    let journal = dir.join("trials.jsonl");
+    std::fs::write(&source, PROGRAM).unwrap();
+
+    // Run until a couple of trials are journaled, then SIGINT.
+    let mut child = tune_cmd(&source, &journal, &[]).spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if std::fs::read_to_string(&journal)
+            .map(|s| s.lines().count() >= 2)
+            .unwrap_or(false)
+        {
+            break;
+        }
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "search finished before the signal could land; slow the spec down"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "journal never accumulated trials"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let exit = child.wait().unwrap();
+    assert_eq!(exit.code(), Some(130), "SIGINT exit code: {exit:?}");
+
+    // The WAL is intact (graceful unwind, no torn tail) and ends with the
+    // shutdown marker.
+    let records = Journal::load(&journal).unwrap();
+    let last = records.last().expect("journal non-empty");
+    assert_eq!(last.status, "shutdown");
+    assert!(last.cached, "the marker is not an evaluation");
+    assert!(last.config.is_empty(), "marker never matches a real config");
+    assert_eq!(last.failure_kind.as_deref(), Some("signal:2"));
+    let trials_before = records.len() - 1;
+    assert!(trials_before >= 2);
+
+    // --resume finishes the search: exit 0, zero quarantined records, and
+    // no configuration evaluated twice across both processes.
+    let exit = tune_cmd(&source, &journal, &["--resume"]).status().unwrap();
+    assert_eq!(exit.code(), Some(0), "resume completes: {exit:?}");
+    assert!(
+        !prose::trace::quarantine_path_for(&journal).exists(),
+        "graceful shutdown must not damage the journal"
+    );
+    let records = Journal::load(&journal).unwrap();
+    let mut seen: HashSet<(Vec<bool>, Option<u32>, u32)> = HashSet::new();
+    for r in records.iter().filter(|r| !r.cached) {
+        assert!(
+            seen.insert((r.config.clone(), r.member, r.attempt)),
+            "config {:?} evaluated twice across interrupt + resume",
+            r.config
+        );
+    }
+    assert!(
+        records.len() > trials_before + 1,
+        "resume made progress past the checkpoint"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
