@@ -1,0 +1,1010 @@
+//! Abstract-interpretation domains for static range and round-off analysis.
+//!
+//! This module holds the *value domains* and their transfer functions — an
+//! interval domain over the fp64 shadow value and a first-order absolute
+//! round-off error domain bounding `|primary − shadow|` under a candidate
+//! precision assignment. The IR walker that drives these domains lives in
+//! `prose-interp` (`prose_interp::absint`): the interpreter crate already
+//! depends on this one, so the walk must sit on that side of the boundary.
+//!
+//! ## Error model
+//!
+//! Every abstract value tracks `(iv, err, prec)`:
+//!
+//! * `iv` — an interval containing every fp64 *shadow* value the expression
+//!   can take along any executed path;
+//! * `err` — an upper bound on `|primary − shadow|`, the divergence the
+//!   shadow machinery ([`prose-interp`'s shadow execution]) observes. Each
+//!   operation adds `u(prec)·max|primary result| + u64·max|shadow result|`
+//!   on top of first-order propagation of the operand errors, so the bound
+//!   covers both the variant's rounding *and* the shadow's own fp64
+//!   rounding — exactly the quantity `shadow_rel` measures;
+//! * `prec` — the primary representation: `Some(Single|Double)` for values
+//!   held in typed storage, `None` for kind-generic literals (which both
+//!   primary and shadow evaluate identically in f64, contributing no
+//!   divergence until they are stored into a typed slot).
+//!
+//! Subtraction does not amplify *absolute* error, but catastrophic
+//! cancellation shows up the moment a bound is made relative: the relative
+//! bound divides by `min|iv|`, so a difference interval near zero inflates
+//! the relative error by exactly the cancellation condition number
+//! `(|a| + |b|) / |a − b|`. [`cancellation_kappa`] exposes that factor for
+//! the lint suite and certificate reports.
+
+use prose_fortran::ast::{BinOp, Expr, FpPrecision, UnOp};
+use prose_fortran::precision::PrecisionMap;
+use prose_fortran::sema::{ProgramIndex, ScopeId, ScopeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Unit roundoff of IEEE binary32 (2⁻²⁴).
+pub const U32: f64 = 5.960_464_477_539_063e-8;
+/// Unit roundoff of IEEE binary64 (2⁻⁵³).
+pub const U64: f64 = 1.110_223_024_625_156_5e-16;
+
+/// Unit roundoff for a precision level.
+pub fn unit_roundoff(p: FpPrecision) -> f64 {
+    match p {
+        FpPrecision::Single => U32,
+        FpPrecision::Double => U64,
+    }
+}
+
+/// Near-zero fallback of the shadow's relative-error measure: below this
+/// magnitude the divergence is compared absolutely (mirrors `shadow_rel`).
+pub const REL_FLOOR: f64 = 1e-30;
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+/// A closed interval `[lo, hi]` over f64, `±∞` permitted. The empty interval
+/// is not representable — unreachable states are handled by the walker
+/// (`Option<Interval>` at the state level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(!(lo.is_nan() || hi.is_nan()) || (lo.is_nan() && hi.is_nan()));
+        if lo.is_nan() || hi.is_nan() {
+            return Self::top();
+        }
+        Interval { lo, hi }
+    }
+
+    pub fn point(x: f64) -> Self {
+        if x.is_nan() {
+            return Self::top();
+        }
+        Interval { lo: x, hi: x }
+    }
+
+    /// `[-∞, +∞]` — no information.
+    pub fn top() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    pub fn is_top(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
+    /// Both bounds finite.
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// A single point (used to recover concrete loop bounds).
+    pub fn singleton(&self) -> Option<f64> {
+        (self.lo == self.hi && self.lo.is_finite()).then_some(self.lo)
+    }
+
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Classic widening: any bound that moved since `prev` jumps to ±∞.
+    pub fn widen(&self, prev: &Interval) -> Interval {
+        Interval {
+            lo: if self.lo < prev.lo {
+                f64::NEG_INFINITY
+            } else {
+                self.lo
+            },
+            hi: if self.hi > prev.hi {
+                f64::INFINITY
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    /// `self ⊑ o` (containment).
+    pub fn subset_of(&self, o: &Interval) -> bool {
+        self.lo >= o.lo && self.hi <= o.hi
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn max_abs(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Smallest absolute value in the interval (0 when it spans zero).
+    pub fn min_abs(&self) -> f64 {
+        if self.lo <= 0.0 && self.hi >= 0.0 {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    /// Inflate both ends by `d` (primary-value hull given an error bound).
+    pub fn inflate(&self, d: f64) -> Interval {
+        if d == 0.0 {
+            return *self;
+        }
+        if !d.is_finite() {
+            return Interval::top();
+        }
+        Interval {
+            lo: self.lo - d,
+            hi: self.hi + d,
+        }
+    }
+
+    pub fn add(&self, o: &Interval) -> Interval {
+        Interval::new(sound_lo(self.lo + o.lo), sound_hi(self.hi + o.hi))
+    }
+
+    pub fn sub(&self, o: &Interval) -> Interval {
+        Interval::new(sound_lo(self.lo - o.hi), sound_hi(self.hi - o.lo))
+    }
+
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    pub fn mul(&self, o: &Interval) -> Interval {
+        let cands = [
+            mul_ext(self.lo, o.lo),
+            mul_ext(self.lo, o.hi),
+            mul_ext(self.hi, o.lo),
+            mul_ext(self.hi, o.hi),
+        ];
+        let lo = cands.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cands.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(sound_lo(lo), sound_hi(hi))
+    }
+
+    /// Division; `⊤` when the divisor may be zero.
+    pub fn div(&self, o: &Interval) -> Interval {
+        if o.lo <= 0.0 && o.hi >= 0.0 {
+            return Interval::top();
+        }
+        let cands = [
+            self.lo / o.lo,
+            self.lo / o.hi,
+            self.hi / o.lo,
+            self.hi / o.hi,
+        ];
+        let lo = cands.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cands.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(sound_lo(lo), sound_hi(hi))
+    }
+
+    pub fn abs(&self) -> Interval {
+        Interval {
+            lo: self.min_abs(),
+            hi: self.max_abs(),
+        }
+    }
+
+    /// `sqrt`; clamps the negative part to zero (the machine faults there,
+    /// so those paths never store).
+    pub fn sqrt(&self) -> Interval {
+        Interval::new(self.lo.max(0.0).sqrt(), self.hi.max(0.0).sqrt())
+    }
+
+    pub fn exp(&self) -> Interval {
+        Interval::new(sound_lo(self.lo.exp()), sound_hi(self.hi.exp()))
+    }
+
+    /// Natural log; `⊤` when the argument may be ≤ 0.
+    pub fn ln(&self) -> Interval {
+        if self.lo <= 0.0 {
+            return Interval::top();
+        }
+        Interval::new(self.lo.ln(), self.hi.ln())
+    }
+
+    /// `sin` over the interval. Point intervals evaluate exactly (the
+    /// dynamic shadow calls the very same libm, so the point *is* the
+    /// shadow value). Narrow intervals get the tight envelope: endpoint
+    /// values hulled with any interior extremum (`±1` at `π/2 + kπ`),
+    /// padded outward for libm slop. Spans of a full period — or arguments
+    /// too large for the extremum scan's `x/π` arithmetic to be exact
+    /// enough — fall back to `[-1, 1]`, which is always sound.
+    pub fn sin(&self) -> Interval {
+        match self.singleton() {
+            Some(x) => Interval::point(x.sin()),
+            None => trig_env(self, f64::sin, std::f64::consts::FRAC_PI_2),
+        }
+    }
+
+    pub fn cos(&self) -> Interval {
+        match self.singleton() {
+            Some(x) => Interval::point(x.cos()),
+            None => trig_env(self, f64::cos, 0.0),
+        }
+    }
+
+    pub fn min(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    pub fn max(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+}
+
+/// `0·∞` in interval arithmetic is 0 (the factor is exactly zero on that
+/// bound), not NaN.
+fn mul_ext(a: f64, b: f64) -> f64 {
+    let p = a * b;
+    if p.is_nan() {
+        0.0
+    } else {
+        p
+    }
+}
+
+/// Round a computed lower bound down an ulp so float evaluation of the
+/// transfer function itself cannot under-approximate.
+fn sound_lo(x: f64) -> f64 {
+    if x.is_finite() {
+        next_down(x)
+    } else {
+        x
+    }
+}
+
+fn sound_hi(x: f64) -> f64 {
+    if x.is_finite() {
+        next_up(x)
+    } else {
+        x
+    }
+}
+
+fn next_up(x: f64) -> f64 {
+    let bits = x.to_bits();
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let next = if x == 0.0 {
+        1
+    } else if x > 0.0 {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f64::from_bits(next)
+}
+
+fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+// ---------------------------------------------------------------------------
+// Combined value × round-off error domain
+// ---------------------------------------------------------------------------
+
+/// One abstract FP value: shadow interval, `|primary − shadow|` bound, and
+/// the primary representation's precision (`None` = kind-generic literal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsVal {
+    pub iv: Interval,
+    pub err: f64,
+    pub prec: Option<FpPrecision>,
+}
+
+impl AbsVal {
+    /// No information: any value, unbounded divergence.
+    pub fn top() -> Self {
+        AbsVal {
+            iv: Interval::top(),
+            err: f64::INFINITY,
+            prec: Some(FpPrecision::Double),
+        }
+    }
+
+    /// An exact kind-generic literal: both primary and shadow hold the same
+    /// f64, so there is no divergence until it lands in typed storage.
+    pub fn lit(x: f64) -> Self {
+        AbsVal {
+            iv: Interval::point(x),
+            err: 0.0,
+            prec: None,
+        }
+    }
+
+    /// An exact typed value (e.g. a zero-initialized slot).
+    pub fn exact(x: f64, prec: FpPrecision) -> Self {
+        AbsVal {
+            iv: Interval::point(x),
+            err: 0.0,
+            prec: Some(prec),
+        }
+    }
+
+    pub fn join(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.join(&o.iv),
+            err: self.err.max(o.err),
+            prec: promote(self.prec, o.prec),
+        }
+    }
+
+    pub fn widen(&self, prev: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.widen(&prev.iv),
+            err: if self.err > prev.err {
+                f64::INFINITY
+            } else {
+                self.err
+            },
+            prec: promote(self.prec, prev.prec),
+        }
+    }
+
+    /// `self ⊑ o`.
+    pub fn subset_of(&self, o: &AbsVal) -> bool {
+        self.iv.subset_of(&o.iv) && self.err <= o.err
+    }
+
+    /// Hull of the *primary* values (shadow interval inflated by the error).
+    pub fn primary_iv(&self) -> Interval {
+        self.iv.inflate(self.err)
+    }
+
+    /// Upper bound on `shadow_rel(primary, shadow)` over all values this
+    /// abstract value admits, with the shadow's near-zero absolute fallback.
+    pub fn rel_bound(&self) -> f64 {
+        rel_bound(&self.iv, self.err)
+    }
+
+    fn round(iv: &Interval, raw_err: f64, prec: Option<FpPrecision>) -> AbsVal {
+        // One op's rounding: the primary rounds at its precision, the shadow
+        // at f64. Both terms scale by the largest magnitude either side can
+        // produce.
+        let u = prec.map_or(0.0, unit_roundoff);
+        let primary_max = iv.max_abs() + if raw_err.is_finite() { raw_err } else { 0.0 };
+        let err = if raw_err.is_finite() && iv.is_finite() && !overflows(primary_max, prec) {
+            raw_err + u * primary_max + U64 * iv.max_abs()
+        } else {
+            f64::INFINITY
+        };
+        AbsVal { iv: *iv, err, prec }
+    }
+
+    pub fn add(&self, o: &AbsVal) -> AbsVal {
+        let iv = self.iv.add(&o.iv);
+        AbsVal::round(&iv, self.err + o.err, promote(self.prec, o.prec))
+    }
+
+    pub fn sub(&self, o: &AbsVal) -> AbsVal {
+        let iv = self.iv.sub(&o.iv);
+        AbsVal::round(&iv, self.err + o.err, promote(self.prec, o.prec))
+    }
+
+    pub fn neg(&self) -> AbsVal {
+        AbsVal {
+            iv: self.iv.neg(),
+            err: self.err,
+            prec: self.prec,
+        }
+    }
+
+    pub fn mul(&self, o: &AbsVal) -> AbsVal {
+        let iv = self.iv.mul(&o.iv);
+        // |a'b' − ab| ≤ |a|err_b + |b|err_a + err_a·err_b.
+        let raw = self.iv.max_abs() * o.err + o.iv.max_abs() * self.err + self.err * o.err;
+        AbsVal::round(&iv, raw, promote(self.prec, o.prec))
+    }
+
+    pub fn div(&self, o: &AbsVal) -> AbsVal {
+        let iv = self.iv.div(&o.iv);
+        // Quotient rule with the primary divisor bounded away from zero:
+        // |a'/b' − a/b| ≤ (|b|err_a + |a|err_b) / (|b|·|b'|),
+        // |b'| ≥ min|b| − err_b.
+        let bmin = o.iv.min_abs();
+        let bmin_primary = bmin - o.err;
+        let raw = if bmin > 0.0 && bmin_primary > 0.0 {
+            (bmin * self.err + self.iv.max_abs() * o.err) / (bmin * bmin_primary)
+        } else {
+            f64::INFINITY
+        };
+        AbsVal::round(&iv, raw, promote(self.prec, o.prec))
+    }
+
+    /// Power with an integer exponent (repeated multiplication, the only
+    /// form the models use; fractional powers fall back to `⊤` magnitude).
+    pub fn powi(&self, n: i64) -> AbsVal {
+        let mut acc = AbsVal::lit(1.0);
+        let (base, k) = if n >= 0 {
+            (*self, n)
+        } else {
+            (AbsVal::lit(1.0).div(self), -n)
+        };
+        for _ in 0..k.min(64) {
+            acc = acc.mul(&base);
+        }
+        if k > 64 {
+            AbsVal::top()
+        } else {
+            acc
+        }
+    }
+
+    pub fn abs(&self) -> AbsVal {
+        AbsVal {
+            iv: self.iv.abs(),
+            err: self.err,
+            prec: self.prec,
+        }
+    }
+
+    /// Unary intrinsic with Lipschitz bound `lip` on the interval and the
+    /// image interval `iv` (first-order: err_out ≤ lip·err_in + rounding).
+    pub fn lipschitz(&self, iv: Interval, lip: f64) -> AbsVal {
+        let raw = if lip.is_finite() && self.err.is_finite() {
+            lip * self.err
+        } else {
+            f64::INFINITY
+        };
+        AbsVal::round(&iv, raw, self.prec)
+    }
+
+    pub fn sqrt(&self) -> AbsVal {
+        let iv = self.iv.sqrt();
+        // d/dx √x = 1/(2√x); evaluated at the smallest magnitude the
+        // *primary* argument can reach.
+        let lo_primary = (self.iv.lo - self.err).max(0.0);
+        let lip = if lo_primary > 0.0 {
+            0.5 / lo_primary.sqrt()
+        } else if self.err == 0.0 && self.iv.singleton() == Some(0.0) {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        self.lipschitz(iv, lip)
+    }
+
+    pub fn exp(&self) -> AbsVal {
+        let iv = self.iv.exp();
+        // d/dx eˣ = eˣ ≤ e^(hi + err).
+        let lip = if self.err.is_finite() {
+            (self.iv.hi + self.err).exp()
+        } else {
+            f64::INFINITY
+        };
+        self.lipschitz(iv, lip)
+    }
+
+    pub fn ln(&self) -> AbsVal {
+        let iv = self.iv.ln();
+        let lo_primary = self.iv.lo - self.err;
+        let lip = if lo_primary > 0.0 {
+            1.0 / lo_primary
+        } else {
+            f64::INFINITY
+        };
+        self.lipschitz(iv, lip)
+    }
+
+    pub fn sin(&self) -> AbsVal {
+        self.lipschitz(self.iv.sin(), 1.0)
+    }
+
+    pub fn cos(&self) -> AbsVal {
+        self.lipschitz(self.iv.cos(), 1.0)
+    }
+
+    pub fn min(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.min(&o.iv),
+            err: self.err.max(o.err),
+            prec: promote(self.prec, o.prec),
+        }
+    }
+
+    pub fn max(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.max(&o.iv),
+            err: self.err.max(o.err),
+            prec: promote(self.prec, o.prec),
+        }
+    }
+
+    /// A store into typed storage of precision `p`: the primary value is
+    /// re-rounded at `p`, the shadow keeps its f64 value unrounded.
+    pub fn store(&self, p: FpPrecision) -> AbsVal {
+        let u = unit_roundoff(p);
+        let primary_max = self.iv.max_abs() + if self.err.is_finite() { self.err } else { 0.0 };
+        let err = if self.err.is_finite() && self.iv.is_finite() && !overflows(primary_max, Some(p))
+        {
+            self.err + u * primary_max
+        } else {
+            f64::INFINITY
+        };
+        AbsVal {
+            iv: self.iv,
+            err,
+            prec: Some(p),
+        }
+    }
+
+    /// True when this value's primary side may overflow to `±Inf` if held at
+    /// precision `p` — the static trigger for the overflow pin and lint.
+    pub fn may_overflow_at(&self, p: FpPrecision) -> bool {
+        let primary_max = self.iv.max_abs() + if self.err.is_finite() { self.err } else { 0.0 };
+        !self.err.is_finite() || !self.iv.is_finite() || overflows(primary_max, Some(p))
+    }
+}
+
+/// Whether a primary magnitude bound exceeds what precision `p` can
+/// represent. A silent overflow-to-Inf makes the divergence unbounded, so
+/// rounding must collapse to `∞` rather than pretend `u·|x|` still holds.
+fn overflows(primary_max: f64, prec: Option<FpPrecision>) -> bool {
+    match prec {
+        Some(FpPrecision::Single) => primary_max > f32::MAX as f64,
+        Some(FpPrecision::Double) | None => primary_max > f64::MAX,
+    }
+}
+
+/// Fortran promotion: double wins; kind-generic adapts to the other side.
+pub fn promote(a: Option<FpPrecision>, b: Option<FpPrecision>) -> Option<FpPrecision> {
+    match (a, b) {
+        (Some(FpPrecision::Double), _) | (_, Some(FpPrecision::Double)) => {
+            Some(FpPrecision::Double)
+        }
+        (Some(FpPrecision::Single), _) | (_, Some(FpPrecision::Single)) => {
+            Some(FpPrecision::Single)
+        }
+        (None, None) => None,
+    }
+}
+
+/// Tight sine-family envelope over a non-point interval: endpoint values
+/// hulled with `±1` where an interior extremum lies in the span. `max_phase`
+/// is where the function attains `+1` (`π/2` for sin, `0` for cos); minima
+/// sit a half period later. The extremum-inclusion test is widened by a
+/// magnitude-proportional slop so `x/2π` rounding can only *add* extrema
+/// (sound), and endpoint evaluations are padded for libm slop.
+fn trig_env(iv: &Interval, f: fn(f64) -> f64, max_phase: f64) -> Interval {
+    use std::f64::consts::{PI, TAU};
+    let span = iv.hi - iv.lo;
+    if !span.is_finite() || span >= TAU || iv.max_abs() > 1e12 {
+        return Interval::new(-1.0, 1.0);
+    }
+    let (a, b) = (f(iv.lo), f(iv.hi));
+    let mut lo = a.min(b);
+    let mut hi = a.max(b);
+    let slop = iv.max_abs() * 1e-13 + 1e-13;
+    let has_extremum = |phase: f64| {
+        let k = ((iv.lo - phase - slop) / TAU).ceil();
+        phase + k * TAU <= iv.hi + slop
+    };
+    if has_extremum(max_phase) {
+        hi = 1.0;
+    }
+    if has_extremum(max_phase + PI) {
+        lo = -1.0;
+    }
+    Interval::new((lo - 1e-15).max(-1.0), (hi + 1e-15).min(1.0))
+}
+
+/// Upper bound on `shadow_rel` over an abstract value (shadow interval `iv`,
+/// divergence bound `err`), honoring the near-zero absolute fallback.
+pub fn rel_bound(iv: &Interval, err: f64) -> f64 {
+    if !err.is_finite() {
+        return f64::INFINITY;
+    }
+    if iv.max_abs() < REL_FLOOR {
+        err
+    } else {
+        err / iv.min_abs().max(REL_FLOOR)
+    }
+}
+
+/// Amplification at which a subtraction counts as catastrophic: κ ≥ 2²⁰
+/// turns the last 20 bits of the inputs into noise, half an f64 mantissa
+/// and most of an f32's. Shared by the IR walker's cancellation guardrail
+/// and the range-driven lints.
+pub const CANCEL_KAPPA: f64 = 1_048_576.0;
+
+/// The cancellation condition number of a subtraction `a − b`: how much a
+/// relative error on the inputs is amplified in the result. `∞` when the
+/// difference may vanish.
+pub fn cancellation_kappa(a: &Interval, b: &Interval) -> f64 {
+    let diff = a.sub(b);
+    let denom = diff.min_abs();
+    if denom == 0.0 {
+        f64::INFINITY
+    } else {
+        (a.max_abs() + b.max_abs()) / denom
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis results: per-variable bounds keyed in the shadow name space
+// ---------------------------------------------------------------------------
+
+/// Static bound for one variable (or recorded metric key), in the shadow
+/// report's `proc::var` / `@global::var` name space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarBound {
+    pub name: String,
+    /// Hull of every *primary* value stored to the variable.
+    pub lo: f64,
+    pub hi: f64,
+    /// Bound on `|primary − shadow|` at any store.
+    pub abs_err: f64,
+    /// Bound on the shadow's relative-error measure at any store.
+    pub rel_err: f64,
+}
+
+/// A subtraction site whose static cancellation condition number is large.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CancelSite {
+    /// `proc:line`, the shadow key space.
+    pub site: String,
+    /// `(|a| + |b|) / |a − b|` amplification bound (∞ serialized as `null`).
+    pub kappa: f64,
+}
+
+/// The machine-readable result of one whole-program analysis under one
+/// precision assignment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BoundReport {
+    /// Per-variable bounds, worst relative bound first.
+    pub vars: Vec<VarBound>,
+    /// Per-recorded-metric-key bounds (`prose_record*` calls).
+    pub records: Vec<VarBound>,
+    /// Largest finite-or-not relative bound across `vars` and `records`.
+    pub worst_rel: f64,
+    /// Subtraction sites with cancellation amplification ≥ 2²⁰.
+    pub cancellations: Vec<CancelSite>,
+    /// True when the analysis gave up (abstract step budget exhausted or
+    /// call depth exceeded); all bounds are then `⊤` for untouched
+    /// variables and every verdict must degrade to "undecided".
+    pub incomplete: bool,
+    /// Abstract operations executed.
+    pub steps: u64,
+}
+
+impl BoundReport {
+    pub fn var(&self, name: &str) -> Option<&VarBound> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Project the per-variable value ranges for the lint suite.
+    pub fn range_map(&self) -> RangeMap {
+        let mut m = RangeMap::default();
+        for v in &self.vars {
+            m.insert_name(&v.name, Interval::new(v.lo, v.hi));
+        }
+        m
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RangeMap: variable ranges keyed for AST-side consumers (lints)
+// ---------------------------------------------------------------------------
+
+/// Per-variable value ranges keyed by the shadow name space `scope::var`,
+/// where the scope is the procedure name, `@main` for the main program, or
+/// `@global` for module-level variables — the same keys the shadow report
+/// and the IR use.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RangeMap {
+    map: BTreeMap<String, Interval>,
+}
+
+impl RangeMap {
+    pub fn insert(&mut self, scope_key: &str, var: &str, iv: Interval) {
+        self.insert_name(&format!("{scope_key}::{var}"), iv);
+    }
+
+    /// Insert from a shadow-space `scope::var` composite name.
+    pub fn insert_name(&mut self, name: &str, iv: Interval) {
+        self.map
+            .entry(name.to_string())
+            .and_modify(|e| *e = e.join(&iv))
+            .or_insert(iv);
+    }
+
+    pub fn get(&self, scope_key: &str, var: &str) -> Option<&Interval> {
+        self.map.get(&format!("{scope_key}::{var}"))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Interval)> {
+        self.map.iter()
+    }
+
+    /// Range of a *resolved* AST variable: `scope` is where the name is
+    /// used; the symbol's home scope decides the key.
+    pub fn lookup(&self, index: &ProgramIndex, scope: ScopeId, name: &str) -> Option<&Interval> {
+        let sym = index.lookup(scope, name)?;
+        self.get(&scope_key(index, sym.scope), name)
+    }
+}
+
+/// The RangeMap/shadow scope key of an AST scope.
+pub fn scope_key(index: &ProgramIndex, scope: ScopeId) -> String {
+    let info = index.scope_info(scope);
+    match info.kind {
+        ScopeKind::Module => "@global".to_string(),
+        ScopeKind::Main => "@main".to_string(),
+        ScopeKind::Procedure => info.name.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST-side interval evaluation (for the lint suite)
+// ---------------------------------------------------------------------------
+
+/// Evaluate the value interval of an AST expression under known variable
+/// ranges. Returns `None` when the expression involves something the ranges
+/// cannot bound (an unanalyzed call, a string, a logical). Array references
+/// use the whole-array summarized range. This deliberately ignores round-off
+/// (pure value ranges): the lints that consume it compare magnitudes, not
+/// errors.
+pub fn expr_interval(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    ranges: &RangeMap,
+    e: &Expr,
+) -> Option<Interval> {
+    match e {
+        Expr::RealLit { value, .. } => Some(Interval::point(*value)),
+        Expr::IntLit(v) => Some(Interval::point(*v as f64)),
+        Expr::LogicalLit(_) | Expr::StrLit(_) => None,
+        Expr::Var(name) => var_interval(index, scope, ranges, name),
+        Expr::NameRef { name, args } => {
+            // Array element: the summarized object range. Intrinsics get
+            // their transfer function; other calls are unknown.
+            if index
+                .lookup(scope, name)
+                .is_some_and(|sym| sym.is_array() || sym.rank.is_some())
+            {
+                return var_interval(index, scope, ranges, name);
+            }
+            let lower = name.to_ascii_lowercase();
+            let arg = |i: usize| {
+                args.get(i)
+                    .and_then(|a| expr_interval(index, scope, ranges, a))
+            };
+            match lower.as_str() {
+                "abs" => Some(arg(0)?.abs()),
+                "sqrt" => Some(arg(0)?.sqrt()),
+                "exp" => Some(arg(0)?.exp()),
+                "log" => Some(arg(0)?.ln()),
+                "sin" => Some(arg(0)?.sin()),
+                "cos" => Some(arg(0)?.cos()),
+                "min" | "max" => {
+                    let mut acc = arg(0)?;
+                    for i in 1..args.len() {
+                        let v = arg(i)?;
+                        acc = if lower == "min" {
+                            acc.min(&v)
+                        } else {
+                            acc.max(&v)
+                        };
+                    }
+                    Some(acc)
+                }
+                "dble" | "real" | "sngl" => arg(0),
+                _ => None,
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            if !op.is_arithmetic() {
+                return None;
+            }
+            let a = expr_interval(index, scope, ranges, lhs)?;
+            let b = expr_interval(index, scope, ranges, rhs)?;
+            Some(match op {
+                BinOp::Add => a.add(&b),
+                BinOp::Sub => a.sub(&b),
+                BinOp::Mul => a.mul(&b),
+                BinOp::Div => a.div(&b),
+                BinOp::Pow => match rhs.as_ref() {
+                    Expr::IntLit(n) if (0..=8).contains(n) => {
+                        let mut acc = Interval::point(1.0);
+                        for _ in 0..*n {
+                            acc = acc.mul(&a);
+                        }
+                        acc
+                    }
+                    _ => Interval::top(),
+                },
+                _ => unreachable!(),
+            })
+        }
+        Expr::Un { op, operand } => {
+            let v = expr_interval(index, scope, ranges, operand)?;
+            match op {
+                UnOp::Neg => Some(v.neg()),
+                UnOp::Plus => Some(v),
+                UnOp::Not => None,
+            }
+        }
+    }
+}
+
+fn var_interval(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    ranges: &RangeMap,
+    name: &str,
+) -> Option<Interval> {
+    ranges.lookup(index, scope, name).copied()
+}
+
+// ---------------------------------------------------------------------------
+// Precision keying helpers shared by the IR walker and the tuner pre-pass
+// ---------------------------------------------------------------------------
+
+/// Build the `(scope key, var) → precision` table the IR walker consumes
+/// from a sema-level `PrecisionMap`: IR slots carry names, not `FpVarId`s,
+/// so the candidate assignment has to cross the boundary by name.
+pub fn precision_table(
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+) -> BTreeMap<(String, String), FpPrecision> {
+    let mut out = BTreeMap::new();
+    for v in index.fp_variables() {
+        out.insert((scope_key(index, v.scope), v.name.clone()), map.get(v.id));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic_is_sound_on_samples() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-3.0, 0.5);
+        for (x, y) in [(1.0, -3.0), (2.0, 0.5), (1.5, -1.0), (1.25, 0.25)] {
+            assert!(a.add(&b).contains(x + y));
+            assert!(a.sub(&b).contains(x - y));
+            assert!(a.mul(&b).contains(x * y));
+        }
+        assert!(a.div(&b).is_top(), "divisor spans zero");
+        assert!(Interval::new(-4.0, 3.0).abs() == Interval::new(0.0, 4.0));
+        assert!(Interval::new(4.0, 9.0).sqrt().contains(2.5));
+    }
+
+    #[test]
+    fn widening_jumps_moving_bounds_to_infinity() {
+        let prev = Interval::new(0.0, 1.0);
+        let grown = Interval::new(0.0, 1.5);
+        let w = grown.widen(&prev);
+        assert_eq!(w.lo, 0.0);
+        assert_eq!(w.hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn store_rounding_tracks_precision() {
+        let v = AbsVal::lit(1.0);
+        let s32 = v.store(FpPrecision::Single);
+        let s64 = v.store(FpPrecision::Double);
+        assert!(s32.err >= U32 && s32.err < 3.0 * U32);
+        assert!(s64.err >= U64 && s64.err < 3.0 * U64);
+        assert_eq!(s32.prec, Some(FpPrecision::Single));
+    }
+
+    #[test]
+    fn subtraction_cancellation_amplifies_relative_bound() {
+        let a = AbsVal {
+            iv: Interval::new(1.0, 1.0),
+            err: 1e-7,
+            prec: Some(FpPrecision::Single),
+        };
+        let b = AbsVal {
+            iv: Interval::new(0.999_999, 0.999_999),
+            err: 1e-7,
+            prec: Some(FpPrecision::Single),
+        };
+        let d = a.sub(&b);
+        // Absolute error stays ~2e-7 but the relative bound explodes.
+        assert!(d.err < 1e-6);
+        assert!(d.rel_bound() > 0.1);
+        assert!(cancellation_kappa(&a.iv, &b.iv) > 1e6);
+    }
+
+    #[test]
+    fn rel_bound_uses_absolute_fallback_near_zero() {
+        let tiny = Interval::new(0.0, 1e-40);
+        assert_eq!(rel_bound(&tiny, 1e-9), 1e-9);
+        let spans_zero = Interval::new(-1.0, 1.0);
+        assert_eq!(rel_bound(&spans_zero, 1e-9), 1e-9 / REL_FLOOR);
+    }
+
+    #[test]
+    fn division_by_interval_bounded_away_from_zero_is_finite() {
+        let a = AbsVal {
+            iv: Interval::new(1.0, 2.0),
+            err: 1e-8,
+            prec: Some(FpPrecision::Double),
+        };
+        let b = AbsVal {
+            iv: Interval::new(4.0, 5.0),
+            err: 1e-8,
+            prec: Some(FpPrecision::Double),
+        };
+        let q = a.div(&b);
+        assert!(q.err.is_finite());
+        assert!(q.iv.contains(1.5 / 4.5));
+    }
+
+    #[test]
+    fn range_map_keys_resolve_through_home_scope() {
+        let src = r#"
+module m
+  real(kind=8) :: g
+contains
+  subroutine s(x)
+    real(kind=8) :: x
+    x = g
+  end subroutine s
+end module m
+"#;
+        let p = prose_fortran::parse_program(src).unwrap();
+        let ix = prose_fortran::analyze(&p).unwrap();
+        let s = ix.scope_of_procedure("s").unwrap();
+        let mut rm = RangeMap::default();
+        rm.insert("@global", "g", Interval::new(1.0, 2.0));
+        rm.insert("s", "x", Interval::new(3.0, 4.0));
+        // `g` used inside `s` resolves to the module scope key.
+        assert_eq!(rm.lookup(&ix, s, "g"), Some(&Interval::new(1.0, 2.0)));
+        assert_eq!(rm.lookup(&ix, s, "x"), Some(&Interval::new(3.0, 4.0)));
+        let e = Expr::bin(BinOp::Sub, Expr::Var("g".into()), Expr::Var("x".into()));
+        let iv = expr_interval(&ix, s, &rm, &e).unwrap();
+        assert!(iv.contains(1.0 - 3.0) && iv.contains(2.0 - 4.0));
+    }
+}

@@ -200,11 +200,14 @@ impl DepGraph {
                 (pen, first, g)
             })
             .collect();
-        keyed.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        // `total_cmp`, not `partial_cmp`: a NaN penalty (conceivable from a
+        // degenerate cost model) must still sort into one deterministic
+        // position, and the `Equal`-on-incomparable fallback made the final
+        // order depend on the incoming group order, which `sort_by` (stable
+        // but input-sensitive) then froze into the dd schedule. Descending
+        // penalty, then ascending first-atom index — a total order, so the
+        // schedule is a pure function of the program.
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         keyed.into_iter().map(|(_, _, g)| g).collect()
     }
 }
@@ -595,5 +598,42 @@ end module m
         // Zero-penalty ties fall back to first-atom order.
         let tie = g.ordered_atom_groups(&ix, &atoms[..1], None);
         assert_eq!(tie, vec![vec![0]]);
+    }
+
+    const TIES: &str = r#"
+module m
+contains
+  subroutine driver()
+    real(kind=8) :: a, b, c
+    a = 1.0d0
+    b = 2.0d0
+    c = 3.0d0
+  end subroutine driver
+end module m
+"#;
+
+    /// Regression lock for the ordering's tie-break contract: the sort key
+    /// is (descending penalty by `f64::total_cmp`, ascending first-atom
+    /// index) — a *total* order. The previous comparator used
+    /// `partial_cmp(..).unwrap_or(Equal)`, which is not total when a
+    /// penalty is NaN; `sort_by` on a non-total comparator has an
+    /// unspecified result (and may panic), so the dd probe schedule was
+    /// not a pure function of the program.
+    #[test]
+    fn ordered_atom_groups_break_penalty_ties_by_first_atom_index() {
+        let (p, ix) = setup(TIES);
+        let g = DepGraph::build(&p, &ix);
+        let scope = ix.scope_of_procedure("driver").unwrap();
+        // Three independent zero-penalty classes, supplied out of
+        // declaration order: c, a, b.
+        let atoms = vec![
+            ix.fp_var_id(scope, "c").unwrap(),
+            ix.fp_var_id(scope, "a").unwrap(),
+            ix.fp_var_id(scope, "b").unwrap(),
+        ];
+        let ordered = g.ordered_atom_groups(&ix, &atoms, None);
+        // All penalties tie, so groups keep ascending first-atom order —
+        // i.e. exactly the order the atoms were supplied in.
+        assert_eq!(ordered, vec![vec![0], vec![1], vec![2]]);
     }
 }

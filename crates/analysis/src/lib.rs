@@ -29,7 +29,14 @@
 //! * [`lint`] — static numerical-hazard lints (float equality, absorption,
 //!   implicit narrowing, cancellation candidates, uninitialized FP use)
 //!   with `proc:line` sites matching the dynamic shadow guardrails.
+//! * [`absint`] — abstract-interpretation domains for static range and
+//!   round-off analysis: an interval domain over the fp64 shadow value and a
+//!   first-order error domain bounding `|primary − shadow|` under a
+//!   candidate precision assignment. The IR walker that drives these
+//!   domains lives in `prose-interp::absint` (that crate depends on this
+//!   one); the tuner consumes the verdicts as a search pre-pruning pass.
 
+pub mod absint;
 pub mod depgraph;
 pub mod flow;
 pub mod lint;
@@ -39,9 +46,10 @@ pub mod typing;
 pub mod vect;
 pub mod vect_report;
 
+pub use absint::{AbsVal, BoundReport, Interval, RangeMap, VarBound};
 pub use depgraph::{AffinityEdge, DepGraph};
 pub use flow::{CallSite, FpFlowGraph, Mismatch};
-pub use lint::{run_lints, Lint, LintKind};
+pub use lint::{run_lints, run_lints_with_ranges, Lint, LintKind};
 pub use static_cost::static_penalty;
 pub use taint::reduce_program;
 pub use typing::{expr_type, NameClass};

@@ -15,7 +15,20 @@
 //!   a direct source (variable or literal), the static shape of
 //!   catastrophic cancellation like `(1 + eps) - 1`;
 //! - [`LintKind::UninitializedUse`]: an FP local read before any textual
-//!   definition reaches it (optimistic: every branch counts).
+//!   definition reaches it (optimistic: every branch counts);
+//! - [`LintKind::OverflowToInf`]: a store whose statically bounded
+//!   magnitude exceeds `f32::MAX` into an f32 target — a guaranteed
+//!   overflow to ±Inf the moment the variable is lowered (range-driven
+//!   entry point only).
+//!
+//! [`run_lints`] judges by program shape alone. [`run_lints_with_ranges`]
+//! additionally consumes abstract-interpretation value ranges
+//! ([`RangeMap`], from [`crate::absint`]'s interval domain): where both an
+//! accumulator's range and its increment are statically bounded, the range
+//! *replaces* the 2²⁴ trip/seed heuristic (certifying or refuting the
+//! hazard either way), subtraction operands with known ranges get an
+//! actual condition-number verdict instead of the shared-source shape
+//! test, and the overflow lint becomes possible at all.
 //!
 //! Sites use the same `proc:line` keys as the shadow-execution guardrails
 //! (`cancellation_site`, `nonfinite_origin` in the trial journal), so
@@ -24,6 +37,7 @@
 
 use std::collections::HashSet;
 
+use crate::absint::{cancellation_kappa, expr_interval, RangeMap, CANCEL_KAPPA};
 use crate::flow::FpFlowGraph;
 use crate::static_cost::const_int;
 use crate::typing::{adapted_precision, classify, expr_type, NameClass};
@@ -45,6 +59,7 @@ pub enum LintKind {
     ImplicitNarrowing,
     CancellationCandidate,
     UninitializedUse,
+    OverflowToInf,
 }
 
 /// A single static finding. `site` is `proc:line`, matching the site keys
@@ -77,18 +92,32 @@ impl Lint {
 /// Narrowing lints are map-relative (a uniform map produces none); the
 /// structural lints (equality, cancellation, uninitialized use) are not.
 pub fn run_lints(program: &Program, index: &ProgramIndex, map: &PrecisionMap) -> Vec<Lint> {
+    run_lints_with_ranges(program, index, map, &RangeMap::default())
+}
+
+/// [`run_lints`] with abstract-interpretation value ranges: variables the
+/// `ranges` map bounds get range-certified (or range-refuted) absorption
+/// and cancellation verdicts in place of the structural heuristics, plus
+/// the [`LintKind::OverflowToInf`] lint. An empty map degrades to exactly
+/// [`run_lints`].
+pub fn run_lints_with_ranges(
+    program: &Program,
+    index: &ProgramIndex,
+    map: &PrecisionMap,
+    ranges: &RangeMap,
+) -> Vec<Lint> {
     let mut out = Vec::new();
     for (_, proc) in program.all_procedures() {
         let scope = index
             .scope_of_procedure(&proc.name)
             .expect("analyzed program has all procedures indexed");
-        lint_unit(&proc.name, &proc.body, scope, index, map, &mut out);
+        lint_unit(&proc.name, &proc.body, scope, index, map, ranges, &mut out);
         uninit_unit(&proc.name, &proc.decls, &proc.body, scope, index, &mut out);
     }
     if let Some(mp) = &program.main {
         let scope = main_scope(index);
         let name = index.scope_info(scope).name.clone();
-        lint_unit(&name, &mp.body, scope, index, map, &mut out);
+        lint_unit(&name, &mp.body, scope, index, map, ranges, &mut out);
         uninit_unit(&name, &mp.decls, &mp.body, scope, index, &mut out);
     }
     // Call-boundary narrowing rides the flow graph's mismatch machinery.
@@ -137,12 +166,14 @@ fn fp_id(index: &ProgramIndex, scope: ScopeId, name: &str) -> Option<FpVarId> {
 }
 
 /// The expression-shape lints plus absorption, one procedure at a time.
+#[allow(clippy::too_many_arguments)]
 fn lint_unit(
     unit: &str,
     body: &[Stmt],
     scope: ScopeId,
     index: &ProgramIndex,
     map: &PrecisionMap,
+    ranges: &RangeMap,
     out: &mut Vec<Lint>,
 ) {
     // Accumulators seeded at ≥ 2²⁴ anywhere in the unit: a short loop on
@@ -169,6 +200,7 @@ fn lint_unit(
         scope,
         index,
         map,
+        ranges,
         &big_seeded,
         &mut Vec::new(),
         out,
@@ -182,6 +214,7 @@ fn walk_stmts(
     scope: ScopeId,
     index: &ProgramIndex,
     map: &PrecisionMap,
+    ranges: &RangeMap,
     big_seeded: &HashSet<&str>,
     trips: &mut Vec<Option<f64>>,
     out: &mut Vec<Lint>,
@@ -189,22 +222,22 @@ fn walk_stmts(
     for s in body {
         let line = s.span().line;
         s.for_each_expr(&mut |e| {
-            e.walk(&mut |sub| expr_lints(unit, line, sub, scope, index, map, out));
+            e.walk(&mut |sub| expr_lints(unit, line, sub, scope, index, map, ranges, out));
         });
         match s {
             Stmt::Assign { target, value, .. } => {
                 assign_lints(
-                    unit, line, target, value, scope, index, map, big_seeded, trips, out,
+                    unit, line, target, value, scope, index, map, ranges, big_seeded, trips, out,
                 );
             }
             Stmt::If {
                 arms, else_body, ..
             } => {
                 for (_, b) in arms {
-                    walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                    walk_stmts(unit, b, scope, index, map, ranges, big_seeded, trips, out);
                 }
                 if let Some(b) = else_body {
-                    walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                    walk_stmts(unit, b, scope, index, map, ranges, big_seeded, trips, out);
                 }
             }
             Stmt::Do {
@@ -215,13 +248,13 @@ fn walk_stmts(
                 ..
             } => {
                 trips.push(trip_count(start, end, step.as_ref()));
-                walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                walk_stmts(unit, b, scope, index, map, ranges, big_seeded, trips, out);
                 trips.pop();
             }
             Stmt::DoWhile { body: b, .. } => {
                 // No static trip bound at all.
                 trips.push(None);
-                walk_stmts(unit, b, scope, index, map, big_seeded, trips, out);
+                walk_stmts(unit, b, scope, index, map, ranges, big_seeded, trips, out);
                 trips.pop();
             }
             _ => {}
@@ -244,6 +277,7 @@ fn trip_count(start: &Expr, end: &Expr, step: Option<&Expr>) -> Option<f64> {
 }
 
 /// Float equality and cancellation candidates, per expression node.
+#[allow(clippy::too_many_arguments)]
 fn expr_lints(
     unit: &str,
     line: u32,
@@ -251,6 +285,7 @@ fn expr_lints(
     scope: ScopeId,
     index: &ProgramIndex,
     map: &PrecisionMap,
+    ranges: &RangeMap,
     out: &mut Vec<Lint>,
 ) {
     let Expr::Bin { op, lhs, rhs } = e else {
@@ -270,6 +305,31 @@ fn expr_lints(
         }
         BinOp::Sub => {
             if !fp(lhs) && !fp(rhs) {
+                return;
+            }
+            let var = || named_operand(lhs).or_else(|| named_operand(rhs));
+            // With both operand ranges known the condition number itself
+            // decides — certifying candidates the shape test cannot see
+            // and refuting shapes whose operands provably stay apart.
+            let bounded = expr_interval(index, scope, ranges, lhs)
+                .zip(expr_interval(index, scope, ranges, rhs))
+                .filter(|(a, b)| a.max_abs() > 0.0 || b.max_abs() > 0.0);
+            if let Some((a, b)) = bounded {
+                let kappa = cancellation_kappa(&a, &b);
+                if kappa >= CANCEL_KAPPA {
+                    let how = if kappa.is_finite() {
+                        format!("amplification up to {kappa:.1e}")
+                    } else {
+                        "the difference may vanish".to_string()
+                    };
+                    out.push(Lint::new(
+                        LintKind::CancellationCandidate,
+                        unit,
+                        line,
+                        var(),
+                        format!("subtraction of operands with overlapping ranges: {how}"),
+                    ));
+                }
                 return;
             }
             let (a, b) = (leaf_set(index, scope, lhs), leaf_set(index, scope, rhs));
@@ -350,8 +410,9 @@ fn collect_leaves(index: &ProgramIndex, scope: ScopeId, e: &Expr, out: &mut Hash
     }
 }
 
-/// Assignment-level lints: absorption-prone accumulators and implicit
-/// narrowing under the candidate map.
+/// Assignment-level lints: absorption-prone accumulators, implicit
+/// narrowing, and (range-driven) guaranteed f32 overflow under the
+/// candidate map.
 #[allow(clippy::too_many_arguments)]
 fn assign_lints(
     unit: &str,
@@ -361,6 +422,7 @@ fn assign_lints(
     scope: ScopeId,
     index: &ProgramIndex,
     map: &PrecisionMap,
+    ranges: &RangeMap,
     big_seeded: &HashSet<&str>,
     trips: &[Option<f64>],
     out: &mut Vec<Lint>,
@@ -371,19 +433,48 @@ fn assign_lints(
     let lowered = map.get(tid) == FpPrecision::Single;
 
     if lowered && !trips.is_empty() && is_self_accumulation(target.name(), value) {
+        // When the accumulator's range and its increment are both
+        // statically bounded, the ranges decide outright: an f32 absorbs
+        // an increment once the accumulator is ~2²⁴ increments large, so
+        // magnitude beyond `inc · 2²⁴` certifies the hazard and magnitude
+        // below it refutes the trip/seed heuristics (a huge loop whose
+        // accumulator provably stays small is fine).
+        let certified = ranges
+            .lookup(index, scope, target.name())
+            .filter(|acc| acc.max_abs().is_finite())
+            .zip(increment_interval(
+                index,
+                scope,
+                ranges,
+                target.name(),
+                value,
+            ))
+            .map(|(acc, inc)| {
+                (acc.max_abs() >= inc * ABSORPTION_MAGNITUDE).then(|| {
+                    format!(
+                        "accumulator range reaches |x| = {:.3e}, where f32 absorbs \
+                         increments as small as {:.3e}",
+                        acc.max_abs(),
+                        inc
+                    )
+                })
+            });
         let total: Option<f64> = trips
             .iter()
             .copied()
             .try_fold(1.0, |acc, t| t.map(|n| acc * n.max(1.0)));
-        let hazard = match total {
-            None => Some("loop trip count is not statically bounded".to_string()),
-            Some(n) if n >= ABSORPTION_MAGNITUDE => {
-                Some(format!("loop trip count {n:.0} exceeds 2^24"))
-            }
-            Some(_) if big_seeded.contains(target.name()) => {
-                Some("accumulator is seeded at a magnitude >= 2^24".to_string())
-            }
-            Some(_) => None,
+        let hazard = match certified {
+            Some(verdict) => verdict,
+            None => match total {
+                None => Some("loop trip count is not statically bounded".to_string()),
+                Some(n) if n >= ABSORPTION_MAGNITUDE => {
+                    Some(format!("loop trip count {n:.0} exceeds 2^24"))
+                }
+                Some(_) if big_seeded.contains(target.name()) => {
+                    Some("accumulator is seeded at a magnitude >= 2^24".to_string())
+                }
+                Some(_) => None,
+            },
         };
         if let Some(why) = hazard {
             out.push(Lint::new(
@@ -405,6 +496,51 @@ fn assign_lints(
             "f64 value implicitly narrowed to an f32 target".into(),
         ));
     }
+
+    // Guaranteed overflow: the stored value's magnitude is statically
+    // bounded *above* f32::MAX, so lowering this target turns the store
+    // into ±Inf on every execution the bound covers.
+    if lowered {
+        if let Some(vi) = expr_interval(index, scope, ranges, value) {
+            let mag = vi.max_abs();
+            if mag.is_finite() && mag > f32::MAX as f64 {
+                out.push(Lint::new(
+                    LintKind::OverflowToInf,
+                    unit,
+                    line,
+                    Some(target.name().to_string()),
+                    format!(
+                        "store of magnitude up to {mag:.3e} overflows the f32 range \
+                         (3.4e38) to ±Inf"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The increment interval of a self-accumulation `x = x ± e` / `x = e + x`:
+/// the magnitude floor of `e`, for the absorption comparison. `None` when
+/// the update is not that exact shape or `e` has no static range.
+fn increment_interval(
+    index: &ProgramIndex,
+    scope: ScopeId,
+    ranges: &RangeMap,
+    name: &str,
+    value: &Expr,
+) -> Option<f64> {
+    let Expr::Bin { op, lhs, rhs } = value else {
+        return None;
+    };
+    let is_self = |e: &Expr| matches!(e, Expr::Var(n) | Expr::NameRef { name: n, .. } if n == name);
+    let inc = match op {
+        BinOp::Add | BinOp::Sub if is_self(lhs) => rhs,
+        BinOp::Add if is_self(rhs) => lhs,
+        _ => return None,
+    };
+    let iv = expr_interval(index, scope, ranges, inc)?;
+    let floor = iv.min_abs();
+    (floor > 0.0 && floor.is_finite()).then_some(floor)
 }
 
 /// `x = x + e` / `x = e + x` / `x = x - e` shapes (whole-object for array
@@ -811,6 +947,166 @@ end module m
         assert_eq!(uninit.len(), 1, "{lints:?}");
         assert_eq!(uninit[0].variable.as_deref(), Some("s"));
         assert_eq!(uninit[0].site, "f:9");
+    }
+
+    fn ranged_lints(src: &str, ranges: &RangeMap) -> Vec<Lint> {
+        let p = parse_program(src).unwrap();
+        let ix = analyze(&p).unwrap();
+        let mut map = PrecisionMap::declared(&ix);
+        for v in ix.fp_variables() {
+            if !v.is_parameter && ix.scope_info(v.scope).kind != ScopeKind::Main {
+                map.set(v.id, FpPrecision::Single);
+            }
+        }
+        run_lints_with_ranges(&p, &ix, &map, ranges)
+    }
+
+    #[test]
+    fn overflow_to_inf_fires_on_statically_certain_f32_overflow() {
+        let src = r#"
+module m
+contains
+  subroutine f(x, y, z)
+    real(kind=8) :: x, y, z
+    y = x * 4.0d0
+    z = x * 1.0d-3
+  end subroutine f
+end module m
+"#;
+        use crate::absint::Interval;
+        let mut ranges = RangeMap::default();
+        ranges.insert("f", "x", Interval::new(1.0e38, 2.0e38));
+        let lints = ranged_lints(src, &ranges);
+        let over: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::OverflowToInf)
+            .collect();
+        assert_eq!(over.len(), 1, "{lints:?}");
+        assert_eq!(over[0].site, "f:6");
+        assert_eq!(over[0].variable.as_deref(), Some("y"));
+        // Without ranges the lint cannot exist at all.
+        assert!(ranged_lints(src, &RangeMap::default())
+            .iter()
+            .all(|l| l.kind != LintKind::OverflowToInf));
+    }
+
+    #[test]
+    fn ranges_certify_and_refute_absorption_over_the_trip_heuristic() {
+        // Small loop the trip/seed heuristics call benign, but the range
+        // proves the accumulator lives at 2^25: certified hazard.
+        let certify = r#"
+module m
+contains
+  subroutine f(a)
+    real(kind=8) :: a
+    integer :: i
+    do i = 1, 100
+      a = a + 1.0d0
+    end do
+  end subroutine f
+end module m
+"#;
+        // Huge trip count the heuristics flag, but the range proves the
+        // accumulator never leaves [0, 100]: refuted.
+        let refute = r#"
+module m
+contains
+  subroutine f(a)
+    real(kind=8) :: a
+    integer :: i
+    do i = 1, 20000000
+      a = a + 1.0d0
+    end do
+  end subroutine f
+end module m
+"#;
+        use crate::absint::Interval;
+        let mut big = RangeMap::default();
+        big.insert("f", "a", Interval::new(0.0, 33_554_432.0));
+        let lints = ranged_lints(certify, &big);
+        assert!(
+            lints.iter().any(|l| l.kind == LintKind::AbsorptionRisk),
+            "range-certified hazard missing: {lints:?}"
+        );
+        assert!(
+            ranged_lints(certify, &RangeMap::default())
+                .iter()
+                .all(|l| l.kind != LintKind::AbsorptionRisk),
+            "the 100-trip heuristic alone must stay silent"
+        );
+        let mut small = RangeMap::default();
+        small.insert("f", "a", Interval::new(0.0, 100.0));
+        assert!(
+            ranged_lints(refute, &small)
+                .iter()
+                .all(|l| l.kind != LintKind::AbsorptionRisk),
+            "range-refuted hazard must suppress the trip heuristic"
+        );
+        assert!(
+            ranged_lints(refute, &RangeMap::default())
+                .iter()
+                .any(|l| l.kind == LintKind::AbsorptionRisk),
+            "without ranges the 2e7-trip heuristic fires"
+        );
+    }
+
+    #[test]
+    fn ranges_certify_and_refute_cancellation_over_the_shape_heuristic() {
+        // No shared source — the shape test is blind — but the ranges
+        // overlap: the difference may vanish.
+        let unshaped = r#"
+module m
+contains
+  subroutine f(a, b, y)
+    real(kind=8) :: a, b, y
+    y = a - b
+  end subroutine f
+end module m
+"#;
+        // Shared source c — the shape test fires — but the ranges prove
+        // the operands stay far apart: statically benign.
+        let shaped = r#"
+module m
+contains
+  subroutine f(a, b, c, y)
+    real(kind=8) :: a, b, c, y
+    y = a * c - b * c
+  end subroutine f
+end module m
+"#;
+        use crate::absint::Interval;
+        let mut overlap = RangeMap::default();
+        overlap.insert("f", "a", Interval::new(1.0, 2.0));
+        overlap.insert("f", "b", Interval::new(1.0, 2.0));
+        let lints = ranged_lints(unshaped, &overlap);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.kind == LintKind::CancellationCandidate),
+            "overlapping ranges must certify: {lints:?}"
+        );
+        assert!(
+            ranged_lints(unshaped, &RangeMap::default())
+                .iter()
+                .all(|l| l.kind != LintKind::CancellationCandidate),
+            "no shared source, no ranges: silent"
+        );
+        let mut apart = RangeMap::default();
+        apart.insert("f", "a", Interval::new(10.0, 11.0));
+        apart.insert("f", "b", Interval::new(1.0, 2.0));
+        apart.insert("f", "c", Interval::new(1.0, 1.0));
+        assert!(
+            ranged_lints(shaped, &apart)
+                .iter()
+                .all(|l| l.kind != LintKind::CancellationCandidate),
+            "disjoint ranges must refute the shared-source shape"
+        );
+        assert!(
+            ranged_lints(shaped, &RangeMap::default())
+                .iter()
+                .any(|l| l.kind == LintKind::CancellationCandidate),
+            "without ranges the shared-source shape fires"
+        );
     }
 
     #[test]

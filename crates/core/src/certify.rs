@@ -1,0 +1,339 @@
+//! Config certificates: the static analysis' promise, checked against a
+//! dynamic shadow run of the same configuration.
+//!
+//! A certificate binds one precision configuration (normally the search's
+//! final one) to the per-variable guarantees the abstract interpreter makes
+//! for it — a value hull and a round-off bound per variable and recorded
+//! metric key — together with what an fp64-shadow execution of that exact
+//! configuration actually observed. Every finite static bound becomes a
+//! *check*: `observed max relative error ≤ static bound` and
+//! `observed primary hull ⊆ static hull`. A failed check is not a tuning
+//! failure — the dynamic guardrails already police accuracy — it is a
+//! **soundness bug in the static analysis** and is reported as such
+//! (`prose-tune --certify` exits non-zero on any violation).
+//!
+//! The document is JSON (written by `prose-tune --certify <path>`) and is
+//! designed to be re-checked later against a trial journal:
+//! `prose-report --certify <path>` replays every journaled shadow summary
+//! whose configuration matches the certificate and re-validates the
+//! journaled worst-variable error against the certified bound.
+
+use crate::prepass::prepass_budget;
+use crate::tuner::{config_to_map, TuningTask};
+use prose_interp::{analyze_variant, run_program_shadow, RunConfig, DEFAULT_MAX_STEPS};
+use prose_transform::make_variant;
+use serde::{Deserialize, Serialize};
+
+/// One certified bound: a finite static guarantee next to what the shadow
+/// run observed for the same name.
+///
+/// All stored floats are finite: infinite observations (a variant that blew
+/// up to `±Inf`) are clamped to `±f64::MAX` *after* the soundness comparison
+/// so the document survives a JSON round trip (`serde_json` turns
+/// non-finite floats into `null`, which does not deserialize back).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundCheck {
+    /// Shadow-key-space name (`proc::var`, `@main::var`, `@global::var`)
+    /// or the recorded metric key.
+    pub name: String,
+    /// `"var"` or `"record"`.
+    pub kind: String,
+    /// Static round-off bound (`rel_err` of the abstract interpreter).
+    pub static_rel: f64,
+    /// Static primary-value hull (clamped to `±f64::MAX` for JSON).
+    pub static_lo: f64,
+    pub static_hi: f64,
+    /// Worst relative error the fp64 shadow observed at any store.
+    pub observed_rel: f64,
+    /// Observed primary-value hull over every store.
+    pub observed_min: f64,
+    pub observed_max: f64,
+    /// Stores the shadow machinery saw for this name.
+    pub stores: u64,
+    /// `observed_rel ≤ static_rel` and the observed hull is inside the
+    /// static hull. `false` = static-analysis soundness violation.
+    pub sound: bool,
+}
+
+/// The certificate document for one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Source file the configuration tunes.
+    pub file: String,
+    /// Error budget the search tuned against (threshold ∧ shadow budget).
+    pub budget: f64,
+    /// The certified configuration, full atom width (`true` = 32-bit).
+    pub config: Vec<bool>,
+    pub fraction_single: f64,
+    /// Paths of the lowered atoms, for human readers.
+    pub lowered: Vec<String>,
+    /// True when the abstract interpreter exhausted its step budget; the
+    /// missing coverage shows up as `uncovered` names.
+    pub incomplete: bool,
+    /// Names whose static bound is `∞` (trivially sound, nothing to check).
+    pub unbounded: Vec<String>,
+    /// Observed names with no static bound at all (wrapper-synthesized
+    /// locals, or coverage lost to an incomplete analysis).
+    pub uncovered: Vec<String>,
+    /// Every finite static bound, checked against the shadow observation.
+    pub checks: Vec<BoundCheck>,
+    /// Number of failed checks. Anything above zero is a soundness bug.
+    pub violations: usize,
+}
+
+impl Certificate {
+    /// Look up a check by shadow-key-space name.
+    pub fn check(&self, name: &str) -> Option<&BoundCheck> {
+        self.checks.iter().find(|c| c.name == name)
+    }
+}
+
+/// Clamp a float to the JSON-representable range (`serde_json` serializes
+/// non-finite floats as `null`).
+fn json_safe(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else if x > 0.0 {
+        f64::MAX
+    } else if x < 0.0 {
+        f64::MIN
+    } else {
+        0.0 // NaN: nothing sensible to preserve
+    }
+}
+
+/// Build the certificate for `config`: run the abstract interpreter *and*
+/// an fp64-shadow execution under the exact same precision map and compare
+/// them name by name. Errors are infrastructure failures (transform or run
+/// errors), never soundness verdicts — those live in the certificate.
+pub fn certify_config(
+    task: &TuningTask,
+    file: &str,
+    config: &[bool],
+) -> Result<Certificate, String> {
+    let map = config_to_map(&task.index, &task.atoms, &config.to_vec());
+    let rep = analyze_variant(
+        &task.program,
+        &task.index,
+        &map,
+        task.cost.inline_max_stmts,
+        DEFAULT_MAX_STEPS,
+    )
+    .map_err(|e| format!("static analysis: {e}"))?;
+
+    let variant =
+        make_variant(&task.program, &task.index, &map).map_err(|e| format!("transform: {e}"))?;
+    let cfg = RunConfig {
+        cost: task.cost.clone(),
+        budget: None,
+        max_events: task.max_events,
+        deadline: None,
+        wrapper_names: variant.wrappers.iter().cloned().collect(),
+        fault: None,
+        shadow: true,
+    };
+    let (res, report) = run_program_shadow(&variant.program, &variant.index, &cfg);
+    res.map_err(|e| format!("shadow run: {e}"))?;
+    let report = report.ok_or_else(|| "shadow run returned no report".to_string())?;
+
+    let lowered: Vec<String> = task
+        .atoms
+        .iter()
+        .zip(config)
+        .filter(|(_, low)| **low)
+        .map(|(a, _)| task.index.fp_var_path(*a))
+        .collect();
+    let fraction_single = if config.is_empty() {
+        0.0
+    } else {
+        lowered.len() as f64 / config.len() as f64
+    };
+
+    let mut checks = Vec::new();
+    let mut unbounded = Vec::new();
+    let mut uncovered = Vec::new();
+    let mut add_pool =
+        |observed: &[prose_interp::VarShadow], statics: &[prose_analysis::VarBound], kind: &str| {
+            for o in observed {
+                let Some(s) = statics.iter().find(|s| s.name == o.name) else {
+                    uncovered.push(o.name.clone());
+                    continue;
+                };
+                if !s.rel_err.is_finite() {
+                    unbounded.push(o.name.clone());
+                    continue;
+                }
+                // Hull containment is only checkable when the report tracked
+                // the primary hull (fresh reports always do; `None` only comes
+                // from pre-hull journals).
+                let (omin, omax) = (
+                    o.min_primary.unwrap_or(f64::INFINITY),
+                    o.max_primary.unwrap_or(f64::NEG_INFINITY),
+                );
+                let hull_ok = match (o.min_primary, o.max_primary) {
+                    (Some(min), Some(max)) => min >= s.lo && max <= s.hi,
+                    _ => true,
+                };
+                let sound = o.max_rel <= s.rel_err && hull_ok;
+                checks.push(BoundCheck {
+                    name: o.name.clone(),
+                    kind: kind.to_string(),
+                    static_rel: s.rel_err,
+                    static_lo: json_safe(s.lo),
+                    static_hi: json_safe(s.hi),
+                    observed_rel: json_safe(o.max_rel),
+                    observed_min: json_safe(omin),
+                    observed_max: json_safe(omax),
+                    stores: o.stores,
+                    sound,
+                });
+            }
+        };
+    add_pool(&report.vars, &rep.vars, "var");
+    add_pool(&report.records, &rep.records, "record");
+    let violations = checks.iter().filter(|c| !c.sound).count();
+
+    Ok(Certificate {
+        file: file.to_string(),
+        budget: prepass_budget(task),
+        config: config.to_vec(),
+        fraction_single,
+        lowered,
+        incomplete: rep.incomplete,
+        unbounded,
+        uncovered,
+        checks,
+        violations,
+    })
+}
+
+/// Re-check a certificate against journaled shadow summaries: every record
+/// whose configuration matches the certificate and that carries a shadow
+/// worst-variable summary must observe no more error than the certified
+/// bound for that variable. Returns `(matching, checked, violating)` record
+/// counts; violations mean the journal holds dynamic evidence against the
+/// static analysis.
+pub fn crosscheck_journal(
+    cert: &Certificate,
+    records: &[prose_trace::TrialRecord],
+) -> (usize, usize, Vec<u64>) {
+    let mut matching = 0usize;
+    let mut checked = 0usize;
+    let mut violating = Vec::new();
+    for r in records {
+        if r.config != cert.config {
+            continue;
+        }
+        matching += 1;
+        let Some(s) = &r.shadow else { continue };
+        let Some(var) = s.worst_var.as_deref() else {
+            continue;
+        };
+        let Some(c) = cert.check(var) else { continue };
+        checked += 1;
+        if s.worst_rel > c.static_rel {
+            violating.push(r.seq);
+        }
+    }
+    (matching, checked, violating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cert() -> Certificate {
+        Certificate {
+            file: "m.f90".into(),
+            budget: 1e-3,
+            config: vec![true, false],
+            fraction_single: 0.5,
+            lowered: vec!["hot::work::x".into()],
+            incomplete: false,
+            unbounded: vec!["@main::acc".into()],
+            uncovered: vec![],
+            checks: vec![BoundCheck {
+                name: "work::x".into(),
+                kind: "var".into(),
+                static_rel: 1e-4,
+                static_lo: 0.0,
+                static_hi: 2.0,
+                observed_rel: 3e-5,
+                observed_min: 0.5,
+                observed_max: 1.5,
+                stores: 8,
+                sound: true,
+            }],
+            violations: 0,
+        }
+    }
+
+    #[test]
+    fn certificate_round_trips_through_json() {
+        let c = sample_cert();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: Certificate = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.checks.len(), 1);
+        assert_eq!(back.check("work::x").unwrap().stores, 8);
+        assert_eq!(back.config, c.config);
+    }
+
+    #[test]
+    fn json_safe_clamps_non_finite() {
+        assert_eq!(json_safe(f64::INFINITY), f64::MAX);
+        assert_eq!(json_safe(f64::NEG_INFINITY), f64::MIN);
+        assert_eq!(json_safe(f64::NAN), 0.0);
+        assert_eq!(json_safe(1.5), 1.5);
+    }
+
+    #[test]
+    fn journal_crosscheck_matches_config_and_flags_excess() {
+        let cert = sample_cert();
+        let mk = |config: Vec<bool>, worst: f64| prose_trace::TrialRecord {
+            seq: 0,
+            config,
+            status: "pass".into(),
+            speedup: 1.2,
+            error: 1e-5,
+            cached: false,
+            wall_ms: 1.0,
+            fraction_single: 0.5,
+            wrappers: 0,
+            total_cycles: None,
+            hotspot_cycles: None,
+            stages: Default::default(),
+            counters: Default::default(),
+            variant_path: String::new(),
+            failure_kind: None,
+            fault_kind: None,
+            fault_seed: None,
+            shadow: Some(prose_trace::ShadowTrial {
+                worst_rel: worst,
+                worst_var: Some("work::x".into()),
+                cancellations: 0,
+                cancellation_site: None,
+                nonfinite_origin: None,
+                nonfinite_injected: false,
+                demoted: false,
+            }),
+            member: None,
+            search_granularity: String::new(),
+            workers: 0,
+            worker: None,
+            batch: None,
+            attempt: 0,
+            job: None,
+            static_verdict: None,
+            crc: None,
+        };
+        let records = vec![
+            mk(vec![true, false], 5e-5), // matches, within bound
+            mk(vec![false, false], 9e9), // different config: ignored
+            mk(vec![true, false], 2e-4), // matches, exceeds 1e-4 bound
+        ];
+        let (matching, checked, violating) = crosscheck_journal(&cert, &records);
+        assert_eq!(matching, 2);
+        assert_eq!(checked, 2);
+        assert_eq!(violating.len(), 1);
+    }
+}

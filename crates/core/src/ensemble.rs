@@ -218,6 +218,7 @@ fn member_task(
         shadow: task.shadow,
         shadow_budget: task.shadow_budget,
         granularity: task.granularity,
+        absint: task.absint,
         member: Some(member),
         workers: task.workers,
         deadline_ms: task.deadline_ms,

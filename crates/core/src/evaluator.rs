@@ -470,6 +470,9 @@ pub struct DynamicEvaluator<'a> {
     /// into every trial record so `prose-report` can reconstruct
     /// wall-clock-per-round.
     batch_seq: AtomicU64,
+    /// Absint pre-pass context stamped into every journaled trial
+    /// ([`TrialRecord::static_verdict`]); `None` when no pre-pass ran.
+    static_verdict: Option<String>,
 }
 
 impl<'a> DynamicEvaluator<'a> {
@@ -621,7 +624,14 @@ impl<'a> DynamicEvaluator<'a> {
             fast_disabled: AtomicBool::new(false),
             journal_appends: AtomicU64::new(0),
             batch_seq: AtomicU64::new(0),
+            static_verdict: None,
         })
+    }
+
+    /// Record the absint pre-pass verdict stamp; every subsequently
+    /// journaled trial carries it. Set once, before the search starts.
+    pub fn set_static_verdict(&mut self, stamp: Option<String>) {
+        self.static_verdict = stamp;
     }
 
     /// Journal-facing name of the path evaluations actually take.
@@ -1009,6 +1019,7 @@ impl<'a> DynamicEvaluator<'a> {
             batch: Some(batch),
             attempt,
             job: self.task.job_id.clone(),
+            static_verdict: self.static_verdict.clone(),
             crc: None,
         };
         // Serialize (stamping the CRC) before deciding how to write: the

@@ -77,14 +77,17 @@
 //! assert!(best.outcome.speedup > 1.0);
 //! ```
 
+pub mod certify;
 pub mod ensemble;
 pub mod evaluator;
 pub mod job;
 pub mod metrics;
+pub mod prepass;
 pub mod profile;
 pub mod speedup;
 pub mod tuner;
 
+pub use certify::{certify_config, crosscheck_journal, BoundCheck, Certificate};
 pub use ensemble::{
     validate_ensemble, CandidateValidation, EnsembleError, EnsembleParams, EnsembleReport,
     MemberResult,
@@ -95,6 +98,7 @@ pub use evaluator::{
 };
 pub use job::{job_id_for, run_job, JobError, JobRequest, JobResult};
 pub use metrics::CorrectnessMetric;
+pub use prepass::{run_prepass, PrepassReport, StaticVerdict};
 pub use profile::{profile, select_hotspot, ProfileRow};
 pub use tuner::{
     tune, tune_brute_force, LoadedModel, ModelSpec, PerfScope, TuningOutcome, TuningTask,

@@ -164,6 +164,14 @@ pub struct TuningTask {
     /// Atom granularity for the delta-debugging search: per-variable (the
     /// default) or per congruence class with frontier refinement.
     pub granularity: SearchGranularity,
+    /// Run the abstract-interpretation pre-pass before the search: atoms
+    /// whose static round-off bound clears the error budget at f32 are
+    /// pre-demoted without trials, atoms whose static range overflows f32
+    /// are pinned at f64, and only the undecided residue enters delta
+    /// debugging. Off by default (byte-identical journals with prior
+    /// releases); every trial is then stamped with the verdict summary
+    /// ([`prose_trace::TrialRecord::static_verdict`]).
+    pub absint: bool,
     /// Worker-pool width for batch evaluation (the paper's
     /// one-PBS-node-per-variant fan-out). `1` (the default) evaluates
     /// serially on the submitting thread; results, journals, and the
@@ -244,40 +252,90 @@ pub fn config_to_map(
 
 /// Run the delta-debugging tuning experiment for a task.
 pub fn tune(task: &TuningTask) -> Result<TuningOutcome, RunError> {
+    let mut pre = task.absint.then(|| crate::prepass::run_prepass(task));
     let mut eval = DynamicEvaluator::new(task)?;
     let baseline_hotspot_cycles = eval.baseline.hotspot_cycles;
     let baseline_total_cycles = eval.baseline.total_cycles;
     let hotspot_share = eval.baseline.hotspot_share();
+    if let Some(p) = &mut pre {
+        eval.set_static_verdict(Some(p.stamp.clone()));
+        // Dynamic guard on the static demotions: every searched
+        // configuration bakes the pre-demoted atoms in, so before trusting
+        // them, evaluate the forced configuration once (it is journaled
+        // and memoized like any trial). A failure means the static bound
+        // lied about this program — drop every demotion back into the
+        // search rather than poison the final configuration.
+        if p.count(crate::prepass::StaticVerdict::PreDemote) > 0 {
+            let guard = prose_search::Evaluator::evaluate(&mut eval, &p.forced());
+            if guard.status != prose_search::Status::Pass {
+                p.drop_demotions(&task.index, &task.atoms);
+                eval.set_static_verdict(Some(p.stamp.clone()));
+            }
+        }
+    }
     let dd = DeltaDebug::new(DdParams {
         min_speedup: task.min_speedup,
         max_variants: task.max_variants,
         ..Default::default()
     });
     let mut sink = CountingSink::default();
-    let search = match task.granularity {
-        SearchGranularity::Variable => dd.run_with_sink(&mut eval, &mut sink),
-        SearchGranularity::Grouped => {
-            let depgraph = prose_analysis::DepGraph::build(&task.program, &task.index);
-            // Hotspot-scoped searches price casting only at call sites the
-            // hotspot timers can see, mirroring the dynamic metric.
-            let caller_scopes: Option<Vec<_>> = match task.scope {
-                PerfScope::Hotspot => Some(
-                    task.hotspot_procs
-                        .iter()
-                        .filter_map(|p| task.index.scope_of_procedure(p))
-                        .collect(),
-                ),
-                PerfScope::WholeModel => None,
+    // Hotspot-scoped searches price casting only at call sites the
+    // hotspot timers can see, mirroring the dynamic metric.
+    let caller_scopes: Option<Vec<_>> = match task.scope {
+        PerfScope::Hotspot => Some(
+            task.hotspot_procs
+                .iter()
+                .filter_map(|p| task.index.scope_of_procedure(p))
+                .collect(),
+        ),
+        PerfScope::WholeModel => None,
+    };
+    let grouped_units = |atoms: &[FpVarId]| -> Vec<Vec<usize>> {
+        let depgraph = prose_analysis::DepGraph::build(&task.program, &task.index);
+        depgraph.ordered_atom_groups(&task.index, atoms, caller_scopes.as_deref())
+    };
+    let search = match &pre {
+        None => match task.granularity {
+            SearchGranularity::Variable => dd.run_with_sink(&mut eval, &mut sink),
+            SearchGranularity::Grouped => {
+                let units = grouped_units(&task.atoms);
+                dd.run_grouped_with_sink(&mut eval, &units, &mut sink)
+            }
+        },
+        Some(p) => {
+            // Statically decided atoms never enter the search: the
+            // reduced evaluator pins them in every probed configuration
+            // and only the undecided residue is delta-debugged.
+            let residue = p.residue();
+            let mut red = crate::prepass::ReducedEvaluator::new(&mut eval, p);
+            let reduced = match task.granularity {
+                SearchGranularity::Variable => dd.run_with_sink(&mut red, &mut sink),
+                SearchGranularity::Grouped => {
+                    let residue_atoms: Vec<FpVarId> =
+                        residue.iter().map(|&i| task.atoms[i]).collect();
+                    let units = grouped_units(&residue_atoms);
+                    dd.run_grouped_with_sink(&mut red, &units, &mut sink)
+                }
             };
-            let units =
-                depgraph.ordered_atom_groups(&task.index, &task.atoms, caller_scopes.as_deref());
-            dd.run_grouped_with_sink(&mut eval, &units, &mut sink)
+            expand_search(reduced, p, &residue)
         }
     };
     let mut metrics = eval.metrics();
     metrics.bump("search_probes", sink.trials + sink.memo_hits);
     metrics.bump("search_memo_hits", sink.memo_hits);
     metrics.bump("search_unique_trials", sink.trials);
+    if let Some(p) = &pre {
+        use crate::prepass::StaticVerdict;
+        metrics.bump(
+            "absint_predemoted",
+            p.count(StaticVerdict::PreDemote) as u64,
+        );
+        metrics.bump("absint_pinned", p.count(StaticVerdict::PinF64) as u64);
+        metrics.bump("absint_undecided", p.count(StaticVerdict::Undecided) as u64);
+        if p.joint_fallback {
+            metrics.bump("absint_joint_fallback", 1);
+        }
+    }
     Ok(TuningOutcome {
         search,
         variants: eval.into_records(),
@@ -286,6 +344,25 @@ pub fn tune(task: &TuningTask) -> Result<TuningOutcome, RunError> {
         hotspot_share,
         metrics,
     })
+}
+
+/// Map a residue-space [`SearchResult`] back to the full atom space: every
+/// trace/best/final configuration gets the pre-demoted atoms forced `true`
+/// and the pinned atoms forced `false`, matching the full-width configs
+/// the evaluator journaled.
+fn expand_search(
+    mut s: SearchResult,
+    pre: &crate::prepass::PrepassReport,
+    residue: &[usize],
+) -> SearchResult {
+    s.final_config = pre.expand(residue, &s.final_config);
+    for t in &mut s.trace {
+        t.config = pre.expand(residue, &t.config);
+    }
+    if let Some(b) = &mut s.best {
+        b.config = pre.expand(residue, &b.config);
+    }
+    s
 }
 
 /// Exhaustively evaluate the full 2ⁿ space (funarc / Figure 2).
@@ -415,6 +492,7 @@ impl LoadedModel {
             shadow_budget: None,
             member: None,
             granularity: SearchGranularity::default(),
+            absint: false,
             workers: default_workers(),
             deadline_ms: default_deadline_ms(),
             retry_attempts: default_retry_attempts(),

@@ -33,6 +33,7 @@
 //!   fully visible to whole-model timing (Figure 7), exactly as in the
 //!   paper.
 
+pub mod absint;
 pub mod cost;
 pub mod ir;
 pub mod lower;
@@ -43,6 +44,7 @@ pub mod template;
 pub mod timers;
 pub mod value;
 
+pub use absint::{analyze_ir, analyze_variant, DEFAULT_MAX_STEPS};
 pub use cost::CostParams;
 pub use machine::DEADLINE_CHECK_INTERVAL;
 pub use run::{

@@ -569,6 +569,8 @@ impl<'ir> Machine<'ir> {
                 max_rel: e.max_rel,
                 final_rel: e.final_rel,
                 stores: e.stores,
+                min_primary: Some(e.min_primary),
+                max_primary: Some(e.max_primary),
             })
             .collect();
         vars.sort_by(|a, b| b.max_rel.total_cmp(&a.max_rel).then(a.name.cmp(&b.name)));
@@ -581,6 +583,8 @@ impl<'ir> Machine<'ir> {
                     max_rel: e.max_rel,
                     final_rel: e.final_rel,
                     stores: e.stores,
+                    min_primary: Some(e.min_primary),
+                    max_primary: Some(e.max_primary),
                 })
                 .collect();
             r.sort_by(|a, b| b.max_rel.total_cmp(&a.max_rel).then(a.name.cmp(&b.name)));

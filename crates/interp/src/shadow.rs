@@ -49,11 +49,27 @@ pub fn shadow_rel(primary: f64, shadow: f64) -> f64 {
 }
 
 /// Running error statistics for one variable (or recorded metric key).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct VarErr {
     pub max_rel: f64,
     pub final_rel: f64,
     pub stores: u64,
+    /// Smallest primary value stored (certificate hull; `+inf` until a store).
+    pub min_primary: f64,
+    /// Largest primary value stored (certificate hull; `-inf` until a store).
+    pub max_primary: f64,
+}
+
+impl Default for VarErr {
+    fn default() -> Self {
+        VarErr {
+            max_rel: 0.0,
+            final_rel: 0.0,
+            stores: 0,
+            min_primary: f64::INFINITY,
+            max_primary: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl VarErr {
@@ -64,6 +80,8 @@ impl VarErr {
         }
         self.final_rel = r;
         self.stores += 1;
+        self.min_primary = self.min_primary.min(primary);
+        self.max_primary = self.max_primary.max(primary);
     }
 }
 
@@ -115,6 +133,13 @@ pub struct VarShadow {
     pub max_rel: f64,
     pub final_rel: f64,
     pub stores: u64,
+    /// Smallest primary value observed at a store; `None` only in reports
+    /// deserialized from journals written before primary-hull tracking.
+    #[serde(default)]
+    pub min_primary: Option<f64>,
+    /// Largest primary value observed at a store (`None` = no data).
+    #[serde(default)]
+    pub max_primary: Option<f64>,
 }
 
 /// The shadow-execution report for one run.
@@ -157,6 +182,18 @@ mod tests {
         assert_eq!(e.max_rel, 0.5);
         assert!((e.final_rel - 0.1).abs() < 1e-12);
         assert_eq!(e.stores, 2);
+        assert_eq!(e.min_primary, 1.1);
+        assert_eq!(e.max_primary, 1.5);
+    }
+
+    #[test]
+    fn var_shadow_defaults_primary_hull_for_old_journals() {
+        // Journals written before primary-hull tracking omit the fields;
+        // they must deserialize to the "no data" sentinels.
+        let old = r#"{"name":"fun::t1","max_rel":1e-6,"final_rel":1e-7,"stores":3}"#;
+        let v: VarShadow = serde_json::from_str(old).unwrap();
+        assert_eq!(v.min_primary, None);
+        assert_eq!(v.max_primary, None);
     }
 
     #[test]
@@ -167,6 +204,8 @@ mod tests {
                 max_rel: 1e-6,
                 final_rel: 1e-7,
                 stores: 3,
+                min_primary: Some(0.25),
+                max_primary: Some(1.5),
             }],
             records: vec![],
             worst_rel: 1e-6,

@@ -122,6 +122,12 @@ pub struct TrialRecord {
     /// service layer. Provenance only — never part of the memoization key.
     #[serde(default)]
     pub job: Option<String>,
+    /// Absint pre-pass context the search ran under, as a compact
+    /// `demote=a,b|pin=c|undecided=3` encoding of the static verdicts
+    /// (atom names in declaration order). `None` for trials run without
+    /// the pre-pass and records from writers predating static analysis.
+    #[serde(default)]
+    pub static_verdict: Option<String>,
     /// CRC32 (IEEE) of this record serialized with `crc` cleared to null.
     /// Stamped by [`Journal::append`]; verified by [`Journal::load_repair`]
     /// to catch in-place byte corruption that still parses as JSON.
@@ -366,6 +372,34 @@ impl Journal {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
+    /// Raw-byte checksum verdict for one journal line, without trusting a
+    /// parse→re-serialize round trip.
+    ///
+    /// [`TrialRecord::crc_valid`] recomputes the checksum from the *parsed*
+    /// record, so byte damage that parses back to the same record escapes
+    /// it — a flipped character inside a field name whose value equals its
+    /// serde default vanishes in the round trip (the unknown key is
+    /// ignored, the default fills in, and the canonical re-serialization
+    /// matches the pristine body). This check instead rebuilds the exact
+    /// crc-less body [`Journal::serialize_line`] hashed — the raw line
+    /// with the trailing `"crc"` value (always the final field) replaced
+    /// by `null` — so *any* single-bit flip outside the three bytes of the
+    /// `crc` key name itself is caught. `None` means the line carries no
+    /// parseable checksum suffix (pre-supervision writers).
+    pub fn line_crc_valid(line: &str) -> Option<bool> {
+        let line = line.trim_end();
+        let idx = line.rfind(",\"crc\":")?;
+        let digits = line[idx + 7..].strip_suffix('}')?;
+        if digits == "null" {
+            return None;
+        }
+        let stored: u32 = digits.parse().ok()?;
+        let mut body = String::with_capacity(idx + 13);
+        body.push_str(&line[..idx]);
+        body.push_str(",\"crc\":null}");
+        Some(crc32(body.as_bytes()) == stored)
+    }
+
     /// Append one record as a single JSON line, flushing per the journal's
     /// [`FlushPolicy`]. The record is CRC-stamped (see
     /// [`Journal::serialize_line`]); any `crc` already on it is recomputed.
@@ -425,6 +459,9 @@ impl Journal {
         for (i, line) in lines.iter().enumerate() {
             let parsed = match serde_json::from_str::<TrialRecord>(line) {
                 Ok(rec) if rec.crc_valid() == Some(false) => Err("CRC mismatch".to_string()),
+                Ok(_) if Self::line_crc_valid(line) == Some(false) => {
+                    Err("raw CRC mismatch".to_string())
+                }
                 Ok(rec) => Ok(rec),
                 Err(e) => Err(e.to_string()),
             };
@@ -490,7 +527,8 @@ impl Journal {
         for (i, line) in lines.iter().enumerate() {
             let parsed = serde_json::from_str::<TrialRecord>(line)
                 .ok()
-                .filter(|rec| rec.crc_valid() != Some(false));
+                .filter(|rec| rec.crc_valid() != Some(false))
+                .filter(|_| Self::line_crc_valid(line) != Some(false));
             match parsed {
                 Some(rec) => {
                     report.records.push(rec);
@@ -619,6 +657,7 @@ mod tests {
             batch: Some(seq),
             attempt: 0,
             job: None,
+            static_verdict: None,
             crc: None,
         }
     }
@@ -720,6 +759,7 @@ mod tests {
         assert_eq!(rec.search_granularity, "");
         assert_eq!(rec.attempt, 0);
         assert_eq!(rec.job, None);
+        assert_eq!(rec.static_verdict, None);
         assert_eq!(rec.crc, None);
         // No checksum → never treated as corrupt.
         assert_eq!(rec.crc_valid(), None);
@@ -768,6 +808,45 @@ mod tests {
         assert_eq!(rep.torn_tail, 0);
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(quarantine_path_for(&path)).unwrap();
+    }
+
+    #[test]
+    fn raw_crc_catches_parse_equivalent_byte_damage() {
+        // A flip inside a field *name* whose value equals its serde
+        // default parses to the pristine record (unknown key ignored,
+        // default fills in), so the record-level CRC round trip cannot
+        // see it. The raw-line check must.
+        let line = Journal::serialize_line(&sample(0, false, 1e-9)).unwrap();
+        assert_eq!(Journal::line_crc_valid(&line), Some(true));
+        let damaged = line.replace("\"attempt\":0", "\"attemqt\":0");
+        assert_ne!(line, damaged);
+        let rec: TrialRecord = serde_json::from_str(&damaged).unwrap();
+        assert_eq!(rec.crc_valid(), Some(true), "round trip is blind to this");
+        assert_eq!(Journal::line_crc_valid(&damaged), Some(false));
+
+        let path = tmp_path("raw-crc");
+        let q = quarantine_path_for(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&q);
+        let good = Journal::serialize_line(&sample(1, false, 1e-9)).unwrap();
+        std::fs::write(&path, format!("{damaged}\n{good}\n")).unwrap();
+        assert!(Journal::load(&path).is_err(), "strict load must reject");
+        let rep = Journal::load_repair(&path).unwrap();
+        assert_eq!(rep.quarantined, 1);
+        assert_eq!(rep.records.iter().map(|r| r.seq).collect::<Vec<_>>(), [1]);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&q).unwrap();
+    }
+
+    #[test]
+    fn raw_crc_ignores_unstamped_lines() {
+        // Pre-supervision journals carry no checksum; the raw check must
+        // stay neutral on them, same as the record-level one.
+        assert_eq!(Journal::line_crc_valid("{\"seq\":0}"), None);
+        let mut rec = sample(0, false, 1e-9);
+        rec.crc = None;
+        let line = serde_json::to_string(&rec).unwrap();
+        assert_eq!(Journal::line_crc_valid(&line), None);
     }
 
     #[test]
@@ -902,12 +981,11 @@ mod tests {
             }
             std::fs::write(&path, &bytes).unwrap();
 
-            // Independent oracle: a line survives iff it parses and does
-            // not fail its CRC check. (Almost every flip is caught; the
-            // exception is a flip inside the *key name* of a
-            // default-valued field — the field vanishes on parse and the
-            // record round-trips to its original bytes, so it is
-            // semantically intact and rightly kept.)
+            // Independent oracle: a line survives iff it parses, passes
+            // the record-level CRC round trip, *and* passes the raw-byte
+            // checksum — the raw check is what catches flips inside the
+            // key name of a default-valued field, which vanish in the
+            // parse→re-serialize round trip.
             let mutated = std::fs::read(&path).unwrap();
             let intact: Vec<TrialRecord> = mutated
                 .split(|b| *b == b'\n')
@@ -916,6 +994,7 @@ mod tests {
                 .filter_map(|(i, l)| {
                     let rec = std::str::from_utf8(l)
                         .ok()
+                        .filter(|l| Journal::line_crc_valid(l) != Some(false))
                         .and_then(|l| serde_json::from_str::<TrialRecord>(l).ok())
                         .filter(|r| r.crc_valid() != Some(false));
                     // Untouched lines must always classify as intact.

@@ -1,7 +1,7 @@
 //! `prose-lint` — static numerical-hazard lints for Fortran files.
 //!
 //! ```text
-//! prose-lint <file.f90> [--format text|json] [--map single|declared]
+//! prose-lint <file.f90> [--format text|json] [--map single|declared] [--ranges]
 //! ```
 //!
 //! Runs the [`prose::analysis::lint`] suite (float equality, absorption-prone
@@ -17,8 +17,16 @@
 //! tuner treats as search atoms — so the narrowing hazards a maximal
 //! lowering would introduce are all visible; `declared` keeps the source
 //! declarations and reports only hazards already present.
+//!
+//! `--ranges` first runs the abstract interpreter over the program under
+//! the chosen map and feeds the inferred per-variable value ranges to the
+//! lint suite: absorption and cancellation findings are then *certified*
+//! (message cites the static ranges) or refuted (structural suspicion
+//! dropped), and stores whose range provably exceeds `f32::MAX` gain an
+//! `OverflowToInf` finding. If the analysis fails or exhausts its budget
+//! the suite falls back to the structural heuristics unchanged.
 
-use prose::analysis::{run_lints, Lint};
+use prose::analysis::{run_lints_with_ranges, Lint, RangeMap};
 use prose::fortran::ast::FpPrecision;
 use prose::fortran::sema::ScopeKind;
 use prose::fortran::PrecisionMap;
@@ -28,15 +36,18 @@ struct Args {
     file: String,
     format: String,
     map: String,
+    ranges: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prose-lint <file.f90> [--format text|json] [--map single|declared]\n\
+        "usage: prose-lint <file.f90> [--format text|json] [--map single|declared] [--ranges]\n\
          options: --format text (default; one `proc:line kind message` per finding)\n\
          or json (machine-readable {{file, map, lints}} document),\n\
          --map single (default; every tunable variable lowered to 32-bit, the\n\
-         narrowing hazards of a maximal lowering) or declared (source precisions)"
+         narrowing hazards of a maximal lowering) or declared (source precisions),\n\
+         --ranges (run the abstract interpreter first and drive the absorption,\n\
+         cancellation, and overflow lints from the inferred value ranges)"
     );
     std::process::exit(2)
 }
@@ -46,6 +57,7 @@ fn parse_args() -> Option<Args> {
     let mut file = None;
     let mut format = "text".to_string();
     let mut map = "single".to_string();
+    let mut ranges = false;
     let mut i = 0;
     while i < argv.len() {
         let a = &argv[i];
@@ -66,6 +78,7 @@ fn parse_args() -> Option<Args> {
                     return None;
                 }
             }
+            "--ranges" => ranges = true,
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -75,6 +88,7 @@ fn parse_args() -> Option<Args> {
         file: file?,
         format,
         map,
+        ranges,
     })
 }
 
@@ -82,6 +96,8 @@ fn parse_args() -> Option<Args> {
 struct LintDoc {
     file: String,
     map: String,
+    /// True when the findings were range-driven (`--ranges`).
+    ranges: bool,
     lints: Vec<Lint>,
 }
 
@@ -123,11 +139,40 @@ fn main() -> ExitCode {
         }
     };
 
-    let lints = run_lints(&program, &index, &map);
+    // --ranges: infer per-variable value ranges with the abstract
+    // interpreter under the same precision map and let the lint suite
+    // certify or refute its structural suspicions. Any analysis failure
+    // degrades to the empty range map — the structural heuristics.
+    let mut ranges = RangeMap::default();
+    if args.ranges {
+        let inline = prose::interp::CostParams::default().inline_max_stmts;
+        match prose::interp::analyze_variant(
+            &program,
+            &index,
+            &map,
+            inline,
+            prose::interp::DEFAULT_MAX_STEPS,
+        ) {
+            Ok(rep) => {
+                if rep.incomplete {
+                    eprintln!(
+                        "warning: range analysis incomplete after {} abstract steps; \
+                         untouched variables fall back to structural heuristics",
+                        rep.steps
+                    );
+                }
+                ranges = rep.range_map();
+            }
+            Err(e) => eprintln!("warning: range analysis failed ({e}); running without ranges"),
+        }
+    }
+
+    let lints = run_lints_with_ranges(&program, &index, &map, &ranges);
     if args.format == "json" {
         let doc = LintDoc {
             file: args.file.clone(),
             map: args.map.clone(),
+            ranges: args.ranges,
             lints,
         };
         println!("{}", serde_json::to_string(&doc).expect("serialize"));
@@ -141,10 +186,15 @@ fn main() -> ExitCode {
             println!("{}: {:?}{var}: {}", l.site, l.kind, l.message);
         }
         println!(
-            "{}: {} finding(s) under the `{}` precision map",
+            "{}: {} finding(s) under the `{}` precision map{}",
             args.file,
             lints.len(),
-            args.map
+            args.map,
+            if args.ranges {
+                format!(" ({} statically ranged variable(s))", ranges.len())
+            } else {
+                String::new()
+            }
         );
     }
     ExitCode::SUCCESS

@@ -2,7 +2,8 @@
 //! style artifacts plus cache and search-efficiency statistics.
 //!
 //! ```text
-//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json] [--repair]
+//! prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json]
+//!              [--certify cert.json] [--repair]
 //! prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out BENCH_variant_path.json]
 //! ```
 //!
@@ -15,6 +16,13 @@
 //! and renders the static findings next to the journal's dynamic shadow
 //! evidence: a lint whose `proc:line` site matches a journaled cancellation
 //! site or non-finite origin is flagged as dynamically confirmed.
+//!
+//! `--certify` takes the config certificate written by `prose-tune
+//! --certify` and re-validates it against the journal: every journaled
+//! shadow summary whose configuration matches the certificate must observe
+//! no more error in its worst variable than the certified static bound. A
+//! violation — here or recorded in the certificate itself — is a soundness
+//! bug in the static analysis and fails the report.
 //!
 //! The journal is the JSONL file written by `prose-tune --journal`, by the
 //! `prose-bench` search binaries (`results/trials_<model>.jsonl`), or by
@@ -33,12 +41,16 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json] [--repair]\n\
+        "usage: prose-report <trials.jsonl> [--csv out.csv] [--guardrails] [--lints lints.json]\n\
+         \x20                [--certify cert.json] [--repair]\n\
          \x20      prose-report --variant-path-bench <fast.jsonl> <faithful.jsonl> [--out out.json]\n\
          options: --guardrails (numerical-guardrail section: shadow-error demotions,\n\
          cancellation and non-finite provenance, per-member ensemble records),\n\
          --lints lints.json (static-lint section from `prose-lint --format json`\n\
          output, cross-referenced against the journal's shadow sites),\n\
+         --certify cert.json (config-certificate section from `prose-tune --certify`\n\
+         output, re-validated against the journal's shadow summaries; any violated\n\
+         static bound is a soundness bug and fails the report),\n\
          --repair (self-healing load: quarantine corrupt mid-file records to\n\
          <journal>.quarantine, truncate a torn tail, report on the survivors)"
     );
@@ -173,6 +185,7 @@ struct Args {
     csv: Option<String>,
     guardrails: bool,
     lints: Option<String>,
+    certify: Option<String>,
     repair: bool,
 }
 
@@ -182,6 +195,7 @@ fn parse_args() -> Option<Args> {
     let mut csv = None;
     let mut guardrails = false;
     let mut lints = None;
+    let mut certify = None;
     let mut repair = false;
     let mut i = 0;
     while i < argv.len() {
@@ -195,6 +209,10 @@ fn parse_args() -> Option<Args> {
                 i += 1;
                 lints = Some(argv.get(i)?.clone());
             }
+            "--certify" => {
+                i += 1;
+                certify = Some(argv.get(i)?.clone());
+            }
             "--repair" => repair = true,
             a if journal.is_none() && !a.starts_with("--") => journal = Some(a.to_string()),
             _ => return None,
@@ -206,6 +224,7 @@ fn parse_args() -> Option<Args> {
         csv,
         guardrails,
         lints,
+        certify,
         repair,
     })
 }
@@ -463,6 +482,52 @@ fn print_lints(doc: &LintDoc, records: &[TrialRecord]) {
             dynamic_sites.len()
         );
     }
+}
+
+/// The `--certify` section: the config certificate written by `prose-tune
+/// --certify`, re-validated against the journal. Two layers of evidence:
+/// the certificate's own checks (shadow run at certification time) and the
+/// journal's shadow summaries for every record whose configuration matches
+/// the certified one. Returns the total violation count — anything above
+/// zero means the static analysis promised a bound the dynamics broke.
+fn print_certify(cert: &prose::core::Certificate, records: &[TrialRecord]) -> usize {
+    println!();
+    println!("== config certificate ==");
+    println!(
+        "  certified config:    {} ({:.0}% lowered, budget {:.3e})",
+        cert.file,
+        100.0 * cert.fraction_single,
+        cert.budget
+    );
+    println!(
+        "  static bounds:       {} finite checked, {} unbounded, {} uncovered{}",
+        cert.checks.len(),
+        cert.unbounded.len(),
+        cert.uncovered.len(),
+        if cert.incomplete {
+            " (analysis incomplete)"
+        } else {
+            ""
+        }
+    );
+    println!("  certificate violations: {}", cert.violations);
+    for c in cert.checks.iter().filter(|c| !c.sound) {
+        println!(
+            "    SOUNDNESS BUG {}: observed rel {:.3e} vs static {:.3e}",
+            c.name, c.observed_rel, c.static_rel
+        );
+    }
+
+    let (matching, checked, violating) = prose::core::crosscheck_journal(cert, records);
+    println!(
+        "  journal cross-check: {matching} matching record(s), {checked} with shadow \
+         summaries, {} violation(s)",
+        violating.len()
+    );
+    for seq in violating.iter().take(10) {
+        println!("    SOUNDNESS BUG: trial {seq} observed more error than the certified bound");
+    }
+    cert.violations + violating.len()
 }
 
 /// The service-job section: a journal that lives in a `prose-served`
@@ -772,6 +837,22 @@ fn main() -> ExitCode {
         print_lints(&doc, &records);
     }
 
+    // ---- config certificate vs journaled shadow evidence (--certify) --
+    let mut cert_violations = 0usize;
+    if let Some(path) = &args.certify {
+        let cert: prose::core::Certificate = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot read certificate {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        cert_violations = print_certify(&cert, &records);
+    }
+
     // ---- optional CSV export ------------------------------------------
     if let Some(path) = &args.csv {
         let mut csv = String::from(
@@ -803,6 +884,13 @@ fn main() -> ExitCode {
         }
         println!();
         println!("wrote {path}");
+    }
+    if cert_violations > 0 {
+        eprintln!(
+            "error: {cert_violations} static-bound violation(s) \
+             (static-analysis soundness bug)"
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -13,6 +13,7 @@
 //!     [--retry-band B] [--retry-runs N] [--wal-flush record|sync|N]
 //!     [--shadow] [--shadow-budget X] [--validate-ensemble N] [--ensemble-seed S]
 //!     [--workers N] [--deadline-ms MS] [--retry-attempts K]
+//!     [--absint] [--certify cert.json]
 //! ```
 //!
 //! The program must record its correctness quantities with
@@ -64,6 +65,8 @@ struct Args {
     workers: usize,
     deadline_ms: Option<u64>,
     retry_attempts: u32,
+    absint: bool,
+    certify: Option<String>,
 }
 
 fn usage() -> ! {
@@ -100,7 +103,15 @@ fn usage() -> ! {
          $PROSE_DEADLINE_MS or disabled; results are identical when it\n\
          never fires), --retry-attempts K (re-attempt trials that failed\n\
          by injected timeout or deadline up to K extra times with doubled\n\
-         budget and deadline; default $PROSE_RETRY_ATTEMPTS or 0)"
+         budget and deadline; default $PROSE_RETRY_ATTEMPTS or 0),\n\
+         --absint (run the abstract-interpretation pre-pass: atoms whose static\n\
+         round-off bound clears the error budget are pre-demoted to 32-bit and\n\
+         atoms whose static range overflows f32 are pinned at 64-bit, both\n\
+         without spending trials; only the undecided residue is delta-debugged),\n\
+         --certify cert.json (after the search, emit a config certificate for the\n\
+         final configuration: every finite static bound checked against an\n\
+         fp64-shadow run of the same configuration; a violated bound is a\n\
+         soundness bug in the static analysis and fails the run)"
     );
     std::process::exit(2)
 }
@@ -137,6 +148,8 @@ fn parse_args() -> Option<Args> {
     let mut workers = prose::core::tuner::default_workers();
     let mut deadline_ms = prose::core::tuner::default_deadline_ms();
     let mut retry_attempts = prose::core::tuner::default_retry_attempts();
+    let mut absint = false;
+    let mut certify = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -193,6 +206,8 @@ fn parse_args() -> Option<Args> {
             "--workers" => workers = next()?.parse::<usize>().ok().filter(|&n| n >= 1)?,
             "--deadline-ms" => deadline_ms = Some(next()?.parse::<u64>().ok().filter(|&n| n >= 1)?),
             "--retry-attempts" => retry_attempts = next()?.parse().ok()?,
+            "--absint" => absint = true,
+            "--certify" => certify = next(),
             _ if file.is_none() && !a.starts_with("--") => file = Some(a.clone()),
             _ => return None,
         }
@@ -229,6 +244,8 @@ fn parse_args() -> Option<Args> {
         workers,
         deadline_ms,
         retry_attempts,
+        absint,
+        certify,
     })
 }
 
@@ -270,6 +287,7 @@ fn append_shutdown_marker(path: &std::path::Path, signum: i32) -> std::io::Resul
         batch: None,
         attempt: 0,
         job: None,
+        static_verdict: None,
         crc: None,
     })?;
     journal.flush()?;
@@ -377,6 +395,7 @@ fn main() -> ExitCode {
     task.shadow = args.shadow;
     task.shadow_budget = args.shadow_budget;
     task.granularity = args.granularity;
+    task.absint = args.absint;
     task.workers = args.workers;
     task.deadline_ms = args.deadline_ms;
     task.retry_attempts = args.retry_attempts;
@@ -534,6 +553,19 @@ fn main() -> ExitCode {
             outcome.metrics.get("shadow_demotions")
         );
     }
+    if args.absint {
+        println!(
+            "static pre-pass: {} pre-demoted, {} pinned f64, {} undecided{}",
+            outcome.metrics.get("absint_predemoted"),
+            outcome.metrics.get("absint_pinned"),
+            outcome.metrics.get("absint_undecided"),
+            if outcome.metrics.get("absint_joint_fallback") > 0 {
+                " (joint re-check dropped the demotion set)"
+            } else {
+                ""
+            }
+        );
+    }
 
     match &outcome.search.best {
         Some(best) => {
@@ -574,6 +606,77 @@ fn main() -> ExitCode {
         }
         None => {
             println!("no variant satisfied the correctness threshold while beating the baseline");
+        }
+    }
+
+    // --certify: bind the final configuration to the static analysis'
+    // per-variable guarantees and check every finite bound against an
+    // fp64-shadow run of the same configuration. A violated bound is a
+    // soundness bug in the static analysis (the dynamic guardrails already
+    // police accuracy) and fails the run.
+    let mut cert_violations = 0usize;
+    if let Some(path) = &args.certify {
+        if outcome.search.best.is_none() {
+            println!("\ncertificate: no passing variant; nothing to certify");
+        } else {
+            let cert = match prose::core::certify_config(
+                &task,
+                &args.file,
+                &outcome.search.final_config,
+            ) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: certify: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            cert_violations = cert.violations;
+            println!(
+                "\ncertificate: {} finite bound(s) checked, {} violation(s); \
+                 {} unbounded, {} uncovered{}",
+                cert.checks.len(),
+                cert.violations,
+                cert.unbounded.len(),
+                cert.uncovered.len(),
+                if cert.incomplete {
+                    " (static analysis incomplete)"
+                } else {
+                    ""
+                }
+            );
+            let mut worst: Vec<_> = cert.checks.iter().collect();
+            worst.sort_by(|a, b| b.static_rel.total_cmp(&a.static_rel));
+            for c in worst.iter().take(10) {
+                println!(
+                    "  bound {} ({}): static rel {:.3e}, observed {:.3e} over {} store(s)",
+                    c.name, c.kind, c.static_rel, c.observed_rel, c.stores
+                );
+            }
+            if worst.len() > 10 {
+                println!(
+                    "  ... and {} more bound(s) in the certificate",
+                    worst.len() - 10
+                );
+            }
+            for c in cert.checks.iter().filter(|c| !c.sound) {
+                println!(
+                    "  SOUNDNESS BUG {}: observed rel {:.3e} or hull [{:.3e}, {:.3e}] escapes \
+                     static rel {:.3e} hull [{:.3e}, {:.3e}]",
+                    c.name,
+                    c.observed_rel,
+                    c.observed_min,
+                    c.observed_max,
+                    c.static_rel,
+                    c.static_lo,
+                    c.static_hi
+                );
+            }
+            let text = serde_json::to_string_pretty(&cert).expect("serialize certificate");
+            if let Err(e) = std::fs::write(path, text + "\n") {
+                eprintln!("error: cannot write certificate {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote certificate to {path}");
         }
     }
 
@@ -651,6 +754,13 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    if cert_violations > 0 {
+        eprintln!(
+            "error: {cert_violations} certified bound(s) violated by the shadow run \
+             (static-analysis soundness bug)"
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
